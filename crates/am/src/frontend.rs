@@ -1,0 +1,136 @@
+//! Feature front-ends: MFCC or PLP base cepstra + Δ + ΔΔ + CMVN.
+
+use lre_dsp::{append_deltas, cmvn_in_place, mfcc, plp, FrameMatrix, MfccConfig, PlpConfig};
+
+/// Normalization applied after delta appending.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Normalization {
+    /// No per-utterance normalization (the acoustic model applies its own
+    /// global transform; see `AcousticModel::feature_transform`).
+    None,
+    /// Cepstral mean subtraction only.
+    Cms,
+    /// Mean and variance normalization.
+    Cmvn,
+}
+
+
+/// Which base cepstral analysis a recognizer uses. The paper's GMM-HMM and
+/// DNN-HMM recognizers use PLP; MFCC is the classic alternative named in §1
+/// as the third diversification axis, used here by the ANN-HMM front-ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    Mfcc,
+    Plp,
+}
+
+impl FeatureKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureKind::Mfcc => "mfcc",
+            FeatureKind::Plp => "plp",
+        }
+    }
+}
+
+/// Feature dimension produced by [`extract_features`]: 13 cepstra × (static,
+/// Δ, ΔΔ), the paper's 39-dimension configuration.
+pub const FEATURE_DIM: usize = 39;
+
+/// Extract normalized 39-dimensional features from raw samples.
+///
+/// Produces CMS-normalized features: per-utterance cepstral *mean*
+/// subtraction (channel compensation, §4.1's conversation-side
+/// normalization) — but **not** per-utterance variance scaling. Variance
+/// normalization to unit scale is applied as a *global* transform owned by
+/// the acoustic model: per-utterance variance depends on the utterance's
+/// phone mix, which couples the feature space to the spoken language and
+/// wrecks cross-language decoding (verified in this reproduction; see
+/// DESIGN.md).
+pub fn extract_features(samples: &[f32], kind: FeatureKind) -> FrameMatrix {
+    extract_features_with(samples, kind, Normalization::Cms)
+}
+
+/// Extract features with an explicit normalization choice.
+pub fn extract_features_with(
+    samples: &[f32],
+    kind: FeatureKind,
+    norm: Normalization,
+) -> FrameMatrix {
+    let base = match kind {
+        FeatureKind::Mfcc => mfcc(samples, &MfccConfig::default()),
+        FeatureKind::Plp => plp(samples, &PlpConfig::default()),
+    };
+    let mut full = append_deltas(&base, 2);
+    match norm {
+        Normalization::None => {}
+        Normalization::Cms => cms_in_place(&mut full),
+        Normalization::Cmvn => cmvn_in_place(&mut full),
+    }
+    debug_assert_eq!(full.dim(), FEATURE_DIM);
+    full
+}
+
+/// Mean-subtract each dimension in place (no variance scaling).
+fn cms_in_place(feats: &mut FrameMatrix) {
+    let t_max = feats.num_frames();
+    if t_max == 0 {
+        return;
+    }
+    let d = feats.dim();
+    let mut mean = vec![0.0f64; d];
+    for fr in feats.iter() {
+        for i in 0..d {
+            mean[i] += fr[i] as f64;
+        }
+    }
+    let n = t_max as f64;
+    let mean32: Vec<f32> = mean.iter().map(|m| (*m / n) as f32).collect();
+    for t in 0..t_max {
+        let fr = feats.frame_mut(t);
+        for i in 0..d {
+            fr[i] -= mean32[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone() -> Vec<f32> {
+        (0..8000)
+            .map(|i| (2.0 * std::f32::consts::PI * 600.0 * i as f32 / 8000.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn dimension_is_39() {
+        for kind in [FeatureKind::Mfcc, FeatureKind::Plp] {
+            let f = extract_features(&tone(), kind);
+            assert_eq!(f.dim(), FEATURE_DIM);
+            assert!(f.num_frames() > 90);
+        }
+    }
+
+    #[test]
+    fn cmvn_variant_is_normalized() {
+        let f = extract_features_with(&tone(), FeatureKind::Mfcc, Normalization::Cmvn);
+        for d in 0..f.dim() {
+            let n = f.num_frames() as f64;
+            let mean: f64 = f.iter().map(|fr| fr[d] as f64).sum::<f64>() / n;
+            assert!(mean.abs() < 2e-2, "dim {d} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn kinds_produce_different_features() {
+        // Compare un-normalized features: CMS zeroes a steady-state tone.
+        let a = extract_features_with(&tone(), FeatureKind::Mfcc, Normalization::None);
+        let b = extract_features_with(&tone(), FeatureKind::Plp, Normalization::None);
+        assert_eq!(a.num_frames(), b.num_frames());
+        let diff: f32 =
+            a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0);
+    }
+}

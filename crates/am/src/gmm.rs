@@ -1,0 +1,356 @@
+//! Diagonal-covariance Gaussian mixture models.
+
+use rand::RngExt;
+
+/// Minimum variance floor, applied per dimension. Features entering the
+/// models are CMVN-normalized (unit variance overall), so a floor well below
+/// 1.0 but far above numerical noise keeps sparsely-trained states from
+/// becoming high-density "absorber" states that swallow every frame.
+const VAR_FLOOR: f32 = 5e-2;
+
+/// A diagonal-covariance GMM over `dim`-dimensional frames.
+///
+/// Parameters are stored flat (`num_mix × dim`) and the per-mixture constant
+/// `log w_m - ½Σlog(2πσ²)` is precomputed, so scoring one frame is a single
+/// fused loop per mixture — this is the innermost hot path of the whole
+/// system (it runs once per HMM state per frame).
+#[derive(Clone, Debug)]
+pub struct DiagGmm {
+    dim: usize,
+    num_mix: usize,
+    /// Flat `num_mix × dim` means.
+    means: Vec<f32>,
+    /// Flat `num_mix × dim` *inverse* variances (precomputed reciprocals).
+    inv_vars: Vec<f32>,
+    /// Per-mixture constant: `ln w_m - ½ Σ_d ln(2π σ²_{m,d})`.
+    log_consts: Vec<f32>,
+    /// Normalized mixture weights (kept for model surgery/diagnostics).
+    weights: Vec<f32>,
+}
+
+impl DiagGmm {
+    /// Train a GMM on `frames` (flat `n × dim`) with k-means init + EM.
+    ///
+    /// `num_mix` is clamped down when there are too few frames. Returns a
+    /// single-Gaussian fallback model if `frames` is empty.
+    pub fn train<R: RngExt>(
+        frames: &[f32],
+        dim: usize,
+        num_mix: usize,
+        em_iters: usize,
+        rng: &mut R,
+    ) -> DiagGmm {
+        assert!(dim > 0);
+        let n = frames.len() / dim;
+        if n == 0 {
+            // Degenerate: unit Gaussian at the origin.
+            // Degenerate: broad unit Gaussian at the origin (the global
+            // feature transform makes this the population distribution).
+            return Self::from_params(vec![0.0; dim], vec![2.0; dim], vec![1.0], dim);
+        }
+        let m = num_mix.min(n).max(1);
+
+        // --- k-means initialization -------------------------------------------------
+        let mut means = Vec::with_capacity(m * dim);
+        for _ in 0..m {
+            let pick = rng.random_range(0..n);
+            means.extend_from_slice(&frames[pick * dim..(pick + 1) * dim]);
+        }
+        let mut assign = vec![0usize; n];
+        for _ in 0..4 {
+            // Assign.
+            for (i, a) in assign.iter_mut().enumerate() {
+                let x = &frames[i * dim..(i + 1) * dim];
+                let mut best = (f32::INFINITY, 0usize);
+                for c in 0..m {
+                    let mu = &means[c * dim..(c + 1) * dim];
+                    let d: f32 = x.iter().zip(mu).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if d < best.0 {
+                        best = (d, c);
+                    }
+                }
+                *a = best.1;
+            }
+            // Update.
+            let mut counts = vec![0f32; m];
+            let mut sums = vec![0f32; m * dim];
+            for (i, &a) in assign.iter().enumerate() {
+                counts[a] += 1.0;
+                let x = &frames[i * dim..(i + 1) * dim];
+                for (s, &v) in sums[a * dim..(a + 1) * dim].iter_mut().zip(x) {
+                    *s += v;
+                }
+            }
+            for c in 0..m {
+                if counts[c] > 0.0 {
+                    for d in 0..dim {
+                        means[c * dim + d] = sums[c * dim + d] / counts[c];
+                    }
+                }
+            }
+        }
+
+        // --- Initial variances/weights from the hard assignment ---------------------
+        let mut weights = vec![0f32; m];
+        let mut vars = vec![0f32; m * dim];
+        for (i, &a) in assign.iter().enumerate() {
+            weights[a] += 1.0;
+            let x = &frames[i * dim..(i + 1) * dim];
+            for d in 0..dim {
+                let diff = x[d] - means[a * dim + d];
+                vars[a * dim + d] += diff * diff;
+            }
+        }
+        for c in 0..m {
+            let w = weights[c].max(1.0);
+            for d in 0..dim {
+                vars[c * dim + d] = (vars[c * dim + d] / w).max(VAR_FLOOR);
+            }
+        }
+        let total: f32 = weights.iter().sum();
+        weights.iter_mut().for_each(|w| *w = (*w / total).max(1e-6));
+
+        let mut gmm = Self::from_params(means, vars, weights, dim);
+
+        // --- EM refinement ------------------------------------------------------------
+        let mut resp = vec![0f32; m];
+        for _ in 0..em_iters {
+            let mut new_w = vec![0f32; m];
+            let mut new_mu = vec![0f32; m * dim];
+            let mut new_var = vec![0f32; m * dim];
+            for i in 0..n {
+                let x = &frames[i * dim..(i + 1) * dim];
+                gmm.posteriors(x, &mut resp);
+                for c in 0..m {
+                    let r = resp[c];
+                    if r < 1e-8 {
+                        continue;
+                    }
+                    new_w[c] += r;
+                    for d in 0..dim {
+                        new_mu[c * dim + d] += r * x[d];
+                        new_var[c * dim + d] += r * x[d] * x[d];
+                    }
+                }
+            }
+            let total: f32 = new_w.iter().sum();
+            let mut means = vec![0f32; m * dim];
+            let mut vars = vec![0f32; m * dim];
+            let mut weights = vec![0f32; m];
+            for c in 0..m {
+                let wc = new_w[c].max(1e-6);
+                weights[c] = (new_w[c] / total).max(1e-6);
+                for d in 0..dim {
+                    let mu = new_mu[c * dim + d] / wc;
+                    means[c * dim + d] = mu;
+                    vars[c * dim + d] = (new_var[c * dim + d] / wc - mu * mu).max(VAR_FLOOR);
+                }
+            }
+            gmm = Self::from_params(means, vars, weights, dim);
+        }
+        gmm
+    }
+
+    /// Return a copy with an extra broad "background" component: a zero-mean
+    /// Gaussian with `var_scale` × unit variance and mixture weight `w_bg`.
+    /// Features are globally normalized upstream, so zero-mean/scaled-unit
+    /// is the population distribution; the component acts as a likelihood
+    /// floor for off-distribution frames.
+    pub fn with_background(&self, w_bg: f32, var_scale: f32) -> DiagGmm {
+        assert!((0.0..1.0).contains(&w_bg));
+        let dim = self.dim;
+        let mut means = self.means.clone();
+        means.extend(std::iter::repeat(0.0f32).take(dim));
+        let mut vars: Vec<f32> = self.inv_vars.iter().map(|iv| 1.0 / iv).collect();
+        vars.extend(std::iter::repeat(var_scale).take(dim));
+        let mut weights: Vec<f32> =
+            self.weights.iter().map(|w| w * (1.0 - w_bg)).collect();
+        weights.push(w_bg);
+        Self::from_params(means, vars, weights, dim)
+    }
+
+    /// Build from explicit parameters (weights need not be normalized).
+    pub fn from_params(means: Vec<f32>, vars: Vec<f32>, weights: Vec<f32>, dim: usize) -> DiagGmm {
+        let num_mix = weights.len();
+        assert_eq!(means.len(), num_mix * dim);
+        assert_eq!(vars.len(), num_mix * dim);
+        let wsum: f32 = weights.iter().sum();
+        let norm_weights: Vec<f32> = weights.iter().map(|w| (w / wsum).max(1e-10)).collect();
+        let ln2pi = (2.0 * std::f32::consts::PI).ln();
+        let mut inv_vars = Vec::with_capacity(num_mix * dim);
+        let mut log_consts = Vec::with_capacity(num_mix);
+        for c in 0..num_mix {
+            let mut log_det = 0.0f32;
+            for d in 0..dim {
+                let v = vars[c * dim + d].max(VAR_FLOOR);
+                inv_vars.push(1.0 / v);
+                log_det += v.ln();
+            }
+            log_consts.push((weights[c] / wsum).max(1e-10).ln()
+                - 0.5 * (dim as f32 * ln2pi + log_det));
+        }
+        DiagGmm { dim, num_mix, means, inv_vars, log_consts, weights: norm_weights }
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    pub fn num_mix(&self) -> usize {
+        self.num_mix
+    }
+
+    /// Normalized mixture weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Log-likelihood of one frame: `ln Σ_m w_m N(x; μ_m, σ²_m)`.
+    pub fn log_likelihood(&self, x: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), self.dim);
+        let mut max = f32::NEG_INFINITY;
+        let mut comps = [0f32; 16]; // stack buffer; num_mix is small
+        debug_assert!(self.num_mix <= 16);
+        for c in 0..self.num_mix {
+            let mu = &self.means[c * self.dim..(c + 1) * self.dim];
+            let iv = &self.inv_vars[c * self.dim..(c + 1) * self.dim];
+            let mut q = 0.0f32;
+            for d in 0..self.dim {
+                let diff = x[d] - mu[d];
+                q += diff * diff * iv[d];
+            }
+            let l = self.log_consts[c] - 0.5 * q;
+            comps[c] = l;
+            if l > max {
+                max = l;
+            }
+        }
+        // Log-sum-exp.
+        let mut sum = 0.0f32;
+        for &l in &comps[..self.num_mix] {
+            sum += (l - max).exp();
+        }
+        max + sum.ln()
+    }
+
+    /// Mixture posteriors for one frame (responsibilities), written to `out`.
+    pub fn posteriors(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.num_mix);
+        let mut max = f32::NEG_INFINITY;
+        for c in 0..self.num_mix {
+            let mu = &self.means[c * self.dim..(c + 1) * self.dim];
+            let iv = &self.inv_vars[c * self.dim..(c + 1) * self.dim];
+            let mut q = 0.0f32;
+            for d in 0..self.dim {
+                let diff = x[d] - mu[d];
+                q += diff * diff * iv[d];
+            }
+            out[c] = self.log_consts[c] - 0.5 * q;
+            max = max.max(out[c]);
+        }
+        let mut sum = 0.0f32;
+        for o in out.iter_mut() {
+            *o = (*o - max).exp();
+            sum += *o;
+        }
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    /// Two well-separated clusters in 2-D.
+    fn two_cluster_data(n_each: usize, rng: &mut StdRng) -> Vec<f32> {
+        let mut data = Vec::with_capacity(n_each * 4);
+        for i in 0..2 * n_each {
+            let center = if i < n_each { (-3.0, -3.0) } else { (3.0, 3.0) };
+            data.push(center.0 + rng.random::<f32>() - 0.5);
+            data.push(center.1 + rng.random::<f32>() - 0.5);
+        }
+        data
+    }
+
+    #[test]
+    fn single_gaussian_matches_closed_form() {
+        // Unit Gaussian at 0: ll(0) = -d/2 ln(2π).
+        let g = DiagGmm::from_params(vec![0.0, 0.0], vec![1.0, 1.0], vec![1.0], 2);
+        let expect = -(2.0 * std::f32::consts::PI).ln();
+        assert!((g.log_likelihood(&[0.0, 0.0]) - expect).abs() < 1e-5);
+        // One std away in one dim: subtract 1/2.
+        assert!((g.log_likelihood(&[1.0, 0.0]) - (expect - 0.5)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn em_finds_two_clusters() {
+        let mut r = rng();
+        let data = two_cluster_data(200, &mut r);
+        let g = DiagGmm::train(&data, 2, 2, 5, &mut r);
+        // Each cluster center should be near (±3, ±3).
+        let m0 = &g.means[0..2];
+        let m1 = &g.means[2..4];
+        let near = |m: &[f32], c: f32| (m[0] - c).abs() < 0.7 && (m[1] - c).abs() < 0.7;
+        assert!(
+            (near(m0, -3.0) && near(m1, 3.0)) || (near(m0, 3.0) && near(m1, -3.0)),
+            "means: {m0:?} {m1:?}"
+        );
+    }
+
+    #[test]
+    fn training_data_scores_higher_than_outliers() {
+        let mut r = rng();
+        let data = two_cluster_data(100, &mut r);
+        let g = DiagGmm::train(&data, 2, 2, 5, &mut r);
+        assert!(g.log_likelihood(&[3.0, 3.0]) > g.log_likelihood(&[30.0, -40.0]) + 10.0);
+    }
+
+    #[test]
+    fn posteriors_sum_to_one() {
+        let mut r = rng();
+        let data = two_cluster_data(100, &mut r);
+        let g = DiagGmm::train(&data, 2, 4, 3, &mut r);
+        let mut p = vec![0.0; g.num_mix()];
+        g.posteriors(&[0.5, -0.5], &mut p);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_data_gives_usable_fallback() {
+        let g = DiagGmm::train(&[], 3, 4, 5, &mut rng());
+        assert_eq!(g.num_mix(), 1);
+        assert!(g.log_likelihood(&[0.0, 0.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn mixtures_clamped_to_sample_count() {
+        let data = vec![1.0f32, 2.0, 3.0, 4.0]; // 2 frames of dim 2
+        let g = DiagGmm::train(&data, 2, 8, 2, &mut rng());
+        assert!(g.num_mix() <= 2);
+    }
+
+    #[test]
+    fn em_improves_or_maintains_total_likelihood() {
+        let mut r = rng();
+        let data = two_cluster_data(150, &mut r);
+        let total_ll = |g: &DiagGmm| -> f64 {
+            (0..data.len() / 2).map(|i| g.log_likelihood(&data[i * 2..i * 2 + 2]) as f64).sum()
+        };
+        let mut r1 = rng();
+        let g0 = DiagGmm::train(&data, 2, 2, 0, &mut r1);
+        let mut r2 = rng();
+        let g5 = DiagGmm::train(&data, 2, 2, 5, &mut r2);
+        assert!(total_ll(&g5) >= total_ll(&g0) - 1e-3, "{} vs {}", total_ll(&g5), total_ll(&g0));
+    }
+}

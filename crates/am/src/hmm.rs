@@ -1,0 +1,143 @@
+//! Phone HMM topology and state bookkeeping.
+
+use lre_phone::PhoneSet;
+
+/// Number of emitting states per phone (standard 3-state left-to-right).
+pub const STATES_PER_PHONE: usize = 3;
+
+/// Left-to-right topology parameters shared by every phone HMM.
+#[derive(Clone, Copy, Debug)]
+pub struct HmmTopology {
+    /// Log probability of the self-loop transition.
+    pub log_self: f32,
+    /// Log probability of advancing to the next state (or exiting).
+    pub log_next: f32,
+}
+
+impl HmmTopology {
+    /// Topology with an expected state occupancy of `expected_frames` frames
+    /// (self-loop probability `1 - 1/expected`).
+    pub fn with_expected_frames(expected_frames: f32) -> HmmTopology {
+        let p_next = (1.0 / expected_frames.max(1.001)).clamp(1e-3, 0.999);
+        HmmTopology { log_self: (1.0 - p_next).ln(), log_next: p_next.ln() }
+    }
+}
+
+impl Default for HmmTopology {
+    fn default() -> Self {
+        // Phones average ~7 frames over 3 states ⇒ ~2.3 frames/state.
+        Self::with_expected_frames(2.3)
+    }
+}
+
+/// Maps between (phone, state) pairs and the dense state-index space used by
+/// emission scorers and the decoder.
+#[derive(Clone, Debug)]
+pub struct StateInventory {
+    num_phones: usize,
+}
+
+impl StateInventory {
+    pub fn new(phone_set: &PhoneSet) -> StateInventory {
+        StateInventory { num_phones: phone_set.len() }
+    }
+
+    pub fn from_phone_count(num_phones: usize) -> StateInventory {
+        StateInventory { num_phones }
+    }
+
+    #[inline]
+    pub fn num_phones(&self) -> usize {
+        self.num_phones
+    }
+
+    /// Total number of emitting states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.num_phones * STATES_PER_PHONE
+    }
+
+    /// Dense state index of `(phone, state)`.
+    #[inline]
+    pub fn state_of(&self, phone: usize, state: usize) -> usize {
+        debug_assert!(phone < self.num_phones && state < STATES_PER_PHONE);
+        phone * STATES_PER_PHONE + state
+    }
+
+    /// `(phone, state)` of a dense state index.
+    #[inline]
+    pub fn phone_of(&self, state_idx: usize) -> (usize, usize) {
+        (state_idx / STATES_PER_PHONE, state_idx % STATES_PER_PHONE)
+    }
+
+    /// Whether the state is a phone-entry state.
+    #[inline]
+    pub fn is_entry(&self, state_idx: usize) -> bool {
+        state_idx % STATES_PER_PHONE == 0
+    }
+
+    /// Whether the state is a phone-exit state.
+    #[inline]
+    pub fn is_exit(&self, state_idx: usize) -> bool {
+        state_idx % STATES_PER_PHONE == STATES_PER_PHONE - 1
+    }
+
+    /// Assign a within-phone state (0..3) to a frame at relative position
+    /// `pos` within a phone segment of `len` frames — the uniform three-way
+    /// split used for supervised training targets.
+    pub fn uniform_state(pos: usize, len: usize) -> usize {
+        debug_assert!(pos < len.max(1));
+        (pos * STATES_PER_PHONE / len.max(1)).min(STATES_PER_PHONE - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_probabilities_normalize() {
+        let t = HmmTopology::default();
+        let total = t.log_self.exp() + t.log_next.exp();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn expected_occupancy_controls_self_loop() {
+        let short = HmmTopology::with_expected_frames(1.5);
+        let long = HmmTopology::with_expected_frames(10.0);
+        assert!(long.log_self > short.log_self);
+    }
+
+    #[test]
+    fn state_index_roundtrip() {
+        let inv = StateInventory::from_phone_count(47);
+        assert_eq!(inv.num_states(), 141);
+        for phone in [0, 13, 46] {
+            for state in 0..STATES_PER_PHONE {
+                let s = inv.state_of(phone, state);
+                assert_eq!(inv.phone_of(s), (phone, state));
+            }
+        }
+    }
+
+    #[test]
+    fn entry_exit_flags() {
+        let inv = StateInventory::from_phone_count(5);
+        assert!(inv.is_entry(0) && !inv.is_exit(0));
+        assert!(inv.is_exit(2) && !inv.is_entry(2));
+        assert!(inv.is_entry(3));
+    }
+
+    #[test]
+    fn uniform_state_split_covers_all_states() {
+        // A 9-frame segment: 3 frames per state.
+        let states: Vec<usize> = (0..9).map(|p| StateInventory::uniform_state(p, 9)).collect();
+        assert_eq!(states, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // Degenerate 1-frame segment stays in state 0.
+        assert_eq!(StateInventory::uniform_state(0, 1), 0);
+        // 2-frame segment: first state then last.
+        assert_eq!(StateInventory::uniform_state(0, 2), 0);
+        assert_eq!(StateInventory::uniform_state(1, 2), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Frame-level emission scoring abstraction consumed by the decoder.
+
+use crate::gmm::DiagGmm;
+use crate::nn::Mlp;
+
+/// Produces per-state emission log-scores for one feature frame.
+///
+/// The decoder only sees this trait, so GMM-HMM, ANN-HMM and DNN-HMM
+/// front-ends are interchangeable — exactly the diversification structure
+/// the paper's PPRVSM exploits.
+pub trait FrameScorer: Send + Sync {
+    /// Number of HMM states scored.
+    fn num_states(&self) -> usize;
+
+    /// Write `ln p(x | state)` (up to a state-independent constant) for all
+    /// states into `out` (`out.len() == num_states()`).
+    fn score_frame(&self, frame: &[f32], out: &mut [f32]);
+}
+
+/// GMM-HMM emission model: one diagonal GMM per state.
+pub struct GmmStateScorer {
+    gmms: Vec<DiagGmm>,
+}
+
+impl GmmStateScorer {
+    pub fn new(gmms: Vec<DiagGmm>) -> Self {
+        assert!(!gmms.is_empty());
+        Self { gmms }
+    }
+
+    pub fn state_gmm(&self, s: usize) -> &DiagGmm {
+        &self.gmms[s]
+    }
+}
+
+impl FrameScorer for GmmStateScorer {
+    fn num_states(&self) -> usize {
+        self.gmms.len()
+    }
+
+    fn score_frame(&self, frame: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.gmms.len());
+        for (o, g) in out.iter_mut().zip(&self.gmms) {
+            *o = g.log_likelihood(frame);
+        }
+    }
+}
+
+/// Hybrid NN-HMM emission model: network posteriors divided by state priors
+/// ("scaled likelihoods", the standard hybrid trick):
+/// `ln p(x|s) ∝ ln p(s|x) - ln p(s)`.
+pub struct NnStateScorer {
+    net: Mlp,
+    log_priors: Vec<f32>,
+}
+
+impl NnStateScorer {
+    /// `priors` are state occupancy probabilities estimated on training data;
+    /// they are floored and renormalized internally. The floor is a fraction
+    /// of the uniform prior: states never seen in training must not receive
+    /// a large scaled-likelihood boost from dividing by a near-zero prior.
+    pub fn new(net: Mlp, priors: &[f32]) -> Self {
+        assert_eq!(net.output_dim(), priors.len());
+        let sum: f32 = priors.iter().sum();
+        let floor = 0.2 / priors.len() as f32;
+        let log_priors = priors
+            .iter()
+            .map(|&p| (p / sum.max(1e-12)).max(floor).ln())
+            .collect();
+        Self { net, log_priors }
+    }
+
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+}
+
+impl FrameScorer for NnStateScorer {
+    fn num_states(&self) -> usize {
+        self.net.output_dim()
+    }
+
+    fn score_frame(&self, frame: &[f32], out: &mut [f32]) {
+        self.net.log_posteriors_into(frame, out);
+        for (o, lp) in out.iter_mut().zip(&self.log_priors) {
+            *o -= lp;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gmm_scorer_scores_all_states() {
+        let g0 = DiagGmm::from_params(vec![0.0, 0.0], vec![1.0, 1.0], vec![1.0], 2);
+        let g1 = DiagGmm::from_params(vec![5.0, 5.0], vec![1.0, 1.0], vec![1.0], 2);
+        let sc = GmmStateScorer::new(vec![g0, g1]);
+        let mut out = vec![0.0; 2];
+        sc.score_frame(&[0.0, 0.0], &mut out);
+        assert!(out[0] > out[1], "frame at origin should prefer state 0: {out:?}");
+        sc.score_frame(&[5.0, 5.0], &mut out);
+        assert!(out[1] > out[0]);
+    }
+
+    #[test]
+    fn nn_scorer_divides_by_prior() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = Mlp::new(&[2, 4, 3], &mut rng);
+        let x = [0.3, -0.3];
+        let posts = net.posteriors(&x);
+
+        // Uniform priors: scores = log posterior + const.
+        let sc_uniform = NnStateScorer::new(net.clone(), &[1.0, 1.0, 1.0]);
+        let mut out_u = vec![0.0; 3];
+        sc_uniform.score_frame(&x, &mut out_u);
+
+        // Skewed prior on state 2 lowers its scaled likelihood relative to
+        // the uniform case.
+        let sc_skew = NnStateScorer::new(net, &[0.25, 0.25, 0.5]);
+        let mut out_s = vec![0.0; 3];
+        sc_skew.score_frame(&x, &mut out_s);
+
+        let rel_u = out_u[2] - out_u[0];
+        let rel_s = out_s[2] - out_s[0];
+        assert!(rel_s < rel_u, "prior division should penalize frequent states");
+        // Sanity: uniform-prior scores equal log posteriors up to a constant.
+        let d0 = out_u[0] - posts[0].ln();
+        let d1 = out_u[1] - posts[1].ln();
+        assert!((d0 - d1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let g = DiagGmm::from_params(vec![0.0], vec![1.0], vec![1.0], 1);
+        let boxed: Box<dyn FrameScorer> = Box::new(GmmStateScorer::new(vec![g]));
+        let mut out = vec![0.0];
+        boxed.score_frame(&[0.2], &mut out);
+        assert!(out[0].is_finite());
+    }
+}

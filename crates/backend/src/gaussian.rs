@@ -1,0 +1,249 @@
+//! Gaussian class backend with MMI refinement (Eq. 14).
+
+use lre_linalg::Mat;
+
+/// MMI training hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MmiConfig {
+    pub iterations: usize,
+    /// Gradient-ascent step on the class means (in whitened units).
+    pub learning_rate: f64,
+}
+
+impl Default for MmiConfig {
+    fn default() -> Self {
+        Self { iterations: 25, learning_rate: 0.1 }
+    }
+}
+
+/// Per-class Gaussian score model with a shared diagonal covariance.
+///
+/// Maximum-likelihood initialization, then gradient ascent on the means of
+/// the MMI objective `F_MMI(λ) = Σ_i log [p(x_i|λ_{g(i)}) P(g(i)) /
+/// Σ_j p(x_i|λ_j) P(j)]` (Eq. 14). Emits per-class detection LLRs
+/// `log p(x|k) − log( (1/(K−1)) Σ_{j≠k} p(x|j) )`.
+#[derive(Clone, Debug)]
+pub struct GaussianBackend {
+    dim: usize,
+    num_classes: usize,
+    /// Flat `num_classes × dim` means.
+    means: Vec<f64>,
+    /// Shared diagonal precision (1/variance).
+    inv_var: Vec<f64>,
+    /// Class log priors.
+    log_priors: Vec<f64>,
+}
+
+impl GaussianBackend {
+    /// Fit on `data` (rows = samples) with labels `0..num_classes`.
+    pub fn train(
+        data: &Mat,
+        labels: &[usize],
+        num_classes: usize,
+        cfg: &MmiConfig,
+    ) -> GaussianBackend {
+        let (n, d) = (data.rows(), data.cols());
+        assert_eq!(n, labels.len());
+        assert!(n > 0 && num_classes >= 2);
+
+        // --- ML initialization -----------------------------------------------------
+        let mut counts = vec![0f64; num_classes];
+        let mut means = vec![0f64; num_classes * d];
+        for (i, &l) in labels.iter().enumerate() {
+            counts[l] += 1.0;
+            for (m, &x) in means[l * d..(l + 1) * d].iter_mut().zip(data.row(i)) {
+                *m += x;
+            }
+        }
+        for k in 0..num_classes {
+            let c = counts[k].max(1.0);
+            for m in &mut means[k * d..(k + 1) * d] {
+                *m /= c;
+            }
+        }
+        // Shared within-class variance per dimension.
+        let mut var = vec![0f64; d];
+        for (i, &l) in labels.iter().enumerate() {
+            for (v, (&x, &m)) in var.iter_mut().zip(data.row(i).iter().zip(&means[l * d..(l + 1) * d])) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let inv_var: Vec<f64> = var.iter().map(|&v| 1.0 / (v / n as f64).max(1e-6)).collect();
+        let log_priors: Vec<f64> =
+            counts.iter().map(|&c| (c.max(0.5) / n as f64).ln()).collect();
+
+        let mut backend = GaussianBackend { dim: d, num_classes, means, inv_var, log_priors };
+
+        // --- MMI gradient ascent on the means ---------------------------------------
+        // ∂F/∂μ_k = Σ_i (δ(g(i)=k) − γ_ik) Λ (x_i − μ_k), γ = class posterior.
+        let mut grad = vec![0f64; num_classes * d];
+        for _ in 0..cfg.iterations {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            for (i, &l) in labels.iter().enumerate() {
+                let x = data.row(i);
+                let post = backend.posteriors(x);
+                for k in 0..num_classes {
+                    let coeff = (if k == l { 1.0 } else { 0.0 }) - post[k];
+                    if coeff.abs() < 1e-12 {
+                        continue;
+                    }
+                    let mk = &backend.means[k * d..(k + 1) * d];
+                    let gk = &mut grad[k * d..(k + 1) * d];
+                    for j in 0..d {
+                        gk[j] += coeff * backend.inv_var[j] * (x[j] - mk[j]);
+                    }
+                }
+            }
+            let step = cfg.learning_rate / n as f64;
+            for (m, g) in backend.means.iter_mut().zip(&grad) {
+                *m += step * g;
+            }
+        }
+        backend
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Log class-conditional likelihoods (up to a shared constant).
+    pub fn log_likelihoods(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim);
+        (0..self.num_classes)
+            .map(|k| {
+                let m = &self.means[k * self.dim..(k + 1) * self.dim];
+                let mut q = 0.0;
+                for j in 0..self.dim {
+                    let dxy = x[j] - m[j];
+                    q += dxy * dxy * self.inv_var[j];
+                }
+                -0.5 * q
+            })
+            .collect()
+    }
+
+    /// Class posteriors (with the trained priors).
+    pub fn posteriors(&self, x: &[f64]) -> Vec<f64> {
+        let mut lp: Vec<f64> = self
+            .log_likelihoods(x)
+            .iter()
+            .zip(&self.log_priors)
+            .map(|(l, p)| l + p)
+            .collect();
+        let max = lp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in lp.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in lp.iter_mut() {
+            *v /= sum;
+        }
+        lp
+    }
+
+    /// Calibrated detection LLR per class:
+    /// `log p(x|k) − log( (1/(K−1)) Σ_{j≠k} p(x|j) )` — scores whose natural
+    /// decision threshold is 0.
+    pub fn detection_llrs(&self, x: &[f64]) -> Vec<f64> {
+        let ll = self.log_likelihoods(x);
+        let k_max = self.num_classes;
+        (0..k_max)
+            .map(|k| {
+                let mut max_other = f64::NEG_INFINITY;
+                for (j, &v) in ll.iter().enumerate() {
+                    if j != k {
+                        max_other = max_other.max(v);
+                    }
+                }
+                let mut sum = 0.0;
+                for (j, &v) in ll.iter().enumerate() {
+                    if j != k {
+                        sum += (v - max_other).exp();
+                    }
+                }
+                ll[k] - (max_other + (sum / (k_max as f64 - 1.0)).ln())
+            })
+            .collect()
+    }
+
+    /// The MMI objective value on a dataset (for tests / diagnostics).
+    pub fn mmi_objective(&self, data: &Mat, labels: &[usize]) -> f64 {
+        let mut total = 0.0;
+        for (i, &l) in labels.iter().enumerate() {
+            total += self.posteriors(data.row(i))[l].max(1e-300).ln();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Mat, Vec<usize>) {
+        // Two classes along dim 0, overlapping slightly.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let off = if i % 2 == 0 { 1.0 } else { -1.0 };
+                let j = (i / 2) as f64;
+                vec![off + 0.4 * ((j * 0.7).sin()), 0.3 * ((j * 1.3).cos())]
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let labels = (0..60).map(|i| i % 2).collect();
+        (Mat::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn posteriors_sum_to_one() {
+        let (data, labels) = toy();
+        let b = GaussianBackend::train(&data, &labels, 2, &MmiConfig::default());
+        let p = b.posteriors(&[0.5, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classifies_toy_data() {
+        let (data, labels) = toy();
+        let b = GaussianBackend::train(&data, &labels, 2, &MmiConfig::default());
+        let correct = (0..data.rows())
+            .filter(|&i| {
+                let p = b.posteriors(data.row(i));
+                (p[1] > p[0]) == (labels[i] == 1)
+            })
+            .count();
+        assert!(correct as f64 / 60.0 > 0.9, "{correct}/60");
+    }
+
+    #[test]
+    fn mmi_improves_objective_over_ml() {
+        let (data, labels) = toy();
+        let ml = GaussianBackend::train(&data, &labels, 2, &MmiConfig { iterations: 0, learning_rate: 0.0 });
+        let mmi = GaussianBackend::train(&data, &labels, 2, &MmiConfig::default());
+        assert!(
+            mmi.mmi_objective(&data, &labels) >= ml.mmi_objective(&data, &labels) - 1e-9,
+            "MMI must not degrade the objective"
+        );
+    }
+
+    #[test]
+    fn detection_llr_sign_tracks_class() {
+        let (data, labels) = toy();
+        let b = GaussianBackend::train(&data, &labels, 2, &MmiConfig::default());
+        let llr = b.detection_llrs(&[1.2, 0.0]);
+        assert!(llr[0] > 0.0 && llr[1] < 0.0, "{llr:?}");
+    }
+
+    #[test]
+    fn llr_antisymmetric_for_two_balanced_classes() {
+        let (data, labels) = toy();
+        let b = GaussianBackend::train(&data, &labels, 2, &MmiConfig::default());
+        let llr = b.detection_llrs(&[0.7, 0.1]);
+        assert!((llr[0] + llr[1]).abs() < 1e-9, "{llr:?}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Linear discriminant analysis.
+
+use lre_linalg::{generalized_symmetric_eigen, mean_vector, Mat};
+
+/// LDA projection fitted on labelled vectors.
+///
+/// Solves the generalized eigenproblem `S_b v = λ S_w v` (between- vs
+/// within-class scatter, with a ridge on `S_w` for numerical safety) and
+/// keeps the leading `out_dim` directions.
+#[derive(Clone, Debug)]
+pub struct Lda {
+    /// `out_dim × in_dim` projection matrix.
+    proj: Mat,
+    /// Global mean subtracted before projecting.
+    mean: Vec<f64>,
+}
+
+impl Lda {
+    /// Fit on `data` (rows = samples) with integer labels `0..num_classes`.
+    ///
+    /// `out_dim` is clamped to `min(num_classes − 1, in_dim)`. Returns
+    /// `None` if a class is empty or scatter matrices are degenerate beyond
+    /// repair.
+    pub fn fit(data: &Mat, labels: &[usize], num_classes: usize, out_dim: usize) -> Option<Lda> {
+        let (n, d) = (data.rows(), data.cols());
+        assert_eq!(n, labels.len());
+        assert!(num_classes >= 2);
+        let out_dim = out_dim.min(num_classes - 1).min(d);
+
+        let global_mean = mean_vector(data);
+
+        // Class means and counts.
+        let mut counts = vec![0usize; num_classes];
+        let mut means = Mat::zeros(num_classes, d);
+        for (i, &l) in labels.iter().enumerate() {
+            counts[l] += 1;
+            for (m, &x) in means.row_mut(l).iter_mut().zip(data.row(i)) {
+                *m += x;
+            }
+        }
+        for k in 0..num_classes {
+            if counts[k] == 0 {
+                return None;
+            }
+            let inv = 1.0 / counts[k] as f64;
+            for m in means.row_mut(k) {
+                *m *= inv;
+            }
+        }
+
+        // Within-class scatter: Σ_k Σ_{i∈k} (x−μ_k)(x−μ_k)ᵀ / n.
+        let mut sw = Mat::zeros(d, d);
+        let mut centered = vec![0.0; d];
+        for (i, &l) in labels.iter().enumerate() {
+            for (c, (&x, &m)) in centered.iter_mut().zip(data.row(i).iter().zip(means.row(l))) {
+                *c = x - m;
+            }
+            sw.rank1_update(1.0 / n as f64, &centered, &centered);
+        }
+        // Ridge keeps S_w positive definite when scores are collinear.
+        let ridge = 1e-4 * (sw.trace() / d as f64).max(1e-8);
+        for i in 0..d {
+            sw[(i, i)] += ridge;
+        }
+        sw.symmetrize();
+
+        // Between-class scatter: Σ_k n_k/n (μ_k−μ)(μ_k−μ)ᵀ.
+        let mut sb = Mat::zeros(d, d);
+        for k in 0..num_classes {
+            for (c, (&m, &g)) in centered.iter_mut().zip(means.row(k).iter().zip(&global_mean)) {
+                *c = m - g;
+            }
+            sb.rank1_update(counts[k] as f64 / n as f64, &centered, &centered);
+        }
+        sb.symmetrize();
+
+        let geig = generalized_symmetric_eigen(&sb, &sw)?;
+        let mut proj = Mat::zeros(out_dim, d);
+        for r in 0..out_dim {
+            for c in 0..d {
+                proj[(r, c)] = geig.vectors[(c, r)];
+            }
+        }
+        Some(Lda { proj, mean: global_mean })
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.proj.cols()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.proj.rows()
+    }
+
+    /// Project one vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim());
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, b)| a - b).collect();
+        self.proj.matvec(&centered)
+    }
+
+    /// Project every row of a matrix.
+    pub fn transform_all(&self, data: &Mat) -> Mat {
+        let mut out = Mat::zeros(data.rows(), self.out_dim());
+        for i in 0..data.rows() {
+            let y = self.transform(data.row(i));
+            out.row_mut(i).copy_from_slice(&y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two classes separated along x₀, noise along x₁ (larger variance).
+    fn two_class() -> (Mat, Vec<usize>) {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let noise = ((i * 37 % 17) as f64 / 17.0 - 0.5) * 8.0;
+            let jitter = ((i * 11 % 7) as f64 / 7.0 - 0.5) * 0.4;
+            if i % 2 == 0 {
+                rows.push(vec![1.0 + jitter, noise]);
+                labels.push(0);
+            } else {
+                rows.push(vec![-1.0 + jitter, noise]);
+                labels.push(1);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Mat::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn finds_discriminative_direction() {
+        let (data, labels) = two_class();
+        let lda = Lda::fit(&data, &labels, 2, 1).unwrap();
+        assert_eq!(lda.out_dim(), 1);
+        // The projection must weight x₀ (discriminative) far above x₁ (noise).
+        let w0 = lda.proj[(0, 0)].abs();
+        let w1 = lda.proj[(0, 1)].abs();
+        assert!(w0 > 5.0 * w1, "w = [{w0}, {w1}]");
+    }
+
+    #[test]
+    fn projected_classes_are_separated() {
+        let (data, labels) = two_class();
+        let lda = Lda::fit(&data, &labels, 2, 1).unwrap();
+        let proj = lda.transform_all(&data);
+        // Class means in the projected space must differ clearly relative to
+        // projected scatter.
+        let mut m = [0.0f64; 2];
+        let mut c = [0usize; 2];
+        for i in 0..proj.rows() {
+            m[labels[i]] += proj[(i, 0)];
+            c[labels[i]] += 1;
+        }
+        m[0] /= c[0] as f64;
+        m[1] /= c[1] as f64;
+        assert!((m[0] - m[1]).abs() > 1.0, "means: {m:?}");
+    }
+
+    #[test]
+    fn out_dim_clamped_to_classes_minus_one() {
+        let (data, labels) = two_class();
+        let lda = Lda::fit(&data, &labels, 2, 5).unwrap();
+        assert_eq!(lda.out_dim(), 1);
+    }
+
+    #[test]
+    fn empty_class_rejected() {
+        let (data, labels) = two_class();
+        assert!(Lda::fit(&data, &labels, 3, 2).is_none());
+    }
+
+    #[test]
+    fn transform_subtracts_global_mean() {
+        let (data, labels) = two_class();
+        let lda = Lda::fit(&data, &labels, 2, 1).unwrap();
+        let gm = mean_vector(&data);
+        let y = lda.transform(&gm);
+        assert!(y[0].abs() < 1e-9);
+    }
+}

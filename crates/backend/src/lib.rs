@@ -1,0 +1,22 @@
+//! Score calibration and fusion back-end.
+//!
+//! §3(g) of the paper: "LDA-MMI method is used to maximize the posterior
+//! probabilities of all the belief scores" with the MMI objective of Eq. 14
+//! over fused score vectors `x = [w₁f₁(φ(x)), …, w_N f_N(φ(x))]` (Eq. 15).
+//! The implementation follows the referenced discriminative-score-fusion
+//! recipe (the paper's ref. 31): subsystem score vectors are weighted,
+//! projected by LDA, and scored by per-class Gaussians whose means are
+//! refined by gradient-ascent MMI; the output is a detection log-likelihood
+//! ratio per language.
+
+mod calibration;
+mod fusion;
+mod gaussian;
+mod lda;
+mod norm;
+
+pub use calibration::{CalibrationConfig, LinearCalibration};
+pub use fusion::{subsystem_weights, LdaMmiFusion};
+pub use gaussian::{GaussianBackend, MmiConfig};
+pub use lda::Lda;
+pub use norm::{tnorm, ZNorm};

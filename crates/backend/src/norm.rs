@@ -1,0 +1,169 @@
+//! Score normalization utilities (z-norm / t-norm family).
+//!
+//! Classic LRE backends often normalize raw SVM scores before calibration:
+//! **z-norm** standardizes each *detector* using its score distribution over
+//! impostor (non-target) data; **t-norm** standardizes each *utterance*
+//! against the score distribution across the other detectors in its own row.
+//! Both are provided as optional stages in front of the LDA-MMI backend
+//! (they are not in the paper's §3 recipe; they serve the reproduction's
+//! ablation studies).
+
+use lre_eval::ScoreMatrix;
+
+/// Per-detector normalization statistics learned from development scores.
+#[derive(Clone, Debug)]
+pub struct ZNorm {
+    means: Vec<f64>,
+    inv_stds: Vec<f64>,
+}
+
+impl ZNorm {
+    /// Fit per-detector impostor statistics: for detector `k`, the mean and
+    /// std of its scores on dev utterances whose true language is *not* `k`.
+    pub fn fit(dev: &ScoreMatrix, dev_labels: &[usize]) -> ZNorm {
+        assert_eq!(dev.num_utts(), dev_labels.len());
+        let k_max = dev.num_classes();
+        let mut sums = vec![0.0f64; k_max];
+        let mut sqs = vec![0.0f64; k_max];
+        let mut counts = vec![0usize; k_max];
+        for (i, &lab) in dev_labels.iter().enumerate() {
+            for (k, &s) in dev.row(i).iter().enumerate() {
+                if k != lab {
+                    sums[k] += s as f64;
+                    sqs[k] += (s as f64) * (s as f64);
+                    counts[k] += 1;
+                }
+            }
+        }
+        let mut means = vec![0.0f64; k_max];
+        let mut inv_stds = vec![1.0f64; k_max];
+        for k in 0..k_max {
+            if counts[k] >= 2 {
+                let n = counts[k] as f64;
+                means[k] = sums[k] / n;
+                let var = (sqs[k] / n - means[k] * means[k]).max(1e-12);
+                inv_stds[k] = 1.0 / var.sqrt();
+            }
+        }
+        ZNorm { means, inv_stds }
+    }
+
+    /// Apply: `s'_k = (s_k − μ_k) / σ_k`.
+    pub fn apply(&self, scores: &ScoreMatrix) -> ScoreMatrix {
+        assert_eq!(scores.num_classes(), self.means.len());
+        let mut out = ScoreMatrix::new(self.means.len());
+        let mut row = vec![0.0f32; self.means.len()];
+        for i in 0..scores.num_utts() {
+            for (k, (&s, r)) in scores.row(i).iter().zip(row.iter_mut()).enumerate() {
+                *r = ((s as f64 - self.means[k]) * self.inv_stds[k]) as f32;
+            }
+            out.push_row(&row);
+        }
+        out
+    }
+}
+
+/// t-norm: standardize each score against the other detectors' scores on the
+/// same utterance (no statistics to fit — purely row-wise).
+pub fn tnorm(scores: &ScoreMatrix) -> ScoreMatrix {
+    let k_max = scores.num_classes();
+    assert!(k_max >= 3, "t-norm needs at least 3 detectors");
+    let mut out = ScoreMatrix::new(k_max);
+    let mut row_out = vec![0.0f32; k_max];
+    for i in 0..scores.num_utts() {
+        let row = scores.row(i);
+        for k in 0..k_max {
+            // Mean/std over the *other* detectors.
+            let mut sum = 0.0f64;
+            let mut sq = 0.0f64;
+            for (j, &s) in row.iter().enumerate() {
+                if j != k {
+                    sum += s as f64;
+                    sq += (s as f64) * (s as f64);
+                }
+            }
+            let n = (k_max - 1) as f64;
+            let mean = sum / n;
+            let std = ((sq / n - mean * mean).max(1e-12)).sqrt();
+            row_out[k] = ((row[k] as f64 - mean) / std) as f32;
+        }
+        out.push_row(&row_out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> (ScoreMatrix, Vec<usize>) {
+        // Detector 1 has a large impostor offset that z-norm must remove.
+        let m = ScoreMatrix::from_rows(
+            3,
+            &[
+                vec![1.0, 5.5, -1.0],
+                vec![-1.0, 6.0, -1.0],
+                vec![-1.0, 5.0, 1.0],
+                vec![1.2, 5.2, -0.8],
+                vec![-0.9, 6.1, -1.1],
+                vec![-1.1, 5.1, 0.9],
+            ],
+        );
+        (m, vec![0, 1, 2, 0, 1, 2])
+    }
+
+    #[test]
+    fn znorm_centers_impostor_scores() {
+        let (m, labels) = demo();
+        let z = ZNorm::fit(&m, &labels);
+        let normed = z.apply(&m);
+        // Impostor scores of every detector should now be ~zero-mean.
+        for k in 0..3 {
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            for (i, &lab) in labels.iter().enumerate() {
+                if lab != k {
+                    sum += normed.row(i)[k] as f64;
+                    n += 1.0;
+                }
+            }
+            assert!((sum / n).abs() < 1e-6, "detector {k} impostor mean {}", sum / n);
+        }
+    }
+
+    #[test]
+    fn znorm_fixes_offset_detector() {
+        let (m, labels) = demo();
+        // Before: argmax is always detector 1 (offset +5).
+        assert!(m.predictions().iter().all(|&p| p == 1));
+        let z = ZNorm::fit(&m, &labels);
+        let normed = z.apply(&m);
+        let acc = lre_eval::accuracy(&normed, &labels);
+        assert!(acc > 0.9, "z-normed accuracy {acc}");
+    }
+
+    #[test]
+    fn tnorm_is_row_shift_invariant() {
+        let (m, _) = demo();
+        let t1 = tnorm(&m);
+        // Add a constant to one row: t-norm output must not change.
+        let mut shifted = ScoreMatrix::new(3);
+        for i in 0..m.num_utts() {
+            let row: Vec<f32> = m.row(i).iter().map(|v| v + 7.0).collect();
+            shifted.push_row(&row);
+        }
+        let t2 = tnorm(&shifted);
+        for i in 0..m.num_utts() {
+            for k in 0..3 {
+                assert!((t1.row(i)[k] - t2.row(i)[k]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tnorm_rejects_two_detectors() {
+        let m = ScoreMatrix::from_rows(2, &[vec![0.0, 1.0]]);
+        let _ = tnorm(&m);
+    }
+}

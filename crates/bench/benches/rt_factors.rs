@@ -1,0 +1,67 @@
+//! Criterion companion to Table 5: micro-benchmarks of the three pipeline
+//! stages whose real-time factors the paper reports — phone-loop decoding,
+//! supervector generation, and the supervector product (SVM scoring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lre_corpus::{Dataset, DatasetConfig, Duration, Scale};
+use lre_dba::{standard_subsystems, Frontend};
+use lre_lattice::{decode, DecoderConfig};
+use lre_phone::UniversalInventory;
+use lre_svm::{OneVsRest, SvmTrainConfig};
+use std::hint::black_box;
+
+struct Setup {
+    fe: Frontend,
+    feats: lre_dsp::FrameMatrix,
+    network: lre_lattice::ConfusionNetwork,
+    sv: lre_vsm::SparseVec,
+    vsm: OneVsRest,
+}
+
+fn setup() -> Setup {
+    let inv = UniversalInventory::new();
+    let ds = Dataset::generate(DatasetConfig::new(Scale::Smoke, 42));
+    let mut fe =
+        Frontend::train(standard_subsystems()[0], &ds, &inv, 2, DecoderConfig::default(), 7);
+
+    let utt = ds.test_set(Duration::S30)[0];
+    let r = lre_corpus::render_utterance(&utt, ds.language(utt.language), &inv);
+    let mut feats = lre_am::extract_features(&r.samples, fe.am.feature);
+    fe.am.feature_transform.apply(&mut feats);
+    let out = decode(&fe.am, &feats, &fe.decoder);
+
+    // Train a small VSM so the supervector product benchmark is realistic.
+    let raw: Vec<_> = ds
+        .train
+        .iter()
+        .take(92)
+        .map(|u| fe.supervector(u, &ds, &inv))
+        .collect();
+    let train = fe.fit_scaler(&raw);
+    let labels: Vec<usize> =
+        ds.train.iter().take(92).map(|u| u.language.target_index().unwrap()).collect();
+    let vsm = OneVsRest::train(&train, &labels, 23, fe.builder.dim(), &SvmTrainConfig::default());
+    let sv = fe.scaler.as_ref().unwrap().transformed(&fe.builder.build(&out.network));
+
+    Setup { fe, feats, network: out.network, sv, vsm }
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let s = setup();
+
+    let mut g = c.benchmark_group("table5_rt_factors");
+    g.sample_size(10);
+    g.bench_function("decode_30s_utterance", |b| {
+        b.iter(|| black_box(decode(&s.fe.am, &s.feats, &s.fe.decoder)))
+    });
+    g.bench_function("supervector_generation", |b| {
+        b.iter(|| black_box(s.fe.builder.build(&s.network)))
+    });
+    g.bench_function("supervector_product_23_models", |b| {
+        b.iter(|| black_box(s.vsm.scores(&s.sv)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! 1. **TFLLR scaling** (Eq. 5) vs. raw probability supervectors,
+//! 2. **posterior confusion networks** (top-4 alternatives per slot) vs.
+//!    1-best phone strings,
+//! 3. **bigram supervectors** (N = 2) vs. unigram-only (N = 1).
+//!
+//! Each ablation retrains the VSM of one front-end (ANN-HMM CZ) on the same
+//! decoded material and reports pooled EER on the 10 s test set.
+
+use lre_bench::{pct, HarnessArgs};
+use lre_corpus::{render_utterance, Duration, UttSpec};
+use lre_dba::{standard_subsystems, Frontend};
+use lre_eval::{pooled_eer, ScoreMatrix};
+use lre_lattice::{decode, DecoderConfig};
+use lre_phone::UniversalInventory;
+use lre_svm::{OneVsRest, SvmTrainConfig};
+use lre_vsm::{SparseVec, SupervectorBuilder, TfllrScaler};
+
+struct Variant {
+    name: &'static str,
+    top_k: usize,
+    max_order: usize,
+    use_tfllr: bool,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let inv = UniversalInventory::new();
+    let ds = lre_corpus::Dataset::generate(lre_corpus::DatasetConfig::new(args.scale, args.seed));
+    let spec = standard_subsystems()[2]; // ANN-HMM CZ
+    println!(
+        "# Ablations on {} (scale={}, seed={}), pooled EER on the 10s test set",
+        spec.name,
+        args.scale.name(),
+        args.seed
+    );
+
+    let variants = [
+        Variant { name: "full system (CN top-4, N=2, TFLLR)", top_k: 4, max_order: 2, use_tfllr: true },
+        Variant { name: "no TFLLR (raw probabilities)", top_k: 4, max_order: 2, use_tfllr: false },
+        Variant { name: "1-best strings (top-1 slots)", top_k: 1, max_order: 2, use_tfllr: true },
+        Variant { name: "unigrams only (N=1)", top_k: 4, max_order: 1, use_tfllr: true },
+    ];
+
+    let train_labels: Vec<usize> =
+        ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+    let test = ds.test_set(Duration::S10);
+    let test_labels: Vec<usize> =
+        test.iter().map(|u| u.language.target_index().unwrap()).collect();
+
+    for v in variants {
+        let decoder = DecoderConfig { top_k: v.top_k, ..DecoderConfig::default() };
+        let fe = Frontend::train(spec, &ds, &inv, v.max_order, decoder, 7);
+        let builder = SupervectorBuilder::new(fe.phone_set.len(), v.max_order);
+
+        let sv_of = |u: &UttSpec| -> SparseVec {
+            let r = render_utterance(u, ds.language(u.language), &inv);
+            let mut feats = lre_am::extract_features(&r.samples, fe.am.feature);
+            fe.am.feature_transform.apply(&mut feats);
+            let out = decode(&fe.am, &feats, &fe.decoder);
+            builder.build(&out.network)
+        };
+
+        let raw_train: Vec<SparseVec> = ds.train.iter().map(sv_of).collect();
+        let scaler = if v.use_tfllr {
+            TfllrScaler::fit(&raw_train, builder.dim(), 1e-5)
+        } else {
+            TfllrScaler::identity(builder.dim())
+        };
+        let train: Vec<SparseVec> = raw_train.iter().map(|s| scaler.transformed(s)).collect();
+        let vsm =
+            OneVsRest::train(&train, &train_labels, 23, builder.dim(), &SvmTrainConfig::default());
+
+        let mut m = ScoreMatrix::new(23);
+        for u in test {
+            m.push_row(&vsm.scores(&scaler.transformed(&sv_of(u))));
+        }
+        println!("{:<40} EER {}%", v.name, pct(pooled_eer(&m, &test_labels)));
+    }
+}

@@ -1,0 +1,79 @@
+//! Confound analysis: do decoded supervectors cluster by *language* (good)
+//! or by *speaker/channel* (bad)? Prints mean within-group cosine
+//! similarities for one front-end.
+
+use lre_bench::HarnessArgs;
+use lre_corpus::{Channel, Dataset, DatasetConfig, LanguageId, UttSpec};
+use lre_dba::{standard_subsystems, Frontend};
+use lre_lattice::DecoderConfig;
+use lre_phone::UniversalInventory;
+use lre_vsm::SparseVec;
+
+fn cosine(a: &SparseVec, b: &SparseVec) -> f32 {
+    a.dot_sparse(b) / (a.norm_sq().sqrt() * b.norm_sq().sqrt() + 1e-12)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let inv = UniversalInventory::new();
+    let ds = Dataset::generate(DatasetConfig::new(args.scale, args.seed));
+
+    for sub_idx in [2usize, 4] {
+        // CZ ANN and MA GMM
+        let spec = standard_subsystems()[sub_idx];
+        let fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
+        println!("== {}", spec.name);
+
+        let langs = [LanguageId::Russian, LanguageId::Korean, LanguageId::French];
+        let speakers = [100u64, 200, 300];
+        // Grid: (language, speaker) with 2 utterances each.
+        let mut items: Vec<(usize, usize, SparseVec)> = Vec::new();
+        for (li, &lang) in langs.iter().enumerate() {
+            for (si, &spk) in speakers.iter().enumerate() {
+                for rep in 0..2u64 {
+                    let utt = UttSpec {
+                        language: lang,
+                        speaker_seed: spk,
+                        channel: Channel::telephone(20.0),
+                        num_frames: 400,
+                        seed: 77_000 + (li as u64) * 1000 + spk * 10 + rep,
+                    };
+                    items.push((li, si, fe.supervector(&utt, &ds, &inv)));
+                }
+            }
+        }
+
+        let mut same_lang = (0.0f64, 0usize);
+        let mut same_spk = (0.0f64, 0usize);
+        let mut neither = (0.0f64, 0usize);
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let c = cosine(&items[i].2, &items[j].2) as f64;
+                let (li, si) = (items[i].0, items[i].1);
+                let (lj, sj) = (items[j].0, items[j].1);
+                if li == lj && si != sj {
+                    same_lang.0 += c;
+                    same_lang.1 += 1;
+                } else if li != lj && si == sj {
+                    same_spk.0 += c;
+                    same_spk.1 += 1;
+                } else if li != lj && si != sj {
+                    neither.0 += c;
+                    neither.1 += 1;
+                }
+            }
+        }
+        println!(
+            "   same-language   cosine: {:.4}",
+            same_lang.0 / same_lang.1 as f64
+        );
+        println!(
+            "   same-speaker    cosine: {:.4}",
+            same_spk.0 / same_spk.1 as f64
+        );
+        println!(
+            "   unrelated pairs cosine: {:.4}",
+            neither.0 / neither.1 as f64
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! §5.4's computational-cost model (Eq. 16–19): measures the actual wall
+//! time of each pipeline stage and verifies the paper's conclusion
+//! `C'_DBA / C'_baseline ≈ 1` — decoding and supervector generation (`C'_φ`)
+//! dominate, and DBA adds only a second modeling + scoring pass.
+
+use lre_bench::HarnessArgs;
+use lre_corpus::Duration;
+use lre_dba::{dba::run_dba, DbaVariant, Experiment};
+use lre_svm::OneVsRest;
+use std::time::Instant;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let t_build = Instant::now();
+    let exp = args.build_experiment();
+    let phi_and_modeling = t_build.elapsed().as_secs_f64();
+
+    // Re-measure the modeling stage alone (baseline VSM training).
+    let t0 = Instant::now();
+    for q in 0..exp.num_subsystems() {
+        std::hint::black_box(OneVsRest::train(
+            &exp.train_svs[q],
+            &exp.train_labels,
+            23,
+            exp.frontends[q].builder.dim(),
+            &exp.cfg.svm,
+        ));
+    }
+    let c_modeling = t0.elapsed().as_secs_f64();
+
+    // Test-stage scoring cost.
+    let di = Experiment::duration_index(Duration::S30);
+    let t0 = Instant::now();
+    for q in 0..exp.num_subsystems() {
+        for sv in &exp.test_svs[q][di] {
+            std::hint::black_box(exp.baseline_vsms[q].scores(sv));
+        }
+    }
+    let c_test = t0.elapsed().as_secs_f64();
+
+    // DBA extra: one full retrain + rescore pass (vote counting included).
+    let t0 = Instant::now();
+    std::hint::black_box(run_dba(&exp, DbaVariant::M2, 3));
+    let c_dba_extra = t0.elapsed().as_secs_f64();
+
+    let c_phi = phi_and_modeling - c_modeling;
+    let c_baseline = c_phi + c_modeling + c_test;
+    let c_dba = c_baseline + c_dba_extra;
+
+    println!("# Eq. 16-19 cost model, measured on this machine (scale={})", args.scale.name());
+    println!("C'_phi        (render+decode+count, all splits) = {c_phi:10.2}s");
+    println!("C'_modeling   (baseline VSM training)           = {c_modeling:10.2}s");
+    println!("C'_test       (supervector products)            = {c_test:10.2}s");
+    println!("C'_DBA extra  (vote + retrain + rescore)        = {c_dba_extra:10.2}s");
+    println!();
+    let ratio = c_dba / c_baseline;
+    println!("C'_DBA / C'_baseline = {ratio:.3}   (paper, Eq. 19: ≈ 1)");
+    assert!(c_phi > c_modeling, "decoding must dominate modeling for Eq. 19 to hold");
+    println!(
+        "dominance check: C'_phi / C'_modeling = {:.0}x, C'_phi / C'_test = {:.0}x",
+        c_phi / c_modeling.max(1e-9),
+        c_phi / c_test.max(1e-9)
+    );
+}

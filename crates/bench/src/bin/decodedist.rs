@@ -1,0 +1,75 @@
+//! Prints the decoded phone distribution per language for one front-end:
+//! reveals whether decoding collapses to a few phones (vocabulary collapse)
+//! or retains language-specific statistics.
+
+use lre_bench::HarnessArgs;
+use lre_corpus::{Channel, Dataset, DatasetConfig, LanguageId, UttSpec};
+use lre_dba::{standard_subsystems, Frontend};
+use lre_lattice::DecoderConfig;
+use lre_phone::UniversalInventory;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let inv = UniversalInventory::new();
+    let ds = Dataset::generate(DatasetConfig::new(args.scale, args.seed));
+    let spec = standard_subsystems()[2]; // CZ ANN
+    let fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
+    let set = &fe.phone_set;
+
+    for lang in [LanguageId::Russian, LanguageId::Korean, LanguageId::French] {
+        let mut hist = vec![0.0f64; set.len()];
+        let mut true_hist = vec![0.0f64; set.len()];
+        let mut total = 0.0f64;
+        for i in 0..5u64 {
+            let utt = UttSpec {
+                language: lang,
+                speaker_seed: 40 + i,
+                channel: Channel::telephone(25.0),
+                num_frames: 400,
+                seed: 31_000 + i,
+            };
+            let r = lre_corpus::render_utterance(&utt, ds.language(lang), &inv);
+            let mut feats = lre_am::extract_features(&r.samples, fe.am.feature);
+        fe.am.feature_transform.apply(&mut feats);
+            let out = lre_lattice::decode(&fe.am, &feats, &fe.decoder);
+            for slot in out.network.slots() {
+                for e in slot {
+                    hist[e.phone as usize] += e.prob as f64;
+                }
+                total += 1.0;
+            }
+            for &u in &r.alignment {
+                true_hist[set.project(u as usize)] += 1.0;
+            }
+        }
+        let mut top: Vec<(usize, f64)> =
+            hist.iter().cloned().enumerate().collect();
+        top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mass_top5: f64 = top[..5].iter().map(|(_, v)| v).sum::<f64>() / total;
+        let entropy: f64 = hist
+            .iter()
+            .map(|&v| {
+                let p = v / total;
+                if p > 1e-12 {
+                    -p * p.ln()
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        print!("{:10} decoded top8:", format!("{:?}", lang));
+        for (p, v) in &top[..8] {
+            print!(" {}:{:.2}", set.symbol(*p), v / total);
+        }
+        println!("  | top5mass {:.2} entropy {:.2}", mass_top5, entropy);
+
+        let mut ttop: Vec<(usize, f64)> = true_hist.iter().cloned().enumerate().collect();
+        ttop.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let tsum: f64 = true_hist.iter().sum();
+        print!("{:10}    true top8:", "");
+        for (p, v) in &ttop[..8] {
+            print!(" {}:{:.2}", set.symbol(*p), v / tsum);
+        }
+        println!();
+    }
+}

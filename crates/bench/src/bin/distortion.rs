@@ -1,0 +1,73 @@
+//! Measures per-frame feature distortion caused by channel noise for
+//! different languages: renders the same utterance clean vs noisy and
+//! reports the mean L2 distance between the two feature streams (normalized
+//! by the AM's global transform).
+
+use lre_bench::HarnessArgs;
+use lre_corpus::{Channel, Dataset, DatasetConfig, LanguageId, UttSpec};
+use lre_dba::{standard_subsystems, Frontend};
+use lre_lattice::DecoderConfig;
+use lre_phone::UniversalInventory;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let inv = UniversalInventory::new();
+    let ds = Dataset::generate(DatasetConfig::new(args.scale, args.seed));
+    let spec = standard_subsystems()[2];
+    let fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
+
+    for lang in [LanguageId::Czech, LanguageId::Russian, LanguageId::Korean] {
+        let report = |snr: f32| -> (f32, f32) {
+            let mk = |s: f32| {
+                let utt = UttSpec {
+                    language: lang,
+                    speaker_seed: 3,
+                    channel: Channel::telephone(s),
+                    num_frames: 300,
+                    seed: 61_001,
+                };
+                let r = lre_corpus::render_utterance(&utt, ds.language(lang), &inv);
+                let mut f = lre_am::extract_features(&r.samples, fe.am.feature);
+                fe.am.feature_transform.apply(&mut f);
+                (r, f)
+            };
+            let (r_clean, clean) = mk(80.0);
+            let (_r_noisy, noisy) = mk(snr);
+            // Mean per-frame L2 distance in normalized feature space, split
+            // by loud (vowel) vs other frames.
+            let mut d_vowel = (0.0f64, 0usize);
+            let mut d_other = (0.0f64, 0usize);
+            for t in 0..clean.num_frames().min(noisy.num_frames()) {
+                let dist: f32 = clean
+                    .frame(t)
+                    .iter()
+                    .zip(noisy.frame(t))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                let cls = inv.phone(r_clean.alignment[t] as usize).class;
+                if matches!(cls, lre_phone::PhoneClass::Vowel) {
+                    d_vowel.0 += dist as f64;
+                    d_vowel.1 += 1;
+                } else {
+                    d_other.0 += dist as f64;
+                    d_other.1 += 1;
+                }
+            }
+            (
+                (d_vowel.0 / d_vowel.1.max(1) as f64) as f32,
+                (d_other.0 / d_other.1.max(1) as f64) as f32,
+            )
+        };
+        let (v31, o31) = report(31.0);
+        let (v40, o40) = report(40.0);
+        println!(
+            "{:8}: distortion@31dB vowel {:.2} other {:.2} | @40dB vowel {:.2} other {:.2}",
+            format!("{:?}", lang),
+            v31,
+            o31,
+            v40,
+            o40
+        );
+    }
+}

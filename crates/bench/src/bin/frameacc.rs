@@ -1,0 +1,93 @@
+//! Frame-level (no decoder) acoustic classification accuracy in several
+//! conditions, to isolate where the acoustic signal is lost.
+
+use lre_bench::HarnessArgs;
+use lre_corpus::{Channel, Dataset, DatasetConfig, LanguageId, UttSpec};
+use lre_dba::{standard_subsystems, Frontend};
+use lre_lattice::DecoderConfig;
+use lre_phone::UniversalInventory;
+
+fn measure(
+    fe: &Frontend,
+    ds: &Dataset,
+    inv: &UniversalInventory,
+    lang: LanguageId,
+    snr: f32,
+    speaker: u64,
+    label: &str,
+) {
+    let mut correct = 0usize;
+    let mut correct_phone = 0usize;
+    let mut total = 0usize;
+    use std::collections::HashMap;
+    let mut per_class: HashMap<String, (usize, usize)> = HashMap::new();
+    let num_states = fe.am.scorer.num_states();
+    let mut out = vec![0.0f32; num_states];
+    for i in 0..3u64 {
+        let utt = UttSpec {
+            language: lang,
+            speaker_seed: speaker + i,
+            channel: Channel::telephone(snr),
+            num_frames: 300,
+            seed: 51_000 + i,
+        };
+        let r = lre_corpus::render_utterance(&utt, ds.language(lang), inv);
+        let mut feats = lre_am::extract_features(&r.samples, fe.am.feature);
+        fe.am.feature_transform.apply(&mut feats);
+        for (t, frame) in feats.iter().enumerate().take(r.alignment.len()) {
+            fe.am.scorer.score_frame(frame, &mut out);
+            let best = (0..num_states)
+                .max_by(|&a, &b| out[a].partial_cmp(&out[b]).unwrap())
+                .unwrap();
+            let (bp, _) = fe.am.inventory.phone_of(best);
+            let truth = fe.phone_set.project(r.alignment[t] as usize);
+            let class = format!("{:?}", inv.phone(r.alignment[t] as usize).class);
+            let e = per_class.entry(class).or_insert((0, 0));
+            e.1 += 1;
+            if bp == truth {
+                correct += 1;
+                e.0 += 1;
+            }
+            // Class-level accuracy: same phone ignoring state obviously, plus
+            // count hits where the true phone is in the top-3 phones.
+            let mut phone_best = vec![f32::NEG_INFINITY; fe.phone_set.len()];
+            for s in 0..num_states {
+                let (p, _) = fe.am.inventory.phone_of(s);
+                phone_best[p] = phone_best[p].max(out[s]);
+            }
+            let mut idx: Vec<usize> = (0..fe.phone_set.len()).collect();
+            idx.sort_by(|&a, &b| phone_best[b].partial_cmp(&phone_best[a]).unwrap());
+            if idx[..3].contains(&truth) {
+                correct_phone += 1;
+            }
+            total += 1;
+        }
+    }
+    print!(
+        "  {label:35} top1 {:5.1}%  top3 {:5.1}%  |",
+        100.0 * correct as f64 / total as f64,
+        100.0 * correct_phone as f64 / total as f64
+    );
+    let mut classes: Vec<_> = per_class.into_iter().collect();
+    classes.sort_by(|a, b| b.1 .1.cmp(&a.1 .1));
+    for (c, (ok, n)) in classes {
+        print!(" {}:{:.0}%({:.0}%)", &c[..3.min(c.len())], 100.0 * ok as f64 / n as f64, 100.0 * n as f64 / total as f64);
+    }
+    println!();
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let inv = UniversalInventory::new();
+    let ds = Dataset::generate(DatasetConfig::new(args.scale, args.seed));
+    for idx in [2usize, 4] {
+        let spec = standard_subsystems()[idx];
+        let fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
+        println!("== {}", spec.name);
+        measure(&fe, &ds, &inv, spec.am_language, 60.0, 3, "AM language, clean, train speaker");
+        measure(&fe, &ds, &inv, spec.am_language, 31.0, 3, "AM language, 31dB, train speaker");
+        measure(&fe, &ds, &inv, LanguageId::Russian, 60.0, 3, "Russian, clean, train speaker");
+        measure(&fe, &ds, &inv, LanguageId::Russian, 31.0, 3, "Russian, 31dB, train speaker");
+        measure(&fe, &ds, &inv, LanguageId::Korean, 31.0, 3, "Korean, 31dB, train speaker");
+    }
+}

@@ -1,0 +1,70 @@
+//! Fusion back-end comparison: LDA-MMI (paper) vs simpler combiners, to
+//! quantify how much development data each needs. Run at smoke scale for a
+//! quick check, demo for real numbers.
+
+use lre_bench::{pct, HarnessArgs};
+use lre_backend::{tnorm, ZNorm};
+use lre_corpus::Duration;
+use lre_dba::{fuse_duration, Experiment};
+use lre_eval::{pooled_eer, ScoreMatrix};
+
+/// Plain mean of subsystem score matrices.
+fn mean_fusion(mats: &[ScoreMatrix]) -> ScoreMatrix {
+    let k = mats[0].num_classes();
+    let n = mats[0].num_utts();
+    let mut out = ScoreMatrix::new(k);
+    let mut row = vec![0.0f32; k];
+    for i in 0..n {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        for m in mats {
+            for (r, &s) in row.iter_mut().zip(m.row(i)) {
+                *r += s / mats.len() as f32;
+            }
+        }
+        out.push_row(&row);
+    }
+    out
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let exp = args.build_experiment();
+
+    for &d in Duration::all().iter() {
+        let di = Experiment::duration_index(d);
+        let labels = &exp.test_labels[di];
+        let test: Vec<ScoreMatrix> =
+            exp.baseline_test_scores.iter().map(|per| per[di].clone()).collect();
+
+        let best_single = test
+            .iter()
+            .map(|m| pooled_eer(m, labels))
+            .fold(f64::INFINITY, f64::min);
+
+        let ldammi = fuse_duration(&exp, &exp.baseline_dev_scores, &test, d, None);
+        let mean = mean_fusion(&test);
+
+        // z-norm each subsystem on dev, then mean.
+        let znormed: Vec<ScoreMatrix> = exp
+            .baseline_dev_scores
+            .iter()
+            .zip(&test)
+            .map(|(dev, t)| ZNorm::fit(dev, &exp.dev_labels).apply(t))
+            .collect();
+        let zmean = mean_fusion(&znormed);
+
+        // t-norm each subsystem (no dev needed), then mean.
+        let tnormed: Vec<ScoreMatrix> = test.iter().map(tnorm).collect();
+        let tmean = mean_fusion(&tnormed);
+
+        println!(
+            "{:>4}: best single {} | LDA-MMI {} | mean {} | znorm+mean {} | tnorm+mean {}",
+            d.name(),
+            pct(best_single),
+            pct(pooled_eer(&ldammi.test_scores, labels)),
+            pct(pooled_eer(&mean, labels)),
+            pct(pooled_eer(&zmean, labels)),
+            pct(pooled_eer(&tmean, labels)),
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Extension study: multi-round DBA. The paper runs one boosting round
+//! (Fig. 2); §3(f) invites repeating steps a–c. This binary measures
+//! whether a second/third round keeps helping, saturates, or drifts
+//! (self-training feedback can amplify pseudo-label errors).
+
+use lre_bench::{pct, HarnessArgs};
+use lre_corpus::Duration;
+use lre_dba::{run_dba_iterated, DbaVariant};
+use lre_eval::pooled_eer;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let exp = args.build_experiment();
+    let rounds = 3;
+
+    for variant in [DbaVariant::M1, DbaVariant::M2] {
+        println!("\n# {} iterated, V = 3 (scale={}, seed={})", variant.name(), args.scale.name(), args.seed);
+        let outcomes = run_dba_iterated(&exp, variant, 3, rounds);
+        println!(
+            "{:<8} | {:<10} | {:<10} | 30s EER | 10s EER | 3s EER",
+            "round", "selected", "label err"
+        );
+        // Round 0 row = baseline.
+        print!("{:<8} | {:<10} | {:<10}", "base", "-", "-");
+        for (di, _) in Duration::all().iter().enumerate() {
+            let labels = &exp.test_labels[di];
+            let mean: f64 = (0..exp.num_subsystems())
+                .map(|q| pooled_eer(&exp.baseline_test_scores[q][di], labels))
+                .sum::<f64>()
+                / exp.num_subsystems() as f64;
+            print!(" | {:<7}", pct(mean));
+        }
+        println!();
+        for (r, out) in outcomes.iter().enumerate() {
+            print!(
+                "{:<8} | {:<10} | {:<9.1}%",
+                r + 1,
+                out.num_selected(),
+                out.selection_error_rate * 100.0
+            );
+            for (di, _) in Duration::all().iter().enumerate() {
+                let labels = &exp.test_labels[di];
+                let mean: f64 = (0..exp.num_subsystems())
+                    .map(|q| pooled_eer(&out.test_scores[di][q], labels))
+                    .sum::<f64>()
+                    / exp.num_subsystems() as f64;
+                print!(" | {:<7}", pct(mean));
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Matched-condition test: train a single front-end's VSM on the train
+//! split and evaluate on fresh utterances drawn from the SAME distribution
+//! (train-pool speakers, train channel). Separates "decoding destroys
+//! language information" from "train/test mismatch is too harsh".
+
+use lre_bench::{pct, HarnessArgs};
+use lre_corpus::{Channel, Dataset, DatasetConfig, LanguageId, UttSpec};
+use lre_dba::{standard_subsystems, Frontend};
+use lre_eval::{pooled_eer, ScoreMatrix};
+use lre_lattice::DecoderConfig;
+use lre_phone::UniversalInventory;
+use lre_svm::{OneVsRest, SvmTrainConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let inv = UniversalInventory::new();
+    let ds = Dataset::generate(DatasetConfig::new(args.scale, args.seed));
+    let train_labels: Vec<usize> =
+        ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+
+    for sub_idx in [2usize, 4] {
+        let spec = standard_subsystems()[sub_idx];
+        let mut fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
+        let raw = fe.supervector_batch(&ds.train, &ds, &inv);
+        let train = fe.fit_scaler(&raw);
+        let vsm =
+            OneVsRest::train(&train, &train_labels, 23, fe.builder.dim(), &SvmTrainConfig::default());
+
+        // Matched evaluation set: 8 fresh utterances per language, train
+        // conditions (train-pool speaker seeds, CTS 22 dB).
+        let mut matched: Vec<UttSpec> = Vec::new();
+        for (li, &lang) in LanguageId::targets().iter().enumerate() {
+            for i in 0..8u64 {
+                matched.push(UttSpec {
+                    language: lang,
+                    speaker_seed: 500 + i, // train pool (top bit clear)
+                    channel: Channel::telephone(22.0),
+                    num_frames: 300,
+                    seed: 900_000 + li as u64 * 100 + i,
+                });
+            }
+        }
+        let labels: Vec<usize> =
+            matched.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let svs = fe.scale(&fe.supervector_batch(&matched, &ds, &inv));
+        let mut m = ScoreMatrix::new(23);
+        for sv in &svs {
+            m.push_row(&vsm.scores(sv));
+        }
+        println!(
+            "{}: matched-condition EER {}%  (train n={} utts/lang)",
+            spec.name,
+            pct(pooled_eer(&m, &labels)),
+            ds.train.len() / 23
+        );
+    }
+}

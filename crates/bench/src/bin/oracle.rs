@@ -1,0 +1,61 @@
+//! Oracle ceiling test: build supervectors from the TRUE phone alignments
+//! (bypassing acoustics and decoding entirely) and run the VSM stack.
+//! If this fails, the corpus or the classifier stack is broken; if it
+//! succeeds, the gap is in the acoustic/decoder path.
+
+use lre_bench::{pct, HarnessArgs};
+use lre_corpus::{render_utterance, Duration};
+use lre_dba::standard_subsystems;
+use lre_eval::{pooled_eer, ScoreMatrix};
+use lre_lattice::{ConfusionNetwork, SlotEntry};
+use lre_phone::{PhoneSet, UniversalInventory};
+use lre_svm::{OneVsRest, SvmTrainConfig};
+use lre_vsm::{SparseVec, SupervectorBuilder, TfllrScaler};
+
+fn alignment_network(alignment: &[u16], set: &PhoneSet) -> ConfusionNetwork {
+    let mut slots = Vec::new();
+    let mut start = 0usize;
+    let phones: Vec<u16> = alignment.iter().map(|&u| set.project(u as usize) as u16).collect();
+    while start < phones.len() {
+        let mut end = start + 1;
+        while end < phones.len() && phones[end] == phones[start] {
+            end += 1;
+        }
+        slots.push(vec![SlotEntry { phone: phones[start], prob: 1.0 }]);
+        start = end;
+    }
+    ConfusionNetwork::new(slots)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let inv = UniversalInventory::new();
+    let ds = lre_corpus::Dataset::generate(lre_corpus::DatasetConfig::new(args.scale, args.seed));
+    let spec = standard_subsystems()[0]; // HU phone set, any will do
+    let set = PhoneSet::standard(spec.set_id, &inv);
+    let builder = SupervectorBuilder::new(set.len(), 2);
+
+    let sv_of = |u: &lre_corpus::UttSpec| -> SparseVec {
+        let r = render_utterance(u, ds.language(u.language), &inv);
+        builder.build(&alignment_network(&r.alignment, &set))
+    };
+
+    let train_raw: Vec<SparseVec> = ds.train.iter().map(sv_of).collect();
+    let train_labels: Vec<usize> =
+        ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+    let scaler = TfllrScaler::fit(&train_raw, builder.dim(), 1e-5);
+    let train: Vec<SparseVec> = train_raw.iter().map(|s| scaler.transformed(s)).collect();
+    let vsm = OneVsRest::train(&train, &train_labels, 23, builder.dim(), &SvmTrainConfig::default());
+
+    for &d in Duration::all().iter() {
+        let test = ds.test_set(d);
+        let labels: Vec<usize> =
+            test.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let mut m = ScoreMatrix::new(23);
+        for u in test {
+            let sv = scaler.transformed(&sv_of(u));
+            m.push_row(&vsm.scores(&sv));
+        }
+        println!("oracle {}: EER {}%", d.name(), pct(pooled_eer(&m, &labels)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Fast end-to-end sanity run: builds the experiment and prints baseline
+//! EER/Cavg per subsystem and duration, plus the vote-selection stats at a
+//! few thresholds. Use `--scale smoke` for a sub-minute check.
+
+use lre_bench::{pct, HarnessArgs};
+use lre_dba::{dba::baseline_votes, select_tr_dba};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let exp = args.build_experiment();
+
+    println!("# Baseline PPRVSM (scale={}, seed={})", args.scale.name(), args.seed);
+    println!("subsystem | duration | EER% | Cavg%");
+    for row in exp.baseline_summary() {
+        println!(
+            "{} | {} | {} | {}",
+            row.subsystem,
+            row.duration.name(),
+            pct(row.eer),
+            pct(row.cavg)
+        );
+    }
+
+    for &d in lre_corpus::Duration::all().iter() {
+        let votes = baseline_votes(&exp, d);
+        let di = lre_dba::Experiment::duration_index(d);
+        let truth = &exp.test_labels[di];
+        print!("votes[{}]:", d.name());
+        for v in 1..=6u8 {
+            let sel = select_tr_dba(&votes, v);
+            let wrong = sel.iter().filter(|p| p.label != truth[p.utt]).count();
+            print!(
+                " V={v}:{} ({:.1}% err)",
+                sel.len(),
+                if sel.is_empty() { 0.0 } else { 100.0 * wrong as f64 / sel.len() as f64 }
+            );
+        }
+        println!();
+    }
+}

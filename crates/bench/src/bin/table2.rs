@@ -1,0 +1,13 @@
+//! **Table 2** of the paper: EER/Cavg of DBA-M1 versus the PPRVSM baseline
+//! for every front-end × duration × V ∈ {1..6}. The paper's headline shape:
+//! EER is U-shaped in V with the optimum at V = 3, and DBA-M1 beats the
+//! baseline at the optimum for every front-end and duration.
+
+use lre_bench::{print_dba_table, HarnessArgs};
+use lre_dba::DbaVariant;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let exp = args.build_experiment();
+    print_dba_table(&exp, DbaVariant::M1, &args);
+}

@@ -1,0 +1,14 @@
+//! **Table 3** of the paper: EER/Cavg of DBA-M2 (pseudo-labelled test data
+//! *plus* the original training data) versus the PPRVSM baseline, same
+//! layout as Table 2. The paper finds the same U-shape with the optimum at
+//! V = 3; DBA-M2 is the stronger variant on 30 s tests (more training
+//! material), DBA-M1 on 10 s/3 s.
+
+use lre_bench::{print_dba_table, HarnessArgs};
+use lre_dba::DbaVariant;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let exp = args.build_experiment();
+    print_dba_table(&exp, DbaVariant::M2, &args);
+}

@@ -1,0 +1,138 @@
+//! Shared harness utilities for the table-regeneration binaries.
+//!
+//! Every binary accepts `--scale {smoke|demo|paper}` (default `demo`) and
+//! `--seed N` (default 42), builds the shared [`Experiment`] once, and
+//! prints its table in the same row/column layout as the paper.
+
+use lre_corpus::{Duration, Scale};
+use lre_dba::{dba::run_dba, DbaVariant, Experiment, ExperimentConfig};
+use lre_eval::{min_cavg, pooled_eer, CavgParams};
+
+/// Parsed command-line options common to every table binary.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    pub scale: Scale,
+    pub seed: u64,
+    /// Reuse/populate the on-disk supervector cache (`target/svcache`).
+    pub cache: bool,
+}
+
+impl HarnessArgs {
+    /// Parse `--scale` / `--seed` from `std::env::args`. Unknown flags abort
+    /// with a usage message.
+    pub fn parse() -> HarnessArgs {
+        let mut scale = Scale::Demo;
+        let mut seed = 42u64;
+        let mut cache = false;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale = args
+                        .get(i)
+                        .and_then(|s| Scale::parse(s))
+                        .unwrap_or_else(|| usage("bad --scale (smoke|demo|paper)"));
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("bad --seed"));
+                }
+                "--cache" => cache = true,
+                other => usage(&format!("unknown argument {other}")),
+            }
+            i += 1;
+        }
+        HarnessArgs { scale, seed, cache }
+    }
+
+    /// Build the shared experiment, reporting progress and wall time.
+    pub fn build_experiment(&self) -> Experiment {
+        eprintln!(
+            "[harness] building experiment: scale={}, seed={} (AM training + decoding; \
+             this is the dominant cost, per §5.4)",
+            self.scale.name(),
+            self.seed
+        );
+        let t0 = std::time::Instant::now();
+        let cfg = ExperimentConfig::new(self.scale, self.seed);
+        let exp = if self.cache {
+            Experiment::build_cached(&cfg, std::path::Path::new("target/svcache"))
+        } else {
+            Experiment::build(&cfg)
+        };
+        eprintln!("[harness] experiment ready in {:.1}s", t0.elapsed().as_secs_f64());
+        exp
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: <bin> [--scale smoke|demo|paper] [--seed N] [--cache]");
+    std::process::exit(2);
+}
+
+/// Print the Table-2/Table-3 layout: per front-end × duration, baseline
+/// EER/Cavg and the DBA sweep over V = 6…1. DBA retraining runs once per
+/// `(duration, V)` cell and is shared across front-ends (it retrains all six
+/// subsystems in one pass), so the whole table costs 18 retraining passes.
+pub fn print_dba_table(exp: &Experiment, variant: DbaVariant, args: &HarnessArgs) {
+    println!(
+        "# Table {}: Performance of DBA ({}), closed-set (EER and Cavg in %)",
+        if variant == DbaVariant::M1 { 2 } else { 3 },
+        variant.name()
+    );
+    println!("# scale={}, seed={}", args.scale.name(), args.seed);
+    println!(
+        "{:<12} | {:<4} | {:<6} | Baseline | V=6   | V=5   | V=4   | V=3   | V=2   | V=1",
+        "Front-end", "dur", "metric"
+    );
+
+    // One DBA retraining pass per V (selection pools all durations, as the
+    // paper's Table 1 counts imply); reused by every row of the table.
+    let outcomes: Vec<_> = (1..=6u8).rev().map(|v| run_dba(exp, variant, v)).collect();
+
+    for &d in Duration::all().iter() {
+        let di = Experiment::duration_index(d);
+        let labels = &exp.test_labels[di];
+
+        for (q, fe) in exp.frontends.iter().enumerate() {
+            let base = &exp.baseline_test_scores[q][di];
+            let base_eer = pooled_eer(base, labels);
+            let base_cavg = min_cavg(base, labels, &CavgParams::default());
+
+            print!("{:<12} | {:<4} | EER    | {:<8}", fe.spec.name, d.name(), pct(base_eer));
+            for out in &outcomes {
+                print!(" | {:<5}", pct(pooled_eer(&out.test_scores[di][q], labels)));
+            }
+            println!();
+            print!("{:<12} | {:<4} | Cavg   | {:<8}", fe.spec.name, d.name(), pct(base_cavg));
+            for out in &outcomes {
+                print!(
+                    " | {:<5}",
+                    pct(min_cavg(&out.test_scores[di][q], labels, &CavgParams::default()))
+                );
+            }
+            println!();
+        }
+    }
+}
+
+/// Format a fraction as the paper's percent style with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.0243), "2.43");
+        assert_eq!(pct(0.2300), "23.00");
+    }
+}

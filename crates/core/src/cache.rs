@@ -1,0 +1,161 @@
+//! Binary on-disk cache for decoded supervectors.
+//!
+//! Decoding is the dominant cost of every experiment (§5.4); the DBA sweeps
+//! and fusion backends only need the TFLLR-scaled supervectors. This module
+//! serializes the full supervector state of an [`Experiment`]
+//! (train/dev/test × subsystem) so table binaries can skip re-decoding:
+//!
+//! ```text
+//! cargo run -p lre-bench --release --bin alltables -- --scale demo --cache
+//! ```
+//!
+//! The format is versioned and keyed on `(scale, seed, FORMAT_VERSION)`;
+//! bump [`FORMAT_VERSION`] whenever any decoding-path behaviour changes.
+
+use crate::experiment::Experiment;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lre_vsm::SparseVec;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Bump when the decode path (corpus, features, AMs, decoder, supervectors)
+/// changes in any way that affects supervector values.
+pub const FORMAT_VERSION: u32 = 5;
+
+const MAGIC: u32 = 0x4C52_4544; // "LRED"
+
+/// Cache file path for a `(scale, seed)` pair under `dir`.
+pub fn cache_path(dir: &Path, scale_name: &str, seed: u64) -> PathBuf {
+    dir.join(format!("svcache_{scale_name}_{seed}_v{FORMAT_VERSION}.bin"))
+}
+
+fn put_sv(buf: &mut BytesMut, sv: &SparseVec) {
+    buf.put_u32_le(sv.nnz() as u32);
+    for (i, v) in sv.iter() {
+        buf.put_u32_le(i);
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_sv(buf: &mut Bytes) -> SparseVec {
+    let nnz = buf.get_u32_le() as usize;
+    let mut indices = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        indices.push(buf.get_u32_le());
+        values.push(buf.get_f32_le());
+    }
+    SparseVec::from_parts(indices, values)
+}
+
+fn put_sv_set(buf: &mut BytesMut, set: &[Vec<SparseVec>]) {
+    buf.put_u32_le(set.len() as u32);
+    for group in set {
+        buf.put_u32_le(group.len() as u32);
+        for sv in group {
+            put_sv(buf, sv);
+        }
+    }
+}
+
+fn get_sv_set(buf: &mut Bytes) -> Vec<Vec<SparseVec>> {
+    let n = buf.get_u32_le() as usize;
+    (0..n)
+        .map(|_| {
+            let m = buf.get_u32_le() as usize;
+            (0..m).map(|_| get_sv(buf)).collect()
+        })
+        .collect()
+}
+
+/// The cacheable portion of an experiment: everything downstream of the
+/// decoders.
+pub struct SupervectorCache {
+    pub train_svs: Vec<Vec<SparseVec>>,
+    pub dev_svs: Vec<Vec<SparseVec>>,
+    /// `[subsystem][duration][utt]`.
+    pub test_svs: Vec<Vec<Vec<SparseVec>>>,
+}
+
+/// Serialize the supervector state of a built experiment.
+pub fn save(exp: &Experiment, path: &Path) -> std::io::Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(FORMAT_VERSION);
+    buf.put_u64_le(exp.cfg.seed);
+    put_sv_set(&mut buf, &exp.train_svs);
+    put_sv_set(&mut buf, &exp.dev_svs);
+    buf.put_u32_le(exp.test_svs.len() as u32);
+    for per_sub in &exp.test_svs {
+        put_sv_set(&mut buf, per_sub);
+    }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&buf)?;
+    Ok(())
+}
+
+/// Load a cache written by [`save`]; `None` on any mismatch (missing file,
+/// wrong magic/version/seed, truncation).
+pub fn load(path: &Path, expect_seed: u64) -> Option<SupervectorCache> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path).ok()?.read_to_end(&mut raw).ok()?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 16 || buf.get_u32_le() != MAGIC || buf.get_u32_le() != FORMAT_VERSION {
+        return None;
+    }
+    if buf.get_u64_le() != expect_seed {
+        return None;
+    }
+    let train_svs = get_sv_set(&mut buf);
+    let dev_svs = get_sv_set(&mut buf);
+    let n = buf.get_u32_le() as usize;
+    let test_svs = (0..n).map(|_| get_sv_set(&mut buf)).collect();
+    Some(SupervectorCache { train_svs, dev_svs, test_svs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f32)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn sv_roundtrip() {
+        let original = sv(&[(0, 1.5), (7, -2.0), (100, 0.25)]);
+        let mut buf = BytesMut::new();
+        put_sv(&mut buf, &original);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_sv(&mut bytes), original);
+    }
+
+    #[test]
+    fn sv_set_roundtrip() {
+        let set = vec![vec![sv(&[(1, 1.0)]), sv(&[])], vec![sv(&[(2, 3.0), (9, 4.0)])]];
+        let mut buf = BytesMut::new();
+        put_sv_set(&mut buf, &set);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_sv_set(&mut bytes), set);
+    }
+
+    #[test]
+    fn cache_path_embeds_version() {
+        let p = cache_path(Path::new("/tmp"), "demo", 42);
+        let s = p.to_string_lossy();
+        assert!(s.contains("demo") && s.contains("42") && s.contains(&FORMAT_VERSION.to_string()));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("lre_dba_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a cache").unwrap();
+        assert!(load(&path, 42).is_none());
+        assert!(load(&dir.join("missing.bin"), 42).is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! The Discriminative Boosting Algorithm (§3, steps d–f).
+
+use crate::experiment::{score_set, Experiment, K};
+use crate::vote::{select_tr_dba, vote_matrix, PseudoLabel, VoteMatrix};
+use lre_corpus::Duration;
+use lre_eval::ScoreMatrix;
+use lre_svm::OneVsRest;
+use lre_vsm::SparseVec;
+
+/// The two training-set update rules of §3(e).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbaVariant {
+    /// `Tr_DBA = [T_DBA]` — pseudo-labelled test data only.
+    M1,
+    /// `Tr_DBA = [T_DBA  Tr]` — pseudo-labelled test data + original train.
+    M2,
+}
+
+impl DbaVariant {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DbaVariant::M1 => "DBA-M1",
+            DbaVariant::M2 => "DBA-M2",
+        }
+    }
+}
+
+/// Result of one DBA run (one variant, one V). Selection pools the whole
+/// test set — all durations — exactly as the paper's Table 1 counts imply
+/// (35,262 of the 41,793 total segments are selected at V = 1).
+pub struct DbaOutcome {
+    pub variant: DbaVariant,
+    pub v_threshold: u8,
+    /// Pseudo-labelled selections per duration (indexed like `Duration::all()`).
+    pub selected: Vec<Vec<PseudoLabel>>,
+    /// Pooled pseudo-label error rate (Table 1's "error rate"; truth used
+    /// for *evaluation* only).
+    pub selection_error_rate: f64,
+    /// Retrained per-subsystem × per-duration test scores (step f),
+    /// indexed `[duration][subsystem]`.
+    pub test_scores: Vec<Vec<ScoreMatrix>>,
+    /// Retrained per-subsystem dev scores (for the LDA-MMI fusion backend).
+    pub dev_scores: Vec<ScoreMatrix>,
+    /// `M_n` of Eq. 15: per subsystem, the number of test utterances
+    /// (pooled) that fit the confidence criterion.
+    pub criterion_counts: Vec<usize>,
+}
+
+impl DbaOutcome {
+    /// Total number of selected utterances across durations.
+    pub fn num_selected(&self) -> usize {
+        self.selected.iter().map(Vec::len).sum()
+    }
+
+    /// Scores for one duration (indexed per `Duration::all()`).
+    pub fn scores_for(&self, d: Duration) -> &[ScoreMatrix] {
+        &self.test_scores[Experiment::duration_index(d)]
+    }
+}
+
+/// Compute the vote matrix over the baseline subsystem scores for one
+/// duration (steps c–d).
+pub fn baseline_votes(exp: &Experiment, duration: Duration) -> VoteMatrix {
+    let di = Experiment::duration_index(duration);
+    let refs: Vec<&ScoreMatrix> =
+        exp.baseline_test_scores.iter().map(|per_dur| &per_dur[di]).collect();
+    vote_matrix(&refs)
+}
+
+/// Run DBA end to end for one `(variant, V)` cell: vote over the *entire*
+/// test pool (all durations), select `Tr_DBA`, retrain every subsystem's
+/// VSM with the same one-vs-rest criterion, and rescore every test split
+/// plus the dev set.
+pub fn run_dba(exp: &Experiment, variant: DbaVariant, v_threshold: u8) -> DbaOutcome {
+    // Steps c-e per duration; pool the selections.
+    let mut selected: Vec<Vec<PseudoLabel>> = Vec::new();
+    let mut total = 0usize;
+    let mut wrong = 0usize;
+    for &d in Duration::all().iter() {
+        let votes = baseline_votes(exp, d);
+        let sel = select_tr_dba(&votes, v_threshold);
+        let truth = &exp.test_labels[Experiment::duration_index(d)];
+        wrong += sel.iter().filter(|p| p.label != truth[p.utt]).count();
+        total += sel.len();
+        selected.push(sel);
+    }
+    let selection_error_rate = if total == 0 { 0.0 } else { wrong as f64 / total as f64 };
+
+    // Eq. 15 criterion counts, pooled over durations.
+    let criterion_counts: Vec<usize> = exp
+        .baseline_test_scores
+        .iter()
+        .map(|per_dur| {
+            per_dur.iter().map(|m| vote_matrix(&[m]).num_voted()).sum()
+        })
+        .collect();
+
+    // Steps e-f: build Tr_DBA per subsystem (pooled) and retrain once.
+    let mut test_scores: Vec<Vec<ScoreMatrix>> =
+        Duration::all().iter().map(|_| Vec::with_capacity(exp.num_subsystems())).collect();
+    let mut dev_scores = Vec::with_capacity(exp.num_subsystems());
+    for q in 0..exp.num_subsystems() {
+        let (xs, labels) = build_tr_dba(
+            variant,
+            &selected,
+            &exp.test_svs[q],
+            &exp.train_svs[q],
+            &exp.train_labels,
+        );
+        let vsm = if xs.is_empty() {
+            // Degenerate selection (e.g. V = 6 on a tiny pool): fall back to
+            // the baseline model rather than an untrained one.
+            exp.baseline_vsms[q].clone()
+        } else {
+            OneVsRest::train(&xs, &labels, K, exp.frontends[q].builder.dim(), &exp.cfg.svm)
+        };
+        for (di, per_dur) in test_scores.iter_mut().enumerate() {
+            per_dur.push(score_set(&vsm, &exp.test_svs[q][di]));
+        }
+        dev_scores.push(score_set(&vsm, &exp.dev_svs[q]));
+    }
+
+    DbaOutcome {
+        variant,
+        v_threshold,
+        selected,
+        selection_error_rate,
+        test_scores,
+        dev_scores,
+        criterion_counts,
+    }
+}
+
+/// Run several DBA rounds: each round votes on the *previous* round's test
+/// scores (the baseline for round 0), selects a fresh `Tr_DBA`, retrains,
+/// and rescores. §3's architecture (Fig. 2) shows one boosting round; this
+/// is the natural "repeat step a-c" extension mentioned with step (f), and
+/// lets the reproduction study when self-training saturates or drifts.
+pub fn run_dba_iterated(
+    exp: &Experiment,
+    variant: DbaVariant,
+    v_threshold: u8,
+    rounds: usize,
+) -> Vec<DbaOutcome> {
+    assert!(rounds >= 1);
+    let mut outcomes: Vec<DbaOutcome> = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Score source for voting: baseline on round 0, previous round after.
+        let score_for = |di: usize, q: usize| -> &ScoreMatrix {
+            match round {
+                0 => &exp.baseline_test_scores[q][di],
+                _ => &outcomes[round - 1].test_scores[di][q],
+            }
+        };
+
+        let mut selected: Vec<Vec<PseudoLabel>> = Vec::new();
+        let mut total = 0usize;
+        let mut wrong = 0usize;
+        for (di, _d) in Duration::all().iter().enumerate() {
+            let refs: Vec<&ScoreMatrix> =
+                (0..exp.num_subsystems()).map(|q| score_for(di, q)).collect();
+            let votes = vote_matrix(&refs);
+            let sel = select_tr_dba(&votes, v_threshold);
+            let truth = &exp.test_labels[di];
+            wrong += sel.iter().filter(|p| p.label != truth[p.utt]).count();
+            total += sel.len();
+            selected.push(sel);
+        }
+        let selection_error_rate =
+            if total == 0 { 0.0 } else { wrong as f64 / total as f64 };
+        let criterion_counts: Vec<usize> = (0..exp.num_subsystems())
+            .map(|q| {
+                (0..Duration::all().len())
+                    .map(|di| vote_matrix(&[score_for(di, q)]).num_voted())
+                    .sum()
+            })
+            .collect();
+
+        let mut test_scores: Vec<Vec<ScoreMatrix>> =
+            Duration::all().iter().map(|_| Vec::new()).collect();
+        let mut dev_scores = Vec::new();
+        for q in 0..exp.num_subsystems() {
+            let (xs, labels) = build_tr_dba(
+                variant,
+                &selected,
+                &exp.test_svs[q],
+                &exp.train_svs[q],
+                &exp.train_labels,
+            );
+            let vsm = if xs.is_empty() {
+                exp.baseline_vsms[q].clone()
+            } else {
+                OneVsRest::train(&xs, &labels, K, exp.frontends[q].builder.dim(), &exp.cfg.svm)
+            };
+            for (di, per_dur) in test_scores.iter_mut().enumerate() {
+                per_dur.push(score_set(&vsm, &exp.test_svs[q][di]));
+            }
+            dev_scores.push(score_set(&vsm, &exp.dev_svs[q]));
+        }
+
+        outcomes.push(DbaOutcome {
+            variant,
+            v_threshold,
+            selected,
+            selection_error_rate,
+            test_scores,
+            dev_scores,
+            criterion_counts,
+        });
+    }
+    outcomes
+}
+
+/// Assemble `Tr_DBA` for one subsystem from the pooled selections.
+/// `test_svs` is indexed `[duration][utt]`.
+fn build_tr_dba(
+    variant: DbaVariant,
+    selected: &[Vec<PseudoLabel>],
+    test_svs: &[Vec<SparseVec>],
+    train_svs: &[SparseVec],
+    train_labels: &[usize],
+) -> (Vec<SparseVec>, Vec<usize>) {
+    let mut xs: Vec<SparseVec> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (di, sel) in selected.iter().enumerate() {
+        for p in sel {
+            xs.push(test_svs[di][p.utt].clone());
+            labels.push(p.label);
+        }
+    }
+    if variant == DbaVariant::M2 {
+        xs.extend(train_svs.iter().cloned());
+        labels.extend_from_slice(train_labels);
+    }
+    (xs, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(DbaVariant::M1.name(), "DBA-M1");
+        assert_eq!(DbaVariant::M2.name(), "DBA-M2");
+    }
+
+    #[test]
+    fn tr_dba_composition_matches_paper() {
+        let sv = |v: f32| SparseVec::from_pairs(vec![(0, v)]);
+        // Two durations' selections.
+        let selected = vec![
+            vec![PseudoLabel { utt: 0, label: 3, votes: 4 }],
+            vec![PseudoLabel { utt: 1, label: 1, votes: 5 }],
+        ];
+        let test_svs = vec![vec![sv(10.0), sv(11.0)], vec![sv(20.0), sv(21.0)]];
+        let train_svs = vec![sv(1.0), sv(2.0)];
+        let train_labels = vec![0usize, 7];
+
+        let (xs1, l1) =
+            build_tr_dba(DbaVariant::M1, &selected, &test_svs, &train_svs, &train_labels);
+        assert_eq!(xs1.len(), 2);
+        assert_eq!(l1, vec![3, 1]);
+        assert_eq!(xs1[0].get(0), 10.0);
+        assert_eq!(xs1[1].get(0), 21.0);
+
+        let (xs2, l2) =
+            build_tr_dba(DbaVariant::M2, &selected, &test_svs, &train_svs, &train_labels);
+        assert_eq!(xs2.len(), 4);
+        assert_eq!(l2, vec![3, 1, 0, 7]);
+        // The original training data rides along unchanged.
+        assert_eq!(xs2[2].get(0), 1.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! The end-to-end experiment driver.
+//!
+//! `Experiment::build` performs the expensive, run-once work: generate the
+//! dataset, train the six recognizers, decode every utterance of every split
+//! into TFLLR-scaled supervectors, and train the baseline VSMs. The cheap
+//! parts — V sweeps, DBA variants, fusion — all reuse the cached
+//! supervectors, which is precisely the cost structure the paper argues in
+//! §5.4 (`C'_φ ≫ C'_modeling`, Eq. 16–19).
+
+use crate::subsystem::{standard_subsystems, Frontend};
+use lre_corpus::{Dataset, DatasetConfig, Duration, LanguageId, Scale};
+use lre_eval::{min_cavg, pooled_eer, CavgParams, ScoreMatrix};
+use lre_lattice::DecoderConfig;
+use lre_phone::UniversalInventory;
+use lre_svm::{OneVsRest, SvmTrainConfig};
+use lre_vsm::SparseVec;
+
+/// Number of target languages (closed-set LRE 2009).
+pub const K: usize = lre_corpus::NUM_TARGET_LANGUAGES;
+
+/// Experiment-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    pub scale: Scale,
+    pub seed: u64,
+    /// Highest N-gram order in the supervectors (the paper's N).
+    pub max_order: usize,
+    pub decoder: DecoderConfig,
+    pub svm: SvmTrainConfig,
+}
+
+impl ExperimentConfig {
+    pub fn new(scale: Scale, seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            scale,
+            seed,
+            max_order: 2,
+            decoder: DecoderConfig::default(),
+            svm: SvmTrainConfig::default(),
+        }
+    }
+}
+
+/// One row of the baseline summary (per subsystem × duration).
+#[derive(Clone, Debug)]
+pub struct BaselineRow {
+    pub subsystem: String,
+    pub duration: Duration,
+    /// Pooled EER as a fraction.
+    pub eer: f64,
+    /// Minimum Cavg as a fraction.
+    pub cavg: f64,
+}
+
+/// The built experiment: dataset + trained front-ends + cached supervectors
+/// + baseline VSMs and scores.
+pub struct Experiment {
+    pub cfg: ExperimentConfig,
+    pub ds: Dataset,
+    pub inv: UniversalInventory,
+    pub frontends: Vec<Frontend>,
+    /// `[subsystem][utt]` TFLLR-scaled supervectors.
+    pub train_svs: Vec<Vec<SparseVec>>,
+    pub dev_svs: Vec<Vec<SparseVec>>,
+    /// `[subsystem][duration][utt]`.
+    pub test_svs: Vec<Vec<Vec<SparseVec>>>,
+    pub train_labels: Vec<usize>,
+    pub dev_labels: Vec<usize>,
+    /// `[duration][utt]` true labels (evaluation only — the DBA path never
+    /// reads these).
+    pub test_labels: Vec<Vec<usize>>,
+    /// Baseline one-vs-rest VSMs per subsystem (Eq. 7's **M** rows).
+    pub baseline_vsms: Vec<OneVsRest>,
+    /// Cached baseline test scores `[subsystem][duration]` (Eq. 8/9's **F**).
+    pub baseline_test_scores: Vec<Vec<ScoreMatrix>>,
+    /// Cached baseline dev scores `[subsystem]`.
+    pub baseline_dev_scores: Vec<ScoreMatrix>,
+}
+
+impl Experiment {
+    /// Like [`Experiment::build`], but restores decoded supervectors from an
+    /// on-disk cache when one exists for `(scale, seed)` and writes one
+    /// after building otherwise. On a cache hit the acoustic models are not
+    /// trained (front-ends are headless) — only VSM training and scoring
+    /// run, which is the §5.4 "cheap" part of the pipeline.
+    pub fn build_cached(cfg: &ExperimentConfig, cache_dir: &std::path::Path) -> Experiment {
+        let path = crate::cache::cache_path(cache_dir, cfg.scale.name(), cfg.seed);
+        if let Some(c) = crate::cache::load(&path, cfg.seed) {
+            return Self::from_supervectors(cfg, c.train_svs, c.dev_svs, c.test_svs, true);
+        }
+        let exp = Self::build(cfg);
+        if let Err(e) = crate::cache::save(&exp, &path) {
+            eprintln!("[experiment] cache write failed ({e}); continuing uncached");
+        }
+        exp
+    }
+
+    /// Assemble an experiment from precomputed (already TFLLR-scaled)
+    /// supervectors.
+    fn from_supervectors(
+        cfg: &ExperimentConfig,
+        train_svs: Vec<Vec<SparseVec>>,
+        dev_svs: Vec<Vec<SparseVec>>,
+        test_svs: Vec<Vec<Vec<SparseVec>>>,
+        headless: bool,
+    ) -> Experiment {
+        assert!(headless);
+        let inv = UniversalInventory::new();
+        let ds = Dataset::generate(DatasetConfig::new(cfg.scale, cfg.seed));
+        let train_labels: Vec<usize> =
+            ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let dev_labels: Vec<usize> =
+            ds.dev.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let test_labels: Vec<Vec<usize>> = Duration::all()
+            .iter()
+            .map(|&d| {
+                ds.test_set(d).iter().map(|u| u.language.target_index().unwrap()).collect()
+            })
+            .collect();
+        let frontends: Vec<Frontend> = crate::subsystem::standard_subsystems()
+            .into_iter()
+            .map(|spec| Frontend::headless(spec, &inv, cfg.max_order))
+            .collect();
+        // Shape sanity: a stale cache with the wrong sizes must not be used.
+        assert_eq!(train_svs.len(), frontends.len(), "stale cache: subsystem count");
+        assert!(train_svs.iter().all(|g| g.len() == train_labels.len()), "stale cache: train size");
+
+        let mut baseline_vsms = Vec::new();
+        for q in 0..frontends.len() {
+            baseline_vsms.push(OneVsRest::train(
+                &train_svs[q],
+                &train_labels,
+                K,
+                frontends[q].builder.dim(),
+                &cfg.svm,
+            ));
+        }
+        let baseline_test_scores: Vec<Vec<ScoreMatrix>> = (0..frontends.len())
+            .map(|q| {
+                (0..Duration::all().len())
+                    .map(|di| score_set(&baseline_vsms[q], &test_svs[q][di]))
+                    .collect()
+            })
+            .collect();
+        let baseline_dev_scores: Vec<ScoreMatrix> =
+            (0..frontends.len()).map(|q| score_set(&baseline_vsms[q], &dev_svs[q])).collect();
+
+        Experiment {
+            cfg: cfg.clone(),
+            ds,
+            inv,
+            frontends,
+            train_svs,
+            dev_svs,
+            test_svs,
+            train_labels,
+            dev_labels,
+            test_labels,
+            baseline_vsms,
+            baseline_test_scores,
+            baseline_dev_scores,
+        }
+    }
+
+    /// Run the full front-end pipeline. This is the heavy call: everything
+    /// else in the crate reuses its caches.
+    pub fn build(cfg: &ExperimentConfig) -> Experiment {
+        let inv = UniversalInventory::new();
+        let ds = Dataset::generate(DatasetConfig::new(cfg.scale, cfg.seed));
+
+        let train_labels: Vec<usize> = ds
+            .train
+            .iter()
+            .map(|u| u.language.target_index().expect("train is target languages"))
+            .collect();
+        let dev_labels: Vec<usize> =
+            ds.dev.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let test_labels: Vec<Vec<usize>> = Duration::all()
+            .iter()
+            .map(|&d| {
+                ds.test_set(d).iter().map(|u| u.language.target_index().unwrap()).collect()
+            })
+            .collect();
+
+        let mut frontends = Vec::new();
+        let mut train_svs = Vec::new();
+        let mut dev_svs = Vec::new();
+        let mut test_svs = Vec::new();
+        for (qi, spec) in standard_subsystems().into_iter().enumerate() {
+            let mut fe = Frontend::train(
+                spec,
+                &ds,
+                &inv,
+                cfg.max_order,
+                cfg.decoder,
+                cfg.seed ^ (0xFE00 + qi as u64),
+            );
+            let raw_train = fe.supervector_batch(&ds.train, &ds, &inv);
+            let train_scaled = fe.fit_scaler(&raw_train);
+            let dev_scaled = fe.scale(&fe.supervector_batch(&ds.dev, &ds, &inv));
+            let mut per_dur = Vec::new();
+            for &d in Duration::all().iter() {
+                let raw = fe.supervector_batch(ds.test_set(d), &ds, &inv);
+                per_dur.push(fe.scale(&raw));
+            }
+            train_svs.push(train_scaled);
+            dev_svs.push(dev_scaled);
+            test_svs.push(per_dur);
+            frontends.push(fe);
+        }
+
+        // Baseline VSMs (Eq. 6/7) + cached score matrices (Eq. 8/9).
+        let dim_of = |q: usize, frontends: &[Frontend]| frontends[q].builder.dim();
+        let mut baseline_vsms = Vec::new();
+        for q in 0..frontends.len() {
+            baseline_vsms.push(OneVsRest::train(
+                &train_svs[q],
+                &train_labels,
+                K,
+                dim_of(q, &frontends),
+                &cfg.svm,
+            ));
+        }
+        let baseline_test_scores: Vec<Vec<ScoreMatrix>> = (0..frontends.len())
+            .map(|q| {
+                (0..Duration::all().len())
+                    .map(|di| score_set(&baseline_vsms[q], &test_svs[q][di]))
+                    .collect()
+            })
+            .collect();
+        let baseline_dev_scores: Vec<ScoreMatrix> =
+            (0..frontends.len()).map(|q| score_set(&baseline_vsms[q], &dev_svs[q])).collect();
+
+        Experiment {
+            cfg: cfg.clone(),
+            ds,
+            inv,
+            frontends,
+            train_svs,
+            dev_svs,
+            test_svs,
+            train_labels,
+            dev_labels,
+            test_labels,
+            baseline_vsms,
+            baseline_test_scores,
+            baseline_dev_scores,
+        }
+    }
+
+    pub fn num_subsystems(&self) -> usize {
+        self.frontends.len()
+    }
+
+    /// Index of a duration in `Duration::all()`.
+    pub fn duration_index(d: Duration) -> usize {
+        Duration::all().iter().position(|&x| x == d).unwrap()
+    }
+
+    /// Indices of dev utterances whose nominal duration matches `d` (the
+    /// dev split cycles the three test durations; fusion backends are
+    /// trained duration-matched, as the per-duration LRE backends are).
+    pub fn dev_indices_for(&self, d: Duration) -> Vec<usize> {
+        self.ds
+            .dev
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.num_frames == d.frames())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Baseline EER/Cavg per subsystem × duration (the "Baseline" columns of
+    /// Tables 2-4).
+    pub fn baseline_summary(&self) -> Vec<BaselineRow> {
+        let mut rows = Vec::new();
+        for (q, fe) in self.frontends.iter().enumerate() {
+            for (di, &d) in Duration::all().iter().enumerate() {
+                let scores = &self.baseline_test_scores[q][di];
+                let labels = &self.test_labels[di];
+                rows.push(BaselineRow {
+                    subsystem: fe.spec.name.to_string(),
+                    duration: d,
+                    eer: pooled_eer(scores, labels),
+                    cavg: min_cavg(scores, labels, &CavgParams::default()),
+                });
+            }
+        }
+        rows
+    }
+
+    /// True labels of the recognizer-training languages are never part of
+    /// the 23-class closed set; sanity helper used by tests.
+    pub fn is_target(lang: LanguageId) -> bool {
+        lang.target_index().is_some()
+    }
+}
+
+/// Score a supervector set with a one-vs-rest VSM into a matrix (Eq. 9).
+pub fn score_set(vsm: &OneVsRest, svs: &[SparseVec]) -> ScoreMatrix {
+    let mut m = ScoreMatrix::new(vsm.num_classes());
+    for sv in svs {
+        m.push_row(&vsm.scores(sv));
+    }
+    m
+}

@@ -1,0 +1,428 @@
+//! Synthetic language definitions: phonotactic Markov models.
+
+use crate::rng::DeriveRng;
+use lre_phone::{PhoneClass, UniversalInventory, UNIVERSAL_SIZE};
+use rand::RngExt;
+
+/// The 23 NIST LRE 2009 target languages plus the two recognizer-only
+/// languages (Hungarian, Czech) needed to train the BUT-style front-ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum LanguageId {
+    Amharic,
+    Bosnian,
+    Cantonese,
+    Creole,
+    Croatian,
+    Dari,
+    EnglishAmerican,
+    EnglishIndian,
+    Farsi,
+    French,
+    Georgian,
+    Hausa,
+    Hindi,
+    Korean,
+    Mandarin,
+    Pashto,
+    Portuguese,
+    Russian,
+    Spanish,
+    Turkish,
+    Ukrainian,
+    Urdu,
+    Vietnamese,
+    // Recognizer-training-only languages (not LRE09 targets):
+    Hungarian,
+    Czech,
+}
+
+/// Number of LRE 2009 target languages (closed-set condition).
+pub const NUM_TARGET_LANGUAGES: usize = 23;
+
+impl LanguageId {
+    /// All 25 languages, targets first (in enum order).
+    pub fn all() -> [LanguageId; 25] {
+        use LanguageId::*;
+        [
+            Amharic, Bosnian, Cantonese, Creole, Croatian, Dari, EnglishAmerican,
+            EnglishIndian, Farsi, French, Georgian, Hausa, Hindi, Korean, Mandarin, Pashto,
+            Portuguese, Russian, Spanish, Turkish, Ukrainian, Urdu, Vietnamese, Hungarian,
+            Czech,
+        ]
+    }
+
+    /// The 23 closed-set target languages.
+    pub fn targets() -> &'static [LanguageId] {
+        use LanguageId::*;
+        &[
+            Amharic, Bosnian, Cantonese, Creole, Croatian, Dari, EnglishAmerican,
+            EnglishIndian, Farsi, French, Georgian, Hausa, Hindi, Korean, Mandarin, Pashto,
+            Portuguese, Russian, Spanish, Turkish, Ukrainian, Urdu, Vietnamese,
+        ]
+    }
+
+    /// Dense index of a target language in `targets()`, if it is one.
+    pub fn target_index(&self) -> Option<usize> {
+        LanguageId::targets().iter().position(|l| l == self)
+    }
+
+    pub fn name(&self) -> &'static str {
+        use LanguageId::*;
+        match self {
+            Amharic => "amharic",
+            Bosnian => "bosnian",
+            Cantonese => "cantonese",
+            Creole => "creole",
+            Croatian => "croatian",
+            Dari => "dari",
+            EnglishAmerican => "english-am",
+            EnglishIndian => "english-in",
+            Farsi => "farsi",
+            French => "french",
+            Georgian => "georgian",
+            Hausa => "hausa",
+            Hindi => "hindi",
+            Korean => "korean",
+            Mandarin => "mandarin",
+            Pashto => "pashto",
+            Portuguese => "portuguese",
+            Russian => "russian",
+            Spanish => "spanish",
+            Turkish => "turkish",
+            Ukrainian => "ukrainian",
+            Urdu => "urdu",
+            Vietnamese => "vietnamese",
+            Hungarian => "hungarian",
+            Czech => "czech",
+        }
+    }
+
+    /// Language-family clustering. Same tag ⇒ shared phonotactic prototype;
+    /// `spread` is how far the language deviates from the prototype
+    /// (small spread ⇒ highly confusable pairs, like Hindi/Urdu in real LRE).
+    fn family(&self) -> (u64, f32) {
+        use LanguageId::*;
+        match self {
+            Hindi | Urdu => (1, 0.12),
+            Bosnian | Croatian => (2, 0.10),
+            Russian | Ukrainian => (3, 0.18),
+            EnglishAmerican | EnglishIndian => (4, 0.25),
+            Farsi | Dari => (5, 0.12),
+            Mandarin | Cantonese => (6, 0.30),
+            French | Spanish | Portuguese => (7, 0.45),
+            Amharic => (10, 0.8),
+            Creole => (11, 0.8),
+            Georgian => (12, 0.8),
+            Hausa => (13, 0.8),
+            Korean => (14, 0.8),
+            Pashto => (15, 0.6),
+            Turkish => (16, 0.8),
+            Vietnamese => (17, 0.7),
+            Hungarian => (18, 0.8),
+            Czech => (19, 0.55),
+        }
+    }
+
+    /// Whether the language uses the tone-vowel phones heavily.
+    fn is_tonal(&self) -> bool {
+        matches!(self, LanguageId::Mandarin | LanguageId::Cantonese | LanguageId::Vietnamese)
+    }
+}
+
+/// A language's generative phonotactic model over the universal phone space.
+#[derive(Clone, Debug)]
+pub struct LanguageModel {
+    pub id: LanguageId,
+    /// Initial phone distribution (length [`UNIVERSAL_SIZE`]).
+    initial: Vec<f32>,
+    /// Row-stochastic transition matrix, flat `UNIVERSAL_SIZE²`.
+    trans: Vec<f32>,
+    /// Base fundamental frequency scale for the language (prosody flavor).
+    pub f0_scale: f32,
+    /// Base speaking-rate factor (1.0 = inventory mean durations).
+    pub rate: f32,
+}
+
+/// Structural plausibility of a `class → class` transition; this encodes
+/// universal phonotactics (CV alternation, clusters rarer, silence behavior)
+/// so every synthetic language sounds speech-like.
+fn class_weight(from: PhoneClass, to: PhoneClass) -> f32 {
+    use PhoneClass::*;
+    match (from, to) {
+        (Silence, Silence) => 0.05,
+        (Silence, Noise) => 0.1,
+        (Silence, _) => 1.0,
+        (_, Silence) => 0.12,
+        (Noise, Noise) => 0.05,
+        (Noise, _) => 0.6,
+        (_, Noise) => 0.03,
+        (Vowel, Vowel) => 0.25,
+        (Vowel, _) => 1.0,
+        (Stop, Vowel) | (Fricative, Vowel) | (Affricate, Vowel) => 1.6,
+        (Nasal, Vowel) | (Liquid, Vowel) | (Glide, Vowel) => 1.8,
+        (Stop, Liquid) | (Stop, Glide) | (Fricative, Liquid) => 0.5,
+        (Fricative, Stop) | (Stop, Fricative) => 0.25,
+        (Nasal, Stop) => 0.5,
+        _ => 0.2,
+    }
+}
+
+/// Build the model for one language, deterministically from `corpus_seed`.
+pub fn build_language(id: LanguageId, corpus_seed: u64, inv: &UniversalInventory) -> LanguageModel {
+    let n = inv.len();
+    debug_assert_eq!(n, UNIVERSAL_SIZE);
+    let (family_tag, spread) = id.family();
+    let root = DeriveRng::new(corpus_seed);
+    let fam = root.derive(0x00FA_0000 + family_tag);
+    let lang = root.derive(0x001A_0000 + id as u64);
+    let mut fam_rng = fam.rng();
+    let mut lang_rng = lang.rng();
+
+    // --- Phone preference vector -------------------------------------------------
+    // Family prototype preferences, then language-level perturbation by
+    // `spread`, then tonal boosting / suppression.
+    let mut pref = vec![0.0f32; n];
+    for p in pref.iter_mut() {
+        *p = gaussian(&mut fam_rng, 0.0, 0.9).exp() as f32;
+    }
+    for p in pref.iter_mut() {
+        *p *= gaussian(&mut lang_rng, 0.0, spread as f64).exp() as f32;
+    }
+    // Suppress a language-specific subset of phones (phones "missing" from
+    // the language) — never the non-speech units or all vowels.
+    for (u, p) in pref.iter_mut().enumerate() {
+        let def = inv.phone(u);
+        let keep_always =
+            matches!(def.class, PhoneClass::Silence | PhoneClass::Noise) || def.symbol.len() == 1;
+        if !keep_always && lang_rng.random::<f32>() < 0.30 {
+            *p *= 0.02;
+        }
+    }
+    // Tone vowels: boosted in tonal languages, suppressed elsewhere.
+    for (u, p) in pref.iter_mut().enumerate() {
+        let sym = &inv.phone(u).symbol;
+        let is_tone = sym.ends_with(|c: char| c.is_ascii_digit());
+        if is_tone {
+            *p *= if id.is_tonal() { 4.0 } else { 0.01 };
+        }
+    }
+
+    // --- Transition matrix ---------------------------------------------------------
+    let mut trans = vec![0.0f32; n * n];
+    // Family-level pair noise must be identical for all family members, so it
+    // comes from a fresh family stream; language-level noise from `lang`.
+    let mut fam_pair_rng = fam.derive(1).rng();
+    let mut lang_pair_rng = lang.derive(1).rng();
+    for i in 0..n {
+        let ci = inv.phone(i).class;
+        let row = &mut trans[i * n..(i + 1) * n];
+        let mut sum = 0.0f32;
+        for (j, t) in row.iter_mut().enumerate() {
+            let cj = inv.phone(j).class;
+            let g_fam = gaussian(&mut fam_pair_rng, 0.0, 0.55);
+            let g_lang = gaussian(&mut lang_pair_rng, 0.0, (0.9 * spread) as f64);
+            let self_penalty = if i == j { 0.05 } else { 1.0 };
+            let w = class_weight(ci, cj) * pref[j] * ((g_fam + g_lang).exp() as f32) * self_penalty;
+            *t = w;
+            sum += w;
+        }
+        // Normalize the row; every row has positive mass because class
+        // weights are positive.
+        let inv_sum = 1.0 / sum;
+        for t in row.iter_mut() {
+            *t *= inv_sum;
+        }
+    }
+
+    // --- Initial distribution: start at silence mostly ------------------------------
+    let mut initial = vec![0.0f32; n];
+    let sil = inv.silence();
+    for (u, v) in initial.iter_mut().enumerate() {
+        *v = if u == sil { 5.0 } else { pref[u] * 0.05 };
+    }
+    let s: f32 = initial.iter().sum();
+    initial.iter_mut().for_each(|v| *v /= s);
+
+    let f0_scale = 0.9 + 0.2 * lang_rng.random::<f32>();
+    let rate = 0.9 + 0.2 * lang_rng.random::<f32>();
+    LanguageModel { id, initial, trans, f0_scale, rate }
+}
+
+/// Build all 25 languages for a corpus seed.
+pub fn all_languages(corpus_seed: u64) -> Vec<LanguageModel> {
+    let inv = UniversalInventory::new();
+    LanguageId::all().into_iter().map(|id| build_language(id, corpus_seed, &inv)).collect()
+}
+
+impl LanguageModel {
+    /// A phonetically balanced variant of this language: transitions are
+    /// blended toward the class-structured uniform distribution with weight
+    /// `w`, so every universal phone gets real coverage.
+    ///
+    /// Used for recognizer acoustic-model training data — real phone
+    /// recognizers (SpeechDat-E, Switchboard) are trained on phonetically
+    /// balanced material, which is why they transcribe *other* languages
+    /// usably. Without this, a recognizer would never see the phones its
+    /// own language suppresses and would shred every other language.
+    pub fn phonetically_balanced(&self, w: f32, inv: &UniversalInventory) -> LanguageModel {
+        assert!((0.0..=1.0).contains(&w));
+        let n = self.initial.len();
+        let mut out = self.clone();
+        // Uniform-within-class-weights rows.
+        for i in 0..n {
+            let ci = inv.phone(i).class;
+            let mut uniform: Vec<f32> = (0..n)
+                .map(|j| class_weight(ci, inv.phone(j).class) * if i == j { 0.05 } else { 1.0 })
+                .collect();
+            let s: f32 = uniform.iter().sum();
+            uniform.iter_mut().for_each(|v| *v /= s);
+            let row = &mut out.trans[i * n..(i + 1) * n];
+            for (r, u) in row.iter_mut().zip(&uniform) {
+                *r = (1.0 - w) * *r + w * u;
+            }
+        }
+        let mut uniform_init = vec![1.0 / n as f32; n];
+        uniform_init[inv.silence()] += 0.1;
+        let s: f32 = uniform_init.iter().sum();
+        uniform_init.iter_mut().for_each(|v| *v /= s);
+        for (iv, u) in out.initial.iter_mut().zip(&uniform_init) {
+            *iv = (1.0 - w) * *iv + w * u;
+        }
+        out
+    }
+
+    /// Transition row for phone `i` (sums to 1).
+    #[inline]
+    pub fn transitions_from(&self, i: usize) -> &[f32] {
+        let n = self.initial.len();
+        &self.trans[i * n..(i + 1) * n]
+    }
+
+    /// Initial phone distribution.
+    #[inline]
+    pub fn initial(&self) -> &[f32] {
+        &self.initial
+    }
+
+    /// Sample the next phone given the current one.
+    pub fn sample_next<R: RngExt>(&self, current: usize, rng: &mut R) -> usize {
+        sample_categorical(self.transitions_from(current), rng)
+    }
+
+    /// Sample an initial phone.
+    pub fn sample_initial<R: RngExt>(&self, rng: &mut R) -> usize {
+        sample_categorical(&self.initial, rng)
+    }
+}
+
+/// Sample an index from an (already normalized) categorical distribution.
+pub fn sample_categorical<R: RngExt>(probs: &[f32], rng: &mut R) -> usize {
+    let u: f32 = rng.random();
+    let mut acc = 0.0f32;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1 // numerical tail
+}
+
+/// Box-Muller standard normal, scaled.
+pub fn gaussian<R: RngExt>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_stochastic() {
+        let inv = UniversalInventory::new();
+        let lm = build_language(LanguageId::French, 3, &inv);
+        for i in 0..UNIVERSAL_SIZE {
+            let s: f32 = lm.transitions_from(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {i} sums to {s}");
+            assert!(lm.transitions_from(i).iter().all(|&p| p >= 0.0));
+        }
+        let s0: f32 = lm.initial().iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let inv = UniversalInventory::new();
+        let a = build_language(LanguageId::Korean, 9, &inv);
+        let b = build_language(LanguageId::Korean, 9, &inv);
+        assert_eq!(a.transitions_from(5), b.transitions_from(5));
+    }
+
+    #[test]
+    fn family_members_are_closer_than_strangers() {
+        let inv = UniversalInventory::new();
+        let hi = build_language(LanguageId::Hindi, 42, &inv);
+        let ur = build_language(LanguageId::Urdu, 42, &inv);
+        let ko = build_language(LanguageId::Korean, 42, &inv);
+        let dist = |a: &LanguageModel, b: &LanguageModel| -> f32 {
+            let mut d = 0.0;
+            for i in 0..UNIVERSAL_SIZE {
+                for (x, y) in a.transitions_from(i).iter().zip(b.transitions_from(i)) {
+                    d += (x - y).abs();
+                }
+            }
+            d
+        };
+        assert!(
+            dist(&hi, &ur) < 0.5 * dist(&hi, &ko),
+            "Hindi-Urdu {} vs Hindi-Korean {}",
+            dist(&hi, &ur),
+            dist(&hi, &ko)
+        );
+    }
+
+    #[test]
+    fn tonal_languages_emit_tone_phones() {
+        let inv = UniversalInventory::new();
+        let ma = build_language(LanguageId::Mandarin, 5, &inv);
+        let fr = build_language(LanguageId::French, 5, &inv);
+        let tone_idx = inv.index_of("a1").unwrap();
+        // Average inbound probability of a tone phone.
+        let avg_in = |lm: &LanguageModel| -> f32 {
+            (0..UNIVERSAL_SIZE).map(|i| lm.transitions_from(i)[tone_idx]).sum::<f32>()
+                / UNIVERSAL_SIZE as f32
+        };
+        assert!(avg_in(&ma) > 10.0 * avg_in(&fr));
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let inv = UniversalInventory::new();
+        let lm = build_language(LanguageId::Turkish, 8, &inv);
+        let mut rng = DeriveRng::new(1).rng();
+        let mut phone = lm.sample_initial(&mut rng);
+        for _ in 0..500 {
+            phone = lm.sample_next(phone, &mut rng);
+            assert!(phone < UNIVERSAL_SIZE);
+        }
+    }
+
+    #[test]
+    fn target_index_consistency() {
+        assert_eq!(LanguageId::Amharic.target_index(), Some(0));
+        assert_eq!(LanguageId::Vietnamese.target_index(), Some(22));
+        assert_eq!(LanguageId::Hungarian.target_index(), None);
+        assert_eq!(LanguageId::targets().len(), NUM_TARGET_LANGUAGES);
+    }
+
+    #[test]
+    fn sample_categorical_is_correct_on_point_mass() {
+        let mut rng = DeriveRng::new(3).rng();
+        for _ in 0..20 {
+            assert_eq!(sample_categorical(&[0.0, 1.0, 0.0], &mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Speaker variability model.
+
+use crate::language::gaussian;
+use crate::rng::DeriveRng;
+
+/// Per-speaker factors applied at synthesis time.
+///
+/// `formant_scale` models vocal-tract length (shifts all formants), `f0_scale`
+/// pitch, and `rate` speaking rate (scales phone durations). Train and test
+/// speaker pools are drawn with *different* population parameters so that
+/// test utterances are systematically mismatched — the condition DBA's
+/// self-training exploits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Speaker {
+    pub formant_scale: f32,
+    pub f0_scale: f32,
+    pub rate: f32,
+}
+
+impl Speaker {
+    /// Draw a speaker from the *training* population.
+    pub fn train_pool(seed: u64) -> Speaker {
+        let mut rng = DeriveRng::new(seed).derive(0x5EED_0001).rng();
+        Speaker {
+            formant_scale: gaussian(&mut rng, 1.0, 0.045).clamp(0.8, 1.25) as f32,
+            f0_scale: gaussian(&mut rng, 1.0, 0.18).clamp(0.5, 2.0) as f32,
+            rate: gaussian(&mut rng, 1.0, 0.08).clamp(0.7, 1.4) as f32,
+        }
+    }
+
+    /// Draw a speaker from the *test* population: slightly shifted mean and
+    /// wider spread (unseen speakers, more diverse demographics).
+    pub fn test_pool(seed: u64) -> Speaker {
+        let mut rng = DeriveRng::new(seed).derive(0x5EED_0002).rng();
+        Speaker {
+            formant_scale: gaussian(&mut rng, 1.03, 0.065).clamp(0.8, 1.3) as f32,
+            f0_scale: gaussian(&mut rng, 1.05, 0.24).clamp(0.5, 2.2) as f32,
+            rate: gaussian(&mut rng, 0.97, 0.11).clamp(0.65, 1.5) as f32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(Speaker::train_pool(7), Speaker::train_pool(7));
+        assert_eq!(Speaker::test_pool(7), Speaker::test_pool(7));
+    }
+
+    #[test]
+    fn pools_differ_for_same_seed() {
+        assert_ne!(Speaker::train_pool(7), Speaker::test_pool(7));
+    }
+
+    #[test]
+    fn factors_are_physical() {
+        for seed in 0..200 {
+            for s in [Speaker::train_pool(seed), Speaker::test_pool(seed)] {
+                assert!(s.formant_scale > 0.5 && s.formant_scale < 1.5);
+                assert!(s.f0_scale > 0.3 && s.f0_scale < 2.5);
+                assert!(s.rate > 0.5 && s.rate < 1.6);
+            }
+        }
+    }
+
+    #[test]
+    fn test_pool_mean_formant_shift() {
+        let mean = |f: fn(u64) -> Speaker| -> f32 {
+            (0..500).map(|s| f(s).formant_scale).sum::<f32>() / 500.0
+        };
+        let (train, test) = (mean(Speaker::train_pool), mean(Speaker::test_pool));
+        assert!(test > train + 0.01, "train {train} test {test}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Utterance specification and rendering.
+
+use crate::channel::Channel;
+use crate::language::{gaussian, LanguageId, LanguageModel};
+use crate::rng::DeriveRng;
+use crate::speaker::Speaker;
+use lre_dsp::{Segment, SynthConfig, Synthesizer};
+use lre_phone::UniversalInventory;
+
+/// Samples per 10 ms frame hop at 8 kHz.
+pub const HOP: usize = 80;
+/// Analysis window length in samples (25 ms at 8 kHz).
+pub const WINDOW: usize = 200;
+
+/// Lightweight description of one utterance; rendering is done on demand so
+/// datasets are stored as metadata only.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UttSpec {
+    pub language: LanguageId,
+    /// Seed identifying the speaker (pool chosen by the dataset builder).
+    pub speaker_seed: u64,
+    pub channel: Channel,
+    /// Nominal length in 10 ms frames (750/250/75 for "30s/10s/3s").
+    pub num_frames: usize,
+    /// Master seed for the utterance's phone sequence and noise.
+    pub seed: u64,
+}
+
+/// A rendered utterance: channel-processed waveform plus the frame-level
+/// reference alignment (universal phone index per frame) used to train the
+/// recognizers supervised.
+#[derive(Clone, Debug)]
+pub struct RenderedUtterance {
+    pub samples: Vec<f32>,
+    /// `alignment[t]` = universal phone active in frame `t`; length equals
+    /// the spec's `num_frames`.
+    pub alignment: Vec<u16>,
+}
+
+/// Number of samples needed so the 25 ms / 10 ms analysis yields exactly
+/// `num_frames` frames.
+pub fn samples_for_frames(num_frames: usize) -> usize {
+    if num_frames == 0 {
+        0
+    } else {
+        (num_frames - 1) * HOP + WINDOW
+    }
+}
+
+/// Render an utterance: sample a phone sequence from the language model,
+/// synthesize it for the given speaker, and push it through the channel.
+pub fn render_utterance(
+    spec: &UttSpec,
+    lang: &LanguageModel,
+    inv: &UniversalInventory,
+) -> RenderedUtterance {
+    assert_eq!(lang.id, spec.language, "language model does not match the spec");
+    let node = DeriveRng::new(spec.seed);
+    let mut seq_rng = node.derive(1).rng();
+    let speaker = pick_speaker(spec);
+
+    // --- Sample phone sequence with durations until the frame budget is met.
+    let rate = lang.rate * speaker.rate;
+    let mut phones: Vec<(usize, usize)> = Vec::new(); // (universal idx, dur frames)
+    let mut total = 0usize;
+    let mut current = lang.sample_initial(&mut seq_rng);
+    while total < spec.num_frames {
+        let def = inv.phone(current);
+        let dur = (gaussian(&mut seq_rng, def.mean_dur_frames as f64, def.std_dur_frames as f64)
+            / rate as f64)
+            .round()
+            .max(2.0) as usize;
+        let dur = dur.min(spec.num_frames - total.min(spec.num_frames)).max(1);
+        phones.push((current, dur));
+        total += dur;
+        current = lang.sample_next(current, &mut seq_rng);
+    }
+
+    // --- Frame alignment.
+    let mut alignment = Vec::with_capacity(spec.num_frames);
+    for &(p, dur) in &phones {
+        for _ in 0..dur {
+            if alignment.len() < spec.num_frames {
+                alignment.push(p as u16);
+            }
+        }
+    }
+    debug_assert_eq!(alignment.len(), spec.num_frames);
+
+    // --- Synthesize.
+    let mut jitter_rng = node.derive(2).rng();
+    let segments: Vec<Segment> = phones
+        .iter()
+        .map(|&(p, dur)| {
+            let def = inv.phone(p);
+            let mut spec_j = def.spec;
+            for f in spec_j.formants.iter_mut() {
+                if *f > 0.0 {
+                    let jitter = 1.0 + 0.03 * gaussian(&mut jitter_rng, 0.0, 1.0) as f32;
+                    *f = (*f * speaker.formant_scale * jitter).min(3900.0);
+                }
+            }
+            let f0_scale = lang.f0_scale
+                * speaker.f0_scale
+                * tone_f0(&def.symbol)
+                * (1.0 + 0.05 * gaussian(&mut jitter_rng, 0.0, 1.0) as f32);
+            Segment { spec: spec_j, samples: dur * HOP, f0_scale: f0_scale.clamp(0.4, 2.5) }
+        })
+        .collect();
+
+    let cfg = SynthConfig { sample_rate: 8000.0, f0: 120.0 };
+    let mut synth = Synthesizer::new(cfg, node.derive(3).0);
+    let want = samples_for_frames(spec.num_frames);
+    let mut samples = Vec::with_capacity(want + WINDOW);
+    synth.render_into(&segments, &mut samples);
+    // Top up (window tail) or trim to the exact analysis length.
+    while samples.len() < want {
+        samples.push(0.0);
+    }
+    samples.truncate(want);
+
+    // --- Channel.
+    spec.channel.apply(&mut samples, node.derive(4).0);
+
+    RenderedUtterance { samples, alignment }
+}
+
+/// The speaker pool is encoded in the top bit of `speaker_seed` by the
+/// dataset builder: test-pool speakers have it set.
+fn pick_speaker(spec: &UttSpec) -> Speaker {
+    const TEST_POOL_BIT: u64 = 1 << 63;
+    if spec.speaker_seed & TEST_POOL_BIT != 0 {
+        Speaker::test_pool(spec.speaker_seed & !TEST_POOL_BIT)
+    } else {
+        Speaker::train_pool(spec.speaker_seed)
+    }
+}
+
+/// Marks a speaker seed as belonging to the test pool.
+pub fn test_pool_seed(seed: u64) -> u64 {
+    seed | (1 << 63)
+}
+
+/// f0 multiplier realizing a crude tone contour for the tone-vowel phones.
+fn tone_f0(symbol: &str) -> f32 {
+    match symbol.as_bytes().last() {
+        Some(b'1') => 1.25,
+        Some(b'2') => 1.05,
+        Some(b'3') => 0.80,
+        Some(b'4') => 1.12,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::build_language;
+
+    fn setup() -> (UniversalInventory, LanguageModel) {
+        let inv = UniversalInventory::new();
+        let lm = build_language(LanguageId::Spanish, 11, &inv);
+        (inv, lm)
+    }
+
+    fn spec(frames: usize, seed: u64) -> UttSpec {
+        UttSpec {
+            language: LanguageId::Spanish,
+            speaker_seed: 3,
+            channel: Channel::telephone(20.0),
+            num_frames: frames,
+            seed,
+        }
+    }
+
+    #[test]
+    fn exact_frame_and_sample_counts() {
+        let (inv, lm) = setup();
+        for frames in [75, 250, 750] {
+            let r = render_utterance(&spec(frames, 5), &lm, &inv);
+            assert_eq!(r.alignment.len(), frames);
+            assert_eq!(r.samples.len(), samples_for_frames(frames));
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let (inv, lm) = setup();
+        let a = render_utterance(&spec(100, 77), &lm, &inv);
+        let b = render_utterance(&spec(100, 77), &lm, &inv);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.alignment, b.alignment);
+    }
+
+    #[test]
+    fn different_seeds_give_different_utterances() {
+        let (inv, lm) = setup();
+        let a = render_utterance(&spec(100, 1), &lm, &inv);
+        let b = render_utterance(&spec(100, 2), &lm, &inv);
+        assert_ne!(a.alignment, b.alignment);
+    }
+
+    #[test]
+    fn alignment_has_multiple_phones() {
+        let (inv, lm) = setup();
+        let r = render_utterance(&spec(250, 9), &lm, &inv);
+        let distinct: std::collections::HashSet<u16> = r.alignment.iter().copied().collect();
+        assert!(distinct.len() >= 5, "only {} distinct phones", distinct.len());
+    }
+
+    #[test]
+    fn audio_has_energy() {
+        let (inv, lm) = setup();
+        let r = render_utterance(&spec(250, 13), &lm, &inv);
+        let e: f32 = r.samples.iter().map(|v| v * v).sum();
+        assert!(e > 1.0, "energy {e}");
+        assert!(r.samples.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn test_pool_bit_changes_speaker_not_language() {
+        let (inv, lm) = setup();
+        let mut s2 = spec(100, 5);
+        s2.speaker_seed = test_pool_seed(3);
+        let a = render_utterance(&spec(100, 5), &lm, &inv);
+        let b = render_utterance(&s2, &lm, &inv);
+        // Same phone-sequence stream (same seed) so the first phone agrees,
+        // but the test-pool speaker's rate/formants differ: the audio must
+        // change (durations may shift the rest of the alignment).
+        assert_eq!(a.alignment[0], b.alignment[0]);
+        assert_ne!(a.samples, b.samples);
+    }
+}

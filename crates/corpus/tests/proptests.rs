@@ -1,0 +1,94 @@
+//! Property-based tests for the synthetic corpus.
+
+use lre_corpus::{
+    build_language, render_utterance, sample_categorical, Channel, DeriveRng, LanguageId,
+    UttSpec,
+};
+use lre_phone::{UniversalInventory, UNIVERSAL_SIZE};
+use proptest::prelude::*;
+use rand::RngExt;
+
+fn any_language() -> impl Strategy<Value = LanguageId> {
+    prop::sample::select(LanguageId::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn language_models_are_stochastic_for_all_seeds(lang in any_language(), seed in 0u64..50) {
+        let inv = UniversalInventory::new();
+        let lm = build_language(lang, seed, &inv);
+        for i in 0..UNIVERSAL_SIZE {
+            let row = lm.transitions_from(i);
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-3, "row {i} sums to {s}");
+            prop_assert!(row.iter().all(|&p| p >= 0.0 && p <= 1.0));
+        }
+    }
+
+    #[test]
+    fn rendering_matches_spec_exactly(
+        lang in any_language(),
+        frames in 20usize..200,
+        seed in 0u64..1000,
+        speaker in 0u64..100,
+        snr in 15.0f32..40.0,
+    ) {
+        let inv = UniversalInventory::new();
+        let lm = build_language(lang, 5, &inv);
+        let spec = UttSpec {
+            language: lang,
+            speaker_seed: speaker,
+            channel: Channel::telephone(snr),
+            num_frames: frames,
+            seed,
+        };
+        let r = render_utterance(&spec, &lm, &inv);
+        prop_assert_eq!(r.alignment.len(), frames);
+        prop_assert_eq!(r.samples.len(), lre_corpus::render_utterance(&spec, &lm, &inv).samples.len());
+        prop_assert!(r.samples.iter().all(|v| v.is_finite()));
+        prop_assert!(r.alignment.iter().all(|&p| (p as usize) < UNIVERSAL_SIZE));
+    }
+
+    #[test]
+    fn sample_categorical_respects_support(seed in 0u64..500) {
+        // A distribution with a zeroed-out region must never sample from it.
+        let mut probs = vec![0.0f32; 10];
+        probs[3] = 0.5;
+        probs[7] = 0.5;
+        let mut rng = DeriveRng::new(seed).rng();
+        for _ in 0..50 {
+            let s = sample_categorical(&probs, &mut rng);
+            prop_assert!(s == 3 || s == 7, "sampled index {s} outside support");
+        }
+    }
+
+    #[test]
+    fn derive_rng_streams_do_not_collide(seed in 0u64..1000, a in 0u64..5000, b in 0u64..5000) {
+        if a != b {
+            let root = DeriveRng::new(seed);
+            prop_assert_ne!(root.derive(a).0, root.derive(b).0);
+            let mut ra = root.derive(a).rng();
+            let mut rb = root.derive(b).rng();
+            let va: u64 = ra.random();
+            let vb: u64 = rb.random();
+            prop_assert_ne!(va, vb);
+        }
+    }
+
+    #[test]
+    fn channel_preserves_length_and_finiteness(
+        n in 10usize..4000,
+        snr in 5.0f32..45.0,
+        seed in 0u64..100,
+        voa in proptest::bool::ANY,
+    ) {
+        let mut samples: Vec<f32> =
+            (0..n).map(|i| ((i as f32) * 0.21).sin() * 0.7).collect();
+        let ch = if voa { Channel::broadcast(snr) } else { Channel::telephone(snr) };
+        ch.apply(&mut samples, seed);
+        prop_assert_eq!(samples.len(), n);
+        prop_assert!(samples.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Cepstral mean and variance normalization (CMVN).
+//!
+//! §4.1: "input PLP features are normalized to have zero mean and unit
+//! variance based on conversation-side information" and "cepstral mean
+//! subtraction and variance normalization are both applied". We implement
+//! per-utterance CMVN, which is the conversation-side variant when each
+//! utterance is one side.
+
+use crate::frames::FrameMatrix;
+
+/// Normalize each feature dimension of `feats` to zero mean, unit variance
+/// in place. Dimensions with (near-)zero variance are left mean-centered.
+pub fn cmvn_in_place(feats: &mut FrameMatrix) {
+    let t_max = feats.num_frames();
+    if t_max == 0 {
+        return;
+    }
+    let d = feats.dim();
+    let mut mean = vec![0.0_f64; d];
+    let mut sq = vec![0.0_f64; d];
+    for fr in feats.iter() {
+        for i in 0..d {
+            mean[i] += fr[i] as f64;
+            sq[i] += (fr[i] as f64) * (fr[i] as f64);
+        }
+    }
+    let n = t_max as f64;
+    for i in 0..d {
+        mean[i] /= n;
+        sq[i] = (sq[i] / n - mean[i] * mean[i]).max(0.0);
+    }
+    let inv_std: Vec<f32> =
+        sq.iter().map(|&v| if v > 1e-12 { 1.0 / (v.sqrt() as f32) } else { 1.0 }).collect();
+    let mean32: Vec<f32> = mean.iter().map(|&m| m as f32).collect();
+    for t in 0..t_max {
+        let fr = feats.frame_mut(t);
+        for i in 0..d {
+            fr[i] = (fr[i] - mean32[i]) * inv_std[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(m: &FrameMatrix, dim: usize) -> (f64, f64) {
+        let n = m.num_frames() as f64;
+        let mean = m.iter().map(|f| f[dim] as f64).sum::<f64>() / n;
+        let var = m.iter().map(|f| (f[dim] as f64 - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_variance() {
+        let mut m = FrameMatrix::from_flat(
+            2,
+            vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0, 5.0, 50.0],
+        );
+        cmvn_in_place(&mut m);
+        for dim in 0..2 {
+            let (mean, var) = stats(&m, dim);
+            assert!(mean.abs() < 1e-6, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-5, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_dimension_becomes_zero() {
+        let mut m = FrameMatrix::from_flat(1, vec![7.0; 5]);
+        cmvn_in_place(&mut m);
+        assert!(m.as_slice().iter().all(|&v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn empty_matrix_is_noop() {
+        let mut m = FrameMatrix::new(4);
+        cmvn_in_place(&mut m);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // CMVN(x) == CMVN(a*x + b) for a > 0.
+        let base = vec![1.0_f32, 4.0, 2.0, 8.0, 5.0, 3.0];
+        let mut m1 = FrameMatrix::from_flat(1, base.clone());
+        let mut m2 = FrameMatrix::from_flat(1, base.iter().map(|v| 3.0 * v - 7.0).collect());
+        cmvn_in_place(&mut m1);
+        cmvn_in_place(&mut m2);
+        for (a, b) in m1.as_slice().iter().zip(m2.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

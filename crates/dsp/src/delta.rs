@@ -1,0 +1,88 @@
+//! Delta (derivative) feature appending.
+//!
+//! The paper's acoustic front-ends use "first order and second order
+//! derivatives" of 12-13 base coefficients (§4.1), giving 39-dimensional
+//! vectors. We use the standard regression formula over a ±`window` context.
+
+use crate::frames::FrameMatrix;
+
+/// Compute regression deltas of `feats` with the standard formula
+/// `d_t = Σ_{k=1..w} k (x_{t+k} - x_{t-k}) / (2 Σ k²)`, clamping at edges.
+pub fn compute_deltas(feats: &FrameMatrix, window: usize) -> FrameMatrix {
+    assert!(window >= 1);
+    let t_max = feats.num_frames();
+    let d = feats.dim();
+    let denom: f32 = 2.0 * (1..=window).map(|k| (k * k) as f32).sum::<f32>();
+    let mut out = FrameMatrix::with_capacity(d, t_max);
+    let mut row = vec![0.0_f32; d];
+    for t in 0..t_max {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        for k in 1..=window {
+            let fwd = feats.frame((t + k).min(t_max - 1));
+            let bwd = feats.frame(t.saturating_sub(k));
+            for (r, (&f, &b)) in row.iter_mut().zip(fwd.iter().zip(bwd)) {
+                *r += k as f32 * (f - b);
+            }
+        }
+        for r in row.iter_mut() {
+            *r /= denom;
+        }
+        out.push(&row);
+    }
+    out
+}
+
+/// Append Δ and ΔΔ features: `[x, Δx, ΔΔx]`, tripling the dimension.
+pub fn append_deltas(feats: &FrameMatrix, window: usize) -> FrameMatrix {
+    let d1 = compute_deltas(feats, window);
+    let d2 = compute_deltas(&d1, window);
+    let d = feats.dim();
+    let mut out = FrameMatrix::with_capacity(3 * d, feats.num_frames());
+    let mut row = vec![0.0_f32; 3 * d];
+    for t in 0..feats.num_frames() {
+        row[..d].copy_from_slice(feats.frame(t));
+        row[d..2 * d].copy_from_slice(d1.frame(t));
+        row[2 * d..].copy_from_slice(d2.frame(t));
+        out.push(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_of_constant_is_zero() {
+        let f = FrameMatrix::from_flat(2, vec![3.0, -1.0, 3.0, -1.0, 3.0, -1.0, 3.0, -1.0]);
+        let d = compute_deltas(&f, 2);
+        assert!(d.as_slice().iter().all(|&v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn delta_of_linear_ramp_is_constant_slope() {
+        // x_t = 2t: interior deltas should equal the slope 2.
+        let vals: Vec<f32> = (0..10).map(|t| 2.0 * t as f32).collect();
+        let f = FrameMatrix::from_flat(1, vals);
+        let d = compute_deltas(&f, 2);
+        for t in 2..8 {
+            assert!((d.frame(t)[0] - 2.0).abs() < 1e-6, "t={t}: {}", d.frame(t)[0]);
+        }
+    }
+
+    #[test]
+    fn append_triples_dimension() {
+        let f = FrameMatrix::from_flat(3, vec![0.0; 15]);
+        let a = append_deltas(&f, 2);
+        assert_eq!(a.dim(), 9);
+        assert_eq!(a.num_frames(), 5);
+    }
+
+    #[test]
+    fn statics_preserved_in_first_block() {
+        let f = FrameMatrix::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let a = append_deltas(&f, 1);
+        assert_eq!(&a.frame(0)[..2], &[1.0, 2.0]);
+        assert_eq!(&a.frame(1)[..2], &[3.0, 4.0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Iterative radix-2 Cooley-Tukey FFT.
+
+/// Minimal complex number for the FFT (we avoid pulling in a numerics crate).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Complex {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    #[inline]
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    #[inline]
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    #[inline]
+    pub fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    #[inline]
+    pub fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place forward FFT. `buf.len()` must be a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (s, c) = ang.sin_cos();
+        let wlen = Complex::new(c as f32, s as f32);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2].mul(w);
+                buf[i + k] = u.add(v);
+                buf[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectrum (`|X[k]|²` for `k = 0..=n/2`) of a real frame, zero-padded to
+/// `nfft` (must be a power of two and ≥ `frame.len()`).
+pub fn power_spectrum(frame: &[f32], nfft: usize) -> Vec<f32> {
+    assert!(nfft.is_power_of_two());
+    assert!(nfft >= frame.len(), "nfft must cover the frame");
+    let mut buf = vec![Complex::ZERO; nfft];
+    for (b, &x) in buf.iter_mut().zip(frame) {
+        b.re = x;
+    }
+    fft_in_place(&mut buf);
+    buf[..=nfft / 2].iter().map(|c| c.norm_sq()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &xj) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    let w = Complex::new(ang.cos() as f32, ang.sin() as f32);
+                    acc = acc.add(xj.mul(w));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> =
+            (0..16).map(|i| Complex::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos())).collect();
+        let expect = dft_naive(&x);
+        let mut got = x.clone();
+        fft_in_place(&mut got);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g.re - e.re).abs() < 1e-4, "{g:?} vs {e:?}");
+            assert!((g.im - e.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut buf = vec![Complex::ZERO; 8];
+        buf[0].re = 1.0;
+        fft_in_place(&mut buf);
+        for c in &buf {
+            assert!((c.re - 1.0).abs() < 1e-6 && c.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<f32> = (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * k0 as f32 * i as f32 / n as f32).cos())
+            .collect();
+        let ps = power_spectrum(&x, n);
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<f32> = (0..32).map(|i| ((i * i) as f32 * 0.013).sin()).collect();
+        let time_energy: f32 = x.iter().map(|v| v * v).sum();
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut buf);
+        let freq_energy: f32 = buf.iter().map(|c| c.norm_sq()).sum::<f32>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-3 * time_energy.max(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        let mut buf = vec![Complex::ZERO; 12];
+        fft_in_place(&mut buf);
+    }
+}

@@ -1,0 +1,160 @@
+//! PLP front-end (Hermansky 1990, simplified):
+//! power spectrum → bark critical-band analysis → equal-loudness
+//! pre-emphasis → intensity-loudness compression (cube root) → all-pole
+//! model via autocorrelation + Levinson-Durbin → LPC cepstra.
+//!
+//! This is the feature used by the paper's DNN-HMM English recognizer
+//! ("13-dimensional PLP features plus their first and second order
+//! derivatives", §4.1).
+
+use crate::fft::power_spectrum;
+use crate::filterbank::bark_filterbank;
+use crate::frame::{frame_signal, FrameConfig};
+use crate::frames::FrameMatrix;
+use lre_linalg::{levinson_durbin, lpc_to_cepstrum};
+
+/// PLP extraction parameters.
+#[derive(Clone, Debug)]
+pub struct PlpConfig {
+    pub frame: FrameConfig,
+    pub nfft: usize,
+    /// Number of bark critical bands.
+    pub num_bands: usize,
+    /// All-pole model order.
+    pub lpc_order: usize,
+    /// Cepstra to keep, *including* c0.
+    pub num_ceps: usize,
+    pub f_lo: f32,
+    pub f_hi: f32,
+}
+
+impl Default for PlpConfig {
+    fn default() -> Self {
+        Self {
+            frame: FrameConfig::default(),
+            nfft: 256,
+            num_bands: 17,
+            lpc_order: 12,
+            num_ceps: 13,
+            f_lo: 100.0,
+            f_hi: 3800.0,
+        }
+    }
+}
+
+/// Equal-loudness weight for a frequency in Hz (Hermansky's E(ω) approximation).
+pub fn equal_loudness(hz: f32) -> f32 {
+    let w2 = (hz as f64 * 2.0 * std::f64::consts::PI).powi(2);
+    let num = (w2 + 56.8e6) * w2.powi(2);
+    let den = (w2 + 6.3e6).powi(2) * (w2 + 0.38e9);
+    (num / den) as f32
+}
+
+/// Extract PLP features for an utterance.
+pub fn plp(samples: &[f32], cfg: &PlpConfig) -> FrameMatrix {
+    let fb = bark_filterbank(cfg.num_bands, cfg.nfft, cfg.frame.sample_rate, cfg.f_lo, cfg.f_hi);
+    let loudness: Vec<f32> = fb.centers_hz.iter().map(|&hz| equal_loudness(hz)).collect();
+    let frames = frame_signal(samples, &cfg.frame);
+    let wl = cfg.frame.window_len;
+    let nf = frames.len() / wl.max(1);
+
+    let mut out = FrameMatrix::with_capacity(cfg.num_ceps, nf);
+    let mut ceps_f32 = vec![0.0_f32; cfg.num_ceps];
+    // The compressed band spectrum is treated as half of a symmetric spectrum;
+    // its autocorrelation is the inverse DCT (type-I style cosine transform).
+    for f in 0..nf {
+        let ps = power_spectrum(&frames[f * wl..(f + 1) * wl], cfg.nfft);
+        let bands = fb.apply(&ps);
+        // Relative energy floor (see the MFCC pipeline for rationale).
+        let peak = bands
+            .iter()
+            .zip(&loudness)
+            .fold(1e-10f32, |m, (&e, &w)| m.max(e * w));
+        let floor = peak * 1e-4 + 1e-10;
+        // Equal loudness + cube-root compression.
+        let compressed: Vec<f64> = bands
+            .iter()
+            .zip(&loudness)
+            .map(|(&e, &w)| ((e * w).max(floor) as f64).powf(1.0 / 3.0))
+            .collect();
+        let r = cosine_autocorrelation(&compressed, cfg.lpc_order);
+        let ceps = match levinson_durbin(&r, cfg.lpc_order) {
+            Some(lpc) => lpc_to_cepstrum(&lpc.coeffs, lpc.error, cfg.num_ceps - 1),
+            // Degenerate frame (all-zero energy): emit zeros.
+            None => vec![0.0; cfg.num_ceps],
+        };
+        for (o, c) in ceps_f32.iter_mut().zip(&ceps) {
+            *o = *c as f32;
+        }
+        out.push(&ceps_f32);
+    }
+    out
+}
+
+/// Autocorrelation of the symmetric extension of a one-sided band spectrum:
+/// `r[k] = Σ_j s[j] cos(π k j / (J-1))`, with half weights at the endpoints
+/// (discretized inverse Fourier transform of a real even spectrum).
+fn cosine_autocorrelation(spectrum: &[f64], max_lag: usize) -> Vec<f64> {
+    let j_max = spectrum.len();
+    assert!(j_max >= 2);
+    let mut r = vec![0.0; max_lag + 1];
+    for (k, rk) in r.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, &s) in spectrum.iter().enumerate() {
+            let w = if j == 0 || j == j_max - 1 { 0.5 } else { 1.0 };
+            acc += w * s * (std::f64::consts::PI * k as f64 * j as f64 / (j_max as f64 - 1.0)).cos();
+        }
+        *rk = acc / (j_max as f64 - 1.0);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_loudness_has_midband_emphasis() {
+        // The curve should weight ~1-2 kHz well above 100 Hz.
+        assert!(equal_loudness(1500.0) > equal_loudness(100.0) * 10.0);
+    }
+
+    #[test]
+    fn cosine_autocorrelation_flat_spectrum() {
+        // A flat spectrum corresponds to a white process: r[0] > 0, r[k>0] ≈ 0.
+        let r = cosine_autocorrelation(&[1.0; 33], 4);
+        assert!(r[0] > 0.0);
+        for &v in &r[1..] {
+            assert!(v.abs() < 1e-9 * r[0].max(1.0), "lag leak: {v}");
+        }
+    }
+
+    #[test]
+    fn cosine_autocorrelation_r0_dominates() {
+        let s: Vec<f64> = (0..17).map(|i| 1.0 + (i as f64 * 0.4).sin().abs()).collect();
+        let r = cosine_autocorrelation(&s, 8);
+        for &v in &r[1..] {
+            assert!(v.abs() <= r[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn plp_dims_and_finiteness() {
+        let cfg = PlpConfig::default();
+        let samples: Vec<f32> = (0..8000)
+            .map(|i| (2.0 * std::f32::consts::PI * 700.0 * i as f32 / 8000.0).sin())
+            .collect();
+        let p = plp(&samples, &cfg);
+        assert_eq!(p.dim(), 13);
+        assert_eq!(p.num_frames(), cfg.frame.num_frames(8000));
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn silence_yields_frames_without_panicking() {
+        let cfg = PlpConfig::default();
+        let p = plp(&vec![0.0_f32; 4000], &cfg);
+        assert!(p.num_frames() > 0);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

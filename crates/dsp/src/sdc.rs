@@ -1,0 +1,115 @@
+//! Shifted delta cepstra (SDC).
+//!
+//! The classic feature of *acoustic* language recognition (the paper's §1
+//! names acoustic LR systems, citing Torres-Carrasquillo et al.'s GMM/SDC
+//! work as the other major family next to phonotactics). An SDC frame
+//! stacks `k` delta blocks computed `d` frames apart, each sampled every
+//! `p` frames — the standard configuration is N-d-P-k = 7-1-3-7.
+
+use crate::frames::FrameMatrix;
+
+/// SDC configuration (`N-d-P-k` in the literature).
+#[derive(Clone, Copy, Debug)]
+pub struct SdcConfig {
+    /// Base cepstra per frame to use (N).
+    pub n_base: usize,
+    /// Delta spread: block `i` is `c[t + i·P + d] − c[t + i·P − d]` (d).
+    pub d_spread: usize,
+    /// Block shift (P).
+    pub p_shift: usize,
+    /// Number of stacked blocks (k).
+    pub k_blocks: usize,
+}
+
+impl Default for SdcConfig {
+    fn default() -> Self {
+        Self { n_base: 7, d_spread: 1, p_shift: 3, k_blocks: 7 }
+    }
+}
+
+impl SdcConfig {
+    /// Output dimension: base cepstra + stacked deltas.
+    pub fn dim(&self) -> usize {
+        self.n_base * (1 + self.k_blocks)
+    }
+}
+
+/// Compute SDC features from base cepstra (`feats.dim() >= n_base`).
+///
+/// Output frame `t` is `[c_t[0..N], Δ_0, Δ_1, …, Δ_{k−1}]` with
+/// `Δ_i = c[t + iP + d] − c[t + iP − d]` (indices clamped at the edges, the
+/// usual practical convention).
+pub fn sdc(feats: &FrameMatrix, cfg: &SdcConfig) -> FrameMatrix {
+    assert!(feats.dim() >= cfg.n_base, "need at least {} base cepstra", cfg.n_base);
+    assert!(cfg.d_spread >= 1 && cfg.k_blocks >= 1);
+    let t_max = feats.num_frames();
+    let mut out = FrameMatrix::with_capacity(cfg.dim(), t_max);
+    let mut row = vec![0.0f32; cfg.dim()];
+    let clamp = |t: isize| -> usize { t.clamp(0, t_max as isize - 1) as usize };
+    for t in 0..t_max {
+        row[..cfg.n_base].copy_from_slice(&feats.frame(t)[..cfg.n_base]);
+        for b in 0..cfg.k_blocks {
+            let center = t as isize + (b * cfg.p_shift) as isize;
+            let fwd = feats.frame(clamp(center + cfg.d_spread as isize));
+            let bwd = feats.frame(clamp(center - cfg.d_spread as isize));
+            let dst = &mut row[cfg.n_base * (1 + b)..cfg.n_base * (2 + b)];
+            for (o, (&f, &w)) in dst.iter_mut().zip(fwd.iter().zip(bwd)) {
+                *o = f - w;
+            }
+        }
+        out.push(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dim_is_56() {
+        assert_eq!(SdcConfig::default().dim(), 56);
+    }
+
+    #[test]
+    fn constant_input_gives_zero_deltas() {
+        let feats = FrameMatrix::from_flat(8, vec![1.0; 8 * 30]);
+        let s = sdc(&feats, &SdcConfig::default());
+        assert_eq!(s.num_frames(), 30);
+        for t in 0..30 {
+            // Base block preserved, all delta blocks zero.
+            assert!(s.frame(t)[..7].iter().all(|&v| (v - 1.0).abs() < 1e-7));
+            assert!(s.frame(t)[7..].iter().all(|&v| v.abs() < 1e-7));
+        }
+    }
+
+    #[test]
+    fn linear_ramp_gives_constant_deltas() {
+        // c_t = t in every dim: Δ = c[t+d] − c[t−d] = 2d = 2 in the interior.
+        let vals: Vec<f32> = (0..40).flat_map(|t| vec![t as f32; 8]).collect();
+        let feats = FrameMatrix::from_flat(8, vals);
+        let cfg = SdcConfig::default();
+        let s = sdc(&feats, &cfg);
+        // Interior frame far from both edges.
+        let t = 10;
+        for b in 0..cfg.k_blocks - 1 {
+            let block = &s.frame(t)[7 * (1 + b)..7 * (2 + b)];
+            assert!(block.iter().all(|&v| (v - 2.0).abs() < 1e-6), "block {b}: {block:?}");
+        }
+    }
+
+    #[test]
+    fn edges_are_clamped_not_panicking() {
+        let feats = FrameMatrix::from_flat(8, (0..8 * 5).map(|i| i as f32).collect());
+        let s = sdc(&feats, &SdcConfig::default());
+        assert_eq!(s.num_frames(), 5);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_base_cepstra_panics() {
+        let feats = FrameMatrix::from_flat(3, vec![0.0; 9]);
+        let _ = sdc(&feats, &SdcConfig::default());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the DSP substrate.
+
+use lre_dsp::{
+    append_deltas, cmvn_in_place, fft_in_place, hamming_window, hz_to_bark, hz_to_mel,
+    mel_to_hz, power_spectrum, pre_emphasis, Complex, FormantSpec, FrameMatrix, Segment,
+    SynthConfig, Synthesizer,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // --- FFT / spectra -------------------------------------------------------------
+
+    #[test]
+    fn power_spectrum_is_nonnegative(x in prop::collection::vec(-1.0f32..1.0, 100..200)) {
+        let ps = power_spectrum(&x, 256);
+        prop_assert_eq!(ps.len(), 129);
+        prop_assert!(ps.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn fft_of_reversed_conjugate_symmetry(x in prop::collection::vec(-1.0f32..1.0, 32)) {
+        // Real input ⇒ X[k] = conj(X[N-k]).
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut buf);
+        for k in 1..16 {
+            prop_assert!((buf[k].re - buf[32 - k].re).abs() < 1e-3);
+            prop_assert!((buf[k].im + buf[32 - k].im).abs() < 1e-3);
+        }
+    }
+
+    // --- Frequency warps -------------------------------------------------------------
+
+    #[test]
+    fn mel_roundtrip_everywhere(hz in 0.0f32..4000.0) {
+        prop_assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 0.5);
+    }
+
+    #[test]
+    fn warps_are_monotone(a in 0.0f32..3999.0, delta in 0.1f32..100.0) {
+        prop_assert!(hz_to_mel(a + delta) > hz_to_mel(a));
+        prop_assert!(hz_to_bark(a + delta) > hz_to_bark(a));
+    }
+
+    // --- Windows / pre-emphasis -------------------------------------------------------
+
+    #[test]
+    fn hamming_window_bounded(n in 2usize..512) {
+        let w = hamming_window(n);
+        prop_assert_eq!(w.len(), n);
+        prop_assert!(w.iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn pre_emphasis_is_invertible(x in prop::collection::vec(-1.0f32..1.0, 2..128), a in 0.5f32..0.99) {
+        let y = pre_emphasis(&x, a);
+        // Invert: x[n] = y[n] + a x[n-1].
+        let mut rec = vec![y[0]];
+        for i in 1..y.len() {
+            let prev = rec[i - 1];
+            rec.push(y[i] + a * prev);
+        }
+        for (r, o) in rec.iter().zip(&x) {
+            prop_assert!((r - o).abs() < 1e-3);
+        }
+    }
+
+    // --- Deltas / CMVN -----------------------------------------------------------------
+
+    #[test]
+    fn deltas_commute_with_scaling(vals in prop::collection::vec(-2.0f32..2.0, 12..60), alpha in 0.2f32..4.0) {
+        let n = vals.len() - vals.len() % 2;
+        let m = FrameMatrix::from_flat(2, vals[..n].to_vec());
+        let d1 = append_deltas(&m, 2);
+        let scaled = FrameMatrix::from_flat(2, vals[..n].iter().map(|v| v * alpha).collect());
+        let d2 = append_deltas(&scaled, 2);
+        for (a, b) in d1.as_slice().iter().zip(d2.as_slice()) {
+            prop_assert!((a * alpha - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn cmvn_is_idempotent(vals in prop::collection::vec(-5.0f32..5.0, 9..60)) {
+        let n = vals.len() - vals.len() % 3;
+        let mut m = FrameMatrix::from_flat(3, vals[..n].to_vec());
+        cmvn_in_place(&mut m);
+        let once = m.clone();
+        cmvn_in_place(&mut m);
+        for (a, b) in once.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    // --- Synthesizer ---------------------------------------------------------------------
+
+    #[test]
+    fn synthesizer_output_is_finite_and_sized(
+        f1 in 200.0f32..3000.0,
+        voicing in 0.0f32..1.0,
+        n in 100usize..2000,
+        seed in 0u64..1000,
+    ) {
+        let mut s = Synthesizer::new(SynthConfig::default(), seed);
+        let seg = Segment {
+            spec: FormantSpec {
+                formants: [f1, f1 * 1.8, f1 * 2.4],
+                bandwidths: [80.0, 120.0, 160.0],
+                voicing,
+                amplitude: 0.8,
+            },
+            samples: n,
+            f0_scale: 1.0,
+        };
+        let out = s.render(&[seg]);
+        prop_assert_eq!(out.len(), n);
+        prop_assert!(out.iter().all(|v| v.is_finite() && v.abs() < 1000.0));
+    }
+}

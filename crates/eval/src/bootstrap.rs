@@ -1,0 +1,117 @@
+//! Bootstrap confidence intervals for EER.
+//!
+//! The synthetic test pools are small compared to NIST's 41,793 segments,
+//! so point EERs carry real sampling noise; tables in EXPERIMENTS.md quote
+//! the bootstrap 95 % interval alongside each headline number.
+
+use crate::eer::pooled_eer;
+use crate::trials::ScoreMatrix;
+
+/// A two-sided bootstrap percentile interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BootstrapCi {
+    pub point: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+/// Percentile-bootstrap CI for the pooled EER: resamples *utterances* with
+/// replacement (keeping each utterance's full detector row, so target and
+/// non-target trials stay coupled as they are in reality).
+///
+/// Deterministic in `seed`; `level` is e.g. 0.95.
+pub fn bootstrap_eer(
+    scores: &ScoreMatrix,
+    labels: &[usize],
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> BootstrapCi {
+    assert_eq!(scores.num_utts(), labels.len());
+    assert!(replicates >= 10);
+    assert!((0.5..1.0).contains(&level));
+    let n = labels.len();
+    let point = pooled_eer(scores, labels);
+
+    // Small xorshift so the crate stays dependency-free.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut estimates = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let mut resampled = ScoreMatrix::new(scores.num_classes());
+        let mut relabels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = (next() as usize) % n;
+            resampled.push_row(scores.row(i));
+            relabels.push(labels[i]);
+        }
+        estimates.push(pooled_eer(&resampled, &relabels));
+    }
+    estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((replicates as f64) * alpha) as usize;
+    let hi_idx = (((replicates as f64) * (1.0 - alpha)) as usize).min(replicates - 1);
+    BootstrapCi { point, lo: estimates[lo_idx], hi: estimates[hi_idx] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(n: usize, noise: f32) -> (ScoreMatrix, Vec<usize>) {
+        let mut m = ScoreMatrix::new(3);
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let lab = i % 3;
+            let row: Vec<f32> = (0..3)
+                .map(|k| {
+                    let base = if k == lab { 1.0 } else { -1.0 };
+                    base + noise * ((i as f32 * 0.77 + k as f32 * 1.3).sin())
+                })
+                .collect();
+            m.push_row(&row);
+            labels.push(lab);
+        }
+        (m, labels)
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let (m, labels) = noisy(60, 1.3);
+        let ci = bootstrap_eer(&m, &labels, 200, 0.95, 7);
+        assert!(ci.lo <= ci.point + 0.03 && ci.point <= ci.hi + 0.03, "{ci:?}");
+        assert!(ci.lo <= ci.hi);
+        assert!((0.0..=1.0).contains(&ci.lo) && (0.0..=1.0).contains(&ci.hi));
+    }
+
+    #[test]
+    fn perfect_system_has_degenerate_interval() {
+        let (m, labels) = noisy(30, 0.0);
+        let ci = bootstrap_eer(&m, &labels, 100, 0.95, 3);
+        assert!(ci.point < 1e-9);
+        assert!(ci.hi < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (m, labels) = noisy(40, 1.0);
+        let a = bootstrap_eer(&m, &labels, 100, 0.9, 11);
+        let b = bootstrap_eer(&m, &labels, 100, 0.9, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_data_tightens_interval() {
+        let (m1, l1) = noisy(30, 1.2);
+        let (m2, l2) = noisy(300, 1.2);
+        let c1 = bootstrap_eer(&m1, &l1, 150, 0.95, 5);
+        let c2 = bootstrap_eer(&m2, &l2, 150, 0.95, 5);
+        assert!(c2.hi - c2.lo < c1.hi - c1.lo + 1e-9, "{c1:?} vs {c2:?}");
+    }
+}

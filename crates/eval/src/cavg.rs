@@ -1,0 +1,170 @@
+//! NIST LRE 2009 average detection cost (Cavg).
+
+use crate::trials::ScoreMatrix;
+
+/// Cost parameters; the LRE 2009 evaluation plan fixes all three.
+#[derive(Clone, Copy, Debug)]
+pub struct CavgParams {
+    pub c_miss: f64,
+    pub c_fa: f64,
+    pub p_target: f64,
+}
+
+impl Default for CavgParams {
+    fn default() -> Self {
+        Self { c_miss: 1.0, c_fa: 1.0, p_target: 0.5 }
+    }
+}
+
+/// Cavg at a fixed detection threshold `thr` applied to every detector:
+///
+/// `Cavg = (1/K) Σ_k [ C_miss·P_tar·P_miss(k)
+///                     + (C_fa·(1−P_tar)/(K−1)) Σ_{j≠k} P_fa(k, j) ]`
+///
+/// where `P_miss(k)` is the fraction of language-k utterances whose detector
+/// k score falls below `thr`, and `P_fa(k, j)` the fraction of language-j
+/// utterances whose detector-k score reaches it.
+pub fn cavg_at_threshold(
+    scores: &ScoreMatrix,
+    labels: &[usize],
+    thr: f32,
+    params: &CavgParams,
+) -> f64 {
+    assert_eq!(scores.num_utts(), labels.len());
+    let k_max = scores.num_classes();
+    assert!(k_max >= 2);
+
+    // Counters: per (detector k, true language j): trials and alarms.
+    let mut miss = vec![0usize; k_max];
+    let mut n_tar = vec![0usize; k_max];
+    let mut fa = vec![0usize; k_max * k_max];
+    let mut n_non = vec![0usize; k_max * k_max];
+
+    for (i, &lab) in labels.iter().enumerate() {
+        let row = scores.row(i);
+        for (k, &s) in row.iter().enumerate() {
+            if k == lab {
+                n_tar[k] += 1;
+                if s < thr {
+                    miss[k] += 1;
+                }
+            } else {
+                n_non[k * k_max + lab] += 1;
+                if s >= thr {
+                    fa[k * k_max + lab] += 1;
+                }
+            }
+        }
+    }
+
+    let mut total = 0.0;
+    for k in 0..k_max {
+        let p_miss = if n_tar[k] > 0 { miss[k] as f64 / n_tar[k] as f64 } else { 0.0 };
+        let mut fa_sum = 0.0;
+        for j in 0..k_max {
+            if j == k {
+                continue;
+            }
+            let n = n_non[k * k_max + j];
+            if n > 0 {
+                fa_sum += fa[k * k_max + j] as f64 / n as f64;
+            }
+        }
+        total += params.c_miss * params.p_target * p_miss
+            + params.c_fa * (1.0 - params.p_target) / (k_max as f64 - 1.0) * fa_sum;
+    }
+    total / k_max as f64
+}
+
+/// Minimum Cavg over a swept global threshold (the calibration-free figure
+/// papers report when scores are comparable across detectors).
+pub fn min_cavg(scores: &ScoreMatrix, labels: &[usize], params: &CavgParams) -> f64 {
+    // Candidate thresholds: all scores (plus ±∞ handled by extremes).
+    let mut cands: Vec<f32> = (0..scores.num_utts())
+        .flat_map(|i| scores.row(i).to_vec())
+        .collect();
+    cands.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    cands.dedup();
+    // Subsample when huge: cost is O(T·N); 512 thresholds is plenty.
+    let step = (cands.len() / 512).max(1);
+    let mut best = f64::INFINITY;
+    for thr in cands.iter().step_by(step) {
+        best = best.min(cavg_at_threshold(scores, labels, *thr, params));
+    }
+    // Also the degenerate extremes.
+    if let (Some(&lo), Some(&hi)) = (cands.first(), cands.last()) {
+        best = best.min(cavg_at_threshold(scores, labels, lo - 1.0, params));
+        best = best.min(cavg_at_threshold(scores, labels, hi + 1.0, params));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> (ScoreMatrix, Vec<usize>) {
+        (
+            ScoreMatrix::from_rows(
+                3,
+                &[
+                    vec![1.0, -1.0, -1.0],
+                    vec![-1.0, 1.0, -1.0],
+                    vec![-1.0, -1.0, 1.0],
+                ],
+            ),
+            vec![0, 1, 2],
+        )
+    }
+
+    #[test]
+    fn perfect_system_has_zero_cavg() {
+        let (m, l) = perfect();
+        assert!(cavg_at_threshold(&m, &l, 0.0, &CavgParams::default()) < 1e-12);
+        assert!(min_cavg(&m, &l, &CavgParams::default()) < 1e-12);
+    }
+
+    #[test]
+    fn all_miss_threshold_costs_half_p_target() {
+        let (m, l) = perfect();
+        // Threshold above every score: every target missed, no false alarms.
+        let c = cavg_at_threshold(&m, &l, 100.0, &CavgParams::default());
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_accept_threshold_costs_half_nontarget_mass() {
+        let (m, l) = perfect();
+        // Threshold below every score: all false alarms, no misses.
+        // Per detector: (0.5/(K−1))·Σ_j 1 = 0.5 ⇒ Cavg = 0.5.
+        let c = cavg_at_threshold(&m, &l, -100.0, &CavgParams::default());
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_cavg_below_fixed_threshold_cavg() {
+        let m = ScoreMatrix::from_rows(
+            2,
+            &[vec![5.0, 4.0], vec![4.5, 6.0], vec![5.5, 4.2], vec![4.1, 5.9]],
+        );
+        let l = vec![0, 1, 0, 1];
+        // Scores are separable but offset from 0; threshold 0 false-alarms
+        // everything while the swept minimum finds the separating threshold.
+        let fixed = cavg_at_threshold(&m, &l, 0.0, &CavgParams::default());
+        let min = min_cavg(&m, &l, &CavgParams::default());
+        assert!(min < 1e-12, "{min}");
+        assert!(fixed > min);
+    }
+
+    #[test]
+    fn cost_params_scale_result() {
+        let (m, l) = perfect();
+        let c = cavg_at_threshold(
+            &m,
+            &l,
+            100.0,
+            &CavgParams { c_miss: 2.0, c_fa: 1.0, p_target: 0.5 },
+        );
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+}

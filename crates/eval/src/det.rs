@@ -1,0 +1,148 @@
+//! Detection error trade-off (DET) curves — Fig. 3 of the paper.
+
+/// One DET operating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f32,
+    /// Miss probability.
+    pub p_miss: f64,
+    /// False-alarm probability.
+    pub p_fa: f64,
+}
+
+/// Compute the DET curve from pooled target / non-target scores: one point
+/// per distinct threshold, ordered by increasing threshold (decreasing
+/// P_fa). Plotting `probit(p_fa)` vs `probit(p_miss)` gives the standard
+/// DET axes of Fig. 3.
+pub fn det_curve(target: &[f32], nontarget: &[f32]) -> Vec<DetPoint> {
+    assert!(!target.is_empty() && !nontarget.is_empty());
+    let mut tar = target.to_vec();
+    let mut non = nontarget.to_vec();
+    tar.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    non.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let mut thresholds: Vec<f32> = tar.iter().chain(non.iter()).copied().collect();
+    thresholds.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    thresholds.dedup();
+
+    thresholds
+        .into_iter()
+        .map(|thr| {
+            let miss_cnt = tar.partition_point(|&s| s < thr);
+            let fa_cnt = non.len() - non.partition_point(|&s| s < thr);
+            DetPoint {
+                threshold: thr,
+                p_miss: miss_cnt as f64 / tar.len() as f64,
+                p_fa: fa_cnt as f64 / non.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Inverse of the standard normal CDF (the probit function), via the
+/// Acklam rational approximation — accurate to ~1e-9, more than enough for
+/// plotting DET axes.
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit domain is (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone() {
+        let tar = [0.5f32, 1.0, 1.5, 2.0, 0.1];
+        let non = [-0.5f32, 0.0, 0.3, -1.0, 0.8];
+        let pts = det_curve(&tar, &non);
+        for w in pts.windows(2) {
+            assert!(w[1].p_miss >= w[0].p_miss - 1e-12);
+            assert!(w[1].p_fa <= w[0].p_fa + 1e-12);
+        }
+    }
+
+    #[test]
+    fn endpoints_cover_corners() {
+        let pts = det_curve(&[1.0, 2.0], &[-1.0, 0.0]);
+        // Lowest threshold: no misses, all alarms get progressively rejected.
+        assert!(pts.first().unwrap().p_miss < 1e-12);
+        assert!(pts.last().unwrap().p_fa < 0.51);
+    }
+
+    #[test]
+    fn probit_matches_known_quantiles() {
+        assert!(probit(0.5).abs() < 1e-8);
+        assert!((probit(0.975) - 1.959964).abs() < 1e-4);
+        assert!((probit(0.025) + 1.959964).abs() < 1e-4);
+        assert!((probit(0.841344746) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn probit_is_antisymmetric() {
+        for p in [0.01, 0.1, 0.3] {
+            assert!((probit(p) + probit(1.0 - p)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn probit_rejects_zero() {
+        let _ = probit(0.0);
+    }
+
+    #[test]
+    fn better_system_dominates_on_det() {
+        // System A separates; system B is random-ish. A's curve should sit
+        // inside B's (smaller p_miss at comparable p_fa).
+        let a = det_curve(&[2.0, 3.0, 4.0], &[-2.0, -3.0, -4.0]);
+        let b = det_curve(&[0.1, -0.1, 0.2], &[0.0, 0.15, -0.05]);
+        let a_area: f64 = a.iter().map(|p| p.p_miss * p.p_fa).sum::<f64>();
+        let b_area: f64 = b.iter().map(|p| p.p_miss * p.p_fa).sum::<f64>();
+        assert!(a_area <= b_area);
+    }
+}

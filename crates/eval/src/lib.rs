@@ -1,0 +1,20 @@
+//! Evaluation metrics for language recognition.
+//!
+//! The paper reports equal error rate (EER) and the NIST LRE 2009 average
+//! cost `Cavg` (§4.3), plus DET curves (Fig. 3). All three are implemented
+//! here over a simple trial model: each test utterance with true language
+//! `k*` yields one *target* trial (detector `k*`'s score) and `K−1`
+//! *non-target* trials (the other detectors' scores), pooled across
+//! languages.
+
+mod bootstrap;
+mod cavg;
+mod det;
+mod eer;
+mod trials;
+
+pub use bootstrap::{bootstrap_eer, BootstrapCi};
+pub use cavg::{cavg_at_threshold, min_cavg, CavgParams};
+pub use det::{det_curve, probit, DetPoint};
+pub use eer::{eer_from_trials, pooled_eer};
+pub use trials::{accuracy, confusion_matrix, split_trials, ScoreMatrix};

@@ -1,0 +1,161 @@
+//! Trial bookkeeping: score matrices, target/non-target splitting.
+
+/// Scores of `num_utts × num_classes` detectors: `scores[i][k]` is detector
+/// `k`'s confidence that utterance `i` is language `k` — one row of the
+/// paper's **F** matrix (Eq. 8/9) per utterance.
+#[derive(Clone, Debug)]
+pub struct ScoreMatrix {
+    num_classes: usize,
+    scores: Vec<f32>,
+}
+
+impl ScoreMatrix {
+    pub fn new(num_classes: usize) -> ScoreMatrix {
+        assert!(num_classes > 0);
+        ScoreMatrix { num_classes, scores: Vec::new() }
+    }
+
+    pub fn from_rows(num_classes: usize, rows: &[Vec<f32>]) -> ScoreMatrix {
+        let mut m = ScoreMatrix::new(num_classes);
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.num_classes);
+        self.scores.extend_from_slice(row);
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    pub fn num_utts(&self) -> usize {
+        self.scores.len() / self.num_classes
+    }
+
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.scores[i * self.num_classes..(i + 1) * self.num_classes]
+    }
+
+    /// Rows selected by index, in the given order.
+    pub fn subset(&self, idx: &[usize]) -> ScoreMatrix {
+        let mut out = ScoreMatrix::new(self.num_classes);
+        for &i in idx {
+            out.push_row(self.row(i));
+        }
+        out
+    }
+
+    /// Arg-max prediction per utterance.
+    pub fn predictions(&self) -> Vec<usize> {
+        (0..self.num_utts())
+            .map(|i| {
+                let r = self.row(i);
+                let mut best = 0;
+                for (k, &v) in r.iter().enumerate() {
+                    if v > r[best] {
+                        best = k;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Split a score matrix into pooled (target, non-target) trial score lists.
+pub fn split_trials(scores: &ScoreMatrix, labels: &[usize]) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(scores.num_utts(), labels.len());
+    let mut target = Vec::with_capacity(labels.len());
+    let mut nontarget = Vec::with_capacity(labels.len() * (scores.num_classes() - 1));
+    for (i, &lab) in labels.iter().enumerate() {
+        let row = scores.row(i);
+        for (k, &s) in row.iter().enumerate() {
+            if k == lab {
+                target.push(s);
+            } else {
+                nontarget.push(s);
+            }
+        }
+    }
+    (target, nontarget)
+}
+
+/// Classification accuracy of the arg-max decision.
+pub fn accuracy(scores: &ScoreMatrix, labels: &[usize]) -> f64 {
+    assert_eq!(scores.num_utts(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = scores
+        .predictions()
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// `K × K` confusion matrix (rows = truth, cols = prediction), flattened.
+pub fn confusion_matrix(scores: &ScoreMatrix, labels: &[usize]) -> Vec<usize> {
+    let k = scores.num_classes();
+    let mut cm = vec![0usize; k * k];
+    for (p, &l) in scores.predictions().iter().zip(labels) {
+        cm[l * k + p] += 1;
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> (ScoreMatrix, Vec<usize>) {
+        let m = ScoreMatrix::from_rows(
+            3,
+            &[
+                vec![2.0, -1.0, -1.5], // true 0, predicted 0
+                vec![-0.5, 1.0, 0.5],  // true 1, predicted 1
+                vec![0.8, 0.2, -0.2],  // true 2, predicted 0 (error)
+            ],
+        );
+        (m, vec![0, 1, 2])
+    }
+
+    #[test]
+    fn predictions_and_accuracy() {
+        let (m, labels) = demo();
+        assert_eq!(m.predictions(), vec![0, 1, 0]);
+        assert!((accuracy(&m, &labels) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_counts() {
+        let (m, labels) = demo();
+        let (t, nt) = split_trials(&m, &labels);
+        assert_eq!(t.len(), 3);
+        assert_eq!(nt.len(), 6);
+        assert_eq!(t[0], 2.0);
+        assert!(nt.contains(&-1.0) && nt.contains(&0.8));
+    }
+
+    #[test]
+    fn confusion_matrix_layout() {
+        let (m, labels) = demo();
+        let cm = confusion_matrix(&m, &labels);
+        assert_eq!(cm[0 * 3 + 0], 1);
+        assert_eq!(cm[1 * 3 + 1], 1);
+        assert_eq!(cm[2 * 3 + 0], 1);
+        assert_eq!(cm.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_row_length_panics() {
+        let mut m = ScoreMatrix::new(3);
+        m.push_row(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the evaluation metrics.
+
+use lre_eval::{
+    accuracy, cavg_at_threshold, confusion_matrix, det_curve, eer_from_trials, min_cavg,
+    pooled_eer, CavgParams, ScoreMatrix,
+};
+use proptest::prelude::*;
+
+/// Random score matrix + labels for K classes.
+fn scored_problem(k: usize) -> impl Strategy<Value = (ScoreMatrix, Vec<usize>)> {
+    prop::collection::vec(
+        (0..k, prop::collection::vec(-3.0f32..3.0, k)),
+        4..40,
+    )
+    .prop_map(move |rows| {
+        let mut m = ScoreMatrix::new(k);
+        let mut labels = Vec::new();
+        for (lab, row) in rows {
+            m.push_row(&row);
+            labels.push(lab);
+        }
+        (m, labels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_bounded((m, labels) in scored_problem(4)) {
+        let eer = pooled_eer(&m, &labels);
+        prop_assert!((0.0..=1.0).contains(&eer));
+        let p = CavgParams::default();
+        let min = min_cavg(&m, &labels, &p);
+        prop_assert!((0.0..=1.0).contains(&min));
+        // min over thresholds really is the minimum.
+        for thr in [-2.0f32, -0.5, 0.0, 0.5, 2.0] {
+            prop_assert!(cavg_at_threshold(&m, &labels, thr, &p) >= min - 1e-9);
+        }
+        let acc = accuracy(&m, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn perfect_scores_have_zero_error(labels in prop::collection::vec(0usize..5, 5..30)) {
+        let mut m = ScoreMatrix::new(5);
+        for &l in &labels {
+            let mut row = vec![-2.0f32; 5];
+            row[l] = 2.0;
+            m.push_row(&row);
+        }
+        prop_assert!(pooled_eer(&m, &labels) < 1e-9);
+        prop_assert!(min_cavg(&m, &labels, &CavgParams::default()) < 1e-9);
+        prop_assert!((accuracy(&m, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_row_sums_match_class_counts((m, labels) in scored_problem(3)) {
+        let cm = confusion_matrix(&m, &labels);
+        for class in 0..3 {
+            let expected = labels.iter().filter(|&&l| l == class).count();
+            let row_sum: usize = (0..3).map(|p| cm[class * 3 + p]).sum();
+            prop_assert_eq!(row_sum, expected);
+        }
+    }
+
+    #[test]
+    fn det_curve_brackets_eer(
+        tar in prop::collection::vec(-4.0f32..4.0, 5..40),
+        non in prop::collection::vec(-4.0f32..4.0, 5..40),
+    ) {
+        let eer = eer_from_trials(&tar, &non);
+        let pts = det_curve(&tar, &non);
+        // Some DET point must be close to the EER diagonal crossing.
+        let closest = pts
+            .iter()
+            .map(|p| (p.p_miss - p.p_fa).abs())
+            .fold(f64::INFINITY, f64::min);
+        let at_crossing = pts
+            .iter()
+            .filter(|p| (p.p_miss - p.p_fa).abs() <= closest + 1e-12)
+            .map(|p| 0.5 * (p.p_miss + p.p_fa))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((at_crossing - eer).abs() < 0.35,
+            "DET crossing {at_crossing} far from EER {eer}");
+    }
+
+    #[test]
+    fn adding_a_constant_to_all_scores_preserves_eer((m, labels) in scored_problem(3), c in -2.0f32..2.0) {
+        let mut shifted = ScoreMatrix::new(3);
+        for i in 0..m.num_utts() {
+            let row: Vec<f32> = m.row(i).iter().map(|v| v + c).collect();
+            shifted.push_row(&row);
+        }
+        let a = pooled_eer(&m, &labels);
+        let b = pooled_eer(&shifted, &labels);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+}

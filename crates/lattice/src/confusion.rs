@@ -1,0 +1,137 @@
+//! Posterior confusion networks ("sausage" lattices).
+
+use crate::lattice::{Edge, Lattice};
+
+/// One phone hypothesis in a slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlotEntry {
+    pub phone: u16,
+    /// Posterior probability of the phone in this slot.
+    pub prob: f32,
+}
+
+/// One time slot: competing phone hypotheses with posteriors summing to ≤ 1
+/// (pruning may drop mass).
+pub type Slot = Vec<SlotEntry>;
+
+/// A confusion network: a linear chain of slots. This is the pruned
+/// posterior-lattice form our decoder emits; expected N-gram counts over it
+/// are exact products of slot posteriors.
+#[derive(Clone, Debug, Default)]
+pub struct ConfusionNetwork {
+    slots: Vec<Slot>,
+}
+
+impl ConfusionNetwork {
+    pub fn new(slots: Vec<Slot>) -> ConfusionNetwork {
+        for (i, s) in slots.iter().enumerate() {
+            assert!(!s.is_empty(), "slot {i} is empty");
+            let sum: f32 = s.iter().map(|e| e.prob).sum();
+            assert!(sum <= 1.0 + 1e-3, "slot {i} posterior mass {sum} > 1");
+        }
+        ConfusionNetwork { slots }
+    }
+
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    pub fn slot(&self, i: usize) -> &Slot {
+        &self.slots[i]
+    }
+
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// The 1-best phone sequence (highest-posterior entry per slot).
+    pub fn best_path(&self) -> Vec<u16> {
+        self.slots
+            .iter()
+            .map(|s| {
+                // First-wins tie-breaking keeps the result deterministic.
+                let mut best = &s[0];
+                for e in &s[1..] {
+                    if e.prob > best.prob {
+                        best = e;
+                    }
+                }
+                best.phone
+            })
+            .collect()
+    }
+
+    /// Expand into a general DAG [`Lattice`] with `num_slots + 1` nodes and
+    /// one edge per slot entry (log score = ln posterior).
+    pub fn to_lattice(&self) -> Lattice {
+        let mut edges = Vec::with_capacity(self.slots.iter().map(Vec::len).sum());
+        for (i, slot) in self.slots.iter().enumerate() {
+            for e in slot {
+                edges.push(Edge {
+                    from: i,
+                    to: i + 1,
+                    phone: e.phone,
+                    log_score: e.prob.max(1e-12).ln(),
+                });
+            }
+        }
+        let n = self.slots.len() + 1;
+        Lattice::new(n.max(2), edges, 0, n.max(2) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cn() -> ConfusionNetwork {
+        ConfusionNetwork::new(vec![
+            vec![SlotEntry { phone: 1, prob: 0.7 }, SlotEntry { phone: 2, prob: 0.3 }],
+            vec![SlotEntry { phone: 3, prob: 1.0 }],
+            vec![SlotEntry { phone: 4, prob: 0.5 }, SlotEntry { phone: 5, prob: 0.5 }],
+        ])
+    }
+
+    #[test]
+    fn best_path_takes_argmax() {
+        assert_eq!(cn().best_path(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn lattice_roundtrip_posteriors() {
+        let net = cn();
+        let lat = net.to_lattice();
+        let post = lat.edge_posteriors().unwrap();
+        // The CN slot posteriors are recovered as lattice edge posteriors.
+        let expect = [0.7, 0.3, 1.0, 0.5, 0.5];
+        for (p, e) in post.iter().zip(expect) {
+            assert!((p - e).abs() < 1e-4, "{p} vs {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_unit_mass_rejected() {
+        let _ = ConfusionNetwork::new(vec![vec![
+            SlotEntry { phone: 0, prob: 0.9 },
+            SlotEntry { phone: 1, prob: 0.4 },
+        ]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_slot_rejected() {
+        let _ = ConfusionNetwork::new(vec![vec![]]);
+    }
+
+    #[test]
+    fn empty_network_is_fine() {
+        let net = ConfusionNetwork::new(vec![]);
+        assert!(net.is_empty());
+        assert!(net.best_path().is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Token-passing phone-loop Viterbi decoder with confusion-network output.
+
+use crate::confusion::{ConfusionNetwork, SlotEntry};
+use lre_am::{AcousticModel, StateInventory, STATES_PER_PHONE};
+use lre_dsp::FrameMatrix;
+
+/// Decoder parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DecoderConfig {
+    /// Scale applied to emission log-scores (classic acoustic scale).
+    pub acoustic_scale: f32,
+    /// Log penalty added on every phone-loop transition (controls insertion
+    /// rate, like HVite's word insertion penalty).
+    pub phone_insertion_log: f32,
+    /// Keep at most this many phone alternatives per confusion slot.
+    pub top_k: usize,
+    /// Temperature on the per-segment phone posteriors (higher = peakier).
+    pub posterior_scale: f32,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        Self { acoustic_scale: 0.33, phone_insertion_log: -1.0, top_k: 4, posterior_scale: 1.0 }
+    }
+}
+
+/// One decoded phone segment, `[start, end)` in frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhoneSegment {
+    pub phone: u16,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Result of decoding one utterance.
+#[derive(Clone, Debug)]
+pub struct DecodeOutput {
+    /// 1-best segmentation from the Viterbi pass.
+    pub segments: Vec<PhoneSegment>,
+    /// Posterior confusion network, one slot per segment.
+    pub network: ConfusionNetwork,
+    /// Number of frames decoded (for RT-factor accounting).
+    pub num_frames: usize,
+}
+
+/// Emission scores for all frames: flat `T × num_states` buffer.
+pub fn score_all_frames(am: &AcousticModel, feats: &FrameMatrix) -> Vec<f32> {
+    let s = am.scorer.num_states();
+    let t_max = feats.num_frames();
+    let mut scores = vec![0.0f32; t_max * s];
+    for (t, frame) in feats.iter().enumerate() {
+        am.scorer.score_frame(frame, &mut scores[t * s..(t + 1) * s]);
+    }
+    scores
+}
+
+/// Back-pointer encoding: ordinary values are the previous dense state
+/// index; values with the high bit set mean "entered via the phone loop from
+/// exit state `bp & !LOOP_FLAG` at t-1".
+const LOOP_FLAG: u32 = 1 << 31;
+
+/// Decode one utterance into a 1-best segmentation and a posterior
+/// confusion network.
+pub fn decode(am: &AcousticModel, feats: &FrameMatrix, cfg: &DecoderConfig) -> DecodeOutput {
+    let inv = &am.inventory;
+    let num_states = inv.num_states();
+    let num_phones = inv.num_phones();
+    let t_max = feats.num_frames();
+    if t_max == 0 {
+        return DecodeOutput {
+            segments: Vec::new(),
+            network: ConfusionNetwork::new(vec![]),
+            num_frames: 0,
+        };
+    }
+
+    let scores = score_all_frames(am, feats);
+    let ascale = cfg.acoustic_scale;
+    let (log_self, log_next) = (am.topology.log_self, am.topology.log_next);
+
+    // --- Viterbi ------------------------------------------------------------------
+    let mut delta_prev = vec![f32::NEG_INFINITY; num_states];
+    let mut delta_cur = vec![f32::NEG_INFINITY; num_states];
+    let mut bp = vec![0u32; t_max * num_states];
+
+    // t = 0: only phone-entry states are reachable.
+    for p in 0..num_phones {
+        let s = inv.state_of(p, 0);
+        delta_prev[s] = ascale * scores[s];
+        bp[s] = s as u32; // self-start sentinel (never followed past t=0)
+    }
+
+    for t in 1..t_max {
+        // Best phone exit at t-1 (for the loop transition).
+        let mut best_exit = f32::NEG_INFINITY;
+        let mut best_exit_state = 0usize;
+        for p in 0..num_phones {
+            let s = inv.state_of(p, STATES_PER_PHONE - 1);
+            let v = delta_prev[s];
+            if v > best_exit {
+                best_exit = v;
+                best_exit_state = s;
+            }
+        }
+        let loop_score = best_exit + log_next + cfg.phone_insertion_log;
+
+        let frame_scores = &scores[t * num_states..(t + 1) * num_states];
+        let bp_row = &mut bp[t * num_states..(t + 1) * num_states];
+        for s in 0..num_states {
+            // Self loop.
+            let mut best = delta_prev[s] + log_self;
+            let mut back = s as u32;
+            if inv.is_entry(s) {
+                // Phone-loop entry.
+                if loop_score > best {
+                    best = loop_score;
+                    back = best_exit_state as u32 | LOOP_FLAG;
+                }
+            } else {
+                // Advance from the previous state of the same phone.
+                let cand = delta_prev[s - 1] + log_next;
+                if cand > best {
+                    best = cand;
+                    back = (s - 1) as u32;
+                }
+            }
+            delta_cur[s] = best + ascale * frame_scores[s];
+            bp_row[s] = back;
+        }
+        std::mem::swap(&mut delta_prev, &mut delta_cur);
+    }
+
+    // --- Traceback ------------------------------------------------------------------
+    // Terminate at the best phone-exit state.
+    let mut cur_state = (0..num_phones)
+        .map(|p| inv.state_of(p, STATES_PER_PHONE - 1))
+        .max_by(|&a, &b| delta_prev[a].partial_cmp(&delta_prev[b]).unwrap())
+        .expect("at least one phone");
+    // If nothing is finite at an exit state (extremely short utterance),
+    // fall back to the globally best state.
+    if delta_prev[cur_state] == f32::NEG_INFINITY {
+        cur_state = (0..num_states)
+            .max_by(|&a, &b| delta_prev[a].partial_cmp(&delta_prev[b]).unwrap())
+            .unwrap();
+    }
+
+    let mut boundaries = Vec::new(); // segment start times, reversed
+    let mut phones_rev = Vec::new();
+    let mut t = t_max - 1;
+    loop {
+        let (phone, _) = inv.phone_of(cur_state);
+        let back = bp[t * num_states + cur_state];
+        if t == 0 {
+            boundaries.push(0usize);
+            phones_rev.push(phone as u16);
+            break;
+        }
+        if back & LOOP_FLAG != 0 {
+            // Segment boundary: this phone started at t.
+            boundaries.push(t);
+            phones_rev.push(phone as u16);
+            cur_state = (back & !LOOP_FLAG) as usize;
+        } else {
+            cur_state = back as usize;
+        }
+        t -= 1;
+    }
+    boundaries.reverse();
+    phones_rev.reverse();
+
+    let mut segments = Vec::with_capacity(boundaries.len());
+    for (i, (&start, &phone)) in boundaries.iter().zip(&phones_rev).enumerate() {
+        let end = boundaries.get(i + 1).copied().unwrap_or(t_max);
+        segments.push(PhoneSegment { phone, start, end });
+    }
+
+    // --- Segment posteriors → confusion network -------------------------------------
+    let slots = segments
+        .iter()
+        .map(|seg| segment_slot(seg, &scores, inv, cfg))
+        .collect();
+
+    DecodeOutput { segments, network: ConfusionNetwork::new(slots), num_frames: t_max }
+}
+
+/// Score every phone over a segment (uniform 3-state alignment over cached
+/// frame scores), softmax into posteriors, keep the top-k entries.
+fn segment_slot(
+    seg: &PhoneSegment,
+    scores: &[f32],
+    inv: &StateInventory,
+    cfg: &DecoderConfig,
+) -> Vec<SlotEntry> {
+    let num_states = inv.num_states();
+    let num_phones = inv.num_phones();
+    let len = seg.end - seg.start;
+    debug_assert!(len > 0);
+
+    // Mean per-frame log score per phone keeps the softmax temperature
+    // duration-independent.
+    let mut phone_scores = vec![0.0f32; num_phones];
+    for (pos, t) in (seg.start..seg.end).enumerate() {
+        let st = StateInventory::uniform_state(pos, len);
+        let frame = &scores[t * num_states..(t + 1) * num_states];
+        for (p, ps) in phone_scores.iter_mut().enumerate() {
+            *ps += frame[inv.state_of(p, st)];
+        }
+    }
+    let inv_len = cfg.posterior_scale / len as f32;
+    let mut max = f32::NEG_INFINITY;
+    for ps in phone_scores.iter_mut() {
+        *ps *= inv_len;
+        max = max.max(*ps);
+    }
+    let mut denom = 0.0f32;
+    for ps in phone_scores.iter_mut() {
+        *ps = (*ps - max).exp();
+        denom += *ps;
+    }
+
+    // Top-k selection (num_phones is ≤ 64; a partial selection loop is fine).
+    let mut entries: Vec<SlotEntry> = phone_scores
+        .iter()
+        .enumerate()
+        .map(|(p, &s)| SlotEntry { phone: p as u16, prob: s / denom })
+        .collect();
+    entries.sort_unstable_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap());
+    entries.truncate(cfg.top_k.max(1));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lre_am::{AcousticModel, DiagGmm, FeatureKind, GmmStateScorer, HmmTopology};
+
+    /// Tiny synthetic model: 2 phones × 3 states over 1-D features. Phone 0's
+    /// states like negative values, phone 1's like positive.
+    fn toy_am() -> AcousticModel {
+        let mut gmms = Vec::new();
+        for phone in 0..2 {
+            for state in 0..3 {
+                let center = if phone == 0 { -2.0 } else { 2.0 } + 0.1 * state as f32;
+                gmms.push(DiagGmm::from_params(vec![center], vec![0.5], vec![1.0], 1));
+            }
+        }
+        AcousticModel {
+            scorer: Box::new(GmmStateScorer::new(gmms)),
+            topology: HmmTopology::default(),
+            inventory: lre_am::StateInventory::from_phone_count(2),
+            feature: FeatureKind::Mfcc,
+            feature_transform: lre_am::FeatureTransform::identity(1),
+            train_diagnostic: None,
+        }
+    }
+
+    fn feats(vals: &[f32]) -> FrameMatrix {
+        FrameMatrix::from_flat(1, vals.to_vec())
+    }
+
+    #[test]
+    fn decodes_alternating_phones() {
+        let am = toy_am();
+        // 8 frames of phone 0 territory, then 8 of phone 1, then 8 of phone 0.
+        let mut v = vec![-2.0f32; 8];
+        v.extend(vec![2.0f32; 8]);
+        v.extend(vec![-2.0f32; 8]);
+        let out = decode(&am, &feats(&v), &DecoderConfig::default());
+        let phones: Vec<u16> = out.segments.iter().map(|s| s.phone).collect();
+        assert_eq!(phones, vec![0, 1, 0], "segments: {:?}", out.segments);
+        // Boundaries near 8 and 16.
+        assert!((out.segments[1].start as i64 - 8).abs() <= 2);
+        assert!((out.segments[2].start as i64 - 16).abs() <= 2);
+    }
+
+    #[test]
+    fn segments_tile_the_utterance() {
+        let am = toy_am();
+        let v: Vec<f32> = (0..40).map(|i| if (i / 5) % 2 == 0 { -2.0 } else { 2.0 }).collect();
+        let out = decode(&am, &feats(&v), &DecoderConfig::default());
+        assert_eq!(out.segments.first().unwrap().start, 0);
+        assert_eq!(out.segments.last().unwrap().end, 40);
+        for w in out.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn network_matches_segments_and_probs_valid() {
+        let am = toy_am();
+        let v = vec![-2.0f32; 10];
+        let out = decode(&am, &feats(&v), &DecoderConfig::default());
+        assert_eq!(out.network.num_slots(), out.segments.len());
+        for (slot, seg) in out.network.slots().iter().zip(&out.segments) {
+            // Top entry agrees with the Viterbi phone.
+            assert_eq!(slot[0].phone, seg.phone);
+            let mass: f32 = slot.iter().map(|e| e.prob).sum();
+            assert!(mass > 0.0 && mass <= 1.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn confident_frames_give_confident_posteriors() {
+        let am = toy_am();
+        let out = decode(&am, &feats(&vec![-2.0f32; 12]), &DecoderConfig::default());
+        assert!(out.network.slot(0)[0].prob > 0.9);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let am = toy_am();
+        let out = decode(&am, &FrameMatrix::new(1), &DecoderConfig::default());
+        assert!(out.segments.is_empty());
+        assert_eq!(out.num_frames, 0);
+    }
+
+    #[test]
+    fn single_frame_utterance() {
+        let am = toy_am();
+        let out = decode(&am, &feats(&[2.0]), &DecoderConfig::default());
+        assert_eq!(out.segments.len(), 1);
+        assert_eq!(out.segments[0], PhoneSegment { phone: 1, start: 0, end: 1 });
+    }
+
+    #[test]
+    fn top_k_limits_slot_size() {
+        let am = toy_am();
+        let cfg = DecoderConfig { top_k: 1, ..Default::default() };
+        let out = decode(&am, &feats(&vec![0.0f32; 6]), &cfg);
+        assert!(out.network.slots().iter().all(|s| s.len() == 1));
+    }
+}

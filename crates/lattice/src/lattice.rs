@@ -1,0 +1,237 @@
+//! General DAG phone lattice with forward-backward posteriors.
+//!
+//! This is the data structure of Eq. 2: `α(e_i)` is the forward probability
+//! of an edge's start node, `β(e_{i+N-1})` the backward probability of its
+//! end node, and `ξ(e_j)` the edge posterior. Nodes are arena-indexed
+//! (`usize`), never pointers.
+
+/// One lattice edge: a phone hypothesis spanning `from → to`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    pub from: usize,
+    pub to: usize,
+    /// Phone index in the recognizer's phone set.
+    pub phone: u16,
+    /// Combined acoustic+LM log score of the edge.
+    pub log_score: f32,
+}
+
+/// A phone lattice: DAG over nodes `0..num_nodes` with a unique start and
+/// end node. Node ids must be topologically ordered (every edge satisfies
+/// `from < to`), which decoders produce naturally from time order.
+#[derive(Clone, Debug)]
+pub struct Lattice {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    start: usize,
+    end: usize,
+}
+
+impl Lattice {
+    /// Build a lattice; panics if an edge violates topological order or is
+    /// out of range.
+    pub fn new(num_nodes: usize, edges: Vec<Edge>, start: usize, end: usize) -> Lattice {
+        assert!(start < num_nodes && end < num_nodes);
+        for e in &edges {
+            assert!(e.from < e.to, "edges must go forward: {} -> {}", e.from, e.to);
+            assert!(e.to < num_nodes);
+        }
+        Lattice { num_nodes, edges, start, end }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Forward (α) log-probabilities per node: total log score of all paths
+    /// from `start` to each node.
+    pub fn forward(&self) -> Vec<f32> {
+        let mut alpha = vec![f32::NEG_INFINITY; self.num_nodes];
+        alpha[self.start] = 0.0;
+        // Edges sorted by `from` would allow one pass; we instead iterate in
+        // node order using an adjacency bucket, robust to any edge order.
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); self.num_nodes];
+        for (i, e) in self.edges.iter().enumerate() {
+            out_edges[e.from].push(i);
+        }
+        for n in 0..self.num_nodes {
+            if alpha[n] == f32::NEG_INFINITY {
+                continue;
+            }
+            for &ei in &out_edges[n] {
+                let e = &self.edges[ei];
+                let cand = alpha[n] + e.log_score;
+                alpha[e.to] = log_add(alpha[e.to], cand);
+            }
+        }
+        alpha
+    }
+
+    /// Backward (β) log-probabilities per node: total log score of all paths
+    /// from each node to `end`.
+    pub fn backward(&self) -> Vec<f32> {
+        let mut beta = vec![f32::NEG_INFINITY; self.num_nodes];
+        beta[self.end] = 0.0;
+        let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); self.num_nodes];
+        for (i, e) in self.edges.iter().enumerate() {
+            in_edges[e.to].push(i);
+        }
+        for n in (0..self.num_nodes).rev() {
+            if beta[n] == f32::NEG_INFINITY {
+                continue;
+            }
+            for &ei in &in_edges[n] {
+                let e = &self.edges[ei];
+                let cand = beta[n] + e.log_score;
+                beta[e.from] = log_add(beta[e.from], cand);
+            }
+        }
+        beta
+    }
+
+    /// Edge posteriors ξ(e) = α(from) · score(e) · β(to) / α(end), aligned
+    /// with `edges()`. Returns `None` if no path connects start to end.
+    pub fn edge_posteriors(&self) -> Option<Vec<f32>> {
+        let alpha = self.forward();
+        let beta = self.backward();
+        let total = alpha[self.end];
+        if total == f32::NEG_INFINITY {
+            return None;
+        }
+        Some(
+            self.edges
+                .iter()
+                .map(|e| {
+                    let lp = alpha[e.from] + e.log_score + beta[e.to] - total;
+                    lp.exp()
+                })
+                .collect(),
+        )
+    }
+
+    /// Total log score of all paths (the lattice evidence).
+    pub fn total_log_score(&self) -> f32 {
+        self.forward()[self.end]
+    }
+}
+
+/// Numerically stable log(e^a + e^b).
+#[inline]
+pub fn log_add(a: f32, b: f32) -> f32 {
+    if a == f32::NEG_INFINITY {
+        return b;
+    }
+    if b == f32::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond lattice: two parallel edges start→mid→end plus alternatives.
+    ///   0 --a(p0)--> 1 --c(p2)--> 2
+    ///   0 --b(p1)--> 1
+    fn diamond(wa: f32, wb: f32) -> Lattice {
+        Lattice::new(
+            3,
+            vec![
+                Edge { from: 0, to: 1, phone: 0, log_score: wa.ln() },
+                Edge { from: 0, to: 1, phone: 1, log_score: wb.ln() },
+                Edge { from: 1, to: 2, phone: 2, log_score: 0.0 },
+            ],
+            0,
+            2,
+        )
+    }
+
+    #[test]
+    fn log_add_matches_f64_reference() {
+        for (a, b) in [(0.0f32, 0.0f32), (-1.0, -3.0), (-20.0, -0.5)] {
+            let expect = ((a as f64).exp() + (b as f64).exp()).ln();
+            assert!((log_add(a, b) as f64 - expect).abs() < 1e-6);
+        }
+        assert_eq!(log_add(f32::NEG_INFINITY, -1.0), -1.0);
+    }
+
+    #[test]
+    fn posteriors_split_by_weight() {
+        let l = diamond(3.0, 1.0);
+        let post = l.edge_posteriors().unwrap();
+        assert!((post[0] - 0.75).abs() < 1e-5);
+        assert!((post[1] - 0.25).abs() < 1e-5);
+        assert!((post[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn posterior_flow_conservation() {
+        // Posteriors of edges crossing any time cut sum to 1.
+        let l = diamond(0.4, 2.3);
+        let post = l.edge_posteriors().unwrap();
+        assert!((post[0] + post[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn total_score_is_sum_over_paths() {
+        let l = diamond(3.0, 1.0);
+        // Paths: 3*1 and 1*1 ⇒ total 4.
+        assert!((l.total_log_score() - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn disconnected_lattice_has_no_posteriors() {
+        let l = Lattice::new(
+            3,
+            vec![Edge { from: 0, to: 1, phone: 0, log_score: 0.0 }],
+            0,
+            2,
+        );
+        assert!(l.edge_posteriors().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_edge_rejected() {
+        let _ = Lattice::new(
+            2,
+            vec![Edge { from: 1, to: 1, phone: 0, log_score: 0.0 }],
+            0,
+            1,
+        );
+    }
+
+    #[test]
+    fn longer_chain_forward_backward_consistent() {
+        // 0→1→2→3 with branches; α(end) must equal β(start).
+        let l = Lattice::new(
+            4,
+            vec![
+                Edge { from: 0, to: 1, phone: 0, log_score: -0.2 },
+                Edge { from: 0, to: 2, phone: 1, log_score: -1.0 },
+                Edge { from: 1, to: 2, phone: 2, log_score: -0.3 },
+                Edge { from: 1, to: 3, phone: 3, log_score: -2.0 },
+                Edge { from: 2, to: 3, phone: 4, log_score: -0.1 },
+            ],
+            0,
+            3,
+        );
+        let a = l.forward()[l.end()];
+        let b = l.backward()[l.start()];
+        assert!((a - b).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cholesky decomposition of symmetric positive-definite matrices.
+
+use crate::{Mat, EPS};
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Mat {
+    /// Cholesky-decompose a symmetric positive-definite matrix.
+    ///
+    /// Returns `None` when a pivot drops below [`EPS`] (matrix not positive
+    /// definite to working precision). Only the lower triangle of `self` is
+    /// read, so callers may pass matrices whose upper triangle is stale.
+    pub fn cholesky(&self) -> Option<Cholesky> {
+        assert_eq!(self.rows(), self.cols(), "cholesky requires a square matrix");
+        let n = self.rows();
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= EPS {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(Cholesky { l })
+    }
+}
+
+impl Cholesky {
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Order of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A x = b` via forward + back substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n);
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: L^T x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `L y = b` only (forward substitution). Used for whitening.
+    pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Inverse of the original matrix, column by column.
+    pub fn inverse(&self) -> Mat {
+        let n = self.dim();
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let x = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = x[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+
+    /// `log(det A) = 2 * sum(log L_ii)`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Mat {
+        Mat::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn reconstructs_original() {
+        let a = spd3();
+        let c = a.cholesky().unwrap();
+        let rec = c.factor().matmul(&c.factor().transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = spd3();
+        let c = a.cholesky().unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = c.solve(&b);
+        let ax = a.matvec(&x);
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = spd3();
+        let inv = a.cholesky().unwrap().inverse();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_matches_2x2_closed_form() {
+        let a = Mat::from_rows(&[&[2.0, 0.5], &[0.5, 3.0]]);
+        let det: f64 = 2.0 * 3.0 - 0.25;
+        let c = a.cholesky().unwrap();
+        assert!((c.log_det() - det.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        assert!(Mat::zeros(3, 3).cholesky().is_none());
+    }
+}

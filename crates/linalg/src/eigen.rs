@@ -1,0 +1,157 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+
+use crate::Mat;
+
+/// Eigendecomposition of a real symmetric matrix: `A = V diag(λ) V^T`.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue; `vectors` stores the
+/// eigenvectors as columns.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, aligned with `values`.
+    pub vectors: Mat,
+}
+
+/// Diagonalize a symmetric matrix with the cyclic Jacobi method.
+///
+/// `a` must be symmetric (only symmetry up to round-off is required; the
+/// strictly upper triangle drives the rotations). Converges quadratically;
+/// `max_sweeps` bounds the work for pathological inputs.
+pub fn jacobi_eigen(a: &Mat, max_sweeps: usize) -> EigenDecomposition {
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigen requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Mat::identity(n);
+
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm; stop when it is negligible relative to
+        // the diagonal scale.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        let diag_scale: f64 = (0..n).map(|i| m[(i, i)] * m[(i, i)]).sum::<f64>().max(1e-300);
+        if off <= 1e-26 * diag_scale {
+            break;
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle: tan(2θ) = 2 a_pq / (a_pp - a_qq)
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p,q,θ): M <- Gᵀ M G, V <- V G.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let values_raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| values_raw[j].partial_cmp(&values_raw[i]).unwrap());
+
+    let mut values = Vec::with_capacity(n);
+    let mut vectors = Mat::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        values.push(values_raw[old_col]);
+        for row in 0..n {
+            vectors[(row, new_col)] = v[(row, old_col)];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let a = Mat::from_diag(&[3.0, 1.0, 2.0]);
+        let e = jacobi_eigen(&a, 50);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = jacobi_eigen(&a, 50);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Leading eigenvector ∝ (1,1)/√2.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Mat::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
+        let e = jacobi_eigen(&a, 100);
+        let lam = Mat::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-9, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Mat::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
+        let e = jacobi_eigen(&a, 100);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Mat::from_rows(&[&[5.0, 2.0], &[2.0, -3.0]]);
+        let e = jacobi_eigen(&a, 50);
+        assert!((e.values.iter().sum::<f64>() - a.trace()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,127 @@
+//! Generalized symmetric-definite eigenproblem `A v = λ B v`.
+//!
+//! This is the numerical core of LDA: with `A` the between-class scatter and
+//! `B` the (positive-definite) within-class scatter, the leading generalized
+//! eigenvectors span the most discriminative subspace.
+
+use crate::{jacobi_eigen, Mat};
+
+/// Solution of `A v = λ B v` with `B` symmetric positive definite.
+#[derive(Clone, Debug)]
+pub struct GeneralizedEigen {
+    /// Generalized eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors (columns), `B`-orthonormal: `Vᵀ B V = I`.
+    pub vectors: Mat,
+}
+
+/// Solve via Cholesky whitening: with `B = L Lᵀ`, the problem reduces to the
+/// ordinary symmetric eigenproblem `(L⁻¹ A L⁻ᵀ) w = λ w`, `v = L⁻ᵀ w`.
+///
+/// Returns `None` when `B` is not positive definite to working precision.
+pub fn generalized_symmetric_eigen(a: &Mat, b: &Mat) -> Option<GeneralizedEigen> {
+    assert_eq!(a.rows(), a.cols());
+    assert_eq!(b.rows(), b.cols());
+    assert_eq!(a.rows(), b.rows(), "A and B must have the same order");
+    let n = a.rows();
+    let chol = b.cholesky()?;
+    let l = chol.factor();
+
+    // C = L⁻¹ A L⁻ᵀ, built column-by-column: first solve L X = A (forward
+    // substitution on each column of A), then L Y = Xᵀ, giving C = Yᵀ... but
+    // since C is symmetric it is simpler to do it in two passes directly.
+    let mut x = Mat::zeros(n, n);
+    for j in 0..n {
+        let colj = a.col(j);
+        let sol = chol.forward_solve(&colj);
+        for i in 0..n {
+            x[(i, j)] = sol[i];
+        }
+    }
+    // Now C = X L⁻ᵀ  <=>  Cᵀ = L⁻¹ Xᵀ; X row i solved against L gives C row i.
+    let mut c = Mat::zeros(n, n);
+    for i in 0..n {
+        let rowi: Vec<f64> = x.row(i).to_vec();
+        let sol = chol.forward_solve(&rowi);
+        for j in 0..n {
+            c[(i, j)] = sol[j];
+        }
+    }
+    c.symmetrize();
+
+    let eig = jacobi_eigen(&c, 100);
+
+    // Back-substitute: v = L⁻ᵀ w for each eigenvector w (columns of eig.vectors).
+    let mut vectors = Mat::zeros(n, n);
+    for col in 0..n {
+        let w = eig.vectors.col(col);
+        // Solve Lᵀ v = w by back substitution.
+        let mut v = w;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let lk = l[(k, i)];
+                let vk = v[k];
+                v[i] -= lk * vk;
+            }
+            v[i] /= l[(i, i)];
+        }
+        for i in 0..n {
+            vectors[(i, col)] = v[i];
+        }
+    }
+
+    Some(GeneralizedEigen { values: eig.values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_ordinary_when_b_is_identity() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let b = Mat::identity(2);
+        let g = generalized_symmetric_eigen(&a, &b).unwrap();
+        assert!((g.values[0] - 3.0).abs() < 1e-10);
+        assert!((g.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn satisfies_generalized_equation() {
+        let a = Mat::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 2.0, 0.5], &[0.0, 0.5, 1.0]]);
+        let b = Mat::from_rows(&[&[2.0, 0.3, 0.0], &[0.3, 1.5, 0.2], &[0.0, 0.2, 1.0]]);
+        let g = generalized_symmetric_eigen(&a, &b).unwrap();
+        for col in 0..3 {
+            let v = g.vectors.col(col);
+            let av = a.matvec(&v);
+            let bv = b.matvec(&v);
+            for i in 0..3 {
+                assert!(
+                    (av[i] - g.values[col] * bv[i]).abs() < 1e-8,
+                    "eigenpair {col} violates A v = λ B v at row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vectors_are_b_orthonormal() {
+        let a = Mat::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let g = generalized_symmetric_eigen(&a, &b).unwrap();
+        let vtbv = g.vectors.transpose().matmul(&b).matmul(&g.vectors);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtbv[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_b() {
+        let a = Mat::identity(2);
+        let b = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(generalized_symmetric_eigen(&a, &b).is_none());
+    }
+}

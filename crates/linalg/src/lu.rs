@@ -1,0 +1,163 @@
+//! LU decomposition with partial pivoting.
+
+use crate::{Mat, EPS};
+
+/// Packed LU factors of a square matrix with a row-permutation record.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Mat,
+    /// Row permutation: row `i` of the factorization came from `perm[i]` of A.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 or -1); needed for the determinant.
+    sign: f64,
+}
+
+impl Mat {
+    /// LU-decompose with partial pivoting. Returns `None` for a singular
+    /// matrix (pivot magnitude below [`EPS`]).
+    pub fn lu(&self) -> Option<Lu> {
+        assert_eq!(self.rows(), self.cols(), "lu requires a square matrix");
+        let n = self.rows();
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for col in 0..n {
+            // Pivot search.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                let v = lu[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < EPS {
+                return None;
+            }
+            if pivot_row != col {
+                perm.swap(pivot_row, col);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            // Eliminate below the pivot.
+            let piv = lu[(col, col)];
+            for r in (col + 1)..n {
+                let factor = lu[(r, col)] / piv;
+                lu[(r, col)] = factor;
+                for j in (col + 1)..n {
+                    let u = lu[(col, j)];
+                    lu[(r, j)] -= factor * u;
+                }
+            }
+        }
+        Some(Lu { lu, perm, sign })
+    }
+}
+
+impl Lu {
+    /// Order of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n);
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                let l = self.lu[(i, k)];
+                y[i] -= l * y[k];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let u = self.lu[(i, k)];
+                y[i] -= u * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// Matrix inverse.
+    pub fn inverse(&self) -> Mat {
+        let n = self.dim();
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let x = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = x[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_matches_known_solution() {
+        // x + 2y = 5 ; 3x - y = 1  =>  x = 1, y = 2
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, -1.0]]);
+        let x = a.lu().unwrap().solve(&[5.0, 1.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_known() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.lu().unwrap().det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_triangular_needs_pivoting() {
+        // Zero in the (0,0) slot forces a row swap.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((a.lu().unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let inv = a.lu().unwrap().inverse();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_is_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.lu().is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Row-major dense matrix type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// The storage is a single flat `Vec<f64>` (perf-book idiom: avoid
+/// `Vec<Vec<f64>>` so rows are contiguous and the allocator is touched once).
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a flat row-major buffer. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Build from row slices. Panics on ragged input.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Diagonal matrix from a slice.
+    pub fn from_diag(d: &[f64]) -> Self {
+        let mut m = Self::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Flat row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product `self * other`.
+    ///
+    /// Uses the i-k-j loop order so the inner loop walks both operands
+    /// contiguously (row-major friendly).
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch");
+        (0..self.rows).map(|i| crate::dot(self.row(i), x)).collect()
+    }
+
+    /// `self += alpha * other` elementwise.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scale all entries in place.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        crate::scale(alpha, &mut self.data);
+    }
+
+    /// Rank-1 update `self += alpha * x * y^T`.
+    pub fn rank1_update(&mut self, alpha: f64, x: &[f64], y: &[f64]) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        for i in 0..self.rows {
+            let ax = alpha * x[i];
+            crate::axpy(ax, y, self.row_mut(i));
+        }
+    }
+
+    /// Maximum absolute entry; 0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Sum of the diagonal entries (requires square).
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols);
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Symmetrize in place: `A <- (A + A^T)/2`. Useful after accumulating
+    /// scatter matrices where round-off breaks exact symmetry.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols);
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let v = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = v;
+                self[(j, i)] = v;
+            }
+        }
+    }
+
+    /// True if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Mat::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn rank1_update_known() {
+        let mut a = Mat::zeros(2, 2);
+        a.rank1_update(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(a, Mat::from_rows(&[&[8.0, 10.0], &[24.0, 30.0]]));
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut a = Mat::from_rows(&[&[1.0, 2.0], &[4.0, 3.0]]);
+        a.symmetrize();
+        assert_eq!(a[(0, 1)], a[(1, 0)]);
+        assert_eq!(a[(0, 1)], 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = Mat::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn trace_and_max_abs() {
+        let a = Mat::from_rows(&[&[1.0, -9.0], &[2.0, 3.0]]);
+        assert_eq!(a.trace(), 4.0);
+        assert_eq!(a.max_abs(), 9.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Sample statistics over row-major data matrices.
+
+use crate::Mat;
+
+/// Mean of the rows of `data` (each row is one observation).
+pub fn mean_vector(data: &Mat) -> Vec<f64> {
+    let (n, d) = (data.rows(), data.cols());
+    assert!(n > 0, "mean of empty sample");
+    let mut mean = vec![0.0; d];
+    for i in 0..n {
+        crate::axpy(1.0, data.row(i), &mut mean);
+    }
+    crate::scale(1.0 / n as f64, &mut mean);
+    mean
+}
+
+/// Weighted mean of the rows of `data`; weights need not be normalized but
+/// must have a positive sum.
+pub fn weighted_mean_vector(data: &Mat, weights: &[f64]) -> Vec<f64> {
+    let (n, d) = (data.rows(), data.cols());
+    assert_eq!(n, weights.len());
+    let wsum: f64 = weights.iter().sum();
+    assert!(wsum > 0.0, "weights must have positive sum");
+    let mut mean = vec![0.0; d];
+    for i in 0..n {
+        crate::axpy(weights[i], data.row(i), &mut mean);
+    }
+    crate::scale(1.0 / wsum, &mut mean);
+    mean
+}
+
+/// Sample covariance (divides by `n`, not `n-1`) of the rows of `data`
+/// around the supplied mean.
+pub fn covariance_matrix(data: &Mat, mean: &[f64]) -> Mat {
+    let (n, d) = (data.rows(), data.cols());
+    assert!(n > 0);
+    assert_eq!(mean.len(), d);
+    let mut cov = Mat::zeros(d, d);
+    let mut centered = vec![0.0; d];
+    for i in 0..n {
+        for (c, (&x, &m)) in centered.iter_mut().zip(data.row(i).iter().zip(mean)) {
+            *c = x - m;
+        }
+        cov.rank1_update(1.0, &centered, &centered);
+    }
+    cov.scale_inplace(1.0 / n as f64);
+    cov.symmetrize();
+    cov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_two_points() {
+        let data = Mat::from_rows(&[&[0.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(mean_vector(&data), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn weighted_mean_degenerate_weight() {
+        let data = Mat::from_rows(&[&[0.0], &[10.0]]);
+        let m = weighted_mean_vector(&data, &[1.0, 0.0]);
+        assert_eq!(m, vec![0.0]);
+    }
+
+    #[test]
+    fn covariance_of_isotropic_square() {
+        // Four corners of a square: variance 1 per axis, zero correlation.
+        let data =
+            Mat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0], &[-1.0, 1.0], &[-1.0, -1.0]]);
+        let mean = mean_vector(&data);
+        let cov = covariance_matrix(&data, &mean);
+        assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!(cov[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_perfectly_correlated() {
+        let data = Mat::from_rows(&[&[-1.0, -2.0], &[1.0, 2.0]]);
+        let mean = mean_vector(&data);
+        let cov = covariance_matrix(&data, &mean);
+        assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 4.0).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use lre_linalg::{
+    autocorrelation, jacobi_eigen, levinson_durbin, mean_vector, Mat,
+};
+use proptest::prelude::*;
+
+fn matrix(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-3.0f64..3.0, n * n).prop_map(move |v| Mat::from_vec(n, n, v))
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-3.0f64..3.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // --- Mat -------------------------------------------------------------------
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3), b in matrix(3), c in matrix(3)) {
+        let ab_c = a.matmul(&b).matmul(&c);
+        let a_bc = a.matmul(&b.matmul(&c));
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((ab_c[(i, j)] - a_bc[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in matrix(3), b in matrix(3)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul(a in matrix(4), x in vector(4)) {
+        let as_vec = a.matvec(&x);
+        let as_mat = a.matmul(&Mat::from_vec(4, 1, x.clone()));
+        for i in 0..4 {
+            prop_assert!((as_vec[i] - as_mat[(i, 0)]).abs() < 1e-10);
+        }
+    }
+
+    // --- Decompositions ------------------------------------------------------------
+
+    #[test]
+    fn lu_solve_satisfies_system(a in matrix(4), b in vector(4)) {
+        if let Some(lu) = a.lu() {
+            let x = lu.solve(&b);
+            let back = a.matvec(&x);
+            for i in 0..4 {
+                prop_assert!((back[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()),
+                    "residual too large at {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets(a in matrix(3), b in matrix(3)) {
+        if let (Some(la), Some(lb), Some(lab)) = (a.lu(), b.lu(), a.matmul(&b).lu()) {
+            let expect = la.det() * lb.det();
+            prop_assert!((lab.det() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        }
+    }
+
+    #[test]
+    fn spd_eigenvalues_are_positive(a in matrix(4)) {
+        // AᵀA + I is symmetric positive definite.
+        let mut spd = a.transpose().matmul(&a);
+        for i in 0..4 { spd[(i, i)] += 1.0; }
+        let e = jacobi_eigen(&spd, 100);
+        for &l in &e.values {
+            prop_assert!(l > 0.99, "eigenvalue {l} of SPD matrix not ≥ 1");
+        }
+        // Cholesky must also accept it.
+        prop_assert!(spd.cholesky().is_some());
+    }
+
+    #[test]
+    fn cholesky_log_det_matches_lu(a in matrix(3)) {
+        let mut spd = a.transpose().matmul(&a);
+        for i in 0..3 { spd[(i, i)] += 1.0; }
+        let chol = spd.cholesky().unwrap();
+        let lu = spd.lu().unwrap();
+        prop_assert!((chol.log_det() - lu.det().ln()).abs() < 1e-8);
+    }
+
+    // --- Levinson-Durbin -----------------------------------------------------------
+
+    #[test]
+    fn levinson_reflections_bounded(x in prop::collection::vec(-1.0f64..1.0, 32..64)) {
+        let r = autocorrelation(&x, 8);
+        if r[0] > 1e-6 {
+            if let Some(lpc) = levinson_durbin(&r, 8) {
+                for &k in &lpc.reflection {
+                    prop_assert!(k.abs() <= 1.0 + 1e-6);
+                }
+                prop_assert!(lpc.error >= 0.0);
+                prop_assert!(lpc.error <= r[0] * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    // --- Stats -----------------------------------------------------------------------
+
+    #[test]
+    fn mean_is_translation_equivariant(rows in prop::collection::vec(vector(3), 2..10), shift in -5.0f64..5.0) {
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = Mat::from_rows(&refs);
+        let mean1 = mean_vector(&m);
+        let shifted: Vec<Vec<f64>> =
+            rows.iter().map(|r| r.iter().map(|v| v + shift).collect()).collect();
+        let refs2: Vec<&[f64]> = shifted.iter().map(|r| r.as_slice()).collect();
+        let mean2 = mean_vector(&Mat::from_rows(&refs2));
+        for d in 0..3 {
+            prop_assert!((mean2[d] - mean1[d] - shift).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The 72-phone universal inventory with acoustic prototypes.
+
+use lre_dsp::FormantSpec;
+
+/// Broad articulatory class of a phone. Classes drive duration statistics,
+/// voicing, and the merge preferences when a recognizer's phone set folds
+/// universal phones together.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhoneClass {
+    Vowel,
+    Stop,
+    Fricative,
+    Affricate,
+    Nasal,
+    Liquid,
+    Glide,
+    Silence,
+    Noise,
+}
+
+/// One universal phone: symbol, class, acoustic prototype, duration stats.
+#[derive(Clone, Debug)]
+pub struct UniversalPhoneDef {
+    pub symbol: String,
+    pub class: PhoneClass,
+    pub spec: FormantSpec,
+    /// Mean duration in 10 ms frames.
+    pub mean_dur_frames: f32,
+    /// Duration standard deviation in frames.
+    pub std_dur_frames: f32,
+}
+
+/// Number of phones in the universal inventory.
+pub const UNIVERSAL_SIZE: usize = 72;
+
+/// The universal articulatory phone space shared by all synthetic languages.
+///
+/// Construction is fully deterministic. The set comprises: 3 non-speech
+/// units (silence, noise, short pause), 9 base vowels + 9 long variants,
+/// 11 stops (incl. palatalized/aspirated), 12 fricatives, 5 affricates,
+/// 6 nasals, 6 liquids, 3 glides, and 8 tone-vowel variants — 72 total,
+/// enough to carve out the paper's five distinct recognizer inventories.
+#[derive(Clone, Debug)]
+pub struct UniversalInventory {
+    phones: Vec<UniversalPhoneDef>,
+}
+
+fn vowel(sym: &str, f1: f32, f2: f32, dur: f32) -> UniversalPhoneDef {
+    UniversalPhoneDef {
+        symbol: sym.to_string(),
+        class: PhoneClass::Vowel,
+        spec: FormantSpec {
+            formants: [f1, f2, 2500.0 + 0.2 * f2],
+            bandwidths: [70.0, 110.0, 170.0],
+            voicing: 1.0,
+            amplitude: 1.0,
+        },
+        mean_dur_frames: dur,
+        std_dur_frames: 0.25 * dur,
+    }
+}
+
+fn consonant(
+    sym: &str,
+    class: PhoneClass,
+    peak: f32,
+    voicing: f32,
+    dur: f32,
+    amp: f32,
+) -> UniversalPhoneDef {
+    UniversalPhoneDef {
+        symbol: sym.to_string(),
+        class,
+        spec: FormantSpec {
+            formants: [peak * 0.4, peak, peak * 1.7],
+            bandwidths: [90.0, 120.0, 180.0],
+            voicing,
+            amplitude: amp,
+        },
+        mean_dur_frames: dur,
+        std_dur_frames: 0.3 * dur,
+    }
+}
+
+impl UniversalInventory {
+    /// Build the canonical 72-phone inventory.
+    pub fn new() -> Self {
+        let mut phones: Vec<UniversalPhoneDef> = Vec::with_capacity(UNIVERSAL_SIZE);
+
+        // --- Non-speech units (3) -------------------------------------------------
+        phones.push(UniversalPhoneDef {
+            symbol: "sil".into(),
+            class: PhoneClass::Silence,
+            spec: FormantSpec {
+                formants: [0.0, 0.0, 0.0],
+                bandwidths: [0.0, 0.0, 0.0],
+                voicing: 0.0,
+                amplitude: 0.01,
+            },
+            mean_dur_frames: 12.0,
+            std_dur_frames: 5.0,
+        });
+        phones.push(UniversalPhoneDef {
+            symbol: "nsn".into(), // non-speech noise
+            class: PhoneClass::Noise,
+            spec: FormantSpec {
+                formants: [800.0, 1800.0, 3000.0],
+                bandwidths: [400.0, 500.0, 600.0],
+                voicing: 0.0,
+                amplitude: 0.25,
+            },
+            mean_dur_frames: 10.0,
+            std_dur_frames: 4.0,
+        });
+        phones.push(UniversalPhoneDef {
+            symbol: "sp".into(), // short pause
+            class: PhoneClass::Silence,
+            spec: FormantSpec {
+                formants: [0.0, 0.0, 0.0],
+                bandwidths: [0.0, 0.0, 0.0],
+                voicing: 0.0,
+                amplitude: 0.01,
+            },
+            mean_dur_frames: 4.0,
+            std_dur_frames: 1.5,
+        });
+
+        // --- Vowels: 9 base + 9 long (18) ----------------------------------------
+        let base_vowels: [(&str, f32, f32); 9] = [
+            ("i", 280.0, 2250.0),
+            ("e", 400.0, 2000.0),
+            ("E", 550.0, 1800.0), // ɛ
+            ("a", 750.0, 1450.0),
+            ("A", 700.0, 1100.0), // ɑ
+            ("o", 450.0, 900.0),
+            ("u", 320.0, 750.0),
+            ("y", 300.0, 1900.0), // ɨ/y front-rounded-ish
+            ("@", 500.0, 1450.0), // ə
+        ];
+        for (sym, f1, f2) in base_vowels {
+            phones.push(vowel(sym, f1, f2, 8.0));
+        }
+        for (sym, f1, f2) in base_vowels {
+            // Long vowels are peripheralized (slight quality shift), as in
+            // natural languages — pure duration contrasts would be invisible
+            // to a spectral front-end.
+            phones.push(vowel(&format!("{sym}:"), f1 * 0.93, f2 * 1.07, 14.0));
+        }
+
+        // --- Stops (11) -----------------------------------------------------------
+        // Burst-dominated, short, mostly unvoiced excitation with voicing flag.
+        for (sym, peak, voi) in [
+            ("p", 900.0, 0.0),
+            ("b", 800.0, 0.55),
+            ("t", 3200.0, 0.0),
+            ("d", 2900.0, 0.55),
+            ("k", 1800.0, 0.0),
+            ("g", 1600.0, 0.55),
+            ("tj", 3000.0, 0.1),  // palatalized t
+            ("dj", 2700.0, 0.55), // palatalized d
+            ("ph", 1000.0, 0.0),  // aspirated
+            ("th", 3400.0, 0.0),
+            ("kh", 2000.0, 0.0),
+        ] {
+            phones.push(consonant(sym, PhoneClass::Stop, peak, voi, 5.0, 0.75));
+        }
+
+        // --- Fricatives (12) --------------------------------------------------------
+        for (sym, peak, voi) in [
+            ("f", 2600.0, 0.0),
+            ("v", 2300.0, 0.6),
+            ("s", 3600.0, 0.0),
+            ("z", 3400.0, 0.6),
+            ("S", 2500.0, 0.0), // ʃ
+            ("Z", 2300.0, 0.6), // ʒ
+            ("x", 1500.0, 0.0),
+            ("h", 1100.0, 0.0),
+            ("T", 3000.0, 0.0), // θ
+            ("D", 2800.0, 0.6), // ð
+            ("sj", 3300.0, 0.0),
+            ("zj", 3100.0, 0.6),
+        ] {
+            phones.push(consonant(sym, PhoneClass::Fricative, peak, voi, 7.0, 0.7));
+        }
+
+        // --- Affricates (5) ---------------------------------------------------------
+        for (sym, peak, voi) in [
+            ("ts", 3500.0, 0.0),
+            ("dz", 3200.0, 0.5),
+            ("tS", 2600.0, 0.0),
+            ("dZ", 2400.0, 0.5),
+            ("tc", 2900.0, 0.0), // tɕ
+        ] {
+            phones.push(consonant(sym, PhoneClass::Affricate, peak, voi, 8.0, 0.72));
+        }
+
+        // --- Nasals (6) ---------------------------------------------------------------
+        for (sym, peak) in [
+            ("m", 1100.0),
+            ("n", 1400.0),
+            ("nj", 1700.0), // ɲ
+            ("ng", 1200.0), // ŋ
+            ("mj", 1300.0),
+            ("nn", 1500.0), // geminate n
+        ] {
+            phones.push(consonant(sym, PhoneClass::Nasal, peak, 1.0, 6.5, 0.8));
+        }
+
+        // --- Liquids (6) ----------------------------------------------------------------
+        for (sym, peak) in [
+            ("l", 1300.0),
+            ("r", 1500.0),
+            ("L", 1800.0),  // ʎ
+            ("rj", 1600.0), // palatalized r
+            ("lj", 1700.0),
+            ("4", 1400.0), // flap ɾ
+        ] {
+            phones.push(consonant(sym, PhoneClass::Liquid, peak, 1.0, 6.0, 0.85));
+        }
+
+        // --- Glides (3) ------------------------------------------------------------------
+        for (sym, peak) in [("j", 2100.0), ("w", 800.0), ("H", 1900.0)] {
+            phones.push(consonant(sym, PhoneClass::Glide, peak, 1.0, 5.5, 0.75));
+        }
+
+        // --- Tone-vowel variants (8): Mandarin-style a/i with 4 tones -----------------
+        // Tones are rendered as f0 contours downstream; acoustically we give
+        // each its own slight formant offset so recognizers can separate them.
+        for (base, f1, f2) in [("a", 750.0_f32, 1450.0_f32), ("i", 280.0, 2250.0)] {
+            // Tone-specific offsets with alternating signs keep the four
+            // variants spectrally distinguishable at 8 kHz (f0 contours are
+            // nearly invisible to an envelope front-end).
+            let offsets: [(f32, f32); 4] = [(55.0, 70.0), (20.0, -60.0), (-45.0, 30.0), (-70.0, -75.0)];
+            for tone in 1..=4u32 {
+                let (d1, d2) = offsets[(tone - 1) as usize];
+                let mut p = vowel(&format!("{base}{tone}"), f1 + d1, f2 + d2, 9.0);
+                p.spec.voicing = 1.0;
+                phones.push(p);
+            }
+        }
+
+        assert_eq!(phones.len(), UNIVERSAL_SIZE, "inventory construction drifted");
+        Self { phones }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.phones.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.phones.is_empty()
+    }
+
+    /// Phone definition by universal index.
+    #[inline]
+    pub fn phone(&self, idx: usize) -> &UniversalPhoneDef {
+        &self.phones[idx]
+    }
+
+    /// All phone definitions.
+    pub fn phones(&self) -> &[UniversalPhoneDef] {
+        &self.phones
+    }
+
+    /// Index of a symbol (linear scan — inventory is tiny and this is not hot).
+    pub fn index_of(&self, symbol: &str) -> Option<usize> {
+        self.phones.iter().position(|p| p.symbol == symbol)
+    }
+
+    /// Universal index of silence.
+    pub fn silence(&self) -> usize {
+        self.index_of("sil").expect("inventory always contains sil")
+    }
+
+    /// A crude acoustic distance between two phones, used when a phone set
+    /// must fold an excluded phone onto its nearest included neighbour.
+    pub fn acoustic_distance(&self, a: usize, b: usize) -> f32 {
+        let (pa, pb) = (&self.phones[a], &self.phones[b]);
+        let class_penalty = if pa.class == pb.class { 0.0 } else { 4000.0 };
+        let df: f32 = pa
+            .spec
+            .formants
+            .iter()
+            .zip(&pb.spec.formants)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt();
+        let dv = (pa.spec.voicing - pb.spec.voicing).abs() * 800.0;
+        class_penalty + df + dv
+    }
+}
+
+impl Default for UniversalInventory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_exactly_72_phones() {
+        assert_eq!(UniversalInventory::new().len(), UNIVERSAL_SIZE);
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let inv = UniversalInventory::new();
+        let mut seen = std::collections::HashSet::new();
+        for p in inv.phones() {
+            assert!(seen.insert(p.symbol.clone()), "duplicate symbol {}", p.symbol);
+        }
+    }
+
+    #[test]
+    fn index_of_roundtrip() {
+        let inv = UniversalInventory::new();
+        for i in 0..inv.len() {
+            assert_eq!(inv.index_of(&inv.phone(i).symbol), Some(i));
+        }
+        assert_eq!(inv.index_of("definitely-not-a-phone"), None);
+    }
+
+    #[test]
+    fn silence_exists_and_is_quiet() {
+        let inv = UniversalInventory::new();
+        let sil = inv.phone(inv.silence());
+        assert_eq!(sil.class, PhoneClass::Silence);
+        assert!(sil.spec.amplitude < 0.1);
+    }
+
+    #[test]
+    fn durations_positive() {
+        let inv = UniversalInventory::new();
+        for p in inv.phones() {
+            assert!(p.mean_dur_frames > 0.0 && p.std_dur_frames >= 0.0, "{}", p.symbol);
+        }
+    }
+
+    #[test]
+    fn distance_zero_on_self_and_symmetric() {
+        let inv = UniversalInventory::new();
+        for a in [0, 5, 20, 40, 71] {
+            assert_eq!(inv.acoustic_distance(a, a), 0.0);
+            for b in [1, 10, 30] {
+                let d1 = inv.acoustic_distance(a, b);
+                let d2 = inv.acoustic_distance(b, a);
+                assert!((d1 - d2).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn same_class_phones_closer_than_cross_class() {
+        let inv = UniversalInventory::new();
+        let i = inv.index_of("i").unwrap();
+        let e = inv.index_of("e").unwrap();
+        let s = inv.index_of("s").unwrap();
+        assert!(inv.acoustic_distance(i, e) < inv.acoustic_distance(i, s));
+    }
+}

@@ -1,0 +1,70 @@
+//! Universal phone space and recognizer phone sets.
+//!
+//! The paper's six front-ends tokenize speech with *different phone
+//! inventories*: BUT Hungarian (59), Russian (50) and Czech (43)
+//! recognizers, Tsinghua English (47, twice) and Mandarin (64) recognizers
+//! (§4.1). Diversity of phone sets is one of the three diversification axes
+//! the PPRVSM architecture exploits, so the reproduction models it
+//! faithfully: a single *universal* articulatory inventory of 72 phones
+//! underlies the synthetic languages, and each recognizer observes speech
+//! through its own subset-with-merging projection of that space.
+//!
+//! - [`UniversalInventory`]: the 72 phone prototypes with acoustic
+//!   (formant-synthesizer) definitions and duration statistics,
+//! - [`PhoneSet`]: a recognizer's inventory plus the universal→set
+//!   projection used both to train the recognizer and to score decodes.
+
+mod inventory;
+mod set;
+
+pub use inventory::{PhoneClass, UniversalInventory, UniversalPhoneDef, UNIVERSAL_SIZE};
+pub use set::{standard_phone_sets, PhoneSet, PhoneSetId};
+
+#[cfg(test)]
+mod integration {
+    use super::*;
+
+    #[test]
+    fn paper_inventory_sizes() {
+        let inv = UniversalInventory::new();
+        let sets = standard_phone_sets(&inv);
+        let sizes: Vec<(String, usize)> =
+            sets.iter().map(|s| (s.name().to_string(), s.len())).collect();
+        let get = |n: &str| sizes.iter().find(|(name, _)| name == n).unwrap().1;
+        assert_eq!(get("HU"), 59);
+        assert_eq!(get("RU"), 50);
+        assert_eq!(get("CZ"), 43);
+        assert_eq!(get("EN"), 47);
+        assert_eq!(get("MA"), 64);
+    }
+
+    #[test]
+    fn every_universal_phone_projects_into_every_set() {
+        let inv = UniversalInventory::new();
+        for set in standard_phone_sets(&inv) {
+            for u in 0..inv.len() {
+                let p = set.project(u);
+                assert!(p < set.len(), "{}: phone {u} projects out of range", set.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sets_are_actually_different() {
+        let inv = UniversalInventory::new();
+        let sets = standard_phone_sets(&inv);
+        // Projections must differ between at least most pairs of sets.
+        let mut distinct_pairs = 0;
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                let differs = (0..inv.len()).any(|u| {
+                    sets[i].symbol(sets[i].project(u)) != sets[j].symbol(sets[j].project(u))
+                });
+                if differs {
+                    distinct_pairs += 1;
+                }
+            }
+        }
+        assert!(distinct_pairs >= 9, "phone sets are too similar: {distinct_pairs}");
+    }
+}

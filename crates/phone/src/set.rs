@@ -1,0 +1,229 @@
+//! Recognizer phone sets: subsets of the universal inventory with projection.
+
+use crate::inventory::UniversalInventory;
+
+/// Identifier for the five paper phone sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhoneSetId {
+    /// Hungarian (BUT), 59 phones.
+    Hu,
+    /// Russian (BUT), 50 phones.
+    Ru,
+    /// Czech (BUT), 43 phones.
+    Cz,
+    /// English (Tsinghua), 47 phones.
+    En,
+    /// Mandarin (Tsinghua), 64 phones.
+    Ma,
+}
+
+impl PhoneSetId {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhoneSetId::Hu => "HU",
+            PhoneSetId::Ru => "RU",
+            PhoneSetId::Cz => "CZ",
+            PhoneSetId::En => "EN",
+            PhoneSetId::Ma => "MA",
+        }
+    }
+
+    /// Inventory size reported in §4.1 of the paper.
+    pub fn paper_size(&self) -> usize {
+        match self {
+            PhoneSetId::Hu => 59,
+            PhoneSetId::Ru => 50,
+            PhoneSetId::Cz => 43,
+            PhoneSetId::En => 47,
+            PhoneSetId::Ma => 64,
+        }
+    }
+
+    /// Universal phone symbols this recognizer does *not* distinguish.
+    fn exclusions(&self) -> &'static [&'static str] {
+        match self {
+            // Mandarin keeps tones, drops the palatalized series.
+            PhoneSetId::Ma => &["tj", "dj", "sj", "zj", "rj", "lj", "mj", "nj"],
+            // Hungarian: no tones, no dental fricatives, thin palatalized set.
+            PhoneSetId::Hu => &[
+                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "T", "D", "mj", "rj", "zj",
+            ],
+            // Russian: palatalization-rich but no length, no tones, no aspiration.
+            PhoneSetId::Ru => &[
+                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "i:", "e:", "E:", "a:", "A:",
+                "o:", "u:", "y:", "@:", "T", "D", "ph", "th", "kh",
+            ],
+            // Czech: smallest set; partial length, core palatalized only.
+            PhoneSetId::Cz => &[
+                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "sj", "zj", "mj", "rj", "lj",
+                "T", "D", "H", "ph", "th", "kh", "E:", "y:", "@:", "A:", "w", "tc", "dz", "4",
+                "ng", "L",
+            ],
+            // English: dental fricatives and flap kept, palatalized dropped.
+            PhoneSetId::En => &[
+                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "e:", "E:", "a:", "y:", "@:",
+                "tj", "dj", "sj", "zj", "rj", "lj", "mj", "nj", "x", "L", "H", "nn",
+            ],
+        }
+    }
+}
+
+/// A recognizer's phone inventory: an ordered subset of the universal
+/// inventory plus a total projection map `universal index → set index`
+/// (excluded phones fold onto their acoustically nearest included phone).
+#[derive(Clone, Debug)]
+pub struct PhoneSet {
+    id: PhoneSetId,
+    /// Universal index of each set phone (set index → universal index).
+    members: Vec<usize>,
+    /// Symbols, aligned with `members`.
+    symbols: Vec<String>,
+    /// Universal index → set index (total).
+    projection: Vec<u16>,
+}
+
+impl PhoneSet {
+    /// Build one of the paper's phone sets over the given inventory.
+    pub fn standard(id: PhoneSetId, inv: &UniversalInventory) -> Self {
+        let excluded: Vec<usize> = id
+            .exclusions()
+            .iter()
+            .map(|s| inv.index_of(s).unwrap_or_else(|| panic!("unknown exclusion symbol {s}")))
+            .collect();
+        let members: Vec<usize> = (0..inv.len()).filter(|u| !excluded.contains(u)).collect();
+        assert_eq!(
+            members.len(),
+            id.paper_size(),
+            "{} inventory size drifted from the paper",
+            id.name()
+        );
+        let symbols: Vec<String> = members.iter().map(|&u| inv.phone(u).symbol.clone()).collect();
+
+        // Total projection: member phones map to themselves, excluded phones
+        // to the nearest member by acoustic distance.
+        let mut projection = vec![0u16; inv.len()];
+        for (set_idx, &u) in members.iter().enumerate() {
+            projection[u] = set_idx as u16;
+        }
+        for &u in &excluded {
+            let nearest = members
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    inv.acoustic_distance(u, a)
+                        .partial_cmp(&inv.acoustic_distance(u, b))
+                        .unwrap()
+                })
+                .map(|(set_idx, _)| set_idx)
+                .expect("member list is non-empty");
+            projection[u] = nearest as u16;
+        }
+        Self { id, members, symbols, projection }
+    }
+
+    #[inline]
+    pub fn id(&self) -> PhoneSetId {
+        self.id
+    }
+
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.id.name()
+    }
+
+    /// Number of phones in this set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Project a universal phone index to this set's index (total map).
+    #[inline]
+    pub fn project(&self, universal: usize) -> usize {
+        self.projection[universal] as usize
+    }
+
+    /// Universal index backing set phone `idx`.
+    #[inline]
+    pub fn universal_of(&self, idx: usize) -> usize {
+        self.members[idx]
+    }
+
+    /// Symbol of set phone `idx`.
+    #[inline]
+    pub fn symbol(&self, idx: usize) -> &str {
+        &self.symbols[idx]
+    }
+
+    /// Set index of this recognizer's silence phone.
+    pub fn silence(&self) -> usize {
+        self.symbols.iter().position(|s| s == "sil").expect("every set keeps sil")
+    }
+}
+
+/// The paper's five phone sets in a fixed order: HU, RU, CZ, EN, MA.
+pub fn standard_phone_sets(inv: &UniversalInventory) -> Vec<PhoneSet> {
+    [PhoneSetId::Hu, PhoneSetId::Ru, PhoneSetId::Cz, PhoneSetId::En, PhoneSetId::Ma]
+        .into_iter()
+        .map(|id| PhoneSet::standard(id, inv))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_projection_is_identity() {
+        let inv = UniversalInventory::new();
+        let set = PhoneSet::standard(PhoneSetId::Cz, &inv);
+        for idx in 0..set.len() {
+            assert_eq!(set.project(set.universal_of(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn excluded_phones_fold_to_same_class_when_possible() {
+        let inv = UniversalInventory::new();
+        let set = PhoneSet::standard(PhoneSetId::Ma, &inv);
+        // "sj" is excluded from MA; it should fold onto a fricative.
+        let sj = inv.index_of("sj").unwrap();
+        let target = set.universal_of(set.project(sj));
+        assert_eq!(inv.phone(target).class, inv.phone(sj).class);
+    }
+
+    #[test]
+    fn silence_present_in_all_sets() {
+        let inv = UniversalInventory::new();
+        for set in standard_phone_sets(&inv) {
+            let sil = set.silence();
+            assert_eq!(set.symbol(sil), "sil");
+        }
+    }
+
+    #[test]
+    fn long_vowels_fold_to_their_base_in_russian() {
+        let inv = UniversalInventory::new();
+        let set = PhoneSet::standard(PhoneSetId::Ru, &inv);
+        let long_a = inv.index_of("a:").unwrap();
+        let folded = set.universal_of(set.project(long_a));
+        // Must fold onto a vowel; ideally the short "a" (same formants).
+        assert_eq!(inv.phone(folded).symbol, "a");
+    }
+
+    #[test]
+    fn exclusion_lists_have_no_duplicates() {
+        for id in [PhoneSetId::Hu, PhoneSetId::Ru, PhoneSetId::Cz, PhoneSetId::En, PhoneSetId::Ma] {
+            let ex = id.exclusions();
+            let mut seen = std::collections::HashSet::new();
+            for s in ex {
+                assert!(seen.insert(s), "{}: duplicate exclusion {s}", id.name());
+            }
+        }
+    }
+}

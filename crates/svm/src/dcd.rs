@@ -1,0 +1,244 @@
+//! Dual coordinate descent for L2-regularized L1/L2-loss linear SVC.
+
+use lre_vsm::SparseVec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hinge-loss variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loss {
+    /// L1 (standard hinge): dual upper bound `α ≤ C`.
+    L1,
+    /// L2 (squared hinge): unbounded dual, diagonal regularizer `1/(2C)`.
+    L2,
+}
+
+/// Training configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SvmTrainConfig {
+    /// Cost parameter for positive examples.
+    pub c_pos: f32,
+    /// Cost parameter for negative examples (one-vs-rest is 1-vs-22
+    /// imbalanced, so `c_pos > c_neg` is the usual compensation).
+    pub c_neg: f32,
+    pub loss: Loss,
+    /// Outer epochs over the (shuffled) training set.
+    pub max_iter: usize,
+    /// Stop when the largest projected-gradient violation in an epoch falls
+    /// below this.
+    pub tol: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SvmTrainConfig {
+    fn default() -> Self {
+        Self { c_pos: 1.0, c_neg: 1.0, loss: Loss::L2, max_iter: 60, tol: 1e-3, seed: 1 }
+    }
+}
+
+/// A trained linear SVM: `f(x) = wᵀx + d` (Eq. 4 after TFLLR scaling).
+#[derive(Clone, Debug)]
+pub struct LinearSvm {
+    /// Weights over the feature dimensions.
+    w: Vec<f32>,
+    /// Bias term `d`, learned via an implicit all-ones feature.
+    bias: f32,
+}
+
+impl LinearSvm {
+    /// Decision value for a sparse input.
+    #[inline]
+    pub fn score(&self, x: &SparseVec) -> f32 {
+        x.dot_dense(&self.w) + self.bias
+    }
+
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+}
+
+/// Train a binary SVM on sparse features.
+///
+/// `ys[i]` must be `+1` or `-1`; `dim` bounds the feature indices. The bias
+/// is learned by augmenting every example with a constant-1 feature
+/// (LIBLINEAR's `-B 1`).
+pub fn train_binary(
+    xs: &[SparseVec],
+    ys: &[i8],
+    dim: usize,
+    cfg: &SvmTrainConfig,
+) -> LinearSvm {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    let mut w = vec![0.0f32; dim];
+    let mut bias = 0.0f32;
+    if n == 0 {
+        return LinearSvm { w, bias };
+    }
+    assert!(ys.iter().all(|&y| y == 1 || y == -1), "labels must be ±1");
+
+    // Per-example constants: Q̄_ii = ‖x_i‖² + 1 (bias feature) [+ 1/(2C)],
+    // dual upper bound U_i.
+    let (diag_add, upper): (Box<dyn Fn(f32) -> f32>, Box<dyn Fn(f32) -> f32>) = match cfg.loss {
+        Loss::L1 => (Box::new(|_c: f32| 0.0), Box::new(|c: f32| c)),
+        Loss::L2 => (Box::new(|c: f32| 1.0 / (2.0 * c)), Box::new(|_c: f32| f32::INFINITY)),
+    };
+    let cost = |y: i8| if y > 0 { cfg.c_pos } else { cfg.c_neg };
+    let qdiag: Vec<f32> =
+        xs.iter().zip(ys).map(|(x, &y)| x.norm_sq() + 1.0 + diag_add(cost(y))).collect();
+
+    let mut alpha = vec![0.0f32; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    for _epoch in 0..cfg.max_iter {
+        // Fisher-Yates shuffle per epoch, as in LIBLINEAR.
+        for i in (1..n).rev() {
+            order.swap(i, rng.random_range(0..=i));
+        }
+        let mut max_violation = 0.0f32;
+        for &i in &order {
+            let x = &xs[i];
+            let y = ys[i] as f32;
+            let c = cost(ys[i]);
+            let u = upper(c);
+
+            // Gradient of the dual objective for coordinate i.
+            let g = y * (x.dot_dense(&w) + bias) - 1.0 + diag_add(c) * alpha[i];
+
+            // Projected gradient.
+            let pg = if alpha[i] <= 0.0 {
+                g.min(0.0)
+            } else if alpha[i] >= u {
+                g.max(0.0)
+            } else {
+                g
+            };
+            max_violation = max_violation.max(pg.abs());
+            if pg.abs() < 1e-12 {
+                continue;
+            }
+
+            let old = alpha[i];
+            alpha[i] = (old - g / qdiag[i]).clamp(0.0, u);
+            let delta = (alpha[i] - old) * y;
+            if delta != 0.0 {
+                x.axpy_into(delta, &mut w);
+                bias += delta; // the implicit constant-1 feature
+            }
+        }
+        if max_violation < cfg.tol {
+            break;
+        }
+    }
+    LinearSvm { w, bias }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f32)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    /// Linearly separable 2-D set.
+    fn separable() -> (Vec<SparseVec>, Vec<i8>) {
+        let xs = vec![
+            sv(&[(0, 2.0), (1, 2.0)]),
+            sv(&[(0, 1.5), (1, 2.5)]),
+            sv(&[(0, 2.5), (1, 1.5)]),
+            sv(&[(0, -2.0), (1, -2.0)]),
+            sv(&[(0, -1.5), (1, -2.5)]),
+            sv(&[(0, -2.5), (1, -1.5)]),
+        ];
+        let ys = vec![1, 1, 1, -1, -1, -1];
+        (xs, ys)
+    }
+
+    #[test]
+    fn separates_separable_data() {
+        let (xs, ys) = separable();
+        for loss in [Loss::L1, Loss::L2] {
+            let cfg = SvmTrainConfig { loss, ..Default::default() };
+            let m = train_binary(&xs, &ys, 2, &cfg);
+            for (x, &y) in xs.iter().zip(&ys) {
+                assert!(
+                    m.score(x) * y as f32 > 0.0,
+                    "{loss:?}: misclassified {x:?} (score {})",
+                    m.score(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn margins_reach_one_on_support_vectors() {
+        let (xs, ys) = separable();
+        let cfg = SvmTrainConfig { c_pos: 10.0, c_neg: 10.0, max_iter: 500, ..Default::default() };
+        let m = train_binary(&xs, &ys, 2, &cfg);
+        // With large C the functional margin of the closest points ≈ 1.
+        let min_margin = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, &y)| m.score(x) * y as f32)
+            .fold(f32::INFINITY, f32::min);
+        assert!((min_margin - 1.0).abs() < 0.1, "min margin {min_margin}");
+    }
+
+    #[test]
+    fn class_weighting_shifts_boundary() {
+        // Overlapping point at origin labelled negative; heavy positive cost
+        // should push the boundary so the origin scores closer to positive.
+        let xs = vec![sv(&[(0, 1.0)]), sv(&[(0, -1.0)]), sv(&[(0, -0.1)])];
+        let ys = vec![1, -1, 1];
+        let balanced = train_binary(&xs, &ys, 1, &SvmTrainConfig::default());
+        let heavy_pos = train_binary(
+            &xs,
+            &ys,
+            1,
+            &SvmTrainConfig { c_pos: 20.0, c_neg: 0.5, ..Default::default() },
+        );
+        assert!(heavy_pos.score(&sv(&[(0, -0.1)])) > balanced.score(&sv(&[(0, -0.1)])));
+    }
+
+    #[test]
+    fn empty_training_set_gives_zero_model() {
+        let m = train_binary(&[], &[], 4, &SvmTrainConfig::default());
+        assert_eq!(m.score(&sv(&[(0, 1.0)])), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = separable();
+        let a = train_binary(&xs, &ys, 2, &SvmTrainConfig::default());
+        let b = train_binary(&xs, &ys, 2, &SvmTrainConfig::default());
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    fn bias_handles_offset_data() {
+        // One-dimensional data separable only with a bias: y=+1 iff x > 3.
+        let xs: Vec<SparseVec> =
+            (0..10).map(|i| sv(&[(0, i as f32)])).collect();
+        let ys: Vec<i8> = (0..10).map(|i| if i > 3 { 1 } else { -1 }).collect();
+        let cfg = SvmTrainConfig { c_pos: 10.0, c_neg: 10.0, max_iter: 300, ..Default::default() };
+        let m = train_binary(&xs, &ys, 1, &cfg);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m.score(x) * y as f32 > 0.0)
+            .count();
+        assert_eq!(correct, 10, "bias term failed: w={:?} d={}", m.weights(), m.bias());
+    }
+}

@@ -1,0 +1,16 @@
+//! Linear support vector machines over sparse supervectors.
+//!
+//! The paper's VSM back-end is "a popular classifier LIBLINEAR" (§4.1) with
+//! the TFLLR kernel (Eq. 5) and one-versus-rest training (§2.3). Since
+//! TFLLR scaling is applied to the features (see `lre-vsm`), the kernel is
+//! linear and the model of Eq. 4 reduces to `f(φ(x)) = wᵀφ(x) + d`. This
+//! crate reimplements the matching LIBLINEAR algorithm — dual coordinate
+//! descent for L2-regularized L1/L2-loss SVC (Hsieh et al., 2008) — plus the
+//! one-vs-rest wrapper (Eq. 6/7: each class's model is trained with that
+//! class mapped to +1 and the rest to −1).
+
+mod dcd;
+mod ovr;
+
+pub use dcd::{train_binary, LinearSvm, Loss, SvmTrainConfig};
+pub use ovr::OneVsRest;

@@ -1,0 +1,94 @@
+//! Property-based tests for the dual-coordinate-descent SVM.
+
+use lre_svm::{train_binary, Loss, OneVsRest, SvmTrainConfig};
+use lre_vsm::SparseVec;
+use proptest::prelude::*;
+
+/// Generate a linearly separable problem: points at `center ± margin` along
+/// a random-ish axis with bounded jitter.
+fn separable_problem() -> impl Strategy<Value = (Vec<SparseVec>, Vec<i8>)> {
+    (2usize..6, 4usize..20, 0.0f32..0.3).prop_map(|(dim, n_per_class, jitter)| {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..2 * n_per_class {
+            let y: i8 = if i % 2 == 0 { 1 } else { -1 };
+            let pairs: Vec<(u32, f32)> = (0..dim as u32)
+                .map(|d| {
+                    let base = if d == 0 { 2.0 * y as f32 } else { 0.3 };
+                    (d, base + jitter * ((i as f32 * 0.7 + d as f32).sin()))
+                })
+                .collect();
+            xs.push(SparseVec::from_pairs(pairs));
+            ys.push(y);
+        }
+        (xs, ys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn separable_data_is_separated((xs, ys) in separable_problem(), loss in prop_oneof![Just(Loss::L1), Just(Loss::L2)]) {
+        let dim = 8;
+        let cfg = SvmTrainConfig { loss, max_iter: 200, ..Default::default() };
+        let m = train_binary(&xs, &ys, dim, &cfg);
+        for (x, &y) in xs.iter().zip(&ys) {
+            prop_assert!(m.score(x) * y as f32 > 0.0, "misclassified: score {}", m.score(x));
+        }
+    }
+
+    #[test]
+    fn model_is_deterministic((xs, ys) in separable_problem()) {
+        let cfg = SvmTrainConfig::default();
+        let a = train_binary(&xs, &ys, 8, &cfg);
+        let b = train_binary(&xs, &ys, 8, &cfg);
+        prop_assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn label_flip_flips_the_model((xs, ys) in separable_problem()) {
+        // Training with −y should (for this symmetric construction) produce
+        // the mirrored decision function.
+        let cfg = SvmTrainConfig { max_iter: 300, ..Default::default() };
+        let m_pos = train_binary(&xs, &ys, 8, &cfg);
+        let flipped: Vec<i8> = ys.iter().map(|&y| -y).collect();
+        let m_neg = train_binary(&xs, &flipped, 8, &cfg);
+        for x in &xs {
+            let (a, b) = (m_pos.score(x), m_neg.score(x));
+            prop_assert!((a + b).abs() < 0.35 * (1.0 + a.abs()),
+                "scores not (approximately) mirrored: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ovr_scores_match_binary_models((xs, ys) in separable_problem()) {
+        // A 2-class one-vs-rest ensemble must rank classes consistently with
+        // its own per-class decision values.
+        let labels: Vec<usize> = ys.iter().map(|&y| usize::from(y < 0)).collect();
+        let ovr = OneVsRest::train(&xs, &labels, 2, 8, &SvmTrainConfig::default());
+        for (x, &l) in xs.iter().zip(&labels) {
+            let s = ovr.scores(x);
+            prop_assert_eq!(s.len(), 2);
+            prop_assert_eq!(ovr.predict(x), if s[0] >= s[1] { 0 } else { 1 });
+            prop_assert_eq!(ovr.predict(x), l);
+        }
+    }
+
+    #[test]
+    fn duplicated_dataset_trains_same_model((xs, ys) in separable_problem()) {
+        // The dual solution scales but the decision boundary's sign pattern
+        // is unchanged when every sample is duplicated.
+        let cfg = SvmTrainConfig { max_iter: 300, ..Default::default() };
+        let m1 = train_binary(&xs, &ys, 8, &cfg);
+        let mut xs2 = xs.clone();
+        xs2.extend(xs.iter().cloned());
+        let mut ys2 = ys.clone();
+        ys2.extend(ys.iter().copied());
+        let m2 = train_binary(&xs2, &ys2, 8, &cfg);
+        for (x, &y) in xs.iter().zip(&ys) {
+            prop_assert!(m1.score(x) * y as f32 > 0.0);
+            prop_assert!(m2.score(x) * y as f32 > 0.0);
+        }
+    }
+}

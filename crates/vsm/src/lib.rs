@@ -1,0 +1,22 @@
+//! Vector space modeling features: phonotactic supervectors.
+//!
+//! §2.2-2.3 of the paper: the probabilities of phonetic N-grams in an
+//! utterance's lattice form a supervector
+//! `φ(x) = [p(d₁|ℓ), p(d₂|ℓ), …, p(d_F|ℓ)]` with `F = f_nᴺ` (Eq. 3), and the
+//! SVM uses the TFLLR kernel, equivalent to scaling each component by
+//! `1/√p(d_q|ℓ_all)` where `ℓ_all` is the probability over all lattices
+//! (Eq. 5). This crate provides:
+//!
+//! - [`SparseVec`]: the sorted sparse vector type used throughout the
+//!   classifier stack (supervectors are overwhelmingly sparse),
+//! - [`SupervectorBuilder`]: confusion network → concatenated per-order
+//!   N-gram probability blocks,
+//! - [`TfllrScaler`]: background statistics + the 1/√p scaling.
+
+mod sparse;
+mod supervector;
+mod tfllr;
+
+pub use sparse::SparseVec;
+pub use supervector::SupervectorBuilder;
+pub use tfllr::TfllrScaler;

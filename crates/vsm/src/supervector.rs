@@ -1,0 +1,124 @@
+//! Confusion network → phonotactic probability supervector (Eq. 3).
+
+use crate::sparse::SparseVec;
+use lre_lattice::{expected_ngram_counts_cn, ConfusionNetwork};
+
+/// Builds supervectors for one recognizer: concatenated blocks of
+/// normalized expected-count probabilities for orders `1..=max_order`.
+///
+/// The paper's `F = f_nᴺ` dimension is the top-order block; like standard
+/// PR-SVM implementations we also keep the lower-order blocks, which
+/// corresponds to `d_i = h_i…h_{i+n-1}, n ≤ N` in Eq. 3's surrounding text.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervectorBuilder {
+    num_phones: usize,
+    max_order: usize,
+}
+
+impl SupervectorBuilder {
+    pub fn new(num_phones: usize, max_order: usize) -> SupervectorBuilder {
+        assert!(num_phones > 0 && (1..=3).contains(&max_order));
+        SupervectorBuilder { num_phones, max_order }
+    }
+
+    pub fn num_phones(&self) -> usize {
+        self.num_phones
+    }
+
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// Total supervector dimension `Σ_{n=1..N} Pⁿ`.
+    pub fn dim(&self) -> usize {
+        (1..=self.max_order).map(|n| self.num_phones.pow(n as u32)).sum()
+    }
+
+    /// Offset of order-`n`'s block within the supervector.
+    pub fn block_offset(&self, order: usize) -> usize {
+        (1..order).map(|n| self.num_phones.pow(n as u32)).sum()
+    }
+
+    /// Build the probability supervector for a decoded utterance: each
+    /// order's expected counts are normalized by that order's total mass
+    /// (Eq. 2's denominator), then placed in its block.
+    pub fn build(&self, network: &ConfusionNetwork) -> SparseVec {
+        let mut pairs: Vec<(u32, f32)> = Vec::new();
+        for order in 1..=self.max_order {
+            let counts = expected_ngram_counts_cn(network, order, self.num_phones);
+            let total = counts.total();
+            if total <= 0.0 {
+                continue;
+            }
+            let offset = self.block_offset(order) as u32;
+            for (key, c) in counts.iter() {
+                pairs.push((offset + key, c / total));
+            }
+        }
+        SparseVec::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lre_lattice::{Slot, SlotEntry};
+
+    fn net() -> ConfusionNetwork {
+        let mk = |phone: u16| -> Slot { vec![SlotEntry { phone, prob: 1.0 }] };
+        ConfusionNetwork::new(vec![mk(0), mk(1), mk(0), mk(1)])
+    }
+
+    #[test]
+    fn dims_and_offsets() {
+        let b = SupervectorBuilder::new(4, 2);
+        assert_eq!(b.dim(), 4 + 16);
+        assert_eq!(b.block_offset(1), 0);
+        assert_eq!(b.block_offset(2), 4);
+        let b3 = SupervectorBuilder::new(3, 3);
+        assert_eq!(b3.dim(), 3 + 9 + 27);
+        assert_eq!(b3.block_offset(3), 12);
+    }
+
+    #[test]
+    fn deterministic_network_probabilities() {
+        let b = SupervectorBuilder::new(4, 2);
+        let sv = b.build(&net());
+        // Unigrams: phones 0 and 1 each appear twice of 4 slots ⇒ 0.5.
+        assert!((sv.get(0) - 0.5).abs() < 1e-6);
+        assert!((sv.get(1) - 0.5).abs() < 1e-6);
+        // Bigrams (3 windows): 0→1 twice, 1→0 once.
+        let off = b.block_offset(2) as u32;
+        let key01 = 0 * 4 + 1;
+        let key10 = 4; // 1*4 + 0
+        assert!((sv.get(off + key01) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((sv.get(off + key10) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blocks_each_sum_to_one() {
+        let b = SupervectorBuilder::new(4, 2);
+        let sv = b.build(&net());
+        let uni_block_end = b.block_offset(2) as u32;
+        let uni_sum: f32 =
+            sv.iter().filter(|&(i, _)| i < uni_block_end).map(|(_, v)| v).sum();
+        let bi_sum: f32 =
+            sv.iter().filter(|&(i, _)| i >= uni_block_end).map(|(_, v)| v).sum();
+        assert!((uni_sum - 1.0).abs() < 1e-5);
+        assert!((bi_sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_network_gives_empty_vector() {
+        let b = SupervectorBuilder::new(4, 2);
+        let sv = b.build(&ConfusionNetwork::new(vec![]));
+        assert!(sv.is_empty());
+    }
+
+    #[test]
+    fn vector_fits_declared_dim() {
+        let b = SupervectorBuilder::new(4, 2);
+        let sv = b.build(&net());
+        assert!(sv.max_dim() <= b.dim());
+    }
+}

@@ -1,0 +1,121 @@
+//! TFLLR scaling (Eq. 5): per-dimension `1/√p(d_q | ℓ_all)`.
+
+use crate::sparse::SparseVec;
+
+/// Term-frequency log-likelihood-ratio scaler.
+///
+/// Fitted on the training supervectors: `p(d_q|ℓ_all)` is the mean
+/// probability of N-gram `d_q` across all lattices; the kernel of Eq. 5 is
+/// then an inner product of vectors whose components are divided by
+/// `√p(d_q|ℓ_all)`. Unseen/rare dimensions are floored so the scale stays
+/// bounded (standard practice; otherwise a single unseen test N-gram would
+/// dominate the kernel).
+#[derive(Clone, Debug)]
+pub struct TfllrScaler {
+    /// Per-dimension multiplier `min(1/√p̄_q, cap)`.
+    scale: Vec<f32>,
+}
+
+impl TfllrScaler {
+    /// Fit on training supervectors. `dim` is the full supervector
+    /// dimension; `floor` is the minimum background probability (the scale
+    /// cap is `1/√floor`).
+    pub fn fit(train: &[SparseVec], dim: usize, floor: f32) -> TfllrScaler {
+        assert!(floor > 0.0);
+        let mut mean = vec![0.0f64; dim];
+        for sv in train {
+            for (i, v) in sv.iter() {
+                mean[i as usize] += v as f64;
+            }
+        }
+        let n = train.len().max(1) as f64;
+        let scale = mean
+            .iter()
+            .map(|&m| {
+                let p = (m / n).max(floor as f64);
+                (1.0 / p.sqrt()) as f32
+            })
+            .collect();
+        TfllrScaler { scale }
+    }
+
+    /// Uniform (identity) scaler of a given dimension — useful as an
+    /// ablation baseline for the TFLLR kernel.
+    pub fn identity(dim: usize) -> TfllrScaler {
+        TfllrScaler { scale: vec![1.0; dim] }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Scale factor for dimension `i`.
+    pub fn factor(&self, i: usize) -> f32 {
+        self.scale[i]
+    }
+
+    /// Apply in place: `v_q ← v_q / √p(d_q|ℓ_all)`.
+    pub fn transform(&self, sv: &mut SparseVec) {
+        sv.scale_by_table(&self.scale);
+    }
+
+    /// Convenience: transformed copy.
+    pub fn transformed(&self, sv: &SparseVec) -> SparseVec {
+        let mut out = sv.clone();
+        self.transform(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f32)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn tfllr_kernel_matches_eq5() {
+        // Two "utterances" over 2 dims with background p = mean.
+        let train = vec![sv(&[(0, 0.8), (1, 0.2)]), sv(&[(0, 0.4), (1, 0.6)])];
+        let scaler = TfllrScaler::fit(&train, 2, 1e-6);
+        // p_all = [0.6, 0.4]
+        let a = scaler.transformed(&train[0]);
+        let b = scaler.transformed(&train[1]);
+        let got = a.dot_sparse(&b);
+        let expect = (0.8 * 0.4) / 0.6 + (0.2 * 0.6) / 0.4;
+        assert!((got - expect).abs() < 1e-5, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn frequent_terms_are_downweighted() {
+        let train = vec![sv(&[(0, 0.9), (1, 0.1)])];
+        let scaler = TfllrScaler::fit(&train, 2, 1e-6);
+        assert!(scaler.factor(0) < scaler.factor(1));
+    }
+
+    #[test]
+    fn floor_caps_unseen_dimensions() {
+        let train = vec![sv(&[(0, 1.0)])];
+        let scaler = TfllrScaler::fit(&train, 3, 0.01);
+        // Dimension 2 never seen: scale = 1/√0.01 = 10.
+        assert!((scaler.factor(2) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identity_scaler_is_noop() {
+        let scaler = TfllrScaler::identity(4);
+        let v = sv(&[(1, 0.5), (3, 0.25)]);
+        assert_eq!(scaler.transformed(&v), v);
+    }
+
+    #[test]
+    fn transform_only_touches_present_indices() {
+        let train = vec![sv(&[(0, 0.5), (1, 0.5)])];
+        let scaler = TfllrScaler::fit(&train, 2, 1e-6);
+        let t = scaler.transformed(&sv(&[(1, 0.5)]));
+        assert_eq!(t.nnz(), 1);
+        assert!((t.get(1) - 0.5 / (0.5f32).sqrt()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for supervectors and TFLLR scaling.
+
+use lre_lattice::{ConfusionNetwork, SlotEntry};
+use lre_vsm::{SparseVec, SupervectorBuilder, TfllrScaler};
+use proptest::prelude::*;
+
+fn network(p: u16) -> impl Strategy<Value = ConfusionNetwork> {
+    prop::collection::vec(prop::collection::vec((0..p, 0.1f32..1.0), 1..4), 2..10).prop_map(
+        |slots| {
+            let slots = slots
+                .into_iter()
+                .map(|mut entries| {
+                    entries.sort_by_key(|e| e.0);
+                    entries.dedup_by_key(|e| e.0);
+                    let total: f32 = entries.iter().map(|e| e.1).sum();
+                    entries
+                        .into_iter()
+                        .map(|(phone, w)| SlotEntry { phone, prob: w / total })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ConfusionNetwork::new(slots)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn supervector_blocks_are_probability_distributions(net in network(10)) {
+        let b = SupervectorBuilder::new(10, 2);
+        let sv = b.build(&net);
+        prop_assert!(sv.max_dim() <= b.dim());
+        prop_assert!(sv.values().iter().all(|&v| v >= 0.0 && v <= 1.0 + 1e-5));
+        let uni_end = b.block_offset(2) as u32;
+        let uni: f32 = sv.iter().filter(|&(i, _)| i < uni_end).map(|(_, v)| v).sum();
+        prop_assert!((uni - 1.0).abs() < 1e-3, "unigram mass {uni}");
+        if net.num_slots() >= 2 {
+            let bi: f32 = sv.iter().filter(|&(i, _)| i >= uni_end).map(|(_, v)| v).sum();
+            prop_assert!((bi - 1.0).abs() < 1e-3, "bigram mass {bi}");
+        }
+    }
+
+    #[test]
+    fn tfllr_kernel_equals_explicit_eq5(
+        nets in prop::collection::vec(network(6), 2..6),
+    ) {
+        let b = SupervectorBuilder::new(6, 1);
+        let svs: Vec<SparseVec> = nets.iter().map(|n| b.build(n)).collect();
+        let floor = 1e-6f32;
+        let scaler = TfllrScaler::fit(&svs, b.dim(), floor);
+
+        // Explicit Eq. 5: Σ_q a_q b_q / max(p̄_q, floor).
+        let mut mean = vec![0.0f64; b.dim()];
+        for sv in &svs {
+            for (i, v) in sv.iter() {
+                mean[i as usize] += v as f64;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= svs.len() as f64;
+        }
+        let (a, c) = (&svs[0], &svs[1]);
+        let mut expect = 0.0f64;
+        for (i, va) in a.iter() {
+            let vb = c.get(i);
+            if vb != 0.0 {
+                expect += (va as f64) * (vb as f64) / mean[i as usize].max(floor as f64);
+            }
+        }
+        let got = scaler.transformed(a).dot_sparse(&scaler.transformed(c)) as f64;
+        prop_assert!((got - expect).abs() < 1e-3 * (1.0 + expect.abs()),
+            "kernel {got} vs Eq.5 {expect}");
+    }
+
+    #[test]
+    fn tfllr_transform_is_linear(net in network(8), alpha in 0.1f32..5.0) {
+        let b = SupervectorBuilder::new(8, 2);
+        let sv = b.build(&net);
+        let scaler = TfllrScaler::fit(&[sv.clone()], b.dim(), 1e-5);
+        let mut scaled_first = sv.clone();
+        scaled_first.scale(alpha);
+        let t1 = scaler.transformed(&scaled_first);
+        let mut t2 = scaler.transformed(&sv);
+        t2.scale(alpha);
+        for ((i1, v1), (i2, v2)) in t1.iter().zip(t2.iter()) {
+            prop_assert_eq!(i1, i2);
+            prop_assert!((v1 - v2).abs() < 1e-4 * (1.0 + v2.abs()));
+        }
+    }
+
+    #[test]
+    fn sparse_from_pairs_total_mass_preserved(pairs in prop::collection::vec((0u32..32, 0.0f32..1.0), 0..50)) {
+        let expect: f32 = pairs.iter().map(|(_, v)| v).sum();
+        let sv = SparseVec::from_pairs(pairs);
+        let got: f32 = sv.values().iter().sum();
+        prop_assert!((got - expect).abs() < 1e-3 * (1.0 + expect));
+        // Indices strictly increasing.
+        for w in sv.indices().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

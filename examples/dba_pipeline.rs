@@ -1,0 +1,83 @@
+//! Full DBA pipeline walk-through at the algorithm level (§3 of the paper),
+//! printing each intermediate quantity: the score matrix **F** (Eq. 8/9),
+//! the votes-counting matrix **C_v** (Eq. 10–12), the per-utterance vote
+//! detail (Eq. 13), the `Tr_DBA` selection at several thresholds, and the
+//! retrained scores — with the Eq. 15 fusion weights at the end.
+//!
+//! ```text
+//! cargo run --release --example dba_pipeline
+//! ```
+
+use lre_repro::backend::subsystem_weights;
+use lre_repro::corpus::{Duration, Scale};
+use lre_repro::dba::{
+    dba::{baseline_votes, run_dba},
+    select_tr_dba, DbaVariant, Experiment, ExperimentConfig,
+};
+use lre_repro::eval::pooled_eer;
+
+fn main() {
+    let exp = Experiment::build(&ExperimentConfig::new(Scale::Smoke, 42));
+    let d = Duration::S30;
+    let di = Experiment::duration_index(d);
+    let labels = &exp.test_labels[di];
+
+    // --- Step c: the score matrix F (Eq. 8/9) ------------------------------------
+    println!("Step (c) — score matrix F: {} subsystems × {} test utts × 23 languages",
+        exp.num_subsystems(),
+        exp.test_labels[di].len());
+    let f0 = &exp.baseline_test_scores[0][di];
+    let row = f0.row(0);
+    let maxrow = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    println!(
+        "  e.g. subsystem 0, utterance 0: max score {:.3}, positives {}",
+        maxrow,
+        row.iter().filter(|&&s| s > 0.0).count()
+    );
+
+    // --- Step d: votes counting (Eq. 10-13) ----------------------------------------
+    let votes = baseline_votes(&exp, d);
+    println!("\nStep (d) — votes: {} of {} utterances received ≥1 vote",
+        votes.num_voted(),
+        votes.num_utts());
+
+    // --- Step e: Tr_DBA selection across thresholds ---------------------------------
+    println!("\nStep (e) — Tr_DBA selection (c_jk ≥ V):");
+    for v in (1..=6u8).rev() {
+        let sel = select_tr_dba(&votes, v);
+        let wrong = sel.iter().filter(|p| p.label != labels[p.utt]).count();
+        println!(
+            "  V={v}: {:>4} utts selected, {:>5.1}% pseudo-label error",
+            sel.len(),
+            if sel.is_empty() { 0.0 } else { 100.0 * wrong as f64 / sel.len() as f64 }
+        );
+    }
+
+    // --- Step f: retraining, both variants -------------------------------------------
+    for variant in [DbaVariant::M1, DbaVariant::M2] {
+        let out = run_dba(&exp, variant, 3);
+        let mean_before: f64 = (0..exp.num_subsystems())
+            .map(|q| pooled_eer(&exp.baseline_test_scores[q][di], labels))
+            .sum::<f64>()
+            / exp.num_subsystems() as f64;
+        let mean_after: f64 = (0..exp.num_subsystems())
+            .map(|q| pooled_eer(&out.test_scores[di][q], labels))
+            .sum::<f64>()
+            / exp.num_subsystems() as f64;
+        println!(
+            "\nStep (f) — {}: Tr_DBA = {} utts; mean subsystem EER on {} {:.2}% -> {:.2}%",
+            variant.name(),
+            out.num_selected()
+                + if variant == DbaVariant::M2 { exp.train_labels.len() } else { 0 },
+            d.name(),
+            mean_before * 100.0,
+            mean_after * 100.0
+        );
+        // --- Step g inputs: Eq. 15 weights --------------------------------------------
+        let w = subsystem_weights(&out.criterion_counts);
+        println!(
+            "  Eq. 15 subsystem weights (M_n/ΣM): {:?}",
+            w.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+}

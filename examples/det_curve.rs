@@ -1,0 +1,58 @@
+//! DET-curve example: evaluates one front-end on the 10 s test set and
+//! prints an ASCII DET plot (probit axes) plus EER / minimum Cavg — the
+//! paper's Fig. 3 in miniature.
+//!
+//! ```text
+//! cargo run --release --example det_curve
+//! ```
+
+use lre_repro::corpus::{Duration, Scale};
+use lre_repro::dba::{Experiment, ExperimentConfig};
+use lre_repro::eval::{
+    det_curve, min_cavg, pooled_eer, probit, split_trials, CavgParams,
+};
+
+fn main() {
+    let exp = Experiment::build(&ExperimentConfig::new(Scale::Smoke, 42));
+    let di = Experiment::duration_index(Duration::S10);
+    let labels = &exp.test_labels[di];
+    let scores = &exp.baseline_test_scores[2][di]; // ANN-HMM CZ
+
+    let eer = pooled_eer(scores, labels);
+    let cavg = min_cavg(scores, labels, &CavgParams::default());
+    println!(
+        "ANN-HMM CZ, 10s test: EER {:.2}%, min Cavg {:.2}%\n",
+        eer * 100.0,
+        cavg * 100.0
+    );
+
+    let (tar, non) = split_trials(scores, labels);
+    let points = det_curve(&tar, &non);
+
+    // ASCII DET plot on probit axes over [0.5%, 50%] × [0.5%, 50%].
+    const W: usize = 61;
+    const H: usize = 25;
+    let lo = probit(0.005);
+    let hi = probit(0.50);
+    let to_col = |p: f64| -> Option<usize> {
+        let v = probit(p.clamp(1e-6, 1.0 - 1e-6));
+        if v < lo || v > hi {
+            None
+        } else {
+            Some(((v - lo) / (hi - lo) * (W - 1) as f64).round() as usize)
+        }
+    };
+    let mut grid = vec![vec![b' '; W]; H];
+    for p in &points {
+        if let (Some(x), Some(yc)) = (to_col(p.p_fa), to_col(p.p_miss)) {
+            let y = H - 1 - yc * (H - 1) / (W - 1);
+            grid[y][x] = b'*';
+        }
+    }
+    println!("P_miss (probit scale, 0.5%..50%) vs P_fa ->");
+    for row in &grid {
+        println!("|{}", String::from_utf8_lossy(row));
+    }
+    println!("+{}", "-".repeat(W));
+    println!(" P_fa 0.5% {:>52}", "50%");
+}

@@ -1,0 +1,61 @@
+//! Front-end diversity explorer: decodes the same utterance through all six
+//! recognizers and prints each one's phone-level view, illustrating the
+//! diversification axes of §1 (different phone sets, acoustic-model
+//! families, and features) that make the PPRVSM vote informative.
+//!
+//! ```text
+//! cargo run --release --example frontend_diversity
+//! ```
+
+use lre_repro::am::extract_features;
+use lre_repro::corpus::{Channel, Dataset, DatasetConfig, LanguageId, Scale, UttSpec};
+use lre_repro::dba::{standard_subsystems, Frontend};
+use lre_repro::lattice::{decode, DecoderConfig};
+use lre_repro::phone::UniversalInventory;
+
+fn main() {
+    let inv = UniversalInventory::new();
+    let ds = Dataset::generate(DatasetConfig::new(Scale::Smoke, 42));
+
+    // One Spanish test-style utterance, rendered once.
+    let utt = UttSpec {
+        language: LanguageId::Spanish,
+        speaker_seed: 11,
+        channel: Channel::telephone(30.0),
+        num_frames: 150,
+        seed: 987,
+    };
+    let rendered = lre_repro::corpus::render_utterance(&utt, ds.language(utt.language), &inv);
+    println!(
+        "utterance: {:?}, {} frames, {} samples\n",
+        utt.language,
+        rendered.alignment.len(),
+        rendered.samples.len()
+    );
+
+    for spec in standard_subsystems() {
+        let fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
+        let mut feats = extract_features(&rendered.samples, fe.am.feature);
+        fe.am.feature_transform.apply(&mut feats);
+        let out = decode(&fe.am, &feats, &fe.decoder);
+
+        let symbols: Vec<&str> = out
+            .segments
+            .iter()
+            .map(|s| fe.phone_set.symbol(s.phone as usize))
+            .collect();
+        println!(
+            "{:<12} ({} phones, {:>2} segs, {} feature): {}",
+            spec.name,
+            fe.phone_set.len(),
+            out.segments.len(),
+            fe.am.feature.name(),
+            symbols.join(" ")
+        );
+    }
+
+    println!(
+        "\nNote how the transcriptions differ per recognizer: that decorrelated\n\
+         error structure is exactly what the DBA vote (Eq. 13) exploits."
+    );
+}

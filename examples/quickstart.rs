@@ -1,0 +1,57 @@
+//! Quickstart: build a small end-to-end language-recognition experiment and
+//! run the DBA algorithm once.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This exercises the whole public API surface: synthetic corpus generation,
+//! the six diversified phone recognizers, supervector extraction, one-vs-rest
+//! SVM language models, the cross-subsystem vote, and DBA retraining.
+
+use lre_repro::corpus::{Duration, Scale};
+use lre_repro::dba::{dba::run_dba, DbaVariant, Experiment, ExperimentConfig};
+use lre_repro::eval::pooled_eer;
+
+fn main() {
+    // Smoke scale: ~1 minute on a laptop. Try Scale::Demo for real numbers.
+    let cfg = ExperimentConfig::new(Scale::Smoke, 42);
+    println!("building experiment (renders corpus, trains 6 recognizers, decodes everything)…");
+    let exp = Experiment::build(&cfg);
+
+    println!("\nBaseline PPRVSM per front-end:");
+    for row in exp.baseline_summary() {
+        println!(
+            "  {:<12} {:>4}: EER {:5.2}%  Cavg {:5.2}%",
+            row.subsystem,
+            row.duration.name(),
+            row.eer * 100.0,
+            row.cavg * 100.0
+        );
+    }
+
+    // One DBA run: vote across the six subsystems on the 10 s test set,
+    // pseudo-label utterances with ≥3 votes, retrain, rescore.
+    let d = Duration::S10;
+    let out = run_dba(&exp, DbaVariant::M2, 3);
+    println!(
+        "\nDBA-M2 (V=3): selected {} test utterances (pooled durations), {:.1}% pseudo-label errors",
+        out.num_selected(),
+        out.selection_error_rate * 100.0
+    );
+
+    let di = Experiment::duration_index(d);
+    let labels = &exp.test_labels[di];
+    println!("scores on the {} test set:", d.name());
+    for (q, fe) in exp.frontends.iter().enumerate() {
+        let before = pooled_eer(&exp.baseline_test_scores[q][di], labels);
+        let after = pooled_eer(&out.test_scores[di][q], labels);
+        println!(
+            "  {:<12} EER {:5.2}% -> {:5.2}%  ({})",
+            fe.spec.name,
+            before * 100.0,
+            after * 100.0,
+            if after < before { "improved" } else { "no gain at this scale" }
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration tests of the DBA decision logic (Eq. 10–13 + §3 e) driven by
+//! hand-constructed subsystem score matrices — fast and exact, independent
+//! of the acoustic stack.
+
+use lre_repro::dba::{select_tr_dba, vote_matrix};
+use lre_repro::eval::ScoreMatrix;
+
+/// Builds a subsystem that "knows" the answer for utterances where
+/// `know[j]` is true (scores +1 for the true class, −1 elsewhere) and emits
+/// confused all-negative rows otherwise.
+fn subsystem(labels: &[usize], know: &[bool], k: usize) -> ScoreMatrix {
+    let mut m = ScoreMatrix::new(k);
+    for (j, &lab) in labels.iter().enumerate() {
+        let mut row = vec![-1.0f32; k];
+        if know[j] {
+            row[lab] = 1.0;
+        }
+        m.push_row(&row);
+    }
+    m
+}
+
+#[test]
+fn vote_counts_equal_number_of_knowing_subsystems() {
+    let labels = vec![0usize, 1, 2, 0];
+    let k = 3;
+    // Subsystem q knows utterance j iff j <= q (so utt 0 gets 4 votes, utt 3 one).
+    let systems: Vec<ScoreMatrix> = (0..4)
+        .map(|q| {
+            let know: Vec<bool> = (0..labels.len()).map(|j| j <= q).collect();
+            subsystem(&labels, &know, k)
+        })
+        .collect();
+    let refs: Vec<&ScoreMatrix> = systems.iter().collect();
+    let votes = vote_matrix(&refs);
+    assert_eq!(votes.row(0)[0], 4);
+    assert_eq!(votes.row(1)[1], 3);
+    assert_eq!(votes.row(2)[2], 2);
+    assert_eq!(votes.row(3)[0], 1);
+}
+
+#[test]
+fn selection_tracks_threshold_like_table_1() {
+    let labels = vec![0usize, 1, 2, 0, 1];
+    let k = 3;
+    let systems: Vec<ScoreMatrix> = (0..5)
+        .map(|q| {
+            let know: Vec<bool> = (0..labels.len()).map(|j| j <= q).collect();
+            subsystem(&labels, &know, k)
+        })
+        .collect();
+    let refs: Vec<&ScoreMatrix> = systems.iter().collect();
+    let votes = vote_matrix(&refs);
+
+    // Higher V ⇒ fewer selections; every selection correctly labelled here.
+    let mut prev = usize::MAX;
+    for v in 1..=5u8 {
+        let sel = select_tr_dba(&votes, v);
+        assert!(sel.len() <= prev);
+        prev = sel.len();
+        for p in &sel {
+            assert_eq!(p.label, labels[p.utt], "pseudo-label must match construction");
+            assert!(p.votes >= v);
+        }
+    }
+    assert_eq!(select_tr_dba(&votes, 5).len(), 1);
+    assert_eq!(select_tr_dba(&votes, 1).len(), 5);
+}
+
+#[test]
+fn confused_subsystems_produce_no_false_votes() {
+    // A subsystem with two positive scores (ambiguous) or all-negative rows
+    // must never vote (Eq. 13's strict criterion).
+    let k = 4;
+    let mut ambiguous = ScoreMatrix::new(k);
+    ambiguous.push_row(&[0.5, 0.4, -1.0, -1.0]);
+    let mut negative = ScoreMatrix::new(k);
+    negative.push_row(&[-0.1, -0.2, -0.3, -0.4]);
+    assert_eq!(vote_matrix(&[&ambiguous]).num_voted(), 0);
+    assert_eq!(vote_matrix(&[&negative]).num_voted(), 0);
+}
+
+#[test]
+fn wrong_but_confident_subsystem_pollutes_selection() {
+    // Documents the failure mode Table 1 quantifies: a confidently *wrong*
+    // subsystem produces wrong pseudo-labels at low V.
+    let labels = vec![0usize, 0];
+    let k = 2;
+    let mut wrong = ScoreMatrix::new(k);
+    wrong.push_row(&[-1.0, 1.0]); // votes class 1, truth is 0
+    wrong.push_row(&[-1.0, 1.0]);
+    let votes = vote_matrix(&[&wrong]);
+    let sel = select_tr_dba(&votes, 1);
+    assert_eq!(sel.len(), 2);
+    let errors = sel.iter().filter(|p| p.label != labels[p.utt]).count();
+    assert_eq!(errors, 2);
+}

@@ -1,0 +1,97 @@
+//! Integration test of the acoustic path: corpus audio → features → GMM-HMM
+//! acoustic model → phone-loop decoder → confusion network → supervector.
+//! Uses a deliberately small AM-training subset so it stays fast in debug
+//! builds; the full six-front-end system is exercised by the `--ignored`
+//! test in `full_system.rs`.
+
+use lre_repro::am::{extract_features, train_acoustic_model, AmFamily, AmTrainConfig};
+use lre_repro::corpus::{render_utterance, Channel, Dataset, DatasetConfig, LanguageId, Scale, UttSpec};
+use lre_repro::lattice::{decode, DecoderConfig};
+use lre_repro::phone::{PhoneSet, PhoneSetId, UniversalInventory};
+use lre_repro::vsm::SupervectorBuilder;
+
+fn small_am() -> (UniversalInventory, Dataset, PhoneSet, lre_repro::am::AcousticModel) {
+    let inv = UniversalInventory::new();
+    let ds = Dataset::generate(DatasetConfig::new(Scale::Smoke, 3));
+    let set = PhoneSet::standard(PhoneSetId::Cz, &inv);
+    let lang = ds.language(LanguageId::Czech).phonetically_balanced(0.5, &inv);
+    let utts: Vec<UttSpec> = ds.am_train[2].1.iter().take(12).copied().collect();
+    let mut cfg = AmTrainConfig::for_family(AmFamily::GmmHmm, 5);
+    cfg.gmm_mixtures = 2;
+    cfg.gmm_em_iters = 1;
+    let am = train_acoustic_model(&set, &utts, &lang, &inv, &cfg);
+    (inv, ds, set, am)
+}
+
+#[test]
+fn decoder_produces_valid_confusion_networks() {
+    let (inv, ds, set, am) = small_am();
+    let dcfg = DecoderConfig::default();
+
+    for (i, lang) in [LanguageId::Czech, LanguageId::French].into_iter().enumerate() {
+        let utt = UttSpec {
+            language: lang,
+            speaker_seed: 9,
+            channel: Channel::telephone(32.0),
+            num_frames: 150,
+            seed: 10_000 + i as u64,
+        };
+        let r = render_utterance(&utt, ds.language(lang), &inv);
+        let mut feats = extract_features(&r.samples, am.feature);
+        am.feature_transform.apply(&mut feats);
+        let out = decode(&am, &feats, &dcfg);
+
+        // Segments tile the utterance.
+        assert!(!out.segments.is_empty());
+        assert_eq!(out.segments.first().unwrap().start, 0);
+        assert_eq!(out.segments.last().unwrap().end, 150);
+        for w in out.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // A real utterance decodes into several phones, not one blob.
+        assert!(
+            out.segments.len() >= 8,
+            "{lang:?}: only {} segments over 150 frames",
+            out.segments.len()
+        );
+        // Slots are valid probability distributions over the phone set.
+        for slot in out.network.slots() {
+            let mass: f32 = slot.iter().map(|e| e.prob).sum();
+            assert!(mass > 0.0 && mass <= 1.0 + 1e-4);
+            assert!(slot.iter().all(|e| (e.phone as usize) < set.len()));
+        }
+    }
+}
+
+#[test]
+fn decoded_supervectors_are_valid_and_language_dependent() {
+    let (inv, ds, set, am) = small_am();
+    let dcfg = DecoderConfig::default();
+    let builder = SupervectorBuilder::new(set.len(), 2);
+
+    let sv_of = |lang: LanguageId, seed: u64| {
+        let utt = UttSpec {
+            language: lang,
+            speaker_seed: 4,
+            channel: Channel::telephone(34.0),
+            num_frames: 200,
+            seed,
+        };
+        let r = render_utterance(&utt, ds.language(lang), &inv);
+        let mut feats = extract_features(&r.samples, am.feature);
+        am.feature_transform.apply(&mut feats);
+        builder.build(&decode(&am, &feats, &dcfg).network)
+    };
+
+    let ru = sv_of(LanguageId::Russian, 500);
+    let ko = sv_of(LanguageId::Korean, 500);
+    assert!(!ru.is_empty() && !ko.is_empty());
+    assert!(ru.max_dim() <= builder.dim());
+    // Unigram block sums to ~1 (per-order normalization of Eq. 2/3).
+    let uni_end = builder.block_offset(2) as u32;
+    let uni_sum: f32 = ru.iter().filter(|&(i, _)| i < uni_end).map(|(_, v)| v).sum();
+    assert!((uni_sum - 1.0).abs() < 1e-3, "unigram mass {uni_sum}");
+    // Different languages decode to different supervectors.
+    let cos = ru.dot_sparse(&ko) / (ru.norm_sq().sqrt() * ko.norm_sq().sqrt());
+    assert!(cos < 0.999, "supervectors identical across languages");
+}

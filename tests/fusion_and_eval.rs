@@ -1,0 +1,122 @@
+//! Integration of the backend (LDA-MMI fusion) with the evaluation stack on
+//! controlled synthetic scores: fusion must help when subsystem errors are
+//! decorrelated, and the metrics must agree with each other.
+
+use lre_repro::dba::fuse;
+use lre_repro::eval::{
+    accuracy, cavg_at_threshold, min_cavg, pooled_eer, CavgParams, ScoreMatrix,
+};
+
+/// K-class synthetic subsystem whose per-utterance noise is deterministic
+/// but phase-shifted by `phase`, so different subsystems err on different
+/// utterances.
+fn noisy_subsystem(labels: &[usize], k: usize, phase: f32, noise: f32) -> ScoreMatrix {
+    let mut m = ScoreMatrix::new(k);
+    for (j, &lab) in labels.iter().enumerate() {
+        let row: Vec<f32> = (0..k)
+            .map(|c| {
+                let base = if c == lab { 1.0 } else { -1.0 };
+                base + noise * ((j as f32 * 0.9 + c as f32 * 1.7 + phase).sin())
+            })
+            .collect();
+        m.push_row(&row);
+    }
+    m
+}
+
+fn labels(n: usize, k: usize) -> Vec<usize> {
+    (0..n).map(|i| i % k).collect()
+}
+
+#[test]
+fn fusion_of_decorrelated_subsystems_beats_singles() {
+    let k = 5;
+    let dev_labels = labels(150, k);
+    let test_labels = labels(100, k);
+    let subs: Vec<(ScoreMatrix, ScoreMatrix)> = (0..4)
+        .map(|q| {
+            let phase = q as f32 * 2.1;
+            (
+                noisy_subsystem(&dev_labels, k, phase, 1.4),
+                noisy_subsystem(&test_labels, k, phase + 0.4, 1.4),
+            )
+        })
+        .collect();
+
+    let dev: Vec<ScoreMatrix> = subs.iter().map(|(d, _)| d.clone()).collect();
+    let test: Vec<ScoreMatrix> = subs.iter().map(|(_, t)| t.clone()).collect();
+    let fused = fuse(&dev, &dev_labels, &test, None);
+
+    let single_best = test
+        .iter()
+        .map(|m| pooled_eer(m, &test_labels))
+        .fold(f64::INFINITY, f64::min);
+    let fused_eer = pooled_eer(&fused.test_scores, &test_labels);
+    assert!(
+        fused_eer <= single_best + 0.01,
+        "fusion {fused_eer} worse than best single {single_best}"
+    );
+}
+
+#[test]
+fn fused_scores_are_calibrated_for_threshold_zero() {
+    let k = 4;
+    let dev_labels = labels(120, k);
+    let test_labels = labels(80, k);
+    let dev: Vec<ScoreMatrix> =
+        (0..3).map(|q| noisy_subsystem(&dev_labels, k, q as f32, 1.0)).collect();
+    let test: Vec<ScoreMatrix> =
+        (0..3).map(|q| noisy_subsystem(&test_labels, k, q as f32 + 0.2, 1.0)).collect();
+    let fused = fuse(&dev, &dev_labels, &test, None);
+
+    let p = CavgParams::default();
+    let actual = cavg_at_threshold(&fused.test_scores, &test_labels, 0.0, &p);
+    let minimum = min_cavg(&fused.test_scores, &test_labels, &p);
+    // The LDA-MMI backend outputs detection LLRs: threshold 0 should be
+    // near-optimal (within a few points of the sweep minimum).
+    assert!(
+        actual <= minimum + 0.06,
+        "calibration gap too wide: actual {actual} vs min {minimum}"
+    );
+}
+
+#[test]
+fn metrics_are_mutually_consistent() {
+    let k = 6;
+    let test_labels = labels(120, k);
+    for noise in [0.2f32, 1.0, 2.5] {
+        let m = noisy_subsystem(&test_labels, k, 0.7, noise);
+        let eer = pooled_eer(&m, &test_labels);
+        let cavg = min_cavg(&m, &test_labels, &CavgParams::default());
+        let acc = accuracy(&m, &test_labels);
+        assert!((0.0..=1.0).contains(&eer));
+        assert!((0.0..=1.0).contains(&cavg));
+        // Cavg (a balanced detection cost) can't beat a perfect system and
+        // is zero only when EER is ~zero.
+        if eer < 1e-9 {
+            assert!(cavg < 1e-6);
+        }
+        // Higher noise ⇒ lower accuracy (monotone in this construction).
+        if noise > 2.0 {
+            assert!(acc < 0.999);
+        }
+    }
+}
+
+#[test]
+fn eq15_weights_do_not_break_fusion() {
+    let k = 4;
+    let dev_labels = labels(100, k);
+    let test_labels = labels(60, k);
+    let dev: Vec<ScoreMatrix> =
+        (0..3).map(|q| noisy_subsystem(&dev_labels, k, q as f32, 1.2)).collect();
+    let test: Vec<ScoreMatrix> =
+        (0..3).map(|q| noisy_subsystem(&test_labels, k, q as f32 + 0.3, 1.2)).collect();
+
+    let uniform = fuse(&dev, &dev_labels, &test, None);
+    let weighted = fuse(&dev, &dev_labels, &test, Some(&[50, 30, 20]));
+    let e_u = pooled_eer(&uniform.test_scores, &test_labels);
+    let e_w = pooled_eer(&weighted.test_scores, &test_labels);
+    // Both must be functional systems (LDA rescales weights anyway).
+    assert!(e_u < 0.2 && e_w < 0.2, "uniform {e_u}, weighted {e_w}");
+}

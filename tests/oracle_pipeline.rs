@@ -1,0 +1,126 @@
+//! Cross-crate integration test of the *phonotactic* half of the system:
+//! corpus → reference alignments → confusion networks → supervectors →
+//! TFLLR → one-vs-rest SVM → EER. Bypasses the acoustic decoder so it runs
+//! in seconds; the decoder path is covered by `decode_frontend.rs` and the
+//! (ignored) full-system test.
+
+use lre_repro::corpus::{render_utterance, Dataset, DatasetConfig, Duration, Scale, UttSpec};
+use lre_repro::eval::{pooled_eer, ScoreMatrix};
+use lre_repro::lattice::{ConfusionNetwork, SlotEntry};
+use lre_repro::phone::{PhoneSet, PhoneSetId, UniversalInventory};
+use lre_repro::svm::{OneVsRest, SvmTrainConfig};
+use lre_repro::vsm::{SparseVec, SupervectorBuilder, TfllrScaler};
+
+fn alignment_network(alignment: &[u16], set: &PhoneSet) -> ConfusionNetwork {
+    let phones: Vec<u16> = alignment.iter().map(|&u| set.project(u as usize) as u16).collect();
+    let mut slots = Vec::new();
+    let mut start = 0;
+    while start < phones.len() {
+        let mut end = start + 1;
+        while end < phones.len() && phones[end] == phones[start] {
+            end += 1;
+        }
+        slots.push(vec![SlotEntry { phone: phones[start], prob: 1.0 }]);
+        start = end;
+    }
+    ConfusionNetwork::new(slots)
+}
+
+struct Oracle {
+    ds: Dataset,
+    inv: UniversalInventory,
+    set: PhoneSet,
+    builder: SupervectorBuilder,
+    scaler: TfllrScaler,
+    vsm: OneVsRest,
+}
+
+impl Oracle {
+    fn build() -> Oracle {
+        let inv = UniversalInventory::new();
+        let ds = Dataset::generate(DatasetConfig::new(Scale::Smoke, 7));
+        let set = PhoneSet::standard(PhoneSetId::Hu, &inv);
+        let builder = SupervectorBuilder::new(set.len(), 2);
+
+        let raw: Vec<SparseVec> = ds
+            .train
+            .iter()
+            .map(|u| {
+                let r = render_utterance(u, ds.language(u.language), &inv);
+                builder.build(&alignment_network(&r.alignment, &set))
+            })
+            .collect();
+        let labels: Vec<usize> =
+            ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let scaler = TfllrScaler::fit(&raw, builder.dim(), 1e-5);
+        let train: Vec<SparseVec> = raw.iter().map(|s| scaler.transformed(s)).collect();
+        let vsm =
+            OneVsRest::train(&train, &labels, 23, builder.dim(), &SvmTrainConfig::default());
+        Oracle { ds, inv, set, builder, scaler, vsm }
+    }
+
+    fn eer(&self, utts: &[UttSpec]) -> f64 {
+        let labels: Vec<usize> =
+            utts.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let mut m = ScoreMatrix::new(23);
+        for u in utts {
+            let r = render_utterance(u, self.ds.language(u.language), &self.inv);
+            let sv = self
+                .scaler
+                .transformed(&self.builder.build(&alignment_network(&r.alignment, &self.set)));
+            m.push_row(&self.vsm.scores(&sv));
+        }
+        pooled_eer(&m, &labels)
+    }
+}
+
+#[test]
+fn oracle_pipeline_separates_languages_and_orders_durations() {
+    let oracle = Oracle::build();
+    let eer30 = oracle.eer(oracle.ds.test_set(Duration::S30));
+    let eer10 = oracle.eer(oracle.ds.test_set(Duration::S10));
+    let eer3 = oracle.eer(oracle.ds.test_set(Duration::S3));
+
+    // With clean phonotactics the system must be far better than chance…
+    assert!(eer30 < 0.12, "30s oracle EER too high: {eer30}");
+    assert!(eer10 < 0.20, "10s oracle EER too high: {eer10}");
+    assert!(eer3 < 0.35, "3s oracle EER too high: {eer3}");
+    // …and must degrade monotonically as utterances shorten (paper shape 1).
+    assert!(eer30 <= eer10 + 0.02, "duration ordering violated: {eer30} vs {eer10}");
+    assert!(eer10 <= eer3 + 0.02, "duration ordering violated: {eer10} vs {eer3}");
+}
+
+#[test]
+fn oracle_close_language_pairs_are_hardest() {
+    // Hindi/Urdu share a family prototype: their detectors should confuse
+    // them more often than unrelated pairs (realistic LRE difficulty).
+    let oracle = Oracle::build();
+    use lre_repro::corpus::LanguageId;
+    let hi = LanguageId::Hindi.target_index().unwrap();
+    let ur = LanguageId::Urdu.target_index().unwrap();
+    let ko = LanguageId::Korean.target_index().unwrap();
+
+    // Score Hindi test utterances with the Urdu and Korean detectors.
+    let mut urdu_scores = Vec::new();
+    let mut korean_scores = Vec::new();
+    for u in oracle.ds.test_set(Duration::S30) {
+        if u.language != LanguageId::Hindi {
+            continue;
+        }
+        let r = render_utterance(u, oracle.ds.language(u.language), &oracle.inv);
+        let sv = oracle
+            .scaler
+            .transformed(&oracle.builder.build(&alignment_network(&r.alignment, &oracle.set)));
+        let s = oracle.vsm.scores(&sv);
+        urdu_scores.push(s[ur]);
+        korean_scores.push(s[ko]);
+        let _ = hi;
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    assert!(
+        mean(&urdu_scores) > mean(&korean_scores),
+        "Urdu detector should score Hindi higher than Korean detector does: {} vs {}",
+        mean(&urdu_scores),
+        mean(&korean_scores)
+    );
+}

@@ -1,0 +1,247 @@
+//! Property-based tests (proptest) on the core data structures and
+//! numerical invariants that every experiment relies on.
+
+use proptest::prelude::*;
+
+use lre_repro::dsp::{fft_in_place, Complex, FrameMatrix};
+use lre_repro::eval::{eer_from_trials, probit};
+use lre_repro::lattice::{
+    expected_ngram_counts_cn, ConfusionNetwork, Edge, Lattice, NgramCounts, SlotEntry,
+};
+use lre_repro::linalg::{jacobi_eigen, Mat};
+use lre_repro::vsm::SparseVec;
+
+// ---------------------------------------------------------------- SparseVec
+
+/// Sorted, deduplicated sparse pairs within a bounded dimension.
+fn sparse_pairs(dim: u32) -> impl Strategy<Value = Vec<(u32, f32)>> {
+    prop::collection::vec((0..dim, -10.0f32..10.0), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn sparse_dot_matches_dense_reference(a in sparse_pairs(64), b in sparse_pairs(64)) {
+        let sa = SparseVec::from_pairs(a.clone());
+        let sb = SparseVec::from_pairs(b.clone());
+        // Dense reference.
+        let mut da = vec![0.0f32; 64];
+        for (i, v) in a { da[i as usize] += v; }
+        let mut db = vec![0.0f32; 64];
+        for (i, v) in b { db[i as usize] += v; }
+        let expect: f32 = da.iter().zip(&db).map(|(x, y)| x * y).sum();
+        prop_assert!((sa.dot_sparse(&sb) - expect).abs() < 1e-3 * (1.0 + expect.abs()));
+        prop_assert!((sa.dot_dense(&db) - expect).abs() < 1e-3 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn sparse_dot_is_symmetric(a in sparse_pairs(48), b in sparse_pairs(48)) {
+        let sa = SparseVec::from_pairs(a);
+        let sb = SparseVec::from_pairs(b);
+        prop_assert!((sa.dot_sparse(&sb) - sb.dot_sparse(&sa)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn axpy_into_matches_scalar_loop(a in sparse_pairs(32), alpha in -4.0f32..4.0) {
+        let sa = SparseVec::from_pairs(a.clone());
+        let mut dense = vec![0.5f32; 32];
+        let mut expect = dense.clone();
+        sa.axpy_into(alpha, &mut dense);
+        for (i, v) in a { expect[i as usize] += alpha * v; }
+        for (d, e) in dense.iter().zip(&expect) {
+            prop_assert!((d - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn norm_sq_is_self_dot(a in sparse_pairs(32)) {
+        let sa = SparseVec::from_pairs(a);
+        prop_assert!((sa.norm_sq() - sa.dot_sparse(&sa)).abs() < 1e-3 * (1.0 + sa.norm_sq()));
+    }
+}
+
+// -------------------------------------------------------------------- FFT
+
+proptest! {
+    #[test]
+    fn fft_preserves_energy(vals in prop::collection::vec(-1.0f32..1.0, 64)) {
+        let time_energy: f32 = vals.iter().map(|v| v * v).sum();
+        let mut buf: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut buf);
+        let freq_energy: f32 = buf.iter().map(|c| c.norm_sq()).sum::<f32>() / 64.0;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-2 * (1.0 + time_energy));
+    }
+
+    #[test]
+    fn fft_is_linear(
+        a in prop::collection::vec(-1.0f32..1.0, 32),
+        b in prop::collection::vec(-1.0f32..1.0, 32),
+    ) {
+        let fft = |x: &[f32]| {
+            let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            fft_in_place(&mut buf);
+            buf
+        };
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        for i in 0..32 {
+            prop_assert!((fsum[i].re - fa[i].re - fb[i].re).abs() < 1e-3);
+            prop_assert!((fsum[i].im - fa[i].im - fb[i].im).abs() < 1e-3);
+        }
+    }
+}
+
+// ------------------------------------------------------------- Lattice / CN
+
+/// A random confusion network over `p` phones with normalized slots.
+fn confusion_network(p: u16) -> impl Strategy<Value = ConfusionNetwork> {
+    prop::collection::vec(
+        prop::collection::vec((0..p, 0.05f32..1.0), 1..4),
+        1..8,
+    )
+    .prop_map(move |slots| {
+        let slots = slots
+            .into_iter()
+            .map(|mut entries| {
+                // Deduplicate phones within the slot, then normalize.
+                entries.sort_by_key(|e| e.0);
+                entries.dedup_by_key(|e| e.0);
+                let total: f32 = entries.iter().map(|e| e.1).sum();
+                entries
+                    .into_iter()
+                    .map(|(phone, w)| SlotEntry { phone, prob: w / total })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ConfusionNetwork::new(slots)
+    })
+}
+
+proptest! {
+    #[test]
+    fn cn_unigram_mass_equals_slot_count(net in confusion_network(12)) {
+        let counts = expected_ngram_counts_cn(&net, 1, 12);
+        prop_assert!((counts.total() - net.num_slots() as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cn_bigram_mass_equals_window_count(net in confusion_network(12)) {
+        let counts = expected_ngram_counts_cn(&net, 2, 12);
+        let windows = net.num_slots().saturating_sub(1);
+        prop_assert!((counts.total() - windows as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cn_to_lattice_posteriors_recover_slot_probs(net in confusion_network(9)) {
+        let lat = net.to_lattice();
+        let post = lat.edge_posteriors().expect("sausage lattice is connected");
+        let mut idx = 0;
+        for slot in net.slots() {
+            for e in slot {
+                prop_assert!((post[idx] - e.prob).abs() < 1e-3,
+                    "edge posterior {} vs slot prob {}", post[idx], e.prob);
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_forward_backward_agree(net in confusion_network(7)) {
+        let lat = net.to_lattice();
+        let alpha_end = lat.forward()[lat.end()];
+        let beta_start = lat.backward()[lat.start()];
+        prop_assert!((alpha_end - beta_start).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ngram_key_roundtrip(phones in prop::collection::vec(0u16..59, 3)) {
+        let counts = NgramCounts::new(3, 59);
+        prop_assert_eq!(counts.unpack(counts.key(&phones)), phones);
+    }
+}
+
+// ----------------------------------------------------------------- Metrics
+
+proptest! {
+    #[test]
+    fn eer_is_bounded_and_scale_invariant(
+        tar in prop::collection::vec(-5.0f32..5.0, 3..40),
+        non in prop::collection::vec(-5.0f32..5.0, 3..40),
+        scale in 0.1f32..10.0,
+        shift in -3.0f32..3.0,
+    ) {
+        let e = eer_from_trials(&tar, &non);
+        prop_assert!((0.0..=1.0).contains(&e));
+        let tar2: Vec<f32> = tar.iter().map(|v| v * scale + shift).collect();
+        let non2: Vec<f32> = non.iter().map(|v| v * scale + shift).collect();
+        let e2 = eer_from_trials(&tar2, &non2);
+        prop_assert!((e - e2).abs() < 1e-6, "EER not invariant: {} vs {}", e, e2);
+    }
+
+    #[test]
+    fn probit_is_monotone(a in 0.001f64..0.999, b in 0.001f64..0.999) {
+        if a < b {
+            prop_assert!(probit(a) < probit(b));
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Linalg
+
+fn symmetric_matrix(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-2.0f64..2.0, n * n).prop_map(move |vals| {
+        let mut m = Mat::from_vec(n, n, vals);
+        m.symmetrize();
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigen_trace_and_reconstruction(m in symmetric_matrix(4)) {
+        let e = jacobi_eigen(&m, 100);
+        // Trace = Σλ.
+        let lam_sum: f64 = e.values.iter().sum();
+        prop_assert!((lam_sum - m.trace()).abs() < 1e-6 * (1.0 + m.trace().abs()));
+        // A = V Λ Vᵀ.
+        let rec = e.vectors.matmul(&Mat::from_diag(&e.values)).matmul(&e.vectors.transpose());
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((rec[(i, j)] - m[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn spd_cholesky_solve_is_inverse(vals in prop::collection::vec(-1.0f64..1.0, 16), b in prop::collection::vec(-2.0f64..2.0, 4)) {
+        // Build SPD as AᵀA + I.
+        let a = Mat::from_vec(4, 4, vals);
+        let mut spd = a.transpose().matmul(&a);
+        for i in 0..4 { spd[(i, i)] += 1.0; }
+        let chol = spd.cholesky().expect("SPD by construction");
+        let x = chol.solve(&b);
+        let back = spd.matvec(&x);
+        for i in 0..4 {
+            prop_assert!((back[i] - b[i]).abs() < 1e-8 * (1.0 + b[i].abs()));
+        }
+    }
+}
+
+// ------------------------------------------------------------ FrameMatrix
+
+proptest! {
+    #[test]
+    fn frame_matrix_roundtrip(dim in 1usize..8, frames in 0usize..20) {
+        let data: Vec<f32> = (0..dim * frames).map(|i| i as f32).collect();
+        let m = FrameMatrix::from_flat(dim, data.clone());
+        prop_assert_eq!(m.num_frames(), frames);
+        let mut collected = Vec::new();
+        for f in m.iter() {
+            collected.extend_from_slice(f);
+        }
+        prop_assert_eq!(collected, data);
+    }
+}
