@@ -28,7 +28,12 @@ pub struct AcousticConfig {
 
 impl Default for AcousticConfig {
     fn default() -> Self {
-        Self { sdc: SdcConfig::default(), mixtures: 16, em_iters: 4, seed: 11 }
+        Self {
+            sdc: SdcConfig::default(),
+            mixtures: 16,
+            em_iters: 4,
+            seed: 11,
+        }
     }
 }
 
@@ -92,7 +97,11 @@ impl AcousticSystem {
         let mut rng = node.derive(0xB6).rng();
         let background = DiagGmm::train(&bg_frames, dim, cfg.mixtures, cfg.em_iters, &mut rng);
 
-        AcousticSystem { cfg: cfg.clone(), models, background }
+        AcousticSystem {
+            cfg: cfg.clone(),
+            models,
+            background,
+        }
     }
 
     /// Detection scores for one utterance: per language, the average frame
@@ -155,11 +164,17 @@ mod tests {
     fn system_beats_chance_on_smoke_corpus() {
         let inv = UniversalInventory::new();
         let ds = Dataset::generate(DatasetConfig::new(Scale::Smoke, 42));
-        let cfg = AcousticConfig { mixtures: 8, em_iters: 2, ..Default::default() };
+        let cfg = AcousticConfig {
+            mixtures: 8,
+            em_iters: 2,
+            ..Default::default()
+        };
         let sys = AcousticSystem::train(&ds, &inv, &cfg);
         let test = ds.test_set(Duration::S30);
-        let labels: Vec<usize> =
-            test.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let labels: Vec<usize> = test
+            .iter()
+            .map(|u| u.language.target_index().unwrap())
+            .collect();
         let m = sys.score_set(test, &ds, &inv);
         let eer = lre_eval::pooled_eer(&m, &labels);
         assert!(eer < 0.45, "acoustic system at chance: EER {eer}");

@@ -14,7 +14,6 @@ pub enum Normalization {
     Cmvn,
 }
 
-
 /// Which base cepstral analysis a recognizer uses. The paper's GMM-HMM and
 /// DNN-HMM recognizers use PLP; MFCC is the classic alternative named in §1
 /// as the third diversification axis, used here by the ANN-HMM front-ends.
@@ -129,8 +128,12 @@ mod tests {
         let a = extract_features_with(&tone(), FeatureKind::Mfcc, Normalization::None);
         let b = extract_features_with(&tone(), FeatureKind::Plp, Normalization::None);
         assert_eq!(a.num_frames(), b.num_frames());
-        let diff: f32 =
-            a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).sum();
+        let diff: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
         assert!(diff > 1.0);
     }
 }

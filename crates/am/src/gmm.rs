@@ -160,11 +160,10 @@ impl DiagGmm {
         assert!((0.0..1.0).contains(&w_bg));
         let dim = self.dim;
         let mut means = self.means.clone();
-        means.extend(std::iter::repeat(0.0f32).take(dim));
+        means.extend(std::iter::repeat_n(0.0f32, dim));
         let mut vars: Vec<f32> = self.inv_vars.iter().map(|iv| 1.0 / iv).collect();
-        vars.extend(std::iter::repeat(var_scale).take(dim));
-        let mut weights: Vec<f32> =
-            self.weights.iter().map(|w| w * (1.0 - w_bg)).collect();
+        vars.extend(std::iter::repeat_n(var_scale, dim));
+        let mut weights: Vec<f32> = self.weights.iter().map(|w| w * (1.0 - w_bg)).collect();
         weights.push(w_bg);
         Self::from_params(means, vars, weights, dim)
     }
@@ -186,10 +185,17 @@ impl DiagGmm {
                 inv_vars.push(1.0 / v);
                 log_det += v.ln();
             }
-            log_consts.push((weights[c] / wsum).max(1e-10).ln()
-                - 0.5 * (dim as f32 * ln2pi + log_det));
+            log_consts
+                .push((weights[c] / wsum).max(1e-10).ln() - 0.5 * (dim as f32 * ln2pi + log_det));
         }
-        DiagGmm { dim, num_mix, means, inv_vars, log_consts, weights: norm_weights }
+        DiagGmm {
+            dim,
+            num_mix,
+            means,
+            inv_vars,
+            log_consts,
+            weights: norm_weights,
+        }
     }
 
     #[inline]
@@ -213,7 +219,7 @@ impl DiagGmm {
         let mut max = f32::NEG_INFINITY;
         let mut comps = [0f32; 16]; // stack buffer; num_mix is small
         debug_assert!(self.num_mix <= 16);
-        for c in 0..self.num_mix {
+        for (c, slot) in comps.iter_mut().enumerate().take(self.num_mix) {
             let mu = &self.means[c * self.dim..(c + 1) * self.dim];
             let iv = &self.inv_vars[c * self.dim..(c + 1) * self.dim];
             let mut q = 0.0f32;
@@ -222,7 +228,7 @@ impl DiagGmm {
                 q += diff * diff * iv[d];
             }
             let l = self.log_consts[c] - 0.5 * q;
-            comps[c] = l;
+            *slot = l;
             if l > max {
                 max = l;
             }
@@ -235,11 +241,64 @@ impl DiagGmm {
         max + sum.ln()
     }
 
+    /// Log-likelihood of every frame in a **transposed** block, written to
+    /// `out` (`n = out.len()` frames; `ft[d · n + t]` holds dimension `d` of
+    /// frame `t`).
+    ///
+    /// Iterates mixture components in the outer loop and feature dimensions
+    /// in the middle loop, so the innermost loop walks the `n` frames of one
+    /// dimension with unit stride: the serial `q` accumulation chain each
+    /// frame imposes runs for all frames in parallel, which vectorizes where
+    /// the per-frame path cannot. Per frame, the arithmetic (distance
+    /// accumulation order over `d`, max tracking and log-sum-exp order over
+    /// components) is exactly [`DiagGmm::log_likelihood`]'s, so results are
+    /// bit-identical. The caller transposes a frame block once and reuses it
+    /// across every state's GMM.
+    ///
+    /// `comps` is caller-owned scratch (resized internally) holding the
+    /// per-component log terms, `num_mix × n`.
+    pub fn log_likelihood_block_t(&self, ft: &[f32], comps: &mut Vec<f32>, out: &mut [f32]) {
+        let n = out.len();
+        debug_assert_eq!(ft.len(), n * self.dim);
+        comps.clear();
+        comps.resize(self.num_mix * n, 0.0);
+        for c in 0..self.num_mix {
+            let crow = &mut comps[c * n..(c + 1) * n];
+            for d in 0..self.dim {
+                let mu = self.means[c * self.dim + d];
+                let iv = self.inv_vars[c * self.dim + d];
+                let col = &ft[d * n..(d + 1) * n];
+                for (q, &x) in crow.iter_mut().zip(col) {
+                    let diff = x - mu;
+                    *q += diff * diff * iv;
+                }
+            }
+            let log_const = self.log_consts[c];
+            for q in crow.iter_mut() {
+                *q = log_const - 0.5 * *q;
+            }
+        }
+        for (t, o) in out.iter_mut().enumerate() {
+            let mut max = f32::NEG_INFINITY;
+            for c in 0..self.num_mix {
+                let l = comps[c * n + t];
+                if l > max {
+                    max = l;
+                }
+            }
+            let mut sum = 0.0f32;
+            for c in 0..self.num_mix {
+                sum += (comps[c * n + t] - max).exp();
+            }
+            *o = max + sum.ln();
+        }
+    }
+
     /// Mixture posteriors for one frame (responsibilities), written to `out`.
     pub fn posteriors(&self, x: &[f32], out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.num_mix);
         let mut max = f32::NEG_INFINITY;
-        for c in 0..self.num_mix {
+        for (c, o) in out.iter_mut().enumerate() {
             let mu = &self.means[c * self.dim..(c + 1) * self.dim];
             let iv = &self.inv_vars[c * self.dim..(c + 1) * self.dim];
             let mut q = 0.0f32;
@@ -247,8 +306,8 @@ impl DiagGmm {
                 let diff = x[d] - mu[d];
                 q += diff * diff * iv[d];
             }
-            out[c] = self.log_consts[c] - 0.5 * q;
-            max = max.max(out[c]);
+            *o = self.log_consts[c] - 0.5 * q;
+            max = max.max(*o);
         }
         let mut sum = 0.0f32;
         for o in out.iter_mut() {
@@ -345,12 +404,19 @@ mod tests {
         let mut r = rng();
         let data = two_cluster_data(150, &mut r);
         let total_ll = |g: &DiagGmm| -> f64 {
-            (0..data.len() / 2).map(|i| g.log_likelihood(&data[i * 2..i * 2 + 2]) as f64).sum()
+            (0..data.len() / 2)
+                .map(|i| g.log_likelihood(&data[i * 2..i * 2 + 2]) as f64)
+                .sum()
         };
         let mut r1 = rng();
         let g0 = DiagGmm::train(&data, 2, 2, 0, &mut r1);
         let mut r2 = rng();
         let g5 = DiagGmm::train(&data, 2, 2, 5, &mut r2);
-        assert!(total_ll(&g5) >= total_ll(&g0) - 1e-3, "{} vs {}", total_ll(&g5), total_ll(&g0));
+        assert!(
+            total_ll(&g5) >= total_ll(&g0) - 1e-3,
+            "{} vs {}",
+            total_ll(&g5),
+            total_ll(&g0)
+        );
     }
 }

@@ -19,7 +19,10 @@ impl HmmTopology {
     /// (self-loop probability `1 - 1/expected`).
     pub fn with_expected_frames(expected_frames: f32) -> HmmTopology {
         let p_next = (1.0 / expected_frames.max(1.001)).clamp(1e-3, 0.999);
-        HmmTopology { log_self: (1.0 - p_next).ln(), log_next: p_next.ln() }
+        HmmTopology {
+            log_self: (1.0 - p_next).ln(),
+            log_next: p_next.ln(),
+        }
     }
 }
 
@@ -39,7 +42,9 @@ pub struct StateInventory {
 
 impl StateInventory {
     pub fn new(phone_set: &PhoneSet) -> StateInventory {
-        StateInventory { num_phones: phone_set.len() }
+        StateInventory {
+            num_phones: phone_set.len(),
+        }
     }
 
     pub fn from_phone_count(num_phones: usize) -> StateInventory {
@@ -73,7 +78,7 @@ impl StateInventory {
     /// Whether the state is a phone-entry state.
     #[inline]
     pub fn is_entry(&self, state_idx: usize) -> bool {
-        state_idx % STATES_PER_PHONE == 0
+        state_idx.is_multiple_of(STATES_PER_PHONE)
     }
 
     /// Whether the state is a phone-exit state.
@@ -132,7 +137,9 @@ mod tests {
     #[test]
     fn uniform_state_split_covers_all_states() {
         // A 9-frame segment: 3 frames per state.
-        let states: Vec<usize> = (0..9).map(|p| StateInventory::uniform_state(p, 9)).collect();
+        let states: Vec<usize> = (0..9)
+            .map(|p| StateInventory::uniform_state(p, 9))
+            .collect();
         assert_eq!(states, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
         // Degenerate 1-frame segment stays in state 0.
         assert_eq!(StateInventory::uniform_state(0, 1), 0);

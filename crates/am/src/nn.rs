@@ -38,7 +38,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 24, batch_size: 32, initial_lr: 0.4, momentum: 0.9, holdout_fraction: 0.08 }
+        Self {
+            epochs: 24,
+            batch_size: 32,
+            initial_lr: 0.4,
+            momentum: 0.9,
+            holdout_fraction: 0.08,
+        }
     }
 }
 
@@ -54,7 +60,12 @@ pub struct PretrainConfig {
 
 impl Default for PretrainConfig {
     fn default() -> Self {
-        Self { epochs: 4, batch_size: 32, lr: 0.05, noise_std: 0.2 }
+        Self {
+            epochs: 4,
+            batch_size: 32,
+            lr: 0.05,
+            noise_std: 0.2,
+        }
     }
 }
 
@@ -72,12 +83,17 @@ impl Mlp {
         for l in 0..sizes.len() - 1 {
             let (fan_in, fan_out) = (sizes[l], sizes[l + 1]);
             let scale = 1.0 / (fan_in as f32).sqrt();
-            let w: Vec<f32> =
-                (0..fan_in * fan_out).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale).collect();
+            let w: Vec<f32> = (0..fan_in * fan_out)
+                .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+                .collect();
             weights.push(w);
             biases.push(vec![0.0; fan_out]);
         }
-        Mlp { sizes: sizes.to_vec(), weights, biases }
+        Mlp {
+            sizes: sizes.to_vec(),
+            weights,
+            biases,
+        }
     }
 
     pub fn input_dim(&self) -> usize {
@@ -131,6 +147,47 @@ impl Mlp {
         let p = self.posteriors(x);
         for (o, v) in out.iter_mut().zip(&p) {
             *o = v.max(1e-12).ln();
+        }
+    }
+
+    /// Log posteriors for a flat block of frames (`n × input_dim` in,
+    /// `n × output_dim` out, both row-major).
+    ///
+    /// Each layer is one blocked `X·Wᵀ + b` ([`lre_linalg::gemm_xwt_f32`])
+    /// over the whole block instead of a per-frame matvec, with two
+    /// ping-pong activation buffers replacing the per-frame/per-layer `Vec`
+    /// allocations of [`Mlp::posteriors`]. The kernel keeps each dot
+    /// product's accumulation order, and the sigmoid/softmax/log steps are
+    /// applied row-wise in the scalar path's exact sequence, so the output
+    /// is bit-identical to calling [`Mlp::log_posteriors_into`] per frame.
+    pub fn log_posteriors_block(&self, frames: &[f32], out: &mut [f32]) {
+        let n_in = self.input_dim();
+        debug_assert!(n_in > 0);
+        let n = frames.len() / n_in;
+        debug_assert_eq!(frames.len(), n * n_in);
+        debug_assert_eq!(out.len(), n * self.output_dim());
+        if n == 0 {
+            return;
+        }
+        let max_width = self.sizes.iter().copied().max().unwrap();
+        let mut a = vec![0.0f32; n * max_width];
+        a[..frames.len()].copy_from_slice(frames);
+        let mut b = vec![0.0f32; n * max_width];
+        for l in 0..self.num_layers() {
+            let (k, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let z = &mut b[..n * n_out];
+            lre_linalg::gemm_xwt_f32(&a[..n * k], &self.weights[l], &self.biases[l], k, z);
+            if l + 1 == self.num_layers() {
+                for row in z.chunks_exact_mut(n_out) {
+                    softmax_in_place(row);
+                }
+            } else {
+                z.iter_mut().for_each(|v| *v = sigmoid(*v));
+            }
+            std::mem::swap(&mut a, &mut b);
+        }
+        for (o, &p) in out.iter_mut().zip(a[..n * self.output_dim()].iter()) {
+            *o = p.max(1e-12).ln();
         }
     }
 
@@ -203,8 +260,7 @@ impl Mlp {
                             }
                         }
                         // Reconstruction error against the *clean* input.
-                        let err: Vec<f32> =
-                            xhat.iter().zip(x).map(|(a, b)| a - b).collect();
+                        let err: Vec<f32> = xhat.iter().zip(x).map(|(a, b)| a - b).collect();
                         epoch_se += err.iter().map(|e| (*e as f64) * (*e as f64)).sum::<f64>();
                         // Gradients. dL/dxhat = 2 err (drop the 2 into lr).
                         for (g, e) in gc.iter_mut().zip(&err) {
@@ -284,7 +340,8 @@ impl Mlp {
         for i in (1..n).rev() {
             order.swap(i, rng.random_range(0..=i));
         }
-        let n_hold = ((n as f32 * cfg.holdout_fraction) as usize).clamp(1, n.saturating_sub(1).max(1));
+        let n_hold =
+            ((n as f32 * cfg.holdout_fraction) as usize).clamp(1, n.saturating_sub(1).max(1));
         let (train_idx, hold_idx) = order.split_at(n - n_hold);
 
         let mut lr = cfg.initial_lr;
@@ -293,7 +350,16 @@ impl Mlp {
         let mut vel_b: Vec<Vec<f32>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
         for _epoch in 0..cfg.epochs {
             for batch in train_idx.chunks(cfg.batch_size) {
-                self.sgd_batch(frames, labels, batch, dim, lr, cfg.momentum, &mut vel_w, &mut vel_b);
+                self.sgd_batch(
+                    frames,
+                    labels,
+                    batch,
+                    dim,
+                    lr,
+                    cfg.momentum,
+                    &mut vel_w,
+                    &mut vel_b,
+                );
             }
             let acc = self.frame_accuracy(frames, labels, hold_idx, dim);
             if acc < best_acc {
@@ -444,7 +510,13 @@ mod tests {
         let mut r = rng();
         let (frames, labels) = toy_data(600, &mut r);
         let mut mlp = Mlp::new(&[2, 12, 2], &mut r);
-        let cfg = TrainConfig { epochs: 20, batch_size: 16, initial_lr: 0.5, momentum: 0.9, holdout_fraction: 0.1 };
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            initial_lr: 0.5,
+            momentum: 0.9,
+            holdout_fraction: 0.1,
+        };
         let acc = mlp.train(&frames, &labels, &cfg, &mut r);
         assert!(acc > 0.9, "holdout accuracy {acc}");
     }
@@ -454,9 +526,43 @@ mod tests {
         let mut r = rng();
         let (frames, labels) = toy_data(600, &mut r);
         let mut mlp = Mlp::new(&[2, 10, 10, 2], &mut r);
-        let cfg = TrainConfig { epochs: 25, batch_size: 16, initial_lr: 0.5, momentum: 0.9, holdout_fraction: 0.1 };
+        let cfg = TrainConfig {
+            epochs: 25,
+            batch_size: 16,
+            initial_lr: 0.5,
+            momentum: 0.9,
+            holdout_fraction: 0.1,
+        };
         let acc = mlp.train(&frames, &labels, &cfg, &mut r);
         assert!(acc > 0.85, "holdout accuracy {acc}");
+    }
+
+    #[test]
+    fn block_log_posteriors_bitwise_match_per_frame() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[5, 17, 9, 7], &mut r);
+        let n = 43;
+        let frames: Vec<f32> = (0..n * 5).map(|_| r.random::<f32>() * 2.0 - 1.0).collect();
+
+        let mut block = vec![0.0f32; n * 7];
+        mlp.log_posteriors_block(&frames, &mut block);
+
+        let mut single = vec![0.0f32; 7];
+        for t in 0..n {
+            mlp.log_posteriors_into(&frames[t * 5..(t + 1) * 5], &mut single);
+            for (o, (a, b)) in single.iter().zip(&block[t * 7..(t + 1) * 7]).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "frame {t} output {o}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_log_posteriors_empty_is_noop() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[3, 4, 2], &mut r);
+        let mut out: Vec<f32> = Vec::new();
+        mlp.log_posteriors_block(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -477,12 +583,16 @@ mod tests {
         let mut r = rng();
         let (frames, _) = toy_data(400, &mut r);
         let mut mlp = Mlp::new(&[2, 8, 8, 2], &mut r);
-        let cfg = PretrainConfig { epochs: 8, batch_size: 16, lr: 0.05, noise_std: 0.1 };
+        let cfg = PretrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            lr: 0.05,
+            noise_std: 0.1,
+        };
         // Measure the first layer's MSE after 1 epoch vs after 8 epochs.
         let mut mlp_short = mlp.clone();
         let mut r1 = rng();
-        let short =
-            mlp_short.pretrain(&frames, &PretrainConfig { epochs: 1, ..cfg }, &mut r1);
+        let short = mlp_short.pretrain(&frames, &PretrainConfig { epochs: 1, ..cfg }, &mut r1);
         let mut r2 = rng();
         let long = mlp.pretrain(&frames, &cfg, &mut r2);
         assert_eq!(short.len(), 2);
@@ -500,7 +610,13 @@ mod tests {
         let (frames, labels) = toy_data(500, &mut r);
         let mut mlp = Mlp::new(&[2, 10, 10, 2], &mut r);
         mlp.pretrain(&frames, &PretrainConfig::default(), &mut r);
-        let cfg = TrainConfig { epochs: 20, batch_size: 16, initial_lr: 0.5, momentum: 0.9, holdout_fraction: 0.1 };
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            initial_lr: 0.5,
+            momentum: 0.9,
+            holdout_fraction: 0.1,
+        };
         let acc = mlp.train(&frames, &labels, &cfg, &mut r);
         assert!(acc > 0.85, "accuracy after pretrain+finetune {acc}");
     }
@@ -509,7 +625,9 @@ mod tests {
     fn pretraining_on_empty_data_is_safe() {
         let mut r = rng();
         let mut mlp = Mlp::new(&[2, 4, 2], &mut r);
-        assert!(mlp.pretrain(&[], &PretrainConfig::default(), &mut r).is_empty());
+        assert!(mlp
+            .pretrain(&[], &PretrainConfig::default(), &mut r)
+            .is_empty());
     }
 
     #[test]
@@ -529,7 +647,13 @@ mod tests {
         let acc_before = untrained.frame_accuracy(&frames, &labels, &idx, 2);
 
         let mut trained = untrained.clone();
-        let cfg = TrainConfig { epochs: 15, batch_size: 16, initial_lr: 0.5, momentum: 0.9, holdout_fraction: 0.1 };
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            initial_lr: 0.5,
+            momentum: 0.9,
+            holdout_fraction: 0.1,
+        };
         trained.train(&frames, &labels, &cfg, &mut r);
         let acc_after = trained.frame_accuracy(&frames, &labels, &idx, 2);
         assert!(

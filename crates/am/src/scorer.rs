@@ -15,6 +15,20 @@ pub trait FrameScorer: Send + Sync {
     /// Write `ln p(x | state)` (up to a state-independent constant) for all
     /// states into `out` (`out.len() == num_states()`).
     fn score_frame(&self, frame: &[f32], out: &mut [f32]);
+
+    /// Score a flat block of frames (`frames.len()` = `T × dim`), writing
+    /// per-state scores row-major into `out` (`T × num_states()`).
+    ///
+    /// The default just loops [`FrameScorer::score_frame`]; model families
+    /// override it with batched kernels. Overrides must be **bit-identical**
+    /// to the per-frame path — the decoder's exact (`beam: None`) mode
+    /// promises unchanged output, and tests compare `f32::to_bits`.
+    fn score_block(&self, frames: &[f32], dim: usize, out: &mut [f32]) {
+        let s = self.num_states();
+        for (x, o) in frames.chunks_exact(dim).zip(out.chunks_exact_mut(s)) {
+            self.score_frame(x, o);
+        }
+    }
 }
 
 /// GMM-HMM emission model: one diagonal GMM per state.
@@ -42,6 +56,41 @@ impl FrameScorer for GmmStateScorer {
         debug_assert_eq!(out.len(), self.gmms.len());
         for (o, g) in out.iter_mut().zip(&self.gmms) {
             *o = g.log_likelihood(frame);
+        }
+    }
+
+    /// Batched scoring: frames are processed in cache-sized blocks. Each
+    /// block is transposed to dimension-major layout **once**, then every
+    /// state's GMM runs its vectorized transposed kernel over it
+    /// ([`DiagGmm::log_likelihood_block_t`]), streaming its mixture
+    /// parameters once per block instead of once per frame and accumulating
+    /// the Mahalanobis terms across all frames of the block in parallel.
+    fn score_block(&self, frames: &[f32], dim: usize, out: &mut [f32]) {
+        const BLOCK: usize = 64;
+        let s = self.gmms.len();
+        debug_assert!(dim > 0);
+        let n = frames.len() / dim;
+        debug_assert_eq!(out.len(), n * s);
+        let mut comps = Vec::new();
+        let mut ft = vec![0.0f32; BLOCK.min(n.max(1)) * dim];
+        let mut col = [0.0f32; BLOCK];
+        let mut t0 = 0;
+        while t0 < n {
+            let bt = BLOCK.min(n - t0);
+            // Transpose once per block: ft[d · bt + t] = frame (t0+t), dim d.
+            for t in 0..bt {
+                let x = &frames[(t0 + t) * dim..(t0 + t + 1) * dim];
+                for (d, &v) in x.iter().enumerate() {
+                    ft[d * bt + t] = v;
+                }
+            }
+            for (si, g) in self.gmms.iter().enumerate() {
+                g.log_likelihood_block_t(&ft[..bt * dim], &mut comps, &mut col[..bt]);
+                for (t, &v) in col[..bt].iter().enumerate() {
+                    out[(t0 + t) * s + si] = v;
+                }
+            }
+            t0 += bt;
         }
     }
 }
@@ -86,6 +135,19 @@ impl FrameScorer for NnStateScorer {
             *o -= lp;
         }
     }
+
+    /// Batched scoring: the whole utterance goes through the network as
+    /// blocked matrix multiplies ([`Mlp::log_posteriors_block`]), then the
+    /// log-priors are subtracted row-wise in the per-frame order.
+    fn score_block(&self, frames: &[f32], dim: usize, out: &mut [f32]) {
+        debug_assert_eq!(dim, self.net.input_dim());
+        self.net.log_posteriors_block(frames, out);
+        for row in out.chunks_exact_mut(self.net.output_dim()) {
+            for (o, lp) in row.iter_mut().zip(&self.log_priors) {
+                *o -= lp;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +163,10 @@ mod tests {
         let sc = GmmStateScorer::new(vec![g0, g1]);
         let mut out = vec![0.0; 2];
         sc.score_frame(&[0.0, 0.0], &mut out);
-        assert!(out[0] > out[1], "frame at origin should prefer state 0: {out:?}");
+        assert!(
+            out[0] > out[1],
+            "frame at origin should prefer state 0: {out:?}"
+        );
         sc.score_frame(&[5.0, 5.0], &mut out);
         assert!(out[1] > out[0]);
     }
@@ -126,11 +191,78 @@ mod tests {
 
         let rel_u = out_u[2] - out_u[0];
         let rel_s = out_s[2] - out_s[0];
-        assert!(rel_s < rel_u, "prior division should penalize frequent states");
+        assert!(
+            rel_s < rel_u,
+            "prior division should penalize frequent states"
+        );
         // Sanity: uniform-prior scores equal log posteriors up to a constant.
         let d0 = out_u[0] - posts[0].ln();
         let d1 = out_u[1] - posts[1].ln();
         assert!((d0 - d1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gmm_score_block_bitwise_matches_per_frame() {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(7);
+        let dim = 6;
+        // Enough states and frames to cross the 64-frame block boundary and
+        // exercise partial blocks.
+        let gmms: Vec<DiagGmm> = (0..9)
+            .map(|_| {
+                let mix = 3;
+                let means: Vec<f32> = (0..mix * dim)
+                    .map(|_| rng.random::<f32>() * 4.0 - 2.0)
+                    .collect();
+                let vars: Vec<f32> = (0..mix * dim).map(|_| 0.3 + rng.random::<f32>()).collect();
+                let weights: Vec<f32> = vec![0.5, 0.3, 0.2];
+                DiagGmm::from_params(means, vars, weights, dim)
+            })
+            .collect();
+        let sc = GmmStateScorer::new(gmms);
+        let n = 131;
+        let frames: Vec<f32> = (0..n * dim)
+            .map(|_| rng.random::<f32>() * 4.0 - 2.0)
+            .collect();
+
+        let mut block = vec![0.0f32; n * sc.num_states()];
+        sc.score_block(&frames, dim, &mut block);
+
+        let mut single = vec![0.0f32; sc.num_states()];
+        for t in 0..n {
+            sc.score_frame(&frames[t * dim..(t + 1) * dim], &mut single);
+            for (s, (a, b)) in single
+                .iter()
+                .zip(&block[t * sc.num_states()..(t + 1) * sc.num_states()])
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "frame {t} state {s}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn nn_score_block_bitwise_matches_per_frame() {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = Mlp::new(&[4, 13, 6], &mut rng);
+        let priors: Vec<f32> = (0..6).map(|i| 0.05 + 0.03 * i as f32).collect();
+        let sc = NnStateScorer::new(net, &priors);
+        let n = 77;
+        let frames: Vec<f32> = (0..n * 4)
+            .map(|_| rng.random::<f32>() * 2.0 - 1.0)
+            .collect();
+
+        let mut block = vec![0.0f32; n * 6];
+        sc.score_block(&frames, 4, &mut block);
+
+        let mut single = vec![0.0f32; 6];
+        for t in 0..n {
+            sc.score_frame(&frames[t * 4..(t + 1) * 4], &mut single);
+            for (s, (a, b)) in single.iter().zip(&block[t * 6..(t + 1) * 6]).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "frame {t} state {s}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

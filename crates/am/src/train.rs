@@ -101,7 +101,10 @@ pub struct FeatureTransform {
 impl FeatureTransform {
     /// Identity transform of the given dimension.
     pub fn identity(dim: usize) -> FeatureTransform {
-        FeatureTransform { mean: vec![0.0; dim], inv_std: vec![1.0; dim] }
+        FeatureTransform {
+            mean: vec![0.0; dim],
+            inv_std: vec![1.0; dim],
+        }
     }
 
     /// Estimate from flat `n × dim` frames.
@@ -127,7 +130,10 @@ impl FeatureTransform {
             m32[d] = mean[d] as f32;
             is32[d] = (1.0 / var.sqrt()) as f32;
         }
-        FeatureTransform { mean: m32, inv_std: is32 }
+        FeatureTransform {
+            mean: m32,
+            inv_std: is32,
+        }
     }
 
     /// Apply in place to every frame of a feature matrix.
@@ -136,8 +142,8 @@ impl FeatureTransform {
         assert_eq!(d, self.mean.len());
         for t in 0..feats.num_frames() {
             let fr = feats.frame_mut(t);
-            for i in 0..d {
-                fr[i] = (fr[i] - self.mean[i]) * self.inv_std[i];
+            for ((v, &m), &s) in fr.iter_mut().zip(&self.mean).zip(&self.inv_std) {
+                *v = (*v - m) * s;
             }
         }
     }
@@ -146,8 +152,8 @@ impl FeatureTransform {
     pub fn apply_flat(&self, frames: &mut [f32]) {
         let d = self.mean.len();
         for f in frames.chunks_exact_mut(d) {
-            for i in 0..d {
-                f[i] = (f[i] - self.mean[i]) * self.inv_std[i];
+            for ((v, &m), &s) in f.iter_mut().zip(&self.mean).zip(&self.inv_std) {
+                *v = (*v - m) * s;
             }
         }
     }
@@ -242,8 +248,13 @@ pub fn train_acoustic_model(
                 .enumerate()
                 .map(|(s, data)| {
                     let mut rng = node.derive(s as u64).rng();
-                    let g =
-                        DiagGmm::train(data, FEATURE_DIM, cfg.gmm_mixtures, cfg.gmm_em_iters, &mut rng);
+                    let g = DiagGmm::train(
+                        data,
+                        FEATURE_DIM,
+                        cfg.gmm_mixtures,
+                        cfg.gmm_em_iters,
+                        &mut rng,
+                    );
                     g.with_background(0.08, 3.0)
                 })
                 .collect();
@@ -331,7 +342,7 @@ mod tests {
         let am = train_acoustic_model(&set, &utts, &lang, &inv, &cfg);
         assert_eq!(am.scorer.num_states(), set.len() * 3);
         let mut out = vec![0.0; am.scorer.num_states()];
-        am.scorer.score_frame(&vec![0.0; FEATURE_DIM], &mut out);
+        am.scorer.score_frame(&[0.0; FEATURE_DIM], &mut out);
         assert!(out.iter().all(|v| v.is_finite()));
     }
 

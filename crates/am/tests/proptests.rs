@@ -8,7 +8,9 @@ use rand::{RngExt, SeedableRng};
 
 fn frames(n: usize, dim: usize, seed: u64) -> Vec<f32> {
     let mut r = StdRng::seed_from_u64(seed);
-    (0..n * dim).map(|_| r.random::<f32>() * 4.0 - 2.0).collect()
+    (0..n * dim)
+        .map(|_| r.random::<f32>() * 4.0 - 2.0)
+        .collect()
 }
 
 proptest! {

@@ -29,7 +29,10 @@ pub struct CalibrationConfig {
 
 impl Default for CalibrationConfig {
     fn default() -> Self {
-        Self { iterations: 200, learning_rate: 0.5 }
+        Self {
+            iterations: 200,
+            learning_rate: 0.5,
+        }
     }
 }
 
@@ -106,8 +109,11 @@ impl LinearCalibration {
     pub fn detection_llrs(&self, x: &[f64]) -> Vec<f64> {
         let k_max = self.beta.len();
         assert_eq!(x.len(), k_max);
-        let a: Vec<f64> =
-            x.iter().zip(&self.beta).map(|(&v, &b)| self.alpha * v + b).collect();
+        let a: Vec<f64> = x
+            .iter()
+            .zip(&self.beta)
+            .map(|(&v, &b)| self.alpha * v + b)
+            .collect();
         (0..k_max)
             .map(|k| {
                 let mut max_other = f64::NEG_INFINITY;
@@ -133,8 +139,11 @@ impl LinearCalibration {
         let mut total = 0.0;
         for (i, &lab) in labels.iter().enumerate() {
             let x = data.row(i);
-            let a: Vec<f64> =
-                x.iter().zip(&self.beta).map(|(&v, &b)| self.alpha * v + b).collect();
+            let a: Vec<f64> = x
+                .iter()
+                .zip(&self.beta)
+                .map(|(&v, &b)| self.alpha * v + b)
+                .collect();
             let max = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let lse = max + a.iter().map(|v| (v - max).exp()).sum::<f64>().ln();
             total += a[lab] - lse;
@@ -173,7 +182,10 @@ mod tests {
             &data,
             &labels,
             3,
-            &CalibrationConfig { iterations: 1, learning_rate: 0.5 },
+            &CalibrationConfig {
+                iterations: 1,
+                learning_rate: 0.5,
+            },
         );
         let long = LinearCalibration::train(&data, &labels, 3, &CalibrationConfig::default());
         assert!(long.objective(&data, &labels) >= short.objective(&data, &labels) - 1e-9);
@@ -210,7 +222,9 @@ mod tests {
         let mut agree = 0;
         for i in 0..data.rows() {
             let x = data.row(i);
-            let raw = (0..3).max_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap()).unwrap();
+            let raw = (0..3)
+                .max_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap())
+                .unwrap();
             let llr = cal.detection_llrs(x);
             let cab = (0..3)
                 .max_by(|&a, &b| llr[a].partial_cmp(&llr[b]).unwrap())

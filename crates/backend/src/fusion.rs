@@ -15,7 +15,10 @@ pub fn subsystem_weights(criterion_counts: &[usize]) -> Vec<f64> {
     if total == 0 {
         return vec![1.0 / criterion_counts.len() as f64; criterion_counts.len()];
     }
-    criterion_counts.iter().map(|&m| m as f64 / total as f64).collect()
+    criterion_counts
+        .iter()
+        .map(|&m| m as f64 / total as f64)
+        .collect()
 }
 
 /// LDA-MMI fusion:
@@ -44,7 +47,10 @@ pub struct LdaMmiFusion {
 /// set can support it, linear MMI calibration (K+1 parameters) otherwise.
 #[derive(Clone, Debug)]
 enum FusionBackend {
-    LdaGaussian { lda: Option<Lda>, backend: GaussianBackend },
+    LdaGaussian {
+        lda: Option<Lda>,
+        backend: GaussianBackend,
+    },
     Linear(LinearCalibration),
 }
 
@@ -76,10 +82,12 @@ impl LdaMmiFusion {
             assert_eq!(m.num_utts(), n);
         }
 
-        let znorms: Vec<ZNorm> =
-            dev_scores.iter().map(|m| ZNorm::fit(m, labels)).collect();
-        let normed: Vec<ScoreMatrix> =
-            dev_scores.iter().zip(&znorms).map(|(m, z)| z.apply(m)).collect();
+        let znorms: Vec<ZNorm> = dev_scores.iter().map(|m| ZNorm::fit(m, labels)).collect();
+        let normed: Vec<ScoreMatrix> = dev_scores
+            .iter()
+            .zip(&znorms)
+            .map(|(m, z)| z.apply(m))
+            .collect();
         let combined = combine(&normed, weights);
 
         let backend = if n >= LDA_MIN_PER_CLASS * num_classes {
@@ -118,8 +126,11 @@ impl LdaMmiFusion {
     /// Fuse test-set scores into calibrated detection LLRs.
     pub fn apply(&self, test_scores: &[&ScoreMatrix]) -> ScoreMatrix {
         assert_eq!(test_scores.len(), self.num_subsystems);
-        let normed: Vec<ScoreMatrix> =
-            test_scores.iter().zip(&self.znorms).map(|(m, z)| z.apply(m)).collect();
+        let normed: Vec<ScoreMatrix> = test_scores
+            .iter()
+            .zip(&self.znorms)
+            .map(|(m, z)| z.apply(m))
+            .collect();
         let combined = combine(&normed, &self.weights);
         let mut out = ScoreMatrix::new(self.num_classes);
         let mut row32 = vec![0.0f32; self.num_classes];

@@ -12,7 +12,10 @@ pub struct MmiConfig {
 
 impl Default for MmiConfig {
     fn default() -> Self {
-        Self { iterations: 25, learning_rate: 0.1 }
+        Self {
+            iterations: 25,
+            learning_rate: 0.1,
+        }
     }
 }
 
@@ -64,15 +67,29 @@ impl GaussianBackend {
         // Shared within-class variance per dimension.
         let mut var = vec![0f64; d];
         for (i, &l) in labels.iter().enumerate() {
-            for (v, (&x, &m)) in var.iter_mut().zip(data.row(i).iter().zip(&means[l * d..(l + 1) * d])) {
+            for (v, (&x, &m)) in var
+                .iter_mut()
+                .zip(data.row(i).iter().zip(&means[l * d..(l + 1) * d]))
+            {
                 *v += (x - m) * (x - m);
             }
         }
-        let inv_var: Vec<f64> = var.iter().map(|&v| 1.0 / (v / n as f64).max(1e-6)).collect();
-        let log_priors: Vec<f64> =
-            counts.iter().map(|&c| (c.max(0.5) / n as f64).ln()).collect();
+        let inv_var: Vec<f64> = var
+            .iter()
+            .map(|&v| 1.0 / (v / n as f64).max(1e-6))
+            .collect();
+        let log_priors: Vec<f64> = counts
+            .iter()
+            .map(|&c| (c.max(0.5) / n as f64).ln())
+            .collect();
 
-        let mut backend = GaussianBackend { dim: d, num_classes, means, inv_var, log_priors };
+        let mut backend = GaussianBackend {
+            dim: d,
+            num_classes,
+            means,
+            inv_var,
+            log_priors,
+        };
 
         // --- MMI gradient ascent on the means ---------------------------------------
         // ∂F/∂μ_k = Σ_i (δ(g(i)=k) − γ_ik) Λ (x_i − μ_k), γ = class posterior.
@@ -223,7 +240,15 @@ mod tests {
     #[test]
     fn mmi_improves_objective_over_ml() {
         let (data, labels) = toy();
-        let ml = GaussianBackend::train(&data, &labels, 2, &MmiConfig { iterations: 0, learning_rate: 0.0 });
+        let ml = GaussianBackend::train(
+            &data,
+            &labels,
+            2,
+            &MmiConfig {
+                iterations: 0,
+                learning_rate: 0.0,
+            },
+        );
         let mmi = GaussianBackend::train(&data, &labels, 2, &MmiConfig::default());
         assert!(
             mmi.mmi_objective(&data, &labels) >= ml.mmi_objective(&data, &labels) - 1e-9,

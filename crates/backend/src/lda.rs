@@ -38,11 +38,11 @@ impl Lda {
                 *m += x;
             }
         }
-        for k in 0..num_classes {
-            if counts[k] == 0 {
+        for (k, &cnt) in counts.iter().enumerate() {
+            if cnt == 0 {
                 return None;
             }
-            let inv = 1.0 / counts[k] as f64;
+            let inv = 1.0 / cnt as f64;
             for m in means.row_mut(k) {
                 *m *= inv;
             }
@@ -52,7 +52,10 @@ impl Lda {
         let mut sw = Mat::zeros(d, d);
         let mut centered = vec![0.0; d];
         for (i, &l) in labels.iter().enumerate() {
-            for (c, (&x, &m)) in centered.iter_mut().zip(data.row(i).iter().zip(means.row(l))) {
+            for (c, (&x, &m)) in centered
+                .iter_mut()
+                .zip(data.row(i).iter().zip(means.row(l)))
+            {
                 *c = x - m;
             }
             sw.rank1_update(1.0 / n as f64, &centered, &centered);
@@ -66,11 +69,14 @@ impl Lda {
 
         // Between-class scatter: Σ_k n_k/n (μ_k−μ)(μ_k−μ)ᵀ.
         let mut sb = Mat::zeros(d, d);
-        for k in 0..num_classes {
-            for (c, (&m, &g)) in centered.iter_mut().zip(means.row(k).iter().zip(&global_mean)) {
+        for (k, &cnt) in counts.iter().enumerate() {
+            for (c, (&m, &g)) in centered
+                .iter_mut()
+                .zip(means.row(k).iter().zip(&global_mean))
+            {
                 *c = m - g;
             }
-            sb.rank1_update(counts[k] as f64 / n as f64, &centered, &centered);
+            sb.rank1_update(cnt as f64 / n as f64, &centered, &centered);
         }
         sb.symmetrize();
 
@@ -81,7 +87,10 @@ impl Lda {
                 proj[(r, c)] = geig.vectors[(c, r)];
             }
         }
-        Some(Lda { proj, mean: global_mean })
+        Some(Lda {
+            proj,
+            mean: global_mean,
+        })
     }
 
     pub fn in_dim(&self) -> usize {

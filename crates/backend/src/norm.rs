@@ -127,7 +127,11 @@ mod tests {
                     n += 1.0;
                 }
             }
-            assert!((sum / n).abs() < 1e-6, "detector {k} impostor mean {}", sum / n);
+            assert!(
+                (sum / n).abs() < 1e-6,
+                "detector {k} impostor mean {}",
+                sum / n
+            );
         }
     }
 

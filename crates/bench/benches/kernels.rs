@@ -32,14 +32,49 @@ fn bench_dsp(c: &mut Criterion) {
 
 fn bench_am(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
-    let frames: Vec<f32> = (0..2000 * 39).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+    let frames: Vec<f32> = (0..2000 * 39)
+        .map(|_| rng.random::<f32>() * 2.0 - 1.0)
+        .collect();
     let gmm = DiagGmm::train(&frames, 39, 6, 2, &mut rng);
     let nn = Mlp::new(&[39, 96, 96, 141], &mut rng);
     let frame: Vec<f32> = (0..39).map(|_| rng.random::<f32>()).collect();
 
     let mut g = c.benchmark_group("acoustic_scoring");
-    g.bench_function("gmm_6mix_39d_loglik", |b| b.iter(|| black_box(gmm.log_likelihood(&frame))));
-    g.bench_function("dnn_96x96_forward", |b| b.iter(|| black_box(nn.posteriors(&frame))));
+    g.bench_function("gmm_6mix_39d_loglik", |b| {
+        b.iter(|| black_box(gmm.log_likelihood(&frame)))
+    });
+    g.bench_function("dnn_96x96_forward", |b| {
+        b.iter(|| black_box(nn.posteriors(&frame)))
+    });
+
+    // Batched counterparts: one 64-frame block through the transposed GMM
+    // kernel, and a 128-row panel through the blocked gemm — the two kernels
+    // the batched `score_block` paths are built on.
+    let block = &frames[..64 * 39];
+    let mut ft = vec![0.0f32; 64 * 39];
+    for t in 0..64 {
+        for d in 0..39 {
+            ft[d * 64 + t] = block[t * 39 + d];
+        }
+    }
+    let mut comps = Vec::new();
+    let mut out64 = vec![0.0f32; 64];
+    g.bench_function("gmm_6mix_39d_block_64frames", |b| {
+        b.iter(|| {
+            gmm.log_likelihood_block_t(&ft, &mut comps, &mut out64);
+            black_box(&mut out64);
+        })
+    });
+    let w: Vec<f32> = (0..141 * 39).map(|_| rng.random::<f32>() - 0.5).collect();
+    let bias: Vec<f32> = (0..141).map(|_| rng.random::<f32>() - 0.5).collect();
+    let x = &frames[..128 * 39];
+    let mut gemm_out = vec![0.0f32; 128 * 141];
+    g.bench_function("gemm_xwt_128x39x141", |b| {
+        b.iter(|| {
+            lre_linalg::gemm_xwt_f32(x, &w, &bias, 39, &mut gemm_out);
+            black_box(&mut gemm_out);
+        })
+    });
     g.finish();
 }
 
@@ -91,7 +126,14 @@ fn bench_svm(c: &mut Criterion) {
         b.iter(|| black_box(scaler.transformed(&xs[0])))
     });
     g.bench_function("dcd_svm_train_200x300nnz", |b| {
-        b.iter(|| black_box(train_binary(&xs, &ys, dim as usize, &SvmTrainConfig::default())))
+        b.iter(|| {
+            black_box(train_binary(
+                &xs,
+                &ys,
+                dim as usize,
+                &SvmTrainConfig::default(),
+            ))
+        })
     });
     g.finish();
 }

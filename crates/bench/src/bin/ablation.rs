@@ -37,20 +37,48 @@ fn main() {
     );
 
     let variants = [
-        Variant { name: "full system (CN top-4, N=2, TFLLR)", top_k: 4, max_order: 2, use_tfllr: true },
-        Variant { name: "no TFLLR (raw probabilities)", top_k: 4, max_order: 2, use_tfllr: false },
-        Variant { name: "1-best strings (top-1 slots)", top_k: 1, max_order: 2, use_tfllr: true },
-        Variant { name: "unigrams only (N=1)", top_k: 4, max_order: 1, use_tfllr: true },
+        Variant {
+            name: "full system (CN top-4, N=2, TFLLR)",
+            top_k: 4,
+            max_order: 2,
+            use_tfllr: true,
+        },
+        Variant {
+            name: "no TFLLR (raw probabilities)",
+            top_k: 4,
+            max_order: 2,
+            use_tfllr: false,
+        },
+        Variant {
+            name: "1-best strings (top-1 slots)",
+            top_k: 1,
+            max_order: 2,
+            use_tfllr: true,
+        },
+        Variant {
+            name: "unigrams only (N=1)",
+            top_k: 4,
+            max_order: 1,
+            use_tfllr: true,
+        },
     ];
 
-    let train_labels: Vec<usize> =
-        ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+    let train_labels: Vec<usize> = ds
+        .train
+        .iter()
+        .map(|u| u.language.target_index().unwrap())
+        .collect();
     let test = ds.test_set(Duration::S10);
-    let test_labels: Vec<usize> =
-        test.iter().map(|u| u.language.target_index().unwrap()).collect();
+    let test_labels: Vec<usize> = test
+        .iter()
+        .map(|u| u.language.target_index().unwrap())
+        .collect();
 
     for v in variants {
-        let decoder = DecoderConfig { top_k: v.top_k, ..DecoderConfig::default() };
+        let decoder = DecoderConfig {
+            top_k: v.top_k,
+            ..DecoderConfig::default()
+        };
         let fe = Frontend::train(spec, &ds, &inv, v.max_order, decoder, 7);
         let builder = SupervectorBuilder::new(fe.phone_set.len(), v.max_order);
 
@@ -69,8 +97,13 @@ fn main() {
             TfllrScaler::identity(builder.dim())
         };
         let train: Vec<SparseVec> = raw_train.iter().map(|s| scaler.transformed(s)).collect();
-        let vsm =
-            OneVsRest::train(&train, &train_labels, 23, builder.dim(), &SvmTrainConfig::default());
+        let vsm = OneVsRest::train(
+            &train,
+            &train_labels,
+            23,
+            builder.dim(),
+            &SvmTrainConfig::default(),
+        );
 
         let mut m = ScoreMatrix::new(23);
         for u in test {

@@ -36,7 +36,10 @@ fn main() {
         print!("{:<26}", format!("phonotactic {}", fe.spec.name));
         for (di, _) in Duration::all().iter().enumerate() {
             let labels = &exp.test_labels[di];
-            print!(" | {:<7}", pct(pooled_eer(&exp.baseline_test_scores[q][di], labels)));
+            print!(
+                " | {:<7}",
+                pct(pooled_eer(&exp.baseline_test_scores[q][di], labels))
+            );
         }
         println!();
     }

@@ -8,9 +8,7 @@ use lre_dba::{
     dba::{baseline_votes, run_dba},
     fuse_duration, select_tr_dba, DbaVariant, Experiment,
 };
-use lre_eval::{
-    det_curve, min_cavg, pooled_eer, probit, split_trials, CavgParams, ScoreMatrix,
-};
+use lre_eval::{det_curve, min_cavg, pooled_eer, probit, split_trials, CavgParams, ScoreMatrix};
 use std::io::Write;
 
 fn main() {
@@ -20,8 +18,8 @@ fn main() {
 
     // ------------------------------------------------------------- Table 1
     println!("\n==================== TABLE 1 ====================");
-    let mut numbers = vec![0usize; 6];
-    let mut wrongs = vec![0usize; 6];
+    let mut numbers = [0usize; 6];
+    let mut wrongs = [0usize; 6];
     let mut pool = 0usize;
     for &d in Duration::all().iter() {
         let votes = baseline_votes(&exp, d);
@@ -47,7 +45,14 @@ fn main() {
     print!("{:<12}", "error rate");
     for v in (1..=6usize).rev() {
         let n = numbers[v - 1];
-        print!(" | {:<8.2}%", if n == 0 { 0.0 } else { 100.0 * wrongs[v - 1] as f64 / n as f64 });
+        print!(
+            " | {:<8.2}%",
+            if n == 0 {
+                0.0
+            } else {
+                100.0 * wrongs[v - 1] as f64 / n as f64
+            }
+        );
     }
     println!();
 
@@ -62,14 +67,28 @@ fn main() {
     let m1 = run_dba(&exp, DbaVariant::M1, 3);
     let m2 = run_dba(&exp, DbaVariant::M2, 3);
     let cell = |m: &ScoreMatrix, labels: &[usize]| -> String {
-        format!("{}/{}", pct(pooled_eer(m, labels)), pct(min_cavg(m, labels, &p)))
+        format!(
+            "{}/{}",
+            pct(pooled_eer(m, labels)),
+            pct(min_cavg(m, labels, &p))
+        )
     };
-    println!("{:<10}{:<14}| 30s          | 10s          | 3s", "System", "");
+    println!(
+        "{:<10}{:<14}| 30s          | 10s          | 3s",
+        "System", ""
+    );
     for (q, fe) in exp.frontends.iter().enumerate() {
-        print!("{:<10}{:<14}", if q == 0 { "Baseline" } else { "" }, fe.spec.name);
+        print!(
+            "{:<10}{:<14}",
+            if q == 0 { "Baseline" } else { "" },
+            fe.spec.name
+        );
         for &d in Duration::all().iter() {
             let di = Experiment::duration_index(d);
-            print!("| {:<13}", cell(&exp.baseline_test_scores[q][di], &exp.test_labels[di]));
+            print!(
+                "| {:<13}",
+                cell(&exp.baseline_test_scores[q][di], &exp.test_labels[di])
+            );
         }
         println!();
     }
@@ -80,7 +99,10 @@ fn main() {
         let fused = fuse_duration(
             &exp,
             &exp.baseline_dev_scores,
-            &exp.baseline_test_scores.iter().map(|per| per[di].clone()).collect::<Vec<_>>(),
+            &exp.baseline_test_scores
+                .iter()
+                .map(|per| per[di].clone())
+                .collect::<Vec<_>>(),
             d,
             None,
         );
@@ -90,7 +112,11 @@ fn main() {
     println!();
     let mut dba_fused = Vec::new();
     for (q, fe) in exp.frontends.iter().enumerate() {
-        print!("{:<10}{:<14}", if q == 0 { "DBA" } else { "" }, fe.spec.name);
+        print!(
+            "{:<10}{:<14}",
+            if q == 0 { "DBA" } else { "" },
+            fe.spec.name
+        );
         for &d in Duration::all().iter() {
             let di = Experiment::duration_index(d);
             let labels = &exp.test_labels[di];
@@ -98,7 +124,11 @@ fn main() {
                 pooled_eer(&m1.test_scores[di][q], labels),
                 pooled_eer(&m2.test_scores[di][q], labels),
             );
-            let best = if e1 <= e2 { &m1.test_scores[di][q] } else { &m2.test_scores[di][q] };
+            let best = if e1 <= e2 {
+                &m1.test_scores[di][q]
+            } else {
+                &m2.test_scores[di][q]
+            };
             print!("| {:<13}", cell(best, labels));
         }
         println!();
@@ -159,7 +189,11 @@ fn main() {
                 writeln!(
                     f,
                     "{},{:.6},{:.6},{:.4},{:.4}",
-                    pt.threshold, pt.p_fa, pt.p_miss, probit(fa), probit(miss)
+                    pt.threshold,
+                    pt.p_fa,
+                    pt.p_miss,
+                    probit(fa),
+                    probit(miss)
                 )
                 .unwrap();
             }

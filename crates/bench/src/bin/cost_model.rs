@@ -47,7 +47,10 @@ fn main() {
     let c_baseline = c_phi + c_modeling + c_test;
     let c_dba = c_baseline + c_dba_extra;
 
-    println!("# Eq. 16-19 cost model, measured on this machine (scale={})", args.scale.name());
+    println!(
+        "# Eq. 16-19 cost model, measured on this machine (scale={})",
+        args.scale.name()
+    );
     println!("C'_phi        (render+decode+count, all splits) = {c_phi:10.2}s");
     println!("C'_modeling   (baseline VSM training)           = {c_modeling:10.2}s");
     println!("C'_test       (supervector products)            = {c_test:10.2}s");
@@ -55,7 +58,10 @@ fn main() {
     println!();
     let ratio = c_dba / c_baseline;
     println!("C'_DBA / C'_baseline = {ratio:.3}   (paper, Eq. 19: ≈ 1)");
-    assert!(c_phi > c_modeling, "decoding must dominate modeling for Eq. 19 to hold");
+    assert!(
+        c_phi > c_modeling,
+        "decoding must dominate modeling for Eq. 19 to hold"
+    );
     println!(
         "dominance check: C'_phi / C'_modeling = {:.0}x, C'_phi / C'_test = {:.0}x",
         c_phi / c_modeling.max(1e-9),

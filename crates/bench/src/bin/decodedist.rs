@@ -30,7 +30,7 @@ fn main() {
             };
             let r = lre_corpus::render_utterance(&utt, ds.language(lang), &inv);
             let mut feats = lre_am::extract_features(&r.samples, fe.am.feature);
-        fe.am.feature_transform.apply(&mut feats);
+            fe.am.feature_transform.apply(&mut feats);
             let out = lre_lattice::decode(&fe.am, &feats, &fe.decoder);
             for slot in out.network.slots() {
                 for e in slot {
@@ -42,8 +42,7 @@ fn main() {
                 true_hist[set.project(u as usize)] += 1.0;
             }
         }
-        let mut top: Vec<(usize, f64)> =
-            hist.iter().cloned().enumerate().collect();
+        let mut top: Vec<(usize, f64)> = hist.iter().cloned().enumerate().collect();
         top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let mass_top5: f64 = top[..5].iter().map(|(_, v)| v).sum::<f64>() / total;
         let entropy: f64 = hist

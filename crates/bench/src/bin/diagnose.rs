@@ -43,9 +43,7 @@ fn main() {
             // Frame-level accuracy of the Viterbi path vs projected truth.
             let mut frame_phone = vec![0u16; feats.num_frames()];
             for seg in &out.segments {
-                for t in seg.start..seg.end {
-                    frame_phone[t] = seg.phone;
-                }
+                frame_phone[seg.start..seg.end].fill(seg.phone);
             }
             for (t, &truth_u) in r.alignment.iter().enumerate().take(frame_phone.len()) {
                 let truth_set = fe.phone_set.project(truth_u as usize) as u16;
@@ -55,14 +53,24 @@ fn main() {
                 total += 1;
             }
             if i == 0 {
-                eprintln!("   segments: {} over {} frames", out.segments.len(), out.num_frames);
+                eprintln!(
+                    "   segments: {} over {} frames",
+                    out.segments.len(),
+                    out.num_frames
+                );
             }
         }
-        eprintln!("   decoder frame accuracy: {:.1}%", 100.0 * correct as f64 / total as f64);
+        eprintln!(
+            "   decoder frame accuracy: {:.1}%",
+            100.0 * correct as f64 / total as f64
+        );
 
         // Supervector separability on 3 contrasting languages.
-        let langs =
-            [LanguageId::Russian, LanguageId::Korean, LanguageId::Mandarin];
+        let langs = [
+            LanguageId::Russian,
+            LanguageId::Korean,
+            LanguageId::Mandarin,
+        ];
         let mut svs = Vec::new();
         for (li, &lang) in langs.iter().enumerate() {
             for i in 0..6u64 {
@@ -105,6 +113,10 @@ fn main() {
                 ok += 1;
             }
         }
-        eprintln!("   supervector LOO centroid accuracy (3 langs): {}/{}", ok, svs.len());
+        eprintln!(
+            "   supervector LOO centroid accuracy (3 langs): {}/{}",
+            ok,
+            svs.len()
+        );
     }
 }

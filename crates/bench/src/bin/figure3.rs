@@ -39,7 +39,11 @@ fn main() {
     std::fs::create_dir_all(dir).expect("mkdir");
 
     println!("# Figure 3: DET curves, baseline fusion vs (DBA-M1)+(DBA-M2) V=3 fusion");
-    println!("# scale={}, seed={}; CSVs in target/figure3/", args.scale.name(), args.seed);
+    println!(
+        "# scale={}, seed={}; CSVs in target/figure3/",
+        args.scale.name(),
+        args.seed
+    );
 
     let m1 = run_dba(&exp, DbaVariant::M1, 3);
     let m2 = run_dba(&exp, DbaVariant::M2, 3);
@@ -51,11 +55,18 @@ fn main() {
         let base = fuse_duration(
             &exp,
             &exp.baseline_dev_scores,
-            &exp.baseline_test_scores.iter().map(|per| per[di].clone()).collect::<Vec<_>>(),
+            &exp.baseline_test_scores
+                .iter()
+                .map(|per| per[di].clone())
+                .collect::<Vec<_>>(),
             d,
             None,
         );
-        write_curve(&dir.join(format!("baseline_{}.csv", d.name())), &base.test_scores, labels);
+        write_curve(
+            &dir.join(format!("baseline_{}.csv", d.name())),
+            &base.test_scores,
+            labels,
+        );
 
         // DBA fusion: twelve retrained subsystems (M1 + M2) at V = 3.
         let mut dev = Vec::new();
@@ -67,7 +78,11 @@ fn main() {
             counts.extend(out.criterion_counts.iter().copied());
         }
         let dba = fuse_duration(&exp, &dev, &test, d, Some(&counts));
-        write_curve(&dir.join(format!("dba_{}.csv", d.name())), &dba.test_scores, labels);
+        write_curve(
+            &dir.join(format!("dba_{}.csv", d.name())),
+            &dba.test_scores,
+            labels,
+        );
 
         println!(
             "{}: baseline fused EER {}%  |  DBA fused EER {}%",

@@ -51,9 +51,9 @@ fn measure(
             // Class-level accuracy: same phone ignoring state obviously, plus
             // count hits where the true phone is in the top-3 phones.
             let mut phone_best = vec![f32::NEG_INFINITY; fe.phone_set.len()];
-            for s in 0..num_states {
+            for (s, &score) in out.iter().enumerate().take(num_states) {
                 let (p, _) = fe.am.inventory.phone_of(s);
-                phone_best[p] = phone_best[p].max(out[s]);
+                phone_best[p] = phone_best[p].max(score);
             }
             let mut idx: Vec<usize> = (0..fe.phone_set.len()).collect();
             idx.sort_by(|&a, &b| phone_best[b].partial_cmp(&phone_best[a]).unwrap());
@@ -69,9 +69,14 @@ fn measure(
         100.0 * correct_phone as f64 / total as f64
     );
     let mut classes: Vec<_> = per_class.into_iter().collect();
-    classes.sort_by(|a, b| b.1 .1.cmp(&a.1 .1));
+    classes.sort_by_key(|e| std::cmp::Reverse(e.1 .1));
     for (c, (ok, n)) in classes {
-        print!(" {}:{:.0}%({:.0}%)", &c[..3.min(c.len())], 100.0 * ok as f64 / n as f64, 100.0 * n as f64 / total as f64);
+        print!(
+            " {}:{:.0}%({:.0}%)",
+            &c[..3.min(c.len())],
+            100.0 * ok as f64 / n as f64,
+            100.0 * n as f64 / total as f64
+        );
     }
     println!();
 }
@@ -84,10 +89,50 @@ fn main() {
         let spec = standard_subsystems()[idx];
         let fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
         println!("== {}", spec.name);
-        measure(&fe, &ds, &inv, spec.am_language, 60.0, 3, "AM language, clean, train speaker");
-        measure(&fe, &ds, &inv, spec.am_language, 31.0, 3, "AM language, 31dB, train speaker");
-        measure(&fe, &ds, &inv, LanguageId::Russian, 60.0, 3, "Russian, clean, train speaker");
-        measure(&fe, &ds, &inv, LanguageId::Russian, 31.0, 3, "Russian, 31dB, train speaker");
-        measure(&fe, &ds, &inv, LanguageId::Korean, 31.0, 3, "Korean, 31dB, train speaker");
+        measure(
+            &fe,
+            &ds,
+            &inv,
+            spec.am_language,
+            60.0,
+            3,
+            "AM language, clean, train speaker",
+        );
+        measure(
+            &fe,
+            &ds,
+            &inv,
+            spec.am_language,
+            31.0,
+            3,
+            "AM language, 31dB, train speaker",
+        );
+        measure(
+            &fe,
+            &ds,
+            &inv,
+            LanguageId::Russian,
+            60.0,
+            3,
+            "Russian, clean, train speaker",
+        );
+        measure(
+            &fe,
+            &ds,
+            &inv,
+            LanguageId::Russian,
+            31.0,
+            3,
+            "Russian, 31dB, train speaker",
+        );
+        measure(
+            &fe,
+            &ds,
+            &inv,
+            LanguageId::Korean,
+            31.0,
+            3,
+            "Korean, 31dB, train speaker",
+        );
     }
 }

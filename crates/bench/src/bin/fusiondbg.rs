@@ -2,8 +2,8 @@
 //! quantify how much development data each needs. Run at smoke scale for a
 //! quick check, demo for real numbers.
 
-use lre_bench::{pct, HarnessArgs};
 use lre_backend::{tnorm, ZNorm};
+use lre_bench::{pct, HarnessArgs};
 use lre_corpus::Duration;
 use lre_dba::{fuse_duration, Experiment};
 use lre_eval::{pooled_eer, ScoreMatrix};
@@ -33,8 +33,11 @@ fn main() {
     for &d in Duration::all().iter() {
         let di = Experiment::duration_index(d);
         let labels = &exp.test_labels[di];
-        let test: Vec<ScoreMatrix> =
-            exp.baseline_test_scores.iter().map(|per| per[di].clone()).collect();
+        let test: Vec<ScoreMatrix> = exp
+            .baseline_test_scores
+            .iter()
+            .map(|per| per[di].clone())
+            .collect();
 
         let best_single = test
             .iter()

@@ -14,7 +14,12 @@ fn main() {
     let rounds = 3;
 
     for variant in [DbaVariant::M1, DbaVariant::M2] {
-        println!("\n# {} iterated, V = 3 (scale={}, seed={})", variant.name(), args.scale.name(), args.seed);
+        println!(
+            "\n# {} iterated, V = 3 (scale={}, seed={})",
+            variant.name(),
+            args.scale.name(),
+            args.seed
+        );
         let outcomes = run_dba_iterated(&exp, variant, 3, rounds);
         println!(
             "{:<8} | {:<10} | {:<10} | 30s EER | 10s EER | 3s EER",

@@ -15,16 +15,24 @@ fn main() {
     let args = HarnessArgs::parse();
     let inv = UniversalInventory::new();
     let ds = Dataset::generate(DatasetConfig::new(args.scale, args.seed));
-    let train_labels: Vec<usize> =
-        ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+    let train_labels: Vec<usize> = ds
+        .train
+        .iter()
+        .map(|u| u.language.target_index().unwrap())
+        .collect();
 
     for sub_idx in [2usize, 4] {
         let spec = standard_subsystems()[sub_idx];
         let mut fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
         let raw = fe.supervector_batch(&ds.train, &ds, &inv);
         let train = fe.fit_scaler(&raw);
-        let vsm =
-            OneVsRest::train(&train, &train_labels, 23, fe.builder.dim(), &SvmTrainConfig::default());
+        let vsm = OneVsRest::train(
+            &train,
+            &train_labels,
+            23,
+            fe.builder.dim(),
+            &SvmTrainConfig::default(),
+        );
 
         // Matched evaluation set: 8 fresh utterances per language, train
         // conditions (train-pool speaker seeds, CTS 22 dB).
@@ -40,8 +48,10 @@ fn main() {
                 });
             }
         }
-        let labels: Vec<usize> =
-            matched.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let labels: Vec<usize> = matched
+            .iter()
+            .map(|u| u.language.target_index().unwrap())
+            .collect();
         let svs = fe.scale(&fe.supervector_batch(&matched, &ds, &inv));
         let mut m = ScoreMatrix::new(23);
         for sv in &svs {

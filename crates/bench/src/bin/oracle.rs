@@ -15,13 +15,19 @@ use lre_vsm::{SparseVec, SupervectorBuilder, TfllrScaler};
 fn alignment_network(alignment: &[u16], set: &PhoneSet) -> ConfusionNetwork {
     let mut slots = Vec::new();
     let mut start = 0usize;
-    let phones: Vec<u16> = alignment.iter().map(|&u| set.project(u as usize) as u16).collect();
+    let phones: Vec<u16> = alignment
+        .iter()
+        .map(|&u| set.project(u as usize) as u16)
+        .collect();
     while start < phones.len() {
         let mut end = start + 1;
         while end < phones.len() && phones[end] == phones[start] {
             end += 1;
         }
-        slots.push(vec![SlotEntry { phone: phones[start], prob: 1.0 }]);
+        slots.push(vec![SlotEntry {
+            phone: phones[start],
+            prob: 1.0,
+        }]);
         start = end;
     }
     ConfusionNetwork::new(slots)
@@ -41,16 +47,27 @@ fn main() {
     };
 
     let train_raw: Vec<SparseVec> = ds.train.iter().map(sv_of).collect();
-    let train_labels: Vec<usize> =
-        ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+    let train_labels: Vec<usize> = ds
+        .train
+        .iter()
+        .map(|u| u.language.target_index().unwrap())
+        .collect();
     let scaler = TfllrScaler::fit(&train_raw, builder.dim(), 1e-5);
     let train: Vec<SparseVec> = train_raw.iter().map(|s| scaler.transformed(s)).collect();
-    let vsm = OneVsRest::train(&train, &train_labels, 23, builder.dim(), &SvmTrainConfig::default());
+    let vsm = OneVsRest::train(
+        &train,
+        &train_labels,
+        23,
+        builder.dim(),
+        &SvmTrainConfig::default(),
+    );
 
     for &d in Duration::all().iter() {
         let test = ds.test_set(d);
-        let labels: Vec<usize> =
-            test.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let labels: Vec<usize> = test
+            .iter()
+            .map(|u| u.language.target_index().unwrap())
+            .collect();
         let mut m = ScoreMatrix::new(23);
         for u in test {
             let sv = scaler.transformed(&sv_of(u));

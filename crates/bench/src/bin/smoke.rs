@@ -9,7 +9,11 @@ fn main() {
     let args = HarnessArgs::parse();
     let exp = args.build_experiment();
 
-    println!("# Baseline PPRVSM (scale={}, seed={})", args.scale.name(), args.seed);
+    println!(
+        "# Baseline PPRVSM (scale={}, seed={})",
+        args.scale.name(),
+        args.seed
+    );
     println!("subsystem | duration | EER% | Cavg%");
     for row in exp.baseline_summary() {
         println!(
@@ -32,7 +36,11 @@ fn main() {
             print!(
                 " V={v}:{} ({:.1}% err)",
                 sel.len(),
-                if sel.is_empty() { 0.0 } else { 100.0 * wrong as f64 / sel.len() as f64 }
+                if sel.is_empty() {
+                    0.0
+                } else {
+                    100.0 * wrong as f64 / sel.len() as f64
+                }
             );
         }
         println!();

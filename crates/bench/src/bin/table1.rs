@@ -9,31 +9,34 @@
 //! duration's 41,793/3 share).
 
 use lre_bench::HarnessArgs;
-use lre_dba::{dba::baseline_votes, select_tr_dba, Experiment};
 use lre_corpus::Duration;
+use lre_dba::{dba::baseline_votes, select_tr_dba, Experiment};
 
 fn main() {
     let args = HarnessArgs::parse();
     let exp = args.build_experiment();
 
     println!("# Table 1: Tr_DBA of varied threshold V, DBA-M1");
-    println!("#   (pooled over the 30s/10s/3s test sets; scale={}, seed={})", args.scale.name(), args.seed);
+    println!(
+        "#   (pooled over the 30s/10s/3s test sets; scale={}, seed={})",
+        args.scale.name(),
+        args.seed
+    );
     print!("{:<12}", "");
     for v in (1..=6u8).rev() {
         print!(" | V = {v}    ");
     }
     println!();
 
-    let mut numbers = vec![0usize; 6];
-    let mut wrongs = vec![0usize; 6];
+    let mut numbers = [0usize; 6];
+    let mut wrongs = [0usize; 6];
     for &d in Duration::all().iter() {
         let votes = baseline_votes(&exp, d);
         let truth = &exp.test_labels[Experiment::duration_index(d)];
         for v in 1..=6u8 {
             let sel = select_tr_dba(&votes, v);
             numbers[(v - 1) as usize] += sel.len();
-            wrongs[(v - 1) as usize] +=
-                sel.iter().filter(|p| p.label != truth[p.utt]).count();
+            wrongs[(v - 1) as usize] += sel.iter().filter(|p| p.label != truth[p.utt]).count();
         }
     }
 
@@ -45,7 +48,11 @@ fn main() {
     print!("{:<12}", "error rate");
     for v in (1..=6usize).rev() {
         let n = numbers[v - 1];
-        let e = if n == 0 { 0.0 } else { 100.0 * wrongs[v - 1] as f64 / n as f64 };
+        let e = if n == 0 {
+            0.0
+        } else {
+            100.0 * wrongs[v - 1] as f64 / n as f64
+        };
         print!(" | {:<8.2}%", e);
     }
     println!();

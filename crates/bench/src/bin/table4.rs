@@ -14,20 +14,38 @@ fn main() {
     let exp = args.build_experiment();
 
     println!("# Table 4: PPRVSM vs DBA systems, closed set, (DBA-M1)+(DBA-M2), V = 3");
-    println!("# scale={}, seed={}  (EER/Cavg in %)", args.scale.name(), args.seed);
-    println!("{:<10}{:<14}| 30s          | 10s          | 3s", "System", "");
+    println!(
+        "# scale={}, seed={}  (EER/Cavg in %)",
+        args.scale.name(),
+        args.seed
+    );
+    println!(
+        "{:<10}{:<14}| 30s          | 10s          | 3s",
+        "System", ""
+    );
 
     let p = CavgParams::default();
     let cell = |m: &ScoreMatrix, labels: &[usize]| -> String {
-        format!("{}/{}", pct(pooled_eer(m, labels)), pct(min_cavg(m, labels, &p)))
+        format!(
+            "{}/{}",
+            pct(pooled_eer(m, labels)),
+            pct(min_cavg(m, labels, &p))
+        )
     };
 
     // ---- Baseline rows -------------------------------------------------------------
     for (q, fe) in exp.frontends.iter().enumerate() {
-        print!("{:<10}{:<14}", if q == 0 { "Baseline" } else { "" }, fe.spec.name);
+        print!(
+            "{:<10}{:<14}",
+            if q == 0 { "Baseline" } else { "" },
+            fe.spec.name
+        );
         for &d in Duration::all().iter() {
             let di = Experiment::duration_index(d);
-            print!("| {:<13}", cell(&exp.baseline_test_scores[q][di], &exp.test_labels[di]));
+            print!(
+                "| {:<13}",
+                cell(&exp.baseline_test_scores[q][di], &exp.test_labels[di])
+            );
         }
         println!();
     }
@@ -38,7 +56,10 @@ fn main() {
         let fused = fuse_duration(
             &exp,
             &exp.baseline_dev_scores,
-            &exp.baseline_test_scores.iter().map(|per| per[di].clone()).collect::<Vec<_>>(),
+            &exp.baseline_test_scores
+                .iter()
+                .map(|per| per[di].clone())
+                .collect::<Vec<_>>(),
             d,
             None,
         );
@@ -55,7 +76,7 @@ fn main() {
         let di = Experiment::duration_index(d);
         let labels = &exp.test_labels[di];
 
-        for q in 0..exp.num_subsystems() {
+        for (q, row) in dba_rows.iter_mut().enumerate() {
             // Per-front-end entry: the better of the two variants (the paper
             // reports its single per-frontend "DBA" number this way — M2 on
             // 30 s, M1 on shorter segments).
@@ -63,9 +84,12 @@ fn main() {
                 pooled_eer(&m1.test_scores[di][q], labels),
                 pooled_eer(&m2.test_scores[di][q], labels),
             );
-            let best =
-                if e1 <= e2 { &m1.test_scores[di][q] } else { &m2.test_scores[di][q] };
-            dba_rows[q].push(cell(best, labels));
+            let best = if e1 <= e2 {
+                &m1.test_scores[di][q]
+            } else {
+                &m2.test_scores[di][q]
+            };
+            row.push(cell(best, labels));
         }
 
         // (DBA-M1)+(DBA-M2): fuse all twelve retrained subsystems with
@@ -83,7 +107,11 @@ fn main() {
     }
 
     for (q, fe) in exp.frontends.iter().enumerate() {
-        print!("{:<10}{:<14}", if q == 0 { "DBA" } else { "" }, fe.spec.name);
+        print!(
+            "{:<10}{:<14}",
+            if q == 0 { "DBA" } else { "" },
+            fe.spec.name
+        );
         for c in &dba_rows[q] {
             print!("| {:<13}", c);
         }

@@ -56,7 +56,10 @@ fn main() {
     let svgen_once = t0.elapsed().as_secs_f64() / (utts.len() as f64 * audio_secs);
 
     // --- Supervector product (SVM scoring) RT ---------------------------------------
-    let scaled: Vec<_> = svs.iter().map(|s| hu.scaler.as_ref().unwrap().transformed(s)).collect();
+    let scaled: Vec<_> = svs
+        .iter()
+        .map(|s| hu.scaler.as_ref().unwrap().transformed(s))
+        .collect();
     let vsm = OneVsRest::train(
         &exp.train_svs[0],
         &exp.train_labels,
@@ -71,15 +74,17 @@ fn main() {
             std::hint::black_box(vsm.scores(s));
         }
     }
-    let svprod_once =
-        t0.elapsed().as_secs_f64() / (reps as f64 * utts.len() as f64 * audio_secs);
+    let svprod_once = t0.elapsed().as_secs_f64() / (reps as f64 * utts.len() as f64 * audio_secs);
 
     // DBA repeats SV statistics generation on the selected data and scores
     // the test set twice (baseline pass + retrained pass), §5.4: the
     // decoding column is shared, the cheap columns grow by small factors.
     println!("# Table 5: real-time factors, HU front-end, 30s test (this machine, single thread)");
     println!("# scale=smoke AMs; RT factor = seconds of compute per second of nominal audio");
-    println!("{:<8} | {:<10} | {:<12} | {:<12}", "System", "Decoding", "SV gen.", "SV prod.");
+    println!(
+        "{:<8} | {:<10} | {:<12} | {:<12}",
+        "System", "Decoding", "SV gen.", "SV prod."
+    );
     println!(
         "{:<8} | {:<10.4} | {:<12.3e} | {:<12.3e}",
         "PPRVSM", decode_rt, svgen_once, svprod_once
@@ -88,8 +93,8 @@ fn main() {
         "{:<8} | {:<10.4} | {:<12.3e} | {:<12.3e}",
         "DBA",
         decode_rt,
-        svgen_once * 2.8, // paper measured 1.1e-4 → 3.1e-4 (≈2.8×)
-        svprod_once * 2.0 // two scoring passes
+        svgen_once * 2.8,  // paper measured 1.1e-4 → 3.1e-4 (≈2.8×)
+        svprod_once * 2.0  // two scoring passes
     );
     println!();
     println!("# Paper: PPRVSM 0.11 | 1.1e-4 | 3.7e-6   DBA 0.11 | 3.1e-4 | 8.3e-6");

@@ -15,15 +15,21 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Reuse/populate the on-disk supervector cache (`target/svcache`).
     pub cache: bool,
+    /// Worker-thread count for the utterance-parallel stages; `None` uses
+    /// every available core.
+    pub threads: Option<usize>,
 }
 
 impl HarnessArgs {
-    /// Parse `--scale` / `--seed` from `std::env::args`. Unknown flags abort
-    /// with a usage message.
+    /// Parse `--scale` / `--seed` / `--threads` from `std::env::args`.
+    /// Unknown flags abort with a usage message. A `--threads N` request is
+    /// applied to rayon's global pool immediately, so every parallel stage
+    /// of the calling binary (decoding, DBA sweeps) runs at that width.
     pub fn parse() -> HarnessArgs {
         let mut scale = Scale::Demo;
         let mut seed = 42u64;
         let mut cache = false;
+        let mut threads = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -43,11 +49,31 @@ impl HarnessArgs {
                         .unwrap_or_else(|| usage("bad --seed"));
                 }
                 "--cache" => cache = true,
+                "--threads" => {
+                    i += 1;
+                    let n: usize = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("bad --threads (positive integer)"));
+                    threads = Some(n);
+                }
                 other => usage(&format!("unknown argument {other}")),
             }
             i += 1;
         }
-        HarnessArgs { scale, seed, cache }
+        if let Some(n) = threads {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("configure global thread pool");
+        }
+        HarnessArgs {
+            scale,
+            seed,
+            cache,
+            threads,
+        }
     }
 
     /// Build the shared experiment, reporting progress and wall time.
@@ -65,13 +91,18 @@ impl HarnessArgs {
         } else {
             Experiment::build(&cfg)
         };
-        eprintln!("[harness] experiment ready in {:.1}s", t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[harness] experiment ready in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
         exp
     }
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: <bin> [--scale smoke|demo|paper] [--seed N] [--cache]");
+    eprintln!(
+        "error: {msg}\nusage: <bin> [--scale smoke|demo|paper] [--seed N] [--cache] [--threads N]"
+    );
     std::process::exit(2);
 }
 
@@ -104,16 +135,30 @@ pub fn print_dba_table(exp: &Experiment, variant: DbaVariant, args: &HarnessArgs
             let base_eer = pooled_eer(base, labels);
             let base_cavg = min_cavg(base, labels, &CavgParams::default());
 
-            print!("{:<12} | {:<4} | EER    | {:<8}", fe.spec.name, d.name(), pct(base_eer));
+            print!(
+                "{:<12} | {:<4} | EER    | {:<8}",
+                fe.spec.name,
+                d.name(),
+                pct(base_eer)
+            );
             for out in &outcomes {
                 print!(" | {:<5}", pct(pooled_eer(&out.test_scores[di][q], labels)));
             }
             println!();
-            print!("{:<12} | {:<4} | Cavg   | {:<8}", fe.spec.name, d.name(), pct(base_cavg));
+            print!(
+                "{:<12} | {:<4} | Cavg   | {:<8}",
+                fe.spec.name,
+                d.name(),
+                pct(base_cavg)
+            );
             for out in &outcomes {
                 print!(
                     " | {:<5}",
-                    pct(min_cavg(&out.test_scores[di][q], labels, &CavgParams::default()))
+                    pct(min_cavg(
+                        &out.test_scores[di][q],
+                        labels,
+                        &CavgParams::default()
+                    ))
                 );
             }
             println!();

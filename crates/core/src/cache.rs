@@ -37,15 +37,20 @@ fn put_sv(buf: &mut BytesMut, sv: &SparseVec) {
     }
 }
 
-fn get_sv(buf: &mut Bytes) -> SparseVec {
-    let nnz = buf.get_u32_le() as usize;
+fn get_sv(buf: &mut Bytes) -> Option<SparseVec> {
+    let nnz = buf.try_get_u32_le()? as usize;
+    // Each entry is 8 bytes; a corrupt count larger than the remaining
+    // payload is rejected before anything is allocated.
+    if buf.remaining() < nnz.checked_mul(8)? {
+        return None;
+    }
     let mut indices = Vec::with_capacity(nnz);
     let mut values = Vec::with_capacity(nnz);
     for _ in 0..nnz {
-        indices.push(buf.get_u32_le());
-        values.push(buf.get_f32_le());
+        indices.push(buf.try_get_u32_le()?);
+        values.push(buf.try_get_f32_le()?);
     }
-    SparseVec::from_parts(indices, values)
+    Some(SparseVec::from_parts(indices, values))
 }
 
 fn put_sv_set(buf: &mut BytesMut, set: &[Vec<SparseVec>]) {
@@ -58,11 +63,11 @@ fn put_sv_set(buf: &mut BytesMut, set: &[Vec<SparseVec>]) {
     }
 }
 
-fn get_sv_set(buf: &mut Bytes) -> Vec<Vec<SparseVec>> {
-    let n = buf.get_u32_le() as usize;
+fn get_sv_set(buf: &mut Bytes) -> Option<Vec<Vec<SparseVec>>> {
+    let n = buf.try_get_u32_le()? as usize;
     (0..n)
         .map(|_| {
-            let m = buf.get_u32_le() as usize;
+            let m = buf.try_get_u32_le()? as usize;
             (0..m).map(|_| get_sv(buf)).collect()
         })
         .collect()
@@ -98,22 +103,35 @@ pub fn save(exp: &Experiment, path: &Path) -> std::io::Result<()> {
 }
 
 /// Load a cache written by [`save`]; `None` on any mismatch (missing file,
-/// wrong magic/version/seed, truncation).
+/// wrong magic/version/seed) or malformed payload (truncated mid-record,
+/// counts exceeding the file size, trailing junk). Every read is checked, so
+/// a damaged cache file falls back to re-decoding instead of panicking.
 pub fn load(path: &Path, expect_seed: u64) -> Option<SupervectorCache> {
     let mut raw = Vec::new();
     std::fs::File::open(path).ok()?.read_to_end(&mut raw).ok()?;
     let mut buf = Bytes::from(raw);
-    if buf.remaining() < 16 || buf.get_u32_le() != MAGIC || buf.get_u32_le() != FORMAT_VERSION {
+    if buf.try_get_u32_le()? != MAGIC || buf.try_get_u32_le()? != FORMAT_VERSION {
         return None;
     }
-    if buf.get_u64_le() != expect_seed {
+    if buf.try_get_u64_le()? != expect_seed {
         return None;
     }
-    let train_svs = get_sv_set(&mut buf);
-    let dev_svs = get_sv_set(&mut buf);
-    let n = buf.get_u32_le() as usize;
-    let test_svs = (0..n).map(|_| get_sv_set(&mut buf)).collect();
-    Some(SupervectorCache { train_svs, dev_svs, test_svs })
+    let train_svs = get_sv_set(&mut buf)?;
+    let dev_svs = get_sv_set(&mut buf)?;
+    let n = buf.try_get_u32_le()? as usize;
+    let test_svs: Vec<_> = (0..n)
+        .map(|_| get_sv_set(&mut buf))
+        .collect::<Option<_>>()?;
+    if buf.remaining() != 0 {
+        // A well-formed writer leaves no trailing bytes; anything extra
+        // means the file is not what `save` produced.
+        return None;
+    }
+    Some(SupervectorCache {
+        train_svs,
+        dev_svs,
+        test_svs,
+    })
 }
 
 #[cfg(test)]
@@ -130,16 +148,45 @@ mod tests {
         let mut buf = BytesMut::new();
         put_sv(&mut buf, &original);
         let mut bytes = buf.freeze();
-        assert_eq!(get_sv(&mut bytes), original);
+        assert_eq!(get_sv(&mut bytes).unwrap(), original);
     }
 
     #[test]
     fn sv_set_roundtrip() {
-        let set = vec![vec![sv(&[(1, 1.0)]), sv(&[])], vec![sv(&[(2, 3.0), (9, 4.0)])]];
+        let set = vec![
+            vec![sv(&[(1, 1.0)]), sv(&[])],
+            vec![sv(&[(2, 3.0), (9, 4.0)])],
+        ];
         let mut buf = BytesMut::new();
         put_sv_set(&mut buf, &set);
         let mut bytes = buf.freeze();
-        assert_eq!(get_sv_set(&mut bytes), set);
+        assert_eq!(get_sv_set(&mut bytes).unwrap(), set);
+    }
+
+    #[test]
+    fn truncated_sv_is_rejected_not_panicking() {
+        let mut buf = BytesMut::new();
+        put_sv(&mut buf, &sv(&[(0, 1.5), (7, -2.0), (100, 0.25)]));
+        let full: Vec<u8> = buf.to_vec();
+        // Cutting the record anywhere (including mid-entry) must yield None.
+        for cut in 0..full.len() {
+            let mut bytes = Bytes::from(full[..cut].to_vec());
+            assert!(
+                get_sv(&mut bytes).is_none(),
+                "cut at {cut} of {}",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocation() {
+        // nnz claims ~1 billion entries but the payload is 4 bytes.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1_000_000_000);
+        buf.put_u32_le(7);
+        let mut bytes = buf.freeze();
+        assert!(get_sv(&mut bytes).is_none());
     }
 
     #[test]
@@ -147,6 +194,47 @@ mod tests {
         let p = cache_path(Path::new("/tmp"), "demo", 42);
         let s = p.to_string_lossy();
         assert!(s.contains("demo") && s.contains("42") && s.contains(&FORMAT_VERSION.to_string()));
+    }
+
+    #[test]
+    fn truncated_or_padded_cache_file_falls_back_to_none() {
+        // Hand-assemble a file with `save`'s exact layout.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(FORMAT_VERSION);
+        buf.put_u64_le(42);
+        put_sv_set(&mut buf, &[vec![sv(&[(1, 1.0)]), sv(&[(4, -0.5)])]]); // train
+        put_sv_set(&mut buf, &[vec![sv(&[(2, 2.0)])]]); // dev
+        buf.put_u32_le(1);
+        put_sv_set(&mut buf, &[vec![sv(&[(3, 3.0)])]]); // test, one subsystem
+        let full: Vec<u8> = buf.to_vec();
+
+        let dir = std::env::temp_dir().join("lre_dba_cache_trunc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+
+        std::fs::write(&path, &full).unwrap();
+        assert!(load(&path, 42).is_some(), "intact file must load");
+        assert!(load(&path, 43).is_none(), "seed mismatch must be rejected");
+
+        // A crash mid-write leaves a prefix: every truncation point must
+        // fall back instead of panicking.
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                load(&path, 42).is_none(),
+                "truncated at {cut} of {}",
+                full.len()
+            );
+        }
+
+        // Trailing junk means the file is not what `save` wrote.
+        let mut padded = full.clone();
+        padded.push(0);
+        std::fs::write(&path, &padded).unwrap();
+        assert!(load(&path, 42).is_none(), "trailing bytes must be rejected");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -62,8 +62,11 @@ impl DbaOutcome {
 /// duration (steps c–d).
 pub fn baseline_votes(exp: &Experiment, duration: Duration) -> VoteMatrix {
     let di = Experiment::duration_index(duration);
-    let refs: Vec<&ScoreMatrix> =
-        exp.baseline_test_scores.iter().map(|per_dur| &per_dur[di]).collect();
+    let refs: Vec<&ScoreMatrix> = exp
+        .baseline_test_scores
+        .iter()
+        .map(|per_dur| &per_dur[di])
+        .collect();
     vote_matrix(&refs)
 }
 
@@ -84,20 +87,24 @@ pub fn run_dba(exp: &Experiment, variant: DbaVariant, v_threshold: u8) -> DbaOut
         total += sel.len();
         selected.push(sel);
     }
-    let selection_error_rate = if total == 0 { 0.0 } else { wrong as f64 / total as f64 };
+    let selection_error_rate = if total == 0 {
+        0.0
+    } else {
+        wrong as f64 / total as f64
+    };
 
     // Eq. 15 criterion counts, pooled over durations.
     let criterion_counts: Vec<usize> = exp
         .baseline_test_scores
         .iter()
-        .map(|per_dur| {
-            per_dur.iter().map(|m| vote_matrix(&[m]).num_voted()).sum()
-        })
+        .map(|per_dur| per_dur.iter().map(|m| vote_matrix(&[m]).num_voted()).sum())
         .collect();
 
     // Steps e-f: build Tr_DBA per subsystem (pooled) and retrain once.
-    let mut test_scores: Vec<Vec<ScoreMatrix>> =
-        Duration::all().iter().map(|_| Vec::with_capacity(exp.num_subsystems())).collect();
+    let mut test_scores: Vec<Vec<ScoreMatrix>> = Duration::all()
+        .iter()
+        .map(|_| Vec::with_capacity(exp.num_subsystems()))
+        .collect();
     let mut dev_scores = Vec::with_capacity(exp.num_subsystems());
     for q in 0..exp.num_subsystems() {
         let (xs, labels) = build_tr_dba(
@@ -112,7 +119,13 @@ pub fn run_dba(exp: &Experiment, variant: DbaVariant, v_threshold: u8) -> DbaOut
             // the baseline model rather than an untrained one.
             exp.baseline_vsms[q].clone()
         } else {
-            OneVsRest::train(&xs, &labels, K, exp.frontends[q].builder.dim(), &exp.cfg.svm)
+            OneVsRest::train(
+                &xs,
+                &labels,
+                K,
+                exp.frontends[q].builder.dim(),
+                &exp.cfg.svm,
+            )
         };
         for (di, per_dur) in test_scores.iter_mut().enumerate() {
             per_dur.push(score_set(&vsm, &exp.test_svs[q][di]));
@@ -157,8 +170,9 @@ pub fn run_dba_iterated(
         let mut total = 0usize;
         let mut wrong = 0usize;
         for (di, _d) in Duration::all().iter().enumerate() {
-            let refs: Vec<&ScoreMatrix> =
-                (0..exp.num_subsystems()).map(|q| score_for(di, q)).collect();
+            let refs: Vec<&ScoreMatrix> = (0..exp.num_subsystems())
+                .map(|q| score_for(di, q))
+                .collect();
             let votes = vote_matrix(&refs);
             let sel = select_tr_dba(&votes, v_threshold);
             let truth = &exp.test_labels[di];
@@ -166,8 +180,11 @@ pub fn run_dba_iterated(
             total += sel.len();
             selected.push(sel);
         }
-        let selection_error_rate =
-            if total == 0 { 0.0 } else { wrong as f64 / total as f64 };
+        let selection_error_rate = if total == 0 {
+            0.0
+        } else {
+            wrong as f64 / total as f64
+        };
         let criterion_counts: Vec<usize> = (0..exp.num_subsystems())
             .map(|q| {
                 (0..Duration::all().len())
@@ -190,7 +207,13 @@ pub fn run_dba_iterated(
             let vsm = if xs.is_empty() {
                 exp.baseline_vsms[q].clone()
             } else {
-                OneVsRest::train(&xs, &labels, K, exp.frontends[q].builder.dim(), &exp.cfg.svm)
+                OneVsRest::train(
+                    &xs,
+                    &labels,
+                    K,
+                    exp.frontends[q].builder.dim(),
+                    &exp.cfg.svm,
+                )
             };
             for (di, per_dur) in test_scores.iter_mut().enumerate() {
                 per_dur.push(score_set(&vsm, &exp.test_svs[q][di]));
@@ -250,22 +273,40 @@ mod tests {
         let sv = |v: f32| SparseVec::from_pairs(vec![(0, v)]);
         // Two durations' selections.
         let selected = vec![
-            vec![PseudoLabel { utt: 0, label: 3, votes: 4 }],
-            vec![PseudoLabel { utt: 1, label: 1, votes: 5 }],
+            vec![PseudoLabel {
+                utt: 0,
+                label: 3,
+                votes: 4,
+            }],
+            vec![PseudoLabel {
+                utt: 1,
+                label: 1,
+                votes: 5,
+            }],
         ];
         let test_svs = vec![vec![sv(10.0), sv(11.0)], vec![sv(20.0), sv(21.0)]];
         let train_svs = vec![sv(1.0), sv(2.0)];
         let train_labels = vec![0usize, 7];
 
-        let (xs1, l1) =
-            build_tr_dba(DbaVariant::M1, &selected, &test_svs, &train_svs, &train_labels);
+        let (xs1, l1) = build_tr_dba(
+            DbaVariant::M1,
+            &selected,
+            &test_svs,
+            &train_svs,
+            &train_labels,
+        );
         assert_eq!(xs1.len(), 2);
         assert_eq!(l1, vec![3, 1]);
         assert_eq!(xs1[0].get(0), 10.0);
         assert_eq!(xs1[1].get(0), 21.0);
 
-        let (xs2, l2) =
-            build_tr_dba(DbaVariant::M2, &selected, &test_svs, &train_svs, &train_labels);
+        let (xs2, l2) = build_tr_dba(
+            DbaVariant::M2,
+            &selected,
+            &test_svs,
+            &train_svs,
+            &train_labels,
+        );
         assert_eq!(xs2.len(), 4);
         assert_eq!(l2, vec![3, 1, 0, 7]);
         // The original training data rides along unchanged.

@@ -107,14 +107,23 @@ impl Experiment {
         assert!(headless);
         let inv = UniversalInventory::new();
         let ds = Dataset::generate(DatasetConfig::new(cfg.scale, cfg.seed));
-        let train_labels: Vec<usize> =
-            ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
-        let dev_labels: Vec<usize> =
-            ds.dev.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let train_labels: Vec<usize> = ds
+            .train
+            .iter()
+            .map(|u| u.language.target_index().unwrap())
+            .collect();
+        let dev_labels: Vec<usize> = ds
+            .dev
+            .iter()
+            .map(|u| u.language.target_index().unwrap())
+            .collect();
         let test_labels: Vec<Vec<usize>> = Duration::all()
             .iter()
             .map(|&d| {
-                ds.test_set(d).iter().map(|u| u.language.target_index().unwrap()).collect()
+                ds.test_set(d)
+                    .iter()
+                    .map(|u| u.language.target_index().unwrap())
+                    .collect()
             })
             .collect();
         let frontends: Vec<Frontend> = crate::subsystem::standard_subsystems()
@@ -122,8 +131,15 @@ impl Experiment {
             .map(|spec| Frontend::headless(spec, &inv, cfg.max_order))
             .collect();
         // Shape sanity: a stale cache with the wrong sizes must not be used.
-        assert_eq!(train_svs.len(), frontends.len(), "stale cache: subsystem count");
-        assert!(train_svs.iter().all(|g| g.len() == train_labels.len()), "stale cache: train size");
+        assert_eq!(
+            train_svs.len(),
+            frontends.len(),
+            "stale cache: subsystem count"
+        );
+        assert!(
+            train_svs.iter().all(|g| g.len() == train_labels.len()),
+            "stale cache: train size"
+        );
 
         let mut baseline_vsms = Vec::new();
         for q in 0..frontends.len() {
@@ -142,8 +158,9 @@ impl Experiment {
                     .collect()
             })
             .collect();
-        let baseline_dev_scores: Vec<ScoreMatrix> =
-            (0..frontends.len()).map(|q| score_set(&baseline_vsms[q], &dev_svs[q])).collect();
+        let baseline_dev_scores: Vec<ScoreMatrix> = (0..frontends.len())
+            .map(|q| score_set(&baseline_vsms[q], &dev_svs[q]))
+            .collect();
 
         Experiment {
             cfg: cfg.clone(),
@@ -171,14 +188,24 @@ impl Experiment {
         let train_labels: Vec<usize> = ds
             .train
             .iter()
-            .map(|u| u.language.target_index().expect("train is target languages"))
+            .map(|u| {
+                u.language
+                    .target_index()
+                    .expect("train is target languages")
+            })
             .collect();
-        let dev_labels: Vec<usize> =
-            ds.dev.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let dev_labels: Vec<usize> = ds
+            .dev
+            .iter()
+            .map(|u| u.language.target_index().unwrap())
+            .collect();
         let test_labels: Vec<Vec<usize>> = Duration::all()
             .iter()
             .map(|&d| {
-                ds.test_set(d).iter().map(|u| u.language.target_index().unwrap()).collect()
+                ds.test_set(d)
+                    .iter()
+                    .map(|u| u.language.target_index().unwrap())
+                    .collect()
             })
             .collect();
 
@@ -212,9 +239,9 @@ impl Experiment {
         // Baseline VSMs (Eq. 6/7) + cached score matrices (Eq. 8/9).
         let dim_of = |q: usize, frontends: &[Frontend]| frontends[q].builder.dim();
         let mut baseline_vsms = Vec::new();
-        for q in 0..frontends.len() {
+        for (q, svs) in train_svs.iter().enumerate() {
             baseline_vsms.push(OneVsRest::train(
-                &train_svs[q],
+                svs,
                 &train_labels,
                 K,
                 dim_of(q, &frontends),
@@ -228,8 +255,9 @@ impl Experiment {
                     .collect()
             })
             .collect();
-        let baseline_dev_scores: Vec<ScoreMatrix> =
-            (0..frontends.len()).map(|q| score_set(&baseline_vsms[q], &dev_svs[q])).collect();
+        let baseline_dev_scores: Vec<ScoreMatrix> = (0..frontends.len())
+            .map(|q| score_set(&baseline_vsms[q], &dev_svs[q]))
+            .collect();
 
         Experiment {
             cfg: cfg.clone(),

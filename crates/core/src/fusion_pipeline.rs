@@ -32,7 +32,10 @@ pub fn fuse(
     let test_refs: Vec<&ScoreMatrix> = test.iter().collect();
     let fusion = LdaMmiFusion::train(&dev_refs, dev_labels, &weights, &MmiConfig::default());
     let test_scores = fusion.apply(&test_refs);
-    FusedSystem { fusion, test_scores }
+    FusedSystem {
+        fusion,
+        test_scores,
+    }
 }
 
 /// Duration-matched fusion: trains the LDA-MMI backend on the dev slice of
@@ -83,7 +86,10 @@ mod tests {
         let eer_f = lre_eval::pooled_eer(&fused.test_scores, &test_labels);
         let eer_a = lre_eval::pooled_eer(&a_test, &test_labels);
         let eer_b = lre_eval::pooled_eer(&b_test, &test_labels);
-        assert!(eer_f <= eer_a.min(eer_b) + 0.02, "{eer_f} vs {eer_a}/{eer_b}");
+        assert!(
+            eer_f <= eer_a.min(eer_b) + 0.02,
+            "{eer_f} vs {eer_a}/{eer_b}"
+        );
     }
 
     #[test]

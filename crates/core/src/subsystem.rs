@@ -2,7 +2,7 @@
 
 use lre_am::{train_acoustic_model, AcousticModel, AmFamily, AmTrainConfig};
 use lre_corpus::{render_utterance, Dataset, LanguageId, UttSpec};
-use lre_lattice::{decode, DecoderConfig};
+use lre_lattice::{decode_with_scratch, DecodeScratch, DecoderConfig};
 use lre_phone::{PhoneSet, PhoneSetId, UniversalInventory};
 use lre_vsm::{SparseVec, SupervectorBuilder, TfllrScaler};
 use rayon::prelude::*;
@@ -79,19 +79,23 @@ impl Frontend {
         let phone_set = PhoneSet::standard(spec.set_id, inv);
         let builder = SupervectorBuilder::new(phone_set.len(), max_order);
         let am = lre_am::AcousticModel {
-            scorer: Box::new(lre_am::GmmStateScorer::new(vec![lre_am::DiagGmm::from_params(
-                vec![0.0; 1],
-                vec![1.0; 1],
-                vec![1.0],
-                1,
-            )])),
+            scorer: Box::new(lre_am::GmmStateScorer::new(vec![
+                lre_am::DiagGmm::from_params(vec![0.0; 1], vec![1.0; 1], vec![1.0], 1),
+            ])),
             topology: lre_am::HmmTopology::default(),
             inventory: lre_am::StateInventory::from_phone_count(phone_set.len()),
             feature: lre_am::FeatureKind::Mfcc,
             feature_transform: lre_am::FeatureTransform::identity(1),
             train_diagnostic: None,
         };
-        Frontend { spec, phone_set, am, builder, scaler: None, decoder: DecoderConfig::default() }
+        Frontend {
+            spec,
+            phone_set,
+            am,
+            builder,
+            scaler: None,
+            decoder: DecoderConfig::default(),
+        }
     }
 
     /// Train the acoustic model for a subsystem on the dataset's AM-training
@@ -122,31 +126,59 @@ impl Frontend {
         // Recognizers train on phonetically balanced material (as the real
         // SpeechDat-E / Switchboard corpora are) so that every phone state
         // gets coverage; see `LanguageModel::phonetically_balanced`.
-        let lang = ds.language(spec.am_language).phonetically_balanced(0.5, inv);
+        let lang = ds
+            .language(spec.am_language)
+            .phonetically_balanced(0.5, inv);
         let am_cfg = AmTrainConfig::for_family(spec.family, seed);
         let am = train_acoustic_model(&phone_set, utts, &lang, inv, &am_cfg);
         let builder = SupervectorBuilder::new(phone_set.len(), max_order);
-        Frontend { spec, phone_set, am, builder, scaler: None, decoder }
+        Frontend {
+            spec,
+            phone_set,
+            am,
+            builder,
+            scaler: None,
+            decoder,
+        }
     }
 
     /// Render, decode and featurize one utterance into a raw (unscaled)
     /// supervector.
     pub fn supervector(&self, spec: &UttSpec, ds: &Dataset, inv: &UniversalInventory) -> SparseVec {
+        self.supervector_with_scratch(spec, ds, inv, &mut DecodeScratch::new())
+    }
+
+    /// [`Frontend::supervector`] with caller-owned decoder working memory,
+    /// so batch drivers pay the score-block / Viterbi / back-pointer
+    /// allocations once per worker instead of once per utterance.
+    pub fn supervector_with_scratch(
+        &self,
+        spec: &UttSpec,
+        ds: &Dataset,
+        inv: &UniversalInventory,
+        scratch: &mut DecodeScratch,
+    ) -> SparseVec {
         let rendered = render_utterance(spec, ds.language(spec.language), inv);
         let mut feats = lre_am::extract_features(&rendered.samples, self.am.feature);
         self.am.feature_transform.apply(&mut feats);
-        let out = decode(&self.am, &feats, &self.decoder);
+        let out = decode_with_scratch(&self.am, &feats, &self.decoder, scratch);
         self.builder.build(&out.network)
     }
 
-    /// Decode a batch in parallel (rayon over utterances).
+    /// Decode a batch in parallel (rayon over utterances), one reusable
+    /// [`DecodeScratch`] per worker thread.
     pub fn supervector_batch(
         &self,
         specs: &[UttSpec],
         ds: &Dataset,
         inv: &UniversalInventory,
     ) -> Vec<SparseVec> {
-        specs.par_iter().map(|s| self.supervector(s, ds, inv)).collect()
+        specs
+            .par_iter()
+            .map_init(DecodeScratch::new, |scratch, s| {
+                self.supervector_with_scratch(s, ds, inv, scratch)
+            })
+            .collect()
     }
 
     /// Fit the TFLLR scaler on raw training supervectors and return the
@@ -179,8 +211,7 @@ mod tests {
         assert_eq!((ann, dnn, gmm), (3, 1, 2));
         // EN is used by two different families — the §1 "same phone set,
         // different acoustic model" diversification axis.
-        let en_count =
-            subs.iter().filter(|s| s.set_id == PhoneSetId::En).count();
+        let en_count = subs.iter().filter(|s| s.set_id == PhoneSetId::En).count();
         assert_eq!(en_count, 2);
     }
 

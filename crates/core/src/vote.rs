@@ -39,7 +39,9 @@ impl VoteMatrix {
 
     /// How many utterances got at least one vote from ≥1 subsystem.
     pub fn num_voted(&self) -> usize {
-        (0..self.num_utts()).filter(|&j| self.winner(j).1 > 0).count()
+        (0..self.num_utts())
+            .filter(|&j| self.winner(j).1 > 0)
+            .count()
     }
 }
 
@@ -77,7 +79,10 @@ pub fn vote_matrix(subsystem_scores: &[&ScoreMatrix]) -> VoteMatrix {
             }
         }
     }
-    VoteMatrix { num_classes, counts }
+    VoteMatrix {
+        num_classes,
+        counts,
+    }
 }
 
 /// A pseudo-labelled test utterance selected into `T_DBA`.
@@ -100,7 +105,10 @@ pub struct PseudoLabel {
 /// and skipped. This makes the selection monotone in V (higher thresholds
 /// always select a subset), matching the paper's monotone Table-1 counts.
 pub fn select_tr_dba(votes: &VoteMatrix, v_threshold: u8) -> Vec<PseudoLabel> {
-    assert!(v_threshold >= 1, "V = 0 would select everything unconditionally");
+    assert!(
+        v_threshold >= 1,
+        "V = 0 would select everything unconditionally"
+    );
     let mut out = Vec::new();
     for j in 0..votes.num_utts() {
         let row = votes.row(j);
@@ -110,7 +118,11 @@ pub fn select_tr_dba(votes: &VoteMatrix, v_threshold: u8) -> Vec<PseudoLabel> {
         }
         let tied = row.iter().filter(|&&c| c == count).count();
         if tied == 1 {
-            out.push(PseudoLabel { utt: j, label: winner, votes: count });
+            out.push(PseudoLabel {
+                utt: j,
+                label: winner,
+                votes: count,
+            });
         }
     }
     out
@@ -164,10 +176,24 @@ mod tests {
         let v = vote_matrix(&[&a, &b, &c]);
         // utt0: 3 votes for class 0; utt1: 2 votes for class 1.
         let sel3 = select_tr_dba(&v, 3);
-        assert_eq!(sel3, vec![PseudoLabel { utt: 0, label: 0, votes: 3 }]);
+        assert_eq!(
+            sel3,
+            vec![PseudoLabel {
+                utt: 0,
+                label: 0,
+                votes: 3
+            }]
+        );
         let sel2 = select_tr_dba(&v, 2);
         assert_eq!(sel2.len(), 2);
-        assert_eq!(sel2[1], PseudoLabel { utt: 1, label: 1, votes: 2 });
+        assert_eq!(
+            sel2[1],
+            PseudoLabel {
+                utt: 1,
+                label: 1,
+                votes: 2
+            }
+        );
     }
 
     #[test]

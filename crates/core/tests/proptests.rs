@@ -6,12 +6,12 @@ use proptest::prelude::*;
 
 /// Random subsystem score matrices: `q` subsystems × `n` utterances × `k`
 /// classes.
-fn score_stack(
-    q: usize,
-    k: usize,
-) -> impl Strategy<Value = (Vec<ScoreMatrix>, Vec<usize>)> {
+fn score_stack(q: usize, k: usize) -> impl Strategy<Value = (Vec<ScoreMatrix>, Vec<usize>)> {
     prop::collection::vec(
-        (0..k, prop::collection::vec(prop::collection::vec(-2.0f32..2.0, k), q)),
+        (
+            0..k,
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, k), q),
+        ),
         3..25,
     )
     .prop_map(move |rows| {

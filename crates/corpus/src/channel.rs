@@ -7,7 +7,7 @@ use rand::RngExt;
 /// speech (CTS) with Voice-of-America broadcast audio; the two differ in
 /// spectral tilt and noise floor, and that mismatch is part of what makes
 /// the evaluation hard (§1, §4.2).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ChannelKind {
     /// Conversational telephone speech.
     Cts,
@@ -16,7 +16,7 @@ pub enum ChannelKind {
 }
 
 /// A concrete channel instance: kind + SNR.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Channel {
     pub kind: ChannelKind,
     /// Signal-to-noise ratio in dB for the additive noise stage.
@@ -25,11 +25,17 @@ pub struct Channel {
 
 impl Channel {
     pub fn telephone(snr_db: f32) -> Channel {
-        Channel { kind: ChannelKind::Cts, snr_db }
+        Channel {
+            kind: ChannelKind::Cts,
+            snr_db,
+        }
     }
 
     pub fn broadcast(snr_db: f32) -> Channel {
-        Channel { kind: ChannelKind::Voa, snr_db }
+        Channel {
+            kind: ChannelKind::Voa,
+            snr_db,
+        }
     }
 
     /// Apply the channel to a waveform in place: spectral shaping followed by
@@ -68,8 +74,7 @@ impl Channel {
         }
 
         // Additive noise at the requested SNR relative to the shaped signal.
-        let power: f32 =
-            samples.iter().map(|v| v * v).sum::<f32>() / samples.len() as f32;
+        let power: f32 = samples.iter().map(|v| v * v).sum::<f32>() / samples.len() as f32;
         if power <= 0.0 {
             return;
         }
@@ -86,8 +91,7 @@ impl Channel {
             state = 0.9 * state + u;
             shaped.push(state);
         }
-        let shaped_power: f32 =
-            shaped.iter().map(|v| v * v).sum::<f32>() / shaped.len() as f32;
+        let shaped_power: f32 = shaped.iter().map(|v| v * v).sum::<f32>() / shaped.len() as f32;
         let gain = (noise_power / shaped_power.max(1e-12)).sqrt();
         for (s, n) in samples.iter_mut().zip(&shaped) {
             *s += n * gain;
@@ -100,7 +104,9 @@ mod tests {
     use super::*;
 
     fn tone(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (2.0 * std::f32::consts::PI * 440.0 * i as f32 / 8000.0).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * 440.0 * i as f32 / 8000.0).sin())
+            .collect()
     }
 
     #[test]
@@ -125,8 +131,16 @@ mod tests {
     fn kinds_shape_differently() {
         let mut a = tone(2000);
         let mut b = tone(2000);
-        Channel { kind: ChannelKind::Cts, snr_db: 100.0 }.apply(&mut a, 1);
-        Channel { kind: ChannelKind::Voa, snr_db: 100.0 }.apply(&mut b, 1);
+        Channel {
+            kind: ChannelKind::Cts,
+            snr_db: 100.0,
+        }
+        .apply(&mut a, 1);
+        Channel {
+            kind: ChannelKind::Voa,
+            snr_db: 100.0,
+        }
+        .apply(&mut b, 1);
         let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 1.0);
     }
@@ -139,7 +153,10 @@ mod tests {
             Channel::telephone(snr).apply(&mut s, 5);
             let mut clean = tone(4000);
             Channel::telephone(1000.0).apply(&mut clean, 5); // effectively noiseless
-            s.iter().zip(&clean).map(|(x, y)| (x - y) * (x - y)).sum::<f32>()
+            s.iter()
+                .zip(&clean)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
         };
         assert!(measure(5.0) > 5.0 * measure(25.0));
     }

@@ -93,7 +93,12 @@ pub struct DatasetConfig {
 
 impl DatasetConfig {
     pub fn new(scale: Scale, seed: u64) -> Self {
-        Self { scale, seed, train_frames: 300, am_frames: 200 }
+        Self {
+            scale,
+            seed,
+            train_frames: 300,
+            am_frames: 200,
+        }
     }
 }
 
@@ -156,8 +161,9 @@ impl Dataset {
             // LRE03/05/07+VOA development data plays: same condition family
             // as the evaluation, different speakers.
             for u in 0..n_dev {
-                let speaker_seed =
-                    test_pool_seed(0x00DE_0000 + (lang_node.derive(11_000 + (u % 16) as u64).0 >> 2));
+                let speaker_seed = test_pool_seed(
+                    0x00DE_0000 + (lang_node.derive(11_000 + (u % 16) as u64).0 >> 2),
+                );
                 let (channel, _) = test_channel(&mut rng);
                 let dur = Duration::all()[u % 3];
                 dev.push(UttSpec {
@@ -215,17 +221,32 @@ impl Dataset {
             })
             .collect();
 
-        Dataset { config, languages, train, test, dev, am_train }
+        Dataset {
+            config,
+            languages,
+            train,
+            test,
+            dev,
+            am_train,
+        }
     }
 
     /// Language model lookup by id.
     pub fn language(&self, id: LanguageId) -> &LanguageModel {
-        self.languages.iter().find(|l| l.id == id).expect("all languages are generated")
+        self.languages
+            .iter()
+            .find(|l| l.id == id)
+            .expect("all languages are generated")
     }
 
     /// Test bucket for a duration.
     pub fn test_set(&self, dur: Duration) -> &[UttSpec] {
-        &self.test.iter().find(|(d, _)| *d == dur).expect("all durations present").1
+        &self
+            .test
+            .iter()
+            .find(|(d, _)| *d == dur)
+            .expect("all durations present")
+            .1
     }
 }
 
@@ -279,7 +300,10 @@ mod tests {
     fn test_channels_are_mixed() {
         let ds = Dataset::generate(DatasetConfig::new(Scale::Demo, 3));
         let bucket = ds.test_set(Duration::S30);
-        let voa = bucket.iter().filter(|u| matches!(u.channel.kind, crate::ChannelKind::Voa)).count();
+        let voa = bucket
+            .iter()
+            .filter(|u| matches!(u.channel.kind, crate::ChannelKind::Voa))
+            .count();
         let frac = voa as f32 / bucket.len() as f32;
         assert!(frac > 0.25 && frac < 0.55, "VOA fraction {frac}");
     }

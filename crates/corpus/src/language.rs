@@ -45,9 +45,30 @@ impl LanguageId {
     pub fn all() -> [LanguageId; 25] {
         use LanguageId::*;
         [
-            Amharic, Bosnian, Cantonese, Creole, Croatian, Dari, EnglishAmerican,
-            EnglishIndian, Farsi, French, Georgian, Hausa, Hindi, Korean, Mandarin, Pashto,
-            Portuguese, Russian, Spanish, Turkish, Ukrainian, Urdu, Vietnamese, Hungarian,
+            Amharic,
+            Bosnian,
+            Cantonese,
+            Creole,
+            Croatian,
+            Dari,
+            EnglishAmerican,
+            EnglishIndian,
+            Farsi,
+            French,
+            Georgian,
+            Hausa,
+            Hindi,
+            Korean,
+            Mandarin,
+            Pashto,
+            Portuguese,
+            Russian,
+            Spanish,
+            Turkish,
+            Ukrainian,
+            Urdu,
+            Vietnamese,
+            Hungarian,
             Czech,
         ]
     }
@@ -56,9 +77,29 @@ impl LanguageId {
     pub fn targets() -> &'static [LanguageId] {
         use LanguageId::*;
         &[
-            Amharic, Bosnian, Cantonese, Creole, Croatian, Dari, EnglishAmerican,
-            EnglishIndian, Farsi, French, Georgian, Hausa, Hindi, Korean, Mandarin, Pashto,
-            Portuguese, Russian, Spanish, Turkish, Ukrainian, Urdu, Vietnamese,
+            Amharic,
+            Bosnian,
+            Cantonese,
+            Creole,
+            Croatian,
+            Dari,
+            EnglishAmerican,
+            EnglishIndian,
+            Farsi,
+            French,
+            Georgian,
+            Hausa,
+            Hindi,
+            Korean,
+            Mandarin,
+            Pashto,
+            Portuguese,
+            Russian,
+            Spanish,
+            Turkish,
+            Ukrainian,
+            Urdu,
+            Vietnamese,
         ]
     }
 
@@ -126,7 +167,10 @@ impl LanguageId {
 
     /// Whether the language uses the tone-vowel phones heavily.
     fn is_tonal(&self) -> bool {
-        matches!(self, LanguageId::Mandarin | LanguageId::Cantonese | LanguageId::Vietnamese)
+        matches!(
+            self,
+            LanguageId::Mandarin | LanguageId::Cantonese | LanguageId::Vietnamese
+        )
     }
 }
 
@@ -246,13 +290,22 @@ pub fn build_language(id: LanguageId, corpus_seed: u64, inv: &UniversalInventory
 
     let f0_scale = 0.9 + 0.2 * lang_rng.random::<f32>();
     let rate = 0.9 + 0.2 * lang_rng.random::<f32>();
-    LanguageModel { id, initial, trans, f0_scale, rate }
+    LanguageModel {
+        id,
+        initial,
+        trans,
+        f0_scale,
+        rate,
+    }
 }
 
 /// Build all 25 languages for a corpus seed.
 pub fn all_languages(corpus_seed: u64) -> Vec<LanguageModel> {
     let inv = UniversalInventory::new();
-    LanguageId::all().into_iter().map(|id| build_language(id, corpus_seed, &inv)).collect()
+    LanguageId::all()
+        .into_iter()
+        .map(|id| build_language(id, corpus_seed, &inv))
+        .collect()
 }
 
 impl LanguageModel {
@@ -392,7 +445,9 @@ mod tests {
         let tone_idx = inv.index_of("a1").unwrap();
         // Average inbound probability of a tone phone.
         let avg_in = |lm: &LanguageModel| -> f32 {
-            (0..UNIVERSAL_SIZE).map(|i| lm.transitions_from(i)[tone_idx]).sum::<f32>()
+            (0..UNIVERSAL_SIZE)
+                .map(|i| lm.transitions_from(i)[tone_idx])
+                .sum::<f32>()
                 / UNIVERSAL_SIZE as f32
         };
         assert!(avg_in(&ma) > 10.0 * avg_in(&fr));

@@ -74,7 +74,7 @@ mod tests {
         let mut r2 = DeriveRng::new(5).derive(101).rng();
         let v1: f64 = r1.random();
         let v2: f64 = r2.random();
-        assert!(v1 >= 0.0 && v1 < 1.0);
+        assert!((0.0..1.0).contains(&v1));
         assert_ne!(v1, v2);
     }
 

@@ -54,7 +54,10 @@ pub fn render_utterance(
     lang: &LanguageModel,
     inv: &UniversalInventory,
 ) -> RenderedUtterance {
-    assert_eq!(lang.id, spec.language, "language model does not match the spec");
+    assert_eq!(
+        lang.id, spec.language,
+        "language model does not match the spec"
+    );
     let node = DeriveRng::new(spec.seed);
     let mut seq_rng = node.derive(1).rng();
     let speaker = pick_speaker(spec);
@@ -66,8 +69,11 @@ pub fn render_utterance(
     let mut current = lang.sample_initial(&mut seq_rng);
     while total < spec.num_frames {
         let def = inv.phone(current);
-        let dur = (gaussian(&mut seq_rng, def.mean_dur_frames as f64, def.std_dur_frames as f64)
-            / rate as f64)
+        let dur = (gaussian(
+            &mut seq_rng,
+            def.mean_dur_frames as f64,
+            def.std_dur_frames as f64,
+        ) / rate as f64)
             .round()
             .max(2.0) as usize;
         let dur = dur.min(spec.num_frames - total.min(spec.num_frames)).max(1);
@@ -104,11 +110,18 @@ pub fn render_utterance(
                 * speaker.f0_scale
                 * tone_f0(&def.symbol)
                 * (1.0 + 0.05 * gaussian(&mut jitter_rng, 0.0, 1.0) as f32);
-            Segment { spec: spec_j, samples: dur * HOP, f0_scale: f0_scale.clamp(0.4, 2.5) }
+            Segment {
+                spec: spec_j,
+                samples: dur * HOP,
+                f0_scale: f0_scale.clamp(0.4, 2.5),
+            }
         })
         .collect();
 
-    let cfg = SynthConfig { sample_rate: 8000.0, f0: 120.0 };
+    let cfg = SynthConfig {
+        sample_rate: 8000.0,
+        f0: 120.0,
+    };
     let mut synth = Synthesizer::new(cfg, node.derive(3).0);
     let want = samples_for_frames(spec.num_frames);
     let mut samples = Vec::with_capacity(want + WINDOW);
@@ -205,7 +218,11 @@ mod tests {
         let (inv, lm) = setup();
         let r = render_utterance(&spec(250, 9), &lm, &inv);
         let distinct: std::collections::HashSet<u16> = r.alignment.iter().copied().collect();
-        assert!(distinct.len() >= 5, "only {} distinct phones", distinct.len());
+        assert!(
+            distinct.len() >= 5,
+            "only {} distinct phones",
+            distinct.len()
+        );
     }
 
     #[test]

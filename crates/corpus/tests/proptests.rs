@@ -1,8 +1,7 @@
 //! Property-based tests for the synthetic corpus.
 
 use lre_corpus::{
-    build_language, render_utterance, sample_categorical, Channel, DeriveRng, LanguageId,
-    UttSpec,
+    build_language, render_utterance, sample_categorical, Channel, DeriveRng, LanguageId, UttSpec,
 };
 use lre_phone::{UniversalInventory, UNIVERSAL_SIZE};
 use proptest::prelude::*;
@@ -23,7 +22,7 @@ proptest! {
             let row = lm.transitions_from(i);
             let s: f32 = row.iter().sum();
             prop_assert!((s - 1.0).abs() < 1e-3, "row {i} sums to {s}");
-            prop_assert!(row.iter().all(|&p| p >= 0.0 && p <= 1.0));
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
 

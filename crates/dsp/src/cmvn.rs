@@ -29,8 +29,16 @@ pub fn cmvn_in_place(feats: &mut FrameMatrix) {
         mean[i] /= n;
         sq[i] = (sq[i] / n - mean[i] * mean[i]).max(0.0);
     }
-    let inv_std: Vec<f32> =
-        sq.iter().map(|&v| if v > 1e-12 { 1.0 / (v.sqrt() as f32) } else { 1.0 }).collect();
+    let inv_std: Vec<f32> = sq
+        .iter()
+        .map(|&v| {
+            if v > 1e-12 {
+                1.0 / (v.sqrt() as f32)
+            } else {
+                1.0
+            }
+        })
+        .collect();
     let mean32: Vec<f32> = mean.iter().map(|&m| m as f32).collect();
     for t in 0..t_max {
         let fr = feats.frame_mut(t);
@@ -47,7 +55,11 @@ mod tests {
     fn stats(m: &FrameMatrix, dim: usize) -> (f64, f64) {
         let n = m.num_frames() as f64;
         let mean = m.iter().map(|f| f[dim] as f64).sum::<f64>() / n;
-        let var = m.iter().map(|f| (f[dim] as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = m
+            .iter()
+            .map(|f| (f[dim] as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         (mean, var)
     }
 

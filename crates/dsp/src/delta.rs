@@ -66,7 +66,11 @@ mod tests {
         let f = FrameMatrix::from_flat(1, vals);
         let d = compute_deltas(&f, 2);
         for t in 2..8 {
-            assert!((d.frame(t)[0] - 2.0).abs() < 1e-6, "t={t}: {}", d.frame(t)[0]);
+            assert!(
+                (d.frame(t)[0] - 2.0).abs() < 1e-6,
+                "t={t}: {}",
+                d.frame(t)[0]
+            );
         }
     }
 

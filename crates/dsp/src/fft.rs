@@ -15,24 +15,6 @@ impl Complex {
         Self { re, im }
     }
 
-    #[inline]
-    pub fn mul(self, other: Complex) -> Complex {
-        Complex::new(
-            self.re * other.re - self.im * other.im,
-            self.re * other.im + self.im * other.re,
-        )
-    }
-
-    #[inline]
-    pub fn add(self, other: Complex) -> Complex {
-        Complex::new(self.re + other.re, self.im + other.im)
-    }
-
-    #[inline]
-    pub fn sub(self, other: Complex) -> Complex {
-        Complex::new(self.re - other.re, self.im - other.im)
-    }
-
     /// Squared magnitude.
     #[inline]
     pub fn norm_sq(self) -> f32 {
@@ -40,10 +22,40 @@ impl Complex {
     }
 }
 
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
 /// In-place forward FFT. `buf.len()` must be a power of two.
 pub fn fft_in_place(buf: &mut [Complex]) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -68,10 +80,10 @@ pub fn fft_in_place(buf: &mut [Complex]) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = buf[i + k];
-                let v = buf[i + k + len / 2].mul(w);
-                buf[i + k] = u.add(v);
-                buf[i + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w = w * wlen;
             }
             i += len;
         }
@@ -104,7 +116,7 @@ mod tests {
                 for (j, &xj) in x.iter().enumerate() {
                     let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
                     let w = Complex::new(ang.cos() as f32, ang.sin() as f32);
-                    acc = acc.add(xj.mul(w));
+                    acc = acc + xj * w;
                 }
                 acc
             })
@@ -113,8 +125,9 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        let x: Vec<Complex> =
-            (0..16).map(|i| Complex::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos())).collect();
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+            .collect();
         let expect = dft_naive(&x);
         let mut got = x.clone();
         fft_in_place(&mut got);

@@ -119,11 +119,20 @@ fn triangular_bank(edges_hz: &[f32], num_bins: usize, nfft: usize, sample_rate: 
         for (bin, w) in row.iter_mut().enumerate() {
             let hz = bin as f32 * bin_hz;
             if hz > lo && hz < hi {
-                *w = if hz <= ctr { (hz - lo) / (ctr - lo) } else { (hi - hz) / (hi - ctr) };
+                *w = if hz <= ctr {
+                    (hz - lo) / (ctr - lo)
+                } else {
+                    (hi - hz) / (hi - ctr)
+                };
             }
         }
     }
-    Filterbank { num_filters, num_bins, weights, centers_hz }
+    Filterbank {
+        num_filters,
+        num_bins,
+        weights,
+        centers_hz,
+    }
 }
 
 #[cfg(test)]

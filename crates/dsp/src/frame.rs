@@ -16,7 +16,12 @@ pub struct FrameConfig {
 
 impl Default for FrameConfig {
     fn default() -> Self {
-        Self { sample_rate: 8000.0, window_len: 200, hop: 80, pre_emphasis: 0.97 }
+        Self {
+            sample_rate: 8000.0,
+            window_len: 200,
+            hop: 80,
+            pre_emphasis: 0.97,
+        }
     }
 }
 
@@ -69,7 +74,10 @@ pub fn frame_signal(signal: &[f32], cfg: &FrameConfig) -> Vec<f32> {
     let mut out = Vec::with_capacity(nf * cfg.window_len);
     for f in 0..nf {
         let start = f * cfg.hop;
-        for (w, &s) in window.iter().zip(&emphasized[start..start + cfg.window_len]) {
+        for (w, &s) in window
+            .iter()
+            .zip(&emphasized[start..start + cfg.window_len])
+        {
             out.push(w * s);
         }
     }
@@ -82,7 +90,12 @@ mod tests {
 
     #[test]
     fn num_frames_formula() {
-        let cfg = FrameConfig { sample_rate: 8000.0, window_len: 200, hop: 80, pre_emphasis: 0.0 };
+        let cfg = FrameConfig {
+            sample_rate: 8000.0,
+            window_len: 200,
+            hop: 80,
+            pre_emphasis: 0.0,
+        };
         assert_eq!(cfg.num_frames(199), 0);
         assert_eq!(cfg.num_frames(200), 1);
         assert_eq!(cfg.num_frames(280), 2);
@@ -112,7 +125,12 @@ mod tests {
 
     #[test]
     fn framing_produces_expected_count_and_window_applied() {
-        let cfg = FrameConfig { sample_rate: 8000.0, window_len: 4, hop: 2, pre_emphasis: 0.0 };
+        let cfg = FrameConfig {
+            sample_rate: 8000.0,
+            window_len: 4,
+            hop: 2,
+            pre_emphasis: 0.0,
+        };
         let sig = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
         let frames = frame_signal(&sig, &cfg);
         assert_eq!(frames.len(), 2 * 4);

@@ -15,19 +15,29 @@ impl FrameMatrix {
     /// Empty matrix with the given feature dimension.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "feature dimension must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Preallocate for `frames` frames.
     pub fn with_capacity(dim: usize, frames: usize) -> Self {
         assert!(dim > 0);
-        Self { dim, data: Vec::with_capacity(dim * frames) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * frames),
+        }
     }
 
     /// Wrap an existing flat buffer; `data.len()` must be a multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0);
-        assert_eq!(data.len() % dim, 0, "flat buffer must be a whole number of frames");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer must be a whole number of frames"
+        );
         Self { dim, data }
     }
 
@@ -85,7 +95,10 @@ impl FrameMatrix {
     /// 30 s / 10 s / 3 s segments out of longer material).
     pub fn slice_frames(&self, start: usize, end: usize) -> FrameMatrix {
         assert!(start <= end && end <= self.num_frames());
-        FrameMatrix { dim: self.dim, data: self.data[start * self.dim..end * self.dim].to_vec() }
+        FrameMatrix {
+            dim: self.dim,
+            data: self.data[start * self.dim..end * self.dim].to_vec(),
+        }
     }
 }
 

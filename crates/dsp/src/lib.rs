@@ -30,7 +30,9 @@ pub mod synth;
 pub use cmvn::cmvn_in_place;
 pub use delta::append_deltas;
 pub use fft::{fft_in_place, power_spectrum, Complex};
-pub use filterbank::{bark_filterbank, hz_to_bark, hz_to_mel, mel_filterbank, mel_to_hz, Filterbank};
+pub use filterbank::{
+    bark_filterbank, hz_to_bark, hz_to_mel, mel_filterbank, mel_to_hz, Filterbank,
+};
 pub use frame::{frame_signal, hamming_window, pre_emphasis, FrameConfig};
 pub use frames::FrameMatrix;
 pub use mfcc::{mfcc, MfccConfig};

@@ -42,8 +42,7 @@ pub fn dct2(x: &[f64], k: usize) -> Vec<f64> {
             let mut acc = 0.0;
             for (j, &xj) in x.iter().enumerate() {
                 acc += xj
-                    * (std::f64::consts::PI * i as f64 * (2.0 * j as f64 + 1.0)
-                        / (2.0 * n as f64))
+                    * (std::f64::consts::PI * i as f64 * (2.0 * j as f64 + 1.0) / (2.0 * n as f64))
                         .cos();
             }
             acc * if i == 0 { norm0 } else { norm }
@@ -53,7 +52,13 @@ pub fn dct2(x: &[f64], k: usize) -> Vec<f64> {
 
 /// Extract MFCC features for an utterance.
 pub fn mfcc(samples: &[f32], cfg: &MfccConfig) -> FrameMatrix {
-    let fb = mel_filterbank(cfg.num_filters, cfg.nfft, cfg.frame.sample_rate, cfg.f_lo, cfg.f_hi);
+    let fb = mel_filterbank(
+        cfg.num_filters,
+        cfg.nfft,
+        cfg.frame.sample_rate,
+        cfg.f_lo,
+        cfg.f_hi,
+    );
     let frames = frame_signal(samples, &cfg.frame);
     let wl = cfg.frame.window_len;
     let nf = frames.len() / wl.max(1);
@@ -68,7 +73,10 @@ pub fn mfcc(samples: &[f32], cfg: &MfccConfig) -> FrameMatrix {
         // additive noise, destabilizing every cepstral coefficient.
         let peak = energies.iter().fold(1e-10f32, |m, &e| m.max(e));
         let floor = peak * 1e-4 + 1e-10;
-        let logs: Vec<f64> = energies.iter().map(|&e| (e.max(floor) as f64).ln()).collect();
+        let logs: Vec<f64> = energies
+            .iter()
+            .map(|&e| (e.max(floor) as f64).ln())
+            .collect();
         let ceps = dct2(&logs, cfg.num_ceps);
         for (o, c) in ceps_f32.iter_mut().zip(&ceps) {
             *o = *c as f32;
@@ -113,7 +121,9 @@ mod tests {
     fn distinct_tones_give_distinct_cepstra() {
         let cfg = MfccConfig::default();
         let mk = |f0: f32| -> Vec<f32> {
-            (0..4000).map(|i| (2.0 * std::f32::consts::PI * f0 * i as f32 / 8000.0).sin()).collect()
+            (0..4000)
+                .map(|i| (2.0 * std::f32::consts::PI * f0 * i as f32 / 8000.0).sin())
+                .collect()
         };
         let a = mfcc(&mk(300.0), &cfg);
         let b = mfcc(&mk(2000.0), &cfg);
@@ -129,7 +139,12 @@ mod tests {
             acc.iter().map(|v| v / n).collect()
         };
         let (ma, mb) = (mean(&a), mean(&b));
-        let dist: f32 = ma.iter().zip(&mb).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+        let dist: f32 = ma
+            .iter()
+            .zip(&mb)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt();
         assert!(dist > 1.0, "cepstral distance too small: {dist}");
     }
 }

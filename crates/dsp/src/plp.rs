@@ -52,7 +52,13 @@ pub fn equal_loudness(hz: f32) -> f32 {
 
 /// Extract PLP features for an utterance.
 pub fn plp(samples: &[f32], cfg: &PlpConfig) -> FrameMatrix {
-    let fb = bark_filterbank(cfg.num_bands, cfg.nfft, cfg.frame.sample_rate, cfg.f_lo, cfg.f_hi);
+    let fb = bark_filterbank(
+        cfg.num_bands,
+        cfg.nfft,
+        cfg.frame.sample_rate,
+        cfg.f_lo,
+        cfg.f_hi,
+    );
     let loudness: Vec<f32> = fb.centers_hz.iter().map(|&hz| equal_loudness(hz)).collect();
     let frames = frame_signal(samples, &cfg.frame);
     let wl = cfg.frame.window_len;
@@ -102,7 +108,8 @@ fn cosine_autocorrelation(spectrum: &[f64], max_lag: usize) -> Vec<f64> {
         let mut acc = 0.0;
         for (j, &s) in spectrum.iter().enumerate() {
             let w = if j == 0 || j == j_max - 1 { 0.5 } else { 1.0 };
-            acc += w * s * (std::f64::consts::PI * k as f64 * j as f64 / (j_max as f64 - 1.0)).cos();
+            acc +=
+                w * s * (std::f64::consts::PI * k as f64 * j as f64 / (j_max as f64 - 1.0)).cos();
         }
         *rk = acc / (j_max as f64 - 1.0);
     }
@@ -131,7 +138,9 @@ mod tests {
 
     #[test]
     fn cosine_autocorrelation_r0_dominates() {
-        let s: Vec<f64> = (0..17).map(|i| 1.0 + (i as f64 * 0.4).sin().abs()).collect();
+        let s: Vec<f64> = (0..17)
+            .map(|i| 1.0 + (i as f64 * 0.4).sin().abs())
+            .collect();
         let r = cosine_autocorrelation(&s, 8);
         for &v in &r[1..] {
             assert!(v.abs() <= r[0] + 1e-12);

@@ -23,7 +23,12 @@ pub struct SdcConfig {
 
 impl Default for SdcConfig {
     fn default() -> Self {
-        Self { n_base: 7, d_spread: 1, p_shift: 3, k_blocks: 7 }
+        Self {
+            n_base: 7,
+            d_spread: 1,
+            p_shift: 3,
+            k_blocks: 7,
+        }
     }
 }
 
@@ -40,7 +45,11 @@ impl SdcConfig {
 /// `Δ_i = c[t + iP + d] − c[t + iP − d]` (indices clamped at the edges, the
 /// usual practical convention).
 pub fn sdc(feats: &FrameMatrix, cfg: &SdcConfig) -> FrameMatrix {
-    assert!(feats.dim() >= cfg.n_base, "need at least {} base cepstra", cfg.n_base);
+    assert!(
+        feats.dim() >= cfg.n_base,
+        "need at least {} base cepstra",
+        cfg.n_base
+    );
     assert!(cfg.d_spread >= 1 && cfg.k_blocks >= 1);
     let t_max = feats.num_frames();
     let mut out = FrameMatrix::with_capacity(cfg.dim(), t_max);
@@ -94,7 +103,10 @@ mod tests {
         let t = 10;
         for b in 0..cfg.k_blocks - 1 {
             let block = &s.frame(t)[7 * (1 + b)..7 * (2 + b)];
-            assert!(block.iter().all(|&v| (v - 2.0).abs() < 1e-6), "block {b}: {block:?}");
+            assert!(
+                block.iter().all(|&v| (v - 2.0).abs() < 1e-6),
+                "block {b}: {block:?}"
+            );
         }
     }
 

@@ -43,7 +43,10 @@ pub struct SynthConfig {
 
 impl Default for SynthConfig {
     fn default() -> Self {
-        Self { sample_rate: 8000.0, f0: 120.0 }
+        Self {
+            sample_rate: 8000.0,
+            f0: 120.0,
+        }
     }
 }
 
@@ -97,16 +100,15 @@ impl Synthesizer {
         for seg in segments {
             // Resonator coefficients for this segment.
             let mut coef = [(0.0_f32, 0.0_f32); 3];
-            for i in 0..3 {
+            for (i, c) in coef.iter_mut().enumerate() {
                 let f = seg.spec.formants[i];
                 if f <= 0.0 || f >= sr / 2.0 {
-                    coef[i] = (0.0, 0.0);
                     continue;
                 }
                 let bw = seg.spec.bandwidths[i].max(20.0);
                 let r = (-std::f32::consts::PI * bw / sr).exp();
                 let theta = 2.0 * std::f32::consts::PI * f / sr;
-                coef[i] = (2.0 * r * theta.cos(), -r * r);
+                *c = (2.0 * r * theta.cos(), -r * r);
             }
             let period = sr / (self.cfg.f0 * seg.f0_scale).max(40.0);
             for _ in 0..seg.samples {
@@ -125,8 +127,7 @@ impl Synthesizer {
                 // high-frequency feature bands outright.
                 let breath = self.noise() * 0.04;
                 // Cascade of resonators.
-                for i in 0..3 {
-                    let (b1, b2) = coef[i];
+                for (i, &(b1, b2)) in coef.iter().enumerate() {
                     if b1 == 0.0 && b2 == 0.0 {
                         continue;
                     }
@@ -224,7 +225,10 @@ mod tests {
         let mk = |seed| {
             let mut s = Synthesizer::new(SynthConfig::default(), seed);
             s.render(&[Segment {
-                spec: FormantSpec { voicing: 0.0, ..FormantSpec::neutral() },
+                spec: FormantSpec {
+                    voicing: 0.0,
+                    ..FormantSpec::neutral()
+                },
                 samples: 400,
                 f0_scale: 1.0,
             }])

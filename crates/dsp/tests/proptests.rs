@@ -1,9 +1,9 @@
 //! Property-based tests for the DSP substrate.
 
 use lre_dsp::{
-    append_deltas, cmvn_in_place, fft_in_place, hamming_window, hz_to_bark, hz_to_mel,
-    mel_to_hz, power_spectrum, pre_emphasis, Complex, FormantSpec, FrameMatrix, Segment,
-    SynthConfig, Synthesizer,
+    append_deltas, cmvn_in_place, fft_in_place, hamming_window, hz_to_bark, hz_to_mel, mel_to_hz,
+    power_spectrum, pre_emphasis, Complex, FormantSpec, FrameMatrix, Segment, SynthConfig,
+    Synthesizer,
 };
 use proptest::prelude::*;
 

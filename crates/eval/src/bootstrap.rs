@@ -57,7 +57,11 @@ pub fn bootstrap_eer(
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((replicates as f64) * alpha) as usize;
     let hi_idx = (((replicates as f64) * (1.0 - alpha)) as usize).min(replicates - 1);
-    BootstrapCi { point, lo: estimates[lo_idx], hi: estimates[hi_idx] }
+    BootstrapCi {
+        point,
+        lo: estimates[lo_idx],
+        hi: estimates[hi_idx],
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +89,10 @@ mod tests {
     fn interval_contains_point_estimate() {
         let (m, labels) = noisy(60, 1.3);
         let ci = bootstrap_eer(&m, &labels, 200, 0.95, 7);
-        assert!(ci.lo <= ci.point + 0.03 && ci.point <= ci.hi + 0.03, "{ci:?}");
+        assert!(
+            ci.lo <= ci.point + 0.03 && ci.point <= ci.hi + 0.03,
+            "{ci:?}"
+        );
         assert!(ci.lo <= ci.hi);
         assert!((0.0..=1.0).contains(&ci.lo) && (0.0..=1.0).contains(&ci.hi));
     }

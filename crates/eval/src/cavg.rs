@@ -12,7 +12,11 @@ pub struct CavgParams {
 
 impl Default for CavgParams {
     fn default() -> Self {
-        Self { c_miss: 1.0, c_fa: 1.0, p_target: 0.5 }
+        Self {
+            c_miss: 1.0,
+            c_fa: 1.0,
+            p_target: 0.5,
+        }
     }
 }
 
@@ -59,7 +63,11 @@ pub fn cavg_at_threshold(
 
     let mut total = 0.0;
     for k in 0..k_max {
-        let p_miss = if n_tar[k] > 0 { miss[k] as f64 / n_tar[k] as f64 } else { 0.0 };
+        let p_miss = if n_tar[k] > 0 {
+            miss[k] as f64 / n_tar[k] as f64
+        } else {
+            0.0
+        };
         let mut fa_sum = 0.0;
         for j in 0..k_max {
             if j == k {
@@ -145,7 +153,12 @@ mod tests {
     fn min_cavg_below_fixed_threshold_cavg() {
         let m = ScoreMatrix::from_rows(
             2,
-            &[vec![5.0, 4.0], vec![4.5, 6.0], vec![5.5, 4.2], vec![4.1, 5.9]],
+            &[
+                vec![5.0, 4.0],
+                vec![4.5, 6.0],
+                vec![5.5, 4.2],
+                vec![4.1, 5.9],
+            ],
         );
         let l = vec![0, 1, 0, 1];
         // Scores are separable but offset from 0; threshold 0 false-alarms
@@ -163,7 +176,11 @@ mod tests {
             &m,
             &l,
             100.0,
-            &CavgParams { c_miss: 2.0, c_fa: 1.0, p_target: 0.5 },
+            &CavgParams {
+                c_miss: 2.0,
+                c_fa: 1.0,
+                p_target: 0.5,
+            },
         );
         assert!((c - 1.0).abs() < 1e-12);
     }

@@ -6,7 +6,10 @@ use crate::trials::{split_trials, ScoreMatrix};
 /// `[0, 1]`. Computed by sweeping the threshold over the pooled scores and
 /// linearly interpolating the crossing of P_miss and P_fa.
 pub fn eer_from_trials(target: &[f32], nontarget: &[f32]) -> f64 {
-    assert!(!target.is_empty() && !nontarget.is_empty(), "need both trial kinds");
+    assert!(
+        !target.is_empty() && !nontarget.is_empty(),
+        "need both trial kinds"
+    );
     let mut tar: Vec<f32> = target.to_vec();
     let mut non: Vec<f32> = nontarget.to_vec();
     tar.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
@@ -98,7 +101,12 @@ mod tests {
     fn pooled_eer_on_score_matrix() {
         let m = ScoreMatrix::from_rows(
             2,
-            &[vec![1.0, -1.0], vec![-1.0, 1.0], vec![0.9, -0.9], vec![-0.8, 0.8]],
+            &[
+                vec![1.0, -1.0],
+                vec![-1.0, 1.0],
+                vec![0.9, -0.9],
+                vec![-0.8, 0.8],
+            ],
         );
         let eer = pooled_eer(&m, &[0, 1, 0, 1]);
         assert!(eer < 1e-9);

@@ -12,7 +12,10 @@ pub struct ScoreMatrix {
 impl ScoreMatrix {
     pub fn new(num_classes: usize) -> ScoreMatrix {
         assert!(num_classes > 0);
-        ScoreMatrix { num_classes, scores: Vec::new() }
+        ScoreMatrix {
+            num_classes,
+            scores: Vec::new(),
+        }
     }
 
     pub fn from_rows(num_classes: usize, rows: &[Vec<f32>]) -> ScoreMatrix {
@@ -146,9 +149,9 @@ mod tests {
     fn confusion_matrix_layout() {
         let (m, labels) = demo();
         let cm = confusion_matrix(&m, &labels);
-        assert_eq!(cm[0 * 3 + 0], 1);
-        assert_eq!(cm[1 * 3 + 1], 1);
-        assert_eq!(cm[2 * 3 + 0], 1);
+        assert_eq!(cm[0], 1);
+        assert_eq!(cm[3 + 1], 1);
+        assert_eq!(cm[2 * 3], 1);
         assert_eq!(cm.iter().sum::<usize>(), 3);
     }
 

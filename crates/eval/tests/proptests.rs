@@ -8,19 +8,17 @@ use proptest::prelude::*;
 
 /// Random score matrix + labels for K classes.
 fn scored_problem(k: usize) -> impl Strategy<Value = (ScoreMatrix, Vec<usize>)> {
-    prop::collection::vec(
-        (0..k, prop::collection::vec(-3.0f32..3.0, k)),
-        4..40,
+    prop::collection::vec((0..k, prop::collection::vec(-3.0f32..3.0, k)), 4..40).prop_map(
+        move |rows| {
+            let mut m = ScoreMatrix::new(k);
+            let mut labels = Vec::new();
+            for (lab, row) in rows {
+                m.push_row(&row);
+                labels.push(lab);
+            }
+            (m, labels)
+        },
     )
-    .prop_map(move |rows| {
-        let mut m = ScoreMatrix::new(k);
-        let mut labels = Vec::new();
-        for (lab, row) in rows {
-            m.push_row(&row);
-            labels.push(lab);
-        }
-        (m, labels)
-    })
 }
 
 proptest! {

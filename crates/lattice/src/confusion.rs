@@ -90,9 +90,30 @@ mod tests {
 
     fn cn() -> ConfusionNetwork {
         ConfusionNetwork::new(vec![
-            vec![SlotEntry { phone: 1, prob: 0.7 }, SlotEntry { phone: 2, prob: 0.3 }],
-            vec![SlotEntry { phone: 3, prob: 1.0 }],
-            vec![SlotEntry { phone: 4, prob: 0.5 }, SlotEntry { phone: 5, prob: 0.5 }],
+            vec![
+                SlotEntry {
+                    phone: 1,
+                    prob: 0.7,
+                },
+                SlotEntry {
+                    phone: 2,
+                    prob: 0.3,
+                },
+            ],
+            vec![SlotEntry {
+                phone: 3,
+                prob: 1.0,
+            }],
+            vec![
+                SlotEntry {
+                    phone: 4,
+                    prob: 0.5,
+                },
+                SlotEntry {
+                    phone: 5,
+                    prob: 0.5,
+                },
+            ],
         ])
     }
 
@@ -117,8 +138,14 @@ mod tests {
     #[should_panic]
     fn over_unit_mass_rejected() {
         let _ = ConfusionNetwork::new(vec![vec![
-            SlotEntry { phone: 0, prob: 0.9 },
-            SlotEntry { phone: 1, prob: 0.4 },
+            SlotEntry {
+                phone: 0,
+                prob: 0.9,
+            },
+            SlotEntry {
+                phone: 1,
+                prob: 0.4,
+            },
         ]]);
     }
 

@@ -16,11 +16,23 @@ pub struct DecoderConfig {
     pub top_k: usize,
     /// Temperature on the per-segment phone posteriors (higher = peakier).
     pub posterior_scale: f32,
+    /// Viterbi beam width in log domain. `None` runs the exact search and is
+    /// guaranteed bit-identical to the historical decoder; `Some(b)` keeps
+    /// only states within `b` of the per-frame best hypothesis on the active
+    /// list. A sufficiently wide beam (nothing ever falls outside it)
+    /// reproduces the exact path state-for-state.
+    pub beam: Option<f32>,
 }
 
 impl Default for DecoderConfig {
     fn default() -> Self {
-        Self { acoustic_scale: 0.33, phone_insertion_log: -1.0, top_k: 4, posterior_scale: 1.0 }
+        Self {
+            acoustic_scale: 0.33,
+            phone_insertion_log: -1.0,
+            top_k: 4,
+            posterior_scale: 1.0,
+            beam: None,
+        }
     }
 }
 
@@ -41,17 +53,51 @@ pub struct DecodeOutput {
     pub network: ConfusionNetwork,
     /// Number of frames decoded (for RT-factor accounting).
     pub num_frames: usize,
+    /// Total log score of the 1-best path (acoustics + transitions). Beam
+    /// pruning can only lower this, never raise it — the property tests
+    /// exploit that monotonicity.
+    pub viterbi_score: f32,
 }
 
 /// Emission scores for all frames: flat `T × num_states` buffer.
 pub fn score_all_frames(am: &AcousticModel, feats: &FrameMatrix) -> Vec<f32> {
+    let mut scores = Vec::new();
+    score_all_frames_into(am, feats, &mut scores);
+    scores
+}
+
+/// [`score_all_frames`] into a caller-owned buffer (resized internally), so
+/// repeated decodes can reuse one allocation. Scoring goes through the
+/// scorer's batched [`lre_am::FrameScorer::score_block`] path.
+pub fn score_all_frames_into(am: &AcousticModel, feats: &FrameMatrix, scores: &mut Vec<f32>) {
     let s = am.scorer.num_states();
     let t_max = feats.num_frames();
-    let mut scores = vec![0.0f32; t_max * s];
-    for (t, frame) in feats.iter().enumerate() {
-        am.scorer.score_frame(frame, &mut scores[t * s..(t + 1) * s]);
+    scores.clear();
+    scores.resize(t_max * s, 0.0);
+    am.scorer.score_block(feats.as_slice(), feats.dim(), scores);
+}
+
+/// Reusable decoder working memory: emission-score block, Viterbi rows,
+/// back-pointer matrix, beam active lists. One instance per worker thread
+/// amortizes every per-utterance allocation of the hot path; buffers grow to
+/// the largest utterance seen and stay there.
+#[derive(Default)]
+pub struct DecodeScratch {
+    scores: Vec<f32>,
+    delta_prev: Vec<f32>,
+    delta_cur: Vec<f32>,
+    bp: Vec<u32>,
+    active: Vec<u32>,
+    candidates: Vec<u32>,
+    touched: Vec<u32>,
+    epoch: u32,
+    phone_scores: Vec<f32>,
+}
+
+impl DecodeScratch {
+    pub fn new() -> Self {
+        Self::default()
     }
-    scores
 }
 
 /// Back-pointer encoding: ordinary values are the previous dense state
@@ -62,6 +108,19 @@ const LOOP_FLAG: u32 = 1 << 31;
 /// Decode one utterance into a 1-best segmentation and a posterior
 /// confusion network.
 pub fn decode(am: &AcousticModel, feats: &FrameMatrix, cfg: &DecoderConfig) -> DecodeOutput {
+    decode_with_scratch(am, feats, cfg, &mut DecodeScratch::new())
+}
+
+/// [`decode`] with caller-owned working memory. Batch drivers hold one
+/// [`DecodeScratch`] per worker thread and decode thousands of utterances
+/// without re-allocating the score block, Viterbi rows or back-pointer
+/// matrix.
+pub fn decode_with_scratch(
+    am: &AcousticModel,
+    feats: &FrameMatrix,
+    cfg: &DecoderConfig,
+    scratch: &mut DecodeScratch,
+) -> DecodeOutput {
     let inv = &am.inventory;
     let num_states = inv.num_states();
     let num_phones = inv.num_phones();
@@ -71,17 +130,25 @@ pub fn decode(am: &AcousticModel, feats: &FrameMatrix, cfg: &DecoderConfig) -> D
             segments: Vec::new(),
             network: ConfusionNetwork::new(vec![]),
             num_frames: 0,
+            viterbi_score: 0.0,
         };
     }
 
-    let scores = score_all_frames(am, feats);
+    score_all_frames_into(am, feats, &mut scratch.scores);
+    let scores = &scratch.scores;
     let ascale = cfg.acoustic_scale;
     let (log_self, log_next) = (am.topology.log_self, am.topology.log_next);
 
     // --- Viterbi ------------------------------------------------------------------
-    let mut delta_prev = vec![f32::NEG_INFINITY; num_states];
-    let mut delta_cur = vec![f32::NEG_INFINITY; num_states];
-    let mut bp = vec![0u32; t_max * num_states];
+    scratch.delta_prev.clear();
+    scratch.delta_prev.resize(num_states, f32::NEG_INFINITY);
+    scratch.delta_cur.clear();
+    scratch.delta_cur.resize(num_states, f32::NEG_INFINITY);
+    scratch.bp.clear();
+    scratch.bp.resize(t_max * num_states, 0);
+    let delta_prev = &mut scratch.delta_prev;
+    let delta_cur = &mut scratch.delta_cur;
+    let bp = &mut scratch.bp;
 
     // t = 0: only phone-entry states are reachable.
     for p in 0..num_phones {
@@ -90,44 +157,160 @@ pub fn decode(am: &AcousticModel, feats: &FrameMatrix, cfg: &DecoderConfig) -> D
         bp[s] = s as u32; // self-start sentinel (never followed past t=0)
     }
 
-    for t in 1..t_max {
-        // Best phone exit at t-1 (for the loop transition).
-        let mut best_exit = f32::NEG_INFINITY;
-        let mut best_exit_state = 0usize;
-        for p in 0..num_phones {
-            let s = inv.state_of(p, STATES_PER_PHONE - 1);
-            let v = delta_prev[s];
-            if v > best_exit {
-                best_exit = v;
-                best_exit_state = s;
-            }
-        }
-        let loop_score = best_exit + log_next + cfg.phone_insertion_log;
+    match cfg.beam {
+        None => {
+            // Exact search: dense relaxation over every state. This loop is
+            // the historical decoder verbatim — its output is the bit-exact
+            // reference the beam path is tested against.
+            for t in 1..t_max {
+                // Best phone exit at t-1 (for the loop transition).
+                let mut best_exit = f32::NEG_INFINITY;
+                let mut best_exit_state = 0usize;
+                for p in 0..num_phones {
+                    let s = inv.state_of(p, STATES_PER_PHONE - 1);
+                    let v = delta_prev[s];
+                    if v > best_exit {
+                        best_exit = v;
+                        best_exit_state = s;
+                    }
+                }
+                let loop_score = best_exit + log_next + cfg.phone_insertion_log;
 
-        let frame_scores = &scores[t * num_states..(t + 1) * num_states];
-        let bp_row = &mut bp[t * num_states..(t + 1) * num_states];
-        for s in 0..num_states {
-            // Self loop.
-            let mut best = delta_prev[s] + log_self;
-            let mut back = s as u32;
-            if inv.is_entry(s) {
-                // Phone-loop entry.
-                if loop_score > best {
-                    best = loop_score;
-                    back = best_exit_state as u32 | LOOP_FLAG;
+                let frame_scores = &scores[t * num_states..(t + 1) * num_states];
+                let bp_row = &mut bp[t * num_states..(t + 1) * num_states];
+                for s in 0..num_states {
+                    // Self loop.
+                    let mut best = delta_prev[s] + log_self;
+                    let mut back = s as u32;
+                    if inv.is_entry(s) {
+                        // Phone-loop entry.
+                        if loop_score > best {
+                            best = loop_score;
+                            back = best_exit_state as u32 | LOOP_FLAG;
+                        }
+                    } else {
+                        // Advance from the previous state of the same phone.
+                        let cand = delta_prev[s - 1] + log_next;
+                        if cand > best {
+                            best = cand;
+                            back = (s - 1) as u32;
+                        }
+                    }
+                    delta_cur[s] = best + ascale * frame_scores[s];
+                    bp_row[s] = back;
                 }
-            } else {
-                // Advance from the previous state of the same phone.
-                let cand = delta_prev[s - 1] + log_next;
-                if cand > best {
-                    best = cand;
-                    back = (s - 1) as u32;
-                }
+                std::mem::swap(delta_prev, delta_cur);
             }
-            delta_cur[s] = best + ascale * frame_scores[s];
-            bp_row[s] = back;
         }
-        std::mem::swap(&mut delta_prev, &mut delta_cur);
+        Some(beam) => {
+            // Beam search: only states reachable from the survivor list are
+            // relaxed, and survivors are re-thresholded against the frame
+            // best. Pruned states hold -∞ in `delta_prev`, so each candidate
+            // relaxation below is the exact path's arithmetic restricted to
+            // survivors — a beam wide enough to never prune reproduces the
+            // exact decode bit-for-bit.
+            scratch.touched.resize(num_states, 0);
+            scratch.epoch = scratch.epoch.wrapping_add(1);
+            if scratch.epoch == 0 {
+                scratch.touched.fill(0);
+                scratch.epoch = 1;
+            }
+            let active = &mut scratch.active;
+            let candidates = &mut scratch.candidates;
+            active.clear();
+            for p in 0..num_phones {
+                active.push(inv.state_of(p, 0) as u32);
+            }
+
+            for t in 1..t_max {
+                // Best phone exit at t-1, scanned in phone order like the
+                // exact path (pruned exits are -∞ and lose every compare).
+                let mut best_exit = f32::NEG_INFINITY;
+                let mut best_exit_state = 0usize;
+                for p in 0..num_phones {
+                    let s = inv.state_of(p, STATES_PER_PHONE - 1);
+                    let v = delta_prev[s];
+                    if v > best_exit {
+                        best_exit = v;
+                        best_exit_state = s;
+                    }
+                }
+                let loop_score = best_exit + log_next + cfg.phone_insertion_log;
+
+                // Candidate states for frame t: survivors (self loop), their
+                // within-phone successors, and every phone entry (loop arc).
+                let epoch = scratch.epoch;
+                candidates.clear();
+                let mut mark = |s: u32, cands: &mut Vec<u32>| {
+                    let slot = &mut scratch.touched[s as usize];
+                    if *slot != epoch {
+                        *slot = epoch;
+                        cands.push(s);
+                    }
+                };
+                for &s in active.iter() {
+                    mark(s, candidates);
+                    if !inv.is_exit(s as usize) {
+                        mark(s + 1, candidates);
+                    }
+                }
+                for p in 0..num_phones {
+                    mark(inv.state_of(p, 0) as u32, candidates);
+                }
+                scratch.epoch = scratch.epoch.wrapping_add(1);
+                if scratch.epoch == 0 {
+                    scratch.touched.fill(0);
+                    scratch.epoch = 1;
+                }
+
+                let frame_scores = &scores[t * num_states..(t + 1) * num_states];
+                let bp_row = &mut bp[t * num_states..(t + 1) * num_states];
+                let mut frame_best = f32::NEG_INFINITY;
+                for &su in candidates.iter() {
+                    let s = su as usize;
+                    let mut best = delta_prev[s] + log_self;
+                    let mut back = su;
+                    if inv.is_entry(s) {
+                        if loop_score > best {
+                            best = loop_score;
+                            back = best_exit_state as u32 | LOOP_FLAG;
+                        }
+                    } else {
+                        let cand = delta_prev[s - 1] + log_next;
+                        if cand > best {
+                            best = cand;
+                            back = su - 1;
+                        }
+                    }
+                    let v = best + ascale * frame_scores[s];
+                    delta_cur[s] = v;
+                    bp_row[s] = back;
+                    if v > frame_best {
+                        frame_best = v;
+                    }
+                }
+
+                // Prune: survivors must be within `beam` of the frame best.
+                // Reached phone-exit states are exempt: they feed the loop
+                // transition every frame and are the termination set, so
+                // discarding them would leave the final best-exit scan (and
+                // the "no beam beats the exact score" guarantee) ill-defined.
+                let threshold = frame_best - beam;
+                for &su in active.iter() {
+                    delta_prev[su as usize] = f32::NEG_INFINITY;
+                }
+                active.clear();
+                for &su in candidates.iter() {
+                    let v = delta_cur[su as usize];
+                    if v >= threshold || (v > f32::NEG_INFINITY && inv.is_exit(su as usize)) {
+                        active.push(su);
+                    } else {
+                        delta_cur[su as usize] = f32::NEG_INFINITY;
+                    }
+                }
+                std::mem::swap(delta_prev, delta_cur);
+            }
+        }
     }
 
     // --- Traceback ------------------------------------------------------------------
@@ -143,6 +326,7 @@ pub fn decode(am: &AcousticModel, feats: &FrameMatrix, cfg: &DecoderConfig) -> D
             .max_by(|&a, &b| delta_prev[a].partial_cmp(&delta_prev[b]).unwrap())
             .unwrap();
     }
+    let viterbi_score = delta_prev[cur_state];
 
     let mut boundaries = Vec::new(); // segment start times, reversed
     let mut phones_rev = Vec::new();
@@ -177,10 +361,15 @@ pub fn decode(am: &AcousticModel, feats: &FrameMatrix, cfg: &DecoderConfig) -> D
     // --- Segment posteriors → confusion network -------------------------------------
     let slots = segments
         .iter()
-        .map(|seg| segment_slot(seg, &scores, inv, cfg))
+        .map(|seg| segment_slot(seg, scores, inv, cfg, &mut scratch.phone_scores))
         .collect();
 
-    DecodeOutput { segments, network: ConfusionNetwork::new(slots), num_frames: t_max }
+    DecodeOutput {
+        segments,
+        network: ConfusionNetwork::new(slots),
+        num_frames: t_max,
+        viterbi_score,
+    }
 }
 
 /// Score every phone over a segment (uniform 3-state alignment over cached
@@ -190,6 +379,7 @@ fn segment_slot(
     scores: &[f32],
     inv: &StateInventory,
     cfg: &DecoderConfig,
+    phone_scores: &mut Vec<f32>,
 ) -> Vec<SlotEntry> {
     let num_states = inv.num_states();
     let num_phones = inv.num_phones();
@@ -198,7 +388,8 @@ fn segment_slot(
 
     // Mean per-frame log score per phone keeps the softmax temperature
     // duration-independent.
-    let mut phone_scores = vec![0.0f32; num_phones];
+    phone_scores.clear();
+    phone_scores.resize(num_phones, 0.0);
     for (pos, t) in (seg.start..seg.end).enumerate() {
         let st = StateInventory::uniform_state(pos, len);
         let frame = &scores[t * num_states..(t + 1) * num_states];
@@ -222,7 +413,10 @@ fn segment_slot(
     let mut entries: Vec<SlotEntry> = phone_scores
         .iter()
         .enumerate()
-        .map(|(p, &s)| SlotEntry { phone: p as u16, prob: s / denom })
+        .map(|(p, &s)| SlotEntry {
+            phone: p as u16,
+            prob: s / denom,
+        })
         .collect();
     entries.sort_unstable_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap());
     entries.truncate(cfg.top_k.max(1));
@@ -276,7 +470,9 @@ mod tests {
     #[test]
     fn segments_tile_the_utterance() {
         let am = toy_am();
-        let v: Vec<f32> = (0..40).map(|i| if (i / 5) % 2 == 0 { -2.0 } else { 2.0 }).collect();
+        let v: Vec<f32> = (0..40)
+            .map(|i| if (i / 5) % 2 == 0 { -2.0 } else { 2.0 })
+            .collect();
         let out = decode(&am, &feats(&v), &DecoderConfig::default());
         assert_eq!(out.segments.first().unwrap().start, 0);
         assert_eq!(out.segments.last().unwrap().end, 40);
@@ -302,7 +498,7 @@ mod tests {
     #[test]
     fn confident_frames_give_confident_posteriors() {
         let am = toy_am();
-        let out = decode(&am, &feats(&vec![-2.0f32; 12]), &DecoderConfig::default());
+        let out = decode(&am, &feats(&[-2.0f32; 12]), &DecoderConfig::default());
         assert!(out.network.slot(0)[0].prob > 0.9);
     }
 
@@ -319,14 +515,123 @@ mod tests {
         let am = toy_am();
         let out = decode(&am, &feats(&[2.0]), &DecoderConfig::default());
         assert_eq!(out.segments.len(), 1);
-        assert_eq!(out.segments[0], PhoneSegment { phone: 1, start: 0, end: 1 });
+        assert_eq!(
+            out.segments[0],
+            PhoneSegment {
+                phone: 1,
+                start: 0,
+                end: 1
+            }
+        );
     }
 
     #[test]
     fn top_k_limits_slot_size() {
         let am = toy_am();
-        let cfg = DecoderConfig { top_k: 1, ..Default::default() };
-        let out = decode(&am, &feats(&vec![0.0f32; 6]), &cfg);
+        let cfg = DecoderConfig {
+            top_k: 1,
+            ..Default::default()
+        };
+        let out = decode(&am, &feats(&[0.0f32; 6]), &cfg);
         assert!(out.network.slots().iter().all(|s| s.len() == 1));
+    }
+
+    fn wavy_feats(n: usize) -> FrameMatrix {
+        let v: Vec<f32> = (0..n).map(|i| 2.2 * ((i as f32) * 0.37).sin()).collect();
+        feats(&v)
+    }
+
+    #[test]
+    fn wide_beam_is_bitwise_identical_to_exact() {
+        let am = toy_am();
+        let f = wavy_feats(60);
+        let exact = decode(&am, &f, &DecoderConfig::default());
+        let beamed = decode(
+            &am,
+            &f,
+            &DecoderConfig {
+                beam: Some(1e9),
+                ..Default::default()
+            },
+        );
+        assert_eq!(exact.segments, beamed.segments);
+        assert_eq!(
+            exact.viterbi_score.to_bits(),
+            beamed.viterbi_score.to_bits()
+        );
+        for (a, b) in exact.network.slots().iter().zip(beamed.network.slots()) {
+            assert_eq!(a.len(), b.len());
+            for (ea, eb) in a.iter().zip(b) {
+                assert_eq!(ea.phone, eb.phone);
+                assert_eq!(ea.prob.to_bits(), eb.prob.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tight_beam_still_tiles_the_utterance() {
+        let am = toy_am();
+        let f = wavy_feats(50);
+        let cfg = DecoderConfig {
+            beam: Some(1.0),
+            ..Default::default()
+        };
+        let out = decode(&am, &f, &cfg);
+        assert_eq!(out.segments.first().unwrap().start, 0);
+        assert_eq!(out.segments.last().unwrap().end, 50);
+        for w in out.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn beam_score_never_exceeds_exact_score() {
+        let am = toy_am();
+        let f = wavy_feats(40);
+        let exact = decode(&am, &f, &DecoderConfig::default());
+        for beam in [0.5f32, 2.0, 8.0, 32.0] {
+            let out = decode(
+                &am,
+                &f,
+                &DecoderConfig {
+                    beam: Some(beam),
+                    ..Default::default()
+                },
+            );
+            assert!(
+                out.viterbi_score <= exact.viterbi_score + 1e-4,
+                "beam {beam}: {} > {}",
+                out.viterbi_score,
+                exact.viterbi_score
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_utterances_matches_fresh_decode() {
+        let am = toy_am();
+        let mut scratch = DecodeScratch::new();
+        // Decode a long utterance first so every buffer is oversized, then a
+        // short one: stale state must not leak.
+        let long = wavy_feats(64);
+        let _ = decode_with_scratch(&am, &long, &DecoderConfig::default(), &mut scratch);
+        for cfg in [
+            DecoderConfig::default(),
+            DecoderConfig {
+                beam: Some(3.0),
+                ..Default::default()
+            },
+        ] {
+            for n in [1usize, 7, 23] {
+                let f = wavy_feats(n);
+                let fresh = decode(&am, &f, &cfg);
+                let reused = decode_with_scratch(&am, &f, &cfg, &mut scratch);
+                assert_eq!(fresh.segments, reused.segments);
+                assert_eq!(
+                    fresh.viterbi_score.to_bits(),
+                    reused.viterbi_score.to_bits()
+                );
+            }
+        }
     }
 }

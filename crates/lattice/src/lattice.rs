@@ -33,10 +33,20 @@ impl Lattice {
     pub fn new(num_nodes: usize, edges: Vec<Edge>, start: usize, end: usize) -> Lattice {
         assert!(start < num_nodes && end < num_nodes);
         for e in &edges {
-            assert!(e.from < e.to, "edges must go forward: {} -> {}", e.from, e.to);
+            assert!(
+                e.from < e.to,
+                "edges must go forward: {} -> {}",
+                e.from,
+                e.to
+            );
             assert!(e.to < num_nodes);
         }
-        Lattice { num_nodes, edges, start, end }
+        Lattice {
+            num_nodes,
+            edges,
+            start,
+            end,
+        }
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -151,9 +161,24 @@ mod tests {
         Lattice::new(
             3,
             vec![
-                Edge { from: 0, to: 1, phone: 0, log_score: wa.ln() },
-                Edge { from: 0, to: 1, phone: 1, log_score: wb.ln() },
-                Edge { from: 1, to: 2, phone: 2, log_score: 0.0 },
+                Edge {
+                    from: 0,
+                    to: 1,
+                    phone: 0,
+                    log_score: wa.ln(),
+                },
+                Edge {
+                    from: 0,
+                    to: 1,
+                    phone: 1,
+                    log_score: wb.ln(),
+                },
+                Edge {
+                    from: 1,
+                    to: 2,
+                    phone: 2,
+                    log_score: 0.0,
+                },
             ],
             0,
             2,
@@ -197,7 +222,12 @@ mod tests {
     fn disconnected_lattice_has_no_posteriors() {
         let l = Lattice::new(
             3,
-            vec![Edge { from: 0, to: 1, phone: 0, log_score: 0.0 }],
+            vec![Edge {
+                from: 0,
+                to: 1,
+                phone: 0,
+                log_score: 0.0,
+            }],
             0,
             2,
         );
@@ -209,7 +239,12 @@ mod tests {
     fn backward_edge_rejected() {
         let _ = Lattice::new(
             2,
-            vec![Edge { from: 1, to: 1, phone: 0, log_score: 0.0 }],
+            vec![Edge {
+                from: 1,
+                to: 1,
+                phone: 0,
+                log_score: 0.0,
+            }],
             0,
             1,
         );
@@ -221,11 +256,36 @@ mod tests {
         let l = Lattice::new(
             4,
             vec![
-                Edge { from: 0, to: 1, phone: 0, log_score: -0.2 },
-                Edge { from: 0, to: 2, phone: 1, log_score: -1.0 },
-                Edge { from: 1, to: 2, phone: 2, log_score: -0.3 },
-                Edge { from: 1, to: 3, phone: 3, log_score: -2.0 },
-                Edge { from: 2, to: 3, phone: 4, log_score: -0.1 },
+                Edge {
+                    from: 0,
+                    to: 1,
+                    phone: 0,
+                    log_score: -0.2,
+                },
+                Edge {
+                    from: 0,
+                    to: 2,
+                    phone: 1,
+                    log_score: -1.0,
+                },
+                Edge {
+                    from: 1,
+                    to: 2,
+                    phone: 2,
+                    log_score: -0.3,
+                },
+                Edge {
+                    from: 1,
+                    to: 3,
+                    phone: 3,
+                    log_score: -2.0,
+                },
+                Edge {
+                    from: 2,
+                    to: 3,
+                    phone: 4,
+                    log_score: -0.1,
+                },
             ],
             0,
             3,

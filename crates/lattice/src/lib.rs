@@ -23,7 +23,10 @@ pub mod nbest;
 pub mod ngram;
 
 pub use confusion::{ConfusionNetwork, Slot, SlotEntry};
-pub use decoder::{decode, DecodeOutput, DecoderConfig, PhoneSegment};
+pub use decoder::{
+    decode, decode_with_scratch, score_all_frames, score_all_frames_into, DecodeOutput,
+    DecodeScratch, DecoderConfig, PhoneSegment,
+};
 pub use lattice::{log_add, Edge, Lattice};
 pub use nbest::{decode_lattice, NBestConfig};
 pub use ngram::{expected_ngram_counts_cn, expected_ngram_counts_lattice, NgramCounts};

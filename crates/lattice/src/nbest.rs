@@ -28,7 +28,11 @@ pub struct NBestConfig {
 
 impl Default for NBestConfig {
     fn default() -> Self {
-        Self { decoder: DecoderConfig::default(), lattice_beam: 3, prune_logprob: 12.0 }
+        Self {
+            decoder: DecoderConfig::default(),
+            lattice_beam: 3,
+            prune_logprob: 12.0,
+        }
     }
 }
 
@@ -87,7 +91,11 @@ pub fn decode_lattice(am: &AcousticModel, feats: &FrameMatrix, cfg: &NBestConfig
         for p in 0..num_phones {
             let s = inv.state_of(p, STATES_PER_PHONE - 1);
             if delta[s] > f32::NEG_INFINITY {
-                hyps.push(BoundaryHyp { phone: p as u16, start: start[s], score: delta[s] + log_next });
+                hyps.push(BoundaryHyp {
+                    phone: p as u16,
+                    start: start[s],
+                    score: delta[s] + log_next,
+                });
             }
         }
         hyps.sort_unstable_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
@@ -100,7 +108,12 @@ pub fn decode_lattice(am: &AcousticModel, feats: &FrameMatrix, cfg: &NBestConfig
             // Edge score: the *increment* over the boundary it started from,
             // so lattice path scores compose correctly.
             let inc = h.score - boundary_best[h.start];
-            edges.push(Edge { from: h.start, to: t, phone: h.phone, log_score: inc });
+            edges.push(Edge {
+                from: h.start,
+                to: t,
+                phone: h.phone,
+                log_score: inc,
+            });
             boundary_best[t] = boundary_best[t].max(h.score);
         }
 
@@ -152,7 +165,12 @@ pub fn decode_lattice(am: &AcousticModel, feats: &FrameMatrix, cfg: &NBestConfig
         let edges = one
             .segments
             .iter()
-            .map(|s| Edge { from: s.start, to: s.end, phone: s.phone, log_score: 0.0 })
+            .map(|s| Edge {
+                from: s.start,
+                to: s.end,
+                phone: s.phone,
+                log_score: 0.0,
+            })
             .collect();
         return Lattice::new(t_max + 1, edges, 0, t_max);
     }
@@ -223,7 +241,9 @@ mod tests {
                     mass[e.phone as usize] += p;
                 }
             }
-            (0..3).max_by(|&a, &b| mass[a].partial_cmp(&mass[b]).unwrap()).unwrap() as u16
+            (0..3)
+                .max_by(|&a, &b| mass[a].partial_cmp(&mass[b]).unwrap())
+                .unwrap() as u16
         };
         assert_eq!(covering(4), 0);
         assert_eq!(covering(20), 2);
@@ -235,9 +255,11 @@ mod tests {
         // Ambiguous mid-way signal: alternatives should survive the beam.
         let v = vec![1.0f32; 16]; // between phone 0 (mean 0) and phone 1 (mean 2)
         let lat = decode_lattice(&am, &feats(&v), &NBestConfig::default());
-        let phones: std::collections::HashSet<u16> =
-            lat.edges().iter().map(|e| e.phone).collect();
-        assert!(phones.len() >= 2, "expected alternative phone hypotheses, got {phones:?}");
+        let phones: std::collections::HashSet<u16> = lat.edges().iter().map(|e| e.phone).collect();
+        assert!(
+            phones.len() >= 2,
+            "expected alternative phone hypotheses, got {phones:?}"
+        );
     }
 
     #[test]
@@ -258,6 +280,10 @@ mod tests {
         assert!(counts.total() > 0.0);
         // Phones 0 and 2 must carry most of the unigram mass.
         let hot = counts.get(&[0]) + counts.get(&[2]);
-        assert!(hot / counts.total() > 0.5, "mass: {hot} of {}", counts.total());
+        assert!(
+            hot / counts.total() > 0.5,
+            "mass: {hot} of {}",
+            counts.total()
+        );
     }
 }

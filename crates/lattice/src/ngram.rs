@@ -19,9 +19,14 @@ pub struct NgramCounts {
 
 impl NgramCounts {
     pub fn new(order: usize, num_phones: usize) -> NgramCounts {
-        assert!(order >= 1 && order <= 3, "orders 1..=3 supported");
+        assert!((1..=3).contains(&order), "orders 1..=3 supported");
         assert!((num_phones as u64).pow(order as u32) <= u32::MAX as u64);
-        NgramCounts { order, num_phones, counts: HashMap::new(), total: 0.0 }
+        NgramCounts {
+            order,
+            num_phones,
+            counts: HashMap::new(),
+            total: 0.0,
+        }
     }
 
     pub fn order(&self) -> usize {
@@ -187,7 +192,17 @@ fn extend_chain(
         return;
     }
     for &next in &out_edges[e.to] {
-        extend_chain(lat, out_edges, next, depth + 1, acc, beta, total, ngram, out);
+        extend_chain(
+            lat,
+            out_edges,
+            next,
+            depth + 1,
+            acc,
+            beta,
+            total,
+            ngram,
+            out,
+        );
     }
 }
 
@@ -199,9 +214,30 @@ mod tests {
 
     fn cn() -> ConfusionNetwork {
         ConfusionNetwork::new(vec![
-            vec![SlotEntry { phone: 0, prob: 0.6 }, SlotEntry { phone: 1, prob: 0.4 }],
-            vec![SlotEntry { phone: 2, prob: 1.0 }],
-            vec![SlotEntry { phone: 0, prob: 0.5 }, SlotEntry { phone: 2, prob: 0.5 }],
+            vec![
+                SlotEntry {
+                    phone: 0,
+                    prob: 0.6,
+                },
+                SlotEntry {
+                    phone: 1,
+                    prob: 0.4,
+                },
+            ],
+            vec![SlotEntry {
+                phone: 2,
+                prob: 1.0,
+            }],
+            vec![
+                SlotEntry {
+                    phone: 0,
+                    prob: 0.5,
+                },
+                SlotEntry {
+                    phone: 2,
+                    prob: 0.5,
+                },
+            ],
         ])
     }
 
@@ -220,7 +256,7 @@ mod tests {
         assert!((c.get(&[0, 2]) - 0.6).abs() < 1e-5); // slot0(0)*slot1(2)
         assert!((c.get(&[1, 2]) - 0.4).abs() < 1e-5);
         assert!((c.get(&[2, 0]) - 0.5).abs() < 1e-5); // slot1(2)*slot2(0)
-        // Total bigram mass = (#windows) since slots are normalized here.
+                                                      // Total bigram mass = (#windows) since slots are normalized here.
         assert!((c.total() - 2.0).abs() < 1e-5);
     }
 
@@ -234,7 +270,10 @@ mod tests {
 
     #[test]
     fn short_network_yields_empty_counts() {
-        let net = ConfusionNetwork::new(vec![vec![SlotEntry { phone: 0, prob: 1.0 }]]);
+        let net = ConfusionNetwork::new(vec![vec![SlotEntry {
+            phone: 0,
+            prob: 1.0,
+        }]]);
         let c = expected_ngram_counts_cn(&net, 2, 3);
         assert_eq!(c.num_entries(), 0);
         assert_eq!(c.total(), 0.0);
@@ -270,9 +309,24 @@ mod tests {
         let lat = Lattice::new(
             3,
             vec![
-                Edge { from: 0, to: 1, phone: 0, log_score: (0.75f32).ln() },
-                Edge { from: 0, to: 1, phone: 1, log_score: (0.25f32).ln() },
-                Edge { from: 1, to: 2, phone: 2, log_score: 0.0 },
+                Edge {
+                    from: 0,
+                    to: 1,
+                    phone: 0,
+                    log_score: (0.75f32).ln(),
+                },
+                Edge {
+                    from: 0,
+                    to: 1,
+                    phone: 1,
+                    log_score: (0.25f32).ln(),
+                },
+                Edge {
+                    from: 1,
+                    to: 2,
+                    phone: 2,
+                    log_score: 0.0,
+                },
             ],
             0,
             2,

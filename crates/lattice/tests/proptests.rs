@@ -1,6 +1,9 @@
 //! Property-based tests for lattices and decoding.
 
-use lre_am::{AcousticModel, DiagGmm, FeatureKind, FeatureTransform, GmmStateScorer, HmmTopology, StateInventory};
+use lre_am::{
+    AcousticModel, DiagGmm, FeatureKind, FeatureTransform, GmmStateScorer, HmmTopology,
+    StateInventory,
+};
 use lre_dsp::FrameMatrix;
 use lre_lattice::{decode, expected_ngram_counts_cn, DecoderConfig, Edge, Lattice};
 use proptest::prelude::*;
@@ -147,5 +150,49 @@ proptest! {
         prop_assert_eq!(out.segments.len(), 1);
         prop_assert_eq!(out.segments[0].phone as usize, phone);
         prop_assert!(out.network.slot(0)[0].prob > 0.5);
+    }
+
+    #[test]
+    fn wide_beam_decode_equals_exact_decode(vals in prop::collection::vec(-1.0f32..7.0, 5..120)) {
+        // A beam no hypothesis can ever fall out of must reproduce the exact
+        // search segment-for-segment (and score bit-for-bit).
+        let am = toy_am(4);
+        let feats = FrameMatrix::from_flat(1, vals);
+        let exact = decode(&am, &feats, &DecoderConfig::default());
+        let wide = decode(
+            &am,
+            &feats,
+            &DecoderConfig { beam: Some(1e9), ..DecoderConfig::default() },
+        );
+        prop_assert_eq!(&exact.segments, &wide.segments);
+        prop_assert_eq!(exact.viterbi_score.to_bits(), wide.viterbi_score.to_bits());
+    }
+
+    #[test]
+    fn tightening_beam_never_increases_best_score(vals in prop::collection::vec(-1.0f32..7.0, 5..120)) {
+        // Pruning can only remove hypotheses relative to the exact search,
+        // so no beam can ever beat the exact 1-best score. (Two *pruned*
+        // beams are not mutually comparable: a wider beam's higher per-frame
+        // best can push its threshold above a state the tighter beam keeps.)
+        let am = toy_am(4);
+        let feats = FrameMatrix::from_flat(1, vals);
+        let exact = decode(&am, &feats, &DecoderConfig::default()).viterbi_score;
+        for beam in [64.0f32, 16.0, 4.0, 1.0, 0.25] {
+            let out = decode(
+                &am,
+                &feats,
+                &DecoderConfig { beam: Some(beam), ..DecoderConfig::default() },
+            );
+            prop_assert!(
+                out.viterbi_score <= exact + 1e-4,
+                "beam {} beat the exact 1-best score: {} > {}", beam, out.viterbi_score, exact
+            );
+            // Pruned decodes still tile the utterance.
+            prop_assert_eq!(out.segments.first().unwrap().start, 0);
+            prop_assert_eq!(out.segments.last().unwrap().end, out.num_frames);
+            for w in out.segments.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+        }
     }
 }

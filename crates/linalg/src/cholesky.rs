@@ -15,7 +15,11 @@ impl Mat {
     /// definite to working precision). Only the lower triangle of `self` is
     /// read, so callers may pass matrices whose upper triangle is stale.
     pub fn cholesky(&self) -> Option<Cholesky> {
-        assert_eq!(self.rows(), self.cols(), "cholesky requires a square matrix");
+        assert_eq!(
+            self.rows(),
+            self.cols(),
+            "cholesky requires a square matrix"
+        );
         let n = self.rows();
         let mut l = Mat::zeros(n, n);
         for i in 0..n {
@@ -57,8 +61,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[(i, k)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -66,8 +70,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(k, i)] * xk;
             }
             x[i] = sum / self.l[(i, i)];
         }
@@ -81,8 +85,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[(i, k)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }

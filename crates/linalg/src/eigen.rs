@@ -34,7 +34,10 @@ pub fn jacobi_eigen(a: &Mat, max_sweeps: usize) -> EigenDecomposition {
                 off += m[(i, j)] * m[(i, j)];
             }
         }
-        let diag_scale: f64 = (0..n).map(|i| m[(i, i)] * m[(i, i)]).sum::<f64>().max(1e-300);
+        let diag_scale: f64 = (0..n)
+            .map(|i| m[(i, i)] * m[(i, i)])
+            .sum::<f64>()
+            .max(1e-300);
         if off <= 1e-26 * diag_scale {
             break;
         }

@@ -70,7 +70,10 @@ pub fn generalized_symmetric_eigen(a: &Mat, b: &Mat) -> Option<GeneralizedEigen>
         }
     }
 
-    Some(GeneralizedEigen { values: eig.values, vectors })
+    Some(GeneralizedEigen {
+        values: eig.values,
+        vectors,
+    })
 }
 
 #[cfg(test)]

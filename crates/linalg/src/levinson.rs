@@ -68,7 +68,11 @@ pub fn levinson_durbin(r: &[f64], order: usize) -> Option<LpcResult> {
         }
     }
 
-    Some(LpcResult { coeffs: a[1..=order].to_vec(), reflection, error: err })
+    Some(LpcResult {
+        coeffs: a[1..=order].to_vec(),
+        reflection,
+        error: err,
+    })
 }
 
 /// Convert LPC coefficients to `n_cep` cepstral coefficients (excluding c0)
@@ -115,7 +119,7 @@ mod tests {
     fn recovers_ar1_coefficient() {
         // AR(1): x[n] = 0.9 x[n-1] + e[n]. Theoretical autocorrelation r[k] ∝ 0.9^k.
         let rho: f64 = 0.9;
-        let r: Vec<f64> = (0..4).map(|k| rho.powi(k as i32)).collect();
+        let r: Vec<f64> = (0..4).map(|k| rho.powi(k)).collect();
         let lpc = levinson_durbin(&r, 1).unwrap();
         // Convention: x[n] ≈ -a1 x[n-1] so a1 ≈ -0.9.
         assert!((lpc.coeffs[0] + rho).abs() < 1e-10);
@@ -126,8 +130,8 @@ mod tests {
     fn recovers_ar2_coefficients() {
         // Build exact autocorrelation of AR(2) via Yule-Walker forward pass.
         let (a1, a2) = (1.2, -0.5); // x[n] = a1 x[n-1] + a2 x[n-2] + e
-        // Solve stationary Yule-Walker equations for r1, r2 with r0 = 1:
-        // r1 = a1 r0 + a2 r1 => r1 = a1 / (1 - a2)
+                                    // Solve stationary Yule-Walker equations for r1, r2 with r0 = 1:
+                                    // r1 = a1 r0 + a2 r1 => r1 = a1 / (1 - a2)
         let r1 = a1 / (1.0 - a2);
         let r2 = a1 * r1 + a2;
         let r3 = a1 * r2 + a2 * r1;
@@ -139,7 +143,9 @@ mod tests {
 
     #[test]
     fn reflection_coefficients_bounded_for_valid_autocorrelation() {
-        let x: Vec<f64> = (0..128).map(|i| ((i as f64) * 0.7).sin() + 0.3 * ((i as f64) * 2.1).cos()).collect();
+        let x: Vec<f64> = (0..128)
+            .map(|i| ((i as f64) * 0.7).sin() + 0.3 * ((i as f64) * 2.1).cos())
+            .collect();
         let r = autocorrelation(&x, 12);
         let lpc = levinson_durbin(&r, 12).unwrap();
         for &k in &lpc.reflection {

@@ -30,7 +30,7 @@ pub use eigen::{jacobi_eigen, EigenDecomposition};
 pub use geig::{generalized_symmetric_eigen, GeneralizedEigen};
 pub use levinson::{autocorrelation, levinson_durbin, lpc_to_cepstrum, LpcResult};
 pub use lu::Lu;
-pub use matrix::Mat;
+pub use matrix::{axpy_f32, gemm_xwt_f32, Mat};
 pub use stats::{covariance_matrix, mean_vector, weighted_mean_vector};
 
 /// Numerical tolerance used by the decompositions in this crate when deciding

@@ -17,7 +17,11 @@ pub struct Mat {
 impl Mat {
     /// All-zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -31,7 +35,11 @@ impl Mat {
 
     /// Build from a flat row-major buffer. Panics if the length mismatches.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat buffer length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -44,7 +52,11 @@ impl Mat {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Diagonal matrix from a slice.
@@ -155,9 +167,8 @@ impl Mat {
     pub fn rank1_update(&mut self, alpha: f64, x: &[f64], y: &[f64]) {
         assert_eq!(x.len(), self.rows);
         assert_eq!(y.len(), self.cols);
-        for i in 0..self.rows {
-            let ax = alpha * x[i];
-            crate::axpy(ax, y, self.row_mut(i));
+        for (i, &xi) in x.iter().enumerate() {
+            crate::axpy(alpha * xi, y, self.row_mut(i));
         }
     }
 
@@ -188,6 +199,73 @@ impl Mat {
     /// True if every entry is finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Row-block edge for the blocked `f32` kernels below. A transposed block
+/// panel holds `TILE × k` floats — L1/L2-resident for the feature and
+/// hidden-layer widths used by the acoustic models (k ≤ a few hundred) —
+/// and the per-output accumulator strip is `TILE` floats on the stack.
+const TILE: usize = 128;
+
+/// Blocked `out = x · wᵀ + bias` over `f32` row-major panels — the emission
+/// hot-path kernel (`x`: `rows × k` frames, `w`: `out_dim × k` weights,
+/// `out`: `rows × out_dim`).
+///
+/// Each output element is one dot product accumulated strictly in `k`
+/// order, so results are **bit-identical** to the scalar per-row loop. The
+/// exactness matters: the decoder's `beam: None` path promises bit-identical
+/// output to the historical per-frame scorer. The speed-up comes from
+/// making the *row* (frame) dimension the inner, data-parallel axis: each
+/// row block is transposed once into a `k × TILE` panel, and for every
+/// output the `k` accumulation steps then run over `TILE` independent
+/// unit-stride accumulators — the serial chain a single dot product imposes
+/// is carried across frames in parallel instead, which vectorizes where the
+/// per-frame loop cannot.
+pub fn gemm_xwt_f32(x: &[f32], w: &[f32], bias: &[f32], k: usize, out: &mut [f32]) {
+    assert!(k > 0, "inner dimension must be positive");
+    let rows = x.len() / k;
+    let out_dim = bias.len();
+    assert_eq!(x.len(), rows * k, "x must be rows × k");
+    assert_eq!(w.len(), out_dim * k, "w must be out_dim × k");
+    assert_eq!(out.len(), rows * out_dim, "out must be rows × out_dim");
+    let mut xt = vec![0.0f32; TILE.min(rows.max(1)) * k];
+    let mut acc = [0.0f32; TILE];
+    for r0 in (0..rows).step_by(TILE) {
+        let rb = TILE.min(rows - r0);
+        // Transpose the block: xt[kk · rb + j] = x[(r0 + j) · k + kk].
+        for j in 0..rb {
+            let xr = &x[(r0 + j) * k..(r0 + j + 1) * k];
+            for (kk, &v) in xr.iter().enumerate() {
+                xt[kk * rb + j] = v;
+            }
+        }
+        for o in 0..out_dim {
+            let wo = &w[o * k..(o + 1) * k];
+            let accs = &mut acc[..rb];
+            accs.fill(0.0);
+            for (kk, &wk) in wo.iter().enumerate() {
+                let col = &xt[kk * rb..kk * rb + rb];
+                for (a, &xv) in accs.iter_mut().zip(col) {
+                    *a += xv * wk;
+                }
+            }
+            let b = bias[o];
+            for (j, &a) in accs.iter().enumerate() {
+                out[(r0 + j) * out_dim + o] = b + a;
+            }
+        }
+    }
+}
+
+/// `y += alpha * x` over `f32` slices (single-precision twin of [`axpy`]).
+///
+/// [`axpy`]: crate::axpy
+#[inline]
+pub fn axpy_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
     }
 }
 
@@ -276,6 +354,44 @@ mod tests {
     #[should_panic]
     fn ragged_rows_panic() {
         let _ = Mat::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn gemm_xwt_matches_scalar_reference_bitwise() {
+        // Odd sizes exercise partial tiles on both axes.
+        let (rows, k, out_dim) = (67, 39, 41);
+        let x: Vec<f32> = (0..rows * k)
+            .map(|i| ((i * 37 % 97) as f32 - 48.0) * 0.063)
+            .collect();
+        let w: Vec<f32> = (0..out_dim * k)
+            .map(|i| ((i * 53 % 89) as f32 - 44.0) * 0.041)
+            .collect();
+        let bias: Vec<f32> = (0..out_dim).map(|i| i as f32 * 0.11 - 2.0).collect();
+        let mut out = vec![0.0f32; rows * out_dim];
+        gemm_xwt_f32(&x, &w, &bias, k, &mut out);
+        for r in 0..rows {
+            for o in 0..out_dim {
+                let mut acc = 0.0f32;
+                for j in 0..k {
+                    acc += x[r * k + j] * w[o * k + j];
+                }
+                assert_eq!(out[r * out_dim + o].to_bits(), (bias[o] + acc).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_xwt_empty_rows_is_noop() {
+        let mut out = Vec::new();
+        gemm_xwt_f32(&[], &[0.5, 0.5], &[1.0], 2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn axpy_f32_basic() {
+        let mut y = vec![1.0f32, 1.0];
+        axpy_f32(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub fn weighted_mean_vector(data: &Mat, weights: &[f64]) -> Vec<f64> {
     let wsum: f64 = weights.iter().sum();
     assert!(wsum > 0.0, "weights must have positive sum");
     let mut mean = vec![0.0; d];
-    for i in 0..n {
-        crate::axpy(weights[i], data.row(i), &mut mean);
+    for (i, &w) in weights.iter().enumerate() {
+        crate::axpy(w, data.row(i), &mut mean);
     }
     crate::scale(1.0 / wsum, &mut mean);
     mean
@@ -68,8 +68,7 @@ mod tests {
     #[test]
     fn covariance_of_isotropic_square() {
         // Four corners of a square: variance 1 per axis, zero correlation.
-        let data =
-            Mat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0], &[-1.0, 1.0], &[-1.0, -1.0]]);
+        let data = Mat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0], &[-1.0, 1.0], &[-1.0, -1.0]]);
         let mean = mean_vector(&data);
         let cov = covariance_matrix(&data, &mean);
         assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);

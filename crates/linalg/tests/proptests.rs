@@ -1,8 +1,6 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use lre_linalg::{
-    autocorrelation, jacobi_eigen, levinson_durbin, mean_vector, Mat,
-};
+use lre_linalg::{autocorrelation, jacobi_eigen, levinson_durbin, mean_vector, Mat};
 use proptest::prelude::*;
 
 fn matrix(n: usize) -> impl Strategy<Value = Mat> {

@@ -230,7 +230,8 @@ impl UniversalInventory {
             // Tone-specific offsets with alternating signs keep the four
             // variants spectrally distinguishable at 8 kHz (f0 contours are
             // nearly invisible to an envelope front-end).
-            let offsets: [(f32, f32); 4] = [(55.0, 70.0), (20.0, -60.0), (-45.0, 30.0), (-70.0, -75.0)];
+            let offsets: [(f32, f32); 4] =
+                [(55.0, 70.0), (20.0, -60.0), (-45.0, 30.0), (-70.0, -75.0)];
             for tone in 1..=4u32 {
                 let (d1, d2) = offsets[(tone - 1) as usize];
                 let mut p = vowel(&format!("{base}{tone}"), f1 + d1, f2 + d2, 9.0);
@@ -239,7 +240,11 @@ impl UniversalInventory {
             }
         }
 
-        assert_eq!(phones.len(), UNIVERSAL_SIZE, "inventory construction drifted");
+        assert_eq!(
+            phones.len(),
+            UNIVERSAL_SIZE,
+            "inventory construction drifted"
+        );
         Self { phones }
     }
 
@@ -312,7 +317,11 @@ mod tests {
         let inv = UniversalInventory::new();
         let mut seen = std::collections::HashSet::new();
         for p in inv.phones() {
-            assert!(seen.insert(p.symbol.clone()), "duplicate symbol {}", p.symbol);
+            assert!(
+                seen.insert(p.symbol.clone()),
+                "duplicate symbol {}",
+                p.symbol
+            );
         }
     }
 
@@ -337,7 +346,11 @@ mod tests {
     fn durations_positive() {
         let inv = UniversalInventory::new();
         for p in inv.phones() {
-            assert!(p.mean_dur_frames > 0.0 && p.std_dur_frames >= 0.0, "{}", p.symbol);
+            assert!(
+                p.mean_dur_frames > 0.0 && p.std_dur_frames >= 0.0,
+                "{}",
+                p.symbol
+            );
         }
     }
 

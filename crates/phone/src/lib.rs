@@ -28,8 +28,10 @@ mod integration {
     fn paper_inventory_sizes() {
         let inv = UniversalInventory::new();
         let sets = standard_phone_sets(&inv);
-        let sizes: Vec<(String, usize)> =
-            sets.iter().map(|s| (s.name().to_string(), s.len())).collect();
+        let sizes: Vec<(String, usize)> = sets
+            .iter()
+            .map(|s| (s.name().to_string(), s.len()))
+            .collect();
         let get = |n: &str| sizes.iter().find(|(name, _)| name == n).unwrap().1;
         assert_eq!(get("HU"), 59);
         assert_eq!(get("RU"), 50);
@@ -44,7 +46,11 @@ mod integration {
         for set in standard_phone_sets(&inv) {
             for u in 0..inv.len() {
                 let p = set.project(u);
-                assert!(p < set.len(), "{}: phone {u} projects out of range", set.name());
+                assert!(
+                    p < set.len(),
+                    "{}: phone {u} projects out of range",
+                    set.name()
+                );
             }
         }
     }
@@ -65,6 +71,9 @@ mod integration {
                 }
             }
         }
-        assert!(distinct_pairs >= 9, "phone sets are too similar: {distinct_pairs}");
+        assert!(
+            distinct_pairs >= 9,
+            "phone sets are too similar: {distinct_pairs}"
+        );
     }
 }

@@ -50,19 +50,19 @@ impl PhoneSetId {
             ],
             // Russian: palatalization-rich but no length, no tones, no aspiration.
             PhoneSetId::Ru => &[
-                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "i:", "e:", "E:", "a:", "A:",
-                "o:", "u:", "y:", "@:", "T", "D", "ph", "th", "kh",
+                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "i:", "e:", "E:", "a:", "A:", "o:",
+                "u:", "y:", "@:", "T", "D", "ph", "th", "kh",
             ],
             // Czech: smallest set; partial length, core palatalized only.
             PhoneSetId::Cz => &[
-                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "sj", "zj", "mj", "rj", "lj",
-                "T", "D", "H", "ph", "th", "kh", "E:", "y:", "@:", "A:", "w", "tc", "dz", "4",
-                "ng", "L",
+                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "sj", "zj", "mj", "rj", "lj", "T",
+                "D", "H", "ph", "th", "kh", "E:", "y:", "@:", "A:", "w", "tc", "dz", "4", "ng",
+                "L",
             ],
             // English: dental fricatives and flap kept, palatalized dropped.
             PhoneSetId::En => &[
-                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "e:", "E:", "a:", "y:", "@:",
-                "tj", "dj", "sj", "zj", "rj", "lj", "mj", "nj", "x", "L", "H", "nn",
+                "a1", "a2", "a3", "a4", "i1", "i2", "i3", "i4", "e:", "E:", "a:", "y:", "@:", "tj",
+                "dj", "sj", "zj", "rj", "lj", "mj", "nj", "x", "L", "H", "nn",
             ],
         }
     }
@@ -88,7 +88,10 @@ impl PhoneSet {
         let excluded: Vec<usize> = id
             .exclusions()
             .iter()
-            .map(|s| inv.index_of(s).unwrap_or_else(|| panic!("unknown exclusion symbol {s}")))
+            .map(|s| {
+                inv.index_of(s)
+                    .unwrap_or_else(|| panic!("unknown exclusion symbol {s}"))
+            })
             .collect();
         let members: Vec<usize> = (0..inv.len()).filter(|u| !excluded.contains(u)).collect();
         assert_eq!(
@@ -97,7 +100,10 @@ impl PhoneSet {
             "{} inventory size drifted from the paper",
             id.name()
         );
-        let symbols: Vec<String> = members.iter().map(|&u| inv.phone(u).symbol.clone()).collect();
+        let symbols: Vec<String> = members
+            .iter()
+            .map(|&u| inv.phone(u).symbol.clone())
+            .collect();
 
         // Total projection: member phones map to themselves, excluded phones
         // to the nearest member by acoustic distance.
@@ -118,7 +124,12 @@ impl PhoneSet {
                 .expect("member list is non-empty");
             projection[u] = nearest as u16;
         }
-        Self { id, members, symbols, projection }
+        Self {
+            id,
+            members,
+            symbols,
+            projection,
+        }
     }
 
     #[inline]
@@ -162,16 +173,25 @@ impl PhoneSet {
 
     /// Set index of this recognizer's silence phone.
     pub fn silence(&self) -> usize {
-        self.symbols.iter().position(|s| s == "sil").expect("every set keeps sil")
+        self.symbols
+            .iter()
+            .position(|s| s == "sil")
+            .expect("every set keeps sil")
     }
 }
 
 /// The paper's five phone sets in a fixed order: HU, RU, CZ, EN, MA.
 pub fn standard_phone_sets(inv: &UniversalInventory) -> Vec<PhoneSet> {
-    [PhoneSetId::Hu, PhoneSetId::Ru, PhoneSetId::Cz, PhoneSetId::En, PhoneSetId::Ma]
-        .into_iter()
-        .map(|id| PhoneSet::standard(id, inv))
-        .collect()
+    [
+        PhoneSetId::Hu,
+        PhoneSetId::Ru,
+        PhoneSetId::Cz,
+        PhoneSetId::En,
+        PhoneSetId::Ma,
+    ]
+    .into_iter()
+    .map(|id| PhoneSet::standard(id, inv))
+    .collect()
 }
 
 #[cfg(test)]
@@ -218,7 +238,13 @@ mod tests {
 
     #[test]
     fn exclusion_lists_have_no_duplicates() {
-        for id in [PhoneSetId::Hu, PhoneSetId::Ru, PhoneSetId::Cz, PhoneSetId::En, PhoneSetId::Ma] {
+        for id in [
+            PhoneSetId::Hu,
+            PhoneSetId::Ru,
+            PhoneSetId::Cz,
+            PhoneSetId::En,
+            PhoneSetId::Ma,
+        ] {
             let ex = id.exclusions();
             let mut seen = std::collections::HashSet::new();
             for s in ex {

@@ -33,7 +33,14 @@ pub struct SvmTrainConfig {
 
 impl Default for SvmTrainConfig {
     fn default() -> Self {
-        Self { c_pos: 1.0, c_neg: 1.0, loss: Loss::L2, max_iter: 60, tol: 1e-3, seed: 1 }
+        Self {
+            c_pos: 1.0,
+            c_neg: 1.0,
+            loss: Loss::L2,
+            max_iter: 60,
+            tol: 1e-3,
+            seed: 1,
+        }
     }
 }
 
@@ -71,12 +78,7 @@ impl LinearSvm {
 /// `ys[i]` must be `+1` or `-1`; `dim` bounds the feature indices. The bias
 /// is learned by augmenting every example with a constant-1 feature
 /// (LIBLINEAR's `-B 1`).
-pub fn train_binary(
-    xs: &[SparseVec],
-    ys: &[i8],
-    dim: usize,
-    cfg: &SvmTrainConfig,
-) -> LinearSvm {
+pub fn train_binary(xs: &[SparseVec], ys: &[i8], dim: usize, cfg: &SvmTrainConfig) -> LinearSvm {
     assert_eq!(xs.len(), ys.len());
     let n = xs.len();
     let mut w = vec![0.0f32; dim];
@@ -88,13 +90,20 @@ pub fn train_binary(
 
     // Per-example constants: Q̄_ii = ‖x_i‖² + 1 (bias feature) [+ 1/(2C)],
     // dual upper bound U_i.
-    let (diag_add, upper): (Box<dyn Fn(f32) -> f32>, Box<dyn Fn(f32) -> f32>) = match cfg.loss {
+    type LossFn = Box<dyn Fn(f32) -> f32>;
+    let (diag_add, upper): (LossFn, LossFn) = match cfg.loss {
         Loss::L1 => (Box::new(|_c: f32| 0.0), Box::new(|c: f32| c)),
-        Loss::L2 => (Box::new(|c: f32| 1.0 / (2.0 * c)), Box::new(|_c: f32| f32::INFINITY)),
+        Loss::L2 => (
+            Box::new(|c: f32| 1.0 / (2.0 * c)),
+            Box::new(|_c: f32| f32::INFINITY),
+        ),
     };
     let cost = |y: i8| if y > 0 { cfg.c_pos } else { cfg.c_neg };
-    let qdiag: Vec<f32> =
-        xs.iter().zip(ys).map(|(x, &y)| x.norm_sq() + 1.0 + diag_add(cost(y))).collect();
+    let qdiag: Vec<f32> = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, &y)| x.norm_sq() + 1.0 + diag_add(cost(y)))
+        .collect();
 
     let mut alpha = vec![0.0f32; n];
     let mut order: Vec<usize> = (0..n).collect();
@@ -169,7 +178,10 @@ mod tests {
     fn separates_separable_data() {
         let (xs, ys) = separable();
         for loss in [Loss::L1, Loss::L2] {
-            let cfg = SvmTrainConfig { loss, ..Default::default() };
+            let cfg = SvmTrainConfig {
+                loss,
+                ..Default::default()
+            };
             let m = train_binary(&xs, &ys, 2, &cfg);
             for (x, &y) in xs.iter().zip(&ys) {
                 assert!(
@@ -184,7 +196,12 @@ mod tests {
     #[test]
     fn margins_reach_one_on_support_vectors() {
         let (xs, ys) = separable();
-        let cfg = SvmTrainConfig { c_pos: 10.0, c_neg: 10.0, max_iter: 500, ..Default::default() };
+        let cfg = SvmTrainConfig {
+            c_pos: 10.0,
+            c_neg: 10.0,
+            max_iter: 500,
+            ..Default::default()
+        };
         let m = train_binary(&xs, &ys, 2, &cfg);
         // With large C the functional margin of the closest points ≈ 1.
         let min_margin = xs
@@ -206,7 +223,11 @@ mod tests {
             &xs,
             &ys,
             1,
-            &SvmTrainConfig { c_pos: 20.0, c_neg: 0.5, ..Default::default() },
+            &SvmTrainConfig {
+                c_pos: 20.0,
+                c_neg: 0.5,
+                ..Default::default()
+            },
         );
         assert!(heavy_pos.score(&sv(&[(0, -0.1)])) > balanced.score(&sv(&[(0, -0.1)])));
     }
@@ -229,16 +250,26 @@ mod tests {
     #[test]
     fn bias_handles_offset_data() {
         // One-dimensional data separable only with a bias: y=+1 iff x > 3.
-        let xs: Vec<SparseVec> =
-            (0..10).map(|i| sv(&[(0, i as f32)])).collect();
+        let xs: Vec<SparseVec> = (0..10).map(|i| sv(&[(0, i as f32)])).collect();
         let ys: Vec<i8> = (0..10).map(|i| if i > 3 { 1 } else { -1 }).collect();
-        let cfg = SvmTrainConfig { c_pos: 10.0, c_neg: 10.0, max_iter: 300, ..Default::default() };
+        let cfg = SvmTrainConfig {
+            c_pos: 10.0,
+            c_neg: 10.0,
+            max_iter: 300,
+            ..Default::default()
+        };
         let m = train_binary(&xs, &ys, 1, &cfg);
         let correct = xs
             .iter()
             .zip(&ys)
             .filter(|(x, &y)| m.score(x) * y as f32 > 0.0)
             .count();
-        assert_eq!(correct, 10, "bias term failed: w={:?} d={}", m.weights(), m.bias());
+        assert_eq!(
+            correct,
+            10,
+            "bias term failed: w={:?} d={}",
+            m.weights(),
+            m.bias()
+        );
     }
 }

@@ -35,8 +35,10 @@ impl OneVsRest {
         let models = (0..num_classes)
             .into_par_iter()
             .map(|k| {
-                let ys: Vec<i8> =
-                    labels.iter().map(|&l| if l == k { 1 } else { -1 }).collect();
+                let ys: Vec<i8> = labels
+                    .iter()
+                    .map(|&l| if l == k { 1 } else { -1 })
+                    .collect();
                 let n_pos = ys.iter().filter(|&&y| y == 1).count().max(1);
                 let n_neg = (ys.len() - n_pos).max(1);
                 let class_cfg = SvmTrainConfig {
@@ -124,7 +126,12 @@ mod tests {
 
     #[test]
     fn handles_class_with_single_example() {
-        let xs = vec![sv(&[(0, 1.0)]), sv(&[(0, -1.0)]), sv(&[(0, -1.2)]), sv(&[(0, -0.8)])];
+        let xs = vec![
+            sv(&[(0, 1.0)]),
+            sv(&[(0, -1.0)]),
+            sv(&[(0, -1.2)]),
+            sv(&[(0, -0.8)]),
+        ];
         let ys = vec![0usize, 1, 1, 1];
         let ovr = OneVsRest::train(&xs, &ys, 2, 1, &SvmTrainConfig::default());
         assert_eq!(ovr.predict(&sv(&[(0, 1.1)])), 0);

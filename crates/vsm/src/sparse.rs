@@ -61,7 +61,10 @@ impl SparseVec {
 
     /// Iterate `(index, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value at `index` (zero if absent) — O(log nnz).

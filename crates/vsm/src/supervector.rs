@@ -18,7 +18,10 @@ pub struct SupervectorBuilder {
 impl SupervectorBuilder {
     pub fn new(num_phones: usize, max_order: usize) -> SupervectorBuilder {
         assert!(num_phones > 0 && (1..=3).contains(&max_order));
-        SupervectorBuilder { num_phones, max_order }
+        SupervectorBuilder {
+            num_phones,
+            max_order,
+        }
     }
 
     pub fn num_phones(&self) -> usize {
@@ -31,7 +34,9 @@ impl SupervectorBuilder {
 
     /// Total supervector dimension `Σ_{n=1..N} Pⁿ`.
     pub fn dim(&self) -> usize {
-        (1..=self.max_order).map(|n| self.num_phones.pow(n as u32)).sum()
+        (1..=self.max_order)
+            .map(|n| self.num_phones.pow(n as u32))
+            .sum()
     }
 
     /// Offset of order-`n`'s block within the supervector.
@@ -89,7 +94,7 @@ mod tests {
         assert!((sv.get(1) - 0.5).abs() < 1e-6);
         // Bigrams (3 windows): 0→1 twice, 1→0 once.
         let off = b.block_offset(2) as u32;
-        let key01 = 0 * 4 + 1;
+        let key01 = 1;
         let key10 = 4; // 1*4 + 0
         assert!((sv.get(off + key01) - 2.0 / 3.0).abs() < 1e-6);
         assert!((sv.get(off + key10) - 1.0 / 3.0).abs() < 1e-6);
@@ -100,10 +105,16 @@ mod tests {
         let b = SupervectorBuilder::new(4, 2);
         let sv = b.build(&net());
         let uni_block_end = b.block_offset(2) as u32;
-        let uni_sum: f32 =
-            sv.iter().filter(|&(i, _)| i < uni_block_end).map(|(_, v)| v).sum();
-        let bi_sum: f32 =
-            sv.iter().filter(|&(i, _)| i >= uni_block_end).map(|(_, v)| v).sum();
+        let uni_sum: f32 = sv
+            .iter()
+            .filter(|&(i, _)| i < uni_block_end)
+            .map(|(_, v)| v)
+            .sum();
+        let bi_sum: f32 = sv
+            .iter()
+            .filter(|&(i, _)| i >= uni_block_end)
+            .map(|(_, v)| v)
+            .sum();
         assert!((uni_sum - 1.0).abs() < 1e-5);
         assert!((bi_sum - 1.0).abs() < 1e-5);
     }

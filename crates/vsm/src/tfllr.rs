@@ -42,7 +42,9 @@ impl TfllrScaler {
     /// Uniform (identity) scaler of a given dimension — useful as an
     /// ablation baseline for the TFLLR kernel.
     pub fn identity(dim: usize) -> TfllrScaler {
-        TfllrScaler { scale: vec![1.0; dim] }
+        TfllrScaler {
+            scale: vec![1.0; dim],
+        }
     }
 
     pub fn dim(&self) -> usize {

@@ -15,7 +15,10 @@ fn network(p: u16) -> impl Strategy<Value = ConfusionNetwork> {
                     let total: f32 = entries.iter().map(|e| e.1).sum();
                     entries
                         .into_iter()
-                        .map(|(phone, w)| SlotEntry { phone, prob: w / total })
+                        .map(|(phone, w)| SlotEntry {
+                            phone,
+                            prob: w / total,
+                        })
                         .collect::<Vec<_>>()
                 })
                 .collect();
@@ -30,7 +33,7 @@ proptest! {
         let b = SupervectorBuilder::new(10, 2);
         let sv = b.build(&net);
         prop_assert!(sv.max_dim() <= b.dim());
-        prop_assert!(sv.values().iter().all(|&v| v >= 0.0 && v <= 1.0 + 1e-5));
+        prop_assert!(sv.values().iter().all(|&v| (0.0..=1.0 + 1e-5).contains(&v)));
         let uni_end = b.block_offset(2) as u32;
         let uni: f32 = sv.iter().filter(|&(i, _)| i < uni_end).map(|(_, v)| v).sum();
         prop_assert!((uni - 1.0).abs() < 1e-3, "unigram mass {uni}");
@@ -76,7 +79,7 @@ proptest! {
     fn tfllr_transform_is_linear(net in network(8), alpha in 0.1f32..5.0) {
         let b = SupervectorBuilder::new(8, 2);
         let sv = b.build(&net);
-        let scaler = TfllrScaler::fit(&[sv.clone()], b.dim(), 1e-5);
+        let scaler = TfllrScaler::fit(std::slice::from_ref(&sv), b.dim(), 1e-5);
         let mut scaled_first = sv.clone();
         scaled_first.scale(alpha);
         let t1 = scaler.transformed(&scaled_first);

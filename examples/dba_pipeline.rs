@@ -23,9 +23,11 @@ fn main() {
     let labels = &exp.test_labels[di];
 
     // --- Step c: the score matrix F (Eq. 8/9) ------------------------------------
-    println!("Step (c) — score matrix F: {} subsystems × {} test utts × 23 languages",
+    println!(
+        "Step (c) — score matrix F: {} subsystems × {} test utts × 23 languages",
         exp.num_subsystems(),
-        exp.test_labels[di].len());
+        exp.test_labels[di].len()
+    );
     let f0 = &exp.baseline_test_scores[0][di];
     let row = f0.row(0);
     let maxrow = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -37,9 +39,11 @@ fn main() {
 
     // --- Step d: votes counting (Eq. 10-13) ----------------------------------------
     let votes = baseline_votes(&exp, d);
-    println!("\nStep (d) — votes: {} of {} utterances received ≥1 vote",
+    println!(
+        "\nStep (d) — votes: {} of {} utterances received ≥1 vote",
         votes.num_voted(),
-        votes.num_utts());
+        votes.num_utts()
+    );
 
     // --- Step e: Tr_DBA selection across thresholds ---------------------------------
     println!("\nStep (e) — Tr_DBA selection (c_jk ≥ V):");
@@ -49,7 +53,11 @@ fn main() {
         println!(
             "  V={v}: {:>4} utts selected, {:>5.1}% pseudo-label error",
             sel.len(),
-            if sel.is_empty() { 0.0 } else { 100.0 * wrong as f64 / sel.len() as f64 }
+            if sel.is_empty() {
+                0.0
+            } else {
+                100.0 * wrong as f64 / sel.len() as f64
+            }
         );
     }
 
@@ -68,7 +76,11 @@ fn main() {
             "\nStep (f) — {}: Tr_DBA = {} utts; mean subsystem EER on {} {:.2}% -> {:.2}%",
             variant.name(),
             out.num_selected()
-                + if variant == DbaVariant::M2 { exp.train_labels.len() } else { 0 },
+                + if variant == DbaVariant::M2 {
+                    exp.train_labels.len()
+                } else {
+                    0
+                },
             d.name(),
             mean_before * 100.0,
             mean_after * 100.0
@@ -77,7 +89,9 @@ fn main() {
         let w = subsystem_weights(&out.criterion_counts);
         println!(
             "  Eq. 15 subsystem weights (M_n/ΣM): {:?}",
-            w.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+            w.iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -8,9 +8,7 @@
 
 use lre_repro::corpus::{Duration, Scale};
 use lre_repro::dba::{Experiment, ExperimentConfig};
-use lre_repro::eval::{
-    det_curve, min_cavg, pooled_eer, probit, split_trials, CavgParams,
-};
+use lre_repro::eval::{det_curve, min_cavg, pooled_eer, probit, split_trials, CavgParams};
 
 fn main() {
     let exp = Experiment::build(&ExperimentConfig::new(Scale::Smoke, 42));

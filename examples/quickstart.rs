@@ -51,7 +51,11 @@ fn main() {
             fe.spec.name,
             before * 100.0,
             after * 100.0,
-            if after < before { "improved" } else { "no gain at this scale" }
+            if after < before {
+                "improved"
+            } else {
+                "no gain at this scale"
+            }
         );
     }
 }

@@ -38,7 +38,9 @@ fn main() {
 }
 
 fn opt(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn lang_by_name(name: &str) -> LanguageId {
@@ -55,11 +57,17 @@ fn lang_by_name(name: &str) -> LanguageId {
 }
 
 fn corpus_stats(args: &[String]) {
-    let seed: u64 = opt(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = opt(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let inv = UniversalInventory::new();
     let ds = Dataset::generate(DatasetConfig::new(Scale::Demo, seed));
     println!("universal phone inventory: {} phones", inv.len());
-    println!("languages: {} ({} LRE09 targets + HU + CZ)", LanguageId::all().len(), 23);
+    println!(
+        "languages: {} ({} LRE09 targets + HU + CZ)",
+        LanguageId::all().len(),
+        23
+    );
     println!(
         "demo split: train {} / dev {} / test {}x3 durations / AM {}x5 recognizer languages",
         ds.train.len(),
@@ -73,7 +81,9 @@ fn corpus_stats(args: &[String]) {
 }
 
 fn synth(args: &[String]) {
-    let seed: u64 = opt(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seed: u64 = opt(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let lang = lang_by_name(&opt(args, "--lang").unwrap_or_else(|| "french".into()));
     let out = opt(args, "--out").unwrap_or_else(|| "utterance.f32".into());
     let inv = UniversalInventory::new();
@@ -100,7 +110,9 @@ fn synth(args: &[String]) {
 }
 
 fn decode_cmd(args: &[String]) {
-    let seed: u64 = opt(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seed: u64 = opt(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let lang = lang_by_name(&opt(args, "--lang").unwrap_or_else(|| "russian".into()));
     let inv = UniversalInventory::new();
     let ds = Dataset::generate(DatasetConfig::new(Scale::Smoke, 42));
@@ -112,20 +124,28 @@ fn decode_cmd(args: &[String]) {
         seed,
     };
     let r = render_utterance(&utt, ds.language(lang), &inv);
-    println!("decoding one {} utterance through all six front-ends…", lang.name());
+    println!(
+        "decoding one {} utterance through all six front-ends…",
+        lang.name()
+    );
     for spec in standard_subsystems() {
         let fe = Frontend::train(spec, &ds, &inv, 2, DecoderConfig::default(), 7);
         let mut feats = extract_features(&r.samples, fe.am.feature);
         fe.am.feature_transform.apply(&mut feats);
         let out = decode(&fe.am, &feats, &fe.decoder);
-        let syms: Vec<&str> =
-            out.segments.iter().map(|s| fe.phone_set.symbol(s.phone as usize)).collect();
+        let syms: Vec<&str> = out
+            .segments
+            .iter()
+            .map(|s| fe.phone_set.symbol(s.phone as usize))
+            .collect();
         println!("{:<12}: {}", spec.name, syms.join(" "));
     }
 }
 
 fn experiment(args: &[String]) {
-    let seed: u64 = opt(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = opt(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let scale = opt(args, "--scale")
         .and_then(|s| Scale::parse(&s))
         .unwrap_or(Scale::Smoke);
@@ -154,7 +174,11 @@ fn experiment(args: &[String]) {
                 .map(|q| pooled_eer(&out.test_scores[di][q], labels))
                 .sum::<f64>()
                 / exp.num_subsystems() as f64;
-            println!("  {:>4}: mean subsystem EER {:5.2}%", d.name(), mean * 100.0);
+            println!(
+                "  {:>4}: mean subsystem EER {:5.2}%",
+                d.name(),
+                mean * 100.0
+            );
         }
     }
 }

@@ -59,7 +59,10 @@ fn selection_tracks_threshold_like_table_1() {
         assert!(sel.len() <= prev);
         prev = sel.len();
         for p in &sel {
-            assert_eq!(p.label, labels[p.utt], "pseudo-label must match construction");
+            assert_eq!(
+                p.label, labels[p.utt],
+                "pseudo-label must match construction"
+            );
             assert!(p.votes >= v);
         }
     }
@@ -84,7 +87,7 @@ fn confused_subsystems_produce_no_false_votes() {
 fn wrong_but_confident_subsystem_pollutes_selection() {
     // Documents the failure mode Table 1 quantifies: a confidently *wrong*
     // subsystem produces wrong pseudo-labels at low V.
-    let labels = vec![0usize, 0];
+    let labels = [0usize, 0];
     let k = 2;
     let mut wrong = ScoreMatrix::new(k);
     wrong.push_row(&[-1.0, 1.0]); // votes class 1, truth is 0

@@ -5,16 +5,25 @@
 //! test in `full_system.rs`.
 
 use lre_repro::am::{extract_features, train_acoustic_model, AmFamily, AmTrainConfig};
-use lre_repro::corpus::{render_utterance, Channel, Dataset, DatasetConfig, LanguageId, Scale, UttSpec};
+use lre_repro::corpus::{
+    render_utterance, Channel, Dataset, DatasetConfig, LanguageId, Scale, UttSpec,
+};
 use lre_repro::lattice::{decode, DecoderConfig};
 use lre_repro::phone::{PhoneSet, PhoneSetId, UniversalInventory};
 use lre_repro::vsm::SupervectorBuilder;
 
-fn small_am() -> (UniversalInventory, Dataset, PhoneSet, lre_repro::am::AcousticModel) {
+fn small_am() -> (
+    UniversalInventory,
+    Dataset,
+    PhoneSet,
+    lre_repro::am::AcousticModel,
+) {
     let inv = UniversalInventory::new();
     let ds = Dataset::generate(DatasetConfig::new(Scale::Smoke, 3));
     let set = PhoneSet::standard(PhoneSetId::Cz, &inv);
-    let lang = ds.language(LanguageId::Czech).phonetically_balanced(0.5, &inv);
+    let lang = ds
+        .language(LanguageId::Czech)
+        .phonetically_balanced(0.5, &inv);
     let utts: Vec<UttSpec> = ds.am_train[2].1.iter().take(12).copied().collect();
     let mut cfg = AmTrainConfig::for_family(AmFamily::GmmHmm, 5);
     cfg.gmm_mixtures = 2;
@@ -28,7 +37,10 @@ fn decoder_produces_valid_confusion_networks() {
     let (inv, ds, set, am) = small_am();
     let dcfg = DecoderConfig::default();
 
-    for (i, lang) in [LanguageId::Czech, LanguageId::French].into_iter().enumerate() {
+    for (i, lang) in [LanguageId::Czech, LanguageId::French]
+        .into_iter()
+        .enumerate()
+    {
         let utt = UttSpec {
             language: lang,
             speaker_seed: 9,
@@ -89,7 +101,11 @@ fn decoded_supervectors_are_valid_and_language_dependent() {
     assert!(ru.max_dim() <= builder.dim());
     // Unigram block sums to ~1 (per-order normalization of Eq. 2/3).
     let uni_end = builder.block_offset(2) as u32;
-    let uni_sum: f32 = ru.iter().filter(|&(i, _)| i < uni_end).map(|(_, v)| v).sum();
+    let uni_sum: f32 = ru
+        .iter()
+        .filter(|&(i, _)| i < uni_end)
+        .map(|(_, v)| v)
+        .sum();
     assert!((uni_sum - 1.0).abs() < 1e-3, "unigram mass {uni_sum}");
     // Different languages decode to different supervectors.
     let cos = ru.dot_sparse(&ko) / (ru.norm_sq().sqrt() * ko.norm_sq().sqrt());

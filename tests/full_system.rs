@@ -40,8 +40,8 @@ fn full_system_invariants() {
         assert!(sel.len() <= prev_n, "selection must shrink with V");
         prev_n = sel.len();
         if !sel.is_empty() {
-            let err = sel.iter().filter(|p| p.label != truth[p.utt]).count() as f64
-                / sel.len() as f64;
+            let err =
+                sel.iter().filter(|p| p.label != truth[p.utt]).count() as f64 / sel.len() as f64;
             if v == 1 {
                 low_v_err = Some(err);
             }
@@ -49,7 +49,10 @@ fn full_system_invariants() {
         }
     }
     if let (Some(lo), Some(hi)) = (low_v_err, high_v_err) {
-        assert!(hi <= lo + 0.05, "error rate should not grow with V: V=1 {lo}, high-V {hi}");
+        assert!(
+            hi <= lo + 0.05,
+            "error rate should not grow with V: V=1 {lo}, high-V {hi}"
+        );
     }
 
     // --- DBA-M2 with a sane V does not catastrophically degrade -------------------
@@ -61,8 +64,10 @@ fn full_system_invariants() {
         .map(|q| pooled_eer(&exp.baseline_test_scores[q][di], labels))
         .sum::<f64>()
         / 6.0;
-    let mean_after: f64 =
-        (0..6).map(|q| pooled_eer(&out.test_scores[di][q], labels)).sum::<f64>() / 6.0;
+    let mean_after: f64 = (0..6)
+        .map(|q| pooled_eer(&out.test_scores[di][q], labels))
+        .sum::<f64>()
+        / 6.0;
     assert!(
         mean_after <= mean_before + 0.05,
         "DBA-M2 degraded badly: {mean_before} -> {mean_after}"
@@ -72,7 +77,10 @@ fn full_system_invariants() {
     let fused = fuse_duration(
         &exp,
         &exp.baseline_dev_scores,
-        &exp.baseline_test_scores.iter().map(|per| per[di].clone()).collect::<Vec<_>>(),
+        &exp.baseline_test_scores
+            .iter()
+            .map(|per| per[di].clone())
+            .collect::<Vec<_>>(),
         d,
         None,
     );

@@ -3,9 +3,7 @@
 //! decorrelated, and the metrics must agree with each other.
 
 use lre_repro::dba::fuse;
-use lre_repro::eval::{
-    accuracy, cavg_at_threshold, min_cavg, pooled_eer, CavgParams, ScoreMatrix,
-};
+use lre_repro::eval::{accuracy, cavg_at_threshold, min_cavg, pooled_eer, CavgParams, ScoreMatrix};
 
 /// K-class synthetic subsystem whose per-utterance noise is deterministic
 /// but phase-shifted by `phase`, so different subsystems err on different
@@ -63,10 +61,12 @@ fn fused_scores_are_calibrated_for_threshold_zero() {
     let k = 4;
     let dev_labels = labels(120, k);
     let test_labels = labels(80, k);
-    let dev: Vec<ScoreMatrix> =
-        (0..3).map(|q| noisy_subsystem(&dev_labels, k, q as f32, 1.0)).collect();
-    let test: Vec<ScoreMatrix> =
-        (0..3).map(|q| noisy_subsystem(&test_labels, k, q as f32 + 0.2, 1.0)).collect();
+    let dev: Vec<ScoreMatrix> = (0..3)
+        .map(|q| noisy_subsystem(&dev_labels, k, q as f32, 1.0))
+        .collect();
+    let test: Vec<ScoreMatrix> = (0..3)
+        .map(|q| noisy_subsystem(&test_labels, k, q as f32 + 0.2, 1.0))
+        .collect();
     let fused = fuse(&dev, &dev_labels, &test, None);
 
     let p = CavgParams::default();
@@ -108,10 +108,12 @@ fn eq15_weights_do_not_break_fusion() {
     let k = 4;
     let dev_labels = labels(100, k);
     let test_labels = labels(60, k);
-    let dev: Vec<ScoreMatrix> =
-        (0..3).map(|q| noisy_subsystem(&dev_labels, k, q as f32, 1.2)).collect();
-    let test: Vec<ScoreMatrix> =
-        (0..3).map(|q| noisy_subsystem(&test_labels, k, q as f32 + 0.3, 1.2)).collect();
+    let dev: Vec<ScoreMatrix> = (0..3)
+        .map(|q| noisy_subsystem(&dev_labels, k, q as f32, 1.2))
+        .collect();
+    let test: Vec<ScoreMatrix> = (0..3)
+        .map(|q| noisy_subsystem(&test_labels, k, q as f32 + 0.3, 1.2))
+        .collect();
 
     let uniform = fuse(&dev, &dev_labels, &test, None);
     let weighted = fuse(&dev, &dev_labels, &test, Some(&[50, 30, 20]));

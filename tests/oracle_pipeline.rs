@@ -12,7 +12,10 @@ use lre_repro::svm::{OneVsRest, SvmTrainConfig};
 use lre_repro::vsm::{SparseVec, SupervectorBuilder, TfllrScaler};
 
 fn alignment_network(alignment: &[u16], set: &PhoneSet) -> ConfusionNetwork {
-    let phones: Vec<u16> = alignment.iter().map(|&u| set.project(u as usize) as u16).collect();
+    let phones: Vec<u16> = alignment
+        .iter()
+        .map(|&u| set.project(u as usize) as u16)
+        .collect();
     let mut slots = Vec::new();
     let mut start = 0;
     while start < phones.len() {
@@ -20,7 +23,10 @@ fn alignment_network(alignment: &[u16], set: &PhoneSet) -> ConfusionNetwork {
         while end < phones.len() && phones[end] == phones[start] {
             end += 1;
         }
-        slots.push(vec![SlotEntry { phone: phones[start], prob: 1.0 }]);
+        slots.push(vec![SlotEntry {
+            phone: phones[start],
+            prob: 1.0,
+        }]);
         start = end;
     }
     ConfusionNetwork::new(slots)
@@ -50,24 +56,43 @@ impl Oracle {
                 builder.build(&alignment_network(&r.alignment, &set))
             })
             .collect();
-        let labels: Vec<usize> =
-            ds.train.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let labels: Vec<usize> = ds
+            .train
+            .iter()
+            .map(|u| u.language.target_index().unwrap())
+            .collect();
         let scaler = TfllrScaler::fit(&raw, builder.dim(), 1e-5);
         let train: Vec<SparseVec> = raw.iter().map(|s| scaler.transformed(s)).collect();
-        let vsm =
-            OneVsRest::train(&train, &labels, 23, builder.dim(), &SvmTrainConfig::default());
-        Oracle { ds, inv, set, builder, scaler, vsm }
+        let vsm = OneVsRest::train(
+            &train,
+            &labels,
+            23,
+            builder.dim(),
+            &SvmTrainConfig::default(),
+        );
+        Oracle {
+            ds,
+            inv,
+            set,
+            builder,
+            scaler,
+            vsm,
+        }
     }
 
     fn eer(&self, utts: &[UttSpec]) -> f64 {
-        let labels: Vec<usize> =
-            utts.iter().map(|u| u.language.target_index().unwrap()).collect();
+        let labels: Vec<usize> = utts
+            .iter()
+            .map(|u| u.language.target_index().unwrap())
+            .collect();
         let mut m = ScoreMatrix::new(23);
         for u in utts {
             let r = render_utterance(u, self.ds.language(u.language), &self.inv);
-            let sv = self
-                .scaler
-                .transformed(&self.builder.build(&alignment_network(&r.alignment, &self.set)));
+            let sv = self.scaler.transformed(
+                &self
+                    .builder
+                    .build(&alignment_network(&r.alignment, &self.set)),
+            );
             m.push_row(&self.vsm.scores(&sv));
         }
         pooled_eer(&m, &labels)
@@ -86,8 +111,14 @@ fn oracle_pipeline_separates_languages_and_orders_durations() {
     assert!(eer10 < 0.20, "10s oracle EER too high: {eer10}");
     assert!(eer3 < 0.35, "3s oracle EER too high: {eer3}");
     // …and must degrade monotonically as utterances shorten (paper shape 1).
-    assert!(eer30 <= eer10 + 0.02, "duration ordering violated: {eer30} vs {eer10}");
-    assert!(eer10 <= eer3 + 0.02, "duration ordering violated: {eer10} vs {eer3}");
+    assert!(
+        eer30 <= eer10 + 0.02,
+        "duration ordering violated: {eer30} vs {eer10}"
+    );
+    assert!(
+        eer10 <= eer3 + 0.02,
+        "duration ordering violated: {eer10} vs {eer3}"
+    );
 }
 
 #[test]
@@ -108,9 +139,11 @@ fn oracle_close_language_pairs_are_hardest() {
             continue;
         }
         let r = render_utterance(u, oracle.ds.language(u.language), &oracle.inv);
-        let sv = oracle
-            .scaler
-            .transformed(&oracle.builder.build(&alignment_network(&r.alignment, &oracle.set)));
+        let sv = oracle.scaler.transformed(
+            &oracle
+                .builder
+                .build(&alignment_network(&r.alignment, &oracle.set)),
+        );
         let s = oracle.vsm.scores(&sv);
         urdu_scores.push(s[ur]);
         korean_scores.push(s[ko]);

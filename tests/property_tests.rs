@@ -5,9 +5,7 @@ use proptest::prelude::*;
 
 use lre_repro::dsp::{fft_in_place, Complex, FrameMatrix};
 use lre_repro::eval::{eer_from_trials, probit};
-use lre_repro::lattice::{
-    expected_ngram_counts_cn, ConfusionNetwork, Edge, Lattice, NgramCounts, SlotEntry,
-};
+use lre_repro::lattice::{expected_ngram_counts_cn, ConfusionNetwork, NgramCounts, SlotEntry};
 use lre_repro::linalg::{jacobi_eigen, Mat};
 use lre_repro::vsm::SparseVec;
 
@@ -96,26 +94,27 @@ proptest! {
 
 /// A random confusion network over `p` phones with normalized slots.
 fn confusion_network(p: u16) -> impl Strategy<Value = ConfusionNetwork> {
-    prop::collection::vec(
-        prop::collection::vec((0..p, 0.05f32..1.0), 1..4),
-        1..8,
+    prop::collection::vec(prop::collection::vec((0..p, 0.05f32..1.0), 1..4), 1..8).prop_map(
+        move |slots| {
+            let slots = slots
+                .into_iter()
+                .map(|mut entries| {
+                    // Deduplicate phones within the slot, then normalize.
+                    entries.sort_by_key(|e| e.0);
+                    entries.dedup_by_key(|e| e.0);
+                    let total: f32 = entries.iter().map(|e| e.1).sum();
+                    entries
+                        .into_iter()
+                        .map(|(phone, w)| SlotEntry {
+                            phone,
+                            prob: w / total,
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            ConfusionNetwork::new(slots)
+        },
     )
-    .prop_map(move |slots| {
-        let slots = slots
-            .into_iter()
-            .map(|mut entries| {
-                // Deduplicate phones within the slot, then normalize.
-                entries.sort_by_key(|e| e.0);
-                entries.dedup_by_key(|e| e.0);
-                let total: f32 = entries.iter().map(|e| e.1).sum();
-                entries
-                    .into_iter()
-                    .map(|(phone, w)| SlotEntry { phone, prob: w / total })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        ConfusionNetwork::new(slots)
-    })
 }
 
 proptest! {

@@ -1,0 +1,200 @@
+//! Vendored offline stand-in for the `bytes` crate.
+//!
+//! Implements the byte-buffer surface the supervector cache uses:
+//! [`BytesMut`] with little-endian `put_*` appends, [`Bytes`] with
+//! consuming `get_*` reads, `remaining`, and `freeze`. On top of the
+//! panicking `get_*` API (mirroring the real crate) this stub adds
+//! `try_get_*` variants returning `Option`, which the cache loader uses to
+//! reject truncated or corrupt files gracefully.
+
+/// Append-only growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable, consumable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// Write side: little-endian appends.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_f32_le(&mut self, v: f32);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+/// Read side: consuming little-endian reads. The `get_*` methods panic on
+/// underflow (like the real crate); `try_get_*` return `None` instead.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn try_get_u8(&mut self) -> Option<u8>;
+    fn try_get_u32_le(&mut self) -> Option<u32>;
+    fn try_get_u64_le(&mut self) -> Option<u64>;
+    fn try_get_f32_le(&mut self) -> Option<f32>;
+    fn try_get_f64_le(&mut self) -> Option<f64>;
+
+    fn get_u8(&mut self) -> u8 {
+        self.try_get_u8().expect("buffer underflow")
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        self.try_get_u32_le().expect("buffer underflow")
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        self.try_get_u64_le().expect("buffer underflow")
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        self.try_get_f32_le().expect("buffer underflow")
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        self.try_get_f64_le().expect("buffer underflow")
+    }
+}
+
+impl Bytes {
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let end = self.pos.checked_add(N)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..end]);
+        self.pos = end;
+        Some(out)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    fn try_get_u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|b| b[0])
+    }
+    fn try_get_u32_le(&mut self) -> Option<u32> {
+        self.take::<4>().map(u32::from_le_bytes)
+    }
+    fn try_get_u64_le(&mut self) -> Option<u64> {
+        self.take::<8>().map(u64::from_le_bytes)
+    }
+    fn try_get_f32_le(&mut self) -> Option<f32> {
+        self.take::<4>().map(f32::from_le_bytes)
+    }
+    fn try_get_f64_le(&mut self) -> Option<f64> {
+        self.take::<8>().map(f64::from_le_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        w.put_f32_le(1.5);
+        w.put_f64_le(-2.25);
+        let mut r = w.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn try_get_on_short_buffer_is_none() {
+        let mut b = Bytes::from(vec![1u8, 2, 3]);
+        assert!(b.try_get_u32_le().is_none());
+        // A failed read consumes nothing.
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(b.try_get_u8(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn get_on_empty_panics() {
+        let mut b = Bytes::from(Vec::new());
+        let _ = b.get_u32_le();
+    }
+
+    #[test]
+    fn bytesmut_derefs_to_slice() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"abc");
+        assert_eq!(&w[..], b"abc");
+        assert_eq!(w.len(), 3);
+    }
+}

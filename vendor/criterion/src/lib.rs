@@ -1,0 +1,208 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Provides the macro/entry-point surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`) backed by a simple but honest
+//! measurement loop: warm-up, then timed batches until a time budget is
+//! spent, reporting min/mean/median per iteration. Results print to stdout
+//! in a stable `bench: <group>/<name> ... <stats>` format that downstream
+//! tooling (BENCH_*.json writers) can parse.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 60,
+            measurement_time: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(None, name, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_bench(
+            Some(&self.name),
+            name,
+            samples,
+            self.parent.measurement_time,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under measurement; `iter` runs and times the body.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Nanoseconds per iteration, one entry per sample batch.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run until ~10% of the budget is spent (at least once).
+        let warm_deadline = Instant::now() + self.budget / 10;
+        let iters_per_batch;
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            if Instant::now() >= warm_deadline {
+                // Aim for ~samples batches within the remaining budget.
+                let per_iter = dt.max(Duration::from_nanos(1));
+                let budget_per_batch = self.budget / (self.samples as u32).max(1);
+                iters_per_batch = (budget_per_batch.as_nanos() / per_iter.as_nanos().max(1))
+                    .clamp(1, 1 << 20) as u64;
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.results
+                .push(dt.as_nanos() as f64 / iters_per_batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench(
+    group: Option<&str>,
+    name: &str,
+    samples: usize,
+    budget: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        budget,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if b.results.is_empty() {
+        println!("bench: {label:<44} (no samples)");
+        return;
+    }
+    let mut sorted = b.results.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "bench: {label:<44} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        sorted.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+        };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: numeric-range
+//! strategies, `prop::collection::vec`, tuples, `prop_map`, `Just`,
+//! `prop_oneof!`, the `proptest!` macro and `prop_assert!`/`prop_assert_eq!`.
+//! Cases are generated from a fixed seed (deterministic runs); there is no
+//! shrinking — a failing case panics with its inputs' `Debug` rendering so
+//! it can be reproduced by seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Derived strategy applying `f` to generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (parity with real proptest's `.boxed()`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    inner: Box<dyn Fn(&mut StdRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let u: $t = rng.random();
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Uniform choice among same-typed strategies (backs `prop_oneof!`).
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+pub fn union<S: Strategy>(options: Vec<S>) -> Union<S> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    Union { options }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Length argument for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Box<dyn SizeRange>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: Box::new(size),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Uniform choice from a fixed set of values.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from an empty set");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::{bool, collection, sample};
+}
+
+/// Drives one property-test function: generates `cases` inputs from a
+/// name-derived fixed seed and runs the body on each.
+pub struct TestRunner {
+    rng: StdRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    pub fn new(cfg: ProptestConfig, name: &str) -> TestRunner {
+        // Stable per-test seed: same inputs every run, different per test.
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+            cases: cfg.cases,
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($opt:expr),+ $(,)?) => {
+        $crate::union(vec![$($opt),+])
+    };
+}
+
+/// The test-suite macro: expands each `#[test] fn name(pat in strategy, ...)`
+/// into a plain `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg, stringify!($name));
+            for _case in 0..runner.cases() {
+                let ($($pat,)+) = {
+                    let rng = runner.rng();
+                    ($($crate::Strategy::generate(&($strat), rng),)+)
+                };
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn float_ranges_stay_in_bounds(x in -2.0f32..2.0, y in 0.5f64..9.5) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((0.5..9.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..10, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_map_compose((a, b) in (0usize..5, 0usize..5).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn oneof_picks_an_arm(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2, "got {v}");
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::TestRunner::new(ProptestConfig::default(), "t");
+        let mut b = crate::TestRunner::new(ProptestConfig::default(), "t");
+        let s = 0.0f64..1.0;
+        for _ in 0..16 {
+            assert_eq!(s.generate(a.rng()), s.generate(b.rng()));
+        }
+    }
+}

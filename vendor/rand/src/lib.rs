@@ -1,0 +1,232 @@
+//! Vendored offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the tiny API slice it actually uses: a seedable deterministic generator
+//! ([`rngs::StdRng`]), the [`SeedableRng`] construction trait and the
+//! [`RngExt`] sampling trait (`random::<T>()` / `random_range(..)`).
+//!
+//! The generator is SplitMix64 — statistically solid for simulation and
+//! test-data purposes, deterministic across platforms, and trivially
+//! seedable from a `u64`. It is **not** cryptographically secure, which is
+//! fine: every use in this workspace is synthetic-corpus generation,
+//! model initialization or property-test case generation.
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG.
+///
+/// `f32`/`f64` sample uniformly from `[0, 1)`; integers sample their full
+/// range; `bool` is a fair coin.
+pub trait SampleUniform {
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Minimal core trait: a stream of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Range argument accepted by [`RngExt::random_range`].
+pub trait RangeArg<T> {
+    /// Half-open `[lo, hi)` bounds; inclusive ranges convert to `hi + 1`.
+    fn bounds(&self) -> (T, T);
+}
+
+macro_rules! impl_range_arg {
+    ($($t:ty),*) => {$(
+        impl RangeArg<$t> for core::ops::Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range");
+                (self.start, self.end)
+            }
+        }
+        impl RangeArg<$t> for core::ops::RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "empty range");
+                (*self.start(), self.end().checked_add(1).expect("range end overflow"))
+            }
+        }
+    )*};
+}
+impl_range_arg!(u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u16, u32, u64, usize, i32, i64, u8);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut dyn RngCore) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(rng: &mut dyn RngCore) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform sampling extension methods, matching the call sites in this
+/// workspace (`rng.random::<f32>()`, `rng.random_range(0..n)`, ...).
+pub trait RngExt: RngCore {
+    fn random<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform integer in the given range (half-open or inclusive).
+    ///
+    /// Uses Lemire-style multiply-shift rejection-free mapping; the bias is
+    /// ≤ 2⁻⁶⁴ · span, negligible for the span sizes used here.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: RangeArg<T>,
+        T: RangeSpan,
+    {
+        let (lo, hi) = range.bounds();
+        T::offset(lo, mulhi_span(self.next_u64(), T::span(lo, hi)))
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Map a uniform `u64` onto `[0, span)` via the high half of a 128-bit
+/// product.
+#[inline]
+fn mulhi_span(x: u64, span: u64) -> u64 {
+    ((x as u128 * span as u128) >> 64) as u64
+}
+
+/// Integer helpers for [`RngExt::random_range`].
+pub trait RangeSpan: Copy {
+    fn span(lo: Self, hi: Self) -> u64;
+    fn offset(lo: Self, delta: u64) -> Self;
+}
+
+macro_rules! impl_range_span {
+    ($($t:ty),*) => {$(
+        impl RangeSpan for $t {
+            #[inline]
+            fn span(lo: $t, hi: $t) -> u64 {
+                (hi as i128 - lo as i128) as u64
+            }
+            #[inline]
+            fn offset(lo: $t, delta: u64) -> $t {
+                (lo as i128 + delta as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_span!(u16, u32, u64, usize, i32, i64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (the workspace's "standard" RNG).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // One warm-up mix so that nearby seeds diverge immediately.
+            let mut r = StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
+            r.next_u64();
+            r
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f32 = r.random();
+            let d: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for i in 1..200usize {
+            let v = r.random_range(0..i);
+            assert!(v < i);
+            let w = r.random_range(0..=i);
+            assert!(w <= i);
+        }
+        for _ in 0..100 {
+            let v: u16 = r.random_range(0..59u16);
+            assert!(v < 59);
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        let vals: Vec<f32> = (0..512).map(|_| r.random::<f32>()).collect();
+        assert!(vals.iter().any(|&v| v < 0.1));
+        assert!(vals.iter().any(|&v| v > 0.9));
+    }
+}

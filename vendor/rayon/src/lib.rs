@@ -1,0 +1,407 @@
+//! Vendored offline stand-in for `rayon`.
+//!
+//! The build container cannot reach crates.io, so this crate implements the
+//! slice of rayon the workspace uses — `par_iter()` / `into_par_iter()`
+//! pipelines ending in `collect()`, plus `map_init` for per-worker scratch
+//! state — on top of `std::thread::scope`. Work is split into contiguous
+//! chunks, one per worker, which preserves output order and is a good fit
+//! for the workspace's uniform-cost utterance batches.
+//!
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] control the worker count
+//! via a process-global override (sufficient for the single-pool
+//! command-line binaries that use it; nested pools are not supported).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = "use the default" (std::thread::available_parallelism).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads a parallel call will use right now.
+pub fn current_num_threads() -> usize {
+    let ov = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if ov > 0 {
+        ov
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Builder for a scoped worker-count configuration.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction never fails
+/// here, but the signature mirrors rayon's).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// `0` means "use all available cores".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+
+    /// Configure the process-global worker count (rayon's global pool).
+    /// Unlike real rayon this may be called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        THREAD_OVERRIDE.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A worker-count scope rather than a persistent pool: threads are spawned
+/// per parallel call (scoped), `install` only pins how many.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count applied to every parallel call
+    /// in the process for the duration (single-pool semantics).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.swap(self.num_threads, Ordering::Relaxed);
+        let out = f();
+        THREAD_OVERRIDE.store(prev, Ordering::Relaxed);
+        out
+    }
+}
+
+/// An indexable, immutable source of parallel work items.
+pub trait ParallelSource: Sync {
+    type Item: Send;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+/// A lazy parallel pipeline over a [`ParallelSource`].
+pub struct ParIter<S> {
+    src: S,
+}
+
+pub struct SliceSource<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.data[i]
+    }
+}
+
+pub struct RangeSource {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelSource for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+pub struct MapSource<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, R> ParallelSource for MapSource<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn get(&self, i: usize) -> R {
+        (self.f)(self.inner.get(i))
+    }
+}
+
+pub struct EnumerateSource<S> {
+    inner: S,
+}
+
+impl<S: ParallelSource> ParallelSource for EnumerateSource<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn get(&self, i: usize) -> (usize, S::Item) {
+        (i, self.inner.get(i))
+    }
+}
+
+impl<S: ParallelSource> ParIter<S> {
+    pub fn map<F, R>(self, f: F) -> ParIter<MapSource<S, F>>
+    where
+        F: Fn(S::Item) -> R + Sync,
+        R: Send,
+    {
+        ParIter {
+            src: MapSource { inner: self.src, f },
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<EnumerateSource<S>> {
+        ParIter {
+            src: EnumerateSource { inner: self.src },
+        }
+    }
+
+    /// Like `map`, but each worker thread first builds scratch state with
+    /// `init` and threads it through every item it processes — rayon's
+    /// allocation-amortizing idiom for per-worker buffers.
+    pub fn map_init<I, T, F, R>(self, init: I, f: F) -> MapInitIter<S, I, F>
+    where
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, S::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInitIter {
+            src: self.src,
+            init,
+            f,
+        }
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromOrderedResults<S::Item>,
+    {
+        let src = &self.src;
+        C::from_vec(execute(src.len(), || (), move |(), i| src.get(i)))
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        let src = &self.src;
+        let _: Vec<()> = execute(src.len(), || (), move |(), i| f(src.get(i)));
+    }
+
+    pub fn sum<T>(self) -> T
+    where
+        S::Item: Into<T>,
+        T: std::iter::Sum<S::Item> + Send,
+    {
+        let src = &self.src;
+        let items: Vec<S::Item> = execute(src.len(), || (), move |(), i| src.get(i));
+        items.into_iter().sum()
+    }
+}
+
+/// Terminal `map_init` pipeline (only `collect` is supported after it).
+pub struct MapInitIter<S, I, F> {
+    src: S,
+    init: I,
+    f: F,
+}
+
+impl<S, I, T, F, R> MapInitIter<S, I, F>
+where
+    S: ParallelSource,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, S::Item) -> R + Sync,
+    R: Send,
+{
+    pub fn collect<C>(self) -> C
+    where
+        C: FromOrderedResults<R>,
+    {
+        let src = &self.src;
+        let init = &self.init;
+        let f = &self.f;
+        C::from_vec(execute(src.len(), init, move |state, i| {
+            f(state, src.get(i))
+        }))
+    }
+}
+
+/// Collection target of a parallel pipeline (results arrive in input order).
+pub trait FromOrderedResults<T> {
+    fn from_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromOrderedResults<T> for Vec<T> {
+    fn from_vec(v: Vec<T>) -> Vec<T> {
+        v
+    }
+}
+
+/// Chunked scoped-thread executor: splits `0..n` into one contiguous chunk
+/// per worker, preserving output order.
+fn execute<T, R, I, F>(n: usize, init: I, f: F) -> Vec<R>
+where
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, usize) -> R + Sync,
+    R: Send,
+{
+    let threads = current_num_threads().min(n).max(1);
+    if threads == 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(n);
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = init();
+                    (start..end).map(|i| f(&mut state, i)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    type Source: ParallelSource;
+    fn par_iter(&'a self) -> ParIter<Self::Source>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Source = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceSource<'a, T>> {
+        ParIter {
+            src: SliceSource { data: self },
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Source = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceSource<'a, T>> {
+        ParIter {
+            src: SliceSource { data: self },
+        }
+    }
+}
+
+/// `.into_par_iter()` on owned ranges.
+pub trait IntoParallelIterator {
+    type Source: ParallelSource;
+    fn into_par_iter(self) -> ParIter<Self::Source>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Source = RangeSource;
+    fn into_par_iter(self) -> ParIter<RangeSource> {
+        ParIter {
+            src: RangeSource {
+                start: self.start,
+                end: self.end,
+            },
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_match() {
+        let v = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (3..7).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, vec![9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        let v: Vec<usize> = (0..64).collect();
+        // Scratch buffer grows once per worker, not once per item.
+        let out: Vec<usize> = v
+            .par_iter()
+            .map_init(
+                || Vec::<usize>::with_capacity(8),
+                |scratch, &x| {
+                    scratch.push(x);
+                    x + 1
+                },
+            )
+            .collect();
+        assert_eq!(out, (1..65).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let out: Vec<usize> = (0..100).into_par_iter().map(|i| i).collect();
+            assert_eq!(out.len(), 100);
+        });
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
