@@ -320,6 +320,58 @@ impl DiagGmm {
     }
 }
 
+// The derived fields (`inv_vars`, `log_consts`) are persisted directly
+// rather than re-derived through `from_params` on load: recomputing the
+// reciprocals/logs would round differently and break the bit-identical
+// save→load→score contract.
+impl lre_artifact::ArtifactWrite for DiagGmm {
+    const KIND: [u8; 4] = *b"GMM0";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_u32(self.dim as u32);
+        w.put_u32(self.num_mix as u32);
+        w.put_f32_slice(&self.means);
+        w.put_f32_slice(&self.inv_vars);
+        w.put_f32_slice(&self.log_consts);
+        w.put_f32_slice(&self.weights);
+    }
+}
+
+impl lre_artifact::ArtifactRead for DiagGmm {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<DiagGmm, lre_artifact::ArtifactError> {
+        use lre_artifact::ArtifactError;
+        let dim = r.get_u32()? as usize;
+        let num_mix = r.get_u32()? as usize;
+        let means = r.get_f32_slice()?;
+        let inv_vars = r.get_f32_slice()?;
+        let log_consts = r.get_f32_slice()?;
+        let weights = r.get_f32_slice()?;
+        // Scoring uses a 16-slot stack buffer; anything outside [1, 16]
+        // cannot have come from this workspace's training code.
+        if dim == 0 || num_mix == 0 || num_mix > 16 {
+            return Err(ArtifactError::Corrupt("GMM shape out of range"));
+        }
+        if means.len() != num_mix * dim
+            || inv_vars.len() != num_mix * dim
+            || log_consts.len() != num_mix
+            || weights.len() != num_mix
+        {
+            return Err(ArtifactError::Corrupt("GMM parameter lengths disagree"));
+        }
+        Ok(DiagGmm {
+            dim,
+            num_mix,
+            means,
+            inv_vars,
+            log_consts,
+            weights,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -472,6 +472,53 @@ fn softmax_in_place(z: &mut [f32]) {
     }
 }
 
+impl lre_artifact::ArtifactWrite for Mlp {
+    const KIND: [u8; 4] = *b"MLP0";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_u32(self.sizes.len() as u32);
+        for &s in &self.sizes {
+            w.put_u32(s as u32);
+        }
+        for (wl, bl) in self.weights.iter().zip(&self.biases) {
+            w.put_f32_slice(wl);
+            w.put_f32_slice(bl);
+        }
+    }
+}
+
+impl lre_artifact::ArtifactRead for Mlp {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<Mlp, lre_artifact::ArtifactError> {
+        use lre_artifact::ArtifactError;
+        let num_sizes = r.get_count(4)?;
+        let sizes: Vec<usize> = (0..num_sizes)
+            .map(|_| r.get_u32().map(|v| v as usize))
+            .collect::<Result<_, _>>()?;
+        if sizes.len() < 2 || sizes.contains(&0) {
+            return Err(ArtifactError::Corrupt("MLP layer sizes out of range"));
+        }
+        let mut weights = Vec::with_capacity(sizes.len() - 1);
+        let mut biases = Vec::with_capacity(sizes.len() - 1);
+        for l in 0..sizes.len() - 1 {
+            let wl = r.get_f32_slice()?;
+            let bl = r.get_f32_slice()?;
+            if wl.len() != sizes[l] * sizes[l + 1] || bl.len() != sizes[l + 1] {
+                return Err(ArtifactError::Corrupt("MLP layer shapes disagree"));
+            }
+            weights.push(wl);
+            biases.push(bl);
+        }
+        Ok(Mlp {
+            sizes,
+            weights,
+            biases,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

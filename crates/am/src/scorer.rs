@@ -2,6 +2,7 @@
 
 use crate::gmm::DiagGmm;
 use crate::nn::Mlp;
+use lre_artifact::{ArtifactError, ArtifactRead, ArtifactReader, ArtifactWrite, ArtifactWriter};
 
 /// Produces per-state emission log-scores for one feature frame.
 ///
@@ -29,6 +30,10 @@ pub trait FrameScorer: Send + Sync {
             self.score_frame(x, o);
         }
     }
+
+    /// Downcasting hook: artifact serialization needs to recover the
+    /// concrete scorer family behind a `Box<dyn FrameScorer>`.
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// GMM-HMM emission model: one diagonal GMM per state.
@@ -93,6 +98,38 @@ impl FrameScorer for GmmStateScorer {
             t0 += bt;
         }
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl ArtifactWrite for GmmStateScorer {
+    const KIND: [u8; 4] = *b"GSCR";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut ArtifactWriter) {
+        w.put_u32(self.gmms.len() as u32);
+        for g in &self.gmms {
+            g.write_payload(w);
+        }
+    }
+}
+
+impl ArtifactRead for GmmStateScorer {
+    fn read_payload(r: &mut ArtifactReader) -> Result<GmmStateScorer, ArtifactError> {
+        let n = r.get_u32()? as usize;
+        if n == 0 {
+            return Err(ArtifactError::Corrupt("state scorer with zero GMMs"));
+        }
+        let gmms: Vec<DiagGmm> = (0..n)
+            .map(|_| DiagGmm::read_payload(r))
+            .collect::<Result<_, _>>()?;
+        if gmms.iter().any(|g| g.dim() != gmms[0].dim()) {
+            return Err(ArtifactError::Corrupt("state GMM dimensions disagree"));
+        }
+        Ok(GmmStateScorer { gmms })
+    }
 }
 
 /// Hybrid NN-HMM emission model: network posteriors divided by state priors
@@ -147,6 +184,34 @@ impl FrameScorer for NnStateScorer {
                 *o -= lp;
             }
         }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// The *derived* log-priors (already floored and renormalized by `new`) are
+// persisted, not the raw occupancy counts: re-deriving them on load would
+// round differently and break bit-identical scoring.
+impl ArtifactWrite for NnStateScorer {
+    const KIND: [u8; 4] = *b"NSCR";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut ArtifactWriter) {
+        self.net.write_payload(w);
+        w.put_f32_slice(&self.log_priors);
+    }
+}
+
+impl ArtifactRead for NnStateScorer {
+    fn read_payload(r: &mut ArtifactReader) -> Result<NnStateScorer, ArtifactError> {
+        let net = Mlp::read_payload(r)?;
+        let log_priors = r.get_f32_slice()?;
+        if log_priors.len() != net.output_dim() {
+            return Err(ArtifactError::Corrupt("log-prior count != network outputs"));
+        }
+        Ok(NnStateScorer { net, log_priors })
     }
 }
 

@@ -5,6 +5,7 @@ use crate::gmm::DiagGmm;
 use crate::hmm::{HmmTopology, StateInventory};
 use crate::nn::{Mlp, PretrainConfig, TrainConfig as NnTrainConfig};
 use crate::scorer::{FrameScorer, GmmStateScorer, NnStateScorer};
+use lre_artifact::{ArtifactError, ArtifactRead, ArtifactReader, ArtifactWrite, ArtifactWriter};
 use lre_corpus::{render_utterance, DeriveRng, LanguageModel, UttSpec};
 use lre_phone::{PhoneSet, UniversalInventory};
 use rayon::prelude::*;
@@ -292,6 +293,103 @@ pub fn train_acoustic_model(
                 train_diagnostic: Some(acc),
             }
         }
+    }
+}
+
+impl ArtifactWrite for FeatureTransform {
+    const KIND: [u8; 4] = *b"FTRN";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut ArtifactWriter) {
+        w.put_f32_slice(&self.mean);
+        w.put_f32_slice(&self.inv_std);
+    }
+}
+
+impl ArtifactRead for FeatureTransform {
+    fn read_payload(r: &mut ArtifactReader) -> Result<FeatureTransform, ArtifactError> {
+        let mean = r.get_f32_slice()?;
+        let inv_std = r.get_f32_slice()?;
+        if mean.is_empty() || mean.len() != inv_std.len() {
+            return Err(ArtifactError::Corrupt("feature transform shapes disagree"));
+        }
+        Ok(FeatureTransform { mean, inv_std })
+    }
+}
+
+const SCORER_TAG_GMM: u8 = 0;
+const SCORER_TAG_NN: u8 = 1;
+
+impl ArtifactWrite for AcousticModel {
+    const KIND: [u8; 4] = *b"AMDL";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut ArtifactWriter) {
+        let any = self.scorer.as_any();
+        if let Some(g) = any.downcast_ref::<GmmStateScorer>() {
+            w.put_u8(SCORER_TAG_GMM);
+            g.write_payload(w);
+        } else if let Some(n) = any.downcast_ref::<NnStateScorer>() {
+            w.put_u8(SCORER_TAG_NN);
+            n.write_payload(w);
+        } else {
+            // The workspace has exactly two production scorer families;
+            // anything else (bench shims) is not a persistable model.
+            panic!("cannot serialize an AcousticModel with a non-standard scorer");
+        }
+        w.put_f32(self.topology.log_self);
+        w.put_f32(self.topology.log_next);
+        w.put_u32(self.inventory.num_phones() as u32);
+        w.put_u8(match self.feature {
+            FeatureKind::Mfcc => 0,
+            FeatureKind::Plp => 1,
+        });
+        self.feature_transform.write_payload(w);
+        match self.train_diagnostic {
+            Some(v) => {
+                w.put_u8(1);
+                w.put_f32(v);
+            }
+            None => w.put_u8(0),
+        }
+    }
+}
+
+impl ArtifactRead for AcousticModel {
+    fn read_payload(r: &mut ArtifactReader) -> Result<AcousticModel, ArtifactError> {
+        let scorer: Box<dyn FrameScorer> = match r.get_u8()? {
+            SCORER_TAG_GMM => Box::new(GmmStateScorer::read_payload(r)?),
+            SCORER_TAG_NN => Box::new(NnStateScorer::read_payload(r)?),
+            _ => return Err(ArtifactError::Corrupt("unknown scorer family tag")),
+        };
+        let topology = HmmTopology {
+            log_self: r.get_f32()?,
+            log_next: r.get_f32()?,
+        };
+        let num_phones = r.get_u32()? as usize;
+        let inventory = StateInventory::from_phone_count(num_phones);
+        if num_phones == 0 || scorer.num_states() != inventory.num_states() {
+            return Err(ArtifactError::Corrupt("scorer states != phone inventory"));
+        }
+        let feature = match r.get_u8()? {
+            0 => FeatureKind::Mfcc,
+            1 => FeatureKind::Plp,
+            _ => return Err(ArtifactError::Corrupt("unknown feature kind tag")),
+        };
+        let feature_transform = FeatureTransform::read_payload(r)?;
+        let train_diagnostic = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_f32()?),
+            _ => return Err(ArtifactError::Corrupt("bad train-diagnostic flag")),
+        };
+        Ok(AcousticModel {
+            scorer,
+            topology,
+            inventory,
+            feature,
+            feature_transform,
+            train_diagnostic,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Property-based tests for the acoustic-model substrate.
 
 use lre_am::{DiagGmm, FeatureTransform, Mlp, StateInventory};
+use lre_artifact::{check_damage_detected, ArtifactRead, ArtifactWrite};
 use lre_dsp::FrameMatrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -127,5 +128,47 @@ proptest! {
         if len >= 3 {
             prop_assert_eq!(StateInventory::uniform_state(len - 1, len), 2);
         }
+    }
+
+    // ------------------------------------------------ artifact round trips
+
+    #[test]
+    fn gmm_artifact_roundtrip_scores_bit_identically(
+        seed in 0u64..200,
+        probe in 0usize..1 << 16,
+    ) {
+        let dim = 4;
+        let data = frames(50, dim, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = DiagGmm::train(&data, dim, 3, 2, &mut rng);
+        let sealed = g.to_artifact_bytes();
+        let back = DiagGmm::from_artifact_bytes(&sealed).expect("round trip");
+        for probe_frame in data.chunks_exact(dim).take(8) {
+            prop_assert_eq!(
+                back.log_likelihood(probe_frame).to_bits(),
+                g.log_likelihood(probe_frame).to_bits(),
+                "reloaded GMM must score to the bit"
+            );
+        }
+        check_damage_detected::<DiagGmm>(&sealed, probe);
+    }
+
+    #[test]
+    fn mlp_artifact_roundtrip_scores_bit_identically(
+        seed in 0u64..200,
+        probe in 0usize..1 << 16,
+        x in prop::collection::vec(-3.0f32..3.0, 6),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[6, 9, 4], &mut rng);
+        let sealed = net.to_artifact_bytes();
+        let back = Mlp::from_artifact_bytes(&sealed).expect("round trip");
+        let (mut a, mut b) = (vec![0.0f32; 4], vec![0.0f32; 4]);
+        net.log_posteriors_into(&x, &mut a);
+        back.log_posteriors_into(&x, &mut b);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert_eq!(p.to_bits(), q.to_bits(), "reloaded MLP must score to the bit");
+        }
+        check_damage_detected::<Mlp>(&sealed, probe);
     }
 }

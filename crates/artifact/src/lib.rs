@@ -1,0 +1,680 @@
+//! Versioned, checksummed binary containers for trained model state.
+//!
+//! Every persisted artifact in the workspace — acoustic models, supervector
+//! scalers, SVM weight matrices, fusion backends, the supervector cache, and
+//! whole serving bundles — shares one container layout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "LREA"
+//! 4       4     kind   (per-type tag, e.g. "GMM0")
+//! 8       4     version (u32 LE, per-type)
+//! 12      8     payload length (u64 LE)
+//! 20      n     payload
+//! 20+n    4     CRC-32 (IEEE) over bytes [0, 20+n)
+//! ```
+//!
+//! Readers verify magic, kind, version, length and checksum before a single
+//! payload byte is interpreted, so corruption detection lives here instead
+//! of being re-implemented ad hoc at every call site. All multi-byte fields
+//! are little-endian; floats travel as their IEEE-754 bit patterns, which
+//! makes save→load round trips bit-identical by construction.
+//!
+//! Types opt in by implementing [`ArtifactWrite`] (and [`ArtifactRead`] for
+//! loading); the provided methods handle sealing, opening, and file I/O.
+
+use std::fmt;
+use std::path::Path;
+
+/// Container magic: present in every artifact file, first four bytes.
+pub const MAGIC: [u8; 4] = *b"LREA";
+
+/// Fixed header size (magic + kind + version + payload length).
+pub const HEADER_LEN: usize = 20;
+
+/// CRC trailer size.
+pub const TRAILER_LEN: usize = 4;
+
+// ------------------------------------------------------------------ errors
+
+/// Typed failure modes for artifact encoding/decoding. Corrupt or truncated
+/// input always surfaces as an `Err`, never a panic.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The first four bytes are not [`MAGIC`] — not an artifact file.
+    BadMagic,
+    /// The container holds a different artifact type than requested.
+    WrongKind { expected: [u8; 4], found: [u8; 4] },
+    /// The artifact type matches but was written by an incompatible format
+    /// revision.
+    UnsupportedVersion { expected: u32, found: u32 },
+    /// The CRC-32 trailer does not match the header + payload bytes.
+    ChecksumMismatch,
+    /// The byte stream ends before the declared structure does.
+    Truncated,
+    /// Well-formed container, but bytes remain after the payload was fully
+    /// decoded — the file is not what the writer produced.
+    TrailingBytes,
+    /// A decoded value violates a structural invariant (impossible count,
+    /// unknown enum tag, …). The message names the failed invariant.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::BadMagic => write!(f, "not an artifact file (bad magic)"),
+            ArtifactError::WrongKind { expected, found } => write!(
+                f,
+                "wrong artifact kind: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            ArtifactError::UnsupportedVersion { expected, found } => {
+                write!(
+                    f,
+                    "unsupported artifact version {found} (expected {expected})"
+                )
+            }
+            ArtifactError::ChecksumMismatch => write!(f, "artifact checksum mismatch"),
+            ArtifactError::Truncated => write!(f, "artifact truncated"),
+            ArtifactError::TrailingBytes => write!(f, "artifact has trailing bytes"),
+            ArtifactError::Corrupt(what) => write!(f, "artifact corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> ArtifactError {
+        ArtifactError::Io(e)
+    }
+}
+
+// ------------------------------------------------------------------- crc32
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ------------------------------------------------------------------ writer
+
+/// Append-only payload encoder. All methods are infallible; the buffer grows
+/// as needed.
+#[derive(Default)]
+pub struct ArtifactWriter {
+    buf: Vec<u8>,
+}
+
+impl ArtifactWriter {
+    pub fn new() -> ArtifactWriter {
+        ArtifactWriter::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// IEEE-754 bit pattern — round trips are bit-identical, NaNs included.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed `f32` slice (bit patterns).
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_f32(x);
+        }
+    }
+
+    /// Length-prefixed `f64` slice (bit patterns).
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_u32(x);
+        }
+    }
+
+    /// Length-prefixed opaque blob (e.g. a nested sealed artifact).
+    pub fn put_blob(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+// ------------------------------------------------------------------ reader
+
+/// Checked cursor over a payload. Every read validates the remaining length
+/// first, so a truncated or lying payload yields [`ArtifactError::Truncated`]
+/// instead of a panic or an oversized allocation.
+pub struct ArtifactReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArtifactReader<'a> {
+    pub fn new(data: &'a [u8]) -> ArtifactReader<'a> {
+        ArtifactReader { data, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if self.remaining() < n {
+            return Err(ArtifactError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, ArtifactError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_f32(&mut self) -> Result<f32, ArtifactError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a `u32` element count and verify the remaining payload can hold
+    /// `count * elem_size` bytes **before** any allocation, so a corrupt
+    /// count cannot trigger a huge `Vec::with_capacity`.
+    pub fn get_count(&mut self, elem_size: usize) -> Result<usize, ArtifactError> {
+        let n = self.get_u32()? as usize;
+        let need = n.checked_mul(elem_size).ok_or(ArtifactError::Truncated)?;
+        if self.remaining() < need {
+            return Err(ArtifactError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, ArtifactError> {
+        let n = self.get_count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ArtifactError::Corrupt("invalid utf-8"))
+    }
+
+    /// Length-prefixed `f32` slice.
+    pub fn get_f32_slice(&mut self) -> Result<Vec<f32>, ArtifactError> {
+        let n = self.get_count(4)?;
+        (0..n).map(|_| self.get_f32()).collect()
+    }
+
+    /// Length-prefixed `f64` slice.
+    pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, ArtifactError> {
+        let n = self.get_count(8)?;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    /// Length-prefixed `u32` slice.
+    pub fn get_u32_slice(&mut self) -> Result<Vec<u32>, ArtifactError> {
+        let n = self.get_count(4)?;
+        (0..n).map(|_| self.get_u32()).collect()
+    }
+
+    /// Length-prefixed opaque blob.
+    pub fn get_blob(&mut self) -> Result<&'a [u8], ArtifactError> {
+        let n = self.get_count(1)?;
+        self.take(n)
+    }
+}
+
+// --------------------------------------------------------------- container
+
+/// Wrap a payload in the container: magic + kind + version + length +
+/// payload + CRC trailer.
+pub fn seal(kind: [u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&kind);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validate a container's magic, kind, version, declared length and CRC,
+/// returning the payload slice. Any deviation is a typed error.
+pub fn open(bytes: &[u8], kind: [u8; 4], version: u32) -> Result<&[u8], ArtifactError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(ArtifactError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let found_kind: [u8; 4] = bytes[4..8].try_into().unwrap();
+    if found_kind != kind {
+        return Err(ArtifactError::WrongKind {
+            expected: kind,
+            found: found_kind,
+        });
+    }
+    let found_version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if found_version != version {
+        return Err(ArtifactError::UnsupportedVersion {
+            expected: version,
+            found: found_version,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let expect_total = (HEADER_LEN as u64)
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(TRAILER_LEN as u64))
+        .ok_or(ArtifactError::Truncated)?;
+    match (bytes.len() as u64).cmp(&expect_total) {
+        std::cmp::Ordering::Less => return Err(ArtifactError::Truncated),
+        std::cmp::Ordering::Greater => return Err(ArtifactError::TrailingBytes),
+        std::cmp::Ordering::Equal => {}
+    }
+    let body_end = bytes.len() - TRAILER_LEN;
+    let stored_crc = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if crc32(&bytes[..body_end]) != stored_crc {
+        return Err(ArtifactError::ChecksumMismatch);
+    }
+    Ok(&bytes[HEADER_LEN..body_end])
+}
+
+// ------------------------------------------------------------------ traits
+
+/// A type that can serialize itself into a sealed artifact container.
+pub trait ArtifactWrite {
+    /// Four-byte type tag stored in the container header.
+    const KIND: [u8; 4];
+    /// Format revision; bump on any payload layout change.
+    const VERSION: u32;
+
+    /// Encode the payload (no header/trailer — the container adds those).
+    fn write_payload(&self, w: &mut ArtifactWriter);
+
+    /// Sealed container bytes: header + payload + CRC.
+    fn to_artifact_bytes(&self) -> Vec<u8> {
+        let mut w = ArtifactWriter::new();
+        self.write_payload(&mut w);
+        seal(Self::KIND, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Write the sealed container to a file, creating parent directories.
+    fn save_artifact(&self, path: &Path) -> Result<(), ArtifactError> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_artifact_bytes())?;
+        Ok(())
+    }
+}
+
+/// A type that can reconstruct itself from a sealed artifact container.
+pub trait ArtifactRead: ArtifactWrite + Sized {
+    /// Decode the payload written by [`ArtifactWrite::write_payload`].
+    fn read_payload(r: &mut ArtifactReader) -> Result<Self, ArtifactError>;
+
+    /// Open + verify a sealed container and decode the payload. The payload
+    /// must be consumed exactly; leftover bytes are an error.
+    fn from_artifact_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let payload = open(bytes, Self::KIND, Self::VERSION)?;
+        let mut r = ArtifactReader::new(payload);
+        let out = Self::read_payload(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(ArtifactError::TrailingBytes);
+        }
+        Ok(out)
+    }
+
+    /// Read + decode a sealed container from a file.
+    fn load_artifact(path: &Path) -> Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_artifact_bytes(&bytes)
+    }
+
+    /// Decode a nested artifact stored as a blob inside another payload.
+    fn read_nested(r: &mut ArtifactReader) -> Result<Self, ArtifactError> {
+        let blob = r.get_blob()?;
+        Self::from_artifact_bytes(blob)
+    }
+
+    /// Counterpart to [`ArtifactRead::read_nested`]: seal `self` and embed it
+    /// as a length-prefixed blob.
+    fn write_nested(&self, w: &mut ArtifactWriter) {
+        w.put_blob(&self.to_artifact_bytes());
+    }
+}
+
+/// Test support shared by the per-crate property suites: assert that
+/// damaging a sealed artifact — truncating it at probed cut points, or
+/// flipping a single probed bit — always surfaces as a typed `Err` from
+/// [`ArtifactRead::from_artifact_bytes`], never a panic. `probe` selects the
+/// damage site (callers feed it from a property-test generator so the whole
+/// byte range gets exercised across cases).
+pub fn check_damage_detected<T: ArtifactRead>(sealed: &[u8], probe: usize) {
+    assert!(
+        sealed.len() > HEADER_LEN + TRAILER_LEN,
+        "sealed artifact implausibly small"
+    );
+    for cut in [
+        0,
+        HEADER_LEN - 1,
+        sealed.len() / 2,
+        probe % sealed.len(),
+        sealed.len() - 1,
+    ] {
+        assert!(
+            T::from_artifact_bytes(&sealed[..cut]).is_err(),
+            "truncation to {cut} bytes must fail"
+        );
+    }
+    // CRC-32 detects every single-bit error, so any flip must be refused.
+    let mut bad = sealed.to_vec();
+    let byte = probe % sealed.len();
+    bad[byte] ^= 1 << (probe % 8);
+    assert!(
+        T::from_artifact_bytes(&bad).is_err(),
+        "bit flip at byte {byte} must fail"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let payload = b"hello payload".to_vec();
+        let sealed = seal(*b"TEST", 3, &payload);
+        assert_eq!(open(&sealed, *b"TEST", 3).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn open_rejects_every_truncation_point() {
+        let sealed = seal(*b"TEST", 1, b"some payload bytes");
+        for cut in 0..sealed.len() {
+            assert!(
+                matches!(
+                    open(&sealed[..cut], *b"TEST", 1),
+                    Err(ArtifactError::Truncated)
+                ),
+                "cut at {cut} of {}",
+                sealed.len()
+            );
+        }
+    }
+
+    #[test]
+    fn open_rejects_every_single_bit_flip() {
+        let sealed = seal(*b"TEST", 1, b"payload");
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut bad = sealed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    open(&bad, *b"TEST", 1).is_err(),
+                    "flip at byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_rejects_trailing_bytes() {
+        let mut sealed = seal(*b"TEST", 1, b"payload");
+        sealed.push(0);
+        assert!(matches!(
+            open(&sealed, *b"TEST", 1),
+            Err(ArtifactError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn open_rejects_wrong_kind_and_version() {
+        let sealed = seal(*b"AAAA", 2, b"x");
+        assert!(matches!(
+            open(&sealed, *b"BBBB", 2),
+            Err(ArtifactError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            open(&sealed, *b"AAAA", 3),
+            Err(ArtifactError::UnsupportedVersion {
+                expected: 3,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let mut sealed = seal(*b"TEST", 1, b"x");
+        sealed[0] = b'X';
+        assert!(matches!(
+            open(&sealed, *b"TEST", 1),
+            Err(ArtifactError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocation() {
+        // A slice claiming ~1 billion floats backed by 4 bytes.
+        let mut w = ArtifactWriter::new();
+        w.put_u32(1_000_000_000);
+        w.put_u32(7);
+        let bytes = w.into_bytes();
+        let mut r = ArtifactReader::new(&bytes);
+        assert!(matches!(r.get_f32_slice(), Err(ArtifactError::Truncated)));
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_identical() {
+        let values = [
+            0.0f32,
+            -0.0,
+            1.5,
+            f32::MIN_POSITIVE,
+            f32::NAN,
+            f32::INFINITY,
+            -123.456,
+        ];
+        let mut w = ArtifactWriter::new();
+        w.put_f32_slice(&values);
+        w.put_f64(-0.0f64);
+        w.put_f64(f64::NAN);
+        let bytes = w.into_bytes();
+        let mut r = ArtifactReader::new(&bytes);
+        let back = r.get_f32_slice().unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn str_and_blob_roundtrip() {
+        let mut w = ArtifactWriter::new();
+        w.put_str("héllo");
+        w.put_blob(&[1, 2, 3]);
+        w.put_u32_slice(&[9, 8, 7]);
+        let bytes = w.into_bytes();
+        let mut r = ArtifactReader::new(&bytes);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_blob().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.get_u32_slice().unwrap(), vec![9, 8, 7]);
+    }
+
+    struct Point {
+        x: f32,
+        y: f32,
+    }
+
+    impl ArtifactWrite for Point {
+        const KIND: [u8; 4] = *b"PNT0";
+        const VERSION: u32 = 1;
+        fn write_payload(&self, w: &mut ArtifactWriter) {
+            w.put_f32(self.x);
+            w.put_f32(self.y);
+        }
+    }
+
+    impl ArtifactRead for Point {
+        fn read_payload(r: &mut ArtifactReader) -> Result<Point, ArtifactError> {
+            Ok(Point {
+                x: r.get_f32()?,
+                y: r.get_f32()?,
+            })
+        }
+    }
+
+    #[test]
+    fn trait_roundtrip_and_file_io() {
+        let p = Point { x: 1.25, y: -3.5 };
+        let bytes = p.to_artifact_bytes();
+        let q = Point::from_artifact_bytes(&bytes).unwrap();
+        assert_eq!((q.x, q.y), (1.25, -3.5));
+
+        let dir = std::env::temp_dir().join("lre_artifact_trait_test");
+        let path = dir.join("point.lre");
+        p.save_artifact(&path).unwrap();
+        let r = Point::load_artifact(&path).unwrap();
+        assert_eq!((r.x, r.y), (1.25, -3.5));
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert!(matches!(
+            Point::load_artifact(Path::new("/nonexistent/nowhere.lre")),
+            Err(ArtifactError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn payload_must_be_fully_consumed() {
+        // A Point container with an extra trailing f32 in the payload.
+        let mut w = ArtifactWriter::new();
+        w.put_f32(1.0);
+        w.put_f32(2.0);
+        w.put_f32(3.0);
+        let sealed = seal(Point::KIND, Point::VERSION, &w.into_bytes());
+        assert!(matches!(
+            Point::from_artifact_bytes(&sealed),
+            Err(ArtifactError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn nested_artifacts_roundtrip() {
+        let mut w = ArtifactWriter::new();
+        Point { x: 5.0, y: 6.0 }.write_nested(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ArtifactReader::new(&bytes);
+        let p = Point::read_nested(&mut r).unwrap();
+        assert_eq!((p.x, p.y), (5.0, 6.0));
+    }
+}

@@ -153,6 +153,31 @@ impl LinearCalibration {
     }
 }
 
+impl lre_artifact::ArtifactWrite for LinearCalibration {
+    const KIND: [u8; 4] = *b"LCAL";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_f64(self.alpha);
+        w.put_f64_slice(&self.beta);
+    }
+}
+
+impl lre_artifact::ArtifactRead for LinearCalibration {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<LinearCalibration, lre_artifact::ArtifactError> {
+        let alpha = r.get_f64()?;
+        let beta = r.get_f64_slice()?;
+        if beta.is_empty() {
+            return Err(lre_artifact::ArtifactError::Corrupt(
+                "calibration with no classes",
+            ));
+        }
+        Ok(LinearCalibration { alpha, beta })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

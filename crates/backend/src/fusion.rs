@@ -171,6 +171,85 @@ fn combine(scores: &[ScoreMatrix], weights: &[f64]) -> Mat {
     out
 }
 
+const BACKEND_TAG_LDA_GAUSSIAN: u8 = 0;
+const BACKEND_TAG_LINEAR: u8 = 1;
+
+impl lre_artifact::ArtifactWrite for LdaMmiFusion {
+    const KIND: [u8; 4] = *b"FUSN";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_u32(self.num_subsystems as u32);
+        w.put_u32(self.num_classes as u32);
+        w.put_u32(self.znorms.len() as u32);
+        for z in &self.znorms {
+            z.write_payload(w);
+        }
+        w.put_f64_slice(&self.weights);
+        match &self.backend {
+            FusionBackend::LdaGaussian { lda, backend } => {
+                w.put_u8(BACKEND_TAG_LDA_GAUSSIAN);
+                match lda {
+                    Some(l) => {
+                        w.put_u8(1);
+                        l.write_payload(w);
+                    }
+                    None => w.put_u8(0),
+                }
+                backend.write_payload(w);
+            }
+            FusionBackend::Linear(cal) => {
+                w.put_u8(BACKEND_TAG_LINEAR);
+                cal.write_payload(w);
+            }
+        }
+    }
+}
+
+impl lre_artifact::ArtifactRead for LdaMmiFusion {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<LdaMmiFusion, lre_artifact::ArtifactError> {
+        use lre_artifact::ArtifactError;
+        let num_subsystems = r.get_u32()? as usize;
+        let num_classes = r.get_u32()? as usize;
+        let nz = r.get_u32()? as usize;
+        let znorms: Vec<ZNorm> = (0..nz)
+            .map(|_| ZNorm::read_payload(r))
+            .collect::<Result<_, _>>()?;
+        let weights = r.get_f64_slice()?;
+        let backend = match r.get_u8()? {
+            BACKEND_TAG_LDA_GAUSSIAN => {
+                let lda = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(Lda::read_payload(r)?),
+                    _ => return Err(ArtifactError::Corrupt("bad LDA presence flag")),
+                };
+                FusionBackend::LdaGaussian {
+                    lda,
+                    backend: GaussianBackend::read_payload(r)?,
+                }
+            }
+            BACKEND_TAG_LINEAR => FusionBackend::Linear(LinearCalibration::read_payload(r)?),
+            _ => return Err(ArtifactError::Corrupt("unknown fusion backend tag")),
+        };
+        if num_subsystems == 0
+            || num_classes == 0
+            || znorms.len() != num_subsystems
+            || weights.len() != num_subsystems
+        {
+            return Err(ArtifactError::Corrupt("fusion shapes disagree"));
+        }
+        Ok(LdaMmiFusion {
+            znorms,
+            weights,
+            backend,
+            num_subsystems,
+            num_classes,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -198,6 +198,50 @@ impl GaussianBackend {
     }
 }
 
+impl lre_artifact::ArtifactWrite for GaussianBackend {
+    const KIND: [u8; 4] = *b"GBCK";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_u32(self.dim as u32);
+        w.put_u32(self.num_classes as u32);
+        w.put_f64_slice(&self.means);
+        w.put_f64_slice(&self.inv_var);
+        w.put_f64_slice(&self.log_priors);
+    }
+}
+
+impl lre_artifact::ArtifactRead for GaussianBackend {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<GaussianBackend, lre_artifact::ArtifactError> {
+        use lre_artifact::ArtifactError;
+        let dim = r.get_u32()? as usize;
+        let num_classes = r.get_u32()? as usize;
+        let means = r.get_f64_slice()?;
+        let inv_var = r.get_f64_slice()?;
+        let log_priors = r.get_f64_slice()?;
+        if dim == 0 || num_classes < 2 {
+            return Err(ArtifactError::Corrupt(
+                "Gaussian backend shape out of range",
+            ));
+        }
+        if means.len() != num_classes * dim
+            || inv_var.len() != dim
+            || log_priors.len() != num_classes
+        {
+            return Err(ArtifactError::Corrupt("Gaussian backend lengths disagree"));
+        }
+        Ok(GaussianBackend {
+            dim,
+            num_classes,
+            means,
+            inv_var,
+            log_priors,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,6 +119,45 @@ impl Lda {
     }
 }
 
+impl lre_artifact::ArtifactWrite for Lda {
+    const KIND: [u8; 4] = *b"LDA0";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_u32(self.proj.rows() as u32);
+        w.put_u32(self.proj.cols() as u32);
+        for i in 0..self.proj.rows() {
+            for &v in self.proj.row(i) {
+                w.put_f64(v);
+            }
+        }
+        w.put_f64_slice(&self.mean);
+    }
+}
+
+impl lre_artifact::ArtifactRead for Lda {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<Lda, lre_artifact::ArtifactError> {
+        use lre_artifact::ArtifactError;
+        let rows = r.get_u32()? as usize;
+        let cols = r.get_u32()? as usize;
+        let n = rows.checked_mul(cols).ok_or(ArtifactError::Truncated)?;
+        if r.remaining() < n.checked_mul(8).ok_or(ArtifactError::Truncated)? {
+            return Err(ArtifactError::Truncated);
+        }
+        let data: Vec<f64> = (0..n).map(|_| r.get_f64()).collect::<Result<_, _>>()?;
+        let mean = r.get_f64_slice()?;
+        if rows == 0 || cols == 0 || mean.len() != cols {
+            return Err(ArtifactError::Corrupt("LDA projection shapes disagree"));
+        }
+        Ok(Lda {
+            proj: Mat::from_vec(rows, cols, data),
+            mean,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -92,6 +92,31 @@ pub fn tnorm(scores: &ScoreMatrix) -> ScoreMatrix {
     out
 }
 
+impl lre_artifact::ArtifactWrite for ZNorm {
+    const KIND: [u8; 4] = *b"ZNRM";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_f64_slice(&self.means);
+        w.put_f64_slice(&self.inv_stds);
+    }
+}
+
+impl lre_artifact::ArtifactRead for ZNorm {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<ZNorm, lre_artifact::ArtifactError> {
+        let means = r.get_f64_slice()?;
+        let inv_stds = r.get_f64_slice()?;
+        if means.is_empty() || means.len() != inv_stds.len() {
+            return Err(lre_artifact::ArtifactError::Corrupt(
+                "z-norm statistic lengths disagree",
+            ));
+        }
+        Ok(ZNorm { means, inv_stds })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

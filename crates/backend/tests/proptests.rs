@@ -1,0 +1,102 @@
+//! Property-based tests for the fusion backend's artifact round trips:
+//! a reloaded backend must reproduce every fused LLR to the bit, and a
+//! damaged container must fail with a typed error, never a panic.
+
+use lre_artifact::{check_damage_detected, ArtifactRead, ArtifactWrite};
+use lre_backend::{LdaMmiFusion, MmiConfig, ZNorm};
+use lre_eval::ScoreMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_scores(rng: &mut StdRng, n: usize, k: usize) -> ScoreMatrix {
+    let mut m = ScoreMatrix::new(k);
+    let mut row = vec![0.0f32; k];
+    for _ in 0..n {
+        for r in row.iter_mut() {
+            *r = rng.random::<f32>() * 4.0 - 2.0;
+        }
+        m.push_row(&row);
+    }
+    m
+}
+
+fn assert_matrix_bits_eq(a: &ScoreMatrix, b: &ScoreMatrix) {
+    assert_eq!(a.num_utts(), b.num_utts());
+    for i in 0..a.num_utts() {
+        for (p, q) in a.row(i).iter().zip(b.row(i)) {
+            assert_eq!(p.to_bits(), q.to_bits(), "fused LLRs must match to the bit");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn znorm_artifact_roundtrip_applies_bit_identically(
+        seed in 0u64..200,
+        probe in 0usize..1 << 16,
+    ) {
+        let (n, k) = (40, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dev = random_scores(&mut rng, n, k);
+        let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+        let z = ZNorm::fit(&dev, &labels);
+        let sealed = z.to_artifact_bytes();
+        let back = ZNorm::from_artifact_bytes(&sealed).expect("round trip");
+        let test = random_scores(&mut rng, 10, k);
+        assert_matrix_bits_eq(&z.apply(&test), &back.apply(&test));
+        check_damage_detected::<ZNorm>(&sealed, probe);
+    }
+
+    // Small dev sets take the linear-calibration path inside the fusion;
+    // this is the regime every Smoke/Demo experiment exercises.
+    #[test]
+    fn fusion_linear_path_roundtrip_applies_bit_identically(
+        seed in 0u64..100,
+        probe in 0usize..1 << 16,
+    ) {
+        let (n, k, q) = (48, 4, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+        let devs: Vec<ScoreMatrix> = (0..q).map(|_| random_scores(&mut rng, n, k)).collect();
+        let refs: Vec<&ScoreMatrix> = devs.iter().collect();
+        let fusion = LdaMmiFusion::train(&refs, &labels, &[1.0, 1.0, 1.0], &MmiConfig::default());
+        let sealed = fusion.to_artifact_bytes();
+        let back = LdaMmiFusion::from_artifact_bytes(&sealed).expect("round trip");
+        prop_assert_eq!(back.num_subsystems(), q);
+        let tests: Vec<ScoreMatrix> = (0..q).map(|_| random_scores(&mut rng, 20, k)).collect();
+        let trefs: Vec<&ScoreMatrix> = tests.iter().collect();
+        assert_matrix_bits_eq(&fusion.apply(&trefs), &back.apply(&trefs));
+        check_damage_detected::<LdaMmiFusion>(&sealed, probe);
+    }
+}
+
+// Large dev sets cross the LDA threshold (40 per class) and train the
+// LDA + MMI-Gaussian backend — one deterministic case keeps the heavier
+// path covered without a full property sweep.
+#[test]
+fn fusion_lda_mmi_path_roundtrip_applies_bit_identically() {
+    let (n, k, q) = (200, 4, 2);
+    let mut rng = StdRng::seed_from_u64(7);
+    let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    let devs: Vec<ScoreMatrix> = (0..q).map(|_| random_scores(&mut rng, n, k)).collect();
+    let refs: Vec<&ScoreMatrix> = devs.iter().collect();
+    let fusion = LdaMmiFusion::train(&refs, &labels, &[1.0, 1.0], &MmiConfig::default());
+    let sealed = fusion.to_artifact_bytes();
+    let back = LdaMmiFusion::from_artifact_bytes(&sealed).expect("round trip");
+    let tests: Vec<ScoreMatrix> = (0..q).map(|_| random_scores(&mut rng, 30, k)).collect();
+    let trefs: Vec<&ScoreMatrix> = tests.iter().collect();
+    let (a, b) = (fusion.apply(&trefs), back.apply(&trefs));
+    for i in 0..a.num_utts() {
+        for (p, q) in a.row(i).iter().zip(b.row(i)) {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "LDA+MMI fused LLRs must match to the bit"
+            );
+        }
+    }
+    check_damage_detected::<LdaMmiFusion>(&sealed, 12_345);
+}

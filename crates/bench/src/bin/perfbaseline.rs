@@ -75,6 +75,9 @@ impl FrameScorer for NoBatch {
     fn score_frame(&self, frame: &[f32], out: &mut [f32]) {
         self.0.score_frame(frame, out)
     }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 struct FrontendReport {

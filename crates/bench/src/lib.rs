@@ -26,11 +26,26 @@ impl HarnessArgs {
     /// applied to rayon's global pool immediately, so every parallel stage
     /// of the calling binary (decoding, DBA sweeps) runs at that width.
     pub fn parse() -> HarnessArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let parsed = Self::parse_from(&args);
+        if let Some(n) = parsed.threads {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("configure global thread pool");
+        }
+        parsed
+    }
+
+    /// [`HarnessArgs::parse`] without the global-pool side effect (testable).
+    /// `--threads 0` would silently ask the pool builder for "default
+    /// width", defeating the point of the flag — it is clamped to 1 with a
+    /// warning instead.
+    pub fn parse_from(args: &[String]) -> HarnessArgs {
         let mut scale = Scale::Demo;
         let mut seed = 42u64;
         let mut cache = false;
         let mut threads = None;
-        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -54,19 +69,15 @@ impl HarnessArgs {
                     let n: usize = args
                         .get(i)
                         .and_then(|s| s.parse().ok())
-                        .filter(|&n| n > 0)
-                        .unwrap_or_else(|| usage("bad --threads (positive integer)"));
-                    threads = Some(n);
+                        .unwrap_or_else(|| usage("bad --threads (integer)"));
+                    if n == 0 {
+                        eprintln!("[harness] --threads 0 is meaningless; clamping to 1");
+                    }
+                    threads = Some(n.max(1));
                 }
                 other => usage(&format!("unknown argument {other}")),
             }
             i += 1;
-        }
-        if let Some(n) = threads {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(n)
-                .build_global()
-                .expect("configure global thread pool");
         }
         HarnessArgs {
             scale,
@@ -179,5 +190,44 @@ mod tests {
     fn pct_formats_like_the_paper() {
         assert_eq!(pct(0.0243), "2.43");
         assert_eq!(pct(0.2300), "23.00");
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let a = HarnessArgs::parse_from(&argv(&[]));
+        assert_eq!(a.scale, Scale::Demo);
+        assert_eq!(a.seed, 42);
+        assert!(!a.cache);
+        assert_eq!(a.threads, None);
+    }
+
+    #[test]
+    fn parse_explicit_flags() {
+        let a = HarnessArgs::parse_from(&argv(&[
+            "--scale",
+            "smoke",
+            "--seed",
+            "7",
+            "--cache",
+            "--threads",
+            "3",
+        ]));
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.seed, 7);
+        assert!(a.cache);
+        assert_eq!(a.threads, Some(3));
+    }
+
+    #[test]
+    fn threads_zero_clamps_to_one() {
+        // `--threads 0` used to slip through to the pool builder, where 0
+        // means "pick a default width" — the opposite of what the caller
+        // asked for. It must clamp to a real width of 1.
+        let a = HarnessArgs::parse_from(&argv(&["--threads", "0"]));
+        assert_eq!(a.threads, Some(1));
     }
 }

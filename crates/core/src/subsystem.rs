@@ -159,7 +159,18 @@ impl Frontend {
         scratch: &mut DecodeScratch,
     ) -> SparseVec {
         let rendered = render_utterance(spec, ds.language(spec.language), inv);
-        let mut feats = lre_am::extract_features(&rendered.samples, self.am.feature);
+        self.supervector_from_samples(&rendered.samples, scratch)
+    }
+
+    /// Decode pre-rendered audio samples into a raw (unscaled) supervector —
+    /// the serving path, where the caller holds a waveform rather than a
+    /// corpus spec.
+    pub fn supervector_from_samples(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+    ) -> SparseVec {
+        let mut feats = lre_am::extract_features(samples, self.am.feature);
         self.am.feature_transform.apply(&mut feats);
         let out = decode_with_scratch(&self.am, &feats, &self.decoder, scratch);
         self.builder.build(&out.network)
@@ -167,17 +178,35 @@ impl Frontend {
 
     /// Decode a batch in parallel (rayon over utterances), one reusable
     /// [`DecodeScratch`] per worker thread.
+    ///
+    /// The vendored rayon stand-in splits work into one *contiguous* chunk
+    /// per worker, so a skewed batch (e.g. all 30-second utterances at the
+    /// front, 3-second ones at the back) would leave most workers idle while
+    /// one grinds through the long chunk. Dispatch therefore runs through
+    /// [`balanced_chunk_order`]: utterances are assigned longest-first so
+    /// every contiguous chunk carries a near-equal frame total, and results
+    /// are scattered back so output order still matches `specs`.
     pub fn supervector_batch(
         &self,
         specs: &[UttSpec],
         ds: &Dataset,
         inv: &UniversalInventory,
     ) -> Vec<SparseVec> {
-        specs
+        let workers = rayon::current_num_threads().min(specs.len()).max(1);
+        let costs: Vec<usize> = specs.iter().map(|s| s.num_frames).collect();
+        let order = balanced_chunk_order(&costs, workers);
+        let permuted: Vec<SparseVec> = order
             .par_iter()
-            .map_init(DecodeScratch::new, |scratch, s| {
-                self.supervector_with_scratch(s, ds, inv, scratch)
+            .map_init(DecodeScratch::new, |scratch, &i| {
+                self.supervector_with_scratch(&specs[i], ds, inv, scratch)
             })
+            .collect();
+        let mut out: Vec<Option<SparseVec>> = vec![None; specs.len()];
+        for (j, sv) in permuted.into_iter().enumerate() {
+            out[order[j]] = Some(sv);
+        }
+        out.into_iter()
+            .map(|o| o.expect("order is a permutation"))
             .collect()
     }
 
@@ -197,9 +226,108 @@ impl Frontend {
     }
 }
 
+/// Processing order that balances per-worker cost under a contiguous-chunk
+/// split.
+///
+/// The executor behind `par_iter` hands worker `b` the contiguous index
+/// range `[b·⌈n/w⌉, (b+1)·⌈n/w⌉)`. This function returns a permutation of
+/// `0..costs.len()` such that each of those ranges receives a near-equal
+/// share of `Σ costs`: items are taken longest-first (LPT greedy) and each
+/// is placed in the currently lightest chunk that still has a free slot.
+/// Every chunk fills to exactly its capacity, so position `j` of the
+/// returned order lands on the same worker the executor assigns it to.
+pub fn balanced_chunk_order(costs: &[usize], workers: usize) -> Vec<usize> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n).max(1);
+    if workers == 1 {
+        return (0..n).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let num_chunks = n.div_ceil(chunk);
+    let cap = |b: usize| {
+        if b + 1 < num_chunks {
+            chunk
+        } else {
+            n - (num_chunks - 1) * chunk
+        }
+    };
+    // Longest first; ties broken by index so the order is deterministic.
+    let mut by_cost: Vec<usize> = (0..n).collect();
+    by_cost.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_chunks];
+    let mut loads = vec![0u64; num_chunks];
+    for i in by_cost {
+        let b = (0..num_chunks)
+            .filter(|&b| buckets[b].len() < cap(b))
+            .min_by_key(|&b| loads[b])
+            .expect("capacities sum to n");
+        buckets[b].push(i);
+        loads[b] += costs[i] as u64;
+    }
+    buckets.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn chunk_loads(costs: &[usize], order: &[usize], workers: usize) -> Vec<u64> {
+        let chunk = order.len().div_ceil(workers);
+        order
+            .chunks(chunk)
+            .map(|c| c.iter().map(|&i| costs[i] as u64).sum())
+            .collect()
+    }
+
+    #[test]
+    fn balanced_order_is_a_permutation() {
+        let costs: Vec<usize> = (0..23).map(|i| (i * 37) % 101 + 1).collect();
+        let order = balanced_chunk_order(&costs, 4);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..costs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_batch_is_balanced_across_contiguous_chunks() {
+        // The adversarial layout for a contiguous split: all the long
+        // utterances first. Unpermuted, chunk 0 carries ~10× chunk 3.
+        let mut costs = vec![750usize; 8];
+        costs.extend(vec![75usize; 24]);
+        let workers = 4;
+        let naive: Vec<usize> = (0..costs.len()).collect();
+        let naive_loads = chunk_loads(&costs, &naive, workers);
+        let order = balanced_chunk_order(&costs, workers);
+        let loads = chunk_loads(&costs, &order, workers);
+        let spread = |l: &[u64]| l.iter().max().unwrap() - l.iter().min().unwrap();
+        assert!(
+            spread(&loads) * 4 < spread(&naive_loads),
+            "balanced {loads:?} vs naive {naive_loads:?}"
+        );
+        // Ideal per-chunk load is Σ/4 = 1950; LPT lands within one long
+        // utterance of it.
+        assert!(loads.iter().all(|&l| l <= 1950 + 750));
+    }
+
+    #[test]
+    fn uniform_costs_keep_full_chunks() {
+        let costs = vec![100usize; 10];
+        let order = balanced_chunk_order(&costs, 3);
+        assert_eq!(order.len(), 10);
+        // ⌈10/3⌉ = 4 ⇒ chunks of 4/4/2, matching the executor's split.
+        let loads = chunk_loads(&costs, &order, 3);
+        assert_eq!(loads, vec![400, 400, 200]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(balanced_chunk_order(&[], 4).is_empty());
+        assert_eq!(balanced_chunk_order(&[5], 4), vec![0]);
+        assert_eq!(balanced_chunk_order(&[5, 9, 2], 1), vec![0, 1, 2]);
+    }
 
     #[test]
     fn six_subsystems_with_paper_structure() {

@@ -36,6 +36,53 @@ impl Default for DecoderConfig {
     }
 }
 
+impl lre_artifact::ArtifactWrite for DecoderConfig {
+    const KIND: [u8; 4] = *b"DCFG";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_f32(self.acoustic_scale);
+        w.put_f32(self.phone_insertion_log);
+        w.put_u32(self.top_k as u32);
+        w.put_f32(self.posterior_scale);
+        match self.beam {
+            Some(b) => {
+                w.put_u8(1);
+                w.put_f32(b);
+            }
+            None => w.put_u8(0),
+        }
+    }
+}
+
+impl lre_artifact::ArtifactRead for DecoderConfig {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<DecoderConfig, lre_artifact::ArtifactError> {
+        let acoustic_scale = r.get_f32()?;
+        let phone_insertion_log = r.get_f32()?;
+        let top_k = r.get_u32()? as usize;
+        let posterior_scale = r.get_f32()?;
+        let beam = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_f32()?),
+            _ => return Err(lre_artifact::ArtifactError::Corrupt("bad beam flag")),
+        };
+        if top_k == 0 {
+            return Err(lre_artifact::ArtifactError::Corrupt(
+                "decoder top_k is zero",
+            ));
+        }
+        Ok(DecoderConfig {
+            acoustic_scale,
+            phone_insertion_log,
+            top_k,
+            posterior_scale,
+            beam,
+        })
+    }
+}
+
 /// One decoded phone segment, `[start, end)` in frames.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PhoneSegment {

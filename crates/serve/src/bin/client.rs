@@ -1,0 +1,234 @@
+//! Scoring client: render corpus utterances, score them over TCP, and
+//! optionally verify the replies against an in-process copy of the bundle.
+//!
+//! ```text
+//! lre-client --addr HOST:PORT [--utts N] [--scale smoke|demo|paper]
+//!            [--seed N] [--duration 30s|10s|3s] [--verify --bundle PATH]
+//!            [--stats] [--shutdown]
+//! ```
+//!
+//! With `--verify`, every TCP reply is compared bit-for-bit against the
+//! score computed locally from the same bundle — the end-to-end check the
+//! CI smoke job runs. Exits non-zero on any mismatch.
+
+use lre_artifact::ArtifactRead;
+use lre_corpus::{render_utterance, Dataset, DatasetConfig, Duration, LanguageId, Scale};
+use lre_lattice::DecodeScratch;
+use lre_phone::UniversalInventory;
+use lre_serve::client::ScoreReply;
+use lre_serve::{Client, ScoringSystem, SystemBundle};
+use std::path::PathBuf;
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: lre-client --addr HOST:PORT [--utts N] [--scale smoke|demo|paper] \
+         [--seed N] [--duration 30s|10s|3s] [--verify --bundle PATH] [--stats] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn connect_with_retry(addr: &str) -> Client {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return c,
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    eprintln!("error: connecting to {addr}: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut utts = 10usize;
+    let mut scale = Scale::Smoke;
+    let mut seed = 42u64;
+    let mut duration = Duration::S3;
+    let mut verify = false;
+    let mut bundle_path: Option<PathBuf> = None;
+    let mut stats = false;
+    let mut shutdown = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("missing --addr"))
+                        .clone(),
+                );
+            }
+            "--utts" => {
+                i += 1;
+                utts = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --utts"));
+            }
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage("bad --scale (smoke|demo|paper)"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --seed"));
+            }
+            "--duration" => {
+                i += 1;
+                duration = match args.get(i).map(|s| s.as_str()) {
+                    Some("30s") => Duration::S30,
+                    Some("10s") => Duration::S10,
+                    Some("3s") => Duration::S3,
+                    _ => usage("bad --duration (30s|10s|3s)"),
+                };
+            }
+            "--verify" => verify = true,
+            "--bundle" => {
+                i += 1;
+                bundle_path = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("missing --bundle path")),
+                ));
+            }
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    let addr = addr.unwrap_or_else(|| usage("--addr is required"));
+
+    let local = if verify {
+        let path = bundle_path.unwrap_or_else(|| usage("--verify needs --bundle PATH"));
+        let bundle = SystemBundle::load_artifact(&path).unwrap_or_else(|e| {
+            eprintln!("error: loading {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        Some(ScoringSystem::from_bundle(bundle).unwrap_or_else(|e| {
+            eprintln!("error: invalid bundle: {e}");
+            std::process::exit(1);
+        }))
+    } else {
+        None
+    };
+
+    let mut client = connect_with_retry(&addr);
+
+    if utts > 0 {
+        let inv = UniversalInventory::new();
+        let ds = Dataset::generate(DatasetConfig::new(scale, seed));
+        let pool = ds.test_set(duration);
+        let mut scratch = DecodeScratch::new();
+        let mut mismatches = 0usize;
+        let mut batched = 0usize;
+        for (n, spec) in pool.iter().cycle().take(utts).enumerate() {
+            let samples = render_utterance(spec, ds.language(spec.language), &inv).samples;
+            let scored = loop {
+                match client.score(&samples) {
+                    Ok(ScoreReply::Scored(s)) => break s,
+                    Ok(ScoreReply::Overloaded) => {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    Ok(ScoreReply::ShuttingDown) => {
+                        eprintln!("error: server is shutting down");
+                        std::process::exit(1);
+                    }
+                    Err(e) => {
+                        eprintln!("error: score request failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            };
+            if scored.batch_size > 1 {
+                batched += 1;
+            }
+            let top = LanguageId::targets()[scored.decision];
+            println!(
+                "utt {n:>3} ({}): {} (LLR {:+.3}, batch {})",
+                spec.language.name(),
+                top.name(),
+                scored.llrs[scored.decision],
+                scored.batch_size
+            );
+            if let Some(sys) = &local {
+                let expect = sys.score(&samples, &mut scratch);
+                let same = expect.len() == scored.llrs.len()
+                    && expect
+                        .iter()
+                        .zip(&scored.llrs)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if !same {
+                    eprintln!(
+                        "MISMATCH on utt {n}: local {expect:?} vs server {:?}",
+                        scored.llrs
+                    );
+                    mismatches += 1;
+                }
+            }
+        }
+        if verify {
+            if mismatches > 0 {
+                eprintln!("verification FAILED: {mismatches}/{utts} mismatching utterances");
+                std::process::exit(1);
+            }
+            println!("verification OK: {utts} utterances bit-identical to the local pipeline ({batched} scored in batches > 1)");
+        }
+    }
+
+    if stats || verify {
+        match client.stats() {
+            Ok(s) => {
+                let qps = if s.uptime_us > 0 {
+                    s.completed as f64 / (s.uptime_us as f64 / 1e6)
+                } else {
+                    0.0
+                };
+                let mean_batch = if s.batches > 0 {
+                    s.batched_utts as f64 / s.batches as f64
+                } else {
+                    0.0
+                };
+                let mean_lat_ms = if s.completed > 0 {
+                    s.latency_us_sum as f64 / s.completed as f64 / 1e3
+                } else {
+                    0.0
+                };
+                println!(
+                    "stats: requests={} completed={} rejected={} batches={} mean_batch={mean_batch:.2} \
+                     max_queue_depth={} mean_latency_ms={mean_lat_ms:.1} max_latency_ms={:.1} qps={qps:.1}",
+                    s.requests,
+                    s.completed,
+                    s.rejected,
+                    s.batches,
+                    s.max_queue_depth,
+                    s.latency_us_max as f64 / 1e3,
+                );
+            }
+            Err(e) => {
+                eprintln!("error: stats request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("error: shutdown request failed: {e}");
+            std::process::exit(1);
+        }
+        println!("server acknowledged shutdown");
+    }
+}

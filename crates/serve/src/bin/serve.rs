@@ -1,0 +1,109 @@
+//! The scoring server: load a bundle, listen, serve until shut down.
+//!
+//! ```text
+//! lre-serve --bundle PATH [--addr 127.0.0.1:7700] [--workers N]
+//!           [--max-batch N] [--max-wait-ms N] [--queue N]
+//! ```
+
+use lre_artifact::ArtifactRead;
+use lre_serve::{EngineConfig, ScoringSystem, Server, SystemBundle};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: lre-serve --bundle PATH [--addr HOST:PORT] [--workers N] \
+         [--max-batch N] [--max-wait-ms N] [--queue N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut bundle_path: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut cfg = EngineConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let parse_num = |args: &[String], i: usize, what: &str| -> usize {
+        args.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("bad {what} (positive integer)")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bundle" => {
+                i += 1;
+                bundle_path = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("missing --bundle path")),
+                ));
+            }
+            "--addr" => {
+                i += 1;
+                addr = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("missing --addr"))
+                    .clone();
+            }
+            "--workers" => {
+                i += 1;
+                cfg.workers = parse_num(&args, i, "--workers");
+            }
+            "--max-batch" => {
+                i += 1;
+                cfg.max_batch = parse_num(&args, i, "--max-batch");
+            }
+            "--max-wait-ms" => {
+                i += 1;
+                cfg.max_wait = Duration::from_millis(parse_num(&args, i, "--max-wait-ms") as u64);
+            }
+            "--queue" => {
+                i += 1;
+                cfg.queue_capacity = parse_num(&args, i, "--queue");
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    let bundle_path = bundle_path.unwrap_or_else(|| usage("--bundle is required"));
+
+    let bundle = match SystemBundle::load_artifact(&bundle_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: loading {}: {e}", bundle_path.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[serve] bundle: scale={}, seed={}, {} subsystems",
+        bundle.scale_name,
+        bundle.seed,
+        bundle.subsystems.len()
+    );
+    let system = match ScoringSystem::from_bundle(bundle) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("error: invalid bundle: {e}");
+            std::process::exit(1);
+        }
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::start(listener, system, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: starting server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    server.join();
+    eprintln!("[serve] shut down cleanly");
+}

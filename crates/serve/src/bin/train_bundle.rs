@@ -1,0 +1,77 @@
+//! Train a full PPRVSM system and save it as a scoring bundle.
+//!
+//! ```text
+//! lre-train-bundle [--scale smoke|demo|paper] [--seed N] --out PATH
+//! ```
+
+use lre_artifact::ArtifactWrite;
+use lre_corpus::Scale;
+use lre_dba::{Experiment, ExperimentConfig};
+use lre_serve::SystemBundle;
+use std::path::PathBuf;
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: lre-train-bundle [--scale smoke|demo|paper] [--seed N] --out PATH"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Smoke;
+    let mut seed = 42u64;
+    let mut out: Option<PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage("bad --scale (smoke|demo|paper)"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --seed"));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("missing --out path")),
+                ));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    let out = out.unwrap_or_else(|| usage("--out is required"));
+
+    eprintln!(
+        "[train-bundle] building experiment: scale={}, seed={seed} (AM training + decoding)",
+        scale.name()
+    );
+    let t0 = std::time::Instant::now();
+    let exp = Experiment::build(&ExperimentConfig::new(scale, seed));
+    eprintln!(
+        "[train-bundle] experiment ready in {:.1}s; packaging",
+        t0.elapsed().as_secs_f64()
+    );
+    let bundle = SystemBundle::from_experiment(exp);
+    if let Err(e) = bundle.save_artifact(&out) {
+        eprintln!("error: writing {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {} ({} subsystems, {} fusion backends, {} bytes)",
+        out.display(),
+        bundle.subsystems.len(),
+        bundle.fusions.len(),
+        size
+    );
+}

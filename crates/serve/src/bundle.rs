@@ -1,0 +1,209 @@
+//! The [`SystemBundle`]: a full trained PPRVSM system in one artifact.
+//!
+//! A bundle holds, per subsystem, exactly the state [`lre_dba::Frontend`]
+//! needs to score raw audio — decoder configuration, acoustic model,
+//! supervector builder, TFLLR scaler — plus the subsystem's one-vs-rest
+//! VSM, and one duration-matched LDA-MMI fusion backend per entry of
+//! [`Duration::all`]. Everything is serialized through the `lre-artifact`
+//! payload traits, so a bundle inherits the container's corruption
+//! detection and the per-model bit-identity contracts: reloading a bundle
+//! in a fresh process reproduces the saved experiment's fused scores to
+//! the last bit (covered by `tests/serve_roundtrip.rs`).
+
+use lre_artifact::{ArtifactError, ArtifactRead, ArtifactReader, ArtifactWrite, ArtifactWriter};
+use lre_backend::LdaMmiFusion;
+use lre_corpus::Duration;
+use lre_dba::{fuse_duration, standard_subsystems, Experiment};
+use lre_eval::ScoreMatrix;
+use lre_lattice::DecoderConfig;
+use lre_svm::OneVsRest;
+use lre_vsm::{SupervectorBuilder, TfllrScaler};
+
+/// One trained front-end plus its VSM, ready to serialize.
+pub struct SubsystemBundle {
+    /// Index into [`standard_subsystems`]; the spec itself (phone set,
+    /// model family, recognizer language) is static code, so only the
+    /// index travels.
+    pub spec_index: u8,
+    pub decoder: DecoderConfig,
+    pub am: lre_am::AcousticModel,
+    pub builder: SupervectorBuilder,
+    pub scaler: TfllrScaler,
+    pub vsm: OneVsRest,
+}
+
+/// A complete scoring system: all subsystems plus per-duration fusion.
+pub struct SystemBundle {
+    /// Seed of the experiment the bundle was trained from (provenance).
+    pub seed: u64,
+    /// Corpus scale name of the training experiment (provenance).
+    pub scale_name: String,
+    /// Supervector N-gram order (must agree with every builder).
+    pub max_order: u32,
+    pub subsystems: Vec<SubsystemBundle>,
+    /// Fusion backends indexed like [`Duration::all`].
+    pub fusions: Vec<LdaMmiFusion>,
+}
+
+impl SystemBundle {
+    /// Package a fully built experiment into a bundle, training one
+    /// duration-matched fusion backend per test duration (uniform Eq. 15
+    /// weights — the baseline configuration).
+    ///
+    /// Consumes the experiment: the acoustic models and scalers move into
+    /// the bundle rather than being retrained or cloned.
+    ///
+    /// # Panics
+    ///
+    /// If the experiment was restored headless from the supervector cache
+    /// (no trained acoustic models or scalers to package).
+    pub fn from_experiment(exp: Experiment) -> SystemBundle {
+        let fusions: Vec<LdaMmiFusion> = Duration::all()
+            .iter()
+            .map(|&d| {
+                let di = Experiment::duration_index(d);
+                let test: Vec<ScoreMatrix> = exp
+                    .baseline_test_scores
+                    .iter()
+                    .map(|per| per[di].clone())
+                    .collect();
+                fuse_duration(&exp, &exp.baseline_dev_scores, &test, d, None).fusion
+            })
+            .collect();
+        let Experiment {
+            cfg,
+            frontends,
+            baseline_vsms,
+            ..
+        } = exp;
+        let subsystems = frontends
+            .into_iter()
+            .zip(baseline_vsms)
+            .enumerate()
+            .map(|(q, (fe, vsm))| SubsystemBundle {
+                spec_index: q as u8,
+                decoder: fe.decoder,
+                am: fe.am,
+                builder: fe.builder,
+                scaler: fe
+                    .scaler
+                    .expect("cache-restored (headless) experiments cannot be bundled"),
+                vsm,
+            })
+            .collect();
+        SystemBundle {
+            seed: cfg.seed,
+            scale_name: cfg.scale.name().to_string(),
+            max_order: cfg.max_order as u32,
+            subsystems,
+            fusions,
+        }
+    }
+}
+
+impl ArtifactWrite for SubsystemBundle {
+    const KIND: [u8; 4] = *b"SUBS";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut ArtifactWriter) {
+        w.put_u8(self.spec_index);
+        // The spec name rides along so a bundle written against a reordered
+        // subsystem table is rejected instead of silently mislabeled.
+        w.put_str(standard_subsystems()[self.spec_index as usize].name);
+        self.decoder.write_payload(w);
+        self.am.write_payload(w);
+        self.builder.write_payload(w);
+        self.scaler.write_payload(w);
+        self.vsm.write_payload(w);
+    }
+}
+
+impl ArtifactRead for SubsystemBundle {
+    fn read_payload(r: &mut ArtifactReader) -> Result<SubsystemBundle, ArtifactError> {
+        let spec_index = r.get_u8()?;
+        let name = r.get_str()?;
+        let specs = standard_subsystems();
+        let spec = specs
+            .get(spec_index as usize)
+            .ok_or(ArtifactError::Corrupt("subsystem index out of range"))?;
+        if spec.name != name {
+            return Err(ArtifactError::Corrupt("subsystem name mismatch"));
+        }
+        let decoder = DecoderConfig::read_payload(r)?;
+        let am = lre_am::AcousticModel::read_payload(r)?;
+        let builder = SupervectorBuilder::read_payload(r)?;
+        let scaler = TfllrScaler::read_payload(r)?;
+        let vsm = OneVsRest::read_payload(r)?;
+        if scaler.dim() != builder.dim() {
+            return Err(ArtifactError::Corrupt("scaler dimension disagrees"));
+        }
+        Ok(SubsystemBundle {
+            spec_index,
+            decoder,
+            am,
+            builder,
+            scaler,
+            vsm,
+        })
+    }
+}
+
+impl ArtifactWrite for SystemBundle {
+    const KIND: [u8; 4] = *b"BNDL";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut ArtifactWriter) {
+        w.put_u64(self.seed);
+        w.put_str(&self.scale_name);
+        w.put_u32(self.max_order);
+        w.put_u32(self.subsystems.len() as u32);
+        for s in &self.subsystems {
+            s.write_payload(w);
+        }
+        w.put_u32(self.fusions.len() as u32);
+        for f in &self.fusions {
+            f.write_payload(w);
+        }
+    }
+}
+
+impl ArtifactRead for SystemBundle {
+    fn read_payload(r: &mut ArtifactReader) -> Result<SystemBundle, ArtifactError> {
+        let seed = r.get_u64()?;
+        let scale_name = r.get_str()?;
+        let max_order = r.get_u32()?;
+        let ns = r.get_u32()? as usize;
+        let subsystems: Vec<SubsystemBundle> = (0..ns)
+            .map(|_| SubsystemBundle::read_payload(r))
+            .collect::<Result<_, _>>()?;
+        let nf = r.get_u32()? as usize;
+        let fusions: Vec<LdaMmiFusion> = (0..nf)
+            .map(|_| LdaMmiFusion::read_payload(r))
+            .collect::<Result<_, _>>()?;
+        if subsystems.is_empty() {
+            return Err(ArtifactError::Corrupt("bundle has no subsystems"));
+        }
+        if fusions.len() != Duration::all().len() {
+            return Err(ArtifactError::Corrupt("bundle fusion count mismatch"));
+        }
+        if subsystems
+            .iter()
+            .any(|s| s.builder.max_order() != max_order as usize)
+        {
+            return Err(ArtifactError::Corrupt("bundle N-gram order disagrees"));
+        }
+        if fusions
+            .iter()
+            .any(|f| f.num_subsystems() != subsystems.len())
+        {
+            return Err(ArtifactError::Corrupt("fusion subsystem count disagrees"));
+        }
+        Ok(SystemBundle {
+            seed,
+            scale_name,
+            max_order,
+            subsystems,
+            fusions,
+        })
+    }
+}

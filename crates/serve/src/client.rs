@@ -1,0 +1,72 @@
+//! Blocking TCP client for the scoring protocol.
+
+use crate::engine::{ScoredUtt, StatsSnapshot};
+use crate::protocol::{
+    decode_score_reply, decode_stats_reply, encode_request, read_frame, write_frame, Request,
+    STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Outcome of a score request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScoreReply {
+    Scored(ScoredUtt),
+    /// The server shed this request (queue full); retry after backoff.
+    Overloaded,
+    /// The server is draining; no further requests will be accepted.
+    ShuttingDown,
+}
+
+/// One connection to a scoring server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+fn proto_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        read_frame(&mut self.stream)?.ok_or_else(|| proto_err("server closed mid-request"))
+    }
+
+    /// Score one utterance of raw 8 kHz samples.
+    pub fn score(&mut self, samples: &[f32]) -> io::Result<ScoreReply> {
+        let reply = self.round_trip(&Request::Score {
+            samples: samples.to_vec(),
+        })?;
+        match decode_score_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(scored) => Ok(ScoreReply::Scored(scored)),
+            Err(STATUS_OVERLOADED) => Ok(ScoreReply::Overloaded),
+            Err(STATUS_SHUTTING_DOWN) => Ok(ScoreReply::ShuttingDown),
+            Err(s) => Err(proto_err(&format!("server refused request (status {s})"))),
+        }
+    }
+
+    /// Fetch the engine counters.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        let reply = self.round_trip(&Request::Stats)?;
+        match decode_stats_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(s) => Ok(s),
+            Err(s) => Err(proto_err(&format!("stats refused (status {s})"))),
+        }
+    }
+
+    /// Request a graceful server shutdown; resolves once acknowledged.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let reply = self.round_trip(&Request::Shutdown)?;
+        match reply.first() {
+            Some(&STATUS_OK) => Ok(()),
+            _ => Err(proto_err("shutdown not acknowledged")),
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The micro-batching inference engine.
+//!
+//! Requests enter a [`BoundedQueue`]; worker threads remove them in batches
+//! (flush on `max_batch` or `max_wait`, whichever comes first) and drive
+//! the decode-through-fusion pipeline with one [`DecodeScratch`] per
+//! worker, so the score-block / Viterbi / back-pointer allocations are paid
+//! once per worker, not once per request. A full queue sheds load with an
+//! explicit [`SubmitError::Overloaded`] instead of buffering without bound.
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::system::ScoringSystem;
+use lre_lattice::DecodeScratch;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Largest batch a worker removes at once (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// How long a worker holding a partial batch waits for it to fill.
+    pub max_wait: Duration,
+    /// Queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One scored utterance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoredUtt {
+    /// Calibrated per-language detection LLRs.
+    pub llrs: Vec<f32>,
+    /// Index of the top-scoring language (see [`decision`]).
+    pub decision: usize,
+    /// Size of the batch this utterance was scored in (observability:
+    /// `> 1` means micro-batching actually coalesced requests).
+    pub batch_size: usize,
+}
+
+/// Index of the highest LLR (first wins on ties).
+pub fn decision(llrs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in llrs.iter().enumerate() {
+        if v > llrs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — shed and retry later.
+    Overloaded,
+    /// Engine is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "queue full (request shed)"),
+            SubmitError::ShuttingDown => write!(f, "engine shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Point-in-time view of the engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Submissions seen (accepted + shed).
+    pub requests: u64,
+    /// Utterances scored to completion.
+    pub completed: u64,
+    /// Submissions refused because the queue was full.
+    pub rejected: u64,
+    /// Batches removed by workers.
+    pub batches: u64,
+    /// Utterances across all batches (`batched_utts / batches` = mean
+    /// observed batch size).
+    pub batched_utts: u64,
+    /// High-water mark of queue depth.
+    pub max_queue_depth: u64,
+    /// Sum of per-request latency (enqueue → scored), microseconds.
+    pub latency_us_sum: u64,
+    /// Worst per-request latency, microseconds.
+    pub latency_us_max: u64,
+    /// Engine uptime, microseconds (QPS = `completed / uptime`).
+    pub uptime_us: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batched_utts: AtomicU64,
+    latency_us_sum: AtomicU64,
+    latency_us_max: AtomicU64,
+}
+
+struct Job {
+    samples: Vec<f32>,
+    enqueued: Instant,
+    reply: mpsc::Sender<ScoredUtt>,
+}
+
+/// The engine: a queue plus its worker pool.
+pub struct Engine {
+    queue: Arc<BoundedQueue<Job>>,
+    counters: Arc<Counters>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    started: Instant,
+}
+
+impl Engine {
+    /// Spawn the worker pool over a shared scoring system.
+    pub fn start(cfg: EngineConfig, system: Arc<ScoringSystem>) -> Engine {
+        let queue = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
+        let counters = Arc::new(Counters::default());
+        let max_batch = cfg.max_batch.max(1);
+        let workers: Vec<std::thread::JoinHandle<()>> = (0..cfg.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let counters = Arc::clone(&counters);
+                let system = Arc::clone(&system);
+                std::thread::spawn(move || {
+                    let mut scratch = DecodeScratch::new();
+                    while let Some(batch) = queue.pop_batch(max_batch, cfg.max_wait) {
+                        counters.batches.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .batched_utts
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        let batch_size = batch.len();
+                        for job in batch {
+                            let llrs = system.score(&job.samples, &mut scratch);
+                            let scored = ScoredUtt {
+                                decision: decision(&llrs),
+                                llrs,
+                                batch_size,
+                            };
+                            let us = job.enqueued.elapsed().as_micros() as u64;
+                            counters.latency_us_sum.fetch_add(us, Ordering::Relaxed);
+                            counters.latency_us_max.fetch_max(us, Ordering::Relaxed);
+                            counters.completed.fetch_add(1, Ordering::Relaxed);
+                            // A submitter that hung up just discards its
+                            // result; not an engine error.
+                            let _ = job.reply.send(scored);
+                        }
+                    }
+                })
+            })
+            .collect();
+        Engine {
+            queue,
+            counters,
+            workers: Mutex::new(workers),
+            started: Instant::now(),
+        }
+    }
+
+    /// Enqueue one utterance; the result arrives on the returned channel.
+    pub fn submit(&self, samples: Vec<f32>) -> Result<mpsc::Receiver<ScoredUtt>, SubmitError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            samples,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match self.queue.push(job) {
+            Ok(_) => Ok(rx),
+            Err(PushError::Full) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded)
+            }
+            Err(PushError::Closed) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submit and wait — the in-process client used by the TCP connection
+    /// handlers and by tests.
+    pub fn score_blocking(&self, samples: Vec<f32>) -> Result<ScoredUtt, SubmitError> {
+        let rx = self.submit(samples)?;
+        // A send-side drop without a result only happens if a worker died;
+        // surface it as shutdown rather than panicking the connection.
+        rx.recv().map_err(|_| SubmitError::ShuttingDown)
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.counters;
+        StatsSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_utts: c.batched_utts.load(Ordering::Relaxed),
+            max_queue_depth: self.queue.max_depth() as u64,
+            latency_us_sum: c.latency_us_sum.load(Ordering::Relaxed),
+            latency_us_max: c.latency_us_max.load(Ordering::Relaxed),
+            uptime_us: self.started.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Graceful shutdown: refuse new work, score everything already
+    /// accepted, then join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_is_argmax_first_wins() {
+        assert_eq!(decision(&[0.1, 0.9, 0.4]), 1);
+        assert_eq!(decision(&[2.0, 2.0, 1.0]), 0);
+        assert_eq!(decision(&[-3.0]), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Serving layer for the PPRVSM system: train once, score forever.
+//!
+//! The table binaries rebuild the whole pipeline — corpus, acoustic models,
+//! decoding, VSMs, fusion — on every invocation, which is the right shape
+//! for reproducing the paper's tables but the wrong one for using the
+//! system. This crate adds the missing halves:
+//!
+//! - [`bundle`]: a [`SystemBundle`] packs everything needed to score an
+//!   utterance (six front-ends, their one-vs-rest VSMs, and the
+//!   per-duration LDA-MMI fusion backends) into one checksummed
+//!   `lre-artifact` container, with the bit-identity contract that a
+//!   reloaded bundle produces exactly the scores of the experiment it was
+//!   saved from;
+//! - [`system`]: a [`ScoringSystem`] reconstructed from a bundle, scoring
+//!   raw audio samples into calibrated per-language detection LLRs;
+//! - [`queue`] + [`engine`]: a micro-batching inference engine — a bounded
+//!   request queue that coalesces pending utterances into batches (flush on
+//!   `max_batch` or `max_wait`), one reusable [`lre_lattice::DecodeScratch`]
+//!   per worker, and explicit load shedding when the queue is full;
+//! - [`protocol`] + [`server`] + [`client`]: a length-prefixed TCP protocol
+//!   (score / stats / shutdown requests) over `std::net`, consistent with
+//!   the workspace's no-external-deps policy.
+//!
+//! ## Quickstart
+//!
+//! ```text
+//! cargo run -p lre-serve --release --bin lre-train-bundle -- \
+//!     --scale smoke --seed 42 --out target/smoke.bundle
+//! cargo run -p lre-serve --release --bin lre-serve -- \
+//!     --bundle target/smoke.bundle --addr 127.0.0.1:7700
+//! cargo run -p lre-serve --release --bin lre-client -- \
+//!     --addr 127.0.0.1:7700 --utts 20 --shutdown
+//! ```
+
+pub mod bundle;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod system;
+
+pub use bundle::{SubsystemBundle, SystemBundle};
+pub use client::Client;
+pub use engine::{decision, Engine, EngineConfig, ScoredUtt, StatsSnapshot, SubmitError};
+pub use protocol::{read_frame, write_frame, Request};
+pub use queue::BoundedQueue;
+pub use server::Server;
+pub use system::ScoringSystem;

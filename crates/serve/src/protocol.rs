@@ -1,0 +1,299 @@
+//! The wire protocol: length-prefixed frames of `lre-artifact` payloads.
+//!
+//! Every message is one frame: a `u32` little-endian payload length
+//! followed by that many payload bytes. Payloads are packed with the
+//! artifact writer/reader primitives (little-endian integers, IEEE-754 bit
+//! patterns for floats), so both sides share the corpus of checked-read
+//! code with the on-disk bundles. The full layout is documented in
+//! `docs/SERVING.md`.
+//!
+//! Requests: a tag byte, then
+//! - [`REQ_SCORE`] — `f32` slice of raw 8 kHz samples;
+//! - [`REQ_STATS`] — empty;
+//! - [`REQ_SHUTDOWN`] — empty.
+//!
+//! Replies: a status byte ([`STATUS_OK`] / [`STATUS_OVERLOADED`] /
+//! [`STATUS_BAD_REQUEST`] / [`STATUS_SHUTTING_DOWN`]), then for `OK`:
+//! - score reply: `f32` slice of per-language LLRs, `u32` decision index,
+//!   `u32` observed batch size;
+//! - stats reply: the nine `u64` counters of [`StatsSnapshot`] in
+//!   declaration order;
+//! - shutdown reply: empty (the acknowledgement before the listener stops).
+
+use crate::engine::{ScoredUtt, StatsSnapshot};
+use lre_artifact::{ArtifactError, ArtifactReader, ArtifactWriter};
+use std::io::{self, Read, Write};
+
+pub const REQ_SCORE: u8 = 1;
+pub const REQ_STATS: u8 = 2;
+pub const REQ_SHUTDOWN: u8 = 3;
+
+pub const STATUS_OK: u8 = 0;
+pub const STATUS_OVERLOADED: u8 = 1;
+pub const STATUS_BAD_REQUEST: u8 = 2;
+pub const STATUS_SHUTTING_DOWN: u8 = 3;
+
+/// Refuse frames above this size (16 MiB ≈ a half-hour utterance) so a
+/// corrupt or hostile length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// A decoded request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Score one utterance of raw samples.
+    Score { samples: Vec<f32> },
+    /// Report engine counters.
+    Stats,
+    /// Gracefully stop the server.
+    Shutdown,
+}
+
+/// Write one frame: `u32` LE length + payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF (peer closed between frames).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // A clean close arrives as EOF on the first header byte; EOF anywhere
+    // later is a truncated frame and stays an error.
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(io::ErrorKind::UnexpectedEof.into()),
+            n => got += n,
+        }
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    match req {
+        Request::Score { samples } => {
+            w.put_u8(REQ_SCORE);
+            w.put_f32_slice(samples);
+        }
+        Request::Stats => w.put_u8(REQ_STATS),
+        Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+    }
+    w.into_bytes()
+}
+
+pub fn decode_request(bytes: &[u8]) -> Result<Request, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let req = match r.get_u8()? {
+        REQ_SCORE => Request::Score {
+            samples: r.get_f32_slice()?,
+        },
+        REQ_STATS => Request::Stats,
+        REQ_SHUTDOWN => Request::Shutdown,
+        _ => return Err(ArtifactError::Corrupt("unknown request tag")),
+    };
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(req)
+}
+
+/// A bare status reply (errors, and the shutdown acknowledgement).
+pub fn encode_status(status: u8) -> Vec<u8> {
+    vec![status]
+}
+
+pub fn encode_score_ok(scored: &ScoredUtt) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_f32_slice(&scored.llrs);
+    w.put_u32(scored.decision as u32);
+    w.put_u32(scored.batch_size as u32);
+    w.into_bytes()
+}
+
+/// `Ok(Ok(scored))` on success, `Ok(Err(status))` on a refusal status.
+pub fn decode_score_reply(bytes: &[u8]) -> Result<Result<ScoredUtt, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let llrs = r.get_f32_slice()?;
+    let decision = r.get_u32()? as usize;
+    let batch_size = r.get_u32()? as usize;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    if decision >= llrs.len().max(1) {
+        return Err(ArtifactError::Corrupt("decision index out of range"));
+    }
+    Ok(Ok(ScoredUtt {
+        llrs,
+        decision,
+        batch_size,
+    }))
+}
+
+pub fn encode_stats_ok(s: &StatsSnapshot) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    for v in [
+        s.requests,
+        s.completed,
+        s.rejected,
+        s.batches,
+        s.batched_utts,
+        s.max_queue_depth,
+        s.latency_us_sum,
+        s.latency_us_max,
+        s.uptime_us,
+    ] {
+        w.put_u64(v);
+    }
+    w.into_bytes()
+}
+
+/// `Ok(Ok(snapshot))` on success, `Ok(Err(status))` on a refusal status.
+pub fn decode_stats_reply(bytes: &[u8]) -> Result<Result<StatsSnapshot, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let s = StatsSnapshot {
+        requests: r.get_u64()?,
+        completed: r.get_u64()?,
+        rejected: r.get_u64()?,
+        batches: r.get_u64()?,
+        batched_utts: r.get_u64()?,
+        max_queue_depth: r.get_u64()?,
+        latency_us_sum: r.get_u64()?,
+        latency_us_max: r.get_u64()?,
+        uptime_us: r.get_u64()?,
+    };
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Score {
+                samples: vec![0.5, -1.25, f32::MIN_POSITIVE],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn score_reply_roundtrip_is_bit_exact() {
+        let scored = ScoredUtt {
+            llrs: vec![1.5, -0.0, f32::NAN, 3.25e-9],
+            decision: 3,
+            batch_size: 7,
+        };
+        let back = decode_score_reply(&encode_score_ok(&scored))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.decision, 3);
+        assert_eq!(back.batch_size, 7);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.llrs), bits(&scored.llrs));
+    }
+
+    #[test]
+    fn stats_reply_roundtrip() {
+        let s = StatsSnapshot {
+            requests: 100,
+            completed: 90,
+            rejected: 10,
+            batches: 20,
+            batched_utts: 90,
+            max_queue_depth: 12,
+            latency_us_sum: 123_456,
+            latency_us_max: 9_999,
+            uptime_us: u64::MAX,
+        };
+        assert_eq!(
+            decode_stats_reply(&encode_stats_ok(&s)).unwrap().unwrap(),
+            s
+        );
+    }
+
+    #[test]
+    fn refusal_statuses_pass_through() {
+        assert_eq!(
+            decode_score_reply(&encode_status(STATUS_OVERLOADED)).unwrap(),
+            Err(STATUS_OVERLOADED)
+        );
+        assert_eq!(
+            decode_stats_reply(&encode_status(STATUS_SHUTTING_DOWN)).unwrap(),
+            Err(STATUS_SHUTTING_DOWN)
+        );
+    }
+
+    #[test]
+    fn malformed_messages_are_typed_errors_not_panics() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99]).is_err());
+        // Truncated sample slice.
+        let mut good = encode_request(&Request::Score {
+            samples: vec![1.0; 16],
+        });
+        good.truncate(good.len() - 3);
+        assert!(decode_request(&good).is_err());
+        // Trailing junk after a well-formed request.
+        let mut padded = encode_request(&Request::Stats);
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
+        assert!(decode_score_reply(&[]).is_err());
+    }
+
+    #[test]
+    fn framing_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_before_allocation() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6);
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+}

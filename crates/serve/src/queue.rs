@@ -1,0 +1,204 @@
+//! A bounded, closable MPMC queue with batched removal.
+//!
+//! This is the backpressure point of the serving engine: producers get an
+//! explicit [`PushError::Full`] instead of unbounded buffering (load
+//! shedding), and consumers remove items in *batches* — a consumer that
+//! finds the queue non-empty keeps collecting until it holds `max_batch`
+//! items or `max_wait` has elapsed, which is the micro-batching window.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed the request.
+    Full,
+    /// [`BoundedQueue::close`] was called; no new work is accepted.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of queue depth, for the stats endpoint.
+    max_depth: usize,
+}
+
+/// The queue. All methods take `&self`; share it via `Arc`.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue with the given capacity (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue one item; returns the resulting queue depth.
+    pub fn push(&self, item: T) -> Result<usize, PushError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        st.max_depth = st.max_depth.max(depth);
+        drop(st);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Remove the next batch: blocks until at least one item is present,
+    /// then keeps collecting until `max_batch` items are held or `max_wait`
+    /// has elapsed since the first item was seen. Returns `None` once the
+    /// queue is closed *and* drained — remaining items are always handed
+    /// out first, so closing loses no accepted work.
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+        let max_batch = max_batch.max(1);
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if !st.items.is_empty() {
+                break;
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+        let deadline = Instant::now() + max_wait;
+        while st.items.len() < max_batch && !st.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self.cv.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = st.items.len().min(max_batch);
+        Some(st.items.drain(..take).collect())
+    }
+
+    /// Refuse new pushes; consumers drain what remains, then see `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue depth since creation.
+    pub fn max_depth(&self) -> usize {
+        self.state.lock().unwrap().max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const NO_WAIT: Duration = Duration::from_millis(0);
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(10, NO_WAIT), Some(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn full_queue_sheds_deterministically() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.push(3), Ok(3));
+        // Capacity reached: shedding is an explicit, typed refusal — not a
+        // block, not a drop of an accepted item.
+        assert_eq!(q.push(4), Err(PushError::Full));
+        assert_eq!(q.max_depth(), 3);
+        // Draining reopens capacity.
+        assert_eq!(q.pop_batch(1, NO_WAIT), Some(vec![1]));
+        assert_eq!(q.push(4), Ok(3));
+    }
+
+    #[test]
+    fn batch_caps_at_max_batch() {
+        let q = BoundedQueue::new(16);
+        for i in 0..7 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4, NO_WAIT), Some(vec![0, 1, 2, 3]));
+        assert_eq!(q.pop_batch(4, NO_WAIT), Some(vec![4, 5, 6]));
+    }
+
+    #[test]
+    fn batch_window_collects_late_arrivals() {
+        let q = Arc::new(BoundedQueue::new(16));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.push(1).unwrap();
+            q2.push(2).unwrap();
+        });
+        // The consumer sees one item immediately but the window keeps it
+        // collecting until the batch fills.
+        let batch = q.pop_batch(3, Duration::from_secs(10));
+        t.join().unwrap();
+        assert_eq!(batch, Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed));
+        // Accepted work survives the close…
+        assert_eq!(q.pop_batch(8, NO_WAIT), Some(vec![1, 2]));
+        // …then consumers see the end.
+        assert_eq!(q.pop_batch(8, NO_WAIT), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(8));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_batch(4, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! The TCP scoring server: `std::net` + threads, no external runtime.
+
+use crate::engine::{Engine, EngineConfig, SubmitError};
+use crate::protocol::{
+    decode_request, encode_score_ok, encode_stats_ok, encode_status, read_frame, write_frame,
+    Request, STATUS_BAD_REQUEST, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+};
+use crate::system::ScoringSystem;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running server. One thread accepts connections; each connection gets a
+/// handler thread that speaks the frame protocol and submits score requests
+/// to the shared [`Engine`]. Handler threads are detached — they exit on
+/// peer close — while [`Server::join`] owns the graceful-shutdown sequence:
+/// stop accepting, drain the engine queue, join the workers.
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stopping: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start serving on an already-bound listener (bind to port 0 to let
+    /// the OS pick, then read [`Server::local_addr`]).
+    pub fn start(
+        listener: TcpListener,
+        system: Arc<ScoringSystem>,
+        cfg: EngineConfig,
+    ) -> std::io::Result<Server> {
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(Engine::start(cfg, system));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let engine = Arc::clone(&engine);
+            let stopping = Arc::clone(&stopping);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match conn {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let engine = Arc::clone(&engine);
+                    let stopping = Arc::clone(&stopping);
+                    std::thread::spawn(move || handle_connection(stream, engine, stopping, addr));
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            engine,
+            stopping,
+            accept: Some(accept),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine (stats access for embedding tests).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Ask the server to stop from the hosting process (equivalent to a
+    /// client shutdown request).
+    pub fn stop(&self) {
+        trigger_stop(&self.stopping, self.addr);
+    }
+
+    /// Block until shutdown is requested, then drain and join. In-flight
+    /// requests accepted before the shutdown are still scored and answered.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+/// Flip the stop flag and wake the blocking `accept` with a throwaway
+/// connection so the accept loop observes it.
+fn trigger_stop(stopping: &AtomicBool, addr: SocketAddr) {
+    if !stopping.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    engine: Arc<Engine>,
+    stopping: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            // Clean close, torn connection, oversized frame: either way
+            // this conversation is over.
+            Ok(None) | Err(_) => return,
+        };
+        let reply = match decode_request(&frame) {
+            Ok(Request::Score { samples }) => match engine.score_blocking(samples) {
+                Ok(scored) => encode_score_ok(&scored),
+                Err(SubmitError::Overloaded) => encode_status(STATUS_OVERLOADED),
+                Err(SubmitError::ShuttingDown) => encode_status(STATUS_SHUTTING_DOWN),
+            },
+            Ok(Request::Stats) => encode_stats_ok(&engine.stats()),
+            Ok(Request::Shutdown) => {
+                // Acknowledge first so the requester sees a reply, then
+                // stop accepting; `Server::join` drains the engine.
+                let _ = write_frame(&mut stream, &encode_status(STATUS_OK));
+                trigger_stop(&stopping, addr);
+                return;
+            }
+            Err(_) => {
+                let _ = write_frame(&mut stream, &encode_status(STATUS_BAD_REQUEST));
+                return;
+            }
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! A [`ScoringSystem`]: raw audio samples in, detection LLRs out.
+
+use crate::bundle::SystemBundle;
+use lre_artifact::ArtifactError;
+use lre_corpus::Duration;
+use lre_dba::{standard_subsystems, Frontend};
+use lre_dsp::FrameConfig;
+use lre_eval::ScoreMatrix;
+use lre_lattice::DecodeScratch;
+use lre_phone::{PhoneSet, UniversalInventory};
+
+/// A reconstructed, ready-to-score PPRVSM system.
+///
+/// Scoring one utterance runs the full paper pipeline: per subsystem,
+/// feature extraction → phone-loop Viterbi decode → expected-count
+/// supervector → TFLLR scaling → one-vs-rest SVM scores; then z-norm +
+/// Eq. 15 combination + LDA/MMI backend via the fusion trained for the
+/// utterance's nearest nominal duration. Every stage is row-independent,
+/// so scoring utterances one at a time (as the serving engine does)
+/// produces bit-identical LLRs to the offline batch pipeline.
+pub struct ScoringSystem {
+    frontends: Vec<Frontend>,
+    vsms: Vec<lre_svm::OneVsRest>,
+    /// Indexed like [`Duration::all`].
+    fusions: Vec<lre_backend::LdaMmiFusion>,
+    num_classes: usize,
+}
+
+impl ScoringSystem {
+    /// Reconstruct the scoring pipeline from a loaded bundle.
+    pub fn from_bundle(bundle: SystemBundle) -> Result<ScoringSystem, ArtifactError> {
+        let inv = UniversalInventory::new();
+        let specs = standard_subsystems();
+        let mut frontends = Vec::new();
+        let mut vsms = Vec::new();
+        let mut num_classes = 0;
+        for s in bundle.subsystems {
+            let spec = specs[s.spec_index as usize];
+            let phone_set = PhoneSet::standard(spec.set_id, &inv);
+            if s.builder.num_phones() != phone_set.len() {
+                return Err(ArtifactError::Corrupt("builder phone count disagrees"));
+            }
+            if num_classes == 0 {
+                num_classes = s.vsm.num_classes();
+            } else if s.vsm.num_classes() != num_classes {
+                return Err(ArtifactError::Corrupt("VSM class counts disagree"));
+            }
+            frontends.push(Frontend {
+                spec,
+                phone_set,
+                am: s.am,
+                builder: s.builder,
+                scaler: Some(s.scaler),
+                decoder: s.decoder,
+            });
+            vsms.push(s.vsm);
+        }
+        Ok(ScoringSystem {
+            frontends,
+            vsms,
+            fusions: bundle.fusions,
+            num_classes,
+        })
+    }
+
+    /// Number of target languages (LLR vector length).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    pub fn num_subsystems(&self) -> usize {
+        self.frontends.len()
+    }
+
+    /// Score one utterance of raw 8 kHz samples into calibrated per-language
+    /// detection LLRs, reusing caller-owned decoder scratch.
+    pub fn score(&self, samples: &[f32], scratch: &mut DecodeScratch) -> Vec<f32> {
+        let num_frames = FrameConfig::default().num_frames(samples.len());
+        let di = duration_index_for(num_frames);
+        let mats: Vec<ScoreMatrix> = self
+            .frontends
+            .iter()
+            .zip(&self.vsms)
+            .map(|(fe, vsm)| {
+                let sv = fe.supervector_from_samples(samples, scratch);
+                let scaled = fe
+                    .scaler
+                    .as_ref()
+                    .expect("bundled front-ends carry fitted scalers")
+                    .transformed(&sv);
+                let mut m = ScoreMatrix::new(self.num_classes);
+                m.push_row(&vsm.scores(&scaled));
+                m
+            })
+            .collect();
+        let refs: Vec<&ScoreMatrix> = mats.iter().collect();
+        self.fusions[di].apply(&refs).row(0).to_vec()
+    }
+}
+
+/// Index into [`Duration::all`] of the nominal duration nearest to an
+/// utterance's frame count; fusion backends are duration-matched, as the
+/// per-duration LRE backends are.
+pub fn duration_index_for(num_frames: usize) -> usize {
+    Duration::all()
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, d)| d.frames().abs_diff(num_frames))
+        .map(|(i, _)| i)
+        .expect("Duration::all is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_pick_is_nearest() {
+        // Nominal frame budgets map to themselves…
+        assert_eq!(duration_index_for(750), 0);
+        assert_eq!(duration_index_for(250), 1);
+        assert_eq!(duration_index_for(75), 2);
+        // …and off-nominal utterances snap to the nearest backend.
+        assert_eq!(duration_index_for(600), 0);
+        assert_eq!(duration_index_for(400), 1);
+        assert_eq!(duration_index_for(40), 2);
+        assert_eq!(duration_index_for(0), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end serving acceptance: train a PPRVSM system once, package it,
+//! reload it from bytes alone, and serve it over TCP — with the fused
+//! detection LLRs bit-identical to the offline experiment pipeline,
+//! micro-batching observably active, load shedding engaged when the queue
+//! fills, and a clean protocol-driven shutdown.
+//!
+//! Like `tests/full_system.rs`, the big test builds the complete
+//! six-front-end smoke experiment (minutes in release, much longer in
+//! debug), so it is `#[ignore]` by default and CI runs it in release:
+//!
+//! ```text
+//! cargo test --release -p lre-serve --test serve_roundtrip -- --ignored
+//! ```
+
+use lre_artifact::{ArtifactRead, ArtifactWrite};
+use lre_corpus::{render_utterance, Duration, Scale};
+use lre_dba::{fuse_duration, Experiment, ExperimentConfig};
+use lre_eval::ScoreMatrix;
+use lre_lattice::DecodeScratch;
+use lre_serve::client::ScoreReply;
+use lre_serve::{Client, Engine, EngineConfig, ScoringSystem, Server, SubmitError, SystemBundle};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: LLR count");
+    for (j, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: LLR {j} differs ({g} vs {w})"
+        );
+    }
+}
+
+#[test]
+#[ignore = "builds the full experiment; run with --release -- --ignored"]
+fn train_save_reload_serve_bit_identical() {
+    let cfg = ExperimentConfig::new(Scale::Smoke, 42);
+    let exp = Experiment::build(&cfg);
+
+    // Offline reference: the experiment's own fused scores for the 3 s set.
+    let d = Duration::S3;
+    let di = Experiment::duration_index(d);
+    let test: Vec<ScoreMatrix> = exp
+        .baseline_test_scores
+        .iter()
+        .map(|per| per[di].clone())
+        .collect();
+    let offline = fuse_duration(&exp, &exp.baseline_dev_scores, &test, d, None).test_scores;
+
+    // The same utterances as a client would hold them: raw waveforms.
+    let waves: Vec<Vec<f32>> = exp
+        .ds
+        .test_set(d)
+        .iter()
+        .map(|u| render_utterance(u, exp.ds.language(u.language), &exp.inv).samples)
+        .collect();
+    assert!(
+        waves.len() >= 100,
+        "need ≥100 utterances for the serving smoke; have {}",
+        waves.len()
+    );
+
+    // Package the system and reload it from bytes alone — the "fresh
+    // process" contract: nothing survives but the artifact container.
+    let bytes = SystemBundle::from_experiment(exp).to_artifact_bytes();
+    let reloaded = SystemBundle::from_artifact_bytes(&bytes).expect("bundle reloads");
+    assert_eq!(reloaded.scale_name, "smoke");
+    assert_eq!(reloaded.seed, 42);
+    let system = Arc::new(ScoringSystem::from_bundle(reloaded).expect("bundle is coherent"));
+
+    // 1) In-process spot check: the reloaded pipeline reproduces the
+    //    offline fused scores to the bit (full coverage happens over TCP).
+    let mut scratch = DecodeScratch::new();
+    for (i, w) in waves.iter().enumerate().take(3) {
+        let got = system.score(w, &mut scratch);
+        assert_bits_eq(&got, offline.row(i), &format!("in-process utt {i}"));
+    }
+
+    // 2) Over TCP with concurrent clients so micro-batching engages.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = Server::start(
+        listener,
+        Arc::clone(&system),
+        EngineConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: std::time::Duration::from_millis(500),
+            queue_capacity: 256,
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let n_threads = 8;
+    let waves = Arc::new(waves);
+    let handles: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let waves = Arc::clone(&waves);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut out = Vec::new();
+                for (i, w) in waves.iter().enumerate() {
+                    if i % n_threads != t {
+                        continue;
+                    }
+                    loop {
+                        match client.score(w).expect("score round trip") {
+                            ScoreReply::Scored(s) => {
+                                out.push((i, s));
+                                break;
+                            }
+                            ScoreReply::Overloaded => {
+                                std::thread::sleep(std::time::Duration::from_millis(10));
+                            }
+                            ScoreReply::ShuttingDown => panic!("server shut down mid-test"),
+                        }
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    let mut scored = 0usize;
+    let mut seen_batched = 0usize;
+    for h in handles {
+        for (i, s) in h.join().expect("client thread") {
+            assert_bits_eq(&s.llrs, offline.row(i), &format!("TCP utt {i}"));
+            assert_eq!(
+                s.decision,
+                lre_serve::decision(&s.llrs),
+                "decision must be the argmax the server computed"
+            );
+            if s.batch_size > 1 {
+                seen_batched += 1;
+            }
+            scored += 1;
+        }
+    }
+    assert_eq!(scored, waves.len());
+    assert!(
+        seen_batched > 0,
+        "no utterance observed a batch > 1 — micro-batching never coalesced"
+    );
+
+    // Counters agree with what the clients saw.
+    let mut client = Client::connect(addr).expect("stats connection");
+    let stats = client.stats().expect("stats round trip");
+    assert_eq!(stats.completed, waves.len() as u64);
+    assert_eq!(stats.requests, waves.len() as u64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.batched_utts, waves.len() as u64);
+    assert!(stats.batches >= 1);
+    assert!(
+        stats.batched_utts > stats.batches,
+        "mean batch size must exceed 1 (batches={}, utts={})",
+        stats.batches,
+        stats.batched_utts
+    );
+    assert!(stats.latency_us_sum > 0 && stats.latency_us_max > 0);
+
+    // 3) Graceful shutdown over the wire: acknowledged, then the server
+    //    joins cleanly.
+    client.shutdown().expect("shutdown acknowledged");
+    server.join();
+
+    // 4) Load shedding: a one-lane engine with a 2-deep queue cannot absorb
+    //    a 64-request burst; the surplus must be refused explicitly (and
+    //    everything accepted must still complete).
+    let engine = Engine::start(
+        EngineConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: std::time::Duration::from_millis(0),
+            queue_capacity: 2,
+        },
+        Arc::clone(&system),
+    );
+    let mut receivers = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..64 {
+        match engine.submit(waves[i % waves.len()].clone()) {
+            Ok(rx) => receivers.push(rx),
+            Err(SubmitError::Overloaded) => shed += 1,
+            Err(SubmitError::ShuttingDown) => panic!("engine closed prematurely"),
+        }
+    }
+    assert!(shed > 0, "64-burst into a 2-deep queue must shed");
+    for rx in receivers {
+        let s = rx.recv().expect("accepted work completes despite shedding");
+        assert_eq!(s.llrs.len(), system.num_classes());
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.rejected, shed as u64);
+    assert_eq!(stats.completed + stats.rejected, 64);
+    engine.shutdown();
+}
+
+#[test]
+fn corrupt_bundles_fail_with_typed_errors_not_panics() {
+    // A coherent-but-tiny fake cannot be built without training, so damage
+    // testing runs on container-level invariants: every truncation of a
+    // sealed bundle prefix and a sweep of single-bit flips must produce a
+    // typed error. (Training-backed round-trip corruption is exercised by
+    // the property tests on the per-model payloads.)
+    let mut w = lre_artifact::ArtifactWriter::new();
+    w.put_u64(7);
+    w.put_str("smoke");
+    w.put_u32(2);
+    w.put_u32(0); // zero subsystems: structurally valid container, bad bundle
+    w.put_u32(0);
+    let sealed = lre_artifact::seal(*b"BNDL", 1, &w.into_bytes());
+    // Structurally intact container, semantically invalid payload.
+    match SystemBundle::from_artifact_bytes(&sealed) {
+        Err(lre_artifact::ArtifactError::Corrupt(_)) => {}
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("an empty bundle must not deserialize"),
+    }
+    for cut in 0..sealed.len() {
+        assert!(
+            SystemBundle::from_artifact_bytes(&sealed[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+    for byte in 0..sealed.len() {
+        let mut bad = sealed.clone();
+        bad[byte] ^= 0x04;
+        assert!(
+            SystemBundle::from_artifact_bytes(&bad).is_err(),
+            "bit flip at byte {byte} must fail"
+        );
+    }
+}

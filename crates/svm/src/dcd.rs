@@ -152,6 +152,29 @@ pub fn train_binary(xs: &[SparseVec], ys: &[i8], dim: usize, cfg: &SvmTrainConfi
     LinearSvm { w, bias }
 }
 
+impl lre_artifact::ArtifactWrite for LinearSvm {
+    const KIND: [u8; 4] = *b"LSVM";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_f32_slice(&self.w);
+        w.put_f32(self.bias);
+    }
+}
+
+impl lre_artifact::ArtifactRead for LinearSvm {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<LinearSvm, lre_artifact::ArtifactError> {
+        let w = r.get_f32_slice()?;
+        let bias = r.get_f32()?;
+        if w.is_empty() {
+            return Err(lre_artifact::ArtifactError::Corrupt("SVM with no weights"));
+        }
+        Ok(LinearSvm { w, bias })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -79,6 +79,40 @@ impl OneVsRest {
     }
 }
 
+impl lre_artifact::ArtifactWrite for OneVsRest {
+    const KIND: [u8; 4] = *b"OVRS";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_u32(self.models.len() as u32);
+        for m in &self.models {
+            m.write_payload(w);
+        }
+    }
+}
+
+impl lre_artifact::ArtifactRead for OneVsRest {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<OneVsRest, lre_artifact::ArtifactError> {
+        use lre_artifact::ArtifactError;
+        let n = r.get_u32()? as usize;
+        if n == 0 {
+            return Err(ArtifactError::Corrupt("one-vs-rest with zero classes"));
+        }
+        let models: Vec<LinearSvm> = (0..n)
+            .map(|_| LinearSvm::read_payload(r))
+            .collect::<Result<_, _>>()?;
+        if models
+            .iter()
+            .any(|m| m.weights().len() != models[0].weights().len())
+        {
+            return Err(ArtifactError::Corrupt("class model dimensions disagree"));
+        }
+        Ok(OneVsRest { models })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 //! Property-based tests for the dual-coordinate-descent SVM.
 
+use lre_artifact::{check_damage_detected, ArtifactRead, ArtifactWrite};
 use lre_svm::{train_binary, Loss, OneVsRest, SvmTrainConfig};
 use lre_vsm::SparseVec;
 use proptest::prelude::*;
@@ -90,5 +91,24 @@ proptest! {
             prop_assert!(m1.score(x) * y as f32 > 0.0);
             prop_assert!(m2.score(x) * y as f32 > 0.0);
         }
+    }
+
+    #[test]
+    fn ovr_artifact_roundtrip_scores_bit_identically(
+        (xs, ys) in separable_problem(),
+        probe in 0usize..1 << 16,
+    ) {
+        let labels: Vec<usize> = ys.iter().map(|&y| usize::from(y < 0)).collect();
+        let ovr = OneVsRest::train(&xs, &labels, 2, 8, &SvmTrainConfig::default());
+        let sealed = ovr.to_artifact_bytes();
+        let back = OneVsRest::from_artifact_bytes(&sealed).expect("round trip");
+        prop_assert_eq!(back.num_classes(), 2);
+        for x in &xs {
+            let (a, b) = (ovr.scores(x), back.scores(x));
+            for (p, q) in a.iter().zip(&b) {
+                prop_assert_eq!(p.to_bits(), q.to_bits(), "reloaded OvR must score to the bit");
+            }
+        }
+        check_damage_detected::<OneVsRest>(&sealed, probe);
     }
 }

@@ -136,6 +136,38 @@ impl SparseVec {
     }
 }
 
+impl lre_artifact::ArtifactWrite for SparseVec {
+    const KIND: [u8; 4] = *b"SPVC";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_u32_slice(&self.indices);
+        w.put_f32_slice(&self.values);
+    }
+}
+
+impl lre_artifact::ArtifactRead for SparseVec {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<SparseVec, lre_artifact::ArtifactError> {
+        use lre_artifact::ArtifactError;
+        let indices = r.get_u32_slice()?;
+        let values = r.get_f32_slice()?;
+        if indices.len() != values.len() {
+            return Err(ArtifactError::Corrupt(
+                "sparse index/value lengths disagree",
+            ));
+        }
+        // `from_parts` panics on unsorted input; corrupt bytes must not.
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ArtifactError::Corrupt(
+                "sparse indices not strictly increasing",
+            ));
+        }
+        Ok(SparseVec { indices, values })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

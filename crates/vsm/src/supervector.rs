@@ -64,6 +64,34 @@ impl SupervectorBuilder {
     }
 }
 
+impl lre_artifact::ArtifactWrite for SupervectorBuilder {
+    const KIND: [u8; 4] = *b"SVBL";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_u32(self.num_phones as u32);
+        w.put_u32(self.max_order as u32);
+    }
+}
+
+impl lre_artifact::ArtifactRead for SupervectorBuilder {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<SupervectorBuilder, lre_artifact::ArtifactError> {
+        let num_phones = r.get_u32()? as usize;
+        let max_order = r.get_u32()? as usize;
+        if num_phones == 0 || !(1..=3).contains(&max_order) {
+            return Err(lre_artifact::ArtifactError::Corrupt(
+                "supervector builder shape out of range",
+            ));
+        }
+        Ok(SupervectorBuilder {
+            num_phones,
+            max_order,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

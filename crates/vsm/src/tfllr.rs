@@ -69,6 +69,27 @@ impl TfllrScaler {
     }
 }
 
+impl lre_artifact::ArtifactWrite for TfllrScaler {
+    const KIND: [u8; 4] = *b"TFLR";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_f32_slice(&self.scale);
+    }
+}
+
+impl lre_artifact::ArtifactRead for TfllrScaler {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<TfllrScaler, lre_artifact::ArtifactError> {
+        let scale = r.get_f32_slice()?;
+        if scale.is_empty() {
+            return Err(lre_artifact::ArtifactError::Corrupt("empty TFLLR table"));
+        }
+        Ok(TfllrScaler { scale })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 //! Property-based tests for supervectors and TFLLR scaling.
 
+use lre_artifact::{check_damage_detected, ArtifactRead, ArtifactWrite};
 use lre_lattice::{ConfusionNetwork, SlotEntry};
 use lre_vsm::{SparseVec, SupervectorBuilder, TfllrScaler};
 use proptest::prelude::*;
@@ -101,5 +102,41 @@ proptest! {
         for w in sv.indices().windows(2) {
             prop_assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn vsm_artifact_roundtrips_transform_bit_identically(
+        nets in prop::collection::vec(network(6), 2..6),
+        probe in 0usize..1 << 16,
+    ) {
+        let b = SupervectorBuilder::new(6, 2);
+        let svs: Vec<SparseVec> = nets.iter().map(|n| b.build(n)).collect();
+        let scaler = TfllrScaler::fit(&svs, b.dim(), 1e-4);
+
+        // Builder config round trip: an identically-configured builder must
+        // emit identical supervectors.
+        let b_sealed = b.to_artifact_bytes();
+        let b_back = SupervectorBuilder::from_artifact_bytes(&b_sealed).expect("builder round trip");
+        for (net, sv) in nets.iter().zip(&svs) {
+            let sv2 = b_back.build(net);
+            prop_assert_eq!(sv.indices(), sv2.indices());
+            for (v, w) in sv.values().iter().zip(sv2.values()) {
+                prop_assert_eq!(v.to_bits(), w.to_bits());
+            }
+        }
+        check_damage_detected::<SupervectorBuilder>(&b_sealed, probe);
+
+        // Scaler round trip: TFLLR scaling must be bit-identical.
+        let s_sealed = scaler.to_artifact_bytes();
+        let s_back = TfllrScaler::from_artifact_bytes(&s_sealed).expect("scaler round trip");
+        for sv in &svs {
+            let t1 = scaler.transformed(sv);
+            let t2 = s_back.transformed(sv);
+            prop_assert_eq!(t1.indices(), t2.indices());
+            for (v, w) in t1.values().iter().zip(t2.values()) {
+                prop_assert_eq!(v.to_bits(), w.to_bits());
+            }
+        }
+        check_damage_detected::<TfllrScaler>(&s_sealed, probe);
     }
 }
