@@ -219,6 +219,14 @@ impl ArtifactWriter {
         }
     }
 
+    /// Length-prefixed `u64` slice (section offset tables).
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+
     /// Length-prefixed opaque blob (e.g. a nested sealed artifact).
     pub fn put_blob(&mut self, v: &[u8]) {
         self.put_u32(v.len() as u32);
@@ -243,6 +251,12 @@ impl<'a> ArtifactReader<'a> {
 
     pub fn remaining(&self) -> usize {
         self.data.len() - self.pos
+    }
+
+    /// Bytes consumed so far — lets callers record where a section of the
+    /// payload starts (offset tables for lazily mapped sections).
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
@@ -315,9 +329,21 @@ impl<'a> ArtifactReader<'a> {
         (0..n).map(|_| self.get_u32()).collect()
     }
 
+    /// Length-prefixed `u64` slice (section offset tables).
+    pub fn get_u64_slice(&mut self) -> Result<Vec<u64>, ArtifactError> {
+        let n = self.get_count(8)?;
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
     /// Length-prefixed opaque blob.
     pub fn get_blob(&mut self) -> Result<&'a [u8], ArtifactError> {
         let n = self.get_count(1)?;
+        self.take(n)
+    }
+
+    /// Exactly `n` raw bytes with no length prefix — for sections whose
+    /// extent comes from an offset table elsewhere in the payload.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
         self.take(n)
     }
 }
@@ -609,6 +635,31 @@ mod tests {
         assert_eq!(r.get_str().unwrap(), "héllo");
         assert_eq!(r.get_blob().unwrap(), &[1, 2, 3]);
         assert_eq!(r.get_u32_slice().unwrap(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn u64_slice_roundtrip_and_position() {
+        let offsets = [0u64, 1024, u64::MAX];
+        let mut w = ArtifactWriter::new();
+        w.put_u64_slice(&offsets);
+        w.put_u8(0xAB);
+        let bytes = w.into_bytes();
+        let mut r = ArtifactReader::new(&bytes);
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.get_u64_slice().unwrap(), offsets.to_vec());
+        // 4-byte count + 3×8 payload bytes consumed.
+        assert_eq!(r.position(), 4 + 24);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.position(), bytes.len());
+    }
+
+    #[test]
+    fn oversized_u64_count_is_rejected_before_allocation() {
+        let mut w = ArtifactWriter::new();
+        w.put_u32(u32::MAX); // claims ~4 billion u64s backed by nothing
+        let bytes = w.into_bytes();
+        let mut r = ArtifactReader::new(&bytes);
+        assert!(matches!(r.get_u64_slice(), Err(ArtifactError::Truncated)));
     }
 
     struct Point {

@@ -123,6 +123,11 @@ impl LdaMmiFusion {
         self.num_subsystems
     }
 
+    /// Number of target languages the fused LLR vector covers.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
     /// Fuse test-set scores into calibrated detection LLRs.
     pub fn apply(&self, test_scores: &[&ScoreMatrix]) -> ScoreMatrix {
         assert_eq!(test_scores.len(), self.num_subsystems);

@@ -51,5 +51,5 @@ pub mod vote;
 pub use dba::{run_dba, run_dba_iterated, DbaOutcome, DbaVariant};
 pub use experiment::{BaselineRow, Experiment, ExperimentConfig};
 pub use fusion_pipeline::{fuse, fuse_duration, FusedSystem};
-pub use subsystem::{standard_subsystems, Frontend, SubsystemSpec};
+pub use subsystem::{balanced_chunk_order, standard_subsystems, Frontend, SubsystemSpec};
 pub use vote::{select_tr_dba, vote_matrix, PseudoLabel, VoteMatrix};

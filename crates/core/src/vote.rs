@@ -209,6 +209,83 @@ mod tests {
     }
 
     #[test]
+    fn zero_score_is_on_the_negative_side_of_eq13() {
+        // Eq. 13 requires a strictly positive score; a score of exactly 0.0
+        // sits *on* the hyperplane and earns nothing — neither as the
+        // candidate positive nor as a disqualifying second positive.
+        let on_plane = matrix(&[vec![0.0, -1.0, -1.0]]);
+        assert_eq!(vote_matrix(&[&on_plane]).row(0), &[0, 0, 0]);
+        let with_positive = matrix(&[vec![0.0, 2.0, -1.0]]);
+        assert_eq!(vote_matrix(&[&with_positive]).row(0), &[0, 1, 0]);
+        let negative_zero = matrix(&[vec![-0.0, 1.0, -1.0]]);
+        assert_eq!(vote_matrix(&[&negative_zero]).row(0), &[0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "V = 0")]
+    fn threshold_zero_is_rejected() {
+        let m = matrix(&[vec![1.0, -1.0]]);
+        select_tr_dba(&vote_matrix(&[&m]), 0);
+    }
+
+    #[test]
+    fn threshold_at_q_selects_unanimity_and_q_plus_1_nothing() {
+        // Three subsystems, unanimous on utt 0, split 2–1 on utt 1.
+        let a = matrix(&[vec![1.0, -1.0], vec![1.0, -1.0]]);
+        let b = matrix(&[vec![0.5, -0.5], vec![0.5, -0.5]]);
+        let c = matrix(&[vec![0.2, -0.2], vec![-0.2, 0.2]]);
+        let v = vote_matrix(&[&a, &b, &c]);
+        // V = Q: only the unanimous utterance survives.
+        let at_q = select_tr_dba(&v, 3);
+        assert_eq!(
+            at_q,
+            vec![PseudoLabel {
+                utt: 0,
+                label: 0,
+                votes: 3
+            }]
+        );
+        // V = Q + 1 is unreachable: no subsystem casts two votes.
+        assert!(select_tr_dba(&v, 4).is_empty());
+        // V = u8::MAX likewise selects nothing rather than overflowing.
+        assert!(select_tr_dba(&v, u8::MAX).is_empty());
+    }
+
+    #[test]
+    fn all_negative_rows_select_nothing_at_any_threshold() {
+        let a = matrix(&[vec![-1.0, -0.5], vec![-0.1, -0.2]]);
+        let b = matrix(&[vec![-0.3, -0.4], vec![-2.0, -0.9]]);
+        let v = vote_matrix(&[&a, &b]);
+        assert_eq!(v.num_voted(), 0);
+        for thr in [1u8, 2, 3] {
+            assert!(select_tr_dba(&v, thr).is_empty());
+        }
+        // winner() on an all-zero row is well-defined: first class, 0 votes.
+        assert_eq!(v.winner(0), (0, 0));
+        assert_eq!(v.winner(1), (0, 0));
+    }
+
+    #[test]
+    fn single_subsystem_votes_and_selects_alone() {
+        // Q = 1 degenerates to "the one SVM's unique-positive decision".
+        let m = matrix(&[vec![1.0, -1.0, -1.0], vec![-1.0, -1.0, -1.0]]);
+        let v = vote_matrix(&[&m]);
+        assert_eq!(v.row(0), &[1, 0, 0]);
+        assert_eq!(v.row(1), &[0, 0, 0]);
+        let sel = select_tr_dba(&v, 1);
+        assert_eq!(
+            sel,
+            vec![PseudoLabel {
+                utt: 0,
+                label: 0,
+                votes: 1
+            }]
+        );
+        // A threshold above the single subsystem's reach selects nothing.
+        assert!(select_tr_dba(&v, 2).is_empty());
+    }
+
+    #[test]
     fn monotone_in_threshold() {
         // Higher V never selects more utterances.
         let a = matrix(&[vec![1.0, -1.0], vec![0.4, -0.4], vec![-0.4, 0.4]]);

@@ -3,34 +3,41 @@
 //!
 //! ```text
 //! lre-client --addr HOST:PORT [--utts N] [--scale smoke|demo|paper]
-//!            [--seed N] [--duration 30s|10s|3s] [--verify --bundle PATH]
-//!            [--stats] [--shutdown]
+//!            [--seed N] [--duration 30s|10s|3s] [--inflight N]
+//!            [--deadline-ms N] [--verify --bundle PATH]
+//!            [--stats] [--fuzz] [--shutdown]
 //! ```
 //!
-//! With `--verify`, every TCP reply is compared bit-for-bit against the
-//! score computed locally from the same bundle — the end-to-end check the
-//! CI smoke job runs. Exits non-zero on any mismatch.
+//! `--inflight 1` (the default) speaks protocol v1, one request at a time.
+//! `--inflight N>1` speaks v2: up to N requests ride the connection at
+//! once and replies are matched by id. With `--verify`, every TCP reply is
+//! compared bit-for-bit against the score computed locally from the same
+//! bundle — the end-to-end check the CI smoke job runs; it exits non-zero
+//! on any mismatch in either mode. `--fuzz` throws the malformed-input
+//! corpus at the server and verifies it answers typed errors (or just
+//! closes) without dying.
 
 use lre_artifact::ArtifactRead;
 use lre_corpus::{render_utterance, Dataset, DatasetConfig, Duration, LanguageId, Scale};
 use lre_lattice::DecodeScratch;
 use lre_phone::UniversalInventory;
 use lre_serve::client::ScoreReply;
-use lre_serve::{Client, ScoringSystem, SystemBundle};
+use lre_serve::{Client, PipelinedClient, ScoringSystem, StatsSnapshot, SystemBundle};
 use std::path::PathBuf;
 
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: lre-client --addr HOST:PORT [--utts N] [--scale smoke|demo|paper] \
-         [--seed N] [--duration 30s|10s|3s] [--verify --bundle PATH] [--stats] [--shutdown]"
+         [--seed N] [--duration 30s|10s|3s] [--inflight N] [--deadline-ms N] \
+         [--verify --bundle PATH] [--stats] [--fuzz] [--shutdown]"
     );
     std::process::exit(2);
 }
 
-fn connect_with_retry(addr: &str) -> Client {
+fn connect_with_retry<C>(addr: &str, connect: impl Fn() -> std::io::Result<C>) -> C {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
     loop {
-        match Client::connect(addr) {
+        match connect() {
             Ok(c) => return c,
             Err(e) => {
                 if std::time::Instant::now() >= deadline {
@@ -43,15 +50,51 @@ fn connect_with_retry(addr: &str) -> Client {
     }
 }
 
+fn print_stats(s: &StatsSnapshot, extended: bool) {
+    let qps = if s.uptime_us > 0 {
+        s.completed as f64 / (s.uptime_us as f64 / 1e6)
+    } else {
+        0.0
+    };
+    let mean_batch = if s.batches > 0 {
+        s.batched_utts as f64 / s.batches as f64
+    } else {
+        0.0
+    };
+    let mean_lat_ms = if s.completed > 0 {
+        s.latency_us_sum as f64 / s.completed as f64 / 1e3
+    } else {
+        0.0
+    };
+    let ext = if extended {
+        format!(" expired={} failed={}", s.expired, s.failed)
+    } else {
+        String::new()
+    };
+    println!(
+        "stats: requests={} completed={} rejected={} batches={} mean_batch={mean_batch:.2} \
+         max_queue_depth={} mean_latency_ms={mean_lat_ms:.1} max_latency_ms={:.1} qps={qps:.1}{ext}",
+        s.requests,
+        s.completed,
+        s.rejected,
+        s.batches,
+        s.max_queue_depth,
+        s.latency_us_max as f64 / 1e3,
+    );
+}
+
 fn main() {
     let mut addr: Option<String> = None;
     let mut utts = 10usize;
     let mut scale = Scale::Smoke;
     let mut seed = 42u64;
     let mut duration = Duration::S3;
+    let mut inflight = 1usize;
+    let mut deadline_ms = 0u64;
     let mut verify = false;
     let mut bundle_path: Option<PathBuf> = None;
     let mut stats = false;
+    let mut fuzz = false;
     let mut shutdown = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -95,6 +138,21 @@ fn main() {
                     _ => usage("bad --duration (30s|10s|3s)"),
                 };
             }
+            "--inflight" => {
+                i += 1;
+                inflight = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("bad --inflight (integer >= 1)"));
+            }
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --deadline-ms"));
+            }
             "--verify" => verify = true,
             "--bundle" => {
                 i += 1;
@@ -104,12 +162,38 @@ fn main() {
                 ));
             }
             "--stats" => stats = true,
+            "--fuzz" => fuzz = true,
             "--shutdown" => shutdown = true,
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
     }
     let addr = addr.unwrap_or_else(|| usage("--addr is required"));
+
+    if fuzz {
+        // Wait for the server, then hammer it with the malformed corpus.
+        drop(connect_with_retry(&addr, || Client::connect(&addr)));
+        let sock_addr = addr
+            .parse()
+            .unwrap_or_else(|_| usage("--fuzz needs a numeric HOST:PORT address"));
+        match lre_serve::fuzz::run_corpus(sock_addr, std::time::Duration::from_secs(10)) {
+            Ok(n) => println!("fuzz OK: {n} malformed cases, every one refused cleanly"),
+            Err(e) => {
+                eprintln!("fuzz FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        // The server must still be fully alive afterwards.
+        let mut probe = Client::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("fuzz FAILED: server unreachable after corpus: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = probe.stats() {
+            eprintln!("fuzz FAILED: stats after corpus: {e}");
+            std::process::exit(1);
+        }
+        println!("fuzz post-check OK: server still answers stats");
+    }
 
     let local = if verify {
         let path = bundle_path.unwrap_or_else(|| usage("--verify needs --bundle PATH"));
@@ -125,31 +209,40 @@ fn main() {
         None
     };
 
-    let mut client = connect_with_retry(&addr);
-
+    let mut mismatches = 0usize;
+    let mut batched = 0usize;
+    let mut expired = 0usize;
     if utts > 0 {
         let inv = UniversalInventory::new();
         let ds = Dataset::generate(DatasetConfig::new(scale, seed));
         let pool = ds.test_set(duration);
         let mut scratch = DecodeScratch::new();
-        let mut mismatches = 0usize;
-        let mut batched = 0usize;
-        for (n, spec) in pool.iter().cycle().take(utts).enumerate() {
-            let samples = render_utterance(spec, ds.language(spec.language), &inv).samples;
-            let scored = loop {
-                match client.score(&samples) {
-                    Ok(ScoreReply::Scored(s)) => break s,
-                    Ok(ScoreReply::Overloaded) => {
-                        std::thread::sleep(std::time::Duration::from_millis(20));
-                    }
-                    Ok(ScoreReply::ShuttingDown) => {
-                        eprintln!("error: server is shutting down");
-                        std::process::exit(1);
-                    }
-                    Err(e) => {
-                        eprintln!("error: score request failed: {e}");
-                        std::process::exit(1);
-                    }
+        let rendered: Vec<(usize, LanguageId, Vec<f32>)> = pool
+            .iter()
+            .cycle()
+            .take(utts)
+            .enumerate()
+            .map(|(n, spec)| {
+                (
+                    n,
+                    spec.language,
+                    render_utterance(spec, ds.language(spec.language), &inv).samples,
+                )
+            })
+            .collect();
+        let deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
+
+        let mut verify_one = |n: usize, lang: LanguageId, samples: &[f32], reply: &ScoreReply| {
+            let scored = match reply {
+                ScoreReply::Scored(s) => s,
+                ScoreReply::DeadlineExceeded => {
+                    expired += 1;
+                    println!("utt {n:>3} ({}): deadline exceeded", lang.name());
+                    return;
+                }
+                other => {
+                    eprintln!("error: utt {n} refused: {other:?}");
+                    std::process::exit(1);
                 }
             };
             if scored.batch_size > 1 {
@@ -158,13 +251,13 @@ fn main() {
             let top = LanguageId::targets()[scored.decision];
             println!(
                 "utt {n:>3} ({}): {} (LLR {:+.3}, batch {})",
-                spec.language.name(),
+                lang.name(),
                 top.name(),
                 scored.llrs[scored.decision],
                 scored.batch_size
             );
             if let Some(sys) = &local {
-                let expect = sys.score(&samples, &mut scratch);
+                let expect = sys.score(samples, &mut scratch);
                 let same = expect.len() == scored.llrs.len()
                     && expect
                         .iter()
@@ -178,53 +271,88 @@ fn main() {
                     mismatches += 1;
                 }
             }
+        };
+
+        if inflight > 1 {
+            let mut client = connect_with_retry(&addr, || PipelinedClient::connect(&addr));
+            let samples: Vec<Vec<f32>> = rendered.iter().map(|(_, _, s)| s.clone()).collect();
+            let replies = client
+                .score_all(&samples, inflight, deadline)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: pipelined scoring failed: {e}");
+                    std::process::exit(1);
+                });
+            for ((n, lang, samples), reply) in rendered.iter().zip(&replies) {
+                verify_one(*n, *lang, samples, reply);
+            }
+            if stats || verify {
+                match client.stats() {
+                    Ok(s) => print_stats(&s, true),
+                    Err(e) => {
+                        eprintln!("error: stats request failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            if shutdown {
+                if let Err(e) = client.shutdown() {
+                    eprintln!("error: shutdown request failed: {e}");
+                    std::process::exit(1);
+                }
+                println!("server acknowledged shutdown");
+                shutdown = false;
+            }
+        } else {
+            let mut client = connect_with_retry(&addr, || Client::connect(&addr));
+            for (n, lang, samples) in &rendered {
+                let reply = loop {
+                    match client.score(samples) {
+                        Ok(ScoreReply::Overloaded) => {
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        Ok(r) => break r,
+                        Err(e) => {
+                            eprintln!("error: score request failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                };
+                verify_one(*n, *lang, samples, &reply);
+            }
+            if stats || verify {
+                match client.stats() {
+                    Ok(s) => print_stats(&s, false),
+                    Err(e) => {
+                        eprintln!("error: stats request failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            if shutdown {
+                if let Err(e) = client.shutdown() {
+                    eprintln!("error: shutdown request failed: {e}");
+                    std::process::exit(1);
+                }
+                println!("server acknowledged shutdown");
+                shutdown = false;
+            }
         }
+
         if verify {
             if mismatches > 0 {
                 eprintln!("verification FAILED: {mismatches}/{utts} mismatching utterances");
                 std::process::exit(1);
             }
-            println!("verification OK: {utts} utterances bit-identical to the local pipeline ({batched} scored in batches > 1)");
-        }
-    }
-
-    if stats || verify {
-        match client.stats() {
-            Ok(s) => {
-                let qps = if s.uptime_us > 0 {
-                    s.completed as f64 / (s.uptime_us as f64 / 1e6)
-                } else {
-                    0.0
-                };
-                let mean_batch = if s.batches > 0 {
-                    s.batched_utts as f64 / s.batches as f64
-                } else {
-                    0.0
-                };
-                let mean_lat_ms = if s.completed > 0 {
-                    s.latency_us_sum as f64 / s.completed as f64 / 1e3
-                } else {
-                    0.0
-                };
-                println!(
-                    "stats: requests={} completed={} rejected={} batches={} mean_batch={mean_batch:.2} \
-                     max_queue_depth={} mean_latency_ms={mean_lat_ms:.1} max_latency_ms={:.1} qps={qps:.1}",
-                    s.requests,
-                    s.completed,
-                    s.rejected,
-                    s.batches,
-                    s.max_queue_depth,
-                    s.latency_us_max as f64 / 1e3,
-                );
-            }
-            Err(e) => {
-                eprintln!("error: stats request failed: {e}");
-                std::process::exit(1);
-            }
+            println!(
+                "verification OK: {} utterances bit-identical to the local pipeline \
+                 ({batched} scored in batches > 1, {expired} deadline-expired)",
+                utts - expired
+            );
         }
     }
 
     if shutdown {
+        let mut client = connect_with_retry(&addr, || Client::connect(&addr));
         if let Err(e) = client.shutdown() {
             eprintln!("error: shutdown request failed: {e}");
             std::process::exit(1);

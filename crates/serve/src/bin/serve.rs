@@ -3,10 +3,15 @@
 //! ```text
 //! lre-serve --bundle PATH [--addr 127.0.0.1:7700] [--workers N]
 //!           [--max-batch N] [--max-wait-ms N] [--queue N]
+//!           [--max-inflight N] [--lazy]
 //! ```
+//!
+//! `--lazy` opens the bundle through its offset table and decodes each
+//! subsystem section on first use, so startup cost is the header parse
+//! rather than the full model decode.
 
 use lre_artifact::ArtifactRead;
-use lre_serve::{EngineConfig, ScoringSystem, Server, SystemBundle};
+use lre_serve::{LazyBundle, ScoringSystem, Server, ServerConfig, SystemBundle};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -15,7 +20,7 @@ use std::time::Duration;
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: lre-serve --bundle PATH [--addr HOST:PORT] [--workers N] \
-         [--max-batch N] [--max-wait-ms N] [--queue N]"
+         [--max-batch N] [--max-wait-ms N] [--queue N] [--max-inflight N] [--lazy]"
     );
     std::process::exit(2);
 }
@@ -23,7 +28,8 @@ fn usage(msg: &str) -> ! {
 fn main() {
     let mut bundle_path: Option<PathBuf> = None;
     let mut addr = "127.0.0.1:7700".to_string();
-    let mut cfg = EngineConfig::default();
+    let mut cfg = ServerConfig::default();
+    let mut lazy = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let parse_num = |args: &[String], i: usize, what: &str| -> usize {
@@ -49,44 +55,68 @@ fn main() {
             }
             "--workers" => {
                 i += 1;
-                cfg.workers = parse_num(&args, i, "--workers");
+                cfg.engine.workers = parse_num(&args, i, "--workers");
             }
             "--max-batch" => {
                 i += 1;
-                cfg.max_batch = parse_num(&args, i, "--max-batch");
+                cfg.engine.max_batch = parse_num(&args, i, "--max-batch");
             }
             "--max-wait-ms" => {
                 i += 1;
-                cfg.max_wait = Duration::from_millis(parse_num(&args, i, "--max-wait-ms") as u64);
+                cfg.engine.max_wait =
+                    Duration::from_millis(parse_num(&args, i, "--max-wait-ms") as u64);
             }
             "--queue" => {
                 i += 1;
-                cfg.queue_capacity = parse_num(&args, i, "--queue");
+                cfg.engine.queue_capacity = parse_num(&args, i, "--queue");
             }
+            "--max-inflight" => {
+                i += 1;
+                cfg.max_inflight = parse_num(&args, i, "--max-inflight");
+            }
+            "--lazy" => lazy = true,
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
     }
     let bundle_path = bundle_path.unwrap_or_else(|| usage("--bundle is required"));
 
-    let bundle = match SystemBundle::load_artifact(&bundle_path) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("error: loading {}: {e}", bundle_path.display());
-            std::process::exit(1);
+    let system = if lazy {
+        match LazyBundle::load(&bundle_path).and_then(|b| {
+            eprintln!(
+                "[serve] lazy bundle: scale={}, seed={}, {} subsystems (sections decode on demand)",
+                b.scale_name,
+                b.seed,
+                b.num_subsystems()
+            );
+            ScoringSystem::from_lazy(b)
+        }) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("error: loading {}: {e}", bundle_path.display());
+                std::process::exit(1);
+            }
         }
-    };
-    eprintln!(
-        "[serve] bundle: scale={}, seed={}, {} subsystems",
-        bundle.scale_name,
-        bundle.seed,
-        bundle.subsystems.len()
-    );
-    let system = match ScoringSystem::from_bundle(bundle) {
-        Ok(s) => Arc::new(s),
-        Err(e) => {
-            eprintln!("error: invalid bundle: {e}");
-            std::process::exit(1);
+    } else {
+        let bundle = match SystemBundle::load_artifact(&bundle_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: loading {}: {e}", bundle_path.display());
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "[serve] bundle: scale={}, seed={}, {} subsystems",
+            bundle.scale_name,
+            bundle.seed,
+            bundle.subsystems.len()
+        );
+        match ScoringSystem::from_bundle(bundle) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("error: invalid bundle: {e}");
+                std::process::exit(1);
+            }
         }
     };
     let listener = match TcpListener::bind(&addr) {

@@ -9,8 +9,29 @@
 //! detection and the per-model bit-identity contracts: reloading a bundle
 //! in a fresh process reproduces the saved experiment's fused scores to
 //! the last bit (covered by `tests/serve_roundtrip.rs`).
+//!
+//! ## Layout (container version 2)
+//!
+//! Version 2 stores each subsystem as an independently sealed artifact
+//! blob addressed by a `u64` **section offset table**, so a reader can map
+//! one subsystem's bytes without decoding any other:
+//!
+//! ```text
+//! seed (u64) · scale name (str) · N-gram order (u32)
+//! fusion count (u32) · fusion payloads (inline)
+//! subsystem count n (u32) · offsets (u64 slice, n+1 entries)
+//! section region: n concatenated sealed "SUBS" artifacts
+//! ```
+//!
+//! [`SystemBundle`] decodes everything eagerly (the shape the offline
+//! verify path wants); [`LazyBundle`] parses only the header, fusions and
+//! offset table, handing out subsystem sections on demand — the serving
+//! startup path, where decoding every acoustic model before the first
+//! request is pure latency.
 
-use lre_artifact::{ArtifactError, ArtifactRead, ArtifactReader, ArtifactWrite, ArtifactWriter};
+use lre_artifact::{
+    open, ArtifactError, ArtifactRead, ArtifactReader, ArtifactWrite, ArtifactWriter, HEADER_LEN,
+};
 use lre_backend::LdaMmiFusion;
 use lre_corpus::Duration;
 use lre_dba::{fuse_duration, standard_subsystems, Experiment};
@@ -18,6 +39,7 @@ use lre_eval::ScoreMatrix;
 use lre_lattice::DecoderConfig;
 use lre_svm::OneVsRest;
 use lre_vsm::{SupervectorBuilder, TfllrScaler};
+use std::path::Path;
 
 /// One trained front-end plus its VSM, ready to serialize.
 pub struct SubsystemBundle {
@@ -148,62 +170,193 @@ impl ArtifactRead for SubsystemBundle {
     }
 }
 
+/// Shared header shape of a v2 bundle payload, up to (but not including)
+/// the section region. Both the eager and lazy readers parse this.
+struct BundleHeader {
+    seed: u64,
+    scale_name: String,
+    max_order: u32,
+    fusions: Vec<LdaMmiFusion>,
+    /// Section offsets, relative to the region start; `n + 1` entries.
+    offsets: Vec<u64>,
+}
+
+fn read_header(r: &mut ArtifactReader) -> Result<BundleHeader, ArtifactError> {
+    let seed = r.get_u64()?;
+    let scale_name = r.get_str()?;
+    let max_order = r.get_u32()?;
+    let nf = r.get_u32()? as usize;
+    let fusions: Vec<LdaMmiFusion> = (0..nf)
+        .map(|_| LdaMmiFusion::read_payload(r))
+        .collect::<Result<_, _>>()?;
+    let ns = r.get_u32()? as usize;
+    let offsets = r.get_u64_slice()?;
+    if ns == 0 {
+        return Err(ArtifactError::Corrupt("bundle has no subsystems"));
+    }
+    if fusions.len() != Duration::all().len() {
+        return Err(ArtifactError::Corrupt("bundle fusion count mismatch"));
+    }
+    if fusions.iter().any(|f| f.num_subsystems() != ns) {
+        return Err(ArtifactError::Corrupt("fusion subsystem count disagrees"));
+    }
+    if offsets.len() != ns + 1 || offsets[0] != 0 {
+        return Err(ArtifactError::Corrupt("bundle offset table malformed"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(ArtifactError::Corrupt("bundle offset table not monotone"));
+    }
+    if offsets[ns] != r.remaining() as u64 {
+        return Err(ArtifactError::Corrupt(
+            "bundle offset table disagrees with section region size",
+        ));
+    }
+    Ok(BundleHeader {
+        seed,
+        scale_name,
+        max_order,
+        fusions,
+        offsets,
+    })
+}
+
 impl ArtifactWrite for SystemBundle {
     const KIND: [u8; 4] = *b"BNDL";
-    const VERSION: u32 = 1;
+    const VERSION: u32 = 2;
 
     fn write_payload(&self, w: &mut ArtifactWriter) {
         w.put_u64(self.seed);
         w.put_str(&self.scale_name);
         w.put_u32(self.max_order);
-        w.put_u32(self.subsystems.len() as u32);
-        for s in &self.subsystems {
-            s.write_payload(w);
-        }
         w.put_u32(self.fusions.len() as u32);
         for f in &self.fusions {
             f.write_payload(w);
+        }
+        // Each subsystem is sealed independently (own CRC) and addressed by
+        // the offset table, so lazy readers can map one section at a time.
+        let sections: Vec<Vec<u8>> = self
+            .subsystems
+            .iter()
+            .map(|s| s.to_artifact_bytes())
+            .collect();
+        let mut offsets = Vec::with_capacity(sections.len() + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for s in &sections {
+            acc += s.len() as u64;
+            offsets.push(acc);
+        }
+        w.put_u32(self.subsystems.len() as u32);
+        w.put_u64_slice(&offsets);
+        for s in &sections {
+            w.put_bytes(s);
         }
     }
 }
 
 impl ArtifactRead for SystemBundle {
     fn read_payload(r: &mut ArtifactReader) -> Result<SystemBundle, ArtifactError> {
-        let seed = r.get_u64()?;
-        let scale_name = r.get_str()?;
-        let max_order = r.get_u32()?;
-        let ns = r.get_u32()? as usize;
+        let h = read_header(r)?;
+        let ns = h.offsets.len() - 1;
         let subsystems: Vec<SubsystemBundle> = (0..ns)
-            .map(|_| SubsystemBundle::read_payload(r))
+            .map(|q| {
+                let len = (h.offsets[q + 1] - h.offsets[q]) as usize;
+                SubsystemBundle::from_artifact_bytes(r.get_bytes(len)?)
+            })
             .collect::<Result<_, _>>()?;
-        let nf = r.get_u32()? as usize;
-        let fusions: Vec<LdaMmiFusion> = (0..nf)
-            .map(|_| LdaMmiFusion::read_payload(r))
-            .collect::<Result<_, _>>()?;
-        if subsystems.is_empty() {
-            return Err(ArtifactError::Corrupt("bundle has no subsystems"));
-        }
-        if fusions.len() != Duration::all().len() {
-            return Err(ArtifactError::Corrupt("bundle fusion count mismatch"));
-        }
         if subsystems
             .iter()
-            .any(|s| s.builder.max_order() != max_order as usize)
+            .any(|s| s.builder.max_order() != h.max_order as usize)
         {
             return Err(ArtifactError::Corrupt("bundle N-gram order disagrees"));
         }
-        if fusions
-            .iter()
-            .any(|f| f.num_subsystems() != subsystems.len())
-        {
-            return Err(ArtifactError::Corrupt("fusion subsystem count disagrees"));
-        }
         Ok(SystemBundle {
+            seed: h.seed,
+            scale_name: h.scale_name,
+            max_order: h.max_order,
+            subsystems,
+            fusions: h.fusions,
+        })
+    }
+}
+
+/// A bundle opened without decoding its subsystem sections.
+///
+/// `open` verifies the whole container's CRC (so every section byte is
+/// known-intact), parses the header, fusions and offset table, and stops.
+/// [`LazyBundle::subsystem`] decodes one section on demand — each section
+/// is itself a sealed artifact, so it re-verifies its own CRC and all the
+/// structural invariants of [`SubsystemBundle`] at that point.
+pub struct LazyBundle {
+    pub seed: u64,
+    pub scale_name: String,
+    pub max_order: u32,
+    fusions: Vec<LdaMmiFusion>,
+    /// The entire sealed container.
+    bytes: Vec<u8>,
+    /// Absolute byte offset of the section region within `bytes`.
+    region_start: usize,
+    /// Section offsets relative to `region_start`; `n + 1` entries.
+    offsets: Vec<u64>,
+}
+
+impl LazyBundle {
+    /// Open a sealed bundle from bytes: container checks + header only.
+    pub fn open_bytes(bytes: Vec<u8>) -> Result<LazyBundle, ArtifactError> {
+        let (seed, scale_name, max_order, fusions, offsets, region_start) = {
+            let payload = open(&bytes, SystemBundle::KIND, SystemBundle::VERSION)?;
+            let mut r = ArtifactReader::new(payload);
+            let h = read_header(&mut r)?;
+            (
+                h.seed,
+                h.scale_name,
+                h.max_order,
+                h.fusions,
+                h.offsets,
+                HEADER_LEN + r.position(),
+            )
+        };
+        Ok(LazyBundle {
             seed,
             scale_name,
             max_order,
-            subsystems,
             fusions,
+            bytes,
+            region_start,
+            offsets,
         })
+    }
+
+    /// Open a bundle file lazily.
+    pub fn load(path: &Path) -> Result<LazyBundle, ArtifactError> {
+        LazyBundle::open_bytes(std::fs::read(path)?)
+    }
+
+    pub fn num_subsystems(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Fusion backends indexed like [`Duration::all`] (decoded eagerly —
+    /// they are a few KiB next to the acoustic models).
+    pub fn fusions(&self) -> &[LdaMmiFusion] {
+        &self.fusions
+    }
+
+    pub(crate) fn take_fusions(&mut self) -> Vec<LdaMmiFusion> {
+        std::mem::take(&mut self.fusions)
+    }
+
+    /// Decode subsystem section `q` on demand.
+    pub fn subsystem(&self, q: usize) -> Result<SubsystemBundle, ArtifactError> {
+        if q >= self.num_subsystems() {
+            return Err(ArtifactError::Corrupt("subsystem index out of range"));
+        }
+        let a = self.region_start + self.offsets[q] as usize;
+        let b = self.region_start + self.offsets[q + 1] as usize;
+        let sub = SubsystemBundle::from_artifact_bytes(&self.bytes[a..b])?;
+        if sub.builder.max_order() != self.max_order as usize {
+            return Err(ArtifactError::Corrupt("bundle N-gram order disagrees"));
+        }
+        Ok(sub)
     }
 }

@@ -1,24 +1,48 @@
-//! Blocking TCP client for the scoring protocol.
+//! Blocking TCP clients for the scoring protocol.
+//!
+//! [`Client`] speaks protocol v1 — one request in flight, replies in
+//! order — and keeps working unchanged against a pipelined server.
+//! [`PipelinedClient`] speaks v2: it tags every score request with a
+//! `u64` id, keeps a window of them outstanding, and matches replies by
+//! the echoed id as they arrive (possibly out of submission order).
 
 use crate::engine::{ScoredUtt, StatsSnapshot};
 use crate::protocol::{
-    decode_score_reply, decode_stats_reply, encode_request, read_frame, write_frame, Request,
+    decode_score_reply, decode_score_reply_v2, decode_stats_reply, decode_stats_reply_v2,
+    encode_request, read_frame, write_frame, Request, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL,
     STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Outcome of a score request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ScoreReply {
     Scored(ScoredUtt),
-    /// The server shed this request (queue full); retry after backoff.
+    /// The server shed this request (queue or inflight window full); retry
+    /// after backoff.
     Overloaded,
     /// The server is draining; no further requests will be accepted.
     ShuttingDown,
+    /// The request's deadline passed before a worker reached it (v2 only).
+    DeadlineExceeded,
+    /// The server's scorer failed internally; the request is lost but the
+    /// connection is still usable.
+    Failed,
 }
 
-/// One connection to a scoring server.
+fn reply_from_status(status: u8) -> io::Result<ScoreReply> {
+    match status {
+        STATUS_OVERLOADED => Ok(ScoreReply::Overloaded),
+        STATUS_SHUTTING_DOWN => Ok(ScoreReply::ShuttingDown),
+        STATUS_DEADLINE_EXCEEDED => Ok(ScoreReply::DeadlineExceeded),
+        STATUS_INTERNAL => Ok(ScoreReply::Failed),
+        s => Err(proto_err(&format!("server refused request (status {s})"))),
+    }
+}
+
+/// One v1 connection to a scoring server.
 pub struct Client {
     stream: TcpStream,
 }
@@ -46,9 +70,7 @@ impl Client {
         })?;
         match decode_score_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
             Ok(scored) => Ok(ScoreReply::Scored(scored)),
-            Err(STATUS_OVERLOADED) => Ok(ScoreReply::Overloaded),
-            Err(STATUS_SHUTTING_DOWN) => Ok(ScoreReply::ShuttingDown),
-            Err(s) => Err(proto_err(&format!("server refused request (status {s})"))),
+            Err(status) => reply_from_status(status),
         }
     }
 
@@ -65,6 +87,142 @@ impl Client {
     pub fn shutdown(&mut self) -> io::Result<()> {
         let reply = self.round_trip(&Request::Shutdown)?;
         match reply.first() {
+            Some(&STATUS_OK) => Ok(()),
+            _ => Err(proto_err("shutdown not acknowledged")),
+        }
+    }
+}
+
+/// One v2 connection: submit-and-receive are decoupled, so up to the
+/// server's inflight window of requests can be on the wire at once.
+///
+/// ```text
+/// let mut c = PipelinedClient::connect(addr)?;
+/// for u in &utts { c.submit(u, None)?; }          // fill the window
+/// while c.inflight() > 0 { let (id, r) = c.recv()?; ... }
+/// ```
+pub struct PipelinedClient {
+    stream: TcpStream,
+    next_id: u64,
+    inflight: usize,
+}
+
+impl PipelinedClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PipelinedClient {
+            stream,
+            next_id: 0,
+            inflight: 0,
+        })
+    }
+
+    /// Requests currently outstanding (submitted, reply not yet received).
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Submit one utterance without waiting for its reply; returns the
+    /// request id this client assigned (sequential from 0). A deadline of
+    /// `None` (or one longer than `u32::MAX` ms) means no deadline.
+    pub fn submit(&mut self, samples: &[f32], deadline: Option<Duration>) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline_ms = deadline
+            .map(|d| u32::try_from(d.as_millis()).unwrap_or(0))
+            .unwrap_or(0);
+        write_frame(
+            &mut self.stream,
+            &encode_request(&Request::ScoreV2 {
+                id,
+                deadline_ms,
+                samples: samples.to_vec(),
+            }),
+        )?;
+        self.inflight += 1;
+        Ok(id)
+    }
+
+    /// Block for the next score reply, whichever request it answers.
+    pub fn recv(&mut self) -> io::Result<(u64, ScoreReply)> {
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| proto_err("server closed with replies outstanding"))?;
+        self.inflight = self.inflight.saturating_sub(1);
+        let (id, result) = decode_score_reply_v2(&frame).map_err(|e| proto_err(&e.to_string()))?;
+        let reply = match result {
+            Ok(scored) => ScoreReply::Scored(scored),
+            Err(status) => reply_from_status(status)?,
+        };
+        Ok((id, reply))
+    }
+
+    /// Drive a whole workload through a fixed window: keep `window`
+    /// requests outstanding until every utterance is submitted, then drain.
+    /// Replies are returned **in submission order** regardless of the order
+    /// the server produced them.
+    pub fn score_all(
+        &mut self,
+        utts: &[Vec<f32>],
+        window: usize,
+        deadline: Option<Duration>,
+    ) -> io::Result<Vec<ScoreReply>> {
+        let window = window.max(1);
+        let base = self.next_id;
+        let mut replies: Vec<Option<ScoreReply>> = vec![None; utts.len()];
+        let mut submitted = 0usize;
+        let mut received = 0usize;
+        while received < utts.len() {
+            while submitted < utts.len() && self.inflight < window {
+                self.submit(&utts[submitted], deadline)?;
+                submitted += 1;
+            }
+            let (id, reply) = self.recv()?;
+            let slot = id
+                .checked_sub(base)
+                .map(|i| i as usize)
+                .filter(|&i| i < utts.len() && replies[i].is_none())
+                .ok_or_else(|| proto_err("reply id matches no outstanding request"))?;
+            replies[slot] = Some(reply);
+            received += 1;
+        }
+        Ok(replies
+            .into_iter()
+            .map(|r| r.expect("all received"))
+            .collect())
+    }
+
+    /// Fetch the extended engine counters. Only valid while no score
+    /// requests are outstanding (the stats reply carries no id to match).
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        if self.inflight != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "stats with score replies outstanding would misattribute frames",
+            ));
+        }
+        write_frame(&mut self.stream, &encode_request(&Request::StatsV2))?;
+        let frame =
+            read_frame(&mut self.stream)?.ok_or_else(|| proto_err("server closed mid-request"))?;
+        match decode_stats_reply_v2(&frame).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(s) => Ok(s),
+            Err(s) => Err(proto_err(&format!("stats refused (status {s})"))),
+        }
+    }
+
+    /// Request a graceful server shutdown; resolves once acknowledged.
+    /// Only valid while no score requests are outstanding.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        if self.inflight != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "shutdown with score replies outstanding would misattribute frames",
+            ));
+        }
+        write_frame(&mut self.stream, &encode_request(&Request::Shutdown))?;
+        let frame =
+            read_frame(&mut self.stream)?.ok_or_else(|| proto_err("server closed mid-request"))?;
+        match frame.first() {
             Some(&STATUS_OK) => Ok(()),
             _ => Err(proto_err("shutdown not acknowledged")),
         }

@@ -1,14 +1,28 @@
 //! The micro-batching inference engine.
 //!
-//! Requests enter a [`BoundedQueue`]; worker threads remove them in batches
-//! (flush on `max_batch` or `max_wait`, whichever comes first) and drive
-//! the decode-through-fusion pipeline with one [`DecodeScratch`] per
-//! worker, so the score-block / Viterbi / back-pointer allocations are paid
-//! once per worker, not once per request. A full queue sheds load with an
-//! explicit [`SubmitError::Overloaded`] instead of buffering without bound.
+//! Requests enter a single [`BoundedQueue`] shared by every connection. A
+//! dedicated **dispatcher** thread is the one consumer of that queue: it
+//! coalesces pending requests into batches (flush on `max_batch` or
+//! `max_wait`, whichever comes first) and hands each batch to the worker
+//! pool over a channel. Because formation is global, requests from
+//! mixed-rate clients share batches — the coalescing window opens once per
+//! batch, not once per worker.
+//!
+//! Workers drive the decode-through-fusion pipeline with one
+//! [`DecodeScratch`] each, so the score-block / Viterbi / back-pointer
+//! allocations are paid once per worker, not once per request. A full
+//! queue sheds load with an explicit [`SubmitError::Overloaded`] instead
+//! of buffering without bound, and a request whose deadline passes while
+//! it waits is shed with [`Outcome::DeadlineExceeded`] instead of being
+//! scored into a reply nobody wants.
+//!
+//! Shutdown is a drain: the queue closes (new submissions get
+//! [`SubmitError::ShuttingDown`]), the dispatcher flushes everything
+//! already accepted, workers finish their batches, and every outstanding
+//! reply callback fires exactly once.
 
 use crate::queue::{BoundedQueue, PushError};
-use crate::system::ScoringSystem;
+use crate::system::Scorer;
 use lre_lattice::DecodeScratch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -19,9 +33,11 @@ use std::time::{Duration, Instant};
 pub struct EngineConfig {
     /// Worker threads (clamped to ≥ 1).
     pub workers: usize,
-    /// Largest batch a worker removes at once (clamped to ≥ 1).
+    /// Largest batch the dispatcher forms at once (clamped to ≥ 1).
     pub max_batch: usize,
-    /// How long a worker holding a partial batch waits for it to fill.
+    /// How long the dispatcher holds a partial batch open waiting for it
+    /// to fill. A pipelined client that keeps the queue non-empty never
+    /// pays this window; a one-at-a-time client pays it per request.
     pub max_wait: Duration,
     /// Queue capacity; submissions beyond it are shed.
     pub queue_capacity: usize,
@@ -84,6 +100,18 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// How an accepted request ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Scored to completion.
+    Scored(ScoredUtt),
+    /// The request's deadline passed before a worker reached it; it was
+    /// shed unscored.
+    DeadlineExceeded,
+    /// The scorer failed (e.g. an undecodable lazy bundle section).
+    Failed,
+}
+
 /// Point-in-time view of the engine counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -91,9 +119,10 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Utterances scored to completion.
     pub completed: u64,
-    /// Submissions refused because the queue was full.
+    /// Submissions refused because the queue (or a connection's inflight
+    /// window) was full.
     pub rejected: u64,
-    /// Batches removed by workers.
+    /// Batches formed by the dispatcher.
     pub batches: u64,
     /// Utterances across all batches (`batched_utts / batches` = mean
     /// observed batch size).
@@ -106,6 +135,10 @@ pub struct StatsSnapshot {
     pub latency_us_max: u64,
     /// Engine uptime, microseconds (QPS = `completed / uptime`).
     pub uptime_us: u64,
+    /// Accepted requests shed unscored because their deadline passed.
+    pub expired: u64,
+    /// Requests lost to scorer failures.
+    pub failed: u64,
 }
 
 #[derive(Default)]
@@ -117,55 +150,100 @@ struct Counters {
     batched_utts: AtomicU64,
     latency_us_sum: AtomicU64,
     latency_us_max: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
 }
+
+/// Invoked exactly once with the request's outcome (possibly on a worker
+/// thread, after the submitter has moved on — the pipelining hook).
+type ReplyFn = Box<dyn FnOnce(Outcome) + Send>;
 
 struct Job {
     samples: Vec<f32>,
     enqueued: Instant,
-    reply: mpsc::Sender<ScoredUtt>,
+    deadline: Option<Instant>,
+    reply: ReplyFn,
 }
 
-/// The engine: a queue plus its worker pool.
+/// The engine: a queue, its dispatcher, and the worker pool.
 pub struct Engine {
     queue: Arc<BoundedQueue<Job>>,
     counters: Arc<Counters>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     started: Instant,
 }
 
 impl Engine {
-    /// Spawn the worker pool over a shared scoring system.
-    pub fn start(cfg: EngineConfig, system: Arc<ScoringSystem>) -> Engine {
+    /// Spawn the dispatcher and worker pool over a shared scorer.
+    pub fn start(cfg: EngineConfig, scorer: Arc<dyn Scorer>) -> Engine {
         let queue = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
         let counters = Arc::new(Counters::default());
         let max_batch = cfg.max_batch.max(1);
+
+        // Dispatcher → workers: formed batches travel over a channel whose
+        // receiver the workers share. Dropping the sender (queue closed and
+        // drained) is the workers' shutdown signal.
+        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Job>>();
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let dispatcher = {
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                while let Some(batch) = queue.pop_batch(max_batch, cfg.max_wait) {
+                    counters.batches.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .batched_utts
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    if batch_tx.send(batch).is_err() {
+                        break;
+                    }
+                }
+                // Sender drops here: workers drain the channel and exit.
+            })
+        };
+
         let workers: Vec<std::thread::JoinHandle<()>> = (0..cfg.workers.max(1))
             .map(|_| {
-                let queue = Arc::clone(&queue);
+                let batch_rx = Arc::clone(&batch_rx);
                 let counters = Arc::clone(&counters);
-                let system = Arc::clone(&system);
+                let scorer = Arc::clone(&scorer);
                 std::thread::spawn(move || {
                     let mut scratch = DecodeScratch::new();
-                    while let Some(batch) = queue.pop_batch(max_batch, cfg.max_wait) {
-                        counters.batches.fetch_add(1, Ordering::Relaxed);
-                        counters
-                            .batched_utts
-                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    loop {
+                        // Hold the lock only for the handoff, not the work.
+                        let batch = match batch_rx.lock().unwrap().recv() {
+                            Ok(b) => b,
+                            Err(_) => return,
+                        };
                         let batch_size = batch.len();
                         for job in batch {
-                            let llrs = system.score(&job.samples, &mut scratch);
-                            let scored = ScoredUtt {
-                                decision: decision(&llrs),
-                                llrs,
-                                batch_size,
+                            // Checked per job, not per batch: a deadline
+                            // may pass while earlier batch members score.
+                            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                                counters.expired.fetch_add(1, Ordering::Relaxed);
+                                (job.reply)(Outcome::DeadlineExceeded);
+                                continue;
+                            }
+                            let outcome = match scorer.score_utt(&job.samples, &mut scratch) {
+                                Ok(llrs) => {
+                                    let us = job.enqueued.elapsed().as_micros() as u64;
+                                    counters.latency_us_sum.fetch_add(us, Ordering::Relaxed);
+                                    counters.latency_us_max.fetch_max(us, Ordering::Relaxed);
+                                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                                    Outcome::Scored(ScoredUtt {
+                                        decision: decision(&llrs),
+                                        llrs,
+                                        batch_size,
+                                    })
+                                }
+                                Err(_) => {
+                                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                                    Outcome::Failed
+                                }
                             };
-                            let us = job.enqueued.elapsed().as_micros() as u64;
-                            counters.latency_us_sum.fetch_add(us, Ordering::Relaxed);
-                            counters.latency_us_max.fetch_max(us, Ordering::Relaxed);
-                            counters.completed.fetch_add(1, Ordering::Relaxed);
-                            // A submitter that hung up just discards its
-                            // result; not an engine error.
-                            let _ = job.reply.send(scored);
+                            (job.reply)(outcome);
                         }
                     }
                 })
@@ -174,22 +252,31 @@ impl Engine {
         Engine {
             queue,
             counters,
+            dispatcher: Mutex::new(Some(dispatcher)),
             workers: Mutex::new(workers),
             started: Instant::now(),
         }
     }
 
-    /// Enqueue one utterance; the result arrives on the returned channel.
-    pub fn submit(&self, samples: Vec<f32>) -> Result<mpsc::Receiver<ScoredUtt>, SubmitError> {
+    /// Enqueue one utterance with an optional deadline; `reply` fires
+    /// exactly once when the request resolves. On `Err` the callback is
+    /// dropped unfired — the submitter still owns the error path.
+    pub fn submit_with(
+        &self,
+        samples: Vec<f32>,
+        deadline: Option<Duration>,
+        reply: impl FnOnce(Outcome) + Send + 'static,
+    ) -> Result<(), SubmitError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
         let job = Job {
             samples,
-            enqueued: Instant::now(),
-            reply: tx,
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            reply: Box::new(reply),
         };
         match self.queue.push(job) {
-            Ok(_) => Ok(rx),
+            Ok(_) => Ok(()),
             Err(PushError::Full) => {
                 self.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::Overloaded)
@@ -198,13 +285,36 @@ impl Engine {
         }
     }
 
-    /// Submit and wait — the in-process client used by the TCP connection
-    /// handlers and by tests.
+    /// Enqueue one utterance; the outcome arrives on the returned channel.
+    pub fn submit(&self, samples: Vec<f32>) -> Result<mpsc::Receiver<Outcome>, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        // A submitter that hung up just discards its result; not an
+        // engine error.
+        self.submit_with(samples, None, move |o| {
+            let _ = tx.send(o);
+        })?;
+        Ok(rx)
+    }
+
+    /// Submit and wait — the in-process client used by the v1 TCP
+    /// connection path and by tests.
     pub fn score_blocking(&self, samples: Vec<f32>) -> Result<ScoredUtt, SubmitError> {
         let rx = self.submit(samples)?;
         // A send-side drop without a result only happens if a worker died;
         // surface it as shutdown rather than panicking the connection.
-        rx.recv().map_err(|_| SubmitError::ShuttingDown)
+        match rx.recv().map_err(|_| SubmitError::ShuttingDown)? {
+            Outcome::Scored(s) => Ok(s),
+            // No deadline was set, so the only refusals left are terminal.
+            Outcome::DeadlineExceeded | Outcome::Failed => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Record a request shed before it reached the queue (per-connection
+    /// inflight window violations), so `requests = completed + rejected +
+    /// expired + failed` stays an invariant of the counters.
+    pub fn note_shed(&self) {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot the counters.
@@ -220,13 +330,20 @@ impl Engine {
             latency_us_sum: c.latency_us_sum.load(Ordering::Relaxed),
             latency_us_max: c.latency_us_max.load(Ordering::Relaxed),
             uptime_us: self.started.elapsed().as_micros() as u64,
+            expired: c.expired.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
         }
     }
 
-    /// Graceful shutdown: refuse new work, score everything already
-    /// accepted, then join the workers. Idempotent.
+    /// Graceful shutdown: refuse new work, let the dispatcher flush
+    /// everything already accepted, resolve every outstanding reply, then
+    /// join the threads. Idempotent and safe to call from multiple
+    /// threads.
     pub fn shutdown(&self) {
         self.queue.close();
+        if let Some(h) = self.dispatcher.lock().unwrap().take() {
+            let _ = h.join();
+        }
         let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
         for h in handles {
             let _ = h.join();

@@ -1,0 +1,251 @@
+//! A deterministic corpus of malformed wire input, shared by the
+//! fault-injection test suite and the `lre-client --fuzz` mode.
+//!
+//! Every case is a byte stream a hostile or broken peer might produce.
+//! The contract under test: the server answers a well-framed but invalid
+//! payload with `STATUS_BAD_REQUEST` and closes the connection; a broken
+//! frame (oversized length prefix, mid-frame disconnect) just closes the
+//! connection. It never panics, never allocates anywhere near the bogus
+//! advertised sizes, and never leaks the connection's threads.
+
+use crate::protocol::{
+    encode_request, read_frame, write_frame, Request, MAX_FRAME_LEN, REQ_SCORE, REQ_SCORE_V2,
+    REQ_SHUTDOWN, REQ_STATS_V2, STATUS_BAD_REQUEST,
+};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// What a correct server does with the case's bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expect {
+    /// Well-framed, invalid payload: one `STATUS_BAD_REQUEST` reply frame,
+    /// then the server closes.
+    BadRequest,
+    /// Broken framing or a torn stream: the server closes without a
+    /// bad-request reply (any replies seen belong to valid frames embedded
+    /// before the breakage).
+    Close,
+}
+
+/// One malformed-input case: raw bytes to write to a fresh connection.
+pub struct FuzzCase {
+    pub name: &'static str,
+    pub bytes: Vec<u8>,
+    pub expect: Expect,
+}
+
+fn framed(name: &'static str, payload: Vec<u8>) -> FuzzCase {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &payload).expect("Vec write cannot fail");
+    FuzzCase {
+        name,
+        bytes,
+        expect: Expect::BadRequest,
+    }
+}
+
+fn raw(name: &'static str, bytes: Vec<u8>) -> FuzzCase {
+    FuzzCase {
+        name,
+        bytes,
+        expect: Expect::Close,
+    }
+}
+
+/// Truncate an encoded request to its first `keep` bytes.
+fn truncated(req: &Request, keep: usize) -> Vec<u8> {
+    let mut b = encode_request(req);
+    b.truncate(keep);
+    b
+}
+
+/// Append junk to an otherwise valid request.
+fn padded(req: &Request, junk: &[u8]) -> Vec<u8> {
+    let mut b = encode_request(req);
+    b.extend_from_slice(junk);
+    b
+}
+
+/// A tag followed by a `u32` element count far beyond the actual bytes —
+/// the checked reader must refuse it *before* allocating.
+fn huge_count(tag: u8) -> Vec<u8> {
+    let mut b = vec![tag];
+    if tag == REQ_SCORE_V2 {
+        b.extend_from_slice(&42u64.to_le_bytes()); // id
+        b.extend_from_slice(&0u32.to_le_bytes()); // deadline
+    }
+    b.extend_from_slice(&u32::MAX.to_le_bytes());
+    b.extend_from_slice(&[0u8; 8]);
+    b
+}
+
+/// The malformed-input corpus (deterministic; ≥ 20 cases).
+pub fn malformed_corpus() -> Vec<FuzzCase> {
+    let score = Request::Score {
+        samples: vec![0.5; 16],
+    };
+    let score_v2 = Request::ScoreV2 {
+        id: 7,
+        deadline_ms: 100,
+        samples: vec![0.5; 16],
+    };
+
+    let cases = vec![
+        // — well-framed, invalid payloads —
+        framed("empty payload", Vec::new()),
+        framed("unknown tag 0", vec![0]),
+        framed("unknown tag 99", vec![99]),
+        framed("unknown tag 255", vec![255]),
+        framed("score with no body", vec![REQ_SCORE]),
+        framed("score with truncated samples", truncated(&score, 9)),
+        framed("score with huge element count", huge_count(REQ_SCORE)),
+        framed("score with trailing junk", padded(&score, &[1, 2, 3])),
+        framed("stats with trailing junk", padded(&Request::Stats, &[0])),
+        // Must be refused as malformed, NOT executed as a shutdown.
+        framed("shutdown with trailing junk", vec![REQ_SHUTDOWN, 0xAB]),
+        framed("v2 score with truncated id", truncated(&score_v2, 5)),
+        framed("v2 score with truncated deadline", truncated(&score_v2, 11)),
+        framed(
+            "v2 score with id only",
+            vec![REQ_SCORE_V2, 1, 0, 0, 0, 0, 0, 0, 0],
+        ),
+        framed("v2 score with truncated samples", truncated(&score_v2, 21)),
+        framed("v2 score with huge element count", huge_count(REQ_SCORE_V2)),
+        framed(
+            "v2 score with trailing junk",
+            padded(&score_v2, &[0xDE, 0xAD]),
+        ),
+        framed("v2 stats with trailing junk", vec![REQ_STATS_V2, 9, 9]),
+        framed(
+            "deterministic garbage",
+            (0..64u8)
+                .map(|i| i.wrapping_mul(37).wrapping_add(11))
+                .collect(),
+        ),
+        framed("all 0xFF", vec![0xFF; 64]),
+        framed("reply-shaped bytes as request", vec![0, 0, 0, 0, 0]),
+        // — broken framing / torn streams —
+        raw("length prefix u32::MAX", {
+            let mut b = u32::MAX.to_le_bytes().to_vec();
+            b.extend_from_slice(b"junk");
+            b
+        }),
+        raw("length prefix just over the cap", {
+            let mut b = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+            b.extend_from_slice(&[0; 16]);
+            b
+        }),
+        raw("mid-frame disconnect", {
+            let mut b = 100u32.to_le_bytes().to_vec();
+            b.extend_from_slice(&[7; 10]);
+            b
+        }),
+        raw("torn length prefix", vec![0x10, 0x00]),
+        raw("connect then immediate close", Vec::new()),
+        raw("valid stats then truncated frame", {
+            let mut b = Vec::new();
+            write_frame(&mut b, &encode_request(&Request::Stats)).unwrap();
+            b.extend_from_slice(&50u32.to_le_bytes());
+            b.extend_from_slice(&[1, 2, 3]);
+            b
+        }),
+    ];
+
+    // The corpus is a documented floor for the CI gate; keep it honest.
+    assert!(cases.len() >= 20, "fuzz corpus shrank below 20 cases");
+    cases
+}
+
+/// Throw the whole corpus at a live server, one fresh connection per case.
+/// Returns the number of cases run, or the first violation of the
+/// malformed-input contract. A read that times out counts as a hang and
+/// fails the case — the server must always answer-and-close or just close.
+pub fn run_corpus(addr: SocketAddr, per_case_timeout: Duration) -> Result<usize, String> {
+    let corpus = malformed_corpus();
+    for case in &corpus {
+        run_case(addr, case, per_case_timeout).map_err(|e| format!("case {:?}: {e}", case.name))?;
+    }
+    Ok(corpus.len())
+}
+
+/// `true` for the error kinds an abruptly closing peer produces — the
+/// "server closed on us" outcomes that satisfy [`Expect::Close`].
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+fn run_case(addr: SocketAddr, case: &FuzzCase, timeout: Duration) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    if let Err(e) = stream.write_all(&case.bytes) {
+        // A server that already dropped a torn stream may RST our write;
+        // that is a close, which is exactly what Close cases expect.
+        if case.expect == Expect::Close && is_disconnect(&e) {
+            return Ok(());
+        }
+        return Err(format!("write: {e}"));
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut replies = Vec::new();
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(f)) => replies.push(f),
+            Ok(None) => break,
+            Err(e) if case.expect == Expect::Close && is_disconnect(&e) => break,
+            Err(e) => return Err(format!("read: {e} (server hung or tore a reply frame)")),
+        }
+    }
+    if case.expect == Expect::BadRequest
+        && replies.last().map(Vec::as_slice) != Some(&[STATUS_BAD_REQUEST])
+    {
+        return Err(format!(
+            "expected a single BAD_REQUEST reply before close, got {replies:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::decode_request;
+
+    #[test]
+    fn corpus_is_large_and_uniquely_named() {
+        let corpus = malformed_corpus();
+        assert!(corpus.len() >= 20);
+        let mut names: Vec<_> = corpus.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "duplicate case names");
+    }
+
+    #[test]
+    fn every_framed_case_is_actually_malformed() {
+        // Each BadRequest case must carry exactly one frame whose payload
+        // the decoder rejects — otherwise the case tests nothing.
+        for case in malformed_corpus() {
+            if case.expect != Expect::BadRequest {
+                continue;
+            }
+            let (len_bytes, payload) = case.bytes.split_at(4);
+            let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+            assert_eq!(payload.len(), len, "case {:?} is not one frame", case.name);
+            assert!(
+                decode_request(payload).is_err(),
+                "case {:?} decoded successfully — not malformed",
+                case.name
+            );
+        }
+    }
+}

@@ -10,16 +10,23 @@
 //!   per-duration LDA-MMI fusion backends) into one checksummed
 //!   `lre-artifact` container, with the bit-identity contract that a
 //!   reloaded bundle produces exactly the scores of the experiment it was
-//!   saved from;
+//!   saved from. A v2 bundle carries an offset table over its subsystem
+//!   sections, so [`bundle::LazyBundle`] can decode them on demand;
 //! - [`system`]: a [`ScoringSystem`] reconstructed from a bundle, scoring
-//!   raw audio samples into calibrated per-language detection LLRs;
+//!   raw audio samples into calibrated per-language detection LLRs. The
+//!   [`system::Scorer`] trait is the seam the engine scores through, so
+//!   tests can drive the full serving stack with a mock;
 //! - [`queue`] + [`engine`]: a micro-batching inference engine — a bounded
-//!   request queue that coalesces pending utterances into batches (flush on
+//!   request queue drained by a single global dispatcher that coalesces
+//!   pending utterances from every connection into batches (flush on
 //!   `max_batch` or `max_wait`), one reusable [`lre_lattice::DecodeScratch`]
-//!   per worker, and explicit load shedding when the queue is full;
+//!   per worker, explicit load shedding when the queue is full, and
+//!   per-request deadlines shed with a typed status;
 //! - [`protocol`] + [`server`] + [`client`]: a length-prefixed TCP protocol
-//!   (score / stats / shutdown requests) over `std::net`, consistent with
-//!   the workspace's no-external-deps policy.
+//!   over `std::net`, consistent with the workspace's no-external-deps
+//!   policy. Protocol v2 adds client-chosen request ids and connection
+//!   pipelining ([`client::PipelinedClient`]); v1 clients keep working
+//!   unchanged.
 //!
 //! ## Quickstart
 //!
@@ -29,21 +36,22 @@
 //! cargo run -p lre-serve --release --bin lre-serve -- \
 //!     --bundle target/smoke.bundle --addr 127.0.0.1:7700
 //! cargo run -p lre-serve --release --bin lre-client -- \
-//!     --addr 127.0.0.1:7700 --utts 20 --shutdown
+//!     --addr 127.0.0.1:7700 --utts 20 --inflight 8 --shutdown
 //! ```
 
 pub mod bundle;
 pub mod client;
 pub mod engine;
+pub mod fuzz;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod system;
 
-pub use bundle::{SubsystemBundle, SystemBundle};
-pub use client::Client;
-pub use engine::{decision, Engine, EngineConfig, ScoredUtt, StatsSnapshot, SubmitError};
+pub use bundle::{LazyBundle, SubsystemBundle, SystemBundle};
+pub use client::{Client, PipelinedClient, ScoreReply};
+pub use engine::{decision, Engine, EngineConfig, Outcome, ScoredUtt, StatsSnapshot, SubmitError};
 pub use protocol::{read_frame, write_frame, Request};
 pub use queue::BoundedQueue;
-pub use server::Server;
-pub use system::ScoringSystem;
+pub use server::{Server, ServerConfig};
+pub use system::{Scorer, ScoringSystem};

@@ -7,18 +7,29 @@
 //! code with the on-disk bundles. The full layout is documented in
 //! `docs/SERVING.md`.
 //!
-//! Requests: a tag byte, then
+//! Two protocol generations share the tag space, and a server accepts both
+//! on the same connection:
+//!
+//! **v1** (one request in flight, replies in order):
 //! - [`REQ_SCORE`] — `f32` slice of raw 8 kHz samples;
 //! - [`REQ_STATS`] — empty;
 //! - [`REQ_SHUTDOWN`] — empty.
 //!
-//! Replies: a status byte ([`STATUS_OK`] / [`STATUS_OVERLOADED`] /
-//! [`STATUS_BAD_REQUEST`] / [`STATUS_SHUTTING_DOWN`]), then for `OK`:
-//! - score reply: `f32` slice of per-language LLRs, `u32` decision index,
-//!   `u32` observed batch size;
-//! - stats reply: the nine `u64` counters of [`StatsSnapshot`] in
-//!   declaration order;
-//! - shutdown reply: empty (the acknowledgement before the listener stops).
+//! **v2** (pipelined: up to the server's inflight window outstanding,
+//! replies tagged and possibly out of order):
+//! - [`REQ_SCORE_V2`] — client-chosen `u64` request id, `u32` deadline in
+//!   milliseconds (0 = none), then the sample slice. The reply echoes the
+//!   id after the status byte, so a client can keep many requests
+//!   outstanding and match replies as they arrive.
+//! - [`REQ_STATS_V2`] — empty; the reply carries the extended counter set
+//!   (deadline expirations and internal scoring failures included).
+//!
+//! Replies start with a status byte ([`STATUS_OK`] / [`STATUS_OVERLOADED`]
+//! / [`STATUS_BAD_REQUEST`] / [`STATUS_SHUTTING_DOWN`] /
+//! [`STATUS_DEADLINE_EXCEEDED`] / [`STATUS_INTERNAL`]); v2 score replies
+//! follow it with the echoed `u64` request id. An `OK` score body is:
+//! `f32` slice of per-language LLRs, `u32` decision index, `u32` observed
+//! batch size.
 
 use crate::engine::{ScoredUtt, StatsSnapshot};
 use lre_artifact::{ArtifactError, ArtifactReader, ArtifactWriter};
@@ -27,11 +38,19 @@ use std::io::{self, Read, Write};
 pub const REQ_SCORE: u8 = 1;
 pub const REQ_STATS: u8 = 2;
 pub const REQ_SHUTDOWN: u8 = 3;
+pub const REQ_SCORE_V2: u8 = 4;
+pub const REQ_STATS_V2: u8 = 5;
 
 pub const STATUS_OK: u8 = 0;
 pub const STATUS_OVERLOADED: u8 = 1;
 pub const STATUS_BAD_REQUEST: u8 = 2;
 pub const STATUS_SHUTTING_DOWN: u8 = 3;
+/// The request's deadline passed before a worker reached it; the server
+/// shed it without scoring (v2 only — v1 requests carry no deadline).
+pub const STATUS_DEADLINE_EXCEEDED: u8 = 4;
+/// The scorer itself failed (e.g. a lazily mapped bundle section failed to
+/// decode). The request is lost but the connection stays usable.
+pub const STATUS_INTERNAL: u8 = 5;
 
 /// Refuse frames above this size (16 MiB ≈ a half-hour utterance) so a
 /// corrupt or hostile length prefix cannot trigger a huge allocation.
@@ -40,12 +59,20 @@ pub const MAX_FRAME_LEN: usize = 16 << 20;
 /// A decoded request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// Score one utterance of raw samples.
+    /// v1: score one utterance of raw samples (reply carries no id).
     Score { samples: Vec<f32> },
-    /// Report engine counters.
+    /// Report engine counters (v1 nine-counter reply).
     Stats,
     /// Gracefully stop the server.
     Shutdown,
+    /// v2: pipelined score. `deadline_ms == 0` means no deadline.
+    ScoreV2 {
+        id: u64,
+        deadline_ms: u32,
+        samples: Vec<f32>,
+    },
+    /// Report the extended engine counters (v2 reply).
+    StatsV2,
 }
 
 /// Write one frame: `u32` LE length + payload.
@@ -90,6 +117,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => w.put_u8(REQ_STATS),
         Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+        Request::ScoreV2 {
+            id,
+            deadline_ms,
+            samples,
+        } => {
+            w.put_u8(REQ_SCORE_V2);
+            w.put_u64(*id);
+            w.put_u32(*deadline_ms);
+            w.put_f32_slice(samples);
+        }
+        Request::StatsV2 => w.put_u8(REQ_STATS_V2),
     }
     w.into_bytes()
 }
@@ -102,6 +140,12 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ArtifactError> {
         },
         REQ_STATS => Request::Stats,
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_SCORE_V2 => Request::ScoreV2 {
+            id: r.get_u64()?,
+            deadline_ms: r.get_u32()?,
+            samples: r.get_f32_slice()?,
+        },
+        REQ_STATS_V2 => Request::StatsV2,
         _ => return Err(ArtifactError::Corrupt("unknown request tag")),
     };
     if r.remaining() != 0 {
@@ -110,17 +154,55 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ArtifactError> {
     Ok(req)
 }
 
-/// A bare status reply (errors, and the shutdown acknowledgement).
+/// A bare status reply (v1 errors, and the shutdown acknowledgement).
 pub fn encode_status(status: u8) -> Vec<u8> {
     vec![status]
+}
+
+/// A v2 status-only reply: status byte + echoed request id.
+pub fn encode_status_v2(id: u64, status: u8) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(status);
+    w.put_u64(id);
+    w.into_bytes()
+}
+
+fn put_score_body(w: &mut ArtifactWriter, scored: &ScoredUtt) {
+    w.put_f32_slice(&scored.llrs);
+    w.put_u32(scored.decision as u32);
+    w.put_u32(scored.batch_size as u32);
+}
+
+fn get_score_body(r: &mut ArtifactReader) -> Result<ScoredUtt, ArtifactError> {
+    let llrs = r.get_f32_slice()?;
+    let decision = r.get_u32()? as usize;
+    let batch_size = r.get_u32()? as usize;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    if decision >= llrs.len().max(1) {
+        return Err(ArtifactError::Corrupt("decision index out of range"));
+    }
+    Ok(ScoredUtt {
+        llrs,
+        decision,
+        batch_size,
+    })
 }
 
 pub fn encode_score_ok(scored: &ScoredUtt) -> Vec<u8> {
     let mut w = ArtifactWriter::new();
     w.put_u8(STATUS_OK);
-    w.put_f32_slice(&scored.llrs);
-    w.put_u32(scored.decision as u32);
-    w.put_u32(scored.batch_size as u32);
+    put_score_body(&mut w, scored);
+    w.into_bytes()
+}
+
+/// A v2 score success: status + echoed id + score body.
+pub fn encode_score_ok_v2(id: u64, scored: &ScoredUtt) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u64(id);
+    put_score_body(&mut w, scored);
     w.into_bytes()
 }
 
@@ -131,26 +213,29 @@ pub fn decode_score_reply(bytes: &[u8]) -> Result<Result<ScoredUtt, u8>, Artifac
     if status != STATUS_OK {
         return Ok(Err(status));
     }
-    let llrs = r.get_f32_slice()?;
-    let decision = r.get_u32()? as usize;
-    let batch_size = r.get_u32()? as usize;
-    if r.remaining() != 0 {
-        return Err(ArtifactError::TrailingBytes);
-    }
-    if decision >= llrs.len().max(1) {
-        return Err(ArtifactError::Corrupt("decision index out of range"));
-    }
-    Ok(Ok(ScoredUtt {
-        llrs,
-        decision,
-        batch_size,
-    }))
+    Ok(Ok(get_score_body(&mut r)?))
 }
 
-pub fn encode_stats_ok(s: &StatsSnapshot) -> Vec<u8> {
-    let mut w = ArtifactWriter::new();
-    w.put_u8(STATUS_OK);
-    for v in [
+/// Decode a v2 score reply: `(request id, Ok(scored) | Err(status))`.
+pub fn decode_score_reply_v2(bytes: &[u8]) -> Result<(u64, Result<ScoredUtt, u8>), ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    let id = r.get_u64()?;
+    if status != STATUS_OK {
+        if r.remaining() != 0 {
+            return Err(ArtifactError::TrailingBytes);
+        }
+        return Ok((id, Err(status)));
+    }
+    Ok((id, Ok(get_score_body(&mut r)?)))
+}
+
+/// The nine v1 counters, in declaration order (a v1 client must keep
+/// decoding stats replies unchanged).
+const V1_COUNTERS: usize = 9;
+
+fn put_stats(w: &mut ArtifactWriter, s: &StatsSnapshot, extended: bool) {
+    let mut vals = vec![
         s.requests,
         s.completed,
         s.rejected,
@@ -160,20 +245,35 @@ pub fn encode_stats_ok(s: &StatsSnapshot) -> Vec<u8> {
         s.latency_us_sum,
         s.latency_us_max,
         s.uptime_us,
-    ] {
+    ];
+    debug_assert_eq!(vals.len(), V1_COUNTERS);
+    if extended {
+        vals.push(s.expired);
+        vals.push(s.failed);
+    }
+    for v in vals {
         w.put_u64(v);
     }
+}
+
+pub fn encode_stats_ok(s: &StatsSnapshot) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    put_stats(&mut w, s, false);
     w.into_bytes()
 }
 
-/// `Ok(Ok(snapshot))` on success, `Ok(Err(status))` on a refusal status.
-pub fn decode_stats_reply(bytes: &[u8]) -> Result<Result<StatsSnapshot, u8>, ArtifactError> {
-    let mut r = ArtifactReader::new(bytes);
-    let status = r.get_u8()?;
-    if status != STATUS_OK {
-        return Ok(Err(status));
-    }
-    let s = StatsSnapshot {
+/// Extended (v2) stats reply: the nine v1 counters plus deadline
+/// expirations and internal failures.
+pub fn encode_stats_ok_v2(s: &StatsSnapshot) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    put_stats(&mut w, s, true);
+    w.into_bytes()
+}
+
+fn get_stats(r: &mut ArtifactReader, extended: bool) -> Result<StatsSnapshot, ArtifactError> {
+    let mut s = StatsSnapshot {
         requests: r.get_u64()?,
         completed: r.get_u64()?,
         rejected: r.get_u64()?,
@@ -183,11 +283,37 @@ pub fn decode_stats_reply(bytes: &[u8]) -> Result<Result<StatsSnapshot, u8>, Art
         latency_us_sum: r.get_u64()?,
         latency_us_max: r.get_u64()?,
         uptime_us: r.get_u64()?,
+        expired: 0,
+        failed: 0,
     };
+    if extended {
+        s.expired = r.get_u64()?;
+        s.failed = r.get_u64()?;
+    }
     if r.remaining() != 0 {
         return Err(ArtifactError::TrailingBytes);
     }
-    Ok(Ok(s))
+    Ok(s)
+}
+
+/// `Ok(Ok(snapshot))` on success, `Ok(Err(status))` on a refusal status.
+pub fn decode_stats_reply(bytes: &[u8]) -> Result<Result<StatsSnapshot, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    Ok(Ok(get_stats(&mut r, false)?))
+}
+
+/// Decode the extended (v2) stats reply.
+pub fn decode_stats_reply_v2(bytes: &[u8]) -> Result<Result<StatsSnapshot, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    Ok(Ok(get_stats(&mut r, true)?))
 }
 
 #[cfg(test)]
@@ -202,8 +328,34 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::ScoreV2 {
+                id: u64::MAX,
+                deadline_ms: 250,
+                samples: vec![0.0, -0.0, f32::NAN],
+            },
+            Request::StatsV2,
         ] {
-            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+            let back = decode_request(&encode_request(&req)).unwrap();
+            // NaN breaks derived PartialEq; compare the sample bits instead.
+            match (&req, &back) {
+                (
+                    Request::ScoreV2 {
+                        id: a,
+                        deadline_ms: da,
+                        samples: sa,
+                    },
+                    Request::ScoreV2 {
+                        id: b,
+                        deadline_ms: db,
+                        samples: sb,
+                    },
+                ) => {
+                    assert_eq!((a, da), (b, db));
+                    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(sa), bits(sb));
+                }
+                _ => assert_eq!(back, req),
+            }
         }
     }
 
@@ -224,6 +376,23 @@ mod tests {
     }
 
     #[test]
+    fn v2_score_reply_echoes_the_request_id() {
+        let scored = ScoredUtt {
+            llrs: vec![0.25, -1.0],
+            decision: 0,
+            batch_size: 3,
+        };
+        let (id, r) = decode_score_reply_v2(&encode_score_ok_v2(0xDEAD_BEEF, &scored)).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF);
+        assert_eq!(r.unwrap(), scored);
+
+        let (id, r) =
+            decode_score_reply_v2(&encode_status_v2(77, STATUS_DEADLINE_EXCEEDED)).unwrap();
+        assert_eq!(id, 77);
+        assert_eq!(r, Err(STATUS_DEADLINE_EXCEEDED));
+    }
+
+    #[test]
     fn stats_reply_roundtrip() {
         let s = StatsSnapshot {
             requests: 100,
@@ -235,9 +404,26 @@ mod tests {
             latency_us_sum: 123_456,
             latency_us_max: 9_999,
             uptime_us: u64::MAX,
+            expired: 0,
+            failed: 0,
         };
         assert_eq!(
             decode_stats_reply(&encode_stats_ok(&s)).unwrap().unwrap(),
+            s
+        );
+        // The extended reply carries the two new counters…
+        let mut ext = s;
+        ext.expired = 4;
+        ext.failed = 1;
+        assert_eq!(
+            decode_stats_reply_v2(&encode_stats_ok_v2(&ext))
+                .unwrap()
+                .unwrap(),
+            ext
+        );
+        // …and a v1 decoder never sees them (wire compatibility).
+        assert_eq!(
+            decode_stats_reply(&encode_stats_ok(&ext)).unwrap().unwrap(),
             s
         );
     }
@@ -269,6 +455,20 @@ mod tests {
         padded.push(0);
         assert!(decode_request(&padded).is_err());
         assert!(decode_score_reply(&[]).is_err());
+        // v2 with the id truncated away.
+        let mut v2 = encode_request(&Request::ScoreV2 {
+            id: 1,
+            deadline_ms: 0,
+            samples: vec![1.0; 4],
+        });
+        v2.truncate(5);
+        assert!(decode_request(&v2).is_err());
+        // v2 reply missing its id.
+        assert!(decode_score_reply_v2(&[STATUS_OK]).is_err());
+        // v2 refusal with trailing junk.
+        let mut bad = encode_status_v2(9, STATUS_OVERLOADED);
+        bad.push(1);
+        assert!(decode_score_reply_v2(&bad).is_err());
     }
 
     #[test]

@@ -1,20 +1,55 @@
 //! The TCP scoring server: `std::net` + threads, no external runtime.
+//!
+//! Each connection is split into a **reader** (decodes frames, admits
+//! requests) and a **writer** thread (serializes replies onto the socket),
+//! joined by a channel of pre-encoded frames. That split is what makes
+//! pipelining work: a v2 client may have up to
+//! [`ServerConfig::max_inflight`] score requests outstanding, their
+//! replies are produced on engine worker threads in completion order, and
+//! the writer interleaves them safely with whatever the reader answers
+//! inline (stats, refusals).
+//!
+//! v1 requests keep their one-at-a-time, in-order semantics: the reader
+//! blocks on the engine before reading the next frame, exactly as the
+//! pre-pipelining server did.
 
-use crate::engine::{Engine, EngineConfig, SubmitError};
+use crate::engine::{Engine, EngineConfig, Outcome, SubmitError};
 use crate::protocol::{
-    decode_request, encode_score_ok, encode_stats_ok, encode_status, read_frame, write_frame,
-    Request, STATUS_BAD_REQUEST, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+    decode_request, encode_score_ok, encode_score_ok_v2, encode_stats_ok, encode_stats_ok_v2,
+    encode_status, encode_status_v2, read_frame, write_frame, Request, STATUS_BAD_REQUEST,
+    STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
 };
-use crate::system::ScoringSystem;
+use crate::system::Scorer;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
-/// A running server. One thread accepts connections; each connection gets a
-/// handler thread that speaks the frame protocol and submits score requests
-/// to the shared [`Engine`]. Handler threads are detached — they exit on
-/// peer close — while [`Server::join`] owns the graceful-shutdown sequence:
-/// stop accepting, drain the engine queue, join the workers.
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    pub engine: EngineConfig,
+    /// Most v2 score requests one connection may have outstanding; the
+    /// one-past-the-window request is refused `STATUS_OVERLOADED` without
+    /// touching the queue.
+    pub max_inflight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            engine: EngineConfig::default(),
+            max_inflight: 32,
+        }
+    }
+}
+
+/// A running server. One thread accepts connections; each connection gets
+/// reader + writer threads that speak the frame protocol and submit score
+/// requests to the shared [`Engine`]. Connection threads are detached —
+/// they exit on peer close — while [`Server::join`] owns the
+/// graceful-shutdown sequence: stop accepting, drain the engine queue,
+/// join the workers.
 pub struct Server {
     addr: SocketAddr,
     engine: Arc<Engine>,
@@ -27,12 +62,13 @@ impl Server {
     /// the OS pick, then read [`Server::local_addr`]).
     pub fn start(
         listener: TcpListener,
-        system: Arc<ScoringSystem>,
-        cfg: EngineConfig,
+        scorer: Arc<dyn Scorer>,
+        cfg: ServerConfig,
     ) -> std::io::Result<Server> {
         let addr = listener.local_addr()?;
-        let engine = Arc::new(Engine::start(cfg, system));
+        let engine = Arc::new(Engine::start(cfg.engine, scorer));
         let stopping = Arc::new(AtomicBool::new(false));
+        let max_inflight = cfg.max_inflight.max(1);
         let accept = {
             let engine = Arc::clone(&engine);
             let stopping = Arc::clone(&stopping);
@@ -47,7 +83,9 @@ impl Server {
                     };
                     let engine = Arc::clone(&engine);
                     let stopping = Arc::clone(&stopping);
-                    std::thread::spawn(move || handle_connection(stream, engine, stopping, addr));
+                    std::thread::spawn(move || {
+                        handle_connection(stream, engine, stopping, addr, max_inflight)
+                    });
                 }
             })
         };
@@ -97,36 +135,107 @@ fn handle_connection(
     engine: Arc<Engine>,
     stopping: Arc<AtomicBool>,
     addr: SocketAddr,
+    max_inflight: usize,
 ) {
     let _ = stream.set_nodelay(true);
-    loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(f)) => f,
-            // Clean close, torn connection, oversized frame: either way
-            // this conversation is over.
-            Ok(None) | Err(_) => return,
-        };
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    // Reply lane: reader and engine callbacks enqueue pre-encoded frames,
+    // one writer serializes them onto the socket. The writer lives until
+    // every sender is gone — i.e. until the reader has returned *and* every
+    // outstanding engine callback for this connection has fired — so a
+    // drained shutdown never strands a reply and never leaks the thread.
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::spawn(move || {
+        while let Ok(frame) = reply_rx.recv() {
+            if write_frame(&mut write_half, &frame).is_err() {
+                // Peer is gone; keep draining so senders resolve, but stop
+                // touching the socket.
+                while reply_rx.recv().is_ok() {}
+                return;
+            }
+        }
+    });
+
+    // Outstanding v2 requests on this connection. Only the reader
+    // increments, so a plain load-then-add admits at most `max_inflight`.
+    let inflight = Arc::new(AtomicUsize::new(0));
+
+    // Anything but a complete frame — clean close, torn connection,
+    // oversized length prefix — ends the conversation.
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
         let reply = match decode_request(&frame) {
+            // v1: answered in order, next frame not read until resolved.
             Ok(Request::Score { samples }) => match engine.score_blocking(samples) {
                 Ok(scored) => encode_score_ok(&scored),
                 Err(SubmitError::Overloaded) => encode_status(STATUS_OVERLOADED),
                 Err(SubmitError::ShuttingDown) => encode_status(STATUS_SHUTTING_DOWN),
             },
             Ok(Request::Stats) => encode_stats_ok(&engine.stats()),
+            Ok(Request::StatsV2) => encode_stats_ok_v2(&engine.stats()),
             Ok(Request::Shutdown) => {
                 // Acknowledge first so the requester sees a reply, then
                 // stop accepting; `Server::join` drains the engine.
-                let _ = write_frame(&mut stream, &encode_status(STATUS_OK));
+                let _ = reply_tx.send(encode_status(STATUS_OK));
                 trigger_stop(&stopping, addr);
-                return;
+                break;
+            }
+            Ok(Request::ScoreV2 {
+                id,
+                deadline_ms,
+                samples,
+            }) => {
+                if inflight.load(Ordering::Acquire) >= max_inflight {
+                    // Window violation: shed before the queue even sees it.
+                    engine.note_shed();
+                    encode_status_v2(id, STATUS_OVERLOADED)
+                } else {
+                    inflight.fetch_add(1, Ordering::AcqRel);
+                    let deadline =
+                        (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+                    let cb_tx = reply_tx.clone();
+                    let cb_inflight = Arc::clone(&inflight);
+                    let submitted = engine.submit_with(samples, deadline, move |outcome| {
+                        let frame = match outcome {
+                            Outcome::Scored(s) => encode_score_ok_v2(id, &s),
+                            Outcome::DeadlineExceeded => {
+                                encode_status_v2(id, STATUS_DEADLINE_EXCEEDED)
+                            }
+                            Outcome::Failed => encode_status_v2(id, STATUS_INTERNAL),
+                        };
+                        cb_inflight.fetch_sub(1, Ordering::AcqRel);
+                        let _ = cb_tx.send(frame);
+                    });
+                    match submitted {
+                        Ok(()) => continue, // reply arrives via the callback
+                        Err(e) => {
+                            // The job (and its callback) was dropped
+                            // unfired; the reader owns the refusal.
+                            inflight.fetch_sub(1, Ordering::AcqRel);
+                            let status = match e {
+                                SubmitError::Overloaded => STATUS_OVERLOADED,
+                                SubmitError::ShuttingDown => STATUS_SHUTTING_DOWN,
+                            };
+                            encode_status_v2(id, status)
+                        }
+                    }
+                }
             }
             Err(_) => {
-                let _ = write_frame(&mut stream, &encode_status(STATUS_BAD_REQUEST));
-                return;
+                let _ = reply_tx.send(encode_status(STATUS_BAD_REQUEST));
+                break;
             }
         };
-        if write_frame(&mut stream, &reply).is_err() {
-            return;
+        if reply_tx.send(reply).is_err() {
+            break;
         }
     }
+
+    // Drop the reader's sender; the writer exits once the last in-flight
+    // callback has fired and released its clone.
+    drop(reply_tx);
+    let _ = writer.join();
 }

@@ -1,6 +1,6 @@
 //! A [`ScoringSystem`]: raw audio samples in, detection LLRs out.
 
-use crate::bundle::SystemBundle;
+use crate::bundle::{LazyBundle, SubsystemBundle, SystemBundle};
 use lre_artifact::ArtifactError;
 use lre_corpus::Duration;
 use lre_dba::{standard_subsystems, Frontend};
@@ -8,6 +8,29 @@ use lre_dsp::FrameConfig;
 use lre_eval::ScoreMatrix;
 use lre_lattice::DecodeScratch;
 use lre_phone::{PhoneSet, UniversalInventory};
+use std::sync::OnceLock;
+
+/// Anything the serving engine can score against. The engine and server
+/// are generic over this, so tests can drive the full pipelined protocol
+/// with a mock scorer instead of minutes of acoustic-model training.
+pub trait Scorer: Send + Sync + 'static {
+    /// Score one utterance into per-language detection LLRs.
+    ///
+    /// An `Err` is an internal scorer failure (e.g. a lazily mapped bundle
+    /// section that fails to decode) — the server reports it to the client
+    /// as `STATUS_INTERNAL` and keeps the connection alive.
+    fn score_utt(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f32>, ArtifactError>;
+}
+
+/// One materialized subsystem: a ready-to-decode front-end plus its VSM.
+struct LoadedSub {
+    frontend: Frontend,
+    vsm: lre_svm::OneVsRest,
+}
 
 /// A reconstructed, ready-to-score PPRVSM system.
 ///
@@ -18,47 +41,89 @@ use lre_phone::{PhoneSet, UniversalInventory};
 /// utterance's nearest nominal duration. Every stage is row-independent,
 /// so scoring utterances one at a time (as the serving engine does)
 /// produces bit-identical LLRs to the offline batch pipeline.
+///
+/// Built either eagerly ([`ScoringSystem::from_bundle`] — every subsystem
+/// decoded up front, scoring can never fail) or lazily
+/// ([`ScoringSystem::from_lazy`] — subsystem sections are mapped from the
+/// bundle's offset table the first time a score touches them, so startup
+/// cost is the header parse, not the full model decode).
 pub struct ScoringSystem {
-    frontends: Vec<Frontend>,
-    vsms: Vec<lre_svm::OneVsRest>,
+    subs: Vec<OnceLock<LoadedSub>>,
+    /// Present in lazy mode: the still-sealed sections.
+    source: Option<LazyBundle>,
     /// Indexed like [`Duration::all`].
     fusions: Vec<lre_backend::LdaMmiFusion>,
     num_classes: usize,
 }
 
+fn load_sub(s: SubsystemBundle, num_classes: usize) -> Result<LoadedSub, ArtifactError> {
+    let inv = UniversalInventory::new();
+    let specs = standard_subsystems();
+    let spec = specs[s.spec_index as usize];
+    let phone_set = PhoneSet::standard(spec.set_id, &inv);
+    if s.builder.num_phones() != phone_set.len() {
+        return Err(ArtifactError::Corrupt("builder phone count disagrees"));
+    }
+    if s.vsm.num_classes() != num_classes {
+        return Err(ArtifactError::Corrupt("VSM class counts disagree"));
+    }
+    Ok(LoadedSub {
+        frontend: Frontend {
+            spec,
+            phone_set,
+            am: s.am,
+            builder: s.builder,
+            scaler: Some(s.scaler),
+            decoder: s.decoder,
+        },
+        vsm: s.vsm,
+    })
+}
+
 impl ScoringSystem {
-    /// Reconstruct the scoring pipeline from a loaded bundle.
+    /// Reconstruct the scoring pipeline from a fully decoded bundle.
     pub fn from_bundle(bundle: SystemBundle) -> Result<ScoringSystem, ArtifactError> {
-        let inv = UniversalInventory::new();
-        let specs = standard_subsystems();
-        let mut frontends = Vec::new();
-        let mut vsms = Vec::new();
-        let mut num_classes = 0;
-        for s in bundle.subsystems {
-            let spec = specs[s.spec_index as usize];
-            let phone_set = PhoneSet::standard(spec.set_id, &inv);
-            if s.builder.num_phones() != phone_set.len() {
-                return Err(ArtifactError::Corrupt("builder phone count disagrees"));
-            }
-            if num_classes == 0 {
-                num_classes = s.vsm.num_classes();
-            } else if s.vsm.num_classes() != num_classes {
-                return Err(ArtifactError::Corrupt("VSM class counts disagree"));
-            }
-            frontends.push(Frontend {
-                spec,
-                phone_set,
-                am: s.am,
-                builder: s.builder,
-                scaler: Some(s.scaler),
-                decoder: s.decoder,
-            });
-            vsms.push(s.vsm);
-        }
+        let num_classes = bundle
+            .fusions
+            .first()
+            .ok_or(ArtifactError::Corrupt("bundle has no fusion backends"))?
+            .num_classes();
+        let subs: Vec<OnceLock<LoadedSub>> = bundle
+            .subsystems
+            .into_iter()
+            .map(|s| {
+                let cell = OnceLock::new();
+                load_sub(s, num_classes).map(|loaded| {
+                    let _ = cell.set(loaded);
+                    cell
+                })
+            })
+            .collect::<Result<_, _>>()?;
         Ok(ScoringSystem {
-            frontends,
-            vsms,
+            subs,
+            source: None,
             fusions: bundle.fusions,
+            num_classes,
+        })
+    }
+
+    /// Build over a lazily opened bundle: no subsystem section is decoded
+    /// until the first utterance that needs it (then cached for the
+    /// process lifetime). Bit-identity is unaffected — the decoded state
+    /// is byte-for-byte the same as the eager path's.
+    pub fn from_lazy(mut source: LazyBundle) -> Result<ScoringSystem, ArtifactError> {
+        let fusions = source.take_fusions();
+        let num_classes = fusions
+            .first()
+            .ok_or(ArtifactError::Corrupt("bundle has no fusion backends"))?
+            .num_classes();
+        let subs = (0..source.num_subsystems())
+            .map(|_| OnceLock::new())
+            .collect();
+        Ok(ScoringSystem {
+            subs,
+            source: Some(source),
+            fusions,
             num_classes,
         })
     }
@@ -69,19 +134,54 @@ impl ScoringSystem {
     }
 
     pub fn num_subsystems(&self) -> usize {
-        self.frontends.len()
+        self.subs.len()
     }
 
-    /// Score one utterance of raw 8 kHz samples into calibrated per-language
-    /// detection LLRs, reusing caller-owned decoder scratch.
-    pub fn score(&self, samples: &[f32], scratch: &mut DecodeScratch) -> Vec<f32> {
+    /// How many subsystems have been materialized so far (observability:
+    /// equals `num_subsystems` after the first scored utterance, and for
+    /// eagerly built systems always).
+    pub fn num_loaded(&self) -> usize {
+        self.subs.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Materialize subsystem `q`, decoding its section on first use.
+    fn sub(&self, q: usize) -> Result<&LoadedSub, ArtifactError> {
+        if self.subs[q].get().is_none() {
+            let source = self
+                .source
+                .as_ref()
+                .ok_or(ArtifactError::Corrupt("unloaded subsystem in eager system"))?;
+            let loaded = load_sub(source.subsystem(q)?, self.num_classes)?;
+            // A concurrent worker may have won the race; both decoded the
+            // same bytes, so dropping the loser changes nothing.
+            let _ = self.subs[q].set(loaded);
+        }
+        Ok(self.subs[q].get().expect("just initialized"))
+    }
+
+    /// Decode every still-sealed section now (optional warm-up, so the
+    /// first request doesn't pay the decode).
+    pub fn preload(&self) -> Result<(), ArtifactError> {
+        for q in 0..self.subs.len() {
+            self.sub(q)?;
+        }
+        Ok(())
+    }
+
+    /// Score one utterance of raw 8 kHz samples into calibrated
+    /// per-language detection LLRs, reusing caller-owned decoder scratch.
+    /// Fails only in lazy mode, when a section cannot be decoded.
+    pub fn try_score(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f32>, ArtifactError> {
         let num_frames = FrameConfig::default().num_frames(samples.len());
         let di = duration_index_for(num_frames);
-        let mats: Vec<ScoreMatrix> = self
-            .frontends
-            .iter()
-            .zip(&self.vsms)
-            .map(|(fe, vsm)| {
+        let mats: Vec<ScoreMatrix> = (0..self.subs.len())
+            .map(|q| {
+                let sub = self.sub(q)?;
+                let fe = &sub.frontend;
                 let sv = fe.supervector_from_samples(samples, scratch);
                 let scaled = fe
                     .scaler
@@ -89,12 +189,30 @@ impl ScoringSystem {
                     .expect("bundled front-ends carry fitted scalers")
                     .transformed(&sv);
                 let mut m = ScoreMatrix::new(self.num_classes);
-                m.push_row(&vsm.scores(&scaled));
-                m
+                m.push_row(&sub.vsm.scores(&scaled));
+                Ok(m)
             })
-            .collect();
+            .collect::<Result<_, ArtifactError>>()?;
         let refs: Vec<&ScoreMatrix> = mats.iter().collect();
-        self.fusions[di].apply(&refs).row(0).to_vec()
+        Ok(self.fusions[di].apply(&refs).row(0).to_vec())
+    }
+
+    /// Infallible scoring for eagerly built systems (the offline verify
+    /// path). Panics if a lazy section fails to decode — use
+    /// [`ScoringSystem::try_score`] when scoring a lazily opened bundle.
+    pub fn score(&self, samples: &[f32], scratch: &mut DecodeScratch) -> Vec<f32> {
+        self.try_score(samples, scratch)
+            .expect("scoring failed (undecodable lazy section)")
+    }
+}
+
+impl Scorer for ScoringSystem {
+    fn score_utt(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f32>, ArtifactError> {
+        self.try_score(samples, scratch)
     }
 }
 

@@ -1,0 +1,407 @@
+//! Fault injection and protocol-robustness suite.
+//!
+//! Everything here runs against a **live TCP server** backed by a mock
+//! [`Scorer`], so the full wire path — framing, decode, admission,
+//! dispatch, reply writer — is exercised in milliseconds instead of the
+//! minutes a trained system needs. The contracts under test:
+//!
+//! - malformed input (truncated frames, oversized length prefixes, garbage
+//!   tags, mid-frame disconnects) gets a typed refusal or a clean close —
+//!   never a panic, a hang, an outsized allocation, or a leaked thread;
+//! - pipelined v2 connections respect the server's inflight window, match
+//!   replies to request ids even out of order, and see typed
+//!   `DEADLINE_EXCEEDED` / `INTERNAL` statuses;
+//! - the engine shuts down idempotently, resolving in-flight work and
+//!   refusing later submissions with a typed error instead of hanging.
+
+use lre_artifact::ArtifactError;
+use lre_lattice::DecodeScratch;
+use lre_serve::client::ScoreReply;
+use lre_serve::fuzz;
+use lre_serve::{
+    Client, Engine, EngineConfig, Outcome, PipelinedClient, Scorer, Server, ServerConfig,
+    SubmitError,
+};
+use std::net::TcpListener;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Deterministic mock: LLR `i` is `sum(samples) + i`, so replies are
+/// attributable to the exact samples that produced them.
+struct MockScorer {
+    classes: usize,
+}
+
+fn mock_llrs(samples: &[f32], classes: usize) -> Vec<f32> {
+    let s: f32 = samples.iter().sum();
+    (0..classes).map(|i| s + i as f32).collect()
+}
+
+impl Scorer for MockScorer {
+    fn score_utt(
+        &self,
+        samples: &[f32],
+        _scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f32>, ArtifactError> {
+        Ok(mock_llrs(samples, self.classes))
+    }
+}
+
+/// A scorer whose workers block until the test opens the gate — makes
+/// "requests are outstanding" a deterministic state instead of a race.
+struct GatedScorer {
+    open: Mutex<bool>,
+    cv: Condvar,
+    classes: usize,
+}
+
+impl GatedScorer {
+    fn new(classes: usize) -> GatedScorer {
+        GatedScorer {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            classes,
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl Scorer for GatedScorer {
+    fn score_utt(
+        &self,
+        samples: &[f32],
+        _scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f32>, ArtifactError> {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        drop(open);
+        Ok(mock_llrs(samples, self.classes))
+    }
+}
+
+/// A scorer that always fails — the lazy-bundle "section won't decode"
+/// path without a corrupt bundle.
+struct FailingScorer;
+
+impl Scorer for FailingScorer {
+    fn score_utt(
+        &self,
+        _samples: &[f32],
+        _scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f32>, ArtifactError> {
+        Err(ArtifactError::Corrupt("injected scorer failure"))
+    }
+}
+
+fn start_server(scorer: Arc<dyn Scorer>, cfg: ServerConfig) -> Server {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    Server::start(listener, scorer, cfg).expect("server starts")
+}
+
+fn fast_config() -> ServerConfig {
+    ServerConfig {
+        engine: EngineConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+        },
+        max_inflight: 4,
+    }
+}
+
+/// Threads in this process, per the kernel.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn malformed_corpus_against_live_server() {
+    let server = start_server(Arc::new(MockScorer { classes: 3 }), fast_config());
+    let addr = server.local_addr();
+    let baseline_threads = thread_count();
+
+    let cases = fuzz::run_corpus(addr, Duration::from_secs(10)).expect("malformed-input contract");
+    assert!(cases >= 20, "corpus shrank to {cases} cases");
+
+    // No request ever reached the engine: admission rejects malformed
+    // frames before they touch the queue.
+    assert_eq!(server.engine().stats().requests, 0);
+
+    // The server is fully alive afterwards: a well-formed request on a
+    // fresh connection scores normally.
+    let mut client = Client::connect(addr).expect("post-corpus connect");
+    match client.score(&[1.0, 2.0]).expect("post-corpus score") {
+        ScoreReply::Scored(s) => assert_eq!(s.llrs, mock_llrs(&[1.0, 2.0], 3)),
+        other => panic!("post-corpus request refused: {other:?}"),
+    }
+
+    // No leaked connection threads: every per-connection reader/writer
+    // pair must wind down once its peer is gone (allow the scheduler a
+    // moment to reap them).
+    if baseline_threads > 0 {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            // `client` above is still connected: its reader+writer pair is
+            // legitimately alive.
+            if thread_count() <= baseline_threads + 2 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "connection threads leaked: {} now vs {} before the corpus",
+                thread_count(),
+                baseline_threads
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    client.shutdown().expect("shutdown acknowledged");
+    server.join();
+}
+
+#[test]
+fn pipelined_replies_match_ids_and_are_bit_faithful() {
+    let server = start_server(Arc::new(MockScorer { classes: 4 }), fast_config());
+    let addr = server.local_addr();
+
+    let utts: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32; 8]).collect();
+    let mut client = PipelinedClient::connect(addr).expect("connect");
+    let replies = client.score_all(&utts, 4, None).expect("pipelined run");
+    for (i, (utt, reply)) in utts.iter().zip(&replies).enumerate() {
+        match reply {
+            ScoreReply::Scored(s) => {
+                assert_eq!(s.llrs, mock_llrs(utt, 4), "utt {i} got another utt's LLRs");
+            }
+            other => panic!("utt {i} refused: {other:?}"),
+        }
+    }
+    assert_eq!(client.inflight(), 0);
+
+    let stats = client.stats().expect("v2 stats");
+    assert_eq!(stats.completed, utts.len() as u64);
+    assert_eq!(stats.rejected, 0);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn server_enforces_the_inflight_window() {
+    // Gate closed: admitted requests pile up behind the worker, so the
+    // window state is exact, not timing-dependent.
+    let gate = Arc::new(GatedScorer::new(2));
+    let mut cfg = fast_config();
+    cfg.engine.workers = 1;
+    cfg.max_inflight = 4;
+    let server = start_server(Arc::clone(&gate) as _, cfg);
+    let addr = server.local_addr();
+
+    let mut client = PipelinedClient::connect(addr).expect("connect");
+    for i in 0..5 {
+        client.submit(&[i as f32], None).expect("submit");
+    }
+    // The fifth request breached the window: it must be refused
+    // immediately, while the first four are still outstanding.
+    let (id, reply) = client.recv().expect("refusal arrives");
+    assert_eq!(id, 4, "the one-past-the-window request is the one refused");
+    assert_eq!(reply, ScoreReply::Overloaded);
+
+    gate.release();
+    let mut scored = Vec::new();
+    while client.inflight() > 0 {
+        let (id, reply) = client.recv().expect("drain");
+        match reply {
+            ScoreReply::Scored(s) => scored.push((id, s)),
+            other => panic!("admitted request {id} refused: {other:?}"),
+        }
+    }
+    assert_eq!(scored.len(), 4);
+    for (id, s) in &scored {
+        assert_eq!(s.llrs, mock_llrs(&[*id as f32], 2), "reply/id mismatch");
+    }
+
+    // The window reopened: new submissions are admitted again.
+    client.submit(&[9.0], None).expect("submit after drain");
+    let (_, reply) = client.recv().expect("post-drain reply");
+    match reply {
+        ScoreReply::Scored(s) => assert_eq!(s.llrs, mock_llrs(&[9.0], 2)),
+        other => panic!("post-drain request refused: {other:?}"),
+    }
+
+    // The shed request is accounted: requests = completed + rejected.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.rejected, 1);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn deadlines_are_shed_with_a_typed_status() {
+    let gate = Arc::new(GatedScorer::new(2));
+    let mut cfg = fast_config();
+    cfg.engine.workers = 1;
+    let server = start_server(Arc::clone(&gate) as _, cfg);
+    let addr = server.local_addr();
+
+    let mut client = PipelinedClient::connect(addr).expect("connect");
+    // The blocker parks the only worker at the closed gate; the victim's
+    // 5 ms deadline then expires while it waits.
+    let blocker = client.submit(&[1.0], None).expect("blocker");
+    let victim = client
+        .submit(&[2.0], Some(Duration::from_millis(5)))
+        .expect("victim");
+    std::thread::sleep(Duration::from_millis(50));
+    gate.release();
+
+    let mut outcomes = std::collections::HashMap::new();
+    while client.inflight() > 0 {
+        let (id, reply) = client.recv().expect("reply");
+        outcomes.insert(id, reply);
+    }
+    match &outcomes[&blocker] {
+        ScoreReply::Scored(s) => assert_eq!(s.llrs, mock_llrs(&[1.0], 2)),
+        other => panic!("blocker refused: {other:?}"),
+    }
+    assert_eq!(
+        outcomes[&victim],
+        ScoreReply::DeadlineExceeded,
+        "an expired request must get the typed status, not a stale score"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 1);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn scorer_failures_map_to_internal_status_and_keep_the_connection() {
+    let server = start_server(Arc::new(FailingScorer), fast_config());
+    let addr = server.local_addr();
+
+    let mut client = PipelinedClient::connect(addr).expect("connect");
+    client.submit(&[1.0], None).expect("submit");
+    let (_, reply) = client.recv().expect("reply");
+    assert_eq!(reply, ScoreReply::Failed);
+
+    // The connection survives an internal failure.
+    client.submit(&[2.0], None).expect("submit again");
+    let (_, reply) = client.recv().expect("second reply");
+    assert_eq!(reply, ScoreReply::Failed);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.completed, 0);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn v1_clients_still_work_against_a_pipelined_server() {
+    let server = start_server(Arc::new(MockScorer { classes: 3 }), fast_config());
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("v1 connect");
+    for i in 0..8 {
+        let samples = vec![i as f32; 4];
+        match client.score(&samples).expect("v1 score") {
+            ScoreReply::Scored(s) => {
+                assert_eq!(s.llrs, mock_llrs(&samples, 3));
+                assert_eq!(s.decision, 2, "argmax of an increasing LLR vector");
+            }
+            other => panic!("v1 request refused: {other:?}"),
+        }
+    }
+    // The v1 stats reply still decodes (nine counters, no extension).
+    let stats = client.stats().expect("v1 stats");
+    assert_eq!(stats.completed, 8);
+    assert_eq!(
+        stats.expired, 0,
+        "v1 decode fills the extended fields with 0"
+    );
+
+    client.shutdown().expect("v1 shutdown");
+    server.join();
+}
+
+#[test]
+fn engine_shutdown_is_idempotent_and_submissions_after_it_fail_fast() {
+    let engine = Engine::start(
+        EngineConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 16,
+        },
+        Arc::new(MockScorer { classes: 2 }),
+    );
+
+    // In-flight work submitted before shutdown resolves (drain, not drop).
+    let receivers: Vec<_> = (0..8)
+        .map(|i| engine.submit(vec![i as f32]).expect("pre-shutdown submit"))
+        .collect();
+
+    engine.shutdown();
+    engine.shutdown(); // back-to-back: must be a no-op, not a deadlock
+
+    for (i, rx) in receivers.into_iter().enumerate() {
+        match rx.recv().expect("pre-shutdown work resolves") {
+            Outcome::Scored(s) => assert_eq!(s.llrs, mock_llrs(&[i as f32], 2)),
+            other => panic!("pre-shutdown submit {i} unresolved: {other:?}"),
+        }
+    }
+
+    // Submissions after shutdown return immediately with the typed error —
+    // no hang, no panic.
+    for _ in 0..4 {
+        match engine.submit(vec![1.0]) {
+            Err(SubmitError::ShuttingDown) => {}
+            Ok(_) => panic!("submit after shutdown must not be accepted"),
+            Err(other) => panic!("wrong error after shutdown: {other:?}"),
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 8);
+
+    engine.shutdown(); // still idempotent after rejected submissions
+}
+
+#[test]
+fn deadline_zero_means_no_deadline_on_the_wire() {
+    // deadline_ms == 0 must travel as "no deadline", not "already expired".
+    let server = start_server(Arc::new(MockScorer { classes: 2 }), fast_config());
+    let addr = server.local_addr();
+    let mut client = PipelinedClient::connect(addr).expect("connect");
+    client
+        .submit(&[3.0], Some(Duration::from_millis(0)))
+        .expect("submit");
+    let (_, reply) = client.recv().expect("reply");
+    match reply {
+        ScoreReply::Scored(s) => assert_eq!(s.llrs, mock_llrs(&[3.0], 2)),
+        other => panic!("zero deadline must not expire anything: {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    server.join();
+}

@@ -2,11 +2,13 @@
 //! reload it from bytes alone, and serve it over TCP — with the fused
 //! detection LLRs bit-identical to the offline experiment pipeline,
 //! micro-batching observably active, load shedding engaged when the queue
-//! fills, and a clean protocol-driven shutdown.
+//! fills, and a clean protocol-driven shutdown. The pipelined test drives
+//! the same workload through protocol v2 over a lazily opened bundle.
 //!
-//! Like `tests/full_system.rs`, the big test builds the complete
-//! six-front-end smoke experiment (minutes in release, much longer in
-//! debug), so it is `#[ignore]` by default and CI runs it in release:
+//! Like `tests/full_system.rs`, the training-backed tests build the
+//! complete six-front-end smoke experiment (minutes in release, much
+//! longer in debug) — once, shared through a `OnceLock` — so they are
+//! `#[ignore]` by default and CI runs them in release:
 //!
 //! ```text
 //! cargo test --release -p lre-serve --test serve_roundtrip -- --ignored
@@ -18,9 +20,59 @@ use lre_dba::{fuse_duration, Experiment, ExperimentConfig};
 use lre_eval::ScoreMatrix;
 use lre_lattice::DecodeScratch;
 use lre_serve::client::ScoreReply;
-use lre_serve::{Client, Engine, EngineConfig, ScoringSystem, Server, SubmitError, SystemBundle};
+use lre_serve::{
+    Client, Engine, EngineConfig, LazyBundle, Outcome, PipelinedClient, ScoringSystem, Server,
+    ServerConfig, SubmitError, SystemBundle,
+};
 use std::net::TcpListener;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// One smoke-scale training run shared by every `#[ignore]` test in this
+/// binary: the offline fused reference scores, the raw client-side
+/// waveforms, and the sealed bundle bytes.
+struct Fixture {
+    offline: ScoreMatrix,
+    waves: Arc<Vec<Vec<f32>>>,
+    bytes: Vec<u8>,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let cfg = ExperimentConfig::new(Scale::Smoke, 42);
+        let exp = Experiment::build(&cfg);
+
+        // Offline reference: the experiment's own fused scores, 3 s set.
+        let d = Duration::S3;
+        let di = Experiment::duration_index(d);
+        let test: Vec<ScoreMatrix> = exp
+            .baseline_test_scores
+            .iter()
+            .map(|per| per[di].clone())
+            .collect();
+        let offline = fuse_duration(&exp, &exp.baseline_dev_scores, &test, d, None).test_scores;
+
+        // The same utterances as a client would hold them: raw waveforms.
+        let waves: Vec<Vec<f32>> = exp
+            .ds
+            .test_set(d)
+            .iter()
+            .map(|u| render_utterance(u, exp.ds.language(u.language), &exp.inv).samples)
+            .collect();
+        assert!(
+            waves.len() >= 100,
+            "need ≥100 utterances for the serving smoke; have {}",
+            waves.len()
+        );
+        let bytes = SystemBundle::from_experiment(exp).to_artifact_bytes();
+        Fixture {
+            offline,
+            waves: Arc::new(waves),
+            bytes,
+        }
+    })
+}
 
 fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
     assert_eq!(got.len(), want.len(), "{what}: LLR count");
@@ -36,65 +88,49 @@ fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
 #[test]
 #[ignore = "builds the full experiment; run with --release -- --ignored"]
 fn train_save_reload_serve_bit_identical() {
-    let cfg = ExperimentConfig::new(Scale::Smoke, 42);
-    let exp = Experiment::build(&cfg);
-
-    // Offline reference: the experiment's own fused scores for the 3 s set.
-    let d = Duration::S3;
-    let di = Experiment::duration_index(d);
-    let test: Vec<ScoreMatrix> = exp
-        .baseline_test_scores
-        .iter()
-        .map(|per| per[di].clone())
-        .collect();
-    let offline = fuse_duration(&exp, &exp.baseline_dev_scores, &test, d, None).test_scores;
-
-    // The same utterances as a client would hold them: raw waveforms.
-    let waves: Vec<Vec<f32>> = exp
-        .ds
-        .test_set(d)
-        .iter()
-        .map(|u| render_utterance(u, exp.ds.language(u.language), &exp.inv).samples)
-        .collect();
-    assert!(
-        waves.len() >= 100,
-        "need ≥100 utterances for the serving smoke; have {}",
-        waves.len()
-    );
+    let fx = fixture();
+    let offline = &fx.offline;
 
     // Package the system and reload it from bytes alone — the "fresh
     // process" contract: nothing survives but the artifact container.
-    let bytes = SystemBundle::from_experiment(exp).to_artifact_bytes();
-    let reloaded = SystemBundle::from_artifact_bytes(&bytes).expect("bundle reloads");
+    let reloaded = SystemBundle::from_artifact_bytes(&fx.bytes).expect("bundle reloads");
     assert_eq!(reloaded.scale_name, "smoke");
     assert_eq!(reloaded.seed, 42);
     let system = Arc::new(ScoringSystem::from_bundle(reloaded).expect("bundle is coherent"));
+    assert_eq!(
+        system.num_loaded(),
+        system.num_subsystems(),
+        "eager construction must materialize every subsystem"
+    );
 
     // 1) In-process spot check: the reloaded pipeline reproduces the
     //    offline fused scores to the bit (full coverage happens over TCP).
     let mut scratch = DecodeScratch::new();
-    for (i, w) in waves.iter().enumerate().take(3) {
+    for (i, w) in fx.waves.iter().enumerate().take(3) {
         let got = system.score(w, &mut scratch);
         assert_bits_eq(&got, offline.row(i), &format!("in-process utt {i}"));
     }
 
-    // 2) Over TCP with concurrent clients so micro-batching engages.
+    // 2) Over TCP with concurrent v1 clients so micro-batching engages.
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let server = Server::start(
         listener,
-        Arc::clone(&system),
-        EngineConfig {
-            workers: 2,
-            max_batch: 4,
-            max_wait: std::time::Duration::from_millis(500),
-            queue_capacity: 256,
+        Arc::clone(&system) as _,
+        ServerConfig {
+            engine: EngineConfig {
+                workers: 2,
+                max_batch: 4,
+                max_wait: std::time::Duration::from_millis(500),
+                queue_capacity: 256,
+            },
+            max_inflight: 8,
         },
     )
     .expect("server starts");
     let addr = server.local_addr();
 
     let n_threads = 8;
-    let waves = Arc::new(waves);
+    let waves = Arc::clone(&fx.waves);
     let handles: Vec<_> = (0..n_threads)
         .map(|t| {
             let waves = Arc::clone(&waves);
@@ -114,7 +150,7 @@ fn train_save_reload_serve_bit_identical() {
                             ScoreReply::Overloaded => {
                                 std::thread::sleep(std::time::Duration::from_millis(10));
                             }
-                            ScoreReply::ShuttingDown => panic!("server shut down mid-test"),
+                            other => panic!("unexpected reply mid-test: {other:?}"),
                         }
                     }
                 }
@@ -175,7 +211,7 @@ fn train_save_reload_serve_bit_identical() {
             max_wait: std::time::Duration::from_millis(0),
             queue_capacity: 2,
         },
-        Arc::clone(&system),
+        Arc::clone(&system) as _,
     );
     let mut receivers = Vec::new();
     let mut shed = 0usize;
@@ -188,13 +224,90 @@ fn train_save_reload_serve_bit_identical() {
     }
     assert!(shed > 0, "64-burst into a 2-deep queue must shed");
     for rx in receivers {
-        let s = rx.recv().expect("accepted work completes despite shedding");
-        assert_eq!(s.llrs.len(), system.num_classes());
+        match rx.recv().expect("accepted work completes despite shedding") {
+            Outcome::Scored(s) => assert_eq!(s.llrs.len(), system.num_classes()),
+            other => panic!("deadline-free accepted work must score, got {other:?}"),
+        }
     }
     let stats = engine.stats();
     assert_eq!(stats.rejected, shed as u64);
     assert_eq!(stats.completed + stats.rejected, 64);
     engine.shutdown();
+}
+
+#[test]
+#[ignore = "builds the full experiment; run with --release -- --ignored"]
+fn pipelined_lazy_round_trip_bit_identical() {
+    let fx = fixture();
+    let offline = &fx.offline;
+
+    // Open the bundle through its offset table: nothing decoded yet.
+    let lazy = LazyBundle::open_bytes(fx.bytes.clone()).expect("lazy open");
+    assert_eq!(lazy.scale_name, "smoke");
+    let system = Arc::new(ScoringSystem::from_lazy(lazy).expect("lazy system"));
+    assert_eq!(
+        system.num_loaded(),
+        0,
+        "lazy construction must not decode sections up front"
+    );
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = Server::start(
+        listener,
+        Arc::clone(&system) as _,
+        ServerConfig {
+            engine: EngineConfig {
+                workers: 2,
+                max_batch: 8,
+                max_wait: std::time::Duration::from_millis(200),
+                queue_capacity: 256,
+            },
+            max_inflight: 8,
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // One pipelined connection drives the whole workload with a window of
+    // eight requests outstanding; replies are matched by id.
+    let mut client = PipelinedClient::connect(addr).expect("pipelined connect");
+    let replies = client
+        .score_all(&fx.waves, 8, None)
+        .expect("pipelined scoring");
+    assert_eq!(replies.len(), fx.waves.len());
+    let mut seen_batched = 0usize;
+    for (i, reply) in replies.iter().enumerate() {
+        match reply {
+            ScoreReply::Scored(s) => {
+                assert_bits_eq(&s.llrs, offline.row(i), &format!("pipelined utt {i}"));
+                if s.batch_size > 1 {
+                    seen_batched += 1;
+                }
+            }
+            other => panic!("utt {i} refused: {other:?}"),
+        }
+    }
+    assert!(
+        seen_batched > 0,
+        "a full window should have coalesced batches > 1"
+    );
+    assert_eq!(
+        system.num_loaded(),
+        system.num_subsystems(),
+        "scoring must have materialized every lazy section"
+    );
+
+    // Extended counters over the wire: everything completed, nothing
+    // expired or failed, and the dispatcher formed real batches.
+    let stats = client.stats().expect("v2 stats");
+    assert_eq!(stats.completed, fx.waves.len() as u64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.batched_utts > stats.batches);
+
+    client.shutdown().expect("v2 shutdown acknowledged");
+    server.join();
 }
 
 #[test]
@@ -207,20 +320,31 @@ fn corrupt_bundles_fail_with_typed_errors_not_panics() {
     let mut w = lre_artifact::ArtifactWriter::new();
     w.put_u64(7);
     w.put_str("smoke");
-    w.put_u32(2);
-    w.put_u32(0); // zero subsystems: structurally valid container, bad bundle
-    w.put_u32(0);
-    let sealed = lre_artifact::seal(*b"BNDL", 1, &w.into_bytes());
-    // Structurally intact container, semantically invalid payload.
+    w.put_u32(2); // max_order
+    w.put_u32(0); // zero fusions: caught by the fusion-count check
+    w.put_u32(0); // zero subsystems: structurally valid, semantically not
+    w.put_u64_slice(&[0]); // a [0] offset table matching "no sections"
+    let sealed = lre_artifact::seal(*b"BNDL", 2, &w.into_bytes());
+    // Structurally intact container, semantically invalid payload — for
+    // both the eager and the lazy reader.
     match SystemBundle::from_artifact_bytes(&sealed) {
         Err(lre_artifact::ArtifactError::Corrupt(_)) => {}
         Err(other) => panic!("expected Corrupt, got {other:?}"),
         Ok(_) => panic!("an empty bundle must not deserialize"),
     }
+    match LazyBundle::open_bytes(sealed.clone()) {
+        Err(lre_artifact::ArtifactError::Corrupt(_)) => {}
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("an empty bundle must not open lazily"),
+    }
     for cut in 0..sealed.len() {
         assert!(
             SystemBundle::from_artifact_bytes(&sealed[..cut]).is_err(),
             "truncation at {cut} must fail"
+        );
+        assert!(
+            LazyBundle::open_bytes(sealed[..cut].to_vec()).is_err(),
+            "lazy truncation at {cut} must fail"
         );
     }
     for byte in 0..sealed.len() {
@@ -229,6 +353,10 @@ fn corrupt_bundles_fail_with_typed_errors_not_panics() {
         assert!(
             SystemBundle::from_artifact_bytes(&bad).is_err(),
             "bit flip at byte {byte} must fail"
+        );
+        assert!(
+            LazyBundle::open_bytes(bad).is_err(),
+            "lazy bit flip at byte {byte} must fail"
         );
     }
 }
