@@ -1,0 +1,214 @@
+//! The adapting scoring server: serve a bundle, tap every score into the
+//! vote log, and boost the model online with guarded hot-swaps.
+//!
+//! ```text
+//! lre-adaptd --bundle PATH --guard PATH [--addr 127.0.0.1:7700]
+//!            [--workers N] [--max-inflight N] [--max-global-inflight N]
+//!            [--interval-secs N] [--min-utts N] [--v-threshold N]
+//!            [--guard-max-eer-regress X] [--guard-max-cavg-regress X]
+//!            [--log-capacity N]
+//! ```
+//!
+//! `--interval-secs 0` (the default) disables the background cadence;
+//! cycles then run only when a client sends an adapt request
+//! (`lre-client --adapt`). A negative `--guard-max-eer-regress` forces
+//! every candidate to fail the guard — the rollback drill CI exercises.
+
+use lre_adapt::{bundle_checksum, AdaptConfig, AdaptController, AdaptWorker, VoteLog};
+use lre_artifact::ArtifactRead;
+use lre_dba::GuardSet;
+use lre_serve::{ScorerHandle, ScoringSystem, Server, ServerConfig, SystemBundle};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: lre-adaptd --bundle PATH --guard PATH [--addr HOST:PORT] \
+         [--workers N] [--max-inflight N] [--max-global-inflight N] [--interval-secs N] \
+         [--min-utts N] [--v-threshold N] [--guard-max-eer-regress X] \
+         [--guard-max-cavg-regress X] [--log-capacity N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut bundle_path: Option<PathBuf> = None;
+    let mut guard_path: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut adapt = AdaptConfig::default();
+    let mut interval_secs = 0u64;
+    let mut log_capacity = 4096usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let parse_num = |args: &[String], i: usize, what: &str| -> usize {
+        args.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("bad {what} (non-negative integer)")))
+    };
+    let parse_f64 = |args: &[String], i: usize, what: &str| -> f64 {
+        args.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("bad {what} (number)")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bundle" => {
+                i += 1;
+                bundle_path = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("missing --bundle path")),
+                ));
+            }
+            "--guard" => {
+                i += 1;
+                guard_path = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("missing --guard path")),
+                ));
+            }
+            "--addr" => {
+                i += 1;
+                addr = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("missing --addr"))
+                    .clone();
+            }
+            "--workers" => {
+                i += 1;
+                cfg.engine.workers = parse_num(&args, i, "--workers");
+            }
+            "--max-inflight" => {
+                i += 1;
+                cfg.max_inflight = parse_num(&args, i, "--max-inflight");
+            }
+            "--max-global-inflight" => {
+                i += 1;
+                cfg.max_global_inflight = parse_num(&args, i, "--max-global-inflight");
+            }
+            "--interval-secs" => {
+                i += 1;
+                interval_secs = parse_num(&args, i, "--interval-secs") as u64;
+            }
+            "--min-utts" => {
+                i += 1;
+                adapt.min_utts = parse_num(&args, i, "--min-utts");
+            }
+            "--v-threshold" => {
+                i += 1;
+                adapt.v_threshold = parse_num(&args, i, "--v-threshold") as u8;
+            }
+            "--guard-max-eer-regress" => {
+                i += 1;
+                adapt.max_eer_regress = parse_f64(&args, i, "--guard-max-eer-regress");
+            }
+            "--guard-max-cavg-regress" => {
+                i += 1;
+                adapt.max_cavg_regress = parse_f64(&args, i, "--guard-max-cavg-regress");
+            }
+            "--log-capacity" => {
+                i += 1;
+                log_capacity = parse_num(&args, i, "--log-capacity");
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    let bundle_path = bundle_path.unwrap_or_else(|| usage("--bundle is required"));
+    let guard_path = guard_path.unwrap_or_else(|| usage("--guard is required"));
+
+    let bytes = match std::fs::read(&bundle_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", bundle_path.display());
+            std::process::exit(1);
+        }
+    };
+    // The adapting server decodes eagerly: the controller re-decodes the
+    // sealed bytes each cycle anyway, and every section must be coherent
+    // before generation 0 serves a single request.
+    let bundle = match SystemBundle::from_artifact_bytes(&bytes) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: loading {}: {e}", bundle_path.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[adaptd] bundle: scale={}, seed={}, {} subsystems, lineage generation {}",
+        bundle.scale_name,
+        bundle.seed,
+        bundle.subsystems.len(),
+        bundle.lineage.generation
+    );
+    let guard = match GuardSet::load_artifact(&guard_path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: loading {}: {e}", guard_path.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[adaptd] guard set: {} held-back utterances, {} subsystems",
+        guard.num_utts(),
+        guard.num_subsystems()
+    );
+    let system = match ScoringSystem::from_bundle(bundle) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("error: invalid bundle: {e}");
+            std::process::exit(1);
+        }
+    };
+    let handle = Arc::new(ScorerHandle::new(system, bundle_checksum(&bytes)));
+    let log = Arc::new(VoteLog::new(log_capacity));
+    let controller =
+        match AdaptController::new(Arc::clone(&handle), Arc::clone(&log), guard, bytes, adapt) {
+            Ok(c) => Arc::new(c),
+            Err(e) => {
+                eprintln!("error: wiring adaptation controller: {e}");
+                std::process::exit(1);
+            }
+        };
+    let worker = (interval_secs > 0).then(|| {
+        AdaptWorker::spawn(
+            Arc::clone(&controller),
+            Duration::from_secs(interval_secs),
+            |report| {
+                eprintln!(
+                    "[adaptd] cycle: outcome={} generation={} selected={} drained={}",
+                    report.outcome, report.generation, report.selected, report.drained
+                );
+            },
+        )
+    });
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::start_adaptive(
+        listener,
+        Arc::clone(&handle),
+        cfg,
+        Some(log as _),
+        Some(controller as _),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: starting server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    server.join();
+    drop(worker); // stop the cadence before reporting
+    eprintln!(
+        "[adaptd] shut down cleanly at generation {}",
+        handle.generation()
+    );
+}

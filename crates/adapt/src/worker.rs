@@ -1,0 +1,410 @@
+//! The boosting worker: drain the vote log, select pseudo-labels with the
+//! Eq. 13 vote rule, retrain, guard, and hot-swap.
+//!
+//! One adaptation cycle ([`AdaptController::run_cycle`]) is the online
+//! mirror of one offline `lre_dba::run_dba` round, sharing its exact
+//! selection and assembly code so the two are bit-identical over the same
+//! utterances:
+//!
+//! 1. **Drain** the [`VoteLog`] (all-or-nothing, arrival order) and group
+//!    the records by routed duration — the log's duration-major view *is*
+//!    the offline test pool when utterances arrive duration-major.
+//! 2. **Select** with [`lre_dba::dba_round_selection`] — the same Eq. 13
+//!    vote rule `run_dba` uses, applied to the served OvR rows.
+//! 3. **Retrain** each subsystem's one-vs-rest VSM on the pseudo-labelled
+//!    supervectors assembled by [`lre_dba::build_tr_dba`] (M1: served
+//!    utterances only), with the SVM recipe frozen in the bundle.
+//! 4. **Guard**: shadow-score parent and candidate VSMs on the held-back
+//!    [`GuardSet`]; a candidate that regresses pooled EER or min-Cavg past
+//!    the configured slack is rejected — no swap, generation and live
+//!    scores untouched.
+//! 5. **Promote**: seal the candidate bundle with its [`Lineage`] (parent
+//!    checksum, generation, selection stats) and atomically swap it into
+//!    the serving [`ScorerHandle`]; the displaced model is retained so
+//!    [`AdaptController::rollback`] can restore it bit-identically.
+
+use crate::votelog::{VoteLog, VoteRecord};
+use lre_artifact::{crc32, ArtifactError, ArtifactRead, ArtifactWrite};
+use lre_corpus::Duration;
+use lre_dba::{build_tr_dba, dba_round_selection, DbaVariant, GuardSet};
+use lre_eval::ScoreMatrix;
+use lre_serve::{
+    AdaptControl, AdaptReport, ScorerHandle, ScoringSystem, SystemBundle, VersionedScorer,
+    ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
+};
+use lre_svm::OneVsRest;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration as StdDuration;
+
+/// Checksum identifying a sealed bundle, as carried by [`Lineage`] and the
+/// serving [`ScorerHandle`]: CRC-32 over the full sealed byte stream.
+pub fn bundle_checksum(sealed: &[u8]) -> u32 {
+    crc32(sealed)
+}
+
+/// Adaptation-cycle tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptConfig {
+    /// Eq. 13 vote threshold `V` for pseudo-label selection.
+    pub v_threshold: u8,
+    /// Fewest buffered utterances a cycle will act on; below it the log is
+    /// left untouched and the cycle reports `ADAPT_INSUFFICIENT_DATA`.
+    pub min_utts: usize,
+    /// Most the candidate's guard EER may exceed the parent's before
+    /// rejection. Negative values force every candidate to be rejected
+    /// (the CI rollback drill).
+    pub max_eer_regress: f64,
+    /// Same slack for guard min-Cavg.
+    pub max_cavg_regress: f64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> AdaptConfig {
+        AdaptConfig {
+            v_threshold: 3,
+            min_utts: 8,
+            max_eer_regress: 0.02,
+            max_cavg_regress: 0.02,
+        }
+    }
+}
+
+/// Outcome counters (observability; mirrors the per-report outcomes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdaptCounters {
+    pub promoted: u64,
+    pub rejected_guard: u64,
+    pub insufficient_data: u64,
+    pub failed: u64,
+}
+
+struct CtlState {
+    /// Sealed bytes of the bundle currently installed in the handle.
+    current_bytes: Arc<Vec<u8>>,
+    /// Lineage generation of the current bundle (not the serving
+    /// generation — rollbacks advance the latter but not the former).
+    lineage_generation: u64,
+    /// The displaced model retained for rollback: the exact
+    /// [`VersionedScorer`] (and its sealed bytes) that was serving before
+    /// the last promotion.
+    previous: Option<(Arc<VersionedScorer>, Arc<Vec<u8>>)>,
+}
+
+/// The adaptation controller: owns the cycle logic and the rollback
+/// history for one serving handle.
+pub struct AdaptController {
+    handle: Arc<ScorerHandle>,
+    log: Arc<VoteLog>,
+    guard: GuardSet,
+    cfg: AdaptConfig,
+    state: Mutex<CtlState>,
+    promoted: AtomicU64,
+    rejected_guard: AtomicU64,
+    insufficient_data: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl AdaptController {
+    /// Wire a controller to the serving handle it adapts, the vote log the
+    /// engine taps into, the held-back guard set, and the sealed bytes of
+    /// the bundle currently installed in `handle` (validated by decode).
+    pub fn new(
+        handle: Arc<ScorerHandle>,
+        log: Arc<VoteLog>,
+        guard: GuardSet,
+        bundle_bytes: Vec<u8>,
+        cfg: AdaptConfig,
+    ) -> Result<AdaptController, ArtifactError> {
+        let bundle = SystemBundle::from_artifact_bytes(&bundle_bytes)?;
+        if bundle.subsystems.len() != guard.num_subsystems() {
+            return Err(ArtifactError::Corrupt("guard/bundle subsystem counts"));
+        }
+        let lineage_generation = bundle.lineage.generation;
+        Ok(AdaptController {
+            handle,
+            log,
+            guard,
+            cfg,
+            state: Mutex::new(CtlState {
+                current_bytes: Arc::new(bundle_bytes),
+                lineage_generation,
+                previous: None,
+            }),
+            promoted: AtomicU64::new(0),
+            rejected_guard: AtomicU64::new(0),
+            insufficient_data: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        })
+    }
+
+    pub fn counters(&self) -> AdaptCounters {
+        AdaptCounters {
+            promoted: self.promoted.load(Ordering::Relaxed),
+            rejected_guard: self.rejected_guard.load(Ordering::Relaxed),
+            insufficient_data: self.insufficient_data.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sealed bytes of the currently installed bundle (what a rollback of
+    /// the *next* promotion would restore).
+    pub fn current_bundle_bytes(&self) -> Arc<Vec<u8>> {
+        Arc::clone(
+            &self
+                .state
+                .lock()
+                .expect("adapt state poisoned")
+                .current_bytes,
+        )
+    }
+
+    /// Run one adaptation cycle synchronously. Never panics on bad data —
+    /// internal failures come back as `ADAPT_FAILED` reports.
+    pub fn run_cycle(&self) -> AdaptReport {
+        match self.try_cycle() {
+            Ok(report) => report,
+            Err(_) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                AdaptReport {
+                    outcome: ADAPT_FAILED,
+                    generation: self.handle.generation(),
+                    selected: 0,
+                    drained: 0,
+                }
+            }
+        }
+    }
+
+    fn try_cycle(&self) -> Result<AdaptReport, ArtifactError> {
+        let records = match self.log.drain_at_least(self.cfg.min_utts) {
+            Ok(r) => r,
+            Err(_) => {
+                self.insufficient_data.fetch_add(1, Ordering::Relaxed);
+                return Ok(AdaptReport {
+                    outcome: ADAPT_INSUFFICIENT_DATA,
+                    generation: self.handle.generation(),
+                    selected: 0,
+                    drained: 0,
+                });
+            }
+        };
+        let drained = records.len() as u32;
+
+        // Serialize cycles (and rollbacks) end to end: selection, retrain
+        // and swap must all act on one consistent parent.
+        let mut state = self.state.lock().expect("adapt state poisoned");
+        let parent_bytes = Arc::clone(&state.current_bytes);
+        let mut bundle = SystemBundle::from_artifact_bytes(&parent_bytes)?;
+
+        let num_subsystems = bundle.subsystems.len();
+        let pool = DurationPool::build(&records, num_subsystems)?;
+        let sel = dba_round_selection(&pool.score_refs(), self.cfg.v_threshold);
+        let selected = sel.num_selected() as u32;
+        if selected == 0 {
+            self.insufficient_data.fetch_add(1, Ordering::Relaxed);
+            return Ok(AdaptReport {
+                outcome: ADAPT_INSUFFICIENT_DATA,
+                generation: self.handle.generation(),
+                selected,
+                drained,
+            });
+        }
+
+        // Retrain every subsystem's VSM on the pseudo-labelled pool (M1:
+        // served utterances only — online adaptation has no original train
+        // set at hand), with the recipe frozen in the bundle.
+        let num_classes = bundle
+            .fusions
+            .first()
+            .ok_or(ArtifactError::Corrupt("bundle has no fusion backends"))?
+            .num_classes();
+        let cand_vsms: Vec<OneVsRest> = (0..num_subsystems)
+            .map(|q| {
+                let (xs, labels) =
+                    build_tr_dba(DbaVariant::M1, &sel.selected, &pool.svs[q], &[], &[]);
+                OneVsRest::train(
+                    &xs,
+                    &labels,
+                    num_classes,
+                    bundle.subsystems[q].builder.dim(),
+                    &bundle.svm,
+                )
+            })
+            .collect();
+
+        // The eval guard: candidate vs parent on the held-back trial set.
+        let parent_vsms: Vec<OneVsRest> = bundle.subsystems.iter().map(|s| s.vsm.clone()).collect();
+        let parent_report = self.guard.evaluate(&parent_vsms, &bundle.fusions);
+        let cand_report = self.guard.evaluate(&cand_vsms, &bundle.fusions);
+        let regressed = cand_report.eer > parent_report.eer + self.cfg.max_eer_regress
+            || cand_report.min_cavg > parent_report.min_cavg + self.cfg.max_cavg_regress;
+        if regressed {
+            self.rejected_guard.fetch_add(1, Ordering::Relaxed);
+            return Ok(AdaptReport {
+                outcome: ADAPT_REJECTED_GUARD,
+                generation: self.handle.generation(),
+                selected,
+                drained,
+            });
+        }
+
+        // Seal the candidate with its lineage, then promote atomically.
+        for (sub, vsm) in bundle.subsystems.iter_mut().zip(cand_vsms) {
+            sub.vsm = vsm;
+        }
+        bundle.lineage = lre_serve::Lineage {
+            generation: state.lineage_generation + 1,
+            parent_checksum: bundle_checksum(&parent_bytes),
+            selected_utts: selected,
+            v_threshold: self.cfg.v_threshold,
+        };
+        let cand_bytes = bundle.to_artifact_bytes();
+        let cand_checksum = bundle_checksum(&cand_bytes);
+        let system = ScoringSystem::from_bundle(bundle)?;
+        let displaced = self.handle.current();
+        let generation = self.handle.swap(Arc::new(system), cand_checksum);
+        state.previous = Some((displaced, parent_bytes));
+        state.current_bytes = Arc::new(cand_bytes);
+        state.lineage_generation += 1;
+        self.promoted.fetch_add(1, Ordering::Relaxed);
+        Ok(AdaptReport {
+            outcome: ADAPT_PROMOTED,
+            generation,
+            selected,
+            drained,
+        })
+    }
+
+    /// Restore the model displaced by the last promotion — the exact
+    /// retained object, so the handle's checksum returns to the parent's
+    /// bit-identically — under a fresh (still monotonic) generation.
+    /// Returns the new generation, or `None` if there is nothing to roll
+    /// back to (no promotion since startup or since the last rollback).
+    pub fn rollback(&self) -> Option<u64> {
+        let mut state = self.state.lock().expect("adapt state poisoned");
+        let (scorer, bytes) = state.previous.take()?;
+        let generation = self.handle.rollback_to(&scorer);
+        state.current_bytes = Arc::clone(&bytes);
+        state.lineage_generation = state.lineage_generation.saturating_sub(1);
+        Some(generation)
+    }
+}
+
+impl AdaptControl for AdaptController {
+    fn adapt_now(&self) -> AdaptReport {
+        self.run_cycle()
+    }
+}
+
+/// The drained log regrouped the way the offline DBA round sees its test
+/// pool: scores and supervectors per duration, arrival order within each.
+struct DurationPool {
+    /// `[duration][subsystem]`: one OvR row per record, arrival order.
+    scores: Vec<Vec<ScoreMatrix>>,
+    /// `[subsystem][duration][utt]`, aligned with `scores` row order —
+    /// exactly the `test_svs` shape [`build_tr_dba`] consumes.
+    svs: Vec<Vec<Vec<lre_vsm::SparseVec>>>,
+}
+
+impl DurationPool {
+    fn build(records: &[VoteRecord], num_subsystems: usize) -> Result<DurationPool, ArtifactError> {
+        let num_durations = Duration::all().len();
+        let num_classes = records
+            .first()
+            .map(|r| r.fused.len())
+            .ok_or(ArtifactError::Corrupt("empty adaptation pool"))?;
+        let mut scores: Vec<Vec<ScoreMatrix>> = (0..num_durations)
+            .map(|_| {
+                (0..num_subsystems)
+                    .map(|_| ScoreMatrix::new(num_classes))
+                    .collect()
+            })
+            .collect();
+        let mut svs: Vec<Vec<Vec<lre_vsm::SparseVec>>> = (0..num_subsystems)
+            .map(|_| (0..num_durations).map(|_| Vec::new()).collect())
+            .collect();
+        for rec in records {
+            if rec.subsystem_scores.len() != num_subsystems
+                || rec.supervectors.len() != num_subsystems
+            {
+                return Err(ArtifactError::Corrupt("vote record subsystem count"));
+            }
+            let di = rec.duration_index;
+            if di >= num_durations {
+                return Err(ArtifactError::Corrupt("vote record duration index"));
+            }
+            for q in 0..num_subsystems {
+                scores[di][q].push_row(&rec.subsystem_scores[q]);
+                svs[q][di].push(rec.supervectors[q].clone());
+            }
+        }
+        Ok(DurationPool { scores, svs })
+    }
+
+    fn score_refs(&self) -> Vec<Vec<&ScoreMatrix>> {
+        self.scores
+            .iter()
+            .map(|per_dur| per_dur.iter().collect())
+            .collect()
+    }
+}
+
+/// A background thread running [`AdaptController::run_cycle`] on a fixed
+/// cadence, with prompt shutdown.
+pub struct AdaptWorker {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AdaptWorker {
+    /// Run a cycle every `interval`, reporting each outcome to `on_cycle`.
+    pub fn spawn<F>(ctl: Arc<AdaptController>, interval: StdDuration, on_cycle: F) -> AdaptWorker
+    where
+        F: Fn(AdaptReport) + Send + 'static,
+    {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let (flag, cv) = &*stop;
+                let mut stopped = flag.lock().expect("worker stop flag poisoned");
+                loop {
+                    let (guard, timeout) = cv
+                        .wait_timeout(stopped, interval)
+                        .expect("worker stop flag poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        drop(stopped);
+                        on_cycle(ctl.run_cycle());
+                        stopped = flag.lock().expect("worker stop flag poisoned");
+                    }
+                }
+            })
+        };
+        AdaptWorker {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop the cadence and join the thread (idempotent; also runs on
+    /// drop).
+    pub fn stop(&mut self) {
+        let (flag, cv) = &*self.stop;
+        *flag.lock().expect("worker stop flag poisoned") = true;
+        cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdaptWorker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

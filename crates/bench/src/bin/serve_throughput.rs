@@ -146,6 +146,7 @@ fn main() {
                 queue_capacity: (args.inflight * 4).max(64),
             },
             max_inflight: args.inflight,
+            max_global_inflight: 0,
         },
     )
     .expect("server start");

@@ -70,37 +70,77 @@ pub fn baseline_votes(exp: &Experiment, duration: Duration) -> VoteMatrix {
     vote_matrix(&refs)
 }
 
-/// Run DBA end to end for one `(variant, V)` cell: vote over the *entire*
-/// test pool (all durations), select `Tr_DBA`, retrain every subsystem's
-/// VSM with the same one-vs-rest criterion, and rescore every test split
-/// plus the dev set.
-pub fn run_dba(exp: &Experiment, variant: DbaVariant, v_threshold: u8) -> DbaOutcome {
-    // Steps c-e per duration; pool the selections.
-    let mut selected: Vec<Vec<PseudoLabel>> = Vec::new();
-    let mut total = 0usize;
-    let mut wrong = 0usize;
-    for &d in Duration::all().iter() {
-        let votes = baseline_votes(exp, d);
-        let sel = select_tr_dba(&votes, v_threshold);
-        let truth = &exp.test_labels[Experiment::duration_index(d)];
-        wrong += sel.iter().filter(|p| p.label != truth[p.utt]).count();
-        total += sel.len();
-        selected.push(sel);
+/// One round of DBA selection (steps c–e): the pooled `Tr_DBA` selection
+/// plus the Eq. 15 criterion counts, computed from one round's scores.
+///
+/// This is the single implementation of the per-round vote-and-select
+/// logic. [`run_dba`], [`run_dba_iterated`] and the online adaptation
+/// worker (`lre-adapt`) all call it, so every consumer applies the
+/// identical Eq. 13 rule to identically shaped inputs.
+pub struct DbaSelection {
+    /// Pseudo-labelled selections, indexed like the outer (duration) index
+    /// of the input scores.
+    pub selected: Vec<Vec<PseudoLabel>>,
+    /// `M_n` of Eq. 15 per subsystem: pooled count of utterances that fit
+    /// the single-positive confidence criterion.
+    pub criterion_counts: Vec<usize>,
+}
+
+impl DbaSelection {
+    /// Total number of selected utterances across durations.
+    pub fn num_selected(&self) -> usize {
+        self.selected.iter().map(Vec::len).sum()
     }
-    let selection_error_rate = if total == 0 {
-        0.0
-    } else {
-        wrong as f64 / total as f64
-    };
+}
 
-    // Eq. 15 criterion counts, pooled over durations.
-    let criterion_counts: Vec<usize> = exp
-        .baseline_test_scores
+/// Vote and select over one round's scores, indexed
+/// `scores[duration][subsystem]` (every duration must list the same
+/// subsystems in the same order).
+pub fn dba_round_selection(scores: &[Vec<&ScoreMatrix>], v_threshold: u8) -> DbaSelection {
+    let selected: Vec<Vec<PseudoLabel>> = scores
         .iter()
-        .map(|per_dur| per_dur.iter().map(|m| vote_matrix(&[m]).num_voted()).sum())
+        .map(|refs| select_tr_dba(&vote_matrix(refs), v_threshold))
         .collect();
+    let num_subsystems = scores.first().map_or(0, Vec::len);
+    let criterion_counts: Vec<usize> = (0..num_subsystems)
+        .map(|q| {
+            scores
+                .iter()
+                .map(|refs| vote_matrix(&[refs[q]]).num_voted())
+                .sum()
+        })
+        .collect();
+    DbaSelection {
+        selected,
+        criterion_counts,
+    }
+}
 
-    // Steps e-f: build Tr_DBA per subsystem (pooled) and retrain once.
+/// Pooled pseudo-label error rate of a selection against truth labels
+/// (Table 1's "error rate" — truth is used for *evaluation* only; online
+/// adaptation has no truth and never calls this). `truth` is indexed
+/// `[duration][utt]`.
+pub fn pooled_selection_error(selected: &[Vec<PseudoLabel>], truth: &[Vec<usize>]) -> f64 {
+    let total: usize = selected.iter().map(Vec::len).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let wrong: usize = selected
+        .iter()
+        .zip(truth)
+        .map(|(sel, t)| sel.iter().filter(|p| p.label != t[p.utt]).count())
+        .sum();
+    wrong as f64 / total as f64
+}
+
+/// Steps e–f for one round: build `Tr_DBA` per subsystem from the pooled
+/// selections, retrain every VSM, and rescore every test split plus the
+/// dev set. Returns `(test_scores[duration][subsystem], dev_scores)`.
+fn retrain_and_rescore(
+    exp: &Experiment,
+    variant: DbaVariant,
+    selected: &[Vec<PseudoLabel>],
+) -> (Vec<Vec<ScoreMatrix>>, Vec<ScoreMatrix>) {
     let mut test_scores: Vec<Vec<ScoreMatrix>> = Duration::all()
         .iter()
         .map(|_| Vec::with_capacity(exp.num_subsystems()))
@@ -109,7 +149,7 @@ pub fn run_dba(exp: &Experiment, variant: DbaVariant, v_threshold: u8) -> DbaOut
     for q in 0..exp.num_subsystems() {
         let (xs, labels) = build_tr_dba(
             variant,
-            &selected,
+            selected,
             &exp.test_svs[q],
             &exp.train_svs[q],
             &exp.train_labels,
@@ -132,16 +172,44 @@ pub fn run_dba(exp: &Experiment, variant: DbaVariant, v_threshold: u8) -> DbaOut
         }
         dev_scores.push(score_set(&vsm, &exp.dev_svs[q]));
     }
+    (test_scores, dev_scores)
+}
 
+/// Assemble one round's outcome from its voting scores.
+fn run_round(
+    exp: &Experiment,
+    variant: DbaVariant,
+    v_threshold: u8,
+    scores: &[Vec<&ScoreMatrix>],
+) -> DbaOutcome {
+    let sel = dba_round_selection(scores, v_threshold);
+    let selection_error_rate = pooled_selection_error(&sel.selected, &exp.test_labels);
+    let (test_scores, dev_scores) = retrain_and_rescore(exp, variant, &sel.selected);
     DbaOutcome {
         variant,
         v_threshold,
-        selected,
+        selected: sel.selected,
         selection_error_rate,
         test_scores,
         dev_scores,
-        criterion_counts,
+        criterion_counts: sel.criterion_counts,
     }
+}
+
+/// Run DBA end to end for one `(variant, V)` cell: vote over the *entire*
+/// test pool (all durations), select `Tr_DBA`, retrain every subsystem's
+/// VSM with the same one-vs-rest criterion, and rescore every test split
+/// plus the dev set.
+pub fn run_dba(exp: &Experiment, variant: DbaVariant, v_threshold: u8) -> DbaOutcome {
+    let scores: Vec<Vec<&ScoreMatrix>> = (0..Duration::all().len())
+        .map(|di| {
+            exp.baseline_test_scores
+                .iter()
+                .map(|per_dur| &per_dur[di])
+                .collect()
+        })
+        .collect();
+    run_round(exp, variant, v_threshold, &scores)
 }
 
 /// Run several DBA rounds: each round votes on the *previous* round's test
@@ -159,84 +227,31 @@ pub fn run_dba_iterated(
     let mut outcomes: Vec<DbaOutcome> = Vec::with_capacity(rounds);
     for round in 0..rounds {
         // Score source for voting: baseline on round 0, previous round after.
-        let score_for = |di: usize, q: usize| -> &ScoreMatrix {
-            match round {
-                0 => &exp.baseline_test_scores[q][di],
-                _ => &outcomes[round - 1].test_scores[di][q],
-            }
-        };
-
-        let mut selected: Vec<Vec<PseudoLabel>> = Vec::new();
-        let mut total = 0usize;
-        let mut wrong = 0usize;
-        for (di, _d) in Duration::all().iter().enumerate() {
-            let refs: Vec<&ScoreMatrix> = (0..exp.num_subsystems())
-                .map(|q| score_for(di, q))
-                .collect();
-            let votes = vote_matrix(&refs);
-            let sel = select_tr_dba(&votes, v_threshold);
-            let truth = &exp.test_labels[di];
-            wrong += sel.iter().filter(|p| p.label != truth[p.utt]).count();
-            total += sel.len();
-            selected.push(sel);
-        }
-        let selection_error_rate = if total == 0 {
-            0.0
-        } else {
-            wrong as f64 / total as f64
-        };
-        let criterion_counts: Vec<usize> = (0..exp.num_subsystems())
-            .map(|q| {
-                (0..Duration::all().len())
-                    .map(|di| vote_matrix(&[score_for(di, q)]).num_voted())
-                    .sum()
+        let scores: Vec<Vec<&ScoreMatrix>> = (0..Duration::all().len())
+            .map(|di| {
+                (0..exp.num_subsystems())
+                    .map(|q| match round {
+                        0 => &exp.baseline_test_scores[q][di],
+                        _ => &outcomes[round - 1].test_scores[di][q],
+                    })
+                    .collect()
             })
             .collect();
-
-        let mut test_scores: Vec<Vec<ScoreMatrix>> =
-            Duration::all().iter().map(|_| Vec::new()).collect();
-        let mut dev_scores = Vec::new();
-        for q in 0..exp.num_subsystems() {
-            let (xs, labels) = build_tr_dba(
-                variant,
-                &selected,
-                &exp.test_svs[q],
-                &exp.train_svs[q],
-                &exp.train_labels,
-            );
-            let vsm = if xs.is_empty() {
-                exp.baseline_vsms[q].clone()
-            } else {
-                OneVsRest::train(
-                    &xs,
-                    &labels,
-                    K,
-                    exp.frontends[q].builder.dim(),
-                    &exp.cfg.svm,
-                )
-            };
-            for (di, per_dur) in test_scores.iter_mut().enumerate() {
-                per_dur.push(score_set(&vsm, &exp.test_svs[q][di]));
-            }
-            dev_scores.push(score_set(&vsm, &exp.dev_svs[q]));
-        }
-
-        outcomes.push(DbaOutcome {
-            variant,
-            v_threshold,
-            selected,
-            selection_error_rate,
-            test_scores,
-            dev_scores,
-            criterion_counts,
-        });
+        outcomes.push(run_round(exp, variant, v_threshold, &scores));
     }
     outcomes
 }
 
-/// Assemble `Tr_DBA` for one subsystem from the pooled selections.
-/// `test_svs` is indexed `[duration][utt]`.
-fn build_tr_dba(
+/// Assemble `Tr_DBA` for one subsystem from the pooled selections, in the
+/// canonical order: duration-major, selection order within a duration,
+/// with the original training data appended for M2. `test_svs` is indexed
+/// `[duration][utt]`.
+///
+/// Public because the online adaptation worker (`lre-adapt`) assembles its
+/// pseudo-labelled training set through this same function — the ordering
+/// is part of the bit-identity contract between an online adaptation cycle
+/// and an offline [`run_dba`] over the same selected utterances.
+pub fn build_tr_dba(
     variant: DbaVariant,
     selected: &[Vec<PseudoLabel>],
     test_svs: &[Vec<SparseVec>],

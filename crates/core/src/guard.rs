@@ -1,0 +1,216 @@
+//! The eval guard's held-back trial set.
+//!
+//! A [`GuardSet`] snapshots the dev split of the experiment a bundle was
+//! trained from — per-subsystem TFLLR-scaled supervectors plus truth
+//! labels — as its own sealed artifact. The online adaptation worker
+//! (`lre-adapt`) shadow-scores every candidate bundle on it *without
+//! decoding audio*: supervector × VSM × duration-matched fusion is all
+//! linear algebra, so a guard evaluation costs milliseconds where a
+//! decode-path evaluation would cost minutes. A candidate that regresses
+//! pooled EER or min-Cavg past the operator's threshold is rejected before
+//! it ever serves a request.
+
+use crate::experiment::Experiment;
+use lre_artifact::{ArtifactError, ArtifactRead, ArtifactReader, ArtifactWrite, ArtifactWriter};
+use lre_backend::LdaMmiFusion;
+use lre_eval::{min_cavg, pooled_eer, CavgParams, ScoreMatrix};
+use lre_svm::OneVsRest;
+use lre_vsm::SparseVec;
+
+/// A held-back trial set: dev supervectors and truth labels, frozen at
+/// bundle-training time.
+pub struct GuardSet {
+    /// Truth label per dev utterance.
+    pub labels: Vec<usize>,
+    /// Scaled supervectors, indexed `[subsystem][utt]`.
+    pub svs: Vec<Vec<SparseVec>>,
+}
+
+/// Guard metrics for one model: per-duration-backend pooled EER and
+/// min-Cavg over the trial set, averaged across the duration backends
+/// (the dev split is not duration-partitioned — each fusion backend scores
+/// the whole set, exactly as fusion training does).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardReport {
+    pub eer: f64,
+    pub min_cavg: f64,
+}
+
+impl GuardSet {
+    /// Snapshot the dev split of a built experiment (borrows — call before
+    /// the experiment is consumed into a bundle).
+    pub fn from_experiment(exp: &Experiment) -> GuardSet {
+        GuardSet {
+            labels: exp.dev_labels.clone(),
+            svs: exp.dev_svs.clone(),
+        }
+    }
+
+    pub fn num_utts(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn num_subsystems(&self) -> usize {
+        self.svs.len()
+    }
+
+    /// Shadow-score a candidate's VSMs through its fusion backends and
+    /// measure the guard metrics. `vsms` must be indexed like `svs`;
+    /// `fusions` like [`Duration::all`].
+    ///
+    /// # Panics
+    ///
+    /// If the subsystem counts disagree (a guard set only ever meets
+    /// candidates descended from the bundle it was written beside).
+    pub fn evaluate(&self, vsms: &[OneVsRest], fusions: &[LdaMmiFusion]) -> GuardReport {
+        assert_eq!(vsms.len(), self.svs.len(), "guard/candidate subsystems");
+        let num_classes = vsms.first().map_or(0, OneVsRest::num_classes);
+        let mats: Vec<ScoreMatrix> = vsms
+            .iter()
+            .zip(&self.svs)
+            .map(|(vsm, svs)| {
+                let mut m = ScoreMatrix::new(num_classes);
+                for sv in svs {
+                    m.push_row(&vsm.scores(sv));
+                }
+                m
+            })
+            .collect();
+        let refs: Vec<&ScoreMatrix> = mats.iter().collect();
+        let params = CavgParams::default();
+        let mut eer_sum = 0.0;
+        let mut cavg_sum = 0.0;
+        for fusion in fusions {
+            let fused = fusion.apply(&refs);
+            eer_sum += pooled_eer(&fused, &self.labels);
+            cavg_sum += min_cavg(&fused, &self.labels, &params);
+        }
+        let n = fusions.len().max(1) as f64;
+        GuardReport {
+            eer: eer_sum / n,
+            min_cavg: cavg_sum / n,
+        }
+    }
+}
+
+impl ArtifactWrite for GuardSet {
+    const KIND: [u8; 4] = *b"GRDS";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut ArtifactWriter) {
+        let labels: Vec<u32> = self.labels.iter().map(|&l| l as u32).collect();
+        w.put_u32_slice(&labels);
+        w.put_u32(self.svs.len() as u32);
+        for per_sub in &self.svs {
+            w.put_u32(per_sub.len() as u32);
+            for sv in per_sub {
+                sv.write_nested(w);
+            }
+        }
+    }
+}
+
+impl ArtifactRead for GuardSet {
+    fn read_payload(r: &mut ArtifactReader) -> Result<GuardSet, ArtifactError> {
+        let labels: Vec<usize> = r.get_u32_slice()?.into_iter().map(|l| l as usize).collect();
+        let nq = r.get_u32()? as usize;
+        let svs: Vec<Vec<SparseVec>> = (0..nq)
+            .map(|_| {
+                let n = r.get_u32()? as usize;
+                (0..n).map(|_| SparseVec::read_nested(r)).collect()
+            })
+            .collect::<Result<_, _>>()?;
+        if svs.iter().any(|per_sub| per_sub.len() != labels.len()) {
+            return Err(ArtifactError::Corrupt(
+                "guard set utterance counts disagree",
+            ));
+        }
+        Ok(GuardSet { labels, svs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lre_artifact::check_damage_detected;
+    use lre_corpus::Duration;
+    use lre_svm::SvmTrainConfig;
+
+    fn tiny_guard() -> GuardSet {
+        // 3 classes, 2 subsystems, 6 utts with separable features.
+        let sv = |k: usize, v: f32| SparseVec::from_pairs(vec![(k as u32, v), (3, 0.5)]);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let svs: Vec<Vec<SparseVec>> = (0..2)
+            .map(|q| {
+                labels
+                    .iter()
+                    .map(|&l| sv(l, 1.0 + q as f32 * 0.25))
+                    .collect()
+            })
+            .collect();
+        GuardSet { labels, svs }
+    }
+
+    fn tiny_models(g: &GuardSet) -> (Vec<OneVsRest>, Vec<LdaMmiFusion>) {
+        let cfg = SvmTrainConfig::default();
+        let vsms: Vec<OneVsRest> = g
+            .svs
+            .iter()
+            .map(|svs| OneVsRest::train(svs, &g.labels, 3, 4, &cfg))
+            .collect();
+        let mats: Vec<ScoreMatrix> = vsms
+            .iter()
+            .zip(&g.svs)
+            .map(|(vsm, svs)| {
+                let mut m = ScoreMatrix::new(3);
+                for sv in svs {
+                    m.push_row(&vsm.scores(sv));
+                }
+                m
+            })
+            .collect();
+        let refs: Vec<&ScoreMatrix> = mats.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let fusions: Vec<LdaMmiFusion> = Duration::all()
+            .iter()
+            .map(|_| {
+                LdaMmiFusion::train(
+                    &refs,
+                    &g.labels,
+                    &weights,
+                    &lre_backend::MmiConfig::default(),
+                )
+            })
+            .collect();
+        (vsms, fusions)
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_bit() {
+        let g = tiny_guard();
+        let back = GuardSet::from_artifact_bytes(&g.to_artifact_bytes()).unwrap();
+        assert_eq!(back.labels, g.labels);
+        assert_eq!(back.num_subsystems(), 2);
+        for (a, b) in back.svs.iter().flatten().zip(g.svs.iter().flatten()) {
+            let bits = |s: &SparseVec| s.iter().map(|(i, v)| (i, v.to_bits())).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b));
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_separable_models_score_well() {
+        let g = tiny_guard();
+        let (vsms, fusions) = tiny_models(&g);
+        let a = g.evaluate(&vsms, &fusions);
+        let b = g.evaluate(&vsms, &fusions);
+        assert_eq!(a, b);
+        // Perfectly separable toy data: the guard metrics must be clean.
+        assert!(a.eer < 0.25, "eer {}", a.eer);
+        assert!(a.min_cavg < 0.25, "min_cavg {}", a.min_cavg);
+    }
+
+    #[test]
+    fn damage_is_detected() {
+        check_damage_detected::<GuardSet>(&tiny_guard().to_artifact_bytes(), 7);
+    }
+}

@@ -45,11 +45,16 @@ pub mod cache;
 pub mod dba;
 pub mod experiment;
 pub mod fusion_pipeline;
+pub mod guard;
 pub mod subsystem;
 pub mod vote;
 
-pub use dba::{run_dba, run_dba_iterated, DbaOutcome, DbaVariant};
+pub use dba::{
+    build_tr_dba, dba_round_selection, pooled_selection_error, run_dba, run_dba_iterated,
+    DbaOutcome, DbaSelection, DbaVariant,
+};
 pub use experiment::{BaselineRow, Experiment, ExperimentConfig};
 pub use fusion_pipeline::{fuse, fuse_duration, FusedSystem};
+pub use guard::{GuardReport, GuardSet};
 pub use subsystem::{balanced_chunk_order, standard_subsystems, Frontend, SubsystemSpec};
 pub use vote::{select_tr_dba, vote_matrix, PseudoLabel, VoteMatrix};

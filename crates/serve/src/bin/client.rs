@@ -5,8 +5,12 @@
 //! lre-client --addr HOST:PORT [--utts N] [--scale smoke|demo|paper]
 //!            [--seed N] [--duration 30s|10s|3s] [--inflight N]
 //!            [--deadline-ms N] [--verify --bundle PATH]
-//!            [--stats] [--fuzz] [--shutdown]
+//!            [--stats] [--fuzz] [--adapt] [--shutdown]
 //! ```
+//!
+//! `--adapt` asks the server to run one adaptation cycle (after any
+//! scoring) and prints the report — outcome, serving generation, selection
+//! counts; it exits non-zero if the server has no adaptation controller.
 //!
 //! `--inflight 1` (the default) speaks protocol v1, one request at a time.
 //! `--inflight N>1` speaks v2: up to N requests ride the connection at
@@ -29,7 +33,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: lre-client --addr HOST:PORT [--utts N] [--scale smoke|demo|paper] \
          [--seed N] [--duration 30s|10s|3s] [--inflight N] [--deadline-ms N] \
-         [--verify --bundle PATH] [--stats] [--fuzz] [--shutdown]"
+         [--verify --bundle PATH] [--stats] [--fuzz] [--adapt] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -67,7 +71,10 @@ fn print_stats(s: &StatsSnapshot, extended: bool) {
         0.0
     };
     let ext = if extended {
-        format!(" expired={} failed={}", s.expired, s.failed)
+        format!(
+            " expired={} failed={} shed_global={} generation={} swaps={} rollbacks={}",
+            s.expired, s.failed, s.shed_global, s.generation, s.swaps, s.rollbacks
+        )
     } else {
         String::new()
     };
@@ -95,6 +102,7 @@ fn main() {
     let mut bundle_path: Option<PathBuf> = None;
     let mut stats = false;
     let mut fuzz = false;
+    let mut adapt = false;
     let mut shutdown = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -163,6 +171,7 @@ fn main() {
             }
             "--stats" => stats = true,
             "--fuzz" => fuzz = true,
+            "--adapt" => adapt = true,
             "--shutdown" => shutdown = true,
             other => usage(&format!("unknown argument {other}")),
         }
@@ -294,7 +303,8 @@ fn main() {
                     }
                 }
             }
-            if shutdown {
+            // With --adapt, shutdown waits for the adaptation report below.
+            if shutdown && !adapt {
                 if let Err(e) = client.shutdown() {
                     eprintln!("error: shutdown request failed: {e}");
                     std::process::exit(1);
@@ -328,7 +338,7 @@ fn main() {
                     }
                 }
             }
-            if shutdown {
+            if shutdown && !adapt {
                 if let Err(e) = client.shutdown() {
                     eprintln!("error: shutdown request failed: {e}");
                     std::process::exit(1);
@@ -348,6 +358,28 @@ fn main() {
                  ({batched} scored in batches > 1, {expired} deadline-expired)",
                 utts - expired
             );
+        }
+    }
+
+    if adapt {
+        let mut client = connect_with_retry(&addr, || Client::connect(&addr));
+        match client.adapt() {
+            Ok(report) => {
+                let outcome = match report.outcome {
+                    lre_serve::ADAPT_PROMOTED => "promoted",
+                    lre_serve::ADAPT_REJECTED_GUARD => "rejected_guard",
+                    lre_serve::ADAPT_INSUFFICIENT_DATA => "insufficient_data",
+                    _ => "failed",
+                };
+                println!(
+                    "adapt: outcome={outcome} generation={} selected={} drained={}",
+                    report.generation, report.selected, report.drained
+                );
+            }
+            Err(e) => {
+                eprintln!("error: adapt request failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

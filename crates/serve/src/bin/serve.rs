@@ -3,8 +3,12 @@
 //! ```text
 //! lre-serve --bundle PATH [--addr 127.0.0.1:7700] [--workers N]
 //!           [--max-batch N] [--max-wait-ms N] [--queue N]
-//!           [--max-inflight N] [--lazy]
+//!           [--max-inflight N] [--max-global-inflight N] [--lazy]
 //! ```
+//!
+//! `--max-global-inflight` caps score requests outstanding across *all*
+//! connections (0 = unlimited), on top of the per-connection window;
+//! refusals surface as `STATUS_OVERLOADED` and the `shed_global` counter.
 //!
 //! `--lazy` opens the bundle through its offset table and decodes each
 //! subsystem section on first use, so startup cost is the header parse
@@ -20,7 +24,8 @@ use std::time::Duration;
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: lre-serve --bundle PATH [--addr HOST:PORT] [--workers N] \
-         [--max-batch N] [--max-wait-ms N] [--queue N] [--max-inflight N] [--lazy]"
+         [--max-batch N] [--max-wait-ms N] [--queue N] [--max-inflight N] \
+         [--max-global-inflight N] [--lazy]"
     );
     std::process::exit(2);
 }
@@ -73,6 +78,10 @@ fn main() {
             "--max-inflight" => {
                 i += 1;
                 cfg.max_inflight = parse_num(&args, i, "--max-inflight");
+            }
+            "--max-global-inflight" => {
+                i += 1;
+                cfg.max_global_inflight = parse_num(&args, i, "--max-global-inflight");
             }
             "--lazy" => lazy = true,
             other => usage(&format!("unknown argument {other}")),

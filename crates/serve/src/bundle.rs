@@ -10,14 +10,20 @@
 //! in a fresh process reproduces the saved experiment's fused scores to
 //! the last bit (covered by `tests/serve_roundtrip.rs`).
 //!
-//! ## Layout (container version 2)
+//! ## Layout (container version 3)
 //!
-//! Version 2 stores each subsystem as an independently sealed artifact
+//! Version 2 stored each subsystem as an independently sealed artifact
 //! blob addressed by a `u64` **section offset table**, so a reader can map
-//! one subsystem's bytes without decoding any other:
+//! one subsystem's bytes without decoding any other. Version 3 adds the
+//! SVM training configuration (so online adaptation retrains with exactly
+//! the recipe the bundle was built with) and a [`Lineage`] section tying a
+//! boosted bundle back to its parent:
 //!
 //! ```text
 //! seed (u64) · scale name (str) · N-gram order (u32)
+//! svm config (inline "SVCF" payload)
+//! lineage: generation (u64) · parent checksum (u32) ·
+//!          selected utts (u32) · vote threshold (u8)
 //! fusion count (u32) · fusion payloads (inline)
 //! subsystem count n (u32) · offsets (u64 slice, n+1 entries)
 //! section region: n concatenated sealed "SUBS" artifacts
@@ -37,7 +43,7 @@ use lre_corpus::Duration;
 use lre_dba::{fuse_duration, standard_subsystems, Experiment};
 use lre_eval::ScoreMatrix;
 use lre_lattice::DecoderConfig;
-use lre_svm::OneVsRest;
+use lre_svm::{OneVsRest, SvmTrainConfig};
 use lre_vsm::{SupervectorBuilder, TfllrScaler};
 use std::path::Path;
 
@@ -54,6 +60,37 @@ pub struct SubsystemBundle {
     pub vsm: OneVsRest,
 }
 
+/// Provenance of an online-adapted (boosted) bundle: which bundle it was
+/// boosted from and how the pseudo-labels that retrained it were chosen.
+/// A freshly trained bundle carries [`Lineage::root`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lineage {
+    /// How many adaptation generations separate this bundle from its
+    /// original offline training run (0 = trained offline).
+    pub generation: u64,
+    /// CRC-32 of the sealed parent bundle (0 for a root bundle). This is
+    /// what guarded rollback restores, bit-identically.
+    pub parent_checksum: u32,
+    /// Pseudo-labeled utterances selected into `Tr_DBA` for this
+    /// generation's retrain (0 for a root bundle).
+    pub selected_utts: u32,
+    /// Vote threshold `V` (Eq. 13) used for the selection (0 for a root
+    /// bundle).
+    pub v_threshold: u8,
+}
+
+impl Lineage {
+    /// The lineage of a bundle trained offline, not boosted from anything.
+    pub fn root() -> Lineage {
+        Lineage {
+            generation: 0,
+            parent_checksum: 0,
+            selected_utts: 0,
+            v_threshold: 0,
+        }
+    }
+}
+
 /// A complete scoring system: all subsystems plus per-duration fusion.
 pub struct SystemBundle {
     /// Seed of the experiment the bundle was trained from (provenance).
@@ -62,6 +99,12 @@ pub struct SystemBundle {
     pub scale_name: String,
     /// Supervector N-gram order (must agree with every builder).
     pub max_order: u32,
+    /// SVM training recipe the VSMs were trained with; online adaptation
+    /// retrains with exactly this configuration so an offline rerun over
+    /// the same selection reproduces the boosted scores bit-identically.
+    pub svm: SvmTrainConfig,
+    /// Adaptation provenance ([`Lineage::root`] for offline bundles).
+    pub lineage: Lineage,
     pub subsystems: Vec<SubsystemBundle>,
     /// Fusion backends indexed like [`Duration::all`].
     pub fusions: Vec<LdaMmiFusion>,
@@ -117,6 +160,8 @@ impl SystemBundle {
             seed: cfg.seed,
             scale_name: cfg.scale.name().to_string(),
             max_order: cfg.max_order as u32,
+            svm: cfg.svm,
+            lineage: Lineage::root(),
             subsystems,
             fusions,
         }
@@ -176,15 +221,35 @@ struct BundleHeader {
     seed: u64,
     scale_name: String,
     max_order: u32,
+    svm: SvmTrainConfig,
+    lineage: Lineage,
     fusions: Vec<LdaMmiFusion>,
     /// Section offsets, relative to the region start; `n + 1` entries.
     offsets: Vec<u64>,
+}
+
+fn write_lineage(w: &mut ArtifactWriter, l: &Lineage) {
+    w.put_u64(l.generation);
+    w.put_u32(l.parent_checksum);
+    w.put_u32(l.selected_utts);
+    w.put_u8(l.v_threshold);
+}
+
+fn read_lineage(r: &mut ArtifactReader) -> Result<Lineage, ArtifactError> {
+    Ok(Lineage {
+        generation: r.get_u64()?,
+        parent_checksum: r.get_u32()?,
+        selected_utts: r.get_u32()?,
+        v_threshold: r.get_u8()?,
+    })
 }
 
 fn read_header(r: &mut ArtifactReader) -> Result<BundleHeader, ArtifactError> {
     let seed = r.get_u64()?;
     let scale_name = r.get_str()?;
     let max_order = r.get_u32()?;
+    let svm = SvmTrainConfig::read_payload(r)?;
+    let lineage = read_lineage(r)?;
     let nf = r.get_u32()? as usize;
     let fusions: Vec<LdaMmiFusion> = (0..nf)
         .map(|_| LdaMmiFusion::read_payload(r))
@@ -215,6 +280,8 @@ fn read_header(r: &mut ArtifactReader) -> Result<BundleHeader, ArtifactError> {
         seed,
         scale_name,
         max_order,
+        svm,
+        lineage,
         fusions,
         offsets,
     })
@@ -222,12 +289,14 @@ fn read_header(r: &mut ArtifactReader) -> Result<BundleHeader, ArtifactError> {
 
 impl ArtifactWrite for SystemBundle {
     const KIND: [u8; 4] = *b"BNDL";
-    const VERSION: u32 = 2;
+    const VERSION: u32 = 3;
 
     fn write_payload(&self, w: &mut ArtifactWriter) {
         w.put_u64(self.seed);
         w.put_str(&self.scale_name);
         w.put_u32(self.max_order);
+        self.svm.write_payload(w);
+        write_lineage(w, &self.lineage);
         w.put_u32(self.fusions.len() as u32);
         for f in &self.fusions {
             f.write_payload(w);
@@ -274,6 +343,8 @@ impl ArtifactRead for SystemBundle {
             seed: h.seed,
             scale_name: h.scale_name,
             max_order: h.max_order,
+            svm: h.svm,
+            lineage: h.lineage,
             subsystems,
             fusions: h.fusions,
         })
@@ -291,6 +362,10 @@ pub struct LazyBundle {
     pub seed: u64,
     pub scale_name: String,
     pub max_order: u32,
+    /// SVM training recipe (see [`SystemBundle::svm`]).
+    pub svm: SvmTrainConfig,
+    /// Adaptation provenance (see [`SystemBundle::lineage`]).
+    pub lineage: Lineage,
     fusions: Vec<LdaMmiFusion>,
     /// The entire sealed container.
     bytes: Vec<u8>,
@@ -303,27 +378,23 @@ pub struct LazyBundle {
 impl LazyBundle {
     /// Open a sealed bundle from bytes: container checks + header only.
     pub fn open_bytes(bytes: Vec<u8>) -> Result<LazyBundle, ArtifactError> {
-        let (seed, scale_name, max_order, fusions, offsets, region_start) = {
+        let (h, region_start) = {
             let payload = open(&bytes, SystemBundle::KIND, SystemBundle::VERSION)?;
             let mut r = ArtifactReader::new(payload);
             let h = read_header(&mut r)?;
-            (
-                h.seed,
-                h.scale_name,
-                h.max_order,
-                h.fusions,
-                h.offsets,
-                HEADER_LEN + r.position(),
-            )
+            let region_start = HEADER_LEN + r.position();
+            (h, region_start)
         };
         Ok(LazyBundle {
-            seed,
-            scale_name,
-            max_order,
-            fusions,
+            seed: h.seed,
+            scale_name: h.scale_name,
+            max_order: h.max_order,
+            svm: h.svm,
+            lineage: h.lineage,
+            fusions: h.fusions,
             bytes,
             region_start,
-            offsets,
+            offsets: h.offsets,
         })
     }
 

@@ -8,9 +8,9 @@
 
 use crate::engine::{ScoredUtt, StatsSnapshot};
 use crate::protocol::{
-    decode_score_reply, decode_score_reply_v2, decode_stats_reply, decode_stats_reply_v2,
-    encode_request, read_frame, write_frame, Request, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL,
-    STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+    decode_adapt_reply, decode_score_reply, decode_score_reply_v2, decode_stats_reply,
+    decode_stats_reply_v2, encode_request, read_frame, write_frame, AdaptReport, Request,
+    STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -80,6 +80,17 @@ impl Client {
         match decode_stats_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
             Ok(s) => Ok(s),
             Err(s) => Err(proto_err(&format!("stats refused (status {s})"))),
+        }
+    }
+
+    /// Ask the server to run one adaptation cycle now; blocks until the
+    /// cycle resolves and returns its report. Servers without an
+    /// adaptation controller refuse with `STATUS_UNSUPPORTED`.
+    pub fn adapt(&mut self) -> io::Result<AdaptReport> {
+        let reply = self.round_trip(&Request::Adapt)?;
+        match decode_adapt_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(report) => Ok(report),
+            Err(s) => Err(proto_err(&format!("adapt refused (status {s})"))),
         }
     }
 
@@ -207,6 +218,24 @@ impl PipelinedClient {
         match decode_stats_reply_v2(&frame).map_err(|e| proto_err(&e.to_string()))? {
             Ok(s) => Ok(s),
             Err(s) => Err(proto_err(&format!("stats refused (status {s})"))),
+        }
+    }
+
+    /// Ask the server to run one adaptation cycle now. Only valid while no
+    /// score requests are outstanding (the adapt reply carries no id).
+    pub fn adapt(&mut self) -> io::Result<AdaptReport> {
+        if self.inflight != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "adapt with score replies outstanding would misattribute frames",
+            ));
+        }
+        write_frame(&mut self.stream, &encode_request(&Request::Adapt))?;
+        let frame =
+            read_frame(&mut self.stream)?.ok_or_else(|| proto_err("server closed mid-request"))?;
+        match decode_adapt_reply(&frame).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(report) => Ok(report),
+            Err(s) => Err(proto_err(&format!("adapt refused (status {s})"))),
         }
     }
 

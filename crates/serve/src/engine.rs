@@ -22,7 +22,8 @@
 //! reply callback fires exactly once.
 
 use crate::queue::{BoundedQueue, PushError};
-use crate::system::Scorer;
+use crate::swap::ScorerHandle;
+use crate::system::{ScoreTap, Scorer};
 use lre_lattice::DecodeScratch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -67,6 +68,9 @@ pub struct ScoredUtt {
     /// Size of the batch this utterance was scored in (observability:
     /// `> 1` means micro-batching actually coalesced requests).
     pub batch_size: usize,
+    /// Generation of the model that scored it. Constant 0 until the first
+    /// hot swap; every utterance in one batch carries the same value.
+    pub generation: u64,
 }
 
 /// Index of the highest LLR (first wins on ties).
@@ -139,6 +143,16 @@ pub struct StatsSnapshot {
     pub expired: u64,
     /// Requests lost to scorer failures.
     pub failed: u64,
+    /// Subset of `rejected` shed by the server's *global* admission cap
+    /// (`--max-global-inflight`), counted across every connection.
+    pub shed_global: u64,
+    /// Generation of the currently installed model (bumps on every hot
+    /// swap, including rollbacks).
+    pub generation: u64,
+    /// Model installs performed over the engine's lifetime.
+    pub swaps: u64,
+    /// How many of those installs were guard rollbacks.
+    pub rollbacks: u64,
 }
 
 #[derive(Default)]
@@ -152,6 +166,7 @@ struct Counters {
     latency_us_max: AtomicU64,
     expired: AtomicU64,
     failed: AtomicU64,
+    shed_global: AtomicU64,
 }
 
 /// Invoked exactly once with the request's outcome (possibly on a worker
@@ -169,14 +184,31 @@ struct Job {
 pub struct Engine {
     queue: Arc<BoundedQueue<Job>>,
     counters: Arc<Counters>,
+    handle: Arc<ScorerHandle>,
     dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     started: Instant,
 }
 
 impl Engine {
-    /// Spawn the dispatcher and worker pool over a shared scorer.
+    /// Spawn the dispatcher and worker pool over a fixed scorer (wrapped
+    /// in a [`ScorerHandle`] at generation 0, never swapped).
     pub fn start(cfg: EngineConfig, scorer: Arc<dyn Scorer>) -> Engine {
+        Engine::start_adaptive(cfg, Arc::new(ScorerHandle::new(scorer, 0)), None)
+    }
+
+    /// Spawn over a hot-swappable scorer handle, optionally teeing every
+    /// successful score into `tap` (the adaptation vote log).
+    ///
+    /// Workers resolve the handle **once per batch**: all utterances in a
+    /// batch are scored by one [`crate::swap::VersionedScorer`] and their
+    /// replies carry its generation, so a concurrent swap can never
+    /// produce a torn batch.
+    pub fn start_adaptive(
+        cfg: EngineConfig,
+        handle: Arc<ScorerHandle>,
+        tap: Option<Arc<dyn ScoreTap>>,
+    ) -> Engine {
         let queue = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
         let counters = Arc::new(Counters::default());
         let max_batch = cfg.max_batch.max(1);
@@ -208,7 +240,8 @@ impl Engine {
             .map(|_| {
                 let batch_rx = Arc::clone(&batch_rx);
                 let counters = Arc::clone(&counters);
-                let scorer = Arc::clone(&scorer);
+                let handle = Arc::clone(&handle);
+                let tap = tap.clone();
                 std::thread::spawn(move || {
                     let mut scratch = DecodeScratch::new();
                     loop {
@@ -217,6 +250,10 @@ impl Engine {
                             Ok(b) => b,
                             Err(_) => return,
                         };
+                        // One versioned scorer per batch: a swap landing
+                        // mid-batch affects only *later* batches, so every
+                        // reply in this one carries the same generation.
+                        let model = handle.current();
                         let batch_size = batch.len();
                         for job in batch {
                             // Checked per job, not per batch: a deadline
@@ -226,7 +263,21 @@ impl Engine {
                                 (job.reply)(Outcome::DeadlineExceeded);
                                 continue;
                             }
-                            let outcome = match scorer.score_utt(&job.samples, &mut scratch) {
+                            let scored = match &tap {
+                                // Tap installed: score through the detailed
+                                // path (same fused bits) and tee the row.
+                                Some(tap) => model
+                                    .scorer
+                                    .score_utt_detailed(&job.samples, &mut scratch)
+                                    .map(|mut detail| {
+                                        detail.generation = model.generation;
+                                        let llrs = detail.fused.clone();
+                                        tap.record(detail);
+                                        llrs
+                                    }),
+                                None => model.scorer.score_utt(&job.samples, &mut scratch),
+                            };
+                            let outcome = match scored {
                                 Ok(llrs) => {
                                     let us = job.enqueued.elapsed().as_micros() as u64;
                                     counters.latency_us_sum.fetch_add(us, Ordering::Relaxed);
@@ -236,6 +287,7 @@ impl Engine {
                                         decision: decision(&llrs),
                                         llrs,
                                         batch_size,
+                                        generation: model.generation,
                                     })
                                 }
                                 Err(_) => {
@@ -252,10 +304,17 @@ impl Engine {
         Engine {
             queue,
             counters,
+            handle,
             dispatcher: Mutex::new(Some(dispatcher)),
             workers: Mutex::new(workers),
             started: Instant::now(),
         }
+    }
+
+    /// The swap point this engine scores through (the adaptation worker's
+    /// promotion/rollback seam).
+    pub fn scorer_handle(&self) -> &Arc<ScorerHandle> {
+        &self.handle
     }
 
     /// Enqueue one utterance with an optional deadline; `reply` fires
@@ -317,6 +376,14 @@ impl Engine {
         self.counters.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a request shed by the server's cross-connection global
+    /// admission cap. Counted under `rejected` (the invariant above holds)
+    /// and attributed separately in `shed_global`.
+    pub fn note_shed_global(&self) {
+        self.note_shed();
+        self.counters.shed_global.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn stats(&self) -> StatsSnapshot {
         let c = &self.counters;
@@ -332,6 +399,10 @@ impl Engine {
             uptime_us: self.started.elapsed().as_micros() as u64,
             expired: c.expired.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
+            shed_global: c.shed_global.load(Ordering::Relaxed),
+            generation: self.handle.generation(),
+            swaps: self.handle.swap_count(),
+            rollbacks: self.handle.rollback_count(),
         }
     }
 

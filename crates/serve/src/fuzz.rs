@@ -9,8 +9,8 @@
 //! advertised sizes, and never leaks the connection's threads.
 
 use crate::protocol::{
-    encode_request, read_frame, write_frame, Request, MAX_FRAME_LEN, REQ_SCORE, REQ_SCORE_V2,
-    REQ_SHUTDOWN, REQ_STATS_V2, STATUS_BAD_REQUEST,
+    encode_request, read_frame, write_frame, Request, MAX_FRAME_LEN, REQ_ADAPT, REQ_SCORE,
+    REQ_SCORE_V2, REQ_SHUTDOWN, REQ_STATS_V2, STATUS_BAD_REQUEST,
 };
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
@@ -117,6 +117,8 @@ pub fn malformed_corpus() -> Vec<FuzzCase> {
             padded(&score_v2, &[0xDE, 0xAD]),
         ),
         framed("v2 stats with trailing junk", vec![REQ_STATS_V2, 9, 9]),
+        // Must be refused as malformed, NOT run as an adaptation cycle.
+        framed("adapt with trailing junk", vec![REQ_ADAPT, 0x01]),
         framed(
             "deterministic garbage",
             (0..64u8)

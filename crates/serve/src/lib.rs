@@ -22,6 +22,10 @@
 //!   `max_batch` or `max_wait`), one reusable [`lre_lattice::DecodeScratch`]
 //!   per worker, explicit load shedding when the queue is full, and
 //!   per-request deadlines shed with a typed status;
+//! - [`swap`]: a generation-tagged [`swap::ScorerHandle`] the engine
+//!   scores through, so the online-adaptation worker (`lre-adapt`) can
+//!   atomically hot-swap a freshly boosted bundle — or roll it back —
+//!   without a torn batch ever observing two models;
 //! - [`protocol`] + [`server`] + [`client`]: a length-prefixed TCP protocol
 //!   over `std::net`, consistent with the workspace's no-external-deps
 //!   policy. Protocol v2 adds client-chosen request ids and connection
@@ -46,12 +50,17 @@ pub mod fuzz;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod swap;
 pub mod system;
 
-pub use bundle::{LazyBundle, SubsystemBundle, SystemBundle};
+pub use bundle::{LazyBundle, Lineage, SubsystemBundle, SystemBundle};
 pub use client::{Client, PipelinedClient, ScoreReply};
 pub use engine::{decision, Engine, EngineConfig, Outcome, ScoredUtt, StatsSnapshot, SubmitError};
-pub use protocol::{read_frame, write_frame, Request};
+pub use protocol::{
+    read_frame, write_frame, AdaptReport, Request, ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA,
+    ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
+};
 pub use queue::BoundedQueue;
-pub use server::{Server, ServerConfig};
-pub use system::{Scorer, ScoringSystem};
+pub use server::{AdaptControl, Server, ServerConfig};
+pub use swap::{ScorerHandle, VersionedScorer};
+pub use system::{sample_digest, ScoreDetail, ScoreTap, Scorer, ScoringSystem};

@@ -22,14 +22,21 @@
 //!   id after the status byte, so a client can keep many requests
 //!   outstanding and match replies as they arrive.
 //! - [`REQ_STATS_V2`] — empty; the reply carries the extended counter set
-//!   (deadline expirations and internal scoring failures included).
+//!   (deadline expirations, internal scoring failures, global-admission
+//!   sheds, and the model generation/swap/rollback counters).
+//! - [`REQ_ADAPT`] — empty; ask the server to run one adaptation cycle
+//!   now (drain the vote log, retrain, guard, maybe swap). Answered
+//!   inline like stats; servers without an adaptation controller refuse
+//!   it with [`STATUS_UNSUPPORTED`].
 //!
 //! Replies start with a status byte ([`STATUS_OK`] / [`STATUS_OVERLOADED`]
 //! / [`STATUS_BAD_REQUEST`] / [`STATUS_SHUTTING_DOWN`] /
-//! [`STATUS_DEADLINE_EXCEEDED`] / [`STATUS_INTERNAL`]); v2 score replies
-//! follow it with the echoed `u64` request id. An `OK` score body is:
-//! `f32` slice of per-language LLRs, `u32` decision index, `u32` observed
-//! batch size.
+//! [`STATUS_DEADLINE_EXCEEDED`] / [`STATUS_INTERNAL`] /
+//! [`STATUS_UNSUPPORTED`]); v2 score replies follow it with the echoed
+//! `u64` request id. An `OK` v1 score body is: `f32` slice of per-language
+//! LLRs, `u32` decision index, `u32` observed batch size. A v2 score body
+//! appends the `u64` model generation that produced the row (v1 bodies
+//! stay byte-identical so v1 clients keep working unchanged).
 
 use crate::engine::{ScoredUtt, StatsSnapshot};
 use lre_artifact::{ArtifactError, ArtifactReader, ArtifactWriter};
@@ -40,6 +47,7 @@ pub const REQ_STATS: u8 = 2;
 pub const REQ_SHUTDOWN: u8 = 3;
 pub const REQ_SCORE_V2: u8 = 4;
 pub const REQ_STATS_V2: u8 = 5;
+pub const REQ_ADAPT: u8 = 6;
 
 pub const STATUS_OK: u8 = 0;
 pub const STATUS_OVERLOADED: u8 = 1;
@@ -51,6 +59,10 @@ pub const STATUS_DEADLINE_EXCEEDED: u8 = 4;
 /// The scorer itself failed (e.g. a lazily mapped bundle section failed to
 /// decode). The request is lost but the connection stays usable.
 pub const STATUS_INTERNAL: u8 = 5;
+/// The server understood the request but has no handler for it (e.g.
+/// [`REQ_ADAPT`] against a server started without an adaptation
+/// controller).
+pub const STATUS_UNSUPPORTED: u8 = 6;
 
 /// Refuse frames above this size (16 MiB ≈ a half-hour utterance) so a
 /// corrupt or hostile length prefix cannot trigger a huge allocation.
@@ -73,6 +85,33 @@ pub enum Request {
     },
     /// Report the extended engine counters (v2 reply).
     StatsV2,
+    /// Run one adaptation cycle now (reply: [`AdaptReport`], or
+    /// [`STATUS_UNSUPPORTED`] without a controller).
+    Adapt,
+}
+
+/// How a requested adaptation cycle ended.
+pub const ADAPT_PROMOTED: u8 = 0;
+/// The retrained candidate regressed the guard metrics; serving model,
+/// generation and scores are unchanged.
+pub const ADAPT_REJECTED_GUARD: u8 = 1;
+/// The vote log held too few confidently pseudo-labelled utterances;
+/// records were returned to the log for a later cycle.
+pub const ADAPT_INSUFFICIENT_DATA: u8 = 2;
+/// The cycle failed internally (e.g. undecodable parent bundle bytes).
+pub const ADAPT_FAILED: u8 = 3;
+
+/// Result of one on-demand adaptation cycle ([`Request::Adapt`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptReport {
+    /// One of the `ADAPT_*` constants.
+    pub outcome: u8,
+    /// Serving generation after the cycle.
+    pub generation: u64,
+    /// Utterances selected by the Eq. 13 vote this cycle.
+    pub selected: u32,
+    /// Vote-log records drained (pre-dedup) this cycle.
+    pub drained: u32,
 }
 
 /// Write one frame: `u32` LE length + payload.
@@ -128,6 +167,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.put_f32_slice(samples);
         }
         Request::StatsV2 => w.put_u8(REQ_STATS_V2),
+        Request::Adapt => w.put_u8(REQ_ADAPT),
     }
     w.into_bytes()
 }
@@ -146,6 +186,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ArtifactError> {
             samples: r.get_f32_slice()?,
         },
         REQ_STATS_V2 => Request::StatsV2,
+        REQ_ADAPT => Request::Adapt,
         _ => return Err(ArtifactError::Corrupt("unknown request tag")),
     };
     if r.remaining() != 0 {
@@ -167,16 +208,27 @@ pub fn encode_status_v2(id: u64, status: u8) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn put_score_body(w: &mut ArtifactWriter, scored: &ScoredUtt) {
+/// `with_generation` distinguishes the v2 body (trailing `u64` model
+/// generation) from the v1 body, which must stay byte-identical to the
+/// pre-adaptation wire format.
+fn put_score_body(w: &mut ArtifactWriter, scored: &ScoredUtt, with_generation: bool) {
     w.put_f32_slice(&scored.llrs);
     w.put_u32(scored.decision as u32);
     w.put_u32(scored.batch_size as u32);
+    if with_generation {
+        w.put_u64(scored.generation);
+    }
 }
 
-fn get_score_body(r: &mut ArtifactReader) -> Result<ScoredUtt, ArtifactError> {
+fn get_score_body(
+    r: &mut ArtifactReader,
+    with_generation: bool,
+) -> Result<ScoredUtt, ArtifactError> {
     let llrs = r.get_f32_slice()?;
     let decision = r.get_u32()? as usize;
     let batch_size = r.get_u32()? as usize;
+    // v1 replies predate hot swapping; report them as generation 0.
+    let generation = if with_generation { r.get_u64()? } else { 0 };
     if r.remaining() != 0 {
         return Err(ArtifactError::TrailingBytes);
     }
@@ -187,22 +239,23 @@ fn get_score_body(r: &mut ArtifactReader) -> Result<ScoredUtt, ArtifactError> {
         llrs,
         decision,
         batch_size,
+        generation,
     })
 }
 
 pub fn encode_score_ok(scored: &ScoredUtt) -> Vec<u8> {
     let mut w = ArtifactWriter::new();
     w.put_u8(STATUS_OK);
-    put_score_body(&mut w, scored);
+    put_score_body(&mut w, scored, false);
     w.into_bytes()
 }
 
-/// A v2 score success: status + echoed id + score body.
+/// A v2 score success: status + echoed id + score body (with generation).
 pub fn encode_score_ok_v2(id: u64, scored: &ScoredUtt) -> Vec<u8> {
     let mut w = ArtifactWriter::new();
     w.put_u8(STATUS_OK);
     w.put_u64(id);
-    put_score_body(&mut w, scored);
+    put_score_body(&mut w, scored, true);
     w.into_bytes()
 }
 
@@ -213,7 +266,7 @@ pub fn decode_score_reply(bytes: &[u8]) -> Result<Result<ScoredUtt, u8>, Artifac
     if status != STATUS_OK {
         return Ok(Err(status));
     }
-    Ok(Ok(get_score_body(&mut r)?))
+    Ok(Ok(get_score_body(&mut r, false)?))
 }
 
 /// Decode a v2 score reply: `(request id, Ok(scored) | Err(status))`.
@@ -227,7 +280,7 @@ pub fn decode_score_reply_v2(bytes: &[u8]) -> Result<(u64, Result<ScoredUtt, u8>
         }
         return Ok((id, Err(status)));
     }
-    Ok((id, Ok(get_score_body(&mut r)?)))
+    Ok((id, Ok(get_score_body(&mut r, true)?)))
 }
 
 /// The nine v1 counters, in declaration order (a v1 client must keep
@@ -250,6 +303,10 @@ fn put_stats(w: &mut ArtifactWriter, s: &StatsSnapshot, extended: bool) {
     if extended {
         vals.push(s.expired);
         vals.push(s.failed);
+        vals.push(s.shed_global);
+        vals.push(s.generation);
+        vals.push(s.swaps);
+        vals.push(s.rollbacks);
     }
     for v in vals {
         w.put_u64(v);
@@ -264,7 +321,8 @@ pub fn encode_stats_ok(s: &StatsSnapshot) -> Vec<u8> {
 }
 
 /// Extended (v2) stats reply: the nine v1 counters plus deadline
-/// expirations and internal failures.
+/// expirations, internal failures, global-admission sheds, and the model
+/// generation / swap / rollback counters.
 pub fn encode_stats_ok_v2(s: &StatsSnapshot) -> Vec<u8> {
     let mut w = ArtifactWriter::new();
     w.put_u8(STATUS_OK);
@@ -285,10 +343,18 @@ fn get_stats(r: &mut ArtifactReader, extended: bool) -> Result<StatsSnapshot, Ar
         uptime_us: r.get_u64()?,
         expired: 0,
         failed: 0,
+        shed_global: 0,
+        generation: 0,
+        swaps: 0,
+        rollbacks: 0,
     };
     if extended {
         s.expired = r.get_u64()?;
         s.failed = r.get_u64()?;
+        s.shed_global = r.get_u64()?;
+        s.generation = r.get_u64()?;
+        s.swaps = r.get_u64()?;
+        s.rollbacks = r.get_u64()?;
     }
     if r.remaining() != 0 {
         return Err(ArtifactError::TrailingBytes);
@@ -316,6 +382,41 @@ pub fn decode_stats_reply_v2(bytes: &[u8]) -> Result<Result<StatsSnapshot, u8>, 
     Ok(Ok(get_stats(&mut r, true)?))
 }
 
+/// A successful adaptation-cycle reply.
+pub fn encode_adapt_ok(report: &AdaptReport) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u8(report.outcome);
+    w.put_u64(report.generation);
+    w.put_u32(report.selected);
+    w.put_u32(report.drained);
+    w.into_bytes()
+}
+
+/// `Ok(Ok(report))` on success, `Ok(Err(status))` on a refusal status
+/// (notably [`STATUS_UNSUPPORTED`]).
+pub fn decode_adapt_reply(bytes: &[u8]) -> Result<Result<AdaptReport, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let outcome = r.get_u8()?;
+    if outcome > ADAPT_FAILED {
+        return Err(ArtifactError::Corrupt("unknown adaptation outcome"));
+    }
+    let report = AdaptReport {
+        outcome,
+        generation: r.get_u64()?,
+        selected: r.get_u32()?,
+        drained: r.get_u32()?,
+    };
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +435,7 @@ mod tests {
                 samples: vec![0.0, -0.0, f32::NAN],
             },
             Request::StatsV2,
+            Request::Adapt,
         ] {
             let back = decode_request(&encode_request(&req)).unwrap();
             // NaN breaks derived PartialEq; compare the sample bits instead.
@@ -365,22 +467,26 @@ mod tests {
             llrs: vec![1.5, -0.0, f32::NAN, 3.25e-9],
             decision: 3,
             batch_size: 7,
+            generation: 5,
         };
         let back = decode_score_reply(&encode_score_ok(&scored))
             .unwrap()
             .unwrap();
         assert_eq!(back.decision, 3);
         assert_eq!(back.batch_size, 7);
+        // v1 bodies carry no generation; it decodes as 0.
+        assert_eq!(back.generation, 0);
         let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&back.llrs), bits(&scored.llrs));
     }
 
     #[test]
-    fn v2_score_reply_echoes_the_request_id() {
+    fn v2_score_reply_echoes_the_request_id_and_generation() {
         let scored = ScoredUtt {
             llrs: vec![0.25, -1.0],
             decision: 0,
             batch_size: 3,
+            generation: 42,
         };
         let (id, r) = decode_score_reply_v2(&encode_score_ok_v2(0xDEAD_BEEF, &scored)).unwrap();
         assert_eq!(id, 0xDEAD_BEEF);
@@ -406,15 +512,23 @@ mod tests {
             uptime_us: u64::MAX,
             expired: 0,
             failed: 0,
+            shed_global: 0,
+            generation: 0,
+            swaps: 0,
+            rollbacks: 0,
         };
         assert_eq!(
             decode_stats_reply(&encode_stats_ok(&s)).unwrap().unwrap(),
             s
         );
-        // The extended reply carries the two new counters…
+        // The extended reply carries the new counters…
         let mut ext = s;
         ext.expired = 4;
         ext.failed = 1;
+        ext.shed_global = 3;
+        ext.generation = 2;
+        ext.swaps = 3;
+        ext.rollbacks = 1;
         assert_eq!(
             decode_stats_reply_v2(&encode_stats_ok_v2(&ext))
                 .unwrap()
@@ -426,6 +540,34 @@ mod tests {
             decode_stats_reply(&encode_stats_ok(&ext)).unwrap().unwrap(),
             s
         );
+    }
+
+    #[test]
+    fn adapt_reply_roundtrip_and_refusal() {
+        let report = AdaptReport {
+            outcome: ADAPT_PROMOTED,
+            generation: 7,
+            selected: 120,
+            drained: 150,
+        };
+        assert_eq!(
+            decode_adapt_reply(&encode_adapt_ok(&report))
+                .unwrap()
+                .unwrap(),
+            report
+        );
+        assert_eq!(
+            decode_adapt_reply(&encode_status(STATUS_UNSUPPORTED)).unwrap(),
+            Err(STATUS_UNSUPPORTED)
+        );
+        // Unknown outcome tags are typed errors.
+        let mut bad = encode_adapt_ok(&report);
+        bad[1] = 9;
+        assert!(decode_adapt_reply(&bad).is_err());
+        // Truncation too.
+        let mut cut = encode_adapt_ok(&report);
+        cut.truncate(cut.len() - 2);
+        assert!(decode_adapt_reply(&cut).is_err());
     }
 
     #[test]

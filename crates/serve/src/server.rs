@@ -15,11 +15,13 @@
 
 use crate::engine::{Engine, EngineConfig, Outcome, SubmitError};
 use crate::protocol::{
-    decode_request, encode_score_ok, encode_score_ok_v2, encode_stats_ok, encode_stats_ok_v2,
-    encode_status, encode_status_v2, read_frame, write_frame, Request, STATUS_BAD_REQUEST,
-    STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+    decode_request, encode_adapt_ok, encode_score_ok, encode_score_ok_v2, encode_stats_ok,
+    encode_stats_ok_v2, encode_status, encode_status_v2, read_frame, write_frame, AdaptReport,
+    Request, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK,
+    STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
 };
-use crate::system::Scorer;
+use crate::swap::ScorerHandle;
+use crate::system::{ScoreTap, Scorer};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -33,6 +35,11 @@ pub struct ServerConfig {
     /// one-past-the-window request is refused `STATUS_OVERLOADED` without
     /// touching the queue.
     pub max_inflight: usize,
+    /// Most score requests the whole server may have outstanding, counted
+    /// across every connection on top of the per-connection window
+    /// (`0` = unlimited). Refusals are `STATUS_OVERLOADED` and attributed
+    /// to the `shed_global` stats counter.
+    pub max_global_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -40,8 +47,27 @@ impl Default for ServerConfig {
         ServerConfig {
             engine: EngineConfig::default(),
             max_inflight: 32,
+            max_global_inflight: 0,
         }
     }
+}
+
+/// The server's hook into an adaptation controller: a [`Request::Adapt`]
+/// frame runs one cycle synchronously on the connection's reader thread
+/// and replies with the report. Implemented by `lre-adapt`'s controller;
+/// servers started without one refuse the request `STATUS_UNSUPPORTED`.
+pub trait AdaptControl: Send + Sync + 'static {
+    fn adapt_now(&self) -> AdaptReport;
+}
+
+/// Reserve one slot under the global cap, exactly (no overshoot under
+/// concurrent readers).
+fn try_acquire_global(global: &AtomicUsize, max: usize) -> bool {
+    global
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+            (v < max).then_some(v + 1)
+        })
+        .is_ok()
 }
 
 /// A running server. One thread accepts connections; each connection gets
@@ -65,10 +91,35 @@ impl Server {
         scorer: Arc<dyn Scorer>,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
+        Server::start_adaptive(
+            listener,
+            Arc::new(ScorerHandle::new(scorer, 0)),
+            cfg,
+            None,
+            None,
+        )
+    }
+
+    /// Start serving over a hot-swappable scorer handle, optionally teeing
+    /// scores into `tap` (the adaptation vote log) and answering
+    /// [`Request::Adapt`] through `control`.
+    pub fn start_adaptive(
+        listener: TcpListener,
+        handle: Arc<ScorerHandle>,
+        cfg: ServerConfig,
+        tap: Option<Arc<dyn ScoreTap>>,
+        control: Option<Arc<dyn AdaptControl>>,
+    ) -> std::io::Result<Server> {
         let addr = listener.local_addr()?;
-        let engine = Arc::new(Engine::start(cfg.engine, scorer));
+        let engine = Arc::new(Engine::start_adaptive(cfg.engine, handle, tap));
         let stopping = Arc::new(AtomicBool::new(false));
         let max_inflight = cfg.max_inflight.max(1);
+        let max_global = if cfg.max_global_inflight == 0 {
+            usize::MAX
+        } else {
+            cfg.max_global_inflight
+        };
+        let global_inflight = Arc::new(AtomicUsize::new(0));
         let accept = {
             let engine = Arc::clone(&engine);
             let stopping = Arc::clone(&stopping);
@@ -83,8 +134,19 @@ impl Server {
                     };
                     let engine = Arc::clone(&engine);
                     let stopping = Arc::clone(&stopping);
+                    let global_inflight = Arc::clone(&global_inflight);
+                    let control = control.clone();
                     std::thread::spawn(move || {
-                        handle_connection(stream, engine, stopping, addr, max_inflight)
+                        handle_connection(
+                            stream,
+                            engine,
+                            stopping,
+                            addr,
+                            max_inflight,
+                            global_inflight,
+                            max_global,
+                            control,
+                        )
                     });
                 }
             })
@@ -130,12 +192,16 @@ fn trigger_stop(stopping: &AtomicBool, addr: SocketAddr) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut stream: TcpStream,
     engine: Arc<Engine>,
     stopping: Arc<AtomicBool>,
     addr: SocketAddr,
     max_inflight: usize,
+    global_inflight: Arc<AtomicUsize>,
+    max_global: usize,
+    control: Option<Arc<dyn AdaptControl>>,
 ) {
     let _ = stream.set_nodelay(true);
     let mut write_half = match stream.try_clone() {
@@ -169,13 +235,28 @@ fn handle_connection(
     while let Ok(Some(frame)) = read_frame(&mut stream) {
         let reply = match decode_request(&frame) {
             // v1: answered in order, next frame not read until resolved.
-            Ok(Request::Score { samples }) => match engine.score_blocking(samples) {
-                Ok(scored) => encode_score_ok(&scored),
-                Err(SubmitError::Overloaded) => encode_status(STATUS_OVERLOADED),
-                Err(SubmitError::ShuttingDown) => encode_status(STATUS_SHUTTING_DOWN),
-            },
+            Ok(Request::Score { samples }) => {
+                if !try_acquire_global(&global_inflight, max_global) {
+                    engine.note_shed_global();
+                    encode_status(STATUS_OVERLOADED)
+                } else {
+                    let result = engine.score_blocking(samples);
+                    global_inflight.fetch_sub(1, Ordering::AcqRel);
+                    match result {
+                        Ok(scored) => encode_score_ok(&scored),
+                        Err(SubmitError::Overloaded) => encode_status(STATUS_OVERLOADED),
+                        Err(SubmitError::ShuttingDown) => encode_status(STATUS_SHUTTING_DOWN),
+                    }
+                }
+            }
             Ok(Request::Stats) => encode_stats_ok(&engine.stats()),
             Ok(Request::StatsV2) => encode_stats_ok_v2(&engine.stats()),
+            // Answered inline on the reader, like stats: one cycle runs
+            // synchronously and the report comes back in request order.
+            Ok(Request::Adapt) => match &control {
+                Some(c) => encode_adapt_ok(&c.adapt_now()),
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
             Ok(Request::Shutdown) => {
                 // Acknowledge first so the requester sees a reply, then
                 // stop accepting; `Server::join` drains the engine.
@@ -192,12 +273,18 @@ fn handle_connection(
                     // Window violation: shed before the queue even sees it.
                     engine.note_shed();
                     encode_status_v2(id, STATUS_OVERLOADED)
+                } else if !try_acquire_global(&global_inflight, max_global) {
+                    // Within this connection's window but the server-wide
+                    // cap is spent: shed and attribute it separately.
+                    engine.note_shed_global();
+                    encode_status_v2(id, STATUS_OVERLOADED)
                 } else {
                     inflight.fetch_add(1, Ordering::AcqRel);
                     let deadline =
                         (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
                     let cb_tx = reply_tx.clone();
                     let cb_inflight = Arc::clone(&inflight);
+                    let cb_global = Arc::clone(&global_inflight);
                     let submitted = engine.submit_with(samples, deadline, move |outcome| {
                         let frame = match outcome {
                             Outcome::Scored(s) => encode_score_ok_v2(id, &s),
@@ -207,6 +294,7 @@ fn handle_connection(
                             Outcome::Failed => encode_status_v2(id, STATUS_INTERNAL),
                         };
                         cb_inflight.fetch_sub(1, Ordering::AcqRel);
+                        cb_global.fetch_sub(1, Ordering::AcqRel);
                         let _ = cb_tx.send(frame);
                     });
                     match submitted {
@@ -215,6 +303,7 @@ fn handle_connection(
                             // The job (and its callback) was dropped
                             // unfired; the reader owns the refusal.
                             inflight.fetch_sub(1, Ordering::AcqRel);
+                            global_inflight.fetch_sub(1, Ordering::AcqRel);
                             let status = match e {
                                 SubmitError::Overloaded => STATUS_OVERLOADED,
                                 SubmitError::ShuttingDown => STATUS_SHUTTING_DOWN,

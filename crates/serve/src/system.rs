@@ -8,7 +8,56 @@ use lre_dsp::FrameConfig;
 use lre_eval::ScoreMatrix;
 use lre_lattice::DecodeScratch;
 use lre_phone::{PhoneSet, UniversalInventory};
+use lre_vsm::SparseVec;
 use std::sync::OnceLock;
+
+/// Everything one scored utterance exposes to a [`ScoreTap`]: the fused
+/// row the client sees plus the per-subsystem intermediates the online
+/// DBA adaptation loop needs (vote inputs and retraining features).
+#[derive(Clone, Debug)]
+pub struct ScoreDetail {
+    /// Content digest of the raw samples (see [`sample_digest`]) — the
+    /// vote log's dedup key for replayed utterances.
+    pub digest: u64,
+    /// Frame count of the utterance (duration routing provenance).
+    pub num_frames: u32,
+    /// Index into `Duration::all()` of the fusion backend that scored it.
+    pub duration_index: usize,
+    /// Model generation that produced this row; filled in by the engine
+    /// (a raw [`Scorer`] does not know its generation).
+    pub generation: u64,
+    /// Fused per-language LLRs — exactly the reply row.
+    pub fused: Vec<f32>,
+    /// Per-subsystem OvR score rows (Eq. 13 vote inputs), `[subsystem][class]`.
+    pub subsystem_scores: Vec<Vec<f32>>,
+    /// Per-subsystem TFLLR-scaled supervectors (retraining features).
+    pub supervectors: Vec<SparseVec>,
+}
+
+/// A sink for per-utterance score details, called by engine workers after
+/// each successful score. Implementations must be cheap and non-blocking
+/// (the vote log appends under a short mutex); scoring latency is on the
+/// line.
+pub trait ScoreTap: Send + Sync + 'static {
+    fn record(&self, detail: ScoreDetail);
+}
+
+/// Order-independent 64-bit FNV-1a over the sample bit patterns. Stable
+/// across runs and platforms (operates on the IEEE-754 bits, not float
+/// values), so a replayed utterance always collides with itself.
+pub fn sample_digest(samples: &[f32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for s in samples {
+        for b in s.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h ^= samples.len() as u64;
+    h.wrapping_mul(PRIME)
+}
 
 /// Anything the serving engine can score against. The engine and server
 /// are generic over this, so tests can drive the full pipelined protocol
@@ -24,6 +73,29 @@ pub trait Scorer: Send + Sync + 'static {
         samples: &[f32],
         scratch: &mut DecodeScratch,
     ) -> Result<Vec<f32>, ArtifactError>;
+
+    /// Score one utterance and expose the per-subsystem intermediates.
+    ///
+    /// The default wraps [`Scorer::score_utt`] with empty subsystem detail
+    /// (mocks keep working untouched); [`ScoringSystem`] overrides it with
+    /// the real tap payload. The `fused` row must be bit-identical to what
+    /// `score_utt` returns for the same samples.
+    fn score_utt_detailed(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+    ) -> Result<ScoreDetail, ArtifactError> {
+        let fused = self.score_utt(samples, scratch)?;
+        Ok(ScoreDetail {
+            digest: sample_digest(samples),
+            num_frames: 0,
+            duration_index: 0,
+            generation: 0,
+            fused,
+            subsystem_scores: Vec::new(),
+            supervectors: Vec::new(),
+        })
+    }
 }
 
 /// One materialized subsystem: a ready-to-decode front-end plus its VSM.
@@ -176,8 +248,21 @@ impl ScoringSystem {
         samples: &[f32],
         scratch: &mut DecodeScratch,
     ) -> Result<Vec<f32>, ArtifactError> {
+        Ok(self.try_score_detailed(samples, scratch)?.fused)
+    }
+
+    /// [`ScoringSystem::try_score`] plus the per-subsystem intermediates
+    /// (OvR rows, scaled supervectors) the adaptation tap records. The
+    /// fused row is computed by the identical code path, so it is
+    /// bit-identical to [`ScoringSystem::try_score`]'s.
+    pub fn try_score_detailed(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+    ) -> Result<ScoreDetail, ArtifactError> {
         let num_frames = FrameConfig::default().num_frames(samples.len());
         let di = duration_index_for(num_frames);
+        let mut supervectors = Vec::with_capacity(self.subs.len());
         let mats: Vec<ScoreMatrix> = (0..self.subs.len())
             .map(|q| {
                 let sub = self.sub(q)?;
@@ -190,11 +275,21 @@ impl ScoringSystem {
                     .transformed(&sv);
                 let mut m = ScoreMatrix::new(self.num_classes);
                 m.push_row(&sub.vsm.scores(&scaled));
+                supervectors.push(scaled);
                 Ok(m)
             })
             .collect::<Result<_, ArtifactError>>()?;
         let refs: Vec<&ScoreMatrix> = mats.iter().collect();
-        Ok(self.fusions[di].apply(&refs).row(0).to_vec())
+        let fused = self.fusions[di].apply(&refs).row(0).to_vec();
+        Ok(ScoreDetail {
+            digest: sample_digest(samples),
+            num_frames: num_frames as u32,
+            duration_index: di,
+            generation: 0,
+            fused,
+            subsystem_scores: mats.into_iter().map(|m| m.row(0).to_vec()).collect(),
+            supervectors,
+        })
     }
 
     /// Infallible scoring for eagerly built systems (the offline verify
@@ -213,6 +308,14 @@ impl Scorer for ScoringSystem {
         scratch: &mut DecodeScratch,
     ) -> Result<Vec<f32>, ArtifactError> {
         self.try_score(samples, scratch)
+    }
+
+    fn score_utt_detailed(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+    ) -> Result<ScoreDetail, ArtifactError> {
+        self.try_score_detailed(samples, scratch)
     }
 }
 

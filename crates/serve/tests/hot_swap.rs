@@ -1,0 +1,296 @@
+//! Concurrent hot-swap stress suite.
+//!
+//! The swap seam's contracts, exercised against the live engine under
+//! thread contention rather than in single-threaded unit tests:
+//!
+//! - **no torn batches**: every scored utterance was produced by exactly
+//!   the model whose generation its reply carries, even while a swapper
+//!   thread replaces the model as fast as it can;
+//! - **a swap landing mid-batch does not leak into that batch**: the
+//!   whole batch scores against the model its worker loaded at batch
+//!   start;
+//! - **generations are monotonic and unique** under concurrent installs;
+//! - **rollback restores the parent bit-identically**: same scorer
+//!   object, same checksum, same output bits, under a fresh generation.
+
+use lre_artifact::ArtifactError;
+use lre_lattice::DecodeScratch;
+use lre_serve::{Engine, EngineConfig, Outcome, Scorer, ScorerHandle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A scorer that identifies itself: every LLR vector is `[marker]`. When
+/// the marker equals the generation the scorer was installed at, a reply
+/// whose `llrs[0] != generation as f32` is direct evidence of a torn
+/// model/generation pair.
+struct Marker(f32);
+
+impl Scorer for Marker {
+    fn score_utt(
+        &self,
+        _samples: &[f32],
+        _scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f32>, ArtifactError> {
+        Ok(vec![self.0])
+    }
+}
+
+/// A marker whose calls block at a gate until the test opens it, and which
+/// counts how many calls have entered — so "the worker is inside this
+/// batch" is a deterministic state, not a sleep.
+struct GatedMarker {
+    marker: f32,
+    open: Mutex<bool>,
+    cv: Condvar,
+    entered: AtomicUsize,
+}
+
+impl GatedMarker {
+    fn new(marker: f32) -> GatedMarker {
+        GatedMarker {
+            marker,
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            entered: AtomicUsize::new(0),
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_entered(&self) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while self.entered.load(Ordering::Acquire) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never reached the gated scorer"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl Scorer for GatedMarker {
+    fn score_utt(
+        &self,
+        _samples: &[f32],
+        _scratch: &mut DecodeScratch,
+    ) -> Result<Vec<f32>, ArtifactError> {
+        self.entered.fetch_add(1, Ordering::AcqRel);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        drop(open);
+        Ok(vec![self.marker])
+    }
+}
+
+#[test]
+fn concurrent_swaps_never_tear_model_from_generation() {
+    // Install Marker(k) at swap k from a single swapper thread, so the
+    // invariant "llrs[0] == generation" holds for every model ever
+    // installed. Any interleaving that pairs one model's output with
+    // another install's generation breaks it.
+    const SWAPS: u64 = 60;
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 80;
+
+    let handle = Arc::new(ScorerHandle::new(Arc::new(Marker(0.0)), 0));
+    let engine = Arc::new(Engine::start_adaptive(
+        EngineConfig {
+            workers: 3,
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 256,
+        },
+        Arc::clone(&handle),
+        None,
+    ));
+
+    let swapper = {
+        let handle = Arc::clone(&handle);
+        std::thread::spawn(move || {
+            for k in 1..=SWAPS {
+                let got = handle.swap(Arc::new(Marker(k as f32)), k as u32);
+                assert_eq!(got, k, "single swapper sees consecutive generations");
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        })
+    };
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut last_gen = 0u64;
+                for i in 0..PER_CLIENT {
+                    let s = engine
+                        .score_blocking(vec![i as f32])
+                        .expect("scoring survives swaps");
+                    assert_eq!(
+                        s.llrs[0], s.generation as f32,
+                        "reply pairs generation {} with another model's output",
+                        s.generation
+                    );
+                    // Sequential blocking requests from one client can
+                    // never observe the generation moving backwards.
+                    assert!(
+                        s.generation >= last_gen,
+                        "generation went backwards: {} after {}",
+                        s.generation,
+                        last_gen
+                    );
+                    last_gen = s.generation;
+                }
+            })
+        })
+        .collect();
+
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    swapper.join().expect("swapper thread");
+
+    assert_eq!(handle.generation(), SWAPS);
+    let stats = engine.stats();
+    assert_eq!(stats.swaps, SWAPS);
+    assert_eq!(stats.rollbacks, 0);
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    engine.shutdown();
+}
+
+#[test]
+fn a_swap_landing_mid_batch_does_not_tear_the_batch() {
+    // One worker, one batch of 8, and a gate that parks the worker inside
+    // the batch's first utterance. A swap lands while the batch is
+    // mid-flight; every member must still score against the pre-swap
+    // model and carry its generation.
+    let gate = Arc::new(GatedMarker::new(0.0));
+    let handle = Arc::new(ScorerHandle::new(Arc::clone(&gate) as _, 0xC0));
+    let engine = Engine::start_adaptive(
+        EngineConfig {
+            workers: 1,
+            max_batch: 8,
+            // Long fill window: the 8 submissions below land well inside
+            // it, so the dispatcher forms exactly one batch.
+            max_wait: Duration::from_millis(500),
+            queue_capacity: 64,
+        },
+        Arc::clone(&handle),
+        None,
+    );
+
+    let receivers: Vec<_> = (0..8)
+        .map(|i| engine.submit(vec![i as f32]).expect("submit"))
+        .collect();
+    gate.wait_entered();
+
+    // The batch is mid-flight: replace the model out from under it.
+    assert_eq!(handle.swap(Arc::new(Marker(1.0)), 0xC1), 1);
+    gate.release();
+
+    for rx in receivers {
+        match rx.recv().expect("outcome") {
+            Outcome::Scored(s) => {
+                assert_eq!(s.generation, 0, "mid-flight batch leaked the new model");
+                assert_eq!(s.llrs, vec![0.0], "scored by the swapped-in model");
+                assert_eq!(s.batch_size, 8, "dispatcher split the batch");
+            }
+            other => panic!("batch member unresolved: {other:?}"),
+        }
+    }
+    assert_eq!(engine.stats().batches, 1);
+
+    // Later work sees the new model.
+    let s = engine.score_blocking(vec![9.0]).expect("post-swap score");
+    assert_eq!(s.generation, 1);
+    assert_eq!(s.llrs, vec![1.0]);
+    engine.shutdown();
+}
+
+#[test]
+fn concurrent_installs_get_unique_monotonic_generations() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50;
+    let handle = Arc::new(ScorerHandle::new(Arc::new(Marker(0.0)), 0));
+
+    let installers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let handle = Arc::clone(&handle);
+            std::thread::spawn(move || {
+                let mut got = Vec::with_capacity(PER_THREAD as usize);
+                let mut prev = 0u64;
+                for k in 0..PER_THREAD {
+                    let g = handle.swap(Arc::new(Marker((t * PER_THREAD + k) as f32)), t as u32);
+                    assert!(g > prev, "install returned a non-increasing generation");
+                    prev = g;
+                    got.push(g);
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut all: Vec<u64> = installers
+        .into_iter()
+        .flat_map(|h| h.join().expect("installer thread"))
+        .collect();
+    all.sort_unstable();
+    let expected: Vec<u64> = (1..=THREADS * PER_THREAD).collect();
+    assert_eq!(all, expected, "generations must be unique and gapless");
+    assert_eq!(handle.generation(), THREADS * PER_THREAD);
+    assert_eq!(handle.swap_count(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn rollback_restores_the_parent_scorer_and_checksum_bit_identically() {
+    let handle = Arc::new(ScorerHandle::new(Arc::new(Marker(0.5)), 0xDEAD));
+    let engine = Engine::start_adaptive(
+        EngineConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+        },
+        Arc::clone(&handle),
+        None,
+    );
+
+    let before = engine.score_blocking(vec![1.0]).expect("parent score");
+    assert_eq!(before.generation, 0);
+    let parent = handle.current();
+
+    // Promote a candidate, then roll it back.
+    handle.swap(Arc::new(Marker(9.0)), 0xBEEF);
+    let during = engine.score_blocking(vec![1.0]).expect("candidate score");
+    assert_eq!(during.generation, 1);
+    assert_eq!(during.llrs, vec![9.0]);
+    assert_eq!(handle.checksum(), 0xBEEF);
+
+    let gen = handle.rollback_to(&parent);
+    assert_eq!(gen, 2, "rollback is a fresh generation, not a decrement");
+    assert_eq!(handle.checksum(), 0xDEAD, "parent checksum restored");
+    assert!(
+        Arc::ptr_eq(&handle.current().scorer, &parent.scorer),
+        "rollback must reinstall the parent's exact scorer object"
+    );
+
+    let after = engine.score_blocking(vec![1.0]).expect("post-rollback");
+    assert_eq!(after.generation, 2);
+    let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&after.llrs),
+        bits(&before.llrs),
+        "post-rollback scores must be bit-identical to the parent's"
+    );
+
+    let stats = engine.stats();
+    assert_eq!(stats.swaps, 2);
+    assert_eq!(stats.rollbacks, 1);
+    assert_eq!(stats.generation, 2);
+    engine.shutdown();
+}

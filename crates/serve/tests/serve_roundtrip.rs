@@ -124,6 +124,7 @@ fn train_save_reload_serve_bit_identical() {
                 queue_capacity: 256,
             },
             max_inflight: 8,
+            max_global_inflight: 0,
         },
     )
     .expect("server starts");
@@ -263,6 +264,7 @@ fn pipelined_lazy_round_trip_bit_identical() {
                 queue_capacity: 256,
             },
             max_inflight: 8,
+            max_global_inflight: 0,
         },
     )
     .expect("server starts");
@@ -317,14 +319,20 @@ fn corrupt_bundles_fail_with_typed_errors_not_panics() {
     // sealed bundle prefix and a sweep of single-bit flips must produce a
     // typed error. (Training-backed round-trip corruption is exercised by
     // the property tests on the per-model payloads.)
+    use lre_artifact::ArtifactWrite as _;
     let mut w = lre_artifact::ArtifactWriter::new();
     w.put_u64(7);
     w.put_str("smoke");
     w.put_u32(2); // max_order
+    lre_svm::SvmTrainConfig::default().write_payload(&mut w);
+    w.put_u64(0); // lineage: generation
+    w.put_u32(0); // lineage: parent checksum
+    w.put_u32(0); // lineage: selected utts
+    w.put_u8(0); // lineage: vote threshold
     w.put_u32(0); // zero fusions: caught by the fusion-count check
     w.put_u32(0); // zero subsystems: structurally valid, semantically not
     w.put_u64_slice(&[0]); // a [0] offset table matching "no sections"
-    let sealed = lre_artifact::seal(*b"BNDL", 2, &w.into_bytes());
+    let sealed = lre_artifact::seal(*b"BNDL", 3, &w.into_bytes());
     // Structurally intact container, semantically invalid payload — for
     // both the eager and the lazy reader.
     match SystemBundle::from_artifact_bytes(&sealed) {

@@ -14,7 +14,7 @@ pub enum Loss {
 }
 
 /// Training configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SvmTrainConfig {
     /// Cost parameter for positive examples.
     pub c_pos: f32,
@@ -150,6 +150,51 @@ pub fn train_binary(xs: &[SparseVec], ys: &[i8], dim: usize, cfg: &SvmTrainConfi
         }
     }
     LinearSvm { w, bias }
+}
+
+// The training config travels inside system bundles so downstream
+// retraining (the online DBA adaptation worker) reproduces offline
+// training bit-for-bit — same costs, same loss, same shuffle seed.
+impl lre_artifact::ArtifactWrite for SvmTrainConfig {
+    const KIND: [u8; 4] = *b"SVCF";
+    const VERSION: u32 = 1;
+
+    fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
+        w.put_f32(self.c_pos);
+        w.put_f32(self.c_neg);
+        w.put_u8(match self.loss {
+            Loss::L1 => 0,
+            Loss::L2 => 1,
+        });
+        w.put_u32(self.max_iter as u32);
+        w.put_f32(self.tol);
+        w.put_u64(self.seed);
+    }
+}
+
+impl lre_artifact::ArtifactRead for SvmTrainConfig {
+    fn read_payload(
+        r: &mut lre_artifact::ArtifactReader,
+    ) -> Result<SvmTrainConfig, lre_artifact::ArtifactError> {
+        let c_pos = r.get_f32()?;
+        let c_neg = r.get_f32()?;
+        let loss = match r.get_u8()? {
+            0 => Loss::L1,
+            1 => Loss::L2,
+            _ => return Err(lre_artifact::ArtifactError::Corrupt("unknown SVM loss tag")),
+        };
+        let max_iter = r.get_u32()? as usize;
+        let tol = r.get_f32()?;
+        let seed = r.get_u64()?;
+        Ok(SvmTrainConfig {
+            c_pos,
+            c_neg,
+            loss,
+            max_iter,
+            tol,
+            seed,
+        })
+    }
 }
 
 impl lre_artifact::ArtifactWrite for LinearSvm {
@@ -294,5 +339,27 @@ mod tests {
             m.weights(),
             m.bias()
         );
+    }
+
+    #[test]
+    fn train_config_roundtrips_and_rejects_bad_loss() {
+        use lre_artifact::{ArtifactRead, ArtifactWrite};
+        let cfg = SvmTrainConfig {
+            c_pos: 23.0,
+            c_neg: 0.5,
+            loss: Loss::L1,
+            max_iter: 17,
+            tol: 2.5e-4,
+            seed: 0xFEED_FACE,
+        };
+        let back = SvmTrainConfig::from_artifact_bytes(&cfg.to_artifact_bytes()).unwrap();
+        assert_eq!(back, cfg);
+        // A corrupted loss tag is a typed error, not a silent default.
+        let mut w = lre_artifact::ArtifactWriter::new();
+        cfg.write_payload(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[8] = 9; // the loss tag byte (after two f32 costs)
+        let sealed = lre_artifact::seal(SvmTrainConfig::KIND, SvmTrainConfig::VERSION, &bytes);
+        assert!(SvmTrainConfig::from_artifact_bytes(&sealed).is_err());
     }
 }
