@@ -259,6 +259,29 @@ impl DiagGmm {
     /// per-component log terms, `num_mix × n`.
     pub fn log_likelihood_block_t(&self, ft: &[f32], comps: &mut Vec<f32>, out: &mut [f32]) {
         let n = out.len();
+        self.fill_comps_block_t(ft, comps, n);
+        for (t, o) in out.iter_mut().enumerate() {
+            let mut max = f32::NEG_INFINITY;
+            for c in 0..self.num_mix {
+                let l = comps[c * n + t];
+                if l > max {
+                    max = l;
+                }
+            }
+            let mut sum = 0.0f32;
+            for c in 0..self.num_mix {
+                sum += (comps[c * n + t] - max).exp();
+            }
+            *o = max + sum.ln();
+        }
+    }
+
+    /// Per-component log terms for a transposed block: the Mahalanobis
+    /// distance accumulation and `log_const − q/2` shift shared by the exact
+    /// and fast-math log-sum-exp tails. Operation order matches the
+    /// historical [`DiagGmm::log_likelihood_block_t`] body exactly, so the
+    /// exact path through this helper stays bit-identical.
+    fn fill_comps_block_t(&self, ft: &[f32], comps: &mut Vec<f32>, n: usize) {
         debug_assert_eq!(ft.len(), n * self.dim);
         comps.clear();
         comps.resize(self.num_mix * n, 0.0);
@@ -278,19 +301,97 @@ impl DiagGmm {
                 *q = log_const - 0.5 * *q;
             }
         }
-        for (t, o) in out.iter_mut().enumerate() {
-            let mut max = f32::NEG_INFINITY;
-            for c in 0..self.num_mix {
-                let l = comps[c * n + t];
-                if l > max {
-                    max = l;
+    }
+
+    /// [`DiagGmm::log_likelihood_block_t`] under the bounded-error
+    /// fast-math contract.
+    ///
+    /// The Mahalanobis form is expanded around the mean,
+    /// `log_const − q/2 = c₀ + Σ_d (iv·µ)_d·x_d − ½ Σ_d iv_d·x²_d`, and
+    /// accumulated as two fused multiply-adds per element over a shared
+    /// `x²` block — the reassociation + FMA contraction that the exact
+    /// kernel deliberately forgoes to stay bit-identical. The log-sum-exp
+    /// tail runs on the polynomial [`crate::fastmath`] kernels. Each
+    /// rounding difference is at the 1-ulp scale of the partial sums, so
+    /// the per-frame deviation stays well inside
+    /// [`crate::fastmath::FASTMATH_LSE_ABS_BOUND`] for CMVN-normalized
+    /// features. (The speedup assumes FMA hardware; without it `mul_add`
+    /// falls back to a slow-but-correct libm call.)
+    ///
+    /// The log-sum-exp tail is restructured frame-innermost: the exact
+    /// tail's per-frame loop over components is a chain of scalar libm
+    /// calls, while [`crate::fastmath::fast_exp`] is inline branch-free
+    /// arithmetic the autovectorizer can run one vector of *frames* at a
+    /// time. All scratch (component rows, per-frame max/sum, squared
+    /// features) lives in the caller's `comps` buffer, so steady-state
+    /// block scoring does no allocation in either mode.
+    pub fn log_likelihood_block_t_fast(&self, ft: &[f32], comps: &mut Vec<f32>, out: &mut [f32]) {
+        let n = out.len();
+        let dim = self.dim;
+        let k = self.num_mix;
+        debug_assert_eq!(ft.len(), n * dim);
+        comps.clear();
+        comps.resize(k * n + 2 * n + dim * n + dim, 0.0);
+        let (crows, rest) = comps.split_at_mut(k * n);
+        let (maxv, rest) = rest.split_at_mut(n);
+        let (sums, rest) = rest.split_at_mut(n);
+        let (ft2, mrow) = rest.split_at_mut(dim * n);
+        for (x2, &x) in ft2.iter_mut().zip(ft) {
+            *x2 = x * x;
+        }
+        for c in 0..k {
+            let means = &self.means[c * dim..(c + 1) * dim];
+            let ivs = &self.inv_vars[c * dim..(c + 1) * dim];
+            let mut c0 = self.log_consts[c];
+            for ((m, &mu), &iv) in mrow.iter_mut().zip(means).zip(ivs) {
+                *m = mu * iv;
+                c0 -= 0.5 * mu * *m;
+            }
+            let crow = &mut crows[c * n..(c + 1) * n];
+            crow.fill(c0);
+            for d in 0..dim {
+                let m = mrow[d];
+                let v = -0.5 * ivs[d];
+                let col = &ft[d * n..(d + 1) * n];
+                let col2 = &ft2[d * n..(d + 1) * n];
+                for ((q, &x), &x2) in crow.iter_mut().zip(col).zip(col2) {
+                    *q = m.mul_add(x, v.mul_add(x2, *q));
                 }
             }
-            let mut sum = 0.0f32;
-            for c in 0..self.num_mix {
-                sum += (comps[c * n + t] - max).exp();
+        }
+        maxv.fill(f32::NEG_INFINITY);
+        for c in 0..k {
+            let crow = &crows[c * n..(c + 1) * n];
+            for (mx, &l) in maxv.iter_mut().zip(crow) {
+                *mx = mx.max(l);
             }
-            *o = max + sum.ln();
+        }
+        sums.fill(0.0);
+        for c in 0..k {
+            let crow = &crows[c * n..(c + 1) * n];
+            for ((s, &l), &mx) in sums.iter_mut().zip(crow).zip(maxv.iter()) {
+                *s += crate::fastmath::fast_exp(l - mx);
+            }
+        }
+        for ((o, &s), &mx) in out.iter_mut().zip(sums.iter()).zip(maxv.iter()) {
+            *o = mx + crate::fastmath::fast_ln(s);
+        }
+    }
+
+    /// Mode-dispatched transposed-block scoring: `Exact` is the historical
+    /// bit-identical kernel, `FastMath` the bounded-error one.
+    pub fn log_likelihood_block_t_mode(
+        &self,
+        ft: &[f32],
+        comps: &mut Vec<f32>,
+        out: &mut [f32],
+        mode: crate::fastmath::ScoringMode,
+    ) {
+        match mode {
+            crate::fastmath::ScoringMode::Exact => self.log_likelihood_block_t(ft, comps, out),
+            crate::fastmath::ScoringMode::FastMath => {
+                self.log_likelihood_block_t_fast(ft, comps, out)
+            }
         }
     }
 
@@ -469,6 +570,54 @@ mod tests {
             "{} vs {}",
             total_ll(&g5),
             total_ll(&g0)
+        );
+    }
+}
+
+#[cfg(test)]
+mod timing {
+    use super::*;
+
+    #[test]
+    #[ignore = "manual timing probe"]
+    fn block_kernel_stage_split() {
+        let dim = 39;
+        let k = 8;
+        let n = 64;
+        let mut rng = 0x12345u64;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((rng >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let means: Vec<f32> = (0..dim * k).map(|_| next() * 4.0).collect();
+        let vars: Vec<f32> = (0..dim * k).map(|_| 0.5 + next().abs() * 2.0).collect();
+        let weights: Vec<f32> = vec![1.0 / k as f32; k];
+        let g = DiagGmm::from_params(means, vars, weights, dim);
+        let ft: Vec<f32> = (0..dim * n).map(|_| next() * 6.0).collect();
+        let mut comps = Vec::new();
+        let mut out = vec![0.0f32; n];
+        let reps = 20000;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            g.fill_comps_block_t(&ft, &mut comps, n);
+        }
+        let fill = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            g.log_likelihood_block_t(&ft, &mut comps, &mut out);
+        }
+        let exact = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            g.log_likelihood_block_t_fast(&ft, &mut comps, &mut out);
+        }
+        let fast = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        println!(
+            "fill={fill:.3}s exact={exact:.3}s (tail={:.3}s) fast={fast:.3}s",
+            exact - fill
         );
     }
 }

@@ -144,6 +144,7 @@ fn main() {
                 max_batch: args.max_batch,
                 max_wait: Duration::from_millis(args.max_wait_ms),
                 queue_capacity: (args.inflight * 4).max(64),
+                fast_math: false,
             },
             max_inflight: args.inflight,
             max_global_inflight: 0,

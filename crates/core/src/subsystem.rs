@@ -179,13 +179,14 @@ impl Frontend {
     /// Decode a batch in parallel (rayon over utterances), one reusable
     /// [`DecodeScratch`] per worker thread.
     ///
-    /// The vendored rayon stand-in splits work into one *contiguous* chunk
-    /// per worker, so a skewed batch (e.g. all 30-second utterances at the
-    /// front, 3-second ones at the back) would leave most workers idle while
-    /// one grinds through the long chunk. Dispatch therefore runs through
-    /// [`balanced_chunk_order`]: utterances are assigned longest-first so
-    /// every contiguous chunk carries a near-equal frame total, and results
-    /// are scattered back so output order still matches `specs`.
+    /// The vendored rayon stand-in now work-steals (workers claim small
+    /// index blocks from a shared atomic counter), so load balance no
+    /// longer depends on the submission order. Dispatch still runs through
+    /// [`balanced_chunk_order`] as an *optional* pre-balancer: longest-first
+    /// ordering keeps the tail of the batch short (the last stolen blocks
+    /// are the cheap utterances), which slightly tightens the finish line,
+    /// and the scatter-back below keeps output order matching `specs`
+    /// either way.
     pub fn supervector_batch(
         &self,
         specs: &[UttSpec],
@@ -229,13 +230,14 @@ impl Frontend {
 /// Processing order that balances per-worker cost under a contiguous-chunk
 /// split.
 ///
-/// The executor behind `par_iter` hands worker `b` the contiguous index
-/// range `[b·⌈n/w⌉, (b+1)·⌈n/w⌉)`. This function returns a permutation of
-/// `0..costs.len()` such that each of those ranges receives a near-equal
-/// share of `Σ costs`: items are taken longest-first (LPT greedy) and each
-/// is placed in the currently lightest chunk that still has a free slot.
-/// Every chunk fills to exactly its capacity, so position `j` of the
-/// returned order lands on the same worker the executor assigns it to.
+/// Historically load-bearing: the executor behind `par_iter` used to hand
+/// worker `b` the contiguous index range `[b·⌈n/w⌉, (b+1)·⌈n/w⌉)`, and this
+/// permutation of `0..costs.len()` gives each such range a near-equal share
+/// of `Σ costs` (items taken longest-first — LPT greedy — each placed in
+/// the currently lightest chunk with a free slot). The executor now
+/// work-steals, so correctness and balance no longer depend on this
+/// ordering; it survives as an optional pre-balancer that front-loads
+/// expensive items so the steal queue's tail is cheap.
 pub fn balanced_chunk_order(costs: &[usize], workers: usize) -> Vec<usize> {
     let n = costs.len();
     if n == 0 {

@@ -1,7 +1,7 @@
 //! Token-passing phone-loop Viterbi decoder with confusion-network output.
 
 use crate::confusion::{ConfusionNetwork, SlotEntry};
-use lre_am::{AcousticModel, StateInventory, STATES_PER_PHONE};
+use lre_am::{AcousticModel, ScoringMode, StateInventory, STATES_PER_PHONE};
 use lre_dsp::FrameMatrix;
 
 /// Decoder parameters.
@@ -22,6 +22,11 @@ pub struct DecoderConfig {
     /// list. A sufficiently wide beam (nothing ever falls outside it)
     /// reproduces the exact path state-for-state.
     pub beam: Option<f32>,
+    /// Arithmetic used for emission scoring and segment posteriors.
+    /// `Exact` (the default) is bit-identical to the historical decoder;
+    /// `FastMath` swaps in the bounded-error polynomial kernels from
+    /// `lre_am::fastmath` and is opt-in end to end.
+    pub scoring: ScoringMode,
 }
 
 impl Default for DecoderConfig {
@@ -32,13 +37,15 @@ impl Default for DecoderConfig {
             top_k: 4,
             posterior_scale: 1.0,
             beam: None,
+            scoring: ScoringMode::Exact,
         }
     }
 }
 
 impl lre_artifact::ArtifactWrite for DecoderConfig {
     const KIND: [u8; 4] = *b"DCFG";
-    const VERSION: u32 = 1;
+    // v2 appends the scoring-mode byte.
+    const VERSION: u32 = 2;
 
     fn write_payload(&self, w: &mut lre_artifact::ArtifactWriter) {
         w.put_f32(self.acoustic_scale);
@@ -52,6 +59,7 @@ impl lre_artifact::ArtifactWrite for DecoderConfig {
             }
             None => w.put_u8(0),
         }
+        w.put_u8(self.scoring.to_u8());
     }
 }
 
@@ -68,6 +76,8 @@ impl lre_artifact::ArtifactRead for DecoderConfig {
             1 => Some(r.get_f32()?),
             _ => return Err(lre_artifact::ArtifactError::Corrupt("bad beam flag")),
         };
+        let scoring = ScoringMode::from_u8(r.get_u8()?)
+            .ok_or(lre_artifact::ArtifactError::Corrupt("bad scoring mode"))?;
         if top_k == 0 {
             return Err(lre_artifact::ArtifactError::Corrupt(
                 "decoder top_k is zero",
@@ -79,6 +89,7 @@ impl lre_artifact::ArtifactRead for DecoderConfig {
             top_k,
             posterior_scale,
             beam,
+            scoring,
         })
     }
 }
@@ -117,11 +128,24 @@ pub fn score_all_frames(am: &AcousticModel, feats: &FrameMatrix) -> Vec<f32> {
 /// repeated decodes can reuse one allocation. Scoring goes through the
 /// scorer's batched [`lre_am::FrameScorer::score_block`] path.
 pub fn score_all_frames_into(am: &AcousticModel, feats: &FrameMatrix, scores: &mut Vec<f32>) {
+    score_all_frames_into_mode(am, feats, ScoringMode::Exact, scores);
+}
+
+/// [`score_all_frames_into`] with an explicit [`ScoringMode`]: `Exact` is
+/// the historical bit-identical batched path, `FastMath` the bounded-error
+/// kernels (see `lre_am::fastmath`).
+pub fn score_all_frames_into_mode(
+    am: &AcousticModel,
+    feats: &FrameMatrix,
+    mode: ScoringMode,
+    scores: &mut Vec<f32>,
+) {
     let s = am.scorer.num_states();
     let t_max = feats.num_frames();
     scores.clear();
     scores.resize(t_max * s, 0.0);
-    am.scorer.score_block(feats.as_slice(), feats.dim(), scores);
+    am.scorer
+        .score_block_mode(feats.as_slice(), feats.dim(), mode, scores);
 }
 
 /// Reusable decoder working memory: emission-score block, Viterbi rows,
@@ -181,7 +205,7 @@ pub fn decode_with_scratch(
         };
     }
 
-    score_all_frames_into(am, feats, &mut scratch.scores);
+    score_all_frames_into_mode(am, feats, cfg.scoring, &mut scratch.scores);
     let scores = &scratch.scores;
     let ascale = cfg.acoustic_scale;
     let (log_self, log_next) = (am.topology.log_self, am.topology.log_next);
@@ -451,9 +475,16 @@ fn segment_slot(
         max = max.max(*ps);
     }
     let mut denom = 0.0f32;
-    for ps in phone_scores.iter_mut() {
-        *ps = (*ps - max).exp();
-        denom += *ps;
+    if cfg.scoring.is_fast() {
+        for ps in phone_scores.iter_mut() {
+            *ps = lre_am::fastmath::fast_exp(*ps - max);
+            denom += *ps;
+        }
+    } else {
+        for ps in phone_scores.iter_mut() {
+            *ps = (*ps - max).exp();
+            denom += *ps;
+        }
     }
 
     // Top-k selection (num_phones is ≤ 64; a partial selection loop is fine).
@@ -586,6 +617,49 @@ mod tests {
     fn wavy_feats(n: usize) -> FrameMatrix {
         let v: Vec<f32> = (0..n).map(|i| 2.2 * ((i as f32) * 0.37).sin()).collect();
         feats(&v)
+    }
+
+    #[test]
+    fn decoder_config_artifact_roundtrip_carries_scoring_mode() {
+        use lre_artifact::{ArtifactRead, ArtifactWrite};
+        for scoring in [ScoringMode::Exact, ScoringMode::FastMath] {
+            let cfg = DecoderConfig {
+                beam: Some(9.5),
+                scoring,
+                ..Default::default()
+            };
+            let back = DecoderConfig::from_artifact_bytes(&cfg.to_artifact_bytes()).unwrap();
+            assert_eq!(back.scoring, scoring);
+            assert_eq!(back.beam, cfg.beam);
+            assert_eq!(back.top_k, cfg.top_k);
+        }
+    }
+
+    #[test]
+    fn fastmath_decode_tracks_exact_decode() {
+        let am = toy_am();
+        let f = wavy_feats(60);
+        let exact = decode(&am, &f, &DecoderConfig::default());
+        let fast = decode(
+            &am,
+            &f,
+            &DecoderConfig {
+                scoring: ScoringMode::FastMath,
+                ..Default::default()
+            },
+        );
+        assert_eq!(fast.num_frames, exact.num_frames);
+        // Kernel error on emission scores is ≤ 5e-5 per frame; the path
+        // score sums ~60 of them under the acoustic scale, so a loose 1e-2
+        // tolerance is still orders of magnitude above the expected drift.
+        assert!((fast.viterbi_score - exact.viterbi_score).abs() < 1e-2);
+        // On this well-separated toy model the segmentation itself is
+        // stable under the perturbation.
+        assert_eq!(fast.segments, exact.segments);
+        for (fs, es) in fast.network.slots().iter().zip(exact.network.slots()) {
+            assert_eq!(fs[0].phone, es[0].phone);
+            assert!((fs[0].prob - es[0].prob).abs() < 1e-3);
+        }
     }
 
     #[test]

@@ -72,8 +72,8 @@ fn print_stats(s: &StatsSnapshot, extended: bool) {
     };
     let ext = if extended {
         format!(
-            " expired={} failed={} shed_global={} generation={} swaps={} rollbacks={}",
-            s.expired, s.failed, s.shed_global, s.generation, s.swaps, s.rollbacks
+            " expired={} failed={} shed_global={} generation={} swaps={} rollbacks={} fast_math={}",
+            s.expired, s.failed, s.shed_global, s.generation, s.swaps, s.rollbacks, s.fast_math
         )
     } else {
         String::new()

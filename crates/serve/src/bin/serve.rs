@@ -13,8 +13,16 @@
 //! `--lazy` opens the bundle through its offset table and decodes each
 //! subsystem section on first use, so startup cost is the header parse
 //! rather than the full model decode.
+//!
+//! `--fast-math` scores with the bounded-error polynomial kernels instead
+//! of exact libm arithmetic. It is refused unless the bundle was built
+//! with `lre-train-bundle --allow-fast-math`: fast-math trades the
+//! bit-identity contract for speed, so the producer must have opted in.
+//! The active mode is surfaced as the `fast_math` field of the v2 stats
+//! reply.
 
 use lre_artifact::ArtifactRead;
+use lre_dba::ScoringMode;
 use lre_serve::{LazyBundle, ScoringSystem, Server, ServerConfig, SystemBundle};
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -25,9 +33,23 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: lre-serve --bundle PATH [--addr HOST:PORT] [--workers N] \
          [--max-batch N] [--max-wait-ms N] [--queue N] [--max-inflight N] \
-         [--max-global-inflight N] [--lazy]"
+         [--max-global-inflight N] [--lazy] [--fast-math]"
     );
     std::process::exit(2);
+}
+
+/// `--fast-math` without the bundle's consent is a startup error, not a
+/// silent downgrade: the operator asked for arithmetic the bundle's
+/// producer never validated.
+fn check_fastmath_opt_in(requested: bool, opted_in: bool) {
+    if requested && !opted_in {
+        eprintln!(
+            "error: --fast-math refused: bundle was not built with \
+             --allow-fast-math (its scores were validated under exact \
+             arithmetic only)"
+        );
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -35,6 +57,7 @@ fn main() {
     let mut addr = "127.0.0.1:7700".to_string();
     let mut cfg = ServerConfig::default();
     let mut lazy = false;
+    let mut fast_math = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let parse_num = |args: &[String], i: usize, what: &str| -> usize {
@@ -84,13 +107,14 @@ fn main() {
                 cfg.max_global_inflight = parse_num(&args, i, "--max-global-inflight");
             }
             "--lazy" => lazy = true,
+            "--fast-math" => fast_math = true,
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
     }
     let bundle_path = bundle_path.unwrap_or_else(|| usage("--bundle is required"));
 
-    let system = if lazy {
+    let mut system = if lazy {
         match LazyBundle::load(&bundle_path).and_then(|b| {
             eprintln!(
                 "[serve] lazy bundle: scale={}, seed={}, {} subsystems (sections decode on demand)",
@@ -98,9 +122,10 @@ fn main() {
                 b.seed,
                 b.num_subsystems()
             );
+            check_fastmath_opt_in(fast_math, b.fastmath_opt_in);
             ScoringSystem::from_lazy(b)
         }) {
-            Ok(s) => Arc::new(s),
+            Ok(s) => s,
             Err(e) => {
                 eprintln!("error: loading {}: {e}", bundle_path.display());
                 std::process::exit(1);
@@ -120,14 +145,21 @@ fn main() {
             bundle.seed,
             bundle.subsystems.len()
         );
+        check_fastmath_opt_in(fast_math, bundle.fastmath_opt_in);
         match ScoringSystem::from_bundle(bundle) {
-            Ok(s) => Arc::new(s),
+            Ok(s) => s,
             Err(e) => {
                 eprintln!("error: invalid bundle: {e}");
                 std::process::exit(1);
             }
         }
     };
+    if fast_math {
+        system.set_scoring_mode(ScoringMode::FastMath);
+        cfg.engine.fast_math = true;
+        eprintln!("[serve] fast-math scoring enabled (bundle opted in)");
+    }
+    let system = Arc::new(system);
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
         Err(e) => {

@@ -10,20 +10,23 @@
 //! in a fresh process reproduces the saved experiment's fused scores to
 //! the last bit (covered by `tests/serve_roundtrip.rs`).
 //!
-//! ## Layout (container version 3)
+//! ## Layout (container version 4)
 //!
 //! Version 2 stored each subsystem as an independently sealed artifact
 //! blob addressed by a `u64` **section offset table**, so a reader can map
-//! one subsystem's bytes without decoding any other. Version 3 adds the
+//! one subsystem's bytes without decoding any other. Version 3 added the
 //! SVM training configuration (so online adaptation retrains with exactly
 //! the recipe the bundle was built with) and a [`Lineage`] section tying a
-//! boosted bundle back to its parent:
+//! boosted bundle back to its parent. Version 4 adds the fast-math opt-in
+//! byte (and its `SUBS` sections embed the v2 `DCFG` payload, which
+//! carries a scoring-mode byte):
 //!
 //! ```text
 //! seed (u64) · scale name (str) · N-gram order (u32)
 //! svm config (inline "SVCF" payload)
 //! lineage: generation (u64) · parent checksum (u32) ·
 //!          selected utts (u32) · vote threshold (u8)
+//! fastmath opt-in (u8)
 //! fusion count (u32) · fusion payloads (inline)
 //! subsystem count n (u32) · offsets (u64 slice, n+1 entries)
 //! section region: n concatenated sealed "SUBS" artifacts
@@ -105,6 +108,12 @@ pub struct SystemBundle {
     pub svm: SvmTrainConfig,
     /// Adaptation provenance ([`Lineage::root`] for offline bundles).
     pub lineage: Lineage,
+    /// Whether the bundle's producer vouched for fast-math serving
+    /// (`lre-train-bundle --allow-fast-math`). `lre-serve --fast-math`
+    /// refuses to start unless this is set: the bounded-error kernels trade
+    /// bit-identity for speed, so the trade must be accepted at training
+    /// time, not sprung on a bundle whose scores were validated exact.
+    pub fastmath_opt_in: bool,
     pub subsystems: Vec<SubsystemBundle>,
     /// Fusion backends indexed like [`Duration::all`].
     pub fusions: Vec<LdaMmiFusion>,
@@ -162,6 +171,7 @@ impl SystemBundle {
             max_order: cfg.max_order as u32,
             svm: cfg.svm,
             lineage: Lineage::root(),
+            fastmath_opt_in: false,
             subsystems,
             fusions,
         }
@@ -170,7 +180,8 @@ impl SystemBundle {
 
 impl ArtifactWrite for SubsystemBundle {
     const KIND: [u8; 4] = *b"SUBS";
-    const VERSION: u32 = 1;
+    // v2: the embedded decoder payload is DCFG v2 (adds the scoring byte).
+    const VERSION: u32 = 2;
 
     fn write_payload(&self, w: &mut ArtifactWriter) {
         w.put_u8(self.spec_index);
@@ -223,6 +234,7 @@ struct BundleHeader {
     max_order: u32,
     svm: SvmTrainConfig,
     lineage: Lineage,
+    fastmath_opt_in: bool,
     fusions: Vec<LdaMmiFusion>,
     /// Section offsets, relative to the region start; `n + 1` entries.
     offsets: Vec<u64>,
@@ -250,6 +262,11 @@ fn read_header(r: &mut ArtifactReader) -> Result<BundleHeader, ArtifactError> {
     let max_order = r.get_u32()?;
     let svm = SvmTrainConfig::read_payload(r)?;
     let lineage = read_lineage(r)?;
+    let fastmath_opt_in = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(ArtifactError::Corrupt("bad fastmath opt-in flag")),
+    };
     let nf = r.get_u32()? as usize;
     let fusions: Vec<LdaMmiFusion> = (0..nf)
         .map(|_| LdaMmiFusion::read_payload(r))
@@ -282,6 +299,7 @@ fn read_header(r: &mut ArtifactReader) -> Result<BundleHeader, ArtifactError> {
         max_order,
         svm,
         lineage,
+        fastmath_opt_in,
         fusions,
         offsets,
     })
@@ -289,7 +307,8 @@ fn read_header(r: &mut ArtifactReader) -> Result<BundleHeader, ArtifactError> {
 
 impl ArtifactWrite for SystemBundle {
     const KIND: [u8; 4] = *b"BNDL";
-    const VERSION: u32 = 3;
+    // v4: adds the fast-math opt-in byte (and SUBS v2 sections).
+    const VERSION: u32 = 4;
 
     fn write_payload(&self, w: &mut ArtifactWriter) {
         w.put_u64(self.seed);
@@ -297,6 +316,7 @@ impl ArtifactWrite for SystemBundle {
         w.put_u32(self.max_order);
         self.svm.write_payload(w);
         write_lineage(w, &self.lineage);
+        w.put_u8(self.fastmath_opt_in as u8);
         w.put_u32(self.fusions.len() as u32);
         for f in &self.fusions {
             f.write_payload(w);
@@ -345,6 +365,7 @@ impl ArtifactRead for SystemBundle {
             max_order: h.max_order,
             svm: h.svm,
             lineage: h.lineage,
+            fastmath_opt_in: h.fastmath_opt_in,
             subsystems,
             fusions: h.fusions,
         })
@@ -366,6 +387,8 @@ pub struct LazyBundle {
     pub svm: SvmTrainConfig,
     /// Adaptation provenance (see [`SystemBundle::lineage`]).
     pub lineage: Lineage,
+    /// Fast-math opt-in (see [`SystemBundle::fastmath_opt_in`]).
+    pub fastmath_opt_in: bool,
     fusions: Vec<LdaMmiFusion>,
     /// The entire sealed container.
     bytes: Vec<u8>,
@@ -391,6 +414,7 @@ impl LazyBundle {
             max_order: h.max_order,
             svm: h.svm,
             lineage: h.lineage,
+            fastmath_opt_in: h.fastmath_opt_in,
             fusions: h.fusions,
             bytes,
             region_start,

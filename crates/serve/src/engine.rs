@@ -42,6 +42,11 @@ pub struct EngineConfig {
     pub max_wait: Duration,
     /// Queue capacity; submissions beyond it are shed.
     pub queue_capacity: usize,
+    /// Whether the installed scorer runs the fast-math kernels (set by the
+    /// serving binary after the bundle opt-in check). Observability only:
+    /// the mode itself lives in the scorer's decoder configs; this flag
+    /// surfaces it in [`StatsSnapshot`] and the v2 stats wire.
+    pub fast_math: bool,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +59,7 @@ impl Default for EngineConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             queue_capacity: 64,
+            fast_math: false,
         }
     }
 }
@@ -153,6 +159,10 @@ pub struct StatsSnapshot {
     pub swaps: u64,
     /// How many of those installs were guard rollbacks.
     pub rollbacks: u64,
+    /// `1` if the installed scorer runs fast-math kernels, `0` for exact
+    /// arithmetic (a flag carried as a counter so the v2 stats wire stays a
+    /// homogeneous `u64` list).
+    pub fast_math: u64,
 }
 
 #[derive(Default)]
@@ -188,6 +198,7 @@ pub struct Engine {
     dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     started: Instant,
+    fast_math: bool,
 }
 
 impl Engine {
@@ -308,6 +319,7 @@ impl Engine {
             dispatcher: Mutex::new(Some(dispatcher)),
             workers: Mutex::new(workers),
             started: Instant::now(),
+            fast_math: cfg.fast_math,
         }
     }
 
@@ -403,6 +415,7 @@ impl Engine {
             generation: self.handle.generation(),
             swaps: self.handle.swap_count(),
             rollbacks: self.handle.rollback_count(),
+            fast_math: self.fast_math as u64,
         }
     }
 

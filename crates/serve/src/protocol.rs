@@ -307,6 +307,7 @@ fn put_stats(w: &mut ArtifactWriter, s: &StatsSnapshot, extended: bool) {
         vals.push(s.generation);
         vals.push(s.swaps);
         vals.push(s.rollbacks);
+        vals.push(s.fast_math);
     }
     for v in vals {
         w.put_u64(v);
@@ -321,8 +322,8 @@ pub fn encode_stats_ok(s: &StatsSnapshot) -> Vec<u8> {
 }
 
 /// Extended (v2) stats reply: the nine v1 counters plus deadline
-/// expirations, internal failures, global-admission sheds, and the model
-/// generation / swap / rollback counters.
+/// expirations, internal failures, global-admission sheds, the model
+/// generation / swap / rollback counters, and the fast-math flag.
 pub fn encode_stats_ok_v2(s: &StatsSnapshot) -> Vec<u8> {
     let mut w = ArtifactWriter::new();
     w.put_u8(STATUS_OK);
@@ -347,6 +348,7 @@ fn get_stats(r: &mut ArtifactReader, extended: bool) -> Result<StatsSnapshot, Ar
         generation: 0,
         swaps: 0,
         rollbacks: 0,
+        fast_math: 0,
     };
     if extended {
         s.expired = r.get_u64()?;
@@ -355,6 +357,7 @@ fn get_stats(r: &mut ArtifactReader, extended: bool) -> Result<StatsSnapshot, Ar
         s.generation = r.get_u64()?;
         s.swaps = r.get_u64()?;
         s.rollbacks = r.get_u64()?;
+        s.fast_math = r.get_u64()?;
     }
     if r.remaining() != 0 {
         return Err(ArtifactError::TrailingBytes);
@@ -516,6 +519,7 @@ mod tests {
             generation: 0,
             swaps: 0,
             rollbacks: 0,
+            fast_math: 0,
         };
         assert_eq!(
             decode_stats_reply(&encode_stats_ok(&s)).unwrap().unwrap(),
@@ -529,6 +533,7 @@ mod tests {
         ext.generation = 2;
         ext.swaps = 3;
         ext.rollbacks = 1;
+        ext.fast_math = 1;
         assert_eq!(
             decode_stats_reply_v2(&encode_stats_ok_v2(&ext))
                 .unwrap()

@@ -3,7 +3,7 @@
 use crate::bundle::{LazyBundle, SubsystemBundle, SystemBundle};
 use lre_artifact::ArtifactError;
 use lre_corpus::Duration;
-use lre_dba::{standard_subsystems, Frontend};
+use lre_dba::{standard_subsystems, Frontend, ScoringMode};
 use lre_dsp::FrameConfig;
 use lre_eval::ScoreMatrix;
 use lre_lattice::DecodeScratch;
@@ -126,6 +126,10 @@ pub struct ScoringSystem {
     /// Indexed like [`Duration::all`].
     fusions: Vec<lre_backend::LdaMmiFusion>,
     num_classes: usize,
+    /// Scoring arithmetic applied to every materialized front-end's decoder
+    /// (set once at construction via [`ScoringSystem::set_scoring_mode`],
+    /// before any scoring). `Exact` by default.
+    mode: ScoringMode,
 }
 
 fn load_sub(s: SubsystemBundle, num_classes: usize) -> Result<LoadedSub, ArtifactError> {
@@ -176,6 +180,7 @@ impl ScoringSystem {
             source: None,
             fusions: bundle.fusions,
             num_classes,
+            mode: ScoringMode::Exact,
         })
     }
 
@@ -197,7 +202,26 @@ impl ScoringSystem {
             source: Some(source),
             fusions,
             num_classes,
+            mode: ScoringMode::Exact,
         })
+    }
+
+    /// Switch the scoring arithmetic for every subsystem (already
+    /// materialized or still sealed). Call once at startup, before scoring:
+    /// the serving binary does this after verifying the bundle's
+    /// [`crate::bundle::SystemBundle::fastmath_opt_in`] flag.
+    pub fn set_scoring_mode(&mut self, mode: ScoringMode) {
+        self.mode = mode;
+        for cell in &mut self.subs {
+            if let Some(loaded) = cell.get_mut() {
+                loaded.frontend.decoder.scoring = mode;
+            }
+        }
+    }
+
+    /// The scoring arithmetic this system applies (serving stats surface).
+    pub fn scoring_mode(&self) -> ScoringMode {
+        self.mode
     }
 
     /// Number of target languages (LLR vector length).
@@ -223,9 +247,11 @@ impl ScoringSystem {
                 .source
                 .as_ref()
                 .ok_or(ArtifactError::Corrupt("unloaded subsystem in eager system"))?;
-            let loaded = load_sub(source.subsystem(q)?, self.num_classes)?;
+            let mut loaded = load_sub(source.subsystem(q)?, self.num_classes)?;
+            loaded.frontend.decoder.scoring = self.mode;
             // A concurrent worker may have won the race; both decoded the
-            // same bytes, so dropping the loser changes nothing.
+            // same bytes (and apply the same mode), so dropping the loser
+            // changes nothing.
             let _ = self.subs[q].set(loaded);
         }
         Ok(self.subs[q].get().expect("just initialized"))

@@ -111,6 +111,7 @@ fn fast_config() -> ServerConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             queue_capacity: 64,
+            fast_math: false,
         },
         max_inflight: 4,
         max_global_inflight: 0,
@@ -426,6 +427,7 @@ fn engine_shutdown_is_idempotent_and_submissions_after_it_fail_fast() {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             queue_capacity: 16,
+            fast_math: false,
         },
         Arc::new(MockScorer { classes: 2 }),
     );

@@ -106,6 +106,7 @@ fn concurrent_swaps_never_tear_model_from_generation() {
             max_batch: 4,
             max_wait: Duration::from_micros(200),
             queue_capacity: 256,
+            fast_math: false,
         },
         Arc::clone(&handle),
         None,
@@ -179,6 +180,7 @@ fn a_swap_landing_mid_batch_does_not_tear_the_batch() {
             // it, so the dispatcher forms exactly one batch.
             max_wait: Duration::from_millis(500),
             queue_capacity: 64,
+            fast_math: false,
         },
         Arc::clone(&handle),
         None,
@@ -255,6 +257,7 @@ fn rollback_restores_the_parent_scorer_and_checksum_bit_identically() {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             queue_capacity: 64,
+            fast_math: false,
         },
         Arc::clone(&handle),
         None,

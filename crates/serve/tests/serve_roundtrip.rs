@@ -122,6 +122,7 @@ fn train_save_reload_serve_bit_identical() {
                 max_batch: 4,
                 max_wait: std::time::Duration::from_millis(500),
                 queue_capacity: 256,
+                fast_math: false,
             },
             max_inflight: 8,
             max_global_inflight: 0,
@@ -211,6 +212,7 @@ fn train_save_reload_serve_bit_identical() {
             max_batch: 1,
             max_wait: std::time::Duration::from_millis(0),
             queue_capacity: 2,
+            fast_math: false,
         },
         Arc::clone(&system) as _,
     );
@@ -262,6 +264,7 @@ fn pipelined_lazy_round_trip_bit_identical() {
                 max_batch: 8,
                 max_wait: std::time::Duration::from_millis(200),
                 queue_capacity: 256,
+                fast_math: false,
             },
             max_inflight: 8,
             max_global_inflight: 0,
@@ -329,10 +332,11 @@ fn corrupt_bundles_fail_with_typed_errors_not_panics() {
     w.put_u32(0); // lineage: parent checksum
     w.put_u32(0); // lineage: selected utts
     w.put_u8(0); // lineage: vote threshold
+    w.put_u8(0); // fastmath opt-in: exact-only
     w.put_u32(0); // zero fusions: caught by the fusion-count check
     w.put_u32(0); // zero subsystems: structurally valid, semantically not
     w.put_u64_slice(&[0]); // a [0] offset table matching "no sections"
-    let sealed = lre_artifact::seal(*b"BNDL", 3, &w.into_bytes());
+    let sealed = lre_artifact::seal(*b"BNDL", 4, &w.into_bytes());
     // Structurally intact container, semantically invalid payload — for
     // both the eager and the lazy reader.
     match SystemBundle::from_artifact_bytes(&sealed) {

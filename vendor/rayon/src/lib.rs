@@ -3,9 +3,14 @@
 //! The build container cannot reach crates.io, so this crate implements the
 //! slice of rayon the workspace uses — `par_iter()` / `into_par_iter()`
 //! pipelines ending in `collect()`, plus `map_init` for per-worker scratch
-//! state — on top of `std::thread::scope`. Work is split into contiguous
-//! chunks, one per worker, which preserves output order and is a good fit
-//! for the workspace's uniform-cost utterance batches.
+//! state — on top of `std::thread::scope`. Work distribution is a shared
+//! atomic task dequeue: workers claim small index blocks with `fetch_add`
+//! until the range is exhausted, so a worker that finishes early keeps
+//! pulling work that would otherwise idle behind a slow chunk ("work
+//! stealing" in the self-scheduling sense). Results carry their original
+//! index and are scattered back into an order-preserving output vector, so
+//! `collect()` stays deterministic regardless of which worker ran which
+//! index.
 //!
 //! [`ThreadPoolBuilder`] / [`ThreadPool::install`] control the worker count
 //! via a process-global override (sufficient for the single-pool
@@ -265,8 +270,25 @@ impl<T> FromOrderedResults<T> for Vec<T> {
     }
 }
 
-/// Chunked scoped-thread executor: splits `0..n` into one contiguous chunk
-/// per worker, preserving output order.
+/// Block size workers claim per `fetch_add` on the shared task counter:
+/// small enough that an unlucky worker stuck behind one expensive block
+/// leaves at most `STEAL_CHUNK - 1` cheap neighbours stranded, large enough
+/// that the atomic traffic is negligible next to real work.
+fn steal_chunk(n: usize, threads: usize) -> usize {
+    (n / (threads * 8)).clamp(1, 1024)
+}
+
+/// Work-stealing scoped-thread executor over `0..n`.
+///
+/// All workers share one `AtomicUsize` cursor and claim `steal_chunk`-sized
+/// index blocks with `fetch_add` until the range runs dry — a worker that
+/// drains its block immediately claims the next unclaimed one, regardless
+/// of which worker "should" have owned it under a contiguous split. Each
+/// result is recorded with its input index and scattered back into a
+/// position-indexed output vector, so output order is input order no matter
+/// how the claims interleave. A panicking task propagates through
+/// `join()`'s unwind once every worker has stopped; there are no locks, so
+/// a panic cannot deadlock the scope.
 fn execute<T, R, I, F>(n: usize, init: I, f: F) -> Vec<R>
 where
     I: Fn() -> T + Sync,
@@ -278,26 +300,49 @@ where
         let mut state = init();
         return (0..n).map(|i| f(&mut state, i)).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    let chunk = steal_chunk(n, threads);
+    let cursor = AtomicUsize::new(0);
+    let mut locals: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let start = w * chunk;
-                let end = ((w + 1) * chunk).min(n);
+            .map(|_| {
+                let cursor = &cursor;
                 let init = &init;
                 let f = &f;
                 scope.spawn(move || {
                     let mut state = init();
-                    (start..end).map(|i| f(&mut state, i)).collect::<Vec<R>>()
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        local.reserve(end - start);
+                        for i in start..end {
+                            local.push((i, f(&mut state, i)));
+                        }
+                    }
+                    local
                 })
             })
             .collect();
         for h in handles {
-            out.push(h.join().expect("worker panicked"));
+            locals.push(h.join().expect("worker panicked"));
         }
     });
-    out.into_iter().flatten().collect()
+    // Deterministic scatter-back: place each result at its input index.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in locals.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("index {i} never executed")))
+        .collect()
 }
 
 /// `.par_iter()` on borrowed collections.
