@@ -17,7 +17,7 @@
 use lre_adapt::{bundle_checksum, AdaptConfig, AdaptController, AdaptWorker, VoteLog};
 use lre_artifact::ArtifactRead;
 use lre_dba::GuardSet;
-use lre_serve::{ScorerHandle, ScoringSystem, Server, ServerConfig, SystemBundle};
+use lre_serve::{ScorerHandle, ScoringSystem, Server, ServerConfig, ServerHooks, SystemBundle};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -195,8 +195,11 @@ fn main() {
         listener,
         Arc::clone(&handle),
         cfg,
-        Some(log as _),
-        Some(controller as _),
+        ServerHooks {
+            tap: Some(log as _),
+            control: Some(controller as _),
+            fleet: None,
+        },
     ) {
         Ok(s) => s,
         Err(e) => {

@@ -27,8 +27,15 @@
 //! bit-identical to an offline `run_dba` (M1, same `V`) over the same
 //! selected utterances. `tests/online_adaptation.rs` enforces this.
 
-pub mod votelog;
 pub mod worker;
 
-pub use votelog::{VoteLog, VoteLogSnapshot, VoteRecord};
-pub use worker::{bundle_checksum, AdaptConfig, AdaptController, AdaptCounters, AdaptWorker};
+/// The vote log lives in `lre-serve` since the fleet tier (PR 7): a plain
+/// `lre-serve --fleet` replica buffers votes for a router-driven fleet
+/// cycle without depending on this crate. Re-exported here so existing
+/// adaptation code keeps one import path.
+pub use lre_serve::votelog;
+pub use lre_serve::{VoteLog, VoteLogSnapshot, VoteRecord};
+pub use worker::{
+    boost_round, bundle_checksum, AdaptConfig, AdaptController, AdaptCounters, AdaptWorker,
+    CandidateBundle, RoundOutcome,
+};

@@ -23,14 +23,13 @@
 //!    the serving [`ScorerHandle`]; the displaced model is retained so
 //!    [`AdaptController::rollback`] can restore it bit-identically.
 
-use crate::votelog::{VoteLog, VoteRecord};
 use lre_artifact::{crc32, ArtifactError, ArtifactRead, ArtifactWrite};
 use lre_corpus::Duration;
 use lre_dba::{build_tr_dba, dba_round_selection, DbaVariant, GuardSet};
 use lre_eval::ScoreMatrix;
 use lre_serve::{
-    AdaptControl, AdaptReport, ScorerHandle, ScoringSystem, SystemBundle, VersionedScorer,
-    ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
+    AdaptControl, AdaptReport, ScorerHandle, ScoringSystem, SystemBundle, VersionedScorer, VoteLog,
+    VoteRecord, ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
 };
 use lre_svm::OneVsRest;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,6 +76,117 @@ pub struct AdaptCounters {
     pub rejected_guard: u64,
     pub insufficient_data: u64,
     pub failed: u64,
+}
+
+/// A guard-approved candidate from one boosting round: the sealed bundle
+/// ready to install (or to stage fleet-wide), plus the round's selection
+/// stats.
+pub struct CandidateBundle {
+    /// Sealed bundle bytes, lineage already stamped
+    /// (`parent lineage generation + 1`, parent checksum, selection
+    /// stats).
+    pub bytes: Vec<u8>,
+    /// `bundle_checksum(&bytes)`.
+    pub checksum: u32,
+    /// Lineage generation stamped into the candidate.
+    pub lineage_generation: u64,
+    /// Utterances the Eq. 13 vote selected.
+    pub selected: u32,
+    /// Records consumed by the round.
+    pub drained: u32,
+}
+
+/// How one boosting round over an already-drained record set ended.
+pub enum RoundOutcome {
+    /// The vote selected nothing (or the pool was empty); no candidate was
+    /// trained.
+    Insufficient { drained: u32 },
+    /// The candidate regressed the guard metrics past the configured
+    /// slack.
+    RejectedGuard { selected: u32, drained: u32 },
+    /// The candidate cleared the guard and is ready to install.
+    Candidate(CandidateBundle),
+}
+
+/// One DBA boosting round as a pure function: records in, sealed
+/// guard-approved candidate (or a typed refusal) out. Shared by the
+/// single-process [`AdaptController`] and the fleet router's adaptation
+/// cycle, so a fleet-staged candidate is bit-identical to what the local
+/// controller would have promoted from the same records.
+///
+/// `parent_bytes` is the sealed bundle currently serving; the candidate's
+/// lineage is stamped from its decoded lineage generation and checksum.
+pub fn boost_round(
+    parent_bytes: &[u8],
+    records: &[VoteRecord],
+    guard: &GuardSet,
+    cfg: &AdaptConfig,
+) -> Result<RoundOutcome, ArtifactError> {
+    let drained = records.len() as u32;
+    let mut bundle = SystemBundle::from_artifact_bytes(parent_bytes)?;
+    if bundle.subsystems.len() != guard.num_subsystems() {
+        return Err(ArtifactError::Corrupt("guard/bundle subsystem counts"));
+    }
+
+    let num_subsystems = bundle.subsystems.len();
+    let pool = DurationPool::build(records, num_subsystems)?;
+    let sel = dba_round_selection(&pool.score_refs(), cfg.v_threshold);
+    let selected = sel.num_selected() as u32;
+    if selected == 0 {
+        return Ok(RoundOutcome::Insufficient { drained });
+    }
+
+    // Retrain every subsystem's VSM on the pseudo-labelled pool (M1:
+    // served utterances only — online adaptation has no original train
+    // set at hand), with the recipe frozen in the bundle.
+    let num_classes = bundle
+        .fusions
+        .first()
+        .ok_or(ArtifactError::Corrupt("bundle has no fusion backends"))?
+        .num_classes();
+    let cand_vsms: Vec<OneVsRest> = (0..num_subsystems)
+        .map(|q| {
+            let (xs, labels) = build_tr_dba(DbaVariant::M1, &sel.selected, &pool.svs[q], &[], &[]);
+            OneVsRest::train(
+                &xs,
+                &labels,
+                num_classes,
+                bundle.subsystems[q].builder.dim(),
+                &bundle.svm,
+            )
+        })
+        .collect();
+
+    // The eval guard: candidate vs parent on the held-back trial set.
+    let parent_vsms: Vec<OneVsRest> = bundle.subsystems.iter().map(|s| s.vsm.clone()).collect();
+    let parent_report = guard.evaluate(&parent_vsms, &bundle.fusions);
+    let cand_report = guard.evaluate(&cand_vsms, &bundle.fusions);
+    let regressed = cand_report.eer > parent_report.eer + cfg.max_eer_regress
+        || cand_report.min_cavg > parent_report.min_cavg + cfg.max_cavg_regress;
+    if regressed {
+        return Ok(RoundOutcome::RejectedGuard { selected, drained });
+    }
+
+    // Seal the candidate with its lineage.
+    let lineage_generation = bundle.lineage.generation + 1;
+    for (sub, vsm) in bundle.subsystems.iter_mut().zip(cand_vsms) {
+        sub.vsm = vsm;
+    }
+    bundle.lineage = lre_serve::Lineage {
+        generation: lineage_generation,
+        parent_checksum: bundle_checksum(parent_bytes),
+        selected_utts: selected,
+        v_threshold: cfg.v_threshold,
+    };
+    let bytes = bundle.to_artifact_bytes();
+    let checksum = bundle_checksum(&bytes);
+    Ok(RoundOutcome::Candidate(CandidateBundle {
+        bytes,
+        checksum,
+        lineage_generation,
+        selected,
+        drained,
+    }))
 }
 
 struct CtlState {
@@ -189,90 +299,48 @@ impl AdaptController {
                 });
             }
         };
-        let drained = records.len() as u32;
 
         // Serialize cycles (and rollbacks) end to end: selection, retrain
         // and swap must all act on one consistent parent.
         let mut state = self.state.lock().expect("adapt state poisoned");
         let parent_bytes = Arc::clone(&state.current_bytes);
-        let mut bundle = SystemBundle::from_artifact_bytes(&parent_bytes)?;
-
-        let num_subsystems = bundle.subsystems.len();
-        let pool = DurationPool::build(&records, num_subsystems)?;
-        let sel = dba_round_selection(&pool.score_refs(), self.cfg.v_threshold);
-        let selected = sel.num_selected() as u32;
-        if selected == 0 {
-            self.insufficient_data.fetch_add(1, Ordering::Relaxed);
-            return Ok(AdaptReport {
-                outcome: ADAPT_INSUFFICIENT_DATA,
-                generation: self.handle.generation(),
-                selected,
-                drained,
-            });
-        }
-
-        // Retrain every subsystem's VSM on the pseudo-labelled pool (M1:
-        // served utterances only — online adaptation has no original train
-        // set at hand), with the recipe frozen in the bundle.
-        let num_classes = bundle
-            .fusions
-            .first()
-            .ok_or(ArtifactError::Corrupt("bundle has no fusion backends"))?
-            .num_classes();
-        let cand_vsms: Vec<OneVsRest> = (0..num_subsystems)
-            .map(|q| {
-                let (xs, labels) =
-                    build_tr_dba(DbaVariant::M1, &sel.selected, &pool.svs[q], &[], &[]);
-                OneVsRest::train(
-                    &xs,
-                    &labels,
-                    num_classes,
-                    bundle.subsystems[q].builder.dim(),
-                    &bundle.svm,
-                )
-            })
-            .collect();
-
-        // The eval guard: candidate vs parent on the held-back trial set.
-        let parent_vsms: Vec<OneVsRest> = bundle.subsystems.iter().map(|s| s.vsm.clone()).collect();
-        let parent_report = self.guard.evaluate(&parent_vsms, &bundle.fusions);
-        let cand_report = self.guard.evaluate(&cand_vsms, &bundle.fusions);
-        let regressed = cand_report.eer > parent_report.eer + self.cfg.max_eer_regress
-            || cand_report.min_cavg > parent_report.min_cavg + self.cfg.max_cavg_regress;
-        if regressed {
-            self.rejected_guard.fetch_add(1, Ordering::Relaxed);
-            return Ok(AdaptReport {
-                outcome: ADAPT_REJECTED_GUARD,
-                generation: self.handle.generation(),
-                selected,
-                drained,
-            });
-        }
-
-        // Seal the candidate with its lineage, then promote atomically.
-        for (sub, vsm) in bundle.subsystems.iter_mut().zip(cand_vsms) {
-            sub.vsm = vsm;
-        }
-        bundle.lineage = lre_serve::Lineage {
-            generation: state.lineage_generation + 1,
-            parent_checksum: bundle_checksum(&parent_bytes),
-            selected_utts: selected,
-            v_threshold: self.cfg.v_threshold,
+        let candidate = match boost_round(&parent_bytes, &records, &self.guard, &self.cfg)? {
+            RoundOutcome::Insufficient { drained } => {
+                self.insufficient_data.fetch_add(1, Ordering::Relaxed);
+                return Ok(AdaptReport {
+                    outcome: ADAPT_INSUFFICIENT_DATA,
+                    generation: self.handle.generation(),
+                    selected: 0,
+                    drained,
+                });
+            }
+            RoundOutcome::RejectedGuard { selected, drained } => {
+                self.rejected_guard.fetch_add(1, Ordering::Relaxed);
+                return Ok(AdaptReport {
+                    outcome: ADAPT_REJECTED_GUARD,
+                    generation: self.handle.generation(),
+                    selected,
+                    drained,
+                });
+            }
+            RoundOutcome::Candidate(c) => c,
         };
-        let cand_bytes = bundle.to_artifact_bytes();
-        let cand_checksum = bundle_checksum(&cand_bytes);
-        let system = ScoringSystem::from_bundle(bundle)?;
+
+        // Promote atomically: build the scorer from the sealed candidate
+        // bytes — the exact decode a fleet replica runs at stage time.
+        let system =
+            ScoringSystem::from_bundle(SystemBundle::from_artifact_bytes(&candidate.bytes)?)?;
         let displaced = self.handle.current();
-        let generation = self.handle.swap(Arc::new(system), cand_checksum);
+        let generation = self.handle.swap(Arc::new(system), candidate.checksum);
         state.previous = Some((displaced, parent_bytes));
-        state.current_bytes = Arc::new(cand_bytes);
-        state.lineage_generation += 1;
+        state.current_bytes = Arc::new(candidate.bytes);
+        state.lineage_generation = candidate.lineage_generation;
         self.promoted.fetch_add(1, Ordering::Relaxed);
         Ok(AdaptReport {
             outcome: ADAPT_PROMOTED,
             generation,
-            selected,
-            drained,
+            selected: candidate.selected,
+            drained: candidate.drained,
         })
     }
 

@@ -23,8 +23,8 @@ use lre_dba::{run_dba, DbaVariant, Experiment, ExperimentConfig, GuardSet};
 use lre_eval::ScoreMatrix;
 use lre_serve::client::ScoreReply;
 use lre_serve::{
-    Client, EngineConfig, ScorerHandle, ScoringSystem, Server, ServerConfig, SystemBundle,
-    ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
+    Client, EngineConfig, ScorerHandle, ScoringSystem, Server, ServerConfig, ServerHooks,
+    SystemBundle, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
 };
 use std::net::TcpListener;
 use std::sync::{Arc, OnceLock};
@@ -161,8 +161,11 @@ fn start_adaptive_server(fx: &Fixture, cfg: AdaptConfig) -> Harness {
             max_inflight: 8,
             max_global_inflight: 0,
         },
-        Some(log as _),
-        Some(Arc::clone(&controller) as _),
+        ServerHooks {
+            tap: Some(log as _),
+            control: Some(Arc::clone(&controller) as _),
+            fleet: None,
+        },
     )
     .expect("server starts");
     Harness {

@@ -1,0 +1,198 @@
+//! The fleet router: one client-facing address over N scoring replicas.
+//!
+//! ```text
+//! lre-router --addr HOST:PORT --replica HOST:PORT [--replica ...]
+//!            [--policy least-inflight|hash] [--vnodes N]
+//!            [--max-inflight N] [--health-interval-ms N]
+//!            [--bundle PATH --guard PATH] [--min-utts N]
+//!            [--v-threshold N] [--guard-max-eer-regress X]
+//!            [--guard-max-cavg-regress X]
+//! ```
+//!
+//! With `--bundle` and `--guard` the router also coordinates fleet-wide
+//! adaptation: `lre-client --adapt` drains every replica's vote log,
+//! boosts one candidate from the merged pool, and promotes it through
+//! the two-phase rollout. Without them, adapt requests are refused
+//! `STATUS_UNSUPPORTED` (the router still routes, health-checks, and
+//! fans out rollbacks). A negative `--guard-max-eer-regress` forces
+//! every candidate to fail the guard — the fleet rollback drill.
+
+use lre_adapt::AdaptConfig;
+use lre_artifact::ArtifactRead;
+use lre_dba::GuardSet;
+use lre_router::{Backend, FleetAdapter, Policy, Router, RouterConfig};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: lre-router --addr HOST:PORT --replica HOST:PORT [--replica ...] \
+         [--policy least-inflight|hash] [--vnodes N] [--max-inflight N] \
+         [--health-interval-ms N] [--bundle PATH --guard PATH] [--min-utts N] \
+         [--v-threshold N] [--guard-max-eer-regress X] [--guard-max-cavg-regress X]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7800".to_string();
+    let mut replicas: Vec<String> = Vec::new();
+    let mut cfg = RouterConfig::default();
+    let mut bundle_path: Option<PathBuf> = None;
+    let mut guard_path: Option<PathBuf> = None;
+    let mut adapt = AdaptConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let parse_num = |args: &[String], i: usize, what: &str| -> usize {
+        args.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("bad {what} (non-negative integer)")))
+    };
+    let parse_f64 = |args: &[String], i: usize, what: &str| -> f64 {
+        args.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("bad {what} (number)")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("missing --addr"))
+                    .clone();
+            }
+            "--replica" => {
+                i += 1;
+                replicas.push(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("missing --replica address"))
+                        .clone(),
+                );
+            }
+            "--policy" => {
+                i += 1;
+                cfg.policy = match args.get(i).map(|s| s.as_str()) {
+                    Some("least-inflight") => Policy::LeastInflight,
+                    Some("hash") => Policy::Hash,
+                    _ => usage("bad --policy (least-inflight|hash)"),
+                };
+            }
+            "--vnodes" => {
+                i += 1;
+                cfg.vnodes = parse_num(&args, i, "--vnodes");
+            }
+            "--max-inflight" => {
+                i += 1;
+                cfg.max_inflight = parse_num(&args, i, "--max-inflight");
+            }
+            "--health-interval-ms" => {
+                i += 1;
+                cfg.health_interval =
+                    Duration::from_millis(parse_num(&args, i, "--health-interval-ms") as u64);
+            }
+            "--bundle" => {
+                i += 1;
+                bundle_path = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("missing --bundle path")),
+                ));
+            }
+            "--guard" => {
+                i += 1;
+                guard_path = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("missing --guard path")),
+                ));
+            }
+            "--min-utts" => {
+                i += 1;
+                adapt.min_utts = parse_num(&args, i, "--min-utts");
+            }
+            "--v-threshold" => {
+                i += 1;
+                adapt.v_threshold = parse_num(&args, i, "--v-threshold") as u8;
+            }
+            "--guard-max-eer-regress" => {
+                i += 1;
+                adapt.max_eer_regress = parse_f64(&args, i, "--guard-max-eer-regress");
+            }
+            "--guard-max-cavg-regress" => {
+                i += 1;
+                adapt.max_cavg_regress = parse_f64(&args, i, "--guard-max-cavg-regress");
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if replicas.is_empty() {
+        usage("at least one --replica is required");
+    }
+    if bundle_path.is_some() != guard_path.is_some() {
+        usage("--bundle and --guard come together (both or neither)");
+    }
+
+    let backends: Vec<Arc<Backend>> = replicas
+        .iter()
+        .map(|a| Arc::new(Backend::new(a.clone())))
+        .collect();
+
+    let fleet = match (bundle_path, guard_path) {
+        (Some(bp), Some(gp)) => {
+            let parent_bytes = match std::fs::read(&bp) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: reading {}: {e}", bp.display());
+                    std::process::exit(1);
+                }
+            };
+            let guard = match GuardSet::load_artifact(&gp) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("error: loading {}: {e}", gp.display());
+                    std::process::exit(1);
+                }
+            };
+            match FleetAdapter::new(backends.clone(), guard, parent_bytes, adapt) {
+                Ok(f) => {
+                    eprintln!(
+                        "[router] fleet adaptation armed (min_utts={})",
+                        adapt.min_utts
+                    );
+                    Some(Arc::new(f))
+                }
+                Err(e) => {
+                    eprintln!("error: invalid bundle for fleet adaptation: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => None,
+    };
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let router = match Router::start(listener, backends, cfg, fleet) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: starting router: {e}");
+            std::process::exit(1);
+        }
+    };
+    let admitted = router.backends().iter().filter(|b| b.is_healthy()).count();
+    eprintln!(
+        "[router] {} replicas configured, {} admitted at startup, policy {:?}",
+        router.backends().len(),
+        admitted,
+        cfg.policy
+    );
+    println!("listening on {}", router.local_addr());
+    router.join();
+    eprintln!("[router] shut down cleanly");
+}

@@ -1,0 +1,98 @@
+//! Consistent-hash ring with virtual nodes, for replica-affine routing.
+//!
+//! Each backend owns `vnodes` points on a `u64` ring; a key is served by
+//! the first point clockwise from its hash. Removing a backend (marking
+//! it unhealthy) moves only the keys that backend owned — every other
+//! key keeps its assignment, which is the whole reason to prefer this
+//! over `key % n` when replicas cache per-content state. The property
+//! tests pin both guarantees: bounded remapping on removal, and load
+//! spread across backends.
+
+/// `splitmix64`-style finalizer: a cheap, well-distributed `u64 -> u64`
+/// mix (the workspace vendors no hash crates).
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash arbitrary bytes to a ring key: FNV-1a folded through [`mix64`]
+/// (FNV alone clusters on short inputs differing in one byte).
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+/// The ring: `(point, backend index)` pairs sorted by point.
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl HashRing {
+    /// Build a ring over backends `0..nodes`, `vnodes` points each. The
+    /// points are a pure function of `(node, vnode)`, so every router
+    /// instance over the same backend list agrees on ownership.
+    pub fn new(nodes: usize, vnodes: usize) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(nodes * vnodes);
+        for node in 0..nodes {
+            for v in 0..vnodes {
+                points.push((mix64(((node as u64) << 24) | v as u64), node));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, nodes }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The backend owning `key`, skipping backends whose `healthy` entry
+    /// is false. `None` when no backend is healthy. A skipped backend
+    /// never perturbs the assignment of keys it did not own: the walk
+    /// order is fixed, so keys owned by healthy backends are untouched.
+    pub fn lookup(&self, key: u64, healthy: &[bool]) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if healthy.get(node).copied().unwrap_or(false) {
+                return Some(node);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_deterministic_and_none_when_all_down() {
+        let ring = HashRing::new(3, 16);
+        let up = vec![true; 3];
+        for k in 0..64u64 {
+            let key = mix64(k);
+            assert_eq!(ring.lookup(key, &up), ring.lookup(key, &up));
+        }
+        assert_eq!(ring.lookup(7, &[false, false, false]), None);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::new(1, 8);
+        for k in 0..32u64 {
+            assert_eq!(ring.lookup(mix64(k.wrapping_mul(77)), &[true]), Some(0));
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! The protocol-v2 front tier: accept client connections, fan score
+//! requests over the replica fleet, and answer the control plane
+//! (stats, ping, fleet stats, adapt, rollback, shutdown) in one place.
+//!
+//! The data plane never decodes a score body. A v2 request is validated,
+//! its id swapped for a backend-unique one, and the frame forwarded
+//! verbatim; the reply comes back with the client's id spliced in and
+//! the scored bytes untouched, so routed scores are bit-identical to
+//! direct ones. v1 requests are translated onto the same pipelined
+//! backend connections and their replies re-encoded to the v1 shape.
+//!
+//! Per-request failure semantics mirror the server's typed statuses:
+//! no healthy replica → `STATUS_OVERLOADED`; replica died after the
+//! request was on the wire → `STATUS_INTERNAL` under the client's id
+//! (fail fast — the replica may have scored it, so it is never
+//! re-routed); a torn write before the replica saw a full frame is
+//! re-routed once.
+
+use crate::backend::{probe_round_trip, Backend, Pending};
+use crate::fleet::FleetAdapter;
+use crate::ring::{hash_bytes, HashRing};
+use lre_serve::protocol::{
+    decode_request, decode_score_reply_v2, encode_adapt_ok, encode_fleet_stats_ok, encode_ping_ok,
+    encode_rollback_ok, encode_score_ok, encode_stats_ok, encode_stats_ok_v2, encode_status,
+    encode_status_v2, read_frame, write_frame, FleetStats, PingReport, ReplicaStat, Request,
+    REQ_SCORE_V2, STATUS_BAD_REQUEST, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED,
+    STATUS_UNSUPPORTED,
+};
+use lre_serve::{Client, StatsSnapshot};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// How the router picks a replica for a score request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// The healthy replica with the fewest requests in flight (ties go to
+    /// the lowest index). The default: best latency under uneven load.
+    LeastInflight,
+    /// Consistent hash of the utterance samples over the ring: the same
+    /// content always lands on the same replica while it is healthy, for
+    /// replica-side cache affinity.
+    Hash,
+}
+
+/// Router tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    pub policy: Policy,
+    /// Per-client-connection v2 window, enforced at the router exactly
+    /// like at a single server.
+    pub max_inflight: usize,
+    /// Virtual nodes per replica on the hash ring.
+    pub vnodes: usize,
+    /// Health thread cadence.
+    pub health_interval: Duration,
+    /// Connect/read timeout for health and control probes.
+    pub probe_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            policy: Policy::LeastInflight,
+            max_inflight: 32,
+            vnodes: 64,
+            health_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+struct Shared {
+    backends: Vec<Arc<Backend>>,
+    ring: HashRing,
+    policy: Policy,
+    max_inflight: usize,
+    /// Score requests in flight through the router, across all clients
+    /// (an `Arc` because every pending entry holds a decrement duty).
+    global_inflight: Arc<AtomicUsize>,
+    /// Requests refused at the router (no healthy replica).
+    shed: AtomicU64,
+    fleet: Option<Arc<FleetAdapter>>,
+    probe_timeout: Duration,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// Least-inflight selection: the healthy entry with the fewest requests
+/// in flight, lowest index winning ties. Pure so the policy is testable
+/// without a live fleet.
+pub fn least_inflight(inflights: &[usize], healthy: &[bool]) -> Option<usize> {
+    (0..inflights.len())
+        .filter(|&i| healthy.get(i).copied().unwrap_or(false))
+        .min_by_key(|&i| (inflights[i], i))
+}
+
+impl Shared {
+    fn pick(&self, key_bytes: &[u8]) -> Option<Arc<Backend>> {
+        let healthy: Vec<bool> = self.backends.iter().map(|b| b.is_healthy()).collect();
+        let index = match self.policy {
+            Policy::LeastInflight => {
+                let inflights: Vec<usize> = self.backends.iter().map(|b| b.inflight()).collect();
+                least_inflight(&inflights, &healthy)
+            }
+            Policy::Hash => self.ring.lookup(hash_bytes(key_bytes), &healthy),
+        };
+        index.map(|i| Arc::clone(&self.backends[i]))
+    }
+}
+
+/// A running router.
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    health: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Start routing over `backends` (one per replica address). Each
+    /// backend gets one synchronous admission attempt so a fleet that is
+    /// already up is routable before the first request; replicas that
+    /// are still starting are admitted by the health thread.
+    pub fn start(
+        listener: TcpListener,
+        backends: Vec<Arc<Backend>>,
+        cfg: RouterConfig,
+        fleet: Option<Arc<FleetAdapter>>,
+    ) -> io::Result<Router> {
+        let addr = listener.local_addr()?;
+        for b in &backends {
+            let _ = b.connect();
+        }
+        let shared = Arc::new(Shared {
+            ring: HashRing::new(backends.len(), cfg.vnodes),
+            backends,
+            policy: cfg.policy,
+            max_inflight: cfg.max_inflight.max(1),
+            global_inflight: Arc::new(AtomicUsize::new(0)),
+            shed: AtomicU64::new(0),
+            fleet,
+            probe_timeout: cfg.probe_timeout,
+            stopping: AtomicBool::new(false),
+            addr,
+        });
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while !shared.stopping.load(Ordering::SeqCst) {
+                    for b in &shared.backends {
+                        b.health_step(shared.probe_timeout);
+                    }
+                    std::thread::sleep(cfg.health_interval);
+                }
+            })
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match conn {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || handle_connection(stream, shared));
+                }
+            })
+        };
+        Ok(Router {
+            addr,
+            shared,
+            accept: Some(accept),
+            health: Some(health),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.shared.backends
+    }
+
+    /// Stop from the hosting process (equivalent to a client shutdown,
+    /// without the fleet propagation).
+    pub fn stop(&self) {
+        trigger_stop(&self.shared.stopping, self.addr);
+    }
+
+    /// Block until shutdown is requested, then join the service threads.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.health.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn trigger_stop(stopping: &AtomicBool, addr: SocketAddr) {
+    if !stopping.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Route one v2 score frame. `None` means the reply arrives through the
+/// pending machinery; `Some(frame)` is an immediate (refusal) reply. The
+/// caller has already charged `window`/`global_inflight` by one.
+fn route_score(
+    shared: &Shared,
+    mut frame: Vec<u8>,
+    client_id: u64,
+    reply_tx: &mpsc::Sender<Vec<u8>>,
+    window: &Arc<AtomicUsize>,
+) -> Option<Vec<u8>> {
+    // The hash key is the raw sample region (everything after tag + id +
+    // deadline), so affinity follows content, not ids.
+    const BODY: usize = 13;
+    let mut attempts_left = 2;
+    loop {
+        let Some(backend) = shared.pick(&frame[BODY.min(frame.len())..]) else {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            window.fetch_sub(1, Ordering::AcqRel);
+            shared.global_inflight.fetch_sub(1, Ordering::AcqRel);
+            return Some(encode_status_v2(client_id, STATUS_OVERLOADED));
+        };
+        let pending = Pending {
+            client_id,
+            reply_tx: reply_tx.clone(),
+            window: Arc::clone(window),
+            global: Arc::clone(&shared.global_inflight),
+        };
+        attempts_left -= 1;
+        let send = if attempts_left > 0 {
+            frame.clone()
+        } else {
+            std::mem::take(&mut frame)
+        };
+        match backend.forward(send, pending) {
+            Ok(()) => return None,
+            Err((_torn_write, p)) if attempts_left > 0 => {
+                // The replica never saw a whole frame; safe to re-route.
+                drop(p); // counters stay charged for the retry
+                continue;
+            }
+            Err((_torn_write, p)) => {
+                p.window.fetch_sub(1, Ordering::AcqRel);
+                p.global.fetch_sub(1, Ordering::AcqRel);
+                return Some(encode_status_v2(client_id, STATUS_INTERNAL));
+            }
+        }
+    }
+}
+
+/// Convert a v2 reply frame to the v1 shape (strip the id, and the
+/// generation from the score body).
+fn v2_reply_to_v1(frame: &[u8]) -> Vec<u8> {
+    match decode_score_reply_v2(frame) {
+        Ok((_id, Ok(scored))) => encode_score_ok(&scored),
+        Ok((_id, Err(status))) => encode_status(status),
+        Err(_) => encode_status(STATUS_INTERNAL),
+    }
+}
+
+/// Live fleet stats: per-replica extended counters summed into one
+/// aggregate, plus the per-replica breakdown.
+fn fleet_stats(shared: &Shared) -> FleetStats {
+    let mut agg = StatsSnapshot::default();
+    let mut replicas = Vec::with_capacity(shared.backends.len());
+    let mut min_generation = u64::MAX;
+    let mut any = false;
+    for b in &shared.backends {
+        let stats = if b.is_healthy() {
+            Client::connect(&b.addr).and_then(|mut c| c.stats_v2()).ok()
+        } else {
+            None
+        };
+        match stats {
+            Some(s) => {
+                any = true;
+                agg.requests += s.requests;
+                agg.completed += s.completed;
+                agg.rejected += s.rejected;
+                agg.batches += s.batches;
+                agg.batched_utts += s.batched_utts;
+                agg.max_queue_depth = agg.max_queue_depth.max(s.max_queue_depth);
+                agg.latency_us_sum += s.latency_us_sum;
+                agg.latency_us_max = agg.latency_us_max.max(s.latency_us_max);
+                agg.uptime_us = agg.uptime_us.max(s.uptime_us);
+                agg.expired += s.expired;
+                agg.failed += s.failed;
+                agg.shed_global += s.shed_global;
+                agg.swaps += s.swaps;
+                agg.rollbacks += s.rollbacks;
+                agg.fast_math = agg.fast_math.max(s.fast_math);
+                min_generation = min_generation.min(s.generation);
+                replicas.push(ReplicaStat {
+                    addr: b.addr.clone(),
+                    healthy: true,
+                    generation: s.generation,
+                    inflight: b.inflight() as u64,
+                    completed: s.completed,
+                    shed: s.rejected + s.expired + s.shed_global,
+                });
+            }
+            None => replicas.push(ReplicaStat {
+                addr: b.addr.clone(),
+                healthy: false,
+                generation: b.last_ping().map(|p| p.generation).unwrap_or(0),
+                inflight: b.inflight() as u64,
+                completed: b.completed.load(Ordering::Relaxed),
+                shed: 0,
+            }),
+        }
+    }
+    // Refusals at the router itself never reached a replica; account for
+    // them so the aggregate is what clients actually experienced.
+    let shed = shared.shed.load(Ordering::Relaxed);
+    agg.requests += shed;
+    agg.rejected += shed;
+    // The aggregate generation is the fleet's committed floor: the lowest
+    // generation any healthy replica is serving.
+    agg.generation = if any { min_generation } else { 0 };
+    FleetStats {
+        aggregate: agg,
+        replicas,
+    }
+}
+
+/// The router's own ping: cached per-replica probes plus live pending
+/// counts — cheap, no replica round trips.
+fn router_ping(shared: &Shared) -> PingReport {
+    let mut generation = u64::MAX;
+    let mut inflight = 0u64;
+    let mut shed = shared.shed.load(Ordering::Relaxed);
+    let mut completed = 0u64;
+    for b in &shared.backends {
+        inflight += b.inflight() as u64;
+        completed += b.completed.load(Ordering::Relaxed);
+        if b.is_healthy() {
+            if let Some(p) = b.last_ping() {
+                generation = generation.min(p.generation);
+                shed += p.shed;
+            }
+        }
+    }
+    PingReport {
+        generation: if generation == u64::MAX {
+            0
+        } else {
+            generation
+        },
+        inflight,
+        shed,
+        completed,
+    }
+}
+
+/// Fleet rollback without an adapter: plain fan-out.
+fn rollback_fanout(shared: &Shared) -> (bool, u64) {
+    let fleet: Vec<Arc<Backend>> = shared
+        .backends
+        .iter()
+        .filter(|b| b.is_healthy())
+        .cloned()
+        .collect();
+    crate::fleet::rollback_backends(&fleet)
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::spawn(move || {
+        while let Ok(frame) = reply_rx.recv() {
+            if write_frame(&mut write_half, &frame).is_err() {
+                while reply_rx.recv().is_ok() {}
+                return;
+            }
+        }
+    });
+
+    let window = Arc::new(AtomicUsize::new(0));
+
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let reply = match decode_request(&frame) {
+            Ok(Request::ScoreV2 { id, .. }) => {
+                if window.load(Ordering::Acquire) >= shared.max_inflight {
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    encode_status_v2(id, STATUS_OVERLOADED)
+                } else {
+                    window.fetch_add(1, Ordering::AcqRel);
+                    shared.global_inflight.fetch_add(1, Ordering::AcqRel);
+                    match route_score(&shared, frame, id, &reply_tx, &window) {
+                        Some(immediate) => immediate,
+                        None => continue, // reply via the backend reader
+                    }
+                }
+            }
+            Ok(Request::Score { .. }) => {
+                // Translate onto the pipelined backend lane and block for
+                // the one reply, preserving v1's in-order semantics.
+                let mut v2 = Vec::with_capacity(frame.len() + 12);
+                v2.push(REQ_SCORE_V2);
+                v2.extend_from_slice(&0u64.to_le_bytes());
+                v2.extend_from_slice(&0u32.to_le_bytes());
+                v2.extend_from_slice(&frame[1..]);
+                let (tx, rx) = mpsc::channel::<Vec<u8>>();
+                let throwaway = Arc::new(AtomicUsize::new(1));
+                shared.global_inflight.fetch_add(1, Ordering::AcqRel);
+                match route_score(&shared, v2, 0, &tx, &throwaway) {
+                    Some(immediate) => v2_reply_to_v1(&immediate),
+                    None => match rx.recv() {
+                        Ok(reply) => v2_reply_to_v1(&reply),
+                        Err(_) => encode_status(STATUS_INTERNAL),
+                    },
+                }
+            }
+            Ok(Request::Stats) => encode_stats_ok(&fleet_stats(&shared).aggregate),
+            Ok(Request::StatsV2) => encode_stats_ok_v2(&fleet_stats(&shared).aggregate),
+            Ok(Request::FleetStats) => encode_fleet_stats_ok(&fleet_stats(&shared)),
+            Ok(Request::Ping) => encode_ping_ok(&router_ping(&shared)),
+            Ok(Request::Adapt) => match &shared.fleet {
+                Some(f) => encode_adapt_ok(&f.cycle()),
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            Ok(Request::Rollback) => {
+                let (rolled, generation) = match &shared.fleet {
+                    Some(f) => f.rollback(),
+                    None => rollback_fanout(&shared),
+                };
+                encode_rollback_ok(rolled, generation)
+            }
+            // Replica-level rollout tags terminate at the replicas; the
+            // router *is* their coordinator and does not proxy them.
+            Ok(Request::DrainVotes { .. })
+            | Ok(Request::StageBundle { .. })
+            | Ok(Request::CommitStaged)
+            | Ok(Request::AbortStaged) => encode_status(STATUS_UNSUPPORTED),
+            Ok(Request::Shutdown) => {
+                // Ack, propagate to the fleet best-effort, stop routing.
+                let _ = reply_tx.send(encode_status(STATUS_OK));
+                for b in &shared.backends {
+                    let _ = probe_round_trip(&b.addr, &Request::Shutdown, shared.probe_timeout);
+                }
+                trigger_stop(&shared.stopping, shared.addr);
+                break;
+            }
+            Err(_) => {
+                let _ = reply_tx.send(encode_status(STATUS_BAD_REQUEST));
+                break;
+            }
+        };
+        if reply_tx.send(reply).is_err() {
+            break;
+        }
+    }
+
+    drop(reply_tx);
+    let _ = writer.join();
+}

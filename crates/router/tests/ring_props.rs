@@ -1,0 +1,137 @@
+//! Property tests for the routing policies: the consistent-hash ring's
+//! bounded-remapping and load-spread guarantees, and least-inflight
+//! selection.
+
+use lre_router::{least_inflight, mix64, HashRing};
+use proptest::prelude::*;
+
+fn assignments(ring: &HashRing, keys: &[u64], healthy: &[bool]) -> Vec<Option<usize>> {
+    keys.iter().map(|&k| ring.lookup(k, healthy)).collect()
+}
+
+fn keys_from(seed: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| mix64(seed ^ mix64(i))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Removing one backend moves only the keys that backend owned —
+    // every key owned by a survivor keeps its assignment — and the moved
+    // count stays near the K/N share a balanced ring promises.
+    #[test]
+    fn removal_remaps_only_the_removed_nodes_keys(
+        nodes in 2usize..7,
+        removed_pick in 0usize..64,
+        key_seed in 0u64..(1u64 << 32),
+    ) {
+        const K: usize = 512;
+        let ring = HashRing::new(nodes, 64);
+        let keys = keys_from(key_seed, K);
+        let all_up = vec![true; nodes];
+        let before = assignments(&ring, &keys, &all_up);
+        let removed = removed_pick % nodes;
+        let mut healthy = all_up;
+        healthy[removed] = false;
+        let after = assignments(&ring, &keys, &healthy);
+
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            let b = b.expect("all backends healthy: every key owned");
+            let a = a.expect("one backend down: still every key owned");
+            if b == removed {
+                prop_assert_ne!(a, removed, "key still assigned to the removed backend");
+                moved += 1;
+            } else {
+                prop_assert_eq!(a, b, "a surviving backend's key moved");
+            }
+        }
+        // The removed backend owned roughly K/N keys. Generous slack for
+        // hash imbalance; a broken ring (everything remapping) lands far
+        // outside it.
+        prop_assert!(
+            moved <= 3 * K / nodes,
+            "moved {} of {} keys with {} nodes",
+            moved, K, nodes
+        );
+    }
+
+    // With virtual nodes the load spreads: no backend is starved and
+    // none owns a runaway share.
+    #[test]
+    fn load_is_balanced_across_backends(
+        nodes in 2usize..7,
+        key_seed in 0u64..(1u64 << 32),
+    ) {
+        const K: usize = 1024;
+        let ring = HashRing::new(nodes, 64);
+        let healthy = vec![true; nodes];
+        let mut owned = vec![0usize; nodes];
+        for key in keys_from(key_seed, K) {
+            owned[ring.lookup(key, &healthy).expect("healthy ring")] += 1;
+        }
+        let ideal = K / nodes;
+        for (node, &count) in owned.iter().enumerate() {
+            prop_assert!(count >= ideal / 4, "backend {} starved: {} of {}", node, count, K);
+            prop_assert!(count <= ideal * 4, "backend {} hot: {} of {}", node, count, K);
+        }
+    }
+
+    // Ownership is a pure function of the healthy set: re-admitting the
+    // removed backend restores the original assignment exactly.
+    #[test]
+    fn readmission_restores_original_ownership(
+        nodes in 2usize..7,
+        key_seed in 0u64..(1u64 << 32),
+    ) {
+        let ring = HashRing::new(nodes, 32);
+        let keys = keys_from(key_seed, 256);
+        let up = vec![true; nodes];
+        let before = assignments(&ring, &keys, &up);
+        let mut down = up.clone();
+        down[(key_seed as usize) % nodes] = false;
+        let _ = assignments(&ring, &keys, &down);
+        prop_assert_eq!(assignments(&ring, &keys, &up), before);
+    }
+
+    // least_inflight always returns a healthy index carrying a minimal
+    // inflight count, and None exactly when nothing is healthy.
+    #[test]
+    fn least_inflight_picks_a_minimal_healthy_entry(
+        inflights in prop::collection::vec(0usize..10, 1..8),
+        mask in 0u64..256,
+    ) {
+        let healthy: Vec<bool> = (0..inflights.len()).map(|i| (mask >> i) & 1 == 1).collect();
+        match least_inflight(&inflights, &healthy) {
+            Some(i) => {
+                prop_assert!(healthy[i]);
+                for j in 0..inflights.len() {
+                    if healthy[j] {
+                        prop_assert!(inflights[i] <= inflights[j]);
+                    }
+                }
+            }
+            None => prop_assert!(healthy.iter().all(|&h| !h)),
+        }
+    }
+}
+
+#[test]
+fn least_inflight_prefers_the_emptiest_healthy_backend() {
+    assert_eq!(least_inflight(&[3, 1, 2], &[true, true, true]), Some(1));
+    // The emptiest backend is down: next-emptiest healthy one wins.
+    assert_eq!(least_inflight(&[3, 1, 2], &[true, false, true]), Some(2));
+    // Ties go to the lowest index, so placement is deterministic.
+    assert_eq!(least_inflight(&[4, 4, 4], &[true, true, true]), Some(0));
+    assert_eq!(least_inflight(&[4, 4], &[false, true]), Some(1));
+    assert_eq!(least_inflight(&[5, 5], &[false, false]), None);
+    assert_eq!(least_inflight(&[], &[]), None);
+}
+
+#[test]
+fn least_inflight_ignores_the_load_of_unhealthy_backends() {
+    // An ejected backend still drains its pending map; its (stale) count
+    // must never make it look attractive or repulsive.
+    assert_eq!(least_inflight(&[0, 9], &[false, true]), Some(1));
+    assert_eq!(least_inflight(&[9, 0], &[true, false]), Some(0));
+}

@@ -6,11 +6,21 @@
 //!            [--seed N] [--duration 30s|10s|3s] [--inflight N]
 //!            [--deadline-ms N] [--verify --bundle PATH]
 //!            [--stats] [--fuzz] [--adapt] [--shutdown]
+//!            [--ping] [--rollback] [--tolerate-failures]
 //! ```
 //!
 //! `--adapt` asks the server to run one adaptation cycle (after any
 //! scoring) and prints the report — outcome, serving generation, selection
 //! counts; it exits non-zero if the server has no adaptation controller.
+//!
+//! `--ping` prints the lightweight health probe (generation, inflight,
+//! shed, completed) the router's health checker uses. `--rollback` asks
+//! the server to restore its previous scorer generation; against a router
+//! it rolls the whole fleet. `--tolerate-failures` keeps scoring through
+//! typed per-request failures (internal/overloaded/shutting-down) instead
+//! of exiting — the mode the CI kill-a-replica drill drives the router
+//! in — and reports the count at the end. `--stats` against a router
+//! prints the fleet aggregate plus a per-replica breakdown.
 //!
 //! `--inflight 1` (the default) speaks protocol v1, one request at a time.
 //! `--inflight N>1` speaks v2: up to N requests ride the connection at
@@ -26,14 +36,15 @@ use lre_corpus::{render_utterance, Dataset, DatasetConfig, Duration, LanguageId,
 use lre_lattice::DecodeScratch;
 use lre_phone::UniversalInventory;
 use lre_serve::client::ScoreReply;
-use lre_serve::{Client, PipelinedClient, ScoringSystem, StatsSnapshot, SystemBundle};
+use lre_serve::{Client, FleetStats, PipelinedClient, ScoringSystem, StatsSnapshot, SystemBundle};
 use std::path::PathBuf;
 
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: lre-client --addr HOST:PORT [--utts N] [--scale smoke|demo|paper] \
          [--seed N] [--duration 30s|10s|3s] [--inflight N] [--deadline-ms N] \
-         [--verify --bundle PATH] [--stats] [--fuzz] [--adapt] [--shutdown]"
+         [--verify --bundle PATH] [--stats] [--fuzz] [--adapt] [--shutdown] \
+         [--ping] [--rollback] [--tolerate-failures]"
     );
     std::process::exit(2);
 }
@@ -90,6 +101,26 @@ fn print_stats(s: &StatsSnapshot, extended: bool) {
     );
 }
 
+fn print_fleet_stats(f: &FleetStats) {
+    print_stats(&f.aggregate, true);
+    for r in &f.replicas {
+        println!(
+            "  replica {}: healthy={} generation={} inflight={} completed={} shed={}",
+            r.addr, r.healthy, r.generation, r.inflight, r.completed, r.shed
+        );
+    }
+}
+
+/// Ask the peer for a fleet breakdown; `None` means it's a plain replica
+/// (the tag is refused `STATUS_UNSUPPORTED`) and the caller should fall
+/// back to the single-server stats reply.
+fn fetch_fleet_stats(addr: &str) -> Option<FleetStats> {
+    Client::connect(addr)
+        .and_then(|mut c| c.try_fleet_stats())
+        .ok()
+        .flatten()
+}
+
 fn main() {
     let mut addr: Option<String> = None;
     let mut utts = 10usize;
@@ -104,6 +135,9 @@ fn main() {
     let mut fuzz = false;
     let mut adapt = false;
     let mut shutdown = false;
+    let mut ping = false;
+    let mut rollback = false;
+    let mut tolerate_failures = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -173,6 +207,9 @@ fn main() {
             "--fuzz" => fuzz = true,
             "--adapt" => adapt = true,
             "--shutdown" => shutdown = true,
+            "--ping" => ping = true,
+            "--rollback" => rollback = true,
+            "--tolerate-failures" => tolerate_failures = true,
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -204,6 +241,20 @@ fn main() {
         println!("fuzz post-check OK: server still answers stats");
     }
 
+    if ping {
+        let mut client = connect_with_retry(&addr, || Client::connect(&addr));
+        match client.ping() {
+            Ok(p) => println!(
+                "ping: generation={} inflight={} shed={} completed={}",
+                p.generation, p.inflight, p.shed, p.completed
+            ),
+            Err(e) => {
+                eprintln!("error: ping request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let local = if verify {
         let path = bundle_path.unwrap_or_else(|| usage("--verify needs --bundle PATH"));
         let bundle = SystemBundle::load_artifact(&path).unwrap_or_else(|e| {
@@ -221,6 +272,7 @@ fn main() {
     let mut mismatches = 0usize;
     let mut batched = 0usize;
     let mut expired = 0usize;
+    let mut tolerated = 0usize;
     if utts > 0 {
         let inv = UniversalInventory::new();
         let ds = Dataset::generate(DatasetConfig::new(scale, seed));
@@ -250,6 +302,11 @@ fn main() {
                     return;
                 }
                 other => {
+                    if tolerate_failures {
+                        tolerated += 1;
+                        println!("utt {n:>3} ({}): failed ({other:?})", lang.name());
+                        return;
+                    }
                     eprintln!("error: utt {n} refused: {other:?}");
                     std::process::exit(1);
                 }
@@ -295,11 +352,15 @@ fn main() {
                 verify_one(*n, *lang, samples, reply);
             }
             if stats || verify {
-                match client.stats() {
-                    Ok(s) => print_stats(&s, true),
-                    Err(e) => {
-                        eprintln!("error: stats request failed: {e}");
-                        std::process::exit(1);
+                if let Some(f) = fetch_fleet_stats(&addr) {
+                    print_fleet_stats(&f);
+                } else {
+                    match client.stats() {
+                        Ok(s) => print_stats(&s, true),
+                        Err(e) => {
+                            eprintln!("error: stats request failed: {e}");
+                            std::process::exit(1);
+                        }
                     }
                 }
             }
@@ -330,11 +391,15 @@ fn main() {
                 verify_one(*n, *lang, samples, &reply);
             }
             if stats || verify {
-                match client.stats() {
-                    Ok(s) => print_stats(&s, false),
-                    Err(e) => {
-                        eprintln!("error: stats request failed: {e}");
-                        std::process::exit(1);
+                if let Some(f) = fetch_fleet_stats(&addr) {
+                    print_fleet_stats(&f);
+                } else {
+                    match client.stats() {
+                        Ok(s) => print_stats(&s, false),
+                        Err(e) => {
+                            eprintln!("error: stats request failed: {e}");
+                            std::process::exit(1);
+                        }
                     }
                 }
             }
@@ -355,8 +420,15 @@ fn main() {
             }
             println!(
                 "verification OK: {} utterances bit-identical to the local pipeline \
-                 ({batched} scored in batches > 1, {expired} deadline-expired)",
-                utts - expired
+                 ({batched} scored in batches > 1, {expired} deadline-expired, \
+                 {tolerated} failed-and-tolerated)",
+                utts - expired - tolerated
+            );
+        } else if tolerate_failures {
+            println!(
+                "scoring done: {}/{utts} utterances scored, {tolerated} failed \
+                 with typed statuses, {expired} deadline-expired",
+                utts - expired - tolerated
             );
         }
     }
@@ -378,6 +450,19 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: adapt request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if rollback {
+        let mut client = connect_with_retry(&addr, || Client::connect(&addr));
+        match client.rollback() {
+            Ok((rolled, generation)) => {
+                println!("rollback: rolled={rolled} generation={generation}");
+            }
+            Err(e) => {
+                eprintln!("error: rollback request failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -20,10 +20,19 @@
 //! bit-identity contract for speed, so the producer must have opted in.
 //! The active mode is surfaced as the `fast_math` field of the v2 stats
 //! reply.
+//!
+//! `--fleet` runs the server as a routable fleet replica: scored
+//! utterances are teed into a vote log (`--votelog N` caps it) and the
+//! fleet-rollout protocol tags — vote drain, stage/commit/abort,
+//! rollback — are answered, so an `lre-router` can coordinate fleet-wide
+//! adaptation. Without it those tags are refused `STATUS_UNSUPPORTED`.
 
-use lre_artifact::ArtifactRead;
+use lre_artifact::{crc32, ArtifactRead};
 use lre_dba::ScoringMode;
-use lre_serve::{LazyBundle, ScoringSystem, Server, ServerConfig, SystemBundle};
+use lre_serve::{
+    FleetReplica, LazyBundle, ScorerHandle, ScoringSystem, Server, ServerConfig, ServerHooks,
+    SystemBundle, VoteLog,
+};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -33,7 +42,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: lre-serve --bundle PATH [--addr HOST:PORT] [--workers N] \
          [--max-batch N] [--max-wait-ms N] [--queue N] [--max-inflight N] \
-         [--max-global-inflight N] [--lazy] [--fast-math]"
+         [--max-global-inflight N] [--lazy] [--fast-math] [--fleet] [--votelog N]"
     );
     std::process::exit(2);
 }
@@ -58,6 +67,8 @@ fn main() {
     let mut cfg = ServerConfig::default();
     let mut lazy = false;
     let mut fast_math = false;
+    let mut fleet = false;
+    let mut votelog_capacity = 4096usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let parse_num = |args: &[String], i: usize, what: &str| -> usize {
@@ -108,6 +119,11 @@ fn main() {
             }
             "--lazy" => lazy = true,
             "--fast-math" => fast_math = true,
+            "--fleet" => fleet = true,
+            "--votelog" => {
+                i += 1;
+                votelog_capacity = parse_num(&args, i, "--votelog");
+            }
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -167,7 +183,43 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let server = match Server::start(listener, system, cfg) {
+    let started = if fleet {
+        // A fleet replica serves through a hot-swappable handle tagged
+        // with the sealed bundle's checksum (what stage/commit/rollback
+        // verify against) and tees scores into the vote log the router
+        // drains.
+        let checksum = match std::fs::read(&bundle_path) {
+            Ok(bytes) => crc32(&bytes),
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", bundle_path.display());
+                std::process::exit(1);
+            }
+        };
+        let handle = Arc::new(ScorerHandle::new(system, checksum));
+        let log = Arc::new(VoteLog::new(votelog_capacity));
+        let replica = Arc::new(FleetReplica::new(
+            Arc::clone(&handle),
+            Arc::clone(&log),
+            fast_math,
+        ));
+        eprintln!(
+            "[serve] fleet replica mode: vote log capacity {votelog_capacity}, \
+             bundle checksum {checksum:#010x}"
+        );
+        Server::start_adaptive(
+            listener,
+            handle,
+            cfg,
+            ServerHooks {
+                tap: Some(log as _),
+                control: None,
+                fleet: Some(replica as _),
+            },
+        )
+    } else {
+        Server::start(listener, system, cfg)
+    };
+    let server = match started {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: starting server: {e}");

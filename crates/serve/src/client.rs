@@ -8,9 +8,12 @@
 
 use crate::engine::{ScoredUtt, StatsSnapshot};
 use crate::protocol::{
-    decode_adapt_reply, decode_score_reply, decode_score_reply_v2, decode_stats_reply,
-    decode_stats_reply_v2, encode_request, read_frame, write_frame, AdaptReport, Request,
-    STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+    decode_abort_reply, decode_adapt_reply, decode_commit_reply, decode_drain_reply,
+    decode_fleet_stats_reply, decode_ping_reply, decode_rollback_reply, decode_score_reply,
+    decode_score_reply_v2, decode_stage_reply, decode_stats_reply, decode_stats_reply_v2,
+    encode_request, read_frame, write_frame, AdaptReport, DrainReply, FleetStats, PingReport,
+    Request, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED,
+    STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -79,6 +82,18 @@ impl Client {
         let reply = self.round_trip(&Request::Stats)?;
         match decode_stats_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
             Ok(s) => Ok(s),
+            Err(status) => Err(proto_err(&format!("stats refused (status {status})"))),
+        }
+    }
+
+    /// Extended (v2) stats over a v1 connection: the full counter set —
+    /// expirations, failures, generation, fast-math flag — that the
+    /// pipelined client's stats call sees. The router's per-replica stats
+    /// probe uses this.
+    pub fn stats_v2(&mut self) -> io::Result<StatsSnapshot> {
+        let reply = self.round_trip(&Request::StatsV2)?;
+        match decode_stats_reply_v2(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(s) => Ok(s),
             Err(s) => Err(proto_err(&format!("stats refused (status {s})"))),
         }
     }
@@ -91,6 +106,74 @@ impl Client {
         match decode_adapt_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
             Ok(report) => Ok(report),
             Err(s) => Err(proto_err(&format!("adapt refused (status {s})"))),
+        }
+    }
+
+    /// Health probe: generation, inflight, shed and completed counters,
+    /// answered without touching the server's scoring queue.
+    pub fn ping(&mut self) -> io::Result<PingReport> {
+        let reply = self.round_trip(&Request::Ping)?;
+        match decode_ping_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(report) => Ok(report),
+            Err(s) => Err(proto_err(&format!("ping refused (status {s})"))),
+        }
+    }
+
+    /// Fleet-wide counters with a per-replica breakdown. `Ok(None)` when
+    /// the peer is a bare replica (refuses `STATUS_UNSUPPORTED`) rather
+    /// than a router.
+    pub fn try_fleet_stats(&mut self) -> io::Result<Option<FleetStats>> {
+        let reply = self.round_trip(&Request::FleetStats)?;
+        match decode_fleet_stats_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(stats) => Ok(Some(stats)),
+            Err(STATUS_UNSUPPORTED) => Ok(None),
+            Err(s) => Err(proto_err(&format!("fleet stats refused (status {s})"))),
+        }
+    }
+
+    /// Peek at (or all-or-nothing drain) the peer's vote log.
+    pub fn drain_votes(&mut self, peek: bool, min: u32) -> io::Result<DrainReply> {
+        let reply = self.round_trip(&Request::DrainVotes { peek, min })?;
+        match decode_drain_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(drained) => Ok(drained),
+            Err(s) => Err(proto_err(&format!("vote drain refused (status {s})"))),
+        }
+    }
+
+    /// Stage a sealed candidate bundle (two-phase rollout, phase one).
+    /// `Ok` carries the replica's checksum of the staged bytes;
+    /// `Err(status)` surfaces a typed refusal (`STATUS_CONFLICT` for a
+    /// bundle that failed validation).
+    pub fn stage_bundle(&mut self, sealed: &[u8]) -> io::Result<Result<u32, u8>> {
+        let reply = self.round_trip(&Request::StageBundle {
+            sealed: sealed.to_vec(),
+        })?;
+        decode_stage_reply(&reply).map_err(|e| proto_err(&e.to_string()))
+    }
+
+    /// Commit the staged bundle (phase two): `Ok(Ok((generation,
+    /// checksum)))` on the swap, `Ok(Err(status))` on a typed refusal.
+    pub fn commit_staged(&mut self) -> io::Result<Result<(u64, u32), u8>> {
+        let reply = self.round_trip(&Request::CommitStaged)?;
+        decode_commit_reply(&reply).map_err(|e| proto_err(&e.to_string()))
+    }
+
+    /// Discard the staged bundle; reports whether one existed.
+    pub fn abort_staged(&mut self) -> io::Result<bool> {
+        let reply = self.round_trip(&Request::AbortStaged)?;
+        match decode_abort_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(had_staged) => Ok(had_staged),
+            Err(s) => Err(proto_err(&format!("abort refused (status {s})"))),
+        }
+    }
+
+    /// Reinstall the model displaced by the last commit. Returns
+    /// `(rolled, generation afterwards)`.
+    pub fn rollback(&mut self) -> io::Result<(bool, u64)> {
+        let reply = self.round_trip(&Request::Rollback)?;
+        match decode_rollback_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(r) => Ok(r),
+            Err(s) => Err(proto_err(&format!("rollback refused (status {s})"))),
         }
     }
 

@@ -9,8 +9,9 @@
 //! advertised sizes, and never leaks the connection's threads.
 
 use crate::protocol::{
-    encode_request, read_frame, write_frame, Request, MAX_FRAME_LEN, REQ_ADAPT, REQ_SCORE,
-    REQ_SCORE_V2, REQ_SHUTDOWN, REQ_STATS_V2, STATUS_BAD_REQUEST,
+    encode_request, read_frame, write_frame, Request, MAX_FRAME_LEN, REQ_ADAPT, REQ_DRAIN_VOTES,
+    REQ_FLEET_STATS, REQ_PING, REQ_SCORE, REQ_SCORE_V2, REQ_SHUTDOWN, REQ_STAGE_BUNDLE,
+    REQ_STATS_V2, STATUS_BAD_REQUEST,
 };
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
@@ -119,6 +120,28 @@ pub fn malformed_corpus() -> Vec<FuzzCase> {
         framed("v2 stats with trailing junk", vec![REQ_STATS_V2, 9, 9]),
         // Must be refused as malformed, NOT run as an adaptation cycle.
         framed("adapt with trailing junk", vec![REQ_ADAPT, 0x01]),
+        // Must be refused, NOT answered as a health probe: a router that
+        // trusts a corrupted ping would mis-read replica health.
+        framed("ping with trailing junk", vec![REQ_PING, 0x42]),
+        framed("fleet-stats with trailing junk", vec![REQ_FLEET_STATS, 7]),
+        framed(
+            "drain with bad peek flag",
+            vec![REQ_DRAIN_VOTES, 2, 0, 0, 0, 0],
+        ),
+        framed("drain with truncated min", vec![REQ_DRAIN_VOTES, 0, 0, 0]),
+        framed("stage with truncated blob", {
+            let mut b = vec![REQ_STAGE_BUNDLE];
+            b.extend_from_slice(&1000u32.to_le_bytes());
+            b.extend_from_slice(&[0xAA; 8]); // 8 bytes where 1000 promised
+            b
+        }),
+        // Blob length far past the frame: must be refused before any
+        // allocation anywhere near the advertised size.
+        framed("stage with huge blob length", {
+            let mut b = vec![REQ_STAGE_BUNDLE];
+            b.extend_from_slice(&u32::MAX.to_le_bytes());
+            b
+        }),
         framed(
             "deterministic garbage",
             (0..64u8)

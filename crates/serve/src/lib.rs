@@ -49,18 +49,22 @@ pub mod engine;
 pub mod fuzz;
 pub mod protocol;
 pub mod queue;
+pub mod rollout;
 pub mod server;
 pub mod swap;
 pub mod system;
+pub mod votelog;
 
 pub use bundle::{LazyBundle, Lineage, SubsystemBundle, SystemBundle};
 pub use client::{Client, PipelinedClient, ScoreReply};
 pub use engine::{decision, Engine, EngineConfig, Outcome, ScoredUtt, StatsSnapshot, SubmitError};
 pub use protocol::{
-    read_frame, write_frame, AdaptReport, Request, ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA,
-    ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
+    read_frame, write_frame, AdaptReport, DrainReply, FleetStats, PingReport, ReplicaStat, Request,
+    ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
 };
 pub use queue::BoundedQueue;
-pub use server::{AdaptControl, Server, ServerConfig};
+pub use rollout::{FleetControl, FleetReplica};
+pub use server::{AdaptControl, Server, ServerConfig, ServerHooks};
 pub use swap::{ScorerHandle, VersionedScorer};
 pub use system::{sample_digest, ScoreDetail, ScoreTap, Scorer, ScoringSystem};
+pub use votelog::{VoteLog, VoteLogSnapshot, VoteRecord};

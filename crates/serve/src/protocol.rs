@@ -48,6 +48,33 @@ pub const REQ_SHUTDOWN: u8 = 3;
 pub const REQ_SCORE_V2: u8 = 4;
 pub const REQ_STATS_V2: u8 = 5;
 pub const REQ_ADAPT: u8 = 6;
+/// Lightweight health probe: the reply carries the serving generation,
+/// requests currently in flight, and the shed counters — cheap enough for
+/// a router to send every health interval. Answered inline on the reader
+/// thread without touching the scoring queue.
+pub const REQ_PING: u8 = 7;
+/// Drain (or peek at) the replica's vote log. Body: `u8` peek flag +
+/// `u32` min-records floor. The drain is all-or-nothing: below the floor
+/// the log is untouched and only the buffered count comes back.
+pub const REQ_DRAIN_VOTES: u8 = 8;
+/// Phase one of a two-phase rollout: stage a sealed candidate bundle on
+/// the replica (decode + validate, hold unserved). Body: the sealed bytes
+/// as a blob. Replying OK is the replica's promise that a commit cannot
+/// fail on decode.
+pub const REQ_STAGE_BUNDLE: u8 = 9;
+/// Phase two: atomically swap the staged bundle into serving. Refused
+/// `STATUS_CONFLICT` when nothing is staged.
+pub const REQ_COMMIT_STAGED: u8 = 10;
+/// Discard a staged bundle without serving it (rollout abort path).
+/// Idempotent; the reply reports whether anything was staged.
+pub const REQ_ABORT_STAGED: u8 = 11;
+/// Reinstall the model displaced by the last commit (one-deep,
+/// bit-identical, under a fresh generation).
+pub const REQ_ROLLBACK: u8 = 12;
+/// Router-only: aggregate fleet counters plus a per-replica breakdown
+/// (health, generation, inflight). Single replicas refuse it
+/// `STATUS_UNSUPPORTED`.
+pub const REQ_FLEET_STATS: u8 = 13;
 
 pub const STATUS_OK: u8 = 0;
 pub const STATUS_OVERLOADED: u8 = 1;
@@ -63,6 +90,11 @@ pub const STATUS_INTERNAL: u8 = 5;
 /// [`REQ_ADAPT`] against a server started without an adaptation
 /// controller).
 pub const STATUS_UNSUPPORTED: u8 = 6;
+/// The request is well-formed and supported but the replica's state does
+/// not allow it right now (e.g. [`REQ_COMMIT_STAGED`] with nothing
+/// staged, or a stage that failed validation). The connection stays
+/// usable.
+pub const STATUS_CONFLICT: u8 = 7;
 
 /// Refuse frames above this size (16 MiB ≈ a half-hour utterance) so a
 /// corrupt or hostile length prefix cannot trigger a huge allocation.
@@ -88,6 +120,20 @@ pub enum Request {
     /// Run one adaptation cycle now (reply: [`AdaptReport`], or
     /// [`STATUS_UNSUPPORTED`] without a controller).
     Adapt,
+    /// Health probe (reply: [`PingReport`]).
+    Ping,
+    /// Drain the vote log all-or-nothing, or just peek at its depth.
+    DrainVotes { peek: bool, min: u32 },
+    /// Stage a sealed candidate bundle (two-phase rollout, phase one).
+    StageBundle { sealed: Vec<u8> },
+    /// Swap the staged bundle into serving (phase two).
+    CommitStaged,
+    /// Discard the staged bundle (rollout abort).
+    AbortStaged,
+    /// Reinstall the model displaced by the last commit.
+    Rollback,
+    /// Aggregate + per-replica fleet counters (router only).
+    FleetStats,
 }
 
 /// How a requested adaptation cycle ended.
@@ -168,6 +214,20 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::StatsV2 => w.put_u8(REQ_STATS_V2),
         Request::Adapt => w.put_u8(REQ_ADAPT),
+        Request::Ping => w.put_u8(REQ_PING),
+        Request::DrainVotes { peek, min } => {
+            w.put_u8(REQ_DRAIN_VOTES);
+            w.put_u8(u8::from(*peek));
+            w.put_u32(*min);
+        }
+        Request::StageBundle { sealed } => {
+            w.put_u8(REQ_STAGE_BUNDLE);
+            w.put_blob(sealed);
+        }
+        Request::CommitStaged => w.put_u8(REQ_COMMIT_STAGED),
+        Request::AbortStaged => w.put_u8(REQ_ABORT_STAGED),
+        Request::Rollback => w.put_u8(REQ_ROLLBACK),
+        Request::FleetStats => w.put_u8(REQ_FLEET_STATS),
     }
     w.into_bytes()
 }
@@ -187,6 +247,25 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ArtifactError> {
         },
         REQ_STATS_V2 => Request::StatsV2,
         REQ_ADAPT => Request::Adapt,
+        REQ_PING => Request::Ping,
+        REQ_DRAIN_VOTES => {
+            let peek = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ArtifactError::Corrupt("drain peek flag out of range")),
+            };
+            Request::DrainVotes {
+                peek,
+                min: r.get_u32()?,
+            }
+        }
+        REQ_STAGE_BUNDLE => Request::StageBundle {
+            sealed: r.get_blob()?.to_vec(),
+        },
+        REQ_COMMIT_STAGED => Request::CommitStaged,
+        REQ_ABORT_STAGED => Request::AbortStaged,
+        REQ_ROLLBACK => Request::Rollback,
+        REQ_FLEET_STATS => Request::FleetStats,
         _ => return Err(ArtifactError::Corrupt("unknown request tag")),
     };
     if r.remaining() != 0 {
@@ -332,6 +411,19 @@ pub fn encode_stats_ok_v2(s: &StatsSnapshot) -> Vec<u8> {
 }
 
 fn get_stats(r: &mut ArtifactReader, extended: bool) -> Result<StatsSnapshot, ArtifactError> {
+    let s = get_stats_counters(r, extended)?;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(s)
+}
+
+/// The counter block alone, leaving the reader positioned after it (the
+/// fleet-stats reply appends per-replica rows behind the aggregate).
+fn get_stats_counters(
+    r: &mut ArtifactReader,
+    extended: bool,
+) -> Result<StatsSnapshot, ArtifactError> {
     let mut s = StatsSnapshot {
         requests: r.get_u64()?,
         completed: r.get_u64()?,
@@ -358,9 +450,6 @@ fn get_stats(r: &mut ArtifactReader, extended: bool) -> Result<StatsSnapshot, Ar
         s.swaps = r.get_u64()?;
         s.rollbacks = r.get_u64()?;
         s.fast_math = r.get_u64()?;
-    }
-    if r.remaining() != 0 {
-        return Err(ArtifactError::TrailingBytes);
     }
     Ok(s)
 }
@@ -420,6 +509,298 @@ pub fn decode_adapt_reply(bytes: &[u8]) -> Result<Result<AdaptReport, u8>, Artif
     Ok(Ok(report))
 }
 
+/// The health-probe reply body ([`Request::Ping`]). Everything a router's
+/// health loop needs in four counters, computed from the engine's stats
+/// snapshot without touching the scoring queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PingReport {
+    /// Serving model generation.
+    pub generation: u64,
+    /// Requests admitted but not yet resolved (completed/rejected/
+    /// expired/failed).
+    pub inflight: u64,
+    /// Load-shedding refusals so far (queue-full rejections + deadline
+    /// expirations + global-admission sheds) — the router's overload
+    /// signal.
+    pub shed: u64,
+    /// Successfully scored utterances so far.
+    pub completed: u64,
+}
+
+impl PingReport {
+    /// Derive the probe body from an engine stats snapshot.
+    pub fn from_stats(s: &StatsSnapshot) -> PingReport {
+        PingReport {
+            generation: s.generation,
+            inflight: s
+                .requests
+                .saturating_sub(s.completed + s.rejected + s.expired + s.failed),
+            shed: s.rejected + s.expired + s.shed_global,
+            completed: s.completed,
+        }
+    }
+}
+
+pub fn encode_ping_ok(p: &PingReport) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u64(p.generation);
+    w.put_u64(p.inflight);
+    w.put_u64(p.shed);
+    w.put_u64(p.completed);
+    w.into_bytes()
+}
+
+/// `Ok(Ok(report))` on success, `Ok(Err(status))` on a refusal status.
+pub fn decode_ping_reply(bytes: &[u8]) -> Result<Result<PingReport, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let report = PingReport {
+        generation: r.get_u64()?,
+        inflight: r.get_u64()?,
+        shed: r.get_u64()?,
+        completed: r.get_u64()?,
+    };
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(report))
+}
+
+/// A drain (or peek) reply: how many records were buffered, and — when the
+/// drain went through — the sealed `VLOG` snapshot bytes of everything
+/// taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrainReply {
+    /// Records buffered at request time (post-drain the log holds zero).
+    pub buffered: u32,
+    /// `Some(sealed VLOG bytes)` when the drain happened; `None` on a
+    /// peek, or when the buffer was below the requested floor.
+    pub sealed: Option<Vec<u8>>,
+}
+
+pub fn encode_drain_ok(reply: &DrainReply) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u32(reply.buffered);
+    match &reply.sealed {
+        Some(bytes) => {
+            w.put_u8(1);
+            w.put_blob(bytes);
+        }
+        None => w.put_u8(0),
+    }
+    w.into_bytes()
+}
+
+/// `Ok(Ok(reply))` on success, `Ok(Err(status))` on a refusal status.
+pub fn decode_drain_reply(bytes: &[u8]) -> Result<Result<DrainReply, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let buffered = r.get_u32()?;
+    let sealed = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_blob()?.to_vec()),
+        _ => return Err(ArtifactError::Corrupt("drain reply flag out of range")),
+    };
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(DrainReply { buffered, sealed }))
+}
+
+/// A stage acknowledgement: the replica decoded and validated the
+/// candidate and holds it unserved. The checksum lets the coordinator
+/// confirm every replica staged the *same* bytes before committing any.
+pub fn encode_stage_ok(checksum: u32) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u32(checksum);
+    w.into_bytes()
+}
+
+/// `Ok(Ok(checksum))` on success, `Ok(Err(status))` on a refusal.
+pub fn decode_stage_reply(bytes: &[u8]) -> Result<Result<u32, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let checksum = r.get_u32()?;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(checksum))
+}
+
+/// A commit acknowledgement: the staged bundle is serving under
+/// `generation`; `checksum` echoes the staged bundle's checksum.
+pub fn encode_commit_ok(generation: u64, checksum: u32) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u64(generation);
+    w.put_u32(checksum);
+    w.into_bytes()
+}
+
+/// `Ok(Ok((generation, checksum)))` on success, `Ok(Err(status))` on a
+/// refusal (notably [`STATUS_CONFLICT`] with nothing staged).
+pub fn decode_commit_reply(bytes: &[u8]) -> Result<Result<(u64, u32), u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let generation = r.get_u64()?;
+    let checksum = r.get_u32()?;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok((generation, checksum)))
+}
+
+/// An abort acknowledgement: `had_staged` reports whether anything was
+/// actually discarded (the request is idempotent either way).
+pub fn encode_abort_ok(had_staged: bool) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u8(u8::from(had_staged));
+    w.into_bytes()
+}
+
+/// `Ok(Ok(had_staged))` on success, `Ok(Err(status))` on a refusal.
+pub fn decode_abort_reply(bytes: &[u8]) -> Result<Result<bool, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let had_staged = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(ArtifactError::Corrupt("abort reply flag out of range")),
+    };
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(had_staged))
+}
+
+/// A rollback acknowledgement: `rolled` reports whether a displaced model
+/// existed to restore; `generation` is the serving generation afterwards.
+pub fn encode_rollback_ok(rolled: bool, generation: u64) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u8(u8::from(rolled));
+    w.put_u64(generation);
+    w.into_bytes()
+}
+
+/// `Ok(Ok((rolled, generation)))` on success, `Ok(Err(status))` on a
+/// refusal.
+pub fn decode_rollback_reply(bytes: &[u8]) -> Result<Result<(bool, u64), u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let rolled = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(ArtifactError::Corrupt("rollback reply flag out of range")),
+    };
+    let generation = r.get_u64()?;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok((rolled, generation)))
+}
+
+/// One replica's row in a fleet-stats breakdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaStat {
+    /// Backend address as the router dials it (e.g. `127.0.0.1:7701`).
+    pub addr: String,
+    /// Whether the router currently routes to this replica.
+    pub healthy: bool,
+    /// The replica's serving model generation at its last health probe.
+    pub generation: u64,
+    /// Requests the router currently has outstanding on this replica.
+    pub inflight: u64,
+    /// Utterances this replica has scored (from its last probe).
+    pub completed: u64,
+    /// Load-shedding refusals this replica has issued (from its last
+    /// probe).
+    pub shed: u64,
+}
+
+/// The router's fleet-stats reply: the aggregate extended counter set
+/// (summed over replicas, `generation` = the minimum replica generation so
+/// a mixed fleet is visible) plus the per-replica breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetStats {
+    pub aggregate: StatsSnapshot,
+    pub replicas: Vec<ReplicaStat>,
+}
+
+pub fn encode_fleet_stats_ok(f: &FleetStats) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    put_stats(&mut w, &f.aggregate, true);
+    w.put_u32(f.replicas.len() as u32);
+    for rep in &f.replicas {
+        w.put_str(&rep.addr);
+        w.put_u8(u8::from(rep.healthy));
+        w.put_u64(rep.generation);
+        w.put_u64(rep.inflight);
+        w.put_u64(rep.completed);
+        w.put_u64(rep.shed);
+    }
+    w.into_bytes()
+}
+
+/// `Ok(Ok(stats))` on success, `Ok(Err(status))` on a refusal (notably
+/// [`STATUS_UNSUPPORTED`] from a bare replica).
+pub fn decode_fleet_stats_reply(bytes: &[u8]) -> Result<Result<FleetStats, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let aggregate = get_stats_counters(&mut r, true)?;
+    let n = r.get_u32()? as usize;
+    let mut replicas = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let addr = r.get_str()?;
+        let healthy = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(ArtifactError::Corrupt("replica health flag out of range")),
+        };
+        replicas.push(ReplicaStat {
+            addr,
+            healthy,
+            generation: r.get_u64()?,
+            inflight: r.get_u64()?,
+            completed: r.get_u64()?,
+            shed: r.get_u64()?,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(FleetStats {
+        aggregate,
+        replicas,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +820,19 @@ mod tests {
             },
             Request::StatsV2,
             Request::Adapt,
+            Request::Ping,
+            Request::DrainVotes { peek: true, min: 0 },
+            Request::DrainVotes {
+                peek: false,
+                min: 200,
+            },
+            Request::StageBundle {
+                sealed: vec![0xAB; 37],
+            },
+            Request::CommitStaged,
+            Request::AbortStaged,
+            Request::Rollback,
+            Request::FleetStats,
         ] {
             let back = decode_request(&encode_request(&req)).unwrap();
             // NaN breaks derived PartialEq; compare the sample bits instead.
@@ -573,6 +967,227 @@ mod tests {
         let mut cut = encode_adapt_ok(&report);
         cut.truncate(cut.len() - 2);
         assert!(decode_adapt_reply(&cut).is_err());
+    }
+
+    #[test]
+    fn ping_reply_roundtrip_and_derivation() {
+        let s = StatsSnapshot {
+            requests: 100,
+            completed: 80,
+            rejected: 5,
+            batches: 20,
+            batched_utts: 80,
+            max_queue_depth: 12,
+            latency_us_sum: 1,
+            latency_us_max: 1,
+            uptime_us: 1,
+            expired: 3,
+            failed: 2,
+            shed_global: 7,
+            generation: 4,
+            swaps: 3,
+            rollbacks: 0,
+            fast_math: 0,
+        };
+        let p = PingReport::from_stats(&s);
+        // 100 admitted, 80+5+3+2 resolved → 10 in flight; shed counts
+        // queue rejections + expirations + global sheds.
+        assert_eq!(
+            p,
+            PingReport {
+                generation: 4,
+                inflight: 10,
+                shed: 15,
+                completed: 80,
+            }
+        );
+        assert_eq!(decode_ping_reply(&encode_ping_ok(&p)).unwrap().unwrap(), p);
+        assert_eq!(
+            decode_ping_reply(&encode_status(STATUS_SHUTTING_DOWN)).unwrap(),
+            Err(STATUS_SHUTTING_DOWN)
+        );
+        let mut cut = encode_ping_ok(&p);
+        cut.truncate(cut.len() - 1);
+        assert!(decode_ping_reply(&cut).is_err());
+    }
+
+    #[test]
+    fn drain_reply_roundtrip() {
+        for reply in [
+            DrainReply {
+                buffered: 42,
+                sealed: None,
+            },
+            DrainReply {
+                buffered: 42,
+                sealed: Some(vec![1, 2, 3, 4, 5]),
+            },
+            DrainReply {
+                buffered: 0,
+                sealed: Some(Vec::new()),
+            },
+        ] {
+            assert_eq!(
+                decode_drain_reply(&encode_drain_ok(&reply))
+                    .unwrap()
+                    .unwrap(),
+                reply
+            );
+        }
+        assert_eq!(
+            decode_drain_reply(&encode_status(STATUS_UNSUPPORTED)).unwrap(),
+            Err(STATUS_UNSUPPORTED)
+        );
+        // Out-of-range presence flag is a typed error.
+        let mut bad = encode_drain_ok(&DrainReply {
+            buffered: 1,
+            sealed: None,
+        });
+        *bad.last_mut().unwrap() = 7;
+        assert!(decode_drain_reply(&bad).is_err());
+    }
+
+    #[test]
+    fn rollout_acks_roundtrip() {
+        assert_eq!(
+            decode_stage_reply(&encode_stage_ok(0xC0FFEE)).unwrap(),
+            Ok(0xC0FFEE)
+        );
+        assert_eq!(
+            decode_stage_reply(&encode_status(STATUS_CONFLICT)).unwrap(),
+            Err(STATUS_CONFLICT)
+        );
+        assert_eq!(
+            decode_commit_reply(&encode_commit_ok(9, 0xC0FFEE)).unwrap(),
+            Ok((9, 0xC0FFEE))
+        );
+        assert_eq!(
+            decode_commit_reply(&encode_status(STATUS_CONFLICT)).unwrap(),
+            Err(STATUS_CONFLICT)
+        );
+        assert_eq!(
+            decode_abort_reply(&encode_abort_ok(true)).unwrap(),
+            Ok(true)
+        );
+        assert_eq!(
+            decode_abort_reply(&encode_abort_ok(false)).unwrap(),
+            Ok(false)
+        );
+        assert_eq!(
+            decode_rollback_reply(&encode_rollback_ok(true, 11)).unwrap(),
+            Ok((true, 11))
+        );
+        // Truncations are typed errors, not panics.
+        let mut cut = encode_commit_ok(9, 1);
+        cut.truncate(cut.len() - 2);
+        assert!(decode_commit_reply(&cut).is_err());
+        let mut cut = encode_rollback_ok(false, 2);
+        cut.truncate(2);
+        assert!(decode_rollback_reply(&cut).is_err());
+        // Out-of-range flags too.
+        let mut bad = encode_abort_ok(true);
+        bad[1] = 3;
+        assert!(decode_abort_reply(&bad).is_err());
+    }
+
+    #[test]
+    fn fleet_stats_roundtrip() {
+        let mut aggregate = StatsSnapshot {
+            requests: 300,
+            completed: 290,
+            rejected: 4,
+            batches: 60,
+            batched_utts: 290,
+            max_queue_depth: 9,
+            latency_us_sum: 5_000,
+            latency_us_max: 80,
+            uptime_us: 1_000_000,
+            expired: 2,
+            failed: 1,
+            shed_global: 3,
+            generation: 2,
+            swaps: 2,
+            rollbacks: 0,
+            fast_math: 0,
+        };
+        let f = FleetStats {
+            aggregate,
+            replicas: vec![
+                ReplicaStat {
+                    addr: "127.0.0.1:7701".into(),
+                    healthy: true,
+                    generation: 2,
+                    inflight: 3,
+                    completed: 150,
+                    shed: 1,
+                },
+                ReplicaStat {
+                    addr: "127.0.0.1:7702".into(),
+                    healthy: false,
+                    generation: 1,
+                    inflight: 0,
+                    completed: 140,
+                    shed: 8,
+                },
+            ],
+        };
+        assert_eq!(
+            decode_fleet_stats_reply(&encode_fleet_stats_ok(&f))
+                .unwrap()
+                .unwrap(),
+            f
+        );
+        // An empty fleet still roundtrips.
+        aggregate.requests = 0;
+        let empty = FleetStats {
+            aggregate,
+            replicas: Vec::new(),
+        };
+        assert_eq!(
+            decode_fleet_stats_reply(&encode_fleet_stats_ok(&empty))
+                .unwrap()
+                .unwrap(),
+            empty
+        );
+        // Replicas refuse the tag; the refusal passes through typed.
+        assert_eq!(
+            decode_fleet_stats_reply(&encode_status(STATUS_UNSUPPORTED)).unwrap(),
+            Err(STATUS_UNSUPPORTED)
+        );
+        // Truncating mid-replica-row is a typed error.
+        let mut cut = encode_fleet_stats_ok(&f);
+        cut.truncate(cut.len() - 5);
+        assert!(decode_fleet_stats_reply(&cut).is_err());
+    }
+
+    #[test]
+    fn malformed_fleet_requests_are_typed_errors() {
+        // Drain with a truncated min floor.
+        let mut drain = encode_request(&Request::DrainVotes {
+            peek: false,
+            min: 500,
+        });
+        drain.truncate(3);
+        assert!(decode_request(&drain).is_err());
+        // Drain with an out-of-range peek flag.
+        let mut bad_flag = encode_request(&Request::DrainVotes {
+            peek: false,
+            min: 1,
+        });
+        bad_flag[1] = 9;
+        assert!(decode_request(&bad_flag).is_err());
+        // Stage whose blob length outruns the payload.
+        let mut stage = encode_request(&Request::StageBundle {
+            sealed: vec![7; 64],
+        });
+        stage.truncate(stage.len() - 10);
+        assert!(decode_request(&stage).is_err());
+        // Ping / fleet-stats with trailing junk.
+        for req in [Request::Ping, Request::FleetStats, Request::CommitStaged] {
+            let mut padded = encode_request(&req);
+            padded.push(0);
+            assert!(decode_request(&padded).is_err());
+        }
     }
 
     #[test]

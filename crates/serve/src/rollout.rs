@@ -1,0 +1,394 @@
+//! The replica half of a two-phase fleet rollout.
+//!
+//! A single adapting server promotes a candidate with one atomic
+//! [`ScorerHandle::swap`]. A fleet cannot: N independent swaps leave a
+//! window where clients see scores from two model generations depending on
+//! which replica their request lands on. The router closes that window
+//! with a two-phase protocol, and this module is the replica's side of it:
+//!
+//! 1. **Stage** ([`FleetControl::stage`]): decode and fully validate the
+//!    sealed candidate bundle, build the scorer, hold it *unserved*.
+//!    Replying OK is a promise that a later commit cannot fail on decode —
+//!    every failure mode that can be checked has been. A replica running
+//!    fast-math scoring refuses to stage a bundle that has not opted into
+//!    it ([`STATUS_CONFLICT`]), exactly as `lre-serve` refuses to load one
+//!    at startup.
+//! 2. **Commit** ([`FleetControl::commit`]): one atomic swap of the staged
+//!    scorer into the serving handle. Refused [`STATUS_CONFLICT`] when
+//!    nothing is staged — a commit can only follow its stage.
+//! 3. **Abort** ([`FleetControl::abort`]): discard the staged candidate
+//!    without serving it. Idempotent; this is the coordinator's path when
+//!    *another* replica failed to stage.
+//! 4. **Rollback** ([`FleetControl::rollback`]): reinstall the exact
+//!    [`VersionedScorer`] displaced by the last commit (one-deep, under a
+//!    fresh generation) — the coordinator's path when a *later* replica
+//!    failed to commit, restoring the fleet to one generation again.
+//!
+//! The vote-log drain ([`FleetControl::drain_votes`]) rides the same
+//! trait: the router peeks every replica's buffered count, and only when
+//! the fleet-wide sum clears the adaptation floor drains them all —
+//! keeping the all-or-nothing property of [`VoteLog::drain_at_least`]
+//! meaningful at fleet scope.
+
+use crate::bundle::SystemBundle;
+use crate::protocol::{DrainReply, STATUS_CONFLICT};
+use crate::swap::{ScorerHandle, VersionedScorer};
+use crate::system::{Scorer, ScoringSystem};
+use crate::votelog::{VoteLog, VoteLogSnapshot};
+use lre_artifact::{crc32, ArtifactRead, ArtifactWrite};
+use std::sync::{Arc, Mutex};
+
+/// The server's hook for the fleet-rollout request tags
+/// ([`crate::protocol::REQ_DRAIN_VOTES`] through
+/// [`crate::protocol::REQ_ROLLBACK`]). Refusals are returned as protocol
+/// status bytes so the connection handler can encode them directly.
+/// Implemented by [`FleetReplica`]; servers started without a fleet hook
+/// refuse all five tags `STATUS_UNSUPPORTED`.
+pub trait FleetControl: Send + Sync + 'static {
+    /// Peek at (or all-or-nothing drain) the replica's vote log; a drain
+    /// below the `min` floor leaves the log untouched and reports the
+    /// buffered count.
+    fn drain_votes(&self, peek: bool, min: u32) -> DrainReply;
+    /// Validate and hold a sealed candidate bundle; `Ok` carries its
+    /// checksum.
+    fn stage(&self, sealed: &[u8]) -> Result<u32, u8>;
+    /// Atomically swap the staged bundle into serving; `Ok` carries the
+    /// new serving generation and the bundle checksum.
+    fn commit(&self) -> Result<(u64, u32), u8>;
+    /// Discard the staged bundle; reports whether one existed.
+    fn abort(&self) -> bool;
+    /// Reinstall the model displaced by the last commit; reports whether
+    /// one existed and the serving generation afterwards.
+    fn rollback(&self) -> (bool, u64);
+}
+
+/// A fully validated candidate, held between stage and commit.
+struct Staged {
+    checksum: u32,
+    scorer: Arc<dyn Scorer>,
+}
+
+struct ReplicaState {
+    staged: Option<Staged>,
+    /// The model displaced by the last commit, retained for one-deep
+    /// rollback. Cleared by a rollback (one-deep means exactly one).
+    previous: Option<Arc<VersionedScorer>>,
+}
+
+/// The stage-time validation seam: sealed bytes (+ the engine's fast-math
+/// mode) to a ready scorer, or a refusal status. Boxed so the state
+/// machine is testable without building a real trained bundle.
+type StageValidator = dyn Fn(&[u8], bool) -> Result<Arc<dyn Scorer>, u8> + Send + Sync;
+
+/// The production validator: full seal + decode + scorer construction, and
+/// the same fast-math opt-in gate `lre-serve` applies at startup.
+fn decode_stage(sealed: &[u8], fast_math: bool) -> Result<Arc<dyn Scorer>, u8> {
+    let bundle = SystemBundle::from_artifact_bytes(sealed).map_err(|_| STATUS_CONFLICT)?;
+    if fast_math && !bundle.fastmath_opt_in {
+        return Err(STATUS_CONFLICT);
+    }
+    let system = ScoringSystem::from_bundle(bundle).map_err(|_| STATUS_CONFLICT)?;
+    Ok(Arc::new(system))
+}
+
+/// The standard [`FleetControl`] implementation: a staged two-phase state
+/// machine over the serving [`ScorerHandle`] and the engine's [`VoteLog`].
+pub struct FleetReplica {
+    handle: Arc<ScorerHandle>,
+    log: Arc<VoteLog>,
+    /// Whether the hosting engine scores with fast-math; staged bundles
+    /// must opt in, exactly as at startup.
+    fast_math: bool,
+    validate: Box<StageValidator>,
+    state: Mutex<ReplicaState>,
+}
+
+impl FleetReplica {
+    /// Wire a replica controller to the handle it swaps and the vote log
+    /// it drains. `fast_math` mirrors the engine's scoring mode.
+    pub fn new(handle: Arc<ScorerHandle>, log: Arc<VoteLog>, fast_math: bool) -> FleetReplica {
+        FleetReplica {
+            handle,
+            log,
+            fast_math,
+            validate: Box::new(decode_stage),
+            state: Mutex::new(ReplicaState {
+                staged: None,
+                previous: None,
+            }),
+        }
+    }
+
+    /// The vote log this replica drains (the engine taps into the same
+    /// one).
+    pub fn log(&self) -> &Arc<VoteLog> {
+        &self.log
+    }
+
+    /// Replace the stage-time validator. Testing seam: integration tests
+    /// stand up whole fleets around sealed candidates cheap enough to
+    /// build in-process, while production replicas keep the full
+    /// decode-and-construct validator installed by [`FleetReplica::new`].
+    pub fn set_validator(
+        &mut self,
+        validate: impl Fn(&[u8], bool) -> Result<Arc<dyn Scorer>, u8> + Send + Sync + 'static,
+    ) {
+        self.validate = Box::new(validate);
+    }
+}
+
+impl FleetControl for FleetReplica {
+    fn drain_votes(&self, peek: bool, min: u32) -> DrainReply {
+        if peek {
+            return DrainReply {
+                buffered: self.log.len() as u32,
+                sealed: None,
+            };
+        }
+        match self.log.drain_at_least(min as usize) {
+            Ok(records) => {
+                let buffered = records.len() as u32;
+                let snap = VoteLogSnapshot {
+                    records,
+                    dropped: self.log.dropped(),
+                };
+                DrainReply {
+                    buffered,
+                    sealed: Some(snap.to_artifact_bytes()),
+                }
+            }
+            Err(buffered) => DrainReply {
+                buffered: buffered as u32,
+                sealed: None,
+            },
+        }
+    }
+
+    fn stage(&self, sealed: &[u8]) -> Result<u32, u8> {
+        // Validate everything a commit would need *now*: seal integrity,
+        // full decode, scorer construction. After `Ok`, commit is a pure
+        // pointer swap that cannot fail.
+        let scorer = (self.validate)(sealed, self.fast_math)?;
+        let checksum = crc32(sealed);
+        let mut state = self.state.lock().expect("rollout state poisoned");
+        // Re-staging replaces a pending candidate; the coordinator aborts
+        // explicitly, but a crashed coordinator must not wedge the replica.
+        state.staged = Some(Staged { checksum, scorer });
+        Ok(checksum)
+    }
+
+    fn commit(&self) -> Result<(u64, u32), u8> {
+        let mut state = self.state.lock().expect("rollout state poisoned");
+        let staged = state.staged.take().ok_or(STATUS_CONFLICT)?;
+        let displaced = self.handle.current();
+        let generation = self.handle.swap(staged.scorer, staged.checksum);
+        state.previous = Some(displaced);
+        Ok((generation, staged.checksum))
+    }
+
+    fn abort(&self) -> bool {
+        let mut state = self.state.lock().expect("rollout state poisoned");
+        state.staged.take().is_some()
+    }
+
+    fn rollback(&self) -> (bool, u64) {
+        let mut state = self.state.lock().expect("rollout state poisoned");
+        match state.previous.take() {
+            Some(parent) => (true, self.handle.rollback_to(&parent)),
+            None => (false, self.handle.generation()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{ScoreDetail, ScoreTap};
+    use lre_artifact::{ArtifactError, ArtifactRead};
+    use lre_lattice::DecodeScratch;
+    use lre_vsm::SparseVec;
+
+    struct Marker(f32);
+    impl Scorer for Marker {
+        fn score_utt(
+            &self,
+            _samples: &[f32],
+            _scratch: &mut DecodeScratch,
+        ) -> Result<Vec<f32>, ArtifactError> {
+            Ok(vec![self.0])
+        }
+    }
+
+    /// Sealed candidates a real trained bundle is too expensive to build
+    /// for unit tests; the mock validator accepts exactly the bytes
+    /// [`candidate`] produces (real decode is covered by the CI fleet
+    /// smoke and the `--ignored` integration tests). It honours the
+    /// fast-math gate the same way: an `F`-prefixed candidate has opted
+    /// in, a plain one is refused when `fast_math` is on.
+    fn mock_validate(sealed: &[u8], fast_math: bool) -> Result<Arc<dyn Scorer>, u8> {
+        match sealed {
+            [b'F', v] => Ok(Arc::new(Marker(f32::from(*v)))),
+            [b'C', v] if !fast_math => Ok(Arc::new(Marker(f32::from(*v)))),
+            _ => Err(STATUS_CONFLICT),
+        }
+    }
+
+    fn candidate(v: u8) -> Vec<u8> {
+        vec![b'C', v]
+    }
+
+    fn replica_with(fast_math: bool) -> FleetReplica {
+        let mut rep = FleetReplica::new(
+            Arc::new(ScorerHandle::new(Arc::new(Marker(0.0)), 0xAAAA)),
+            Arc::new(VoteLog::new(8)),
+            fast_math,
+        );
+        rep.validate = Box::new(mock_validate);
+        rep
+    }
+
+    fn replica() -> FleetReplica {
+        replica_with(false)
+    }
+
+    #[test]
+    fn stage_commit_swaps_exactly_once() {
+        let rep = replica();
+        let sealed = candidate(7);
+        let ck = rep.stage(&sealed).expect("stage validates");
+        assert_eq!(ck, crc32(&sealed));
+        // Nothing served yet: staging must not disturb the handle.
+        assert_eq!(rep.handle.generation(), 0);
+        assert_eq!(rep.handle.checksum(), 0xAAAA);
+        let (generation, committed_ck) = rep.commit().expect("commit succeeds");
+        assert_eq!(generation, 1);
+        assert_eq!(committed_ck, ck);
+        assert_eq!(rep.handle.checksum(), ck);
+        let mut scratch = DecodeScratch::new();
+        assert_eq!(
+            rep.handle
+                .current()
+                .scorer
+                .score_utt(&[], &mut scratch)
+                .unwrap(),
+            vec![7.0]
+        );
+        // The staged slot is consumed: a second commit is a conflict.
+        assert_eq!(rep.commit(), Err(STATUS_CONFLICT));
+    }
+
+    #[test]
+    fn commit_without_stage_is_a_conflict() {
+        let rep = replica();
+        assert_eq!(rep.commit(), Err(STATUS_CONFLICT));
+        assert_eq!(rep.handle.generation(), 0);
+    }
+
+    #[test]
+    fn stage_of_garbage_is_refused_and_holds_nothing() {
+        let rep = replica();
+        assert_eq!(rep.stage(b"not a bundle"), Err(STATUS_CONFLICT));
+        assert!(!rep.abort()); // nothing was held
+        assert_eq!(rep.commit(), Err(STATUS_CONFLICT));
+        assert_eq!(rep.handle.generation(), 0);
+    }
+
+    #[test]
+    fn real_validator_refuses_garbage() {
+        // The production decode path on undecodable bytes: a typed
+        // refusal, not a panic. (Valid-bundle staging is exercised by the
+        // CI fleet smoke against real trained bundles.)
+        assert_eq!(
+            decode_stage(b"definitely not a sealed bundle", false).err(),
+            Some(STATUS_CONFLICT)
+        );
+        assert_eq!(decode_stage(&[], true).err(), Some(STATUS_CONFLICT));
+    }
+
+    #[test]
+    fn abort_discards_and_is_idempotent() {
+        let rep = replica();
+        rep.stage(&candidate(1)).unwrap();
+        assert!(rep.abort());
+        assert!(!rep.abort());
+        assert_eq!(rep.commit(), Err(STATUS_CONFLICT));
+        assert_eq!(rep.handle.generation(), 0);
+    }
+
+    #[test]
+    fn restage_replaces_the_pending_candidate() {
+        let rep = replica();
+        rep.stage(&candidate(1)).unwrap();
+        let ck2 = rep.stage(&candidate(2)).unwrap();
+        let (_, committed) = rep.commit().unwrap();
+        assert_eq!(committed, ck2);
+        let mut scratch = DecodeScratch::new();
+        assert_eq!(
+            rep.handle
+                .current()
+                .scorer
+                .score_utt(&[], &mut scratch)
+                .unwrap(),
+            vec![2.0]
+        );
+    }
+
+    #[test]
+    fn rollback_restores_the_displaced_model_bit_identically() {
+        let rep = replica();
+        let parent = rep.handle.current();
+        rep.stage(&candidate(1)).unwrap();
+        rep.commit().unwrap();
+        let (rolled, generation) = rep.rollback();
+        assert!(rolled);
+        assert_eq!(generation, 2); // monotonic, never back to 0
+        assert_eq!(rep.handle.checksum(), 0xAAAA);
+        assert!(Arc::ptr_eq(&rep.handle.current().scorer, &parent.scorer));
+        // One-deep: a second rollback has nothing to restore.
+        let (rolled, generation) = rep.rollback();
+        assert!(!rolled);
+        assert_eq!(generation, 2);
+    }
+
+    #[test]
+    fn fast_math_replica_refuses_a_candidate_without_opt_in() {
+        let rep = replica_with(true);
+        assert_eq!(rep.stage(&candidate(1)), Err(STATUS_CONFLICT));
+        assert!(rep.stage(&[b'F', 1]).is_ok());
+    }
+
+    #[test]
+    fn drain_peek_leaves_the_log_and_floor_is_all_or_nothing() {
+        let rep = replica();
+        let detail = |digest: u64| ScoreDetail {
+            digest,
+            num_frames: 75,
+            duration_index: 0,
+            generation: 0,
+            fused: vec![1.0, -1.0],
+            subsystem_scores: vec![vec![1.0, -1.0]],
+            supervectors: vec![SparseVec::from_pairs(vec![(0, 1.0)])],
+        };
+        rep.log.record(detail(1));
+        rep.log.record(detail(2));
+
+        let peeked = rep.drain_votes(true, 0);
+        assert_eq!(peeked.buffered, 2);
+        assert!(peeked.sealed.is_none());
+        assert_eq!(rep.log.len(), 2);
+
+        // Below the floor: untouched.
+        let refused = rep.drain_votes(false, 5);
+        assert_eq!(refused.buffered, 2);
+        assert!(refused.sealed.is_none());
+        assert_eq!(rep.log.len(), 2);
+
+        // At the floor: everything comes out as a sealed VLOG snapshot.
+        let drained = rep.drain_votes(false, 2);
+        assert_eq!(drained.buffered, 2);
+        let snap = VoteLogSnapshot::from_artifact_bytes(&drained.sealed.expect("drained")).unwrap();
+        assert_eq!(snap.records.len(), 2);
+        assert_eq!(snap.records[0].digest, 1);
+        assert!(rep.log.is_empty());
+    }
+}

@@ -15,11 +15,13 @@
 
 use crate::engine::{Engine, EngineConfig, Outcome, SubmitError};
 use crate::protocol::{
-    decode_request, encode_adapt_ok, encode_score_ok, encode_score_ok_v2, encode_stats_ok,
-    encode_stats_ok_v2, encode_status, encode_status_v2, read_frame, write_frame, AdaptReport,
-    Request, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK,
-    STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
+    decode_request, encode_abort_ok, encode_adapt_ok, encode_commit_ok, encode_drain_ok,
+    encode_ping_ok, encode_rollback_ok, encode_score_ok, encode_score_ok_v2, encode_stage_ok,
+    encode_stats_ok, encode_stats_ok_v2, encode_status, encode_status_v2, read_frame, write_frame,
+    AdaptReport, PingReport, Request, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED,
+    STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
 };
+use crate::rollout::FleetControl;
 use crate::swap::ScorerHandle;
 use crate::system::{ScoreTap, Scorer};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -60,6 +62,21 @@ pub trait AdaptControl: Send + Sync + 'static {
     fn adapt_now(&self) -> AdaptReport;
 }
 
+/// Everything a server may be wired to beyond the engine itself. All
+/// optional; a request whose hook is absent is refused
+/// [`STATUS_UNSUPPORTED`].
+#[derive(Default)]
+pub struct ServerHooks {
+    /// Tee every scored utterance into this tap (the adaptation vote log).
+    pub tap: Option<Arc<dyn ScoreTap>>,
+    /// Answer [`Request::Adapt`] (a local, single-process adaptation
+    /// cycle).
+    pub control: Option<Arc<dyn AdaptControl>>,
+    /// Answer the fleet-rollout tags: vote drain, stage/commit/abort,
+    /// rollback (a router-coordinated fleet cycle).
+    pub fleet: Option<Arc<dyn FleetControl>>,
+}
+
 /// Reserve one slot under the global cap, exactly (no overshoot under
 /// concurrent readers).
 fn try_acquire_global(global: &AtomicUsize, max: usize) -> bool {
@@ -95,21 +112,24 @@ impl Server {
             listener,
             Arc::new(ScorerHandle::new(scorer, 0)),
             cfg,
-            None,
-            None,
+            ServerHooks::default(),
         )
     }
 
-    /// Start serving over a hot-swappable scorer handle, optionally teeing
-    /// scores into `tap` (the adaptation vote log) and answering
-    /// [`Request::Adapt`] through `control`.
+    /// Start serving over a hot-swappable scorer handle, with whichever
+    /// [`ServerHooks`] the host wires in (vote-log tap, local adaptation
+    /// control, fleet-rollout control).
     pub fn start_adaptive(
         listener: TcpListener,
         handle: Arc<ScorerHandle>,
         cfg: ServerConfig,
-        tap: Option<Arc<dyn ScoreTap>>,
-        control: Option<Arc<dyn AdaptControl>>,
+        hooks: ServerHooks,
     ) -> std::io::Result<Server> {
+        let ServerHooks {
+            tap,
+            control,
+            fleet,
+        } = hooks;
         let addr = listener.local_addr()?;
         let engine = Arc::new(Engine::start_adaptive(cfg.engine, handle, tap));
         let stopping = Arc::new(AtomicBool::new(false));
@@ -136,6 +156,7 @@ impl Server {
                     let stopping = Arc::clone(&stopping);
                     let global_inflight = Arc::clone(&global_inflight);
                     let control = control.clone();
+                    let fleet = fleet.clone();
                     std::thread::spawn(move || {
                         handle_connection(
                             stream,
@@ -146,6 +167,7 @@ impl Server {
                             global_inflight,
                             max_global,
                             control,
+                            fleet,
                         )
                     });
                 }
@@ -202,6 +224,7 @@ fn handle_connection(
     global_inflight: Arc<AtomicUsize>,
     max_global: usize,
     control: Option<Arc<dyn AdaptControl>>,
+    fleet: Option<Arc<dyn FleetControl>>,
 ) {
     let _ = stream.set_nodelay(true);
     let mut write_half = match stream.try_clone() {
@@ -257,6 +280,44 @@ fn handle_connection(
                 Some(c) => encode_adapt_ok(&c.adapt_now()),
                 None => encode_status(STATUS_UNSUPPORTED),
             },
+            // The health probe never touches the scoring queue: it is
+            // derived from the engine's counters on the reader thread, so
+            // it stays answerable while the queue is saturated.
+            Ok(Request::Ping) => encode_ping_ok(&PingReport::from_stats(&engine.stats())),
+            // The fleet-rollout tags are answered inline like stats; each
+            // is refused `STATUS_UNSUPPORTED` without a fleet hook.
+            Ok(Request::DrainVotes { peek, min }) => match &fleet {
+                Some(f) => encode_drain_ok(&f.drain_votes(peek, min)),
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            Ok(Request::StageBundle { sealed }) => match &fleet {
+                Some(f) => match f.stage(&sealed) {
+                    Ok(checksum) => encode_stage_ok(checksum),
+                    Err(status) => encode_status(status),
+                },
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            Ok(Request::CommitStaged) => match &fleet {
+                Some(f) => match f.commit() {
+                    Ok((generation, checksum)) => encode_commit_ok(generation, checksum),
+                    Err(status) => encode_status(status),
+                },
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            Ok(Request::AbortStaged) => match &fleet {
+                Some(f) => encode_abort_ok(f.abort()),
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            Ok(Request::Rollback) => match &fleet {
+                Some(f) => {
+                    let (rolled, generation) = f.rollback();
+                    encode_rollback_ok(rolled, generation)
+                }
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            // Only the router's front tier aggregates a fleet; a replica
+            // (or single server) has nothing to answer with.
+            Ok(Request::FleetStats) => encode_status(STATUS_UNSUPPORTED),
             Ok(Request::Shutdown) => {
                 // Acknowledge first so the requester sees a reply, then
                 // stop accepting; `Server::join` drains the engine.

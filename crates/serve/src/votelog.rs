@@ -14,8 +14,8 @@
 //! nested `VREC` artifacts) — for audit or offline replay of an
 //! adaptation decision.
 
+use crate::system::{ScoreDetail, ScoreTap};
 use lre_artifact::{ArtifactError, ArtifactRead, ArtifactReader, ArtifactWrite, ArtifactWriter};
-use lre_serve::{ScoreDetail, ScoreTap};
 use lre_vsm::SparseVec;
 use std::collections::HashSet;
 use std::sync::Mutex;
