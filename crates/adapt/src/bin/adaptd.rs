@@ -17,7 +17,11 @@
 use lre_adapt::{bundle_checksum, AdaptConfig, AdaptController, AdaptWorker, VoteLog};
 use lre_artifact::ArtifactRead;
 use lre_dba::GuardSet;
-use lre_serve::{ScorerHandle, ScoringSystem, Server, ServerConfig, ServerHooks, SystemBundle};
+use lre_obs::install_panic_dump;
+use lre_serve::{
+    ScorerHandle, ScoringSystem, ServeObs, Server, ServerConfig, ServerHooks, SystemBundle,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -163,9 +167,16 @@ fn main() {
     };
     let handle = Arc::new(ScorerHandle::new(system, bundle_checksum(&bytes)));
     let log = Arc::new(VoteLog::new(log_capacity));
+    // Telemetry: guard verdicts, promotions and rollbacks land in the
+    // flight recorder, which also dumps to stderr on panic.
+    let obs = ServeObs::new(DEFAULT_FLIGHT_CAPACITY);
+    install_panic_dump(&obs.flight);
     let controller =
         match AdaptController::new(Arc::clone(&handle), Arc::clone(&log), guard, bytes, adapt) {
-            Ok(c) => Arc::new(c),
+            Ok(mut c) => {
+                c.set_flight(Arc::clone(&obs.flight));
+                Arc::new(c)
+            }
             Err(e) => {
                 eprintln!("error: wiring adaptation controller: {e}");
                 std::process::exit(1);
@@ -199,6 +210,7 @@ fn main() {
             tap: Some(log as _),
             control: Some(controller as _),
             fleet: None,
+            obs: Some(obs),
         },
     ) {
         Ok(s) => s,

@@ -27,6 +27,7 @@ use lre_artifact::{crc32, ArtifactError, ArtifactRead, ArtifactWrite};
 use lre_corpus::Duration;
 use lre_dba::{build_tr_dba, dba_round_selection, DbaVariant, GuardSet};
 use lre_eval::ScoreMatrix;
+use lre_obs::{FlightRecorder, EV_GUARD_ACCEPT, EV_GUARD_REJECT, EV_ROLLBACK, EV_SWAP};
 use lre_serve::{
     AdaptControl, AdaptReport, ScorerHandle, ScoringSystem, SystemBundle, VersionedScorer, VoteLog,
     VoteRecord, ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
@@ -94,6 +95,10 @@ pub struct CandidateBundle {
     pub selected: u32,
     /// Records consumed by the round.
     pub drained: u32,
+    /// Guard EER delta, candidate minus parent (negative = improvement).
+    pub eer_delta: f64,
+    /// Guard min-Cavg delta, candidate minus parent.
+    pub cavg_delta: f64,
 }
 
 /// How one boosting round over an already-drained record set ended.
@@ -102,8 +107,13 @@ pub enum RoundOutcome {
     /// trained.
     Insufficient { drained: u32 },
     /// The candidate regressed the guard metrics past the configured
-    /// slack.
-    RejectedGuard { selected: u32, drained: u32 },
+    /// slack. Deltas are candidate minus parent on the guard set.
+    RejectedGuard {
+        selected: u32,
+        drained: u32,
+        eer_delta: f64,
+        cavg_delta: f64,
+    },
     /// The candidate cleared the guard and is ready to install.
     Candidate(CandidateBundle),
 }
@@ -161,10 +171,17 @@ pub fn boost_round(
     let parent_vsms: Vec<OneVsRest> = bundle.subsystems.iter().map(|s| s.vsm.clone()).collect();
     let parent_report = guard.evaluate(&parent_vsms, &bundle.fusions);
     let cand_report = guard.evaluate(&cand_vsms, &bundle.fusions);
+    let eer_delta = cand_report.eer - parent_report.eer;
+    let cavg_delta = cand_report.min_cavg - parent_report.min_cavg;
     let regressed = cand_report.eer > parent_report.eer + cfg.max_eer_regress
         || cand_report.min_cavg > parent_report.min_cavg + cfg.max_cavg_regress;
     if regressed {
-        return Ok(RoundOutcome::RejectedGuard { selected, drained });
+        return Ok(RoundOutcome::RejectedGuard {
+            selected,
+            drained,
+            eer_delta,
+            cavg_delta,
+        });
     }
 
     // Seal the candidate with its lineage.
@@ -186,6 +203,8 @@ pub fn boost_round(
         lineage_generation,
         selected,
         drained,
+        eer_delta,
+        cavg_delta,
     }))
 }
 
@@ -213,6 +232,9 @@ pub struct AdaptController {
     rejected_guard: AtomicU64,
     insufficient_data: AtomicU64,
     failed: AtomicU64,
+    /// Optional flight recorder: guard verdicts (with EER/min-Cavg
+    /// deltas), promotions and rollbacks become structured events.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl AdaptController {
@@ -245,7 +267,14 @@ impl AdaptController {
             rejected_guard: AtomicU64::new(0),
             insufficient_data: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            flight: None,
         })
+    }
+
+    /// Attach a flight recorder (call before sharing the controller):
+    /// guard verdicts, promotions and rollbacks are recorded as events.
+    pub fn set_flight(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
     }
 
     pub fn counters(&self) -> AdaptCounters {
@@ -314,8 +343,23 @@ impl AdaptController {
                     drained,
                 });
             }
-            RoundOutcome::RejectedGuard { selected, drained } => {
+            RoundOutcome::RejectedGuard {
+                selected,
+                drained,
+                eer_delta,
+                cavg_delta,
+            } => {
                 self.rejected_guard.fetch_add(1, Ordering::Relaxed);
+                if let Some(f) = &self.flight {
+                    f.record(
+                        EV_GUARD_REJECT,
+                        "adapt guard",
+                        u64::from(selected),
+                        u64::from(drained),
+                        eer_delta,
+                        cavg_delta,
+                    );
+                }
                 return Ok(AdaptReport {
                     outcome: ADAPT_REJECTED_GUARD,
                     generation: self.handle.generation(),
@@ -325,6 +369,16 @@ impl AdaptController {
             }
             RoundOutcome::Candidate(c) => c,
         };
+        if let Some(f) = &self.flight {
+            f.record(
+                EV_GUARD_ACCEPT,
+                "adapt guard",
+                u64::from(candidate.selected),
+                u64::from(candidate.drained),
+                candidate.eer_delta,
+                candidate.cavg_delta,
+            );
+        }
 
         // Promote atomically: build the scorer from the sealed candidate
         // bytes — the exact decode a fleet replica runs at stage time.
@@ -336,6 +390,16 @@ impl AdaptController {
         state.current_bytes = Arc::new(candidate.bytes);
         state.lineage_generation = candidate.lineage_generation;
         self.promoted.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = &self.flight {
+            f.record(
+                EV_SWAP,
+                "adapt promote",
+                generation,
+                u64::from(candidate.checksum),
+                candidate.eer_delta,
+                candidate.cavg_delta,
+            );
+        }
         Ok(AdaptReport {
             outcome: ADAPT_PROMOTED,
             generation,
@@ -355,6 +419,9 @@ impl AdaptController {
         let generation = self.handle.rollback_to(&scorer);
         state.current_bytes = Arc::clone(&bytes);
         state.lineage_generation = state.lineage_generation.saturating_sub(1);
+        if let Some(f) = &self.flight {
+            f.record(EV_ROLLBACK, "adapt rollback", generation, 0, 0.0, 0.0);
+        }
         Some(generation)
     }
 }

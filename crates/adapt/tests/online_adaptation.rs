@@ -164,7 +164,7 @@ fn start_adaptive_server(fx: &Fixture, cfg: AdaptConfig) -> Harness {
         ServerHooks {
             tap: Some(log as _),
             control: Some(Arc::clone(&controller) as _),
-            fleet: None,
+            ..ServerHooks::default()
         },
     )
     .expect("server starts");

@@ -13,11 +13,19 @@
 //! cargo run -p lre-bench --release --bin serve_throughput -- --require-speedup 2.0
 //! ```
 //!
+//! The harness also times the pipelined workload with the full telemetry
+//! bundle (stage histograms, sketches, flight recorder) on vs off, best
+//! of three each; `--require-obs-overhead 0.03` turns the measured
+//! relative overhead into a CI gate.
+//!
 //! A synthetic scorer keeps the run seconds-long and deterministic — the
 //! bit-faithfulness of the *real* scorer across the wire is pinned by the
 //! serve round-trip tests, not here.
 
-use lre_serve::{EngineConfig, PipelinedClient, ScoreReply, Scorer, Server, ServerConfig};
+use lre_serve::{
+    EngineConfig, PipelinedClient, ScoreReply, Scorer, ScorerHandle, ServeObs, Server,
+    ServerConfig, ServerHooks,
+};
 use std::fmt::Write as _;
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -62,6 +70,7 @@ struct Args {
     max_wait_ms: u64,
     inflight: usize,
     require_speedup: Option<f64>,
+    require_obs_overhead: Option<f64>,
 }
 
 impl Args {
@@ -74,6 +83,7 @@ impl Args {
             max_wait_ms: 20,
             inflight: 8,
             require_speedup: None,
+            require_obs_overhead: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -91,6 +101,9 @@ impl Args {
                 "--max-wait-ms" => args.max_wait_ms = val("--max-wait-ms") as u64,
                 "--inflight" => args.inflight = val("--inflight") as usize,
                 "--require-speedup" => args.require_speedup = Some(val("--require-speedup")),
+                "--require-obs-overhead" => {
+                    args.require_obs_overhead = Some(val("--require-obs-overhead"))
+                }
                 other => panic!("unknown flag {other} (see --help in source)"),
             }
         }
@@ -121,6 +134,53 @@ fn timed_pass(client: &mut PipelinedClient, utts: &[Vec<f32>], window: usize) ->
     secs
 }
 
+fn server_config(args: &Args) -> ServerConfig {
+    ServerConfig {
+        engine: EngineConfig {
+            workers: args.workers,
+            max_batch: args.max_batch,
+            max_wait: Duration::from_millis(args.max_wait_ms),
+            queue_capacity: (args.inflight * 4).max(64),
+            fast_math: false,
+        },
+        max_inflight: args.inflight,
+        max_global_inflight: 0,
+    }
+}
+
+/// The telemetry-overhead leg: run the pipelined workload against a fresh
+/// server with telemetry `obs_on` or off, best of `passes`, and return the
+/// winning wall time. Fresh server + connection per leg so neither leg
+/// inherits the other's warmed state.
+fn obs_leg(args: &Args, utts: &[Vec<f32>], obs_on: bool, passes: usize) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let obs = obs_on.then(|| ServeObs::new(256));
+    let handle = Arc::new(ScorerHandle::new(
+        Arc::new(SyntheticScorer {
+            busy: Duration::from_micros(args.busy_us),
+        }),
+        0,
+    ));
+    let server = Server::start_adaptive(
+        listener,
+        handle,
+        server_config(args),
+        ServerHooks {
+            obs: obs.clone(),
+            ..ServerHooks::default()
+        },
+    )
+    .expect("server start");
+    let mut client = PipelinedClient::connect(server.local_addr()).expect("connect");
+    let _ = timed_pass(&mut client, &utts[..utts.len().min(8)], 2); // warm up
+    let best = (0..passes.max(1))
+        .map(|_| timed_pass(&mut client, utts, args.inflight))
+        .fold(f64::INFINITY, f64::min);
+    client.shutdown().expect("shutdown");
+    server.join();
+    best
+}
+
 fn main() {
     let args = Args::parse();
     let utts: Vec<Vec<f32>> = (0..args.utts)
@@ -138,17 +198,7 @@ fn main() {
         Arc::new(SyntheticScorer {
             busy: Duration::from_micros(args.busy_us),
         }),
-        ServerConfig {
-            engine: EngineConfig {
-                workers: args.workers,
-                max_batch: args.max_batch,
-                max_wait: Duration::from_millis(args.max_wait_ms),
-                queue_capacity: (args.inflight * 4).max(64),
-                fast_math: false,
-            },
-            max_inflight: args.inflight,
-            max_global_inflight: 0,
-        },
+        server_config(&args),
     )
     .expect("server start");
     let addr = server.local_addr();
@@ -195,6 +245,20 @@ fn main() {
         args.inflight, stats.batches, stats.max_queue_depth
     );
 
+    // Telemetry overhead: the same pipelined workload against a server
+    // with the full telemetry bundle (histograms, sketches, stage timing)
+    // vs one without, best of 3 each. The off leg is the exact code path
+    // a telemetry-less engine ran before the obs wiring existed.
+    let off_s = obs_leg(&args, &utts, false, 3);
+    let on_s = obs_leg(&args, &utts, true, 3);
+    let obs_overhead = (on_s - off_s) / off_s.max(1e-9);
+    println!(
+        "telemetry overhead: {:.2}% (off {:.3}s vs on {:.3}s, best of 3)",
+        obs_overhead * 100.0,
+        off_s,
+        on_s
+    );
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -204,6 +268,7 @@ fn main() {
             "\"single\":{{\"wall_s\":{:.6},\"qps\":{:.2}}},",
             "\"pipelined\":{{\"wall_s\":{:.6},\"qps\":{:.2}}},",
             "\"speedup\":{:.3},",
+            "\"obs\":{{\"off_wall_s\":{:.6},\"on_wall_s\":{:.6},\"overhead\":{:.4}}},",
             "\"engine\":{{\"requests\":{},\"completed\":{},\"batches\":{},",
             "\"batched_utts\":{},\"max_queue_depth\":{}}}}}\n"
         ),
@@ -218,6 +283,9 @@ fn main() {
         pipelined_s,
         pipelined_qps,
         speedup,
+        off_s,
+        on_s,
+        obs_overhead,
         stats.requests,
         stats.completed,
         stats.batches,
@@ -233,5 +301,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[serve_throughput] OK: speedup {speedup:.2}x >= {floor:.2}x");
+    }
+    if let Some(cap) = args.require_obs_overhead {
+        if obs_overhead > cap {
+            eprintln!(
+                "[serve_throughput] FAIL: telemetry overhead {:.2}% > allowed {:.2}%",
+                obs_overhead * 100.0,
+                cap * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[serve_throughput] OK: telemetry overhead {:.2}% <= {:.2}%",
+            obs_overhead * 100.0,
+            cap * 100.0
+        );
     }
 }

@@ -170,10 +170,28 @@ impl Frontend {
         samples: &[f32],
         scratch: &mut DecodeScratch,
     ) -> SparseVec {
+        self.supervector_from_samples_timed(samples, scratch).0
+    }
+
+    /// [`Frontend::supervector_from_samples`] with a stage-time split for
+    /// the serving tracer: `(supervector, decode_us, build_us)`, where
+    /// `decode_us` covers feature extraction + transform + the phone-loop
+    /// Viterbi decode and `build_us` the expected-count supervector build.
+    /// The supervector is bit-identical to the untimed path's (it *is*
+    /// the untimed path; the clock reads add nothing to the arithmetic).
+    pub fn supervector_from_samples_timed(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+    ) -> (SparseVec, u64, u64) {
+        let t0 = std::time::Instant::now();
         let mut feats = lre_am::extract_features(samples, self.am.feature);
         self.am.feature_transform.apply(&mut feats);
         let out = decode_with_scratch(&self.am, &feats, &self.decoder, scratch);
-        self.builder.build(&out.network)
+        let decode_us = t0.elapsed().as_micros() as u64;
+        let t1 = std::time::Instant::now();
+        let sv = self.builder.build(&out.network);
+        (sv, decode_us, t1.elapsed().as_micros() as u64)
     }
 
     /// Decode a batch in parallel (rayon over utterances), one reusable

@@ -1,0 +1,326 @@
+//! Log-bucketed latency histograms with bounded-error percentile
+//! extraction.
+//!
+//! The bucket layout is the HDR-histogram one: each power-of-two octave
+//! is split into [`SUB_BUCKETS`] equal sub-buckets, so the width of the
+//! bucket holding a value `v` is at most `v / SUB_BUCKETS`. A percentile
+//! read reports the **upper bound** of the bucket the requested rank
+//! falls in (clamped to the recorded maximum), which yields two
+//! contracts the tests pin down:
+//!
+//! - the reported quantile is never below the true one, and is inside
+//!   the same bucket (relative error ≤ 1/16);
+//! - percentile extraction is monotone in the requested rank.
+//!
+//! Recording is lock-free and allocation-free: one relaxed `fetch_add`
+//! on the bucket, the count, and the (saturating) sum, plus a
+//! `fetch_max` on the maximum. Snapshots copy the bucket array without
+//! stopping writers; a snapshot taken concurrently with records is some
+//! valid interleaving, never torn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave; also the worst-case relative-error
+/// denominator.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Values below this are their own bucket (exact).
+const EXACT_LIMIT: u64 = SUB_BUCKETS;
+/// Octaves above the exact range: msb positions `SUB_BITS..=63`.
+const OCTAVES: usize = (64 - SUB_BITS) as usize;
+/// Total buckets: the exact range plus `SUB_BUCKETS` per octave.
+pub const NUM_BUCKETS: usize = EXACT_LIMIT as usize + OCTAVES * SUB_BUCKETS as usize;
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = (v >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
+    EXACT_LIMIT as usize + ((msb - SUB_BITS) as usize) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Largest value mapping to bucket `idx` (the value a percentile read
+/// reports).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < EXACT_LIMIT as usize {
+        return idx as u64;
+    }
+    let rel = idx - EXACT_LIMIT as usize;
+    let octave = (rel / SUB_BUCKETS as usize) as u32 + SUB_BITS;
+    let sub = (rel % SUB_BUCKETS as usize) as u64;
+    let width = 1u64 << (octave - SUB_BITS);
+    let lower = (1u64 << octave) + sub * width;
+    lower + (width - 1)
+}
+
+/// A fixed-allocation concurrent histogram over `u64` samples
+/// (microseconds, batch sizes — anything non-negative).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        // `AtomicU64` is not `Copy`; build the boxed array through a Vec
+        // to keep the allocation off the stack.
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = (0..NUM_BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+            .try_into()
+            .expect("bucket count is NUM_BUCKETS");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free; safe from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // The sum saturates instead of wrapping: a pinned u64::MAX is an
+        // obviously-broken mean, a wrapped one is a plausible lie.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state without stopping writers.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Snapshot reduced to the wire-friendly seven-number summary.
+    pub fn summary(&self) -> HistogramSummary {
+        self.snapshot().summary()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding that rank, clamped to the recorded maximum. `0`
+    /// for an empty snapshot.
+    ///
+    /// Ranks are computed against the bucket array itself (not the
+    /// `count` field), so a snapshot racing concurrent records is still
+    /// internally consistent.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper(idx).min(self.max.max(bucket_upper(0)));
+            }
+        }
+        self.max
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+        }
+    }
+}
+
+/// The seven numbers a histogram puts on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(h.snapshot().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h = Histogram::new();
+        h.record(4242);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 4242);
+        assert_eq!(s.max, 4242);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let p = s.percentile(q);
+            // Same bucket as the sample, never above the recorded max.
+            assert_eq!(bucket_index(p), bucket_index(4242));
+            assert!(p <= 4242);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // rank k of 16 → value k-1 exactly (buckets 0..16 are unit-width)
+        assert_eq!(s.percentile(1.0 / 16.0), 0);
+        assert_eq!(s.percentile(0.5), 7);
+        assert_eq!(s.percentile(1.0), 15);
+    }
+
+    #[test]
+    fn bucket_boundaries_roundtrip() {
+        // Every bucket's upper bound indexes back to itself, boundaries
+        // are monotone, and the neighbours of each boundary stay put.
+        for idx in 0..NUM_BUCKETS {
+            let upper = bucket_upper(idx);
+            assert_eq!(bucket_index(upper), idx, "upper({idx}) = {upper}");
+            assert_eq!(
+                bucket_index(upper.saturating_add(1)).min(NUM_BUCKETS - 1),
+                {
+                    if upper == u64::MAX {
+                        idx
+                    } else {
+                        idx + 1
+                    }
+                }
+            );
+            if idx > 0 {
+                assert!(bucket_upper(idx - 1) < upper);
+            }
+        }
+        // Spot checks at the exact/log seam and the top of the range.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_sub_buckets() {
+        for v in [17u64, 100, 999, 4242, 1 << 20, u64::MAX / 3] {
+            let upper = bucket_upper(bucket_index(v));
+            assert!(upper >= v);
+            // Bucket width ≤ v / 16 ⇒ reported/true ≤ 1 + 1/16.
+            assert!((upper - v) as f64 <= v as f64 / SUB_BUCKETS as f64);
+        }
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let h = Histogram::new();
+        for v in [3u64, 19, 19, 250, 1000, 1001, 70_000, 70_001, 2_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0;
+        for i in 0..=100 {
+            let p = s.percentile(i as f64 / 100.0);
+            assert!(p >= last, "p({}) = {p} < {last}", i as f64 / 100.0);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn concurrent_record_vs_snapshot_is_never_torn() {
+        let h = Arc::new(Histogram::new());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        // Snapshot while the writers run: every view must be internally
+        // consistent (percentiles within range, monotone, non-panicking).
+        for _ in 0..50 {
+            let s = h.snapshot();
+            let p50 = s.percentile(0.5);
+            let p99 = s.percentile(0.99);
+            assert!(p50 <= p99);
+            assert!(s.max <= 4 * 10_000);
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 20_000);
+        assert!(s.percentile(1.0) <= s.max);
+    }
+}

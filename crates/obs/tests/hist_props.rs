@@ -1,0 +1,72 @@
+//! Property tests for the histogram percentile contract: extraction is
+//! monotone in the requested rank, never below the true quantile, and
+//! within one log bucket of it (relative error ≤ 1/16).
+
+use lre_obs::hist::SUB_BUCKETS;
+use lre_obs::Histogram;
+use proptest::prelude::*;
+
+/// The true quantile under the same rank convention the histogram uses:
+/// rank `ceil(q · n)` (1-based, clamped) of the sorted samples.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Samples spanning several octaves, so buckets of every width are hit.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..16,
+            16u64..1_000,
+            1_000u64..1_000_000,
+            1_000_000u64..u64::MAX / 2,
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn percentile_is_within_one_bucket_of_true_quantile(
+        xs in samples(),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let t = true_quantile(&sorted, q);
+        let p = h.snapshot().percentile(q);
+        prop_assert!(p >= t, "reported {p} below true quantile {t} (q={q})");
+        prop_assert!(
+            p - t <= t / SUB_BUCKETS,
+            "reported {p} more than one bucket above true quantile {t} (q={q})"
+        );
+    }
+
+    #[test]
+    fn percentile_is_monotone(xs in samples()) {
+        let h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let snap = h.snapshot();
+        let mut last = 0u64;
+        for i in 0..=1000u32 {
+            let p = snap.percentile(f64::from(i) / 1000.0);
+            prop_assert!(p >= last, "p({}) = {p} < {last}", f64::from(i) / 1000.0);
+            last = p;
+        }
+        prop_assert_eq!(snap.percentile(1.0), *sorted_max(&xs));
+    }
+}
+
+fn sorted_max(xs: &[u64]) -> &u64 {
+    xs.iter().max().expect("samples are non-empty")
+}

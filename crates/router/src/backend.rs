@@ -23,6 +23,7 @@
 //! torn frame, which it discards without scoring by the malformed-input
 //! contract.
 
+use lre_obs::{Counter, FlightRecorder, Histogram, EV_EJECT, EV_READMIT};
 use lre_serve::protocol::{
     encode_request, encode_status_v2, read_frame, write_frame, PingReport, Request, STATUS_INTERNAL,
 };
@@ -30,7 +31,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A reply waiting to come back from this replica.
@@ -43,6 +44,9 @@ pub struct Pending {
     pub window: Arc<AtomicUsize>,
     /// Router-wide inflight counter.
     pub global: Arc<AtomicUsize>,
+    /// When the request was handed to this backend (per-backend routed
+    /// latency, forward-write to reply-match).
+    pub sent: Instant,
 }
 
 impl Pending {
@@ -73,6 +77,17 @@ pub enum ForwardError {
 pub const INITIAL_BACKOFF: Duration = Duration::from_millis(100);
 pub const MAX_BACKOFF: Duration = Duration::from_secs(5);
 
+/// Telemetry hooks a router attaches to a backend at startup: the
+/// per-replica routed-latency histogram, the fleet-wide eject/re-admit
+/// counters (shared across backends), and the flight recorder that
+/// keeps the structured eject/re-admit events.
+pub struct BackendTelemetry {
+    pub latency_us: Arc<Histogram>,
+    pub ejected: Arc<Counter>,
+    pub readmitted: Arc<Counter>,
+    pub flight: Arc<FlightRecorder>,
+}
+
 /// One replica as the router sees it.
 pub struct Backend {
     pub addr: String,
@@ -92,6 +107,9 @@ pub struct Backend {
     /// Requests failed typed (`STATUS_INTERNAL`) because the replica died
     /// with them in flight.
     pub failed_inflight: AtomicU64,
+    /// Set once by the hosting router when telemetry is on; absent, the
+    /// backend records nothing (the unit-test path).
+    telemetry: OnceLock<BackendTelemetry>,
 }
 
 impl Backend {
@@ -111,7 +129,13 @@ impl Backend {
             last_ping: Mutex::new(None),
             completed: AtomicU64::new(0),
             failed_inflight: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Attach telemetry (at most once; later calls are ignored).
+    pub fn set_telemetry(&self, t: BackendTelemetry) {
+        let _ = self.telemetry.set(t);
     }
 
     pub fn is_healthy(&self) -> bool {
@@ -124,7 +148,7 @@ impl Backend {
     }
 
     pub fn last_ping(&self) -> Option<PingReport> {
-        self.last_ping.lock().expect("ping poisoned").clone()
+        *self.last_ping.lock().expect("ping poisoned")
     }
 
     pub fn record_ping(&self, p: PingReport) {
@@ -169,6 +193,9 @@ impl Backend {
                 frame[1..9].copy_from_slice(&p.client_id.to_le_bytes());
                 p.release();
                 self.completed.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = self.telemetry.get() {
+                    t.latency_us.record(p.sent.elapsed().as_micros() as u64);
+                }
                 let _ = p.reply_tx.send(frame); // client may have left; fine
             }
         }
@@ -224,13 +251,22 @@ impl Backend {
     /// fail every in-flight request typed, under its client id. Safe to
     /// call from any thread, repeatedly.
     pub fn eject(&self) {
-        self.healthy.store(false, Ordering::Release);
+        let was_healthy = self.healthy.swap(false, Ordering::AcqRel);
         self.epoch.fetch_add(1, Ordering::AcqRel);
         *self.conn.lock().expect("conn poisoned") = None;
         let orphans: Vec<Pending> = {
             let mut pending = self.pending.lock().expect("pending poisoned");
             pending.drain().map(|(_, p)| p).collect()
         };
+        // Only the transition records: eject is idempotent and re-entered
+        // by the reader teardown and the health thread.
+        if was_healthy {
+            if let Some(t) = self.telemetry.get() {
+                t.ejected.incr();
+                t.flight
+                    .record(EV_EJECT, &self.addr, orphans.len() as u64, 0, 0.0, 0.0);
+            }
+        }
         for p in orphans {
             p.release();
             self.failed_inflight.fetch_add(1, Ordering::Relaxed);
@@ -271,10 +307,13 @@ impl Backend {
         if !due {
             return;
         }
-        let readmitted = probe_ping(&self.addr, probe_timeout)
-            .is_ok()
-            .then(|| self.connect().is_ok())
-            .unwrap_or(false);
+        let readmitted = probe_ping(&self.addr, probe_timeout).is_ok() && self.connect().is_ok();
+        if readmitted {
+            if let Some(t) = self.telemetry.get() {
+                t.readmitted.incr();
+                t.flight.record(EV_READMIT, &self.addr, 0, 0, 0.0, 0.0);
+            }
+        }
         if !readmitted {
             let mut probe = self.probe.lock().expect("probe poisoned");
             probe.next_probe = Instant::now() + probe.backoff;

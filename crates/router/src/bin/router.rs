@@ -20,7 +20,9 @@
 use lre_adapt::AdaptConfig;
 use lre_artifact::ArtifactRead;
 use lre_dba::GuardSet;
-use lre_router::{Backend, FleetAdapter, Policy, Router, RouterConfig};
+use lre_obs::install_panic_dump;
+use lre_router::{Backend, FleetAdapter, Policy, Router, RouterConfig, RouterObs};
+use lre_serve::DEFAULT_FLIGHT_CAPACITY;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -138,6 +140,12 @@ fn main() {
         .map(|a| Arc::new(Backend::new(a.clone())))
         .collect();
 
+    // Telemetry is always on for the router binary: per-backend routed
+    // latency, eject/re-admit counters, and the flight recorder (which
+    // also dumps to stderr on panic).
+    let obs = RouterObs::new(DEFAULT_FLIGHT_CAPACITY);
+    install_panic_dump(&obs.flight);
+
     let fleet = match (bundle_path, guard_path) {
         (Some(bp), Some(gp)) => {
             let parent_bytes = match std::fs::read(&bp) {
@@ -155,7 +163,8 @@ fn main() {
                 }
             };
             match FleetAdapter::new(backends.clone(), guard, parent_bytes, adapt) {
-                Ok(f) => {
+                Ok(mut f) => {
+                    f.set_flight(Arc::clone(&obs.flight));
                     eprintln!(
                         "[router] fleet adaptation armed (min_utts={})",
                         adapt.min_utts
@@ -178,7 +187,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let router = match Router::start(listener, backends, cfg, fleet) {
+    let router = match Router::start_observed(listener, backends, cfg, fleet, Some(obs)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: starting router: {e}");

@@ -24,6 +24,7 @@ use crate::backend::Backend;
 use lre_adapt::{boost_round, AdaptConfig, RoundOutcome};
 use lre_artifact::ArtifactRead;
 use lre_dba::GuardSet;
+use lre_obs::{FlightRecorder, EV_GUARD_ACCEPT, EV_GUARD_REJECT, EV_ROLLBACK, EV_SWAP};
 use lre_serve::protocol::{
     AdaptReport, ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
 };
@@ -47,6 +48,9 @@ pub struct FleetAdapter {
     guard: GuardSet,
     cfg: AdaptConfig,
     state: Mutex<FleetState>,
+    /// Optional flight recorder: guard verdicts (with EER/min-Cavg
+    /// deltas), fleet promotions and rollbacks become structured events.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 fn failed(drained: u32) -> AdaptReport {
@@ -76,7 +80,13 @@ impl FleetAdapter {
                 parent_bytes,
                 previous: None,
             }),
+            flight: None,
         })
+    }
+
+    /// Attach a flight recorder (call before sharing the adapter).
+    pub fn set_flight(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
     }
 
     fn healthy(&self) -> Vec<Arc<Backend>> {
@@ -155,19 +165,54 @@ impl FleetAdapter {
                     drained,
                 }
             }
-            Ok(RoundOutcome::RejectedGuard { selected, drained }) => {
+            Ok(RoundOutcome::RejectedGuard {
+                selected,
+                drained,
+                eer_delta,
+                cavg_delta,
+            }) => {
+                if let Some(f) = &self.flight {
+                    f.record(
+                        EV_GUARD_REJECT,
+                        "fleet guard",
+                        u64::from(selected),
+                        u64::from(drained),
+                        eer_delta,
+                        cavg_delta,
+                    );
+                }
                 return AdaptReport {
                     outcome: ADAPT_REJECTED_GUARD,
                     generation: 0,
                     selected,
                     drained,
-                }
+                };
             }
             Err(_) => return failed(drained),
         };
+        if let Some(f) = &self.flight {
+            f.record(
+                EV_GUARD_ACCEPT,
+                "fleet guard",
+                u64::from(candidate.selected),
+                u64::from(candidate.drained),
+                candidate.eer_delta,
+                candidate.cavg_delta,
+            );
+        }
 
         match two_phase_promote(&fleet, &candidate.bytes, candidate.checksum) {
             Some(generation) => {
+                if let Some(f) = &self.flight {
+                    f.record(
+                        EV_SWAP,
+                        "fleet promote",
+                        generation,
+                        u64::from(candidate.checksum),
+                        candidate.eer_delta,
+                        candidate.cavg_delta,
+                    );
+                }
                 state.previous = Some(std::mem::replace(&mut state.parent_bytes, candidate.bytes));
                 AdaptReport {
                     outcome: ADAPT_PROMOTED,
@@ -189,6 +234,9 @@ impl FleetAdapter {
         let fleet = self.healthy();
         let (all, generation) = rollback_backends(&fleet);
         if all {
+            if let Some(f) = &self.flight {
+                f.record(EV_ROLLBACK, "fleet rollback", generation, 0, 0.0, 0.0);
+            }
             if let Some(prev) = state.previous.take() {
                 state.parent_bytes = prev;
             }

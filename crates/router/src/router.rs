@@ -16,22 +16,23 @@
 //! re-routed); a torn write before the replica saw a full frame is
 //! re-routed once.
 
-use crate::backend::{probe_round_trip, Backend, Pending};
+use crate::backend::{probe_round_trip, Backend, BackendTelemetry, Pending};
 use crate::fleet::FleetAdapter;
 use crate::ring::{hash_bytes, HashRing};
+use lre_obs::{Counter, FlightRecorder, Registry};
 use lre_serve::protocol::{
-    decode_request, decode_score_reply_v2, encode_adapt_ok, encode_fleet_stats_ok, encode_ping_ok,
-    encode_rollback_ok, encode_score_ok, encode_stats_ok, encode_stats_ok_v2, encode_status,
-    encode_status_v2, read_frame, write_frame, FleetStats, PingReport, ReplicaStat, Request,
-    REQ_SCORE_V2, STATUS_BAD_REQUEST, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED,
-    STATUS_UNSUPPORTED,
+    decode_request, decode_score_reply_v2, encode_adapt_ok, encode_fleet_stats_ok,
+    encode_flight_ok, encode_metrics_ok, encode_ping_ok, encode_rollback_ok, encode_score_ok,
+    encode_stats_ok, encode_stats_ok_v2, encode_status, encode_status_v2, read_frame, write_frame,
+    FleetStats, PingReport, ReplicaStat, Request, REQ_SCORE_V2, STATUS_BAD_REQUEST,
+    STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_UNSUPPORTED,
 };
-use lre_serve::{Client, StatsSnapshot};
+use lre_serve::{mint_trace_id, Client, StatsSnapshot};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the router picks a replica for a score request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +73,29 @@ impl Default for RouterConfig {
     }
 }
 
+/// The router's telemetry bundle: its own registry (per-backend routed
+/// latency, eject/re-admit counters, router sheds) and the flight
+/// recorder fed by backend health transitions and fleet rollouts. The
+/// stats-v3 and flight protocol tags are answered from it.
+pub struct RouterObs {
+    pub registry: Arc<Registry>,
+    pub flight: Arc<FlightRecorder>,
+    /// `router.shed` — requests refused at the router itself.
+    pub shed: Arc<Counter>,
+}
+
+impl RouterObs {
+    pub fn new(flight_capacity: usize) -> Arc<RouterObs> {
+        let registry = Arc::new(Registry::new());
+        let shed = registry.counter("router.shed");
+        Arc::new(RouterObs {
+            registry,
+            flight: Arc::new(FlightRecorder::new(flight_capacity)),
+            shed,
+        })
+    }
+}
+
 struct Shared {
     backends: Vec<Arc<Backend>>,
     ring: HashRing,
@@ -83,6 +107,7 @@ struct Shared {
     /// Requests refused at the router (no healthy replica).
     shed: AtomicU64,
     fleet: Option<Arc<FleetAdapter>>,
+    obs: Option<Arc<RouterObs>>,
     probe_timeout: Duration,
     stopping: AtomicBool,
     addr: SocketAddr,
@@ -98,6 +123,14 @@ pub fn least_inflight(inflights: &[usize], healthy: &[bool]) -> Option<usize> {
 }
 
 impl Shared {
+    /// Count one refusal at the router (stats aggregate + telemetry).
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.shed.incr();
+        }
+    }
+
     fn pick(&self, key_bytes: &[u8]) -> Option<Arc<Backend>> {
         let healthy: Vec<bool> = self.backends.iter().map(|b| b.is_healthy()).collect();
         let index = match self.policy {
@@ -130,7 +163,33 @@ impl Router {
         cfg: RouterConfig,
         fleet: Option<Arc<FleetAdapter>>,
     ) -> io::Result<Router> {
+        Router::start_observed(listener, backends, cfg, fleet, None)
+    }
+
+    /// [`Router::start`] with telemetry: each backend gets a
+    /// `router.backend.{addr}.latency_us` histogram plus the shared
+    /// eject/re-admit counters, and the stats-v3 / flight tags are
+    /// answered from `obs`.
+    pub fn start_observed(
+        listener: TcpListener,
+        backends: Vec<Arc<Backend>>,
+        cfg: RouterConfig,
+        fleet: Option<Arc<FleetAdapter>>,
+        obs: Option<Arc<RouterObs>>,
+    ) -> io::Result<Router> {
         let addr = listener.local_addr()?;
+        if let Some(o) = &obs {
+            for b in &backends {
+                b.set_telemetry(BackendTelemetry {
+                    latency_us: o
+                        .registry
+                        .histogram(&format!("router.backend.{}.latency_us", b.addr)),
+                    ejected: o.registry.counter("router.backend.ejected"),
+                    readmitted: o.registry.counter("router.backend.readmitted"),
+                    flight: Arc::clone(&o.flight),
+                });
+            }
+        }
         for b in &backends {
             let _ = b.connect();
         }
@@ -142,6 +201,7 @@ impl Router {
             global_inflight: Arc::new(AtomicUsize::new(0)),
             shed: AtomicU64::new(0),
             fleet,
+            obs,
             probe_timeout: cfg.probe_timeout,
             stopping: AtomicBool::new(false),
             addr,
@@ -212,23 +272,25 @@ fn trigger_stop(stopping: &AtomicBool, addr: SocketAddr) {
     }
 }
 
-/// Route one v2 score frame. `None` means the reply arrives through the
-/// pending machinery; `Some(frame)` is an immediate (refusal) reply. The
-/// caller has already charged `window`/`global_inflight` by one.
+/// Route one v2-shaped score frame. `None` means the reply arrives
+/// through the pending machinery; `Some(frame)` is an immediate
+/// (refusal) reply. The caller has already charged
+/// `window`/`global_inflight` by one. `body` is the offset where the
+/// raw sample region starts — 13 for v2 (tag + id + deadline), 21 for
+/// traced (tag + id + deadline + trace id) — so hash affinity follows
+/// content, never ids.
 fn route_score(
     shared: &Shared,
     mut frame: Vec<u8>,
     client_id: u64,
     reply_tx: &mpsc::Sender<Vec<u8>>,
     window: &Arc<AtomicUsize>,
+    body: usize,
 ) -> Option<Vec<u8>> {
-    // The hash key is the raw sample region (everything after tag + id +
-    // deadline), so affinity follows content, not ids.
-    const BODY: usize = 13;
     let mut attempts_left = 2;
     loop {
-        let Some(backend) = shared.pick(&frame[BODY.min(frame.len())..]) else {
-            shared.shed.fetch_add(1, Ordering::Relaxed);
+        let Some(backend) = shared.pick(&frame[body.min(frame.len())..]) else {
+            shared.note_shed();
             window.fetch_sub(1, Ordering::AcqRel);
             shared.global_inflight.fetch_sub(1, Ordering::AcqRel);
             return Some(encode_status_v2(client_id, STATUS_OVERLOADED));
@@ -238,6 +300,7 @@ fn route_score(
             reply_tx: reply_tx.clone(),
             window: Arc::clone(window),
             global: Arc::clone(&shared.global_inflight),
+            sent: Instant::now(),
         };
         attempts_left -= 1;
         let send = if attempts_left > 0 {
@@ -394,16 +457,35 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
 
     let window = Arc::new(AtomicUsize::new(0));
 
-    while let Ok(Some(frame)) = read_frame(&mut stream) {
+    while let Ok(Some(mut frame)) = read_frame(&mut stream) {
         let reply = match decode_request(&frame) {
             Ok(Request::ScoreV2 { id, .. }) => {
                 if window.load(Ordering::Acquire) >= shared.max_inflight {
-                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.note_shed();
                     encode_status_v2(id, STATUS_OVERLOADED)
                 } else {
                     window.fetch_add(1, Ordering::AcqRel);
                     shared.global_inflight.fetch_add(1, Ordering::AcqRel);
-                    match route_score(&shared, frame, id, &reply_tx, &window) {
+                    match route_score(&shared, frame, id, &reply_tx, &window, 13) {
+                        Some(immediate) => immediate,
+                        None => continue, // reply via the backend reader
+                    }
+                }
+            }
+            Ok(Request::ScoreTraced { id, trace_id, .. }) => {
+                if window.load(Ordering::Acquire) >= shared.max_inflight {
+                    shared.note_shed();
+                    encode_status_v2(id, STATUS_OVERLOADED)
+                } else {
+                    // A zero trace id asks the serving tier to mint one;
+                    // the router is the admission point here, so it does
+                    // — patched in place, the body forwarded untouched.
+                    if trace_id == 0 {
+                        frame[13..21].copy_from_slice(&mint_trace_id().to_le_bytes());
+                    }
+                    window.fetch_add(1, Ordering::AcqRel);
+                    shared.global_inflight.fetch_add(1, Ordering::AcqRel);
+                    match route_score(&shared, frame, id, &reply_tx, &window, 21) {
                         Some(immediate) => immediate,
                         None => continue, // reply via the backend reader
                     }
@@ -420,7 +502,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 let (tx, rx) = mpsc::channel::<Vec<u8>>();
                 let throwaway = Arc::new(AtomicUsize::new(1));
                 shared.global_inflight.fetch_add(1, Ordering::AcqRel);
-                match route_score(&shared, v2, 0, &tx, &throwaway) {
+                match route_score(&shared, v2, 0, &tx, &throwaway, 13) {
                     Some(immediate) => v2_reply_to_v1(&immediate),
                     None => match rx.recv() {
                         Ok(reply) => v2_reply_to_v1(&reply),
@@ -430,6 +512,21 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             }
             Ok(Request::Stats) => encode_stats_ok(&fleet_stats(&shared).aggregate),
             Ok(Request::StatsV2) => encode_stats_ok_v2(&fleet_stats(&shared).aggregate),
+            Ok(Request::StatsV3) => match &shared.obs {
+                Some(o) => encode_metrics_ok(&o.registry.snapshot()),
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            Ok(Request::Flight { drain }) => match &shared.obs {
+                Some(o) => {
+                    let events = if drain {
+                        o.flight.drain()
+                    } else {
+                        o.flight.peek()
+                    };
+                    encode_flight_ok(&events)
+                }
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
             Ok(Request::FleetStats) => encode_fleet_stats_ok(&fleet_stats(&shared)),
             Ok(Request::Ping) => encode_ping_ok(&router_ping(&shared)),
             Ok(Request::Adapt) => match &shared.fleet {

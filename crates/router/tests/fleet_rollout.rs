@@ -74,9 +74,8 @@ fn start_replica(accepts_candidates: bool) -> (Server, String) {
         ..ServerConfig::default()
     };
     let hooks = ServerHooks {
-        tap: None,
-        control: None,
         fleet: Some(Arc::new(replica)),
+        ..ServerHooks::default()
     };
     let server = Server::start_adaptive(listener, handle, cfg, hooks).expect("start replica");
     let addr = server.local_addr().to_string();

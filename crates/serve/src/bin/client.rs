@@ -7,6 +7,8 @@
 //!            [--deadline-ms N] [--verify --bundle PATH]
 //!            [--stats] [--fuzz] [--adapt] [--shutdown]
 //!            [--ping] [--rollback] [--tolerate-failures]
+//!            [--traced] [--metrics] [--metrics-json]
+//!            [--flight] [--flight-drain]
 //! ```
 //!
 //! `--adapt` asks the server to run one adaptation cycle (after any
@@ -30,10 +32,20 @@
 //! on any mismatch in either mode. `--fuzz` throws the malformed-input
 //! corpus at the server and verifies it answers typed errors (or just
 //! closes) without dying.
+//!
+//! `--traced` (requires `--inflight 1`) scores through the traced
+//! protocol tag and prints each reply's stage-timestamped span. Telemetry
+//! flags: `--metrics` dumps the peer's stats-v3 registry human-readably,
+//! `--metrics-json` as one JSON object; `--flight` prints the peer's
+//! flight-recorder events (`--flight-drain` empties the ring). All three
+//! exit non-zero against a peer running without telemetry, and all three
+//! skip the default scoring pass unless `--utts` is given explicitly —
+//! a scrape observes the server's counters, it doesn't add to them.
 
 use lre_artifact::ArtifactRead;
 use lre_corpus::{render_utterance, Dataset, DatasetConfig, Duration, LanguageId, Scale};
 use lre_lattice::DecodeScratch;
+use lre_obs::{stage_name, MetricValue};
 use lre_phone::UniversalInventory;
 use lre_serve::client::ScoreReply;
 use lre_serve::{Client, FleetStats, PipelinedClient, ScoringSystem, StatsSnapshot, SystemBundle};
@@ -44,7 +56,8 @@ fn usage(msg: &str) -> ! {
         "error: {msg}\nusage: lre-client --addr HOST:PORT [--utts N] [--scale smoke|demo|paper] \
          [--seed N] [--duration 30s|10s|3s] [--inflight N] [--deadline-ms N] \
          [--verify --bundle PATH] [--stats] [--fuzz] [--adapt] [--shutdown] \
-         [--ping] [--rollback] [--tolerate-failures]"
+         [--ping] [--rollback] [--tolerate-failures] [--traced] \
+         [--metrics] [--metrics-json] [--flight] [--flight-drain]"
     );
     std::process::exit(2);
 }
@@ -65,6 +78,11 @@ fn connect_with_retry<C>(addr: &str, connect: impl Fn() -> std::io::Result<C>) -
     }
 }
 
+/// Print the stats line. The field order is a documented contract (CI
+/// and operators' scripts parse it): `requests completed rejected batches
+/// mean_batch max_queue_depth mean_latency_ms max_latency_ms qps`, then —
+/// extended only — `expired failed shed_global generation swaps rollbacks
+/// fast_math`. Append new fields at the end; never reorder.
 fn print_stats(s: &StatsSnapshot, extended: bool) {
     let qps = if s.uptime_us > 0 {
         s.completed as f64 / (s.uptime_us as f64 / 1e6)
@@ -111,19 +129,43 @@ fn print_fleet_stats(f: &FleetStats) {
     }
 }
 
-/// Ask the peer for a fleet breakdown; `None` means it's a plain replica
-/// (the tag is refused `STATUS_UNSUPPORTED`) and the caller should fall
-/// back to the single-server stats reply.
-fn fetch_fleet_stats(addr: &str) -> Option<FleetStats> {
-    Client::connect(addr)
-        .and_then(|mut c| c.try_fleet_stats())
-        .ok()
-        .flatten()
+/// Ask the peer for a fleet breakdown; `Ok(None)` means it's a plain
+/// replica (the tag is refused `STATUS_UNSUPPORTED`) and the caller
+/// should fall back to the single-server stats reply. An `Err` — torn
+/// connection, malformed or truncated stats frame — must NOT be
+/// swallowed into the fallback: the caller exits non-zero so a corrupt
+/// reply never passes for a healthy single server.
+fn fetch_fleet_stats(addr: &str) -> std::io::Result<Option<FleetStats>> {
+    Client::connect(addr)?.try_fleet_stats()
+}
+
+/// Resolve `--stats` against an unknown peer: fleet breakdown from a
+/// router, engine counters from a single server, non-zero exit on any
+/// malformed frame along the way.
+fn print_peer_stats(
+    addr: &str,
+    extended: bool,
+    fallback: impl FnOnce() -> std::io::Result<StatsSnapshot>,
+) {
+    match fetch_fleet_stats(addr) {
+        Ok(Some(f)) => print_fleet_stats(&f),
+        Ok(None) => match fallback() {
+            Ok(s) => print_stats(&s, extended),
+            Err(e) => {
+                eprintln!("error: stats request failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: fleet stats request failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let mut addr: Option<String> = None;
-    let mut utts = 10usize;
+    let mut utts: Option<usize> = None;
     let mut scale = Scale::Smoke;
     let mut seed = 42u64;
     let mut duration = Duration::S3;
@@ -138,6 +180,11 @@ fn main() {
     let mut ping = false;
     let mut rollback = false;
     let mut tolerate_failures = false;
+    let mut traced = false;
+    let mut metrics = false;
+    let mut metrics_json = false;
+    let mut flight = false;
+    let mut flight_drain = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -152,10 +199,11 @@ fn main() {
             }
             "--utts" => {
                 i += 1;
-                utts = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("bad --utts"));
+                utts = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("bad --utts")),
+                );
             }
             "--scale" => {
                 i += 1;
@@ -210,11 +258,30 @@ fn main() {
             "--ping" => ping = true,
             "--rollback" => rollback = true,
             "--tolerate-failures" => tolerate_failures = true,
+            "--traced" => traced = true,
+            "--metrics" => metrics = true,
+            "--metrics-json" => metrics_json = true,
+            "--flight" => flight = true,
+            "--flight-drain" => {
+                flight = true;
+                flight_drain = true;
+            }
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
     }
     let addr = addr.unwrap_or_else(|| usage("--addr is required"));
+    // A telemetry scrape observes without perturbing: unless --utts was
+    // given explicitly, --metrics/--flight skip the default scoring pass
+    // so the scraped counters reflect only the server's real traffic.
+    let utts = utts.unwrap_or(if metrics || metrics_json || flight {
+        0
+    } else {
+        10
+    });
+    if traced && inflight > 1 {
+        usage("--traced requires --inflight 1 (spans ride the blocking client)");
+    }
 
     if fuzz {
         // Wait for the server, then hammer it with the malformed corpus.
@@ -322,6 +389,14 @@ fn main() {
                 scored.llrs[scored.decision],
                 scored.batch_size
             );
+            if let Some(span) = &scored.span {
+                let stages: Vec<String> = span
+                    .stages
+                    .iter()
+                    .map(|&(s, o)| format!("{}@{o}us", stage_name(s)))
+                    .collect();
+                println!("  trace {:#018x}: {}", span.trace_id, stages.join(" "));
+            }
             if let Some(sys) = &local {
                 let expect = sys.score(samples, &mut scratch);
                 let same = expect.len() == scored.llrs.len()
@@ -352,17 +427,7 @@ fn main() {
                 verify_one(*n, *lang, samples, reply);
             }
             if stats || verify {
-                if let Some(f) = fetch_fleet_stats(&addr) {
-                    print_fleet_stats(&f);
-                } else {
-                    match client.stats() {
-                        Ok(s) => print_stats(&s, true),
-                        Err(e) => {
-                            eprintln!("error: stats request failed: {e}");
-                            std::process::exit(1);
-                        }
-                    }
-                }
+                print_peer_stats(&addr, true, || client.stats());
             }
             // With --adapt, shutdown waits for the adaptation report below.
             if shutdown && !adapt {
@@ -377,7 +442,12 @@ fn main() {
             let mut client = connect_with_retry(&addr, || Client::connect(&addr));
             for (n, lang, samples) in &rendered {
                 let reply = loop {
-                    match client.score(samples) {
+                    let result = if traced {
+                        client.score_traced(samples, deadline, 0)
+                    } else {
+                        client.score(samples)
+                    };
+                    match result {
                         Ok(ScoreReply::Overloaded) => {
                             std::thread::sleep(std::time::Duration::from_millis(20));
                         }
@@ -391,17 +461,7 @@ fn main() {
                 verify_one(*n, *lang, samples, &reply);
             }
             if stats || verify {
-                if let Some(f) = fetch_fleet_stats(&addr) {
-                    print_fleet_stats(&f);
-                } else {
-                    match client.stats() {
-                        Ok(s) => print_stats(&s, false),
-                        Err(e) => {
-                            eprintln!("error: stats request failed: {e}");
-                            std::process::exit(1);
-                        }
-                    }
-                }
+                print_peer_stats(&addr, false, || client.stats());
             }
             if shutdown && !adapt {
                 if let Err(e) = client.shutdown() {
@@ -430,6 +490,84 @@ fn main() {
                  with typed statuses, {expired} deadline-expired",
                 utts - expired - tolerated
             );
+        }
+    }
+
+    if metrics || metrics_json {
+        let mut client = connect_with_retry(&addr, || Client::connect(&addr));
+        let entries = match client.metrics() {
+            Ok(Some(entries)) => entries,
+            Ok(None) => {
+                eprintln!("error: peer runs without telemetry (stats-v3 unsupported)");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: metrics request failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if metrics_json {
+            let fields: Vec<String> = entries
+                .iter()
+                .map(|(name, value)| match value {
+                    MetricValue::Counter(v) => {
+                        format!("\"{name}\":{{\"kind\":\"counter\",\"value\":{v}}}")
+                    }
+                    MetricValue::Gauge(v) => {
+                        format!("\"{name}\":{{\"kind\":\"gauge\",\"value\":{v}}}")
+                    }
+                    MetricValue::Histogram(h) => format!(
+                        "\"{name}\":{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\
+                         \"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                        h.count, h.sum, h.max, h.p50, h.p90, h.p99, h.p999
+                    ),
+                    MetricValue::Sketch(s) => format!(
+                        "\"{name}\":{{\"kind\":\"sketch\",\"count\":{},\"mean\":{},\"m2\":{}}}",
+                        s.count,
+                        if s.mean.is_finite() { s.mean } else { 0.0 },
+                        if s.m2.is_finite() { s.m2 } else { 0.0 }
+                    ),
+                })
+                .collect();
+            println!("{{{}}}", fields.join(","));
+        } else {
+            for (name, value) in &entries {
+                match value {
+                    MetricValue::Counter(v) => println!("metric {name} counter {v}"),
+                    MetricValue::Gauge(v) => println!("metric {name} gauge {v}"),
+                    MetricValue::Histogram(h) => println!(
+                        "metric {name} histogram count={} sum={} max={} p50={} p90={} \
+                         p99={} p999={}",
+                        h.count, h.sum, h.max, h.p50, h.p90, h.p99, h.p999
+                    ),
+                    MetricValue::Sketch(s) => println!(
+                        "metric {name} sketch count={} mean={:.6} var={:.6}",
+                        s.count,
+                        s.mean,
+                        s.variance()
+                    ),
+                }
+            }
+        }
+    }
+
+    if flight {
+        let mut client = connect_with_retry(&addr, || Client::connect(&addr));
+        match client.flight(flight_drain) {
+            Ok(Some(events)) => {
+                println!("flight recorder: {} events buffered", events.len());
+                for ev in &events {
+                    println!("{}", ev.render());
+                }
+            }
+            Ok(None) => {
+                eprintln!("error: peer runs without telemetry (flight recorder unsupported)");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: flight request failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -29,9 +29,10 @@
 
 use lre_artifact::{crc32, ArtifactRead};
 use lre_dba::ScoringMode;
+use lre_obs::install_panic_dump;
 use lre_serve::{
-    FleetReplica, LazyBundle, ScorerHandle, ScoringSystem, Server, ServerConfig, ServerHooks,
-    SystemBundle, VoteLog,
+    FleetReplica, LazyBundle, ScorerHandle, ScoringSystem, ServeObs, Server, ServerConfig,
+    ServerHooks, SystemBundle, VoteLog, DEFAULT_FLIGHT_CAPACITY,
 };
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -183,6 +184,10 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Telemetry is always on for the serving binary (overhead is gated
+    // ≤3% by the perfbaseline); the flight recorder also dumps on panic.
+    let obs = ServeObs::new(DEFAULT_FLIGHT_CAPACITY);
+    install_panic_dump(&obs.flight);
     let started = if fleet {
         // A fleet replica serves through a hot-swappable handle tagged
         // with the sealed bundle's checksum (what stage/commit/rollback
@@ -197,11 +202,10 @@ fn main() {
         };
         let handle = Arc::new(ScorerHandle::new(system, checksum));
         let log = Arc::new(VoteLog::new(votelog_capacity));
-        let replica = Arc::new(FleetReplica::new(
-            Arc::clone(&handle),
-            Arc::clone(&log),
-            fast_math,
-        ));
+        let mut replica = FleetReplica::new(Arc::clone(&handle), Arc::clone(&log), fast_math);
+        // Commits and rollbacks land in the flight recorder.
+        replica.set_flight(Arc::clone(&obs.flight));
+        let replica = Arc::new(replica);
         eprintln!(
             "[serve] fleet replica mode: vote log capacity {votelog_capacity}, \
              bundle checksum {checksum:#010x}"
@@ -214,10 +218,19 @@ fn main() {
                 tap: Some(log as _),
                 control: None,
                 fleet: Some(replica as _),
+                obs: Some(obs),
             },
         )
     } else {
-        Server::start(listener, system, cfg)
+        Server::start_adaptive(
+            listener,
+            Arc::new(ScorerHandle::new(system, 0)),
+            cfg,
+            ServerHooks {
+                obs: Some(obs),
+                ..ServerHooks::default()
+            },
+        )
     };
     let server = match started {
         Ok(s) => s,

@@ -9,12 +9,14 @@
 use crate::engine::{ScoredUtt, StatsSnapshot};
 use crate::protocol::{
     decode_abort_reply, decode_adapt_reply, decode_commit_reply, decode_drain_reply,
-    decode_fleet_stats_reply, decode_ping_reply, decode_rollback_reply, decode_score_reply,
-    decode_score_reply_v2, decode_stage_reply, decode_stats_reply, decode_stats_reply_v2,
-    encode_request, read_frame, write_frame, AdaptReport, DrainReply, FleetStats, PingReport,
-    Request, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED,
-    STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
+    decode_fleet_stats_reply, decode_flight_reply, decode_metrics_reply, decode_ping_reply,
+    decode_rollback_reply, decode_score_reply, decode_score_reply_traced, decode_score_reply_v2,
+    decode_stage_reply, decode_stats_reply, decode_stats_reply_v2, encode_request, read_frame,
+    write_frame, AdaptReport, DrainReply, FleetStats, PingReport, Request,
+    STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
+    STATUS_UNSUPPORTED,
 };
+use lre_obs::{FlightEvent, MetricValue};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -174,6 +176,57 @@ impl Client {
         match decode_rollback_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
             Ok(r) => Ok(r),
             Err(s) => Err(proto_err(&format!("rollback refused (status {s})"))),
+        }
+    }
+
+    /// Score one utterance with tracing: the reply's `span` carries the
+    /// stage-timestamped breakdown. `trace_id == 0` asks the server to
+    /// mint one (the minted id comes back in the span).
+    pub fn score_traced(
+        &mut self,
+        samples: &[f32],
+        deadline: Option<Duration>,
+        trace_id: u64,
+    ) -> io::Result<ScoreReply> {
+        let deadline_ms = deadline
+            .map(|d| u32::try_from(d.as_millis()).unwrap_or(0))
+            .unwrap_or(0);
+        let reply = self.round_trip(&Request::ScoreTraced {
+            id: 0,
+            deadline_ms,
+            trace_id,
+            samples: samples.to_vec(),
+        })?;
+        let (_, result) =
+            decode_score_reply_traced(&reply).map_err(|e| proto_err(&e.to_string()))?;
+        match result {
+            Ok(scored) => Ok(ScoreReply::Scored(scored)),
+            Err(status) => reply_from_status(status),
+        }
+    }
+
+    /// Dump the peer's telemetry registry (stats-v3): name-sorted
+    /// counters, gauges, histogram summaries, and sketches. `Ok(None)`
+    /// when the peer runs without telemetry (`STATUS_UNSUPPORTED`).
+    #[allow(clippy::type_complexity)]
+    pub fn metrics(&mut self) -> io::Result<Option<Vec<(String, MetricValue)>>> {
+        let reply = self.round_trip(&Request::StatsV3)?;
+        match decode_metrics_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(entries) => Ok(Some(entries)),
+            Err(STATUS_UNSUPPORTED) => Ok(None),
+            Err(s) => Err(proto_err(&format!("metrics refused (status {s})"))),
+        }
+    }
+
+    /// Fetch the peer's flight-recorder events, oldest first. `drain`
+    /// empties the ring; otherwise the events stay buffered. `Ok(None)`
+    /// when the peer runs without telemetry.
+    pub fn flight(&mut self, drain: bool) -> io::Result<Option<Vec<FlightEvent>>> {
+        let reply = self.round_trip(&Request::Flight { drain })?;
+        match decode_flight_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(events) => Ok(Some(events)),
+            Err(STATUS_UNSUPPORTED) => Ok(None),
+            Err(s) => Err(proto_err(&format!("flight dump refused (status {s})"))),
         }
     }
 

@@ -21,10 +21,15 @@
 //! already accepted, workers finish their batches, and every outstanding
 //! reply callback fires exactly once.
 
+use crate::obs::ServeObs;
 use crate::queue::{BoundedQueue, PushError};
 use crate::swap::ScorerHandle;
 use crate::system::{ScoreTap, Scorer};
 use lre_lattice::DecodeScratch;
+use lre_obs::{
+    TraceSpan, EV_DEADLINE, EV_SHED, STAGE_BATCH, STAGE_DECODE, STAGE_QUEUE, STAGE_REPLY,
+    STAGE_SCORE, STAGE_SUPERVECTOR,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -77,6 +82,10 @@ pub struct ScoredUtt {
     /// Generation of the model that scored it. Constant 0 until the first
     /// hot swap; every utterance in one batch carries the same value.
     pub generation: u64,
+    /// Stage-timestamped trace span, present only for traced requests
+    /// (`trace_id != 0` at submission). Never encoded into v1/v2 score
+    /// bodies — only the traced reply carries it.
+    pub span: Option<TraceSpan>,
 }
 
 /// Index of the highest LLR (first wins on ties).
@@ -187,6 +196,9 @@ struct Job {
     samples: Vec<f32>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Non-zero for traced requests; the reply then carries a
+    /// [`TraceSpan`] with this id.
+    trace_id: u64,
     reply: ReplyFn,
 }
 
@@ -195,6 +207,7 @@ pub struct Engine {
     queue: Arc<BoundedQueue<Job>>,
     counters: Arc<Counters>,
     handle: Arc<ScorerHandle>,
+    obs: Option<Arc<ServeObs>>,
     dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     started: Instant,
@@ -220,26 +233,46 @@ impl Engine {
         handle: Arc<ScorerHandle>,
         tap: Option<Arc<dyn ScoreTap>>,
     ) -> Engine {
+        Engine::start_observed(cfg, handle, tap, None)
+    }
+
+    /// [`Engine::start_adaptive`] with telemetry: every score feeds the
+    /// stage/latency histograms and per-language LLR sketches in `obs`,
+    /// and sheds/deadline expiries land in its flight recorder. With
+    /// `obs == None` the engine records nothing beyond its own counters
+    /// (the telemetry-off perfbaseline leg measures exactly this path).
+    pub fn start_observed(
+        cfg: EngineConfig,
+        handle: Arc<ScorerHandle>,
+        tap: Option<Arc<dyn ScoreTap>>,
+        obs: Option<Arc<ServeObs>>,
+    ) -> Engine {
         let queue = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
         let counters = Arc::new(Counters::default());
         let max_batch = cfg.max_batch.max(1);
 
         // Dispatcher → workers: formed batches travel over a channel whose
-        // receiver the workers share. Dropping the sender (queue closed and
-        // drained) is the workers' shutdown signal.
-        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Job>>();
+        // receiver the workers share, stamped with their formation time so
+        // traced requests can attribute queue wait. Dropping the sender
+        // (queue closed and drained) is the workers' shutdown signal.
+        let (batch_tx, batch_rx) = mpsc::channel::<(Instant, Vec<Job>)>();
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
         let dispatcher = {
             let queue = Arc::clone(&queue);
             let counters = Arc::clone(&counters);
+            let obs = obs.clone();
             std::thread::spawn(move || {
                 while let Some(batch) = queue.pop_batch(max_batch, cfg.max_wait) {
                     counters.batches.fetch_add(1, Ordering::Relaxed);
                     counters
                         .batched_utts
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    if batch_tx.send(batch).is_err() {
+                    if let Some(obs) = &obs {
+                        obs.batches_formed.incr();
+                        obs.batch_fill.record(batch.len() as u64);
+                    }
+                    if batch_tx.send((Instant::now(), batch)).is_err() {
                         break;
                     }
                 }
@@ -253,11 +286,12 @@ impl Engine {
                 let counters = Arc::clone(&counters);
                 let handle = Arc::clone(&handle);
                 let tap = tap.clone();
+                let obs = obs.clone();
                 std::thread::spawn(move || {
                     let mut scratch = DecodeScratch::new();
                     loop {
                         // Hold the lock only for the handoff, not the work.
-                        let batch = match batch_rx.lock().unwrap().recv() {
+                        let (formed_at, batch) = match batch_rx.lock().unwrap().recv() {
                             Ok(b) => b,
                             Err(_) => return,
                         };
@@ -267,13 +301,43 @@ impl Engine {
                         let model = handle.current();
                         let batch_size = batch.len();
                         for job in batch {
+                            let enqueued = job.enqueued;
+                            let queue_us =
+                                formed_at.saturating_duration_since(enqueued).as_micros() as u64;
+                            if let Some(obs) = &obs {
+                                obs.queue_wait_us.record(queue_us);
+                            }
                             // Checked per job, not per batch: a deadline
                             // may pass while earlier batch members score.
                             if job.deadline.is_some_and(|d| Instant::now() >= d) {
                                 counters.expired.fetch_add(1, Ordering::Relaxed);
+                                if let Some(obs) = &obs {
+                                    obs.flight.record(
+                                        EV_DEADLINE,
+                                        "queued past deadline",
+                                        job.trace_id,
+                                        0,
+                                        0.0,
+                                        0.0,
+                                    );
+                                }
                                 (job.reply)(Outcome::DeadlineExceeded);
                                 continue;
                             }
+                            let mut span = (job.trace_id != 0).then(|| {
+                                let mut span = TraceSpan::new(job.trace_id);
+                                span.mark(STAGE_QUEUE, queue_us);
+                                span.mark(STAGE_BATCH, enqueued.elapsed().as_micros() as u64);
+                                span
+                            });
+                            if span.is_some() {
+                                if let Some(obs) = &obs {
+                                    obs.traced.incr();
+                                }
+                            }
+                            // Stage split reported by the scorer (zeros
+                            // except `score_us` for mocks that can't split).
+                            let mut stage_us = lre_obs::StageTimes::default();
                             let scored = match &tap {
                                 // Tap installed: score through the detailed
                                 // path (same fused bits) and tee the row.
@@ -282,23 +346,59 @@ impl Engine {
                                     .score_utt_detailed(&job.samples, &mut scratch)
                                     .map(|mut detail| {
                                         detail.generation = model.generation;
+                                        stage_us = detail.stage_us;
                                         let llrs = detail.fused.clone();
                                         tap.record(detail);
                                         llrs
                                     }),
+                                None if obs.is_some() || span.is_some() => model
+                                    .scorer
+                                    .score_utt_staged(&job.samples, &mut scratch, &mut stage_us),
                                 None => model.scorer.score_utt(&job.samples, &mut scratch),
                             };
                             let outcome = match scored {
                                 Ok(llrs) => {
-                                    let us = job.enqueued.elapsed().as_micros() as u64;
+                                    let us = enqueued.elapsed().as_micros() as u64;
                                     counters.latency_us_sum.fetch_add(us, Ordering::Relaxed);
                                     counters.latency_us_max.fetch_max(us, Ordering::Relaxed);
                                     counters.completed.fetch_add(1, Ordering::Relaxed);
+                                    let top = decision(&llrs);
+                                    if let Some(obs) = &obs {
+                                        obs.latency_us.record(us);
+                                        obs.decode_us.record(stage_us.decode_us);
+                                        obs.supervector_us.record(stage_us.supervector_us);
+                                        obs.score_us.record(stage_us.score_us);
+                                        if let Some(&llr) = llrs.get(top) {
+                                            obs.lang_sketch(top).record(f64::from(llr));
+                                        }
+                                    }
+                                    let span = span.take().map(|mut span| {
+                                        // Offsets of the in-scorer stages
+                                        // chain from the batch pickup mark;
+                                        // mocks report no decode/supervector
+                                        // split, so those marks are omitted.
+                                        let picked =
+                                            span.offset_of(STAGE_BATCH).unwrap_or(queue_us);
+                                        let mut at = picked;
+                                        if stage_us.decode_us + stage_us.supervector_us > 0 {
+                                            at += stage_us.decode_us;
+                                            span.mark(STAGE_DECODE, at);
+                                            at += stage_us.supervector_us;
+                                            span.mark(STAGE_SUPERVECTOR, at);
+                                        }
+                                        span.mark(STAGE_SCORE, at + stage_us.score_us);
+                                        span.mark(
+                                            STAGE_REPLY,
+                                            enqueued.elapsed().as_micros() as u64,
+                                        );
+                                        span
+                                    });
                                     Outcome::Scored(ScoredUtt {
-                                        decision: decision(&llrs),
+                                        decision: top,
                                         llrs,
                                         batch_size,
                                         generation: model.generation,
+                                        span,
                                     })
                                 }
                                 Err(_) => {
@@ -316,6 +416,7 @@ impl Engine {
             queue,
             counters,
             handle,
+            obs,
             dispatcher: Mutex::new(Some(dispatcher)),
             workers: Mutex::new(workers),
             started: Instant::now(),
@@ -338,12 +439,26 @@ impl Engine {
         deadline: Option<Duration>,
         reply: impl FnOnce(Outcome) + Send + 'static,
     ) -> Result<(), SubmitError> {
+        self.submit_traced(samples, deadline, 0, reply)
+    }
+
+    /// [`Engine::submit_with`] carrying a trace id. A non-zero id makes
+    /// the worker stamp a [`TraceSpan`] onto the scored reply (stage
+    /// offsets measured from this enqueue).
+    pub fn submit_traced(
+        &self,
+        samples: Vec<f32>,
+        deadline: Option<Duration>,
+        trace_id: u64,
+        reply: impl FnOnce(Outcome) + Send + 'static,
+    ) -> Result<(), SubmitError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let job = Job {
             samples,
             enqueued: now,
             deadline: deadline.map(|d| now + d),
+            trace_id,
             reply: Box::new(reply),
         };
         match self.queue.push(job) {
@@ -386,14 +501,21 @@ impl Engine {
     pub fn note_shed(&self) {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.flight.record(EV_SHED, "window", 0, 0, 0.0, 0.0);
+        }
     }
 
     /// Record a request shed by the server's cross-connection global
     /// admission cap. Counted under `rejected` (the invariant above holds)
     /// and attributed separately in `shed_global`.
     pub fn note_shed_global(&self) {
-        self.note_shed();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
         self.counters.shed_global.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.flight.record(EV_SHED, "global", 0, 0, 0.0, 0.0);
+        }
     }
 
     /// Snapshot the counters.

@@ -10,8 +10,8 @@
 
 use crate::protocol::{
     encode_request, read_frame, write_frame, Request, MAX_FRAME_LEN, REQ_ADAPT, REQ_DRAIN_VOTES,
-    REQ_FLEET_STATS, REQ_PING, REQ_SCORE, REQ_SCORE_V2, REQ_SHUTDOWN, REQ_STAGE_BUNDLE,
-    REQ_STATS_V2, STATUS_BAD_REQUEST,
+    REQ_FLEET_STATS, REQ_FLIGHT, REQ_PING, REQ_SCORE, REQ_SCORE_V2, REQ_SHUTDOWN, REQ_STAGE_BUNDLE,
+    REQ_STATS_V2, REQ_STATS_V3, STATUS_BAD_REQUEST,
 };
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
@@ -91,6 +91,12 @@ pub fn malformed_corpus() -> Vec<FuzzCase> {
         deadline_ms: 100,
         samples: vec![0.5; 16],
     };
+    let score_traced = Request::ScoreTraced {
+        id: 7,
+        deadline_ms: 100,
+        trace_id: 0x1234,
+        samples: vec![0.5; 16],
+    };
 
     let cases = vec![
         // — well-framed, invalid payloads —
@@ -142,6 +148,17 @@ pub fn malformed_corpus() -> Vec<FuzzCase> {
             b.extend_from_slice(&u32::MAX.to_le_bytes());
             b
         }),
+        // Must be refused as malformed, NOT answered with a metrics
+        // snapshot: a stats-v3 request carries no body at all.
+        framed("stats-v3 with trailing junk", vec![REQ_STATS_V3, 0x5A]),
+        // The flight drain flag is strictly 0 or 1; anything else must be
+        // refused rather than guessed at (a 7 is a corrupted stream, and
+        // draining on a guess would destroy the evidence it carries).
+        framed("flight with bad drain flag", vec![REQ_FLIGHT, 7]),
+        framed(
+            "traced score with truncated trace id",
+            truncated(&score_traced, 17),
+        ),
         framed(
             "deterministic garbage",
             (0..64u8)

@@ -47,6 +47,7 @@ pub mod bundle;
 pub mod client;
 pub mod engine;
 pub mod fuzz;
+pub mod obs;
 pub mod protocol;
 pub mod queue;
 pub mod rollout;
@@ -58,13 +59,14 @@ pub mod votelog;
 pub use bundle::{LazyBundle, Lineage, SubsystemBundle, SystemBundle};
 pub use client::{Client, PipelinedClient, ScoreReply};
 pub use engine::{decision, Engine, EngineConfig, Outcome, ScoredUtt, StatsSnapshot, SubmitError};
+pub use obs::{ServeObs, DEFAULT_FLIGHT_CAPACITY};
 pub use protocol::{
     read_frame, write_frame, AdaptReport, DrainReply, FleetStats, PingReport, ReplicaStat, Request,
     ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
 };
 pub use queue::BoundedQueue;
 pub use rollout::{FleetControl, FleetReplica};
-pub use server::{AdaptControl, Server, ServerConfig, ServerHooks};
+pub use server::{mint_trace_id, AdaptControl, Server, ServerConfig, ServerHooks};
 pub use swap::{ScorerHandle, VersionedScorer};
 pub use system::{sample_digest, ScoreDetail, ScoreTap, Scorer, ScoringSystem};
 pub use votelog::{VoteLog, VoteLogSnapshot, VoteRecord};

@@ -40,6 +40,7 @@
 
 use crate::engine::{ScoredUtt, StatsSnapshot};
 use lre_artifact::{ArtifactError, ArtifactReader, ArtifactWriter};
+use lre_obs::{FlightEvent, HistogramSummary, MetricValue, SketchSummary, TraceSpan, STAGE_REPLY};
 use std::io::{self, Read, Write};
 
 pub const REQ_SCORE: u8 = 1;
@@ -75,6 +76,18 @@ pub const REQ_ROLLBACK: u8 = 12;
 /// (health, generation, inflight). Single replicas refuse it
 /// `STATUS_UNSUPPORTED`.
 pub const REQ_FLEET_STATS: u8 = 13;
+/// Dump the telemetry registry (stats-v3): every counter, gauge,
+/// histogram summary, and sketch, name-sorted. Servers running without a
+/// telemetry bundle refuse it `STATUS_UNSUPPORTED`.
+pub const REQ_STATS_V3: u8 = 14;
+/// Peek at (flag 0) or drain (flag 1) the flight recorder's event ring.
+/// Refused `STATUS_UNSUPPORTED` without a telemetry bundle.
+pub const REQ_FLIGHT: u8 = 15;
+/// [`REQ_SCORE_V2`] plus a `u64` trace id after the deadline. The OK
+/// reply appends the trace id and the stage-timestamped span to the v2
+/// score body. A zero trace id asks the server to mint one. The request
+/// id stays at bytes 1..9 — the router's id-splicing works unchanged.
+pub const REQ_SCORE_TRACED: u8 = 16;
 
 pub const STATUS_OK: u8 = 0;
 pub const STATUS_OVERLOADED: u8 = 1;
@@ -134,6 +147,18 @@ pub enum Request {
     Rollback,
     /// Aggregate + per-replica fleet counters (router only).
     FleetStats,
+    /// Dump the telemetry registry (stats-v3 reply).
+    StatsV3,
+    /// Peek at or drain the flight recorder.
+    Flight { drain: bool },
+    /// v2 score carrying a trace id (0 = server mints one); the reply
+    /// appends the stage-timestamped span.
+    ScoreTraced {
+        id: u64,
+        deadline_ms: u32,
+        trace_id: u64,
+        samples: Vec<f32>,
+    },
 }
 
 /// How a requested adaptation cycle ended.
@@ -228,6 +253,23 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::AbortStaged => w.put_u8(REQ_ABORT_STAGED),
         Request::Rollback => w.put_u8(REQ_ROLLBACK),
         Request::FleetStats => w.put_u8(REQ_FLEET_STATS),
+        Request::StatsV3 => w.put_u8(REQ_STATS_V3),
+        Request::Flight { drain } => {
+            w.put_u8(REQ_FLIGHT);
+            w.put_u8(u8::from(*drain));
+        }
+        Request::ScoreTraced {
+            id,
+            deadline_ms,
+            trace_id,
+            samples,
+        } => {
+            w.put_u8(REQ_SCORE_TRACED);
+            w.put_u64(*id);
+            w.put_u32(*deadline_ms);
+            w.put_u64(*trace_id);
+            w.put_f32_slice(samples);
+        }
     }
     w.into_bytes()
 }
@@ -266,6 +308,21 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ArtifactError> {
         REQ_ABORT_STAGED => Request::AbortStaged,
         REQ_ROLLBACK => Request::Rollback,
         REQ_FLEET_STATS => Request::FleetStats,
+        REQ_STATS_V3 => Request::StatsV3,
+        REQ_FLIGHT => {
+            let drain = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ArtifactError::Corrupt("flight drain flag out of range")),
+            };
+            Request::Flight { drain }
+        }
+        REQ_SCORE_TRACED => Request::ScoreTraced {
+            id: r.get_u64()?,
+            deadline_ms: r.get_u32()?,
+            trace_id: r.get_u64()?,
+            samples: r.get_f32_slice()?,
+        },
         _ => return Err(ArtifactError::Corrupt("unknown request tag")),
     };
     if r.remaining() != 0 {
@@ -303,14 +360,24 @@ fn get_score_body(
     r: &mut ArtifactReader,
     with_generation: bool,
 ) -> Result<ScoredUtt, ArtifactError> {
+    let scored = get_score_body_inner(r, with_generation)?;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(scored)
+}
+
+/// The score body alone, leaving the reader positioned after it (the
+/// traced reply appends the span behind the body).
+fn get_score_body_inner(
+    r: &mut ArtifactReader,
+    with_generation: bool,
+) -> Result<ScoredUtt, ArtifactError> {
     let llrs = r.get_f32_slice()?;
     let decision = r.get_u32()? as usize;
     let batch_size = r.get_u32()? as usize;
     // v1 replies predate hot swapping; report them as generation 0.
     let generation = if with_generation { r.get_u64()? } else { 0 };
-    if r.remaining() != 0 {
-        return Err(ArtifactError::TrailingBytes);
-    }
     if decision >= llrs.len().max(1) {
         return Err(ArtifactError::Corrupt("decision index out of range"));
     }
@@ -319,6 +386,7 @@ fn get_score_body(
         decision,
         batch_size,
         generation,
+        span: None,
     })
 }
 
@@ -360,6 +428,61 @@ pub fn decode_score_reply_v2(bytes: &[u8]) -> Result<(u64, Result<ScoredUtt, u8>
         return Ok((id, Err(status)));
     }
     Ok((id, Ok(get_score_body(&mut r, true)?)))
+}
+
+/// A traced score success: the v2 reply plus `u64` trace id, `u32` stage
+/// count, then per stage a `u8` stage id and `u64` offset (µs from engine
+/// admission). `trace_id` is passed separately because refusals (which
+/// use [`encode_status_v2`]) leave `scored.span` unset.
+pub fn encode_score_ok_traced(id: u64, trace_id: u64, scored: &ScoredUtt) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u64(id);
+    put_score_body(&mut w, scored, true);
+    w.put_u64(trace_id);
+    let stages: &[(u8, u64)] = scored.span.as_ref().map_or(&[], |s| &s.stages);
+    w.put_u32(stages.len() as u32);
+    for &(stage, offset_us) in stages {
+        w.put_u8(stage);
+        w.put_u64(offset_us);
+    }
+    w.into_bytes()
+}
+
+/// Decode a traced score reply: `(request id, Ok(scored with span) |
+/// Err(status))`. A malformed span (unknown stage id, non-increasing
+/// stages, decreasing offsets) is a protocol error, not a refusal.
+pub fn decode_score_reply_traced(
+    bytes: &[u8],
+) -> Result<(u64, Result<ScoredUtt, u8>), ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    let id = r.get_u64()?;
+    if status != STATUS_OK {
+        if r.remaining() != 0 {
+            return Err(ArtifactError::TrailingBytes);
+        }
+        return Ok((id, Err(status)));
+    }
+    let mut scored = get_score_body_inner(&mut r, true)?;
+    let trace_id = r.get_u64()?;
+    let n_stages = r.get_u32()?;
+    let mut span = TraceSpan::new(trace_id);
+    for _ in 0..n_stages {
+        let stage = r.get_u8()?;
+        if stage > STAGE_REPLY {
+            return Err(ArtifactError::Corrupt("span stage id out of range"));
+        }
+        span.mark(stage, r.get_u64()?);
+    }
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    if !span.is_well_formed() {
+        return Err(ArtifactError::Corrupt("span stages out of order"));
+    }
+    scored.span = Some(span);
+    Ok((id, Ok(scored)))
 }
 
 /// The nine v1 counters, in declaration order (a v1 client must keep
@@ -801,6 +924,129 @@ pub fn decode_fleet_stats_reply(bytes: &[u8]) -> Result<Result<FleetStats, u8>, 
     }))
 }
 
+/// The stats-v3 reply: every registered series, name-sorted. Entry
+/// layout: `u8` kind (0 counter / 1 gauge / 2 histogram / 3 sketch), the
+/// name, then the kind's payload — a `u64` for counters and gauges; the
+/// seven histogram-summary `u64`s (count, sum, max, p50, p90, p99,
+/// p99.9); or a sketch's `u64` count plus mean and M2 as `f64` bit
+/// patterns. Names must be strictly increasing; the decoder enforces it.
+pub fn encode_metrics_ok(entries: &[(String, MetricValue)]) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u32(entries.len() as u32);
+    for (name, value) in entries {
+        w.put_u8(value.kind());
+        w.put_str(name);
+        match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => w.put_u64(*v),
+            MetricValue::Histogram(h) => {
+                for v in [h.count, h.sum, h.max, h.p50, h.p90, h.p99, h.p999] {
+                    w.put_u64(v);
+                }
+            }
+            MetricValue::Sketch(s) => {
+                w.put_u64(s.count);
+                w.put_u64(s.mean.to_bits());
+                w.put_u64(s.m2.to_bits());
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// `Ok(Ok(entries))` on success, `Ok(Err(status))` on a refusal (notably
+/// [`STATUS_UNSUPPORTED`] from a server running without telemetry).
+#[allow(clippy::type_complexity)]
+pub fn decode_metrics_reply(
+    bytes: &[u8],
+) -> Result<Result<Vec<(String, MetricValue)>, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let n = r.get_u32()? as usize;
+    let mut entries: Vec<(String, MetricValue)> = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let kind = r.get_u8()?;
+        let name = r.get_str()?;
+        if let Some((prev, _)) = entries.last() {
+            if *prev >= name {
+                return Err(ArtifactError::Corrupt("metric names out of order"));
+            }
+        }
+        let value = match kind {
+            0 => MetricValue::Counter(r.get_u64()?),
+            1 => MetricValue::Gauge(r.get_u64()?),
+            2 => MetricValue::Histogram(HistogramSummary {
+                count: r.get_u64()?,
+                sum: r.get_u64()?,
+                max: r.get_u64()?,
+                p50: r.get_u64()?,
+                p90: r.get_u64()?,
+                p99: r.get_u64()?,
+                p999: r.get_u64()?,
+            }),
+            3 => MetricValue::Sketch(SketchSummary {
+                count: r.get_u64()?,
+                mean: f64::from_bits(r.get_u64()?),
+                m2: f64::from_bits(r.get_u64()?),
+            }),
+            _ => return Err(ArtifactError::Corrupt("metric kind out of range")),
+        };
+        entries.push((name, value));
+    }
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(entries))
+}
+
+/// A flight-recorder reply: the buffered events, oldest first.
+pub fn encode_flight_ok(events: &[FlightEvent]) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u32(events.len() as u32);
+    for ev in events {
+        w.put_u64(ev.seq);
+        w.put_u64(ev.at_us);
+        w.put_u8(ev.kind);
+        w.put_str(&ev.detail);
+        w.put_u64(ev.a);
+        w.put_u64(ev.b);
+        w.put_u64(ev.x.to_bits());
+        w.put_u64(ev.y.to_bits());
+    }
+    w.into_bytes()
+}
+
+/// `Ok(Ok(events))` on success, `Ok(Err(status))` on a refusal.
+pub fn decode_flight_reply(bytes: &[u8]) -> Result<Result<Vec<FlightEvent>, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let n = r.get_u32()? as usize;
+    let mut events = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        events.push(FlightEvent {
+            seq: r.get_u64()?,
+            at_us: r.get_u64()?,
+            kind: r.get_u8()?,
+            detail: r.get_str()?,
+            a: r.get_u64()?,
+            b: r.get_u64()?,
+            x: f64::from_bits(r.get_u64()?),
+            y: f64::from_bits(r.get_u64()?),
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(events))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,6 +1079,15 @@ mod tests {
             Request::AbortStaged,
             Request::Rollback,
             Request::FleetStats,
+            Request::StatsV3,
+            Request::Flight { drain: false },
+            Request::Flight { drain: true },
+            Request::ScoreTraced {
+                id: 9,
+                deadline_ms: 100,
+                trace_id: 0xCAFE,
+                samples: vec![0.25, -0.5],
+            },
         ] {
             let back = decode_request(&encode_request(&req)).unwrap();
             // NaN breaks derived PartialEq; compare the sample bits instead.
@@ -865,6 +1120,7 @@ mod tests {
             decision: 3,
             batch_size: 7,
             generation: 5,
+            span: None,
         };
         let back = decode_score_reply(&encode_score_ok(&scored))
             .unwrap()
@@ -884,6 +1140,7 @@ mod tests {
             decision: 0,
             batch_size: 3,
             generation: 42,
+            span: None,
         };
         let (id, r) = decode_score_reply_v2(&encode_score_ok_v2(0xDEAD_BEEF, &scored)).unwrap();
         assert_eq!(id, 0xDEAD_BEEF);
@@ -893,6 +1150,149 @@ mod tests {
             decode_score_reply_v2(&encode_status_v2(77, STATUS_DEADLINE_EXCEEDED)).unwrap();
         assert_eq!(id, 77);
         assert_eq!(r, Err(STATUS_DEADLINE_EXCEEDED));
+    }
+
+    #[test]
+    fn traced_request_keeps_the_id_at_bytes_1_to_9() {
+        // The router rewrites request ids by splicing frame[1..9]; a traced
+        // score must keep that invariant or fleet routing breaks.
+        let frame = encode_request(&Request::ScoreTraced {
+            id: 0x1122_3344_5566_7788,
+            deadline_ms: 9,
+            trace_id: 42,
+            samples: vec![1.0],
+        });
+        assert_eq!(frame[0], REQ_SCORE_TRACED);
+        assert_eq!(
+            u64::from_le_bytes(frame[1..9].try_into().unwrap()),
+            0x1122_3344_5566_7788
+        );
+    }
+
+    #[test]
+    fn traced_score_reply_carries_the_span() {
+        use lre_obs::{STAGE_BATCH, STAGE_QUEUE, STAGE_SCORE};
+        let mut span = TraceSpan::new(0xCAFE);
+        span.mark(STAGE_QUEUE, 100);
+        span.mark(STAGE_BATCH, 120);
+        span.mark(STAGE_SCORE, 900);
+        span.mark(STAGE_REPLY, 950);
+        let scored = ScoredUtt {
+            llrs: vec![0.25, -1.0],
+            decision: 0,
+            batch_size: 3,
+            generation: 42,
+            span: Some(span.clone()),
+        };
+        let frame = encode_score_ok_traced(11, 0xCAFE, &scored);
+        let (id, r) = decode_score_reply_traced(&frame).unwrap();
+        assert_eq!(id, 11);
+        assert_eq!(r.unwrap().span, Some(span));
+
+        // Refusals stay the v2 status shape.
+        let (id, r) = decode_score_reply_traced(&encode_status_v2(12, STATUS_OVERLOADED)).unwrap();
+        assert_eq!((id, r), (12, Err(STATUS_OVERLOADED)));
+
+        // A span whose offsets go backwards is a protocol error.
+        let mut bad_span = TraceSpan::new(1);
+        bad_span.mark(STAGE_QUEUE, 100);
+        bad_span.mark(STAGE_BATCH, 50);
+        let bad = ScoredUtt {
+            span: Some(bad_span),
+            ..scored.clone()
+        };
+        assert!(decode_score_reply_traced(&encode_score_ok_traced(1, 1, &bad)).is_err());
+
+        // An out-of-range stage id too.
+        let mut alien = TraceSpan::new(1);
+        alien.mark(99, 5);
+        let bad = ScoredUtt {
+            span: Some(alien),
+            ..scored
+        };
+        assert!(decode_score_reply_traced(&encode_score_ok_traced(1, 1, &bad)).is_err());
+    }
+
+    #[test]
+    fn metrics_reply_roundtrip_and_order_enforcement() {
+        let entries = vec![
+            ("engine.batch.formed".to_string(), MetricValue::Counter(17)),
+            (
+                "engine.latency_us".to_string(),
+                MetricValue::Histogram(HistogramSummary {
+                    count: 3,
+                    sum: 600,
+                    max: 300,
+                    p50: 200,
+                    p90: 300,
+                    p99: 300,
+                    p999: 300,
+                }),
+            ),
+            ("router.shed".to_string(), MetricValue::Gauge(2)),
+            (
+                "score.llr.top1.lang00".to_string(),
+                MetricValue::Sketch(SketchSummary {
+                    count: 5,
+                    mean: 1.25,
+                    m2: 0.5,
+                }),
+            ),
+        ];
+        let back = decode_metrics_reply(&encode_metrics_ok(&entries))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, entries);
+        assert_eq!(
+            decode_metrics_reply(&encode_status(STATUS_UNSUPPORTED)).unwrap(),
+            Err(STATUS_UNSUPPORTED)
+        );
+        // Out-of-order (or duplicate) names are a protocol error, so every
+        // consumer can merge dumps with a single pass.
+        let shuffled = vec![entries[2].clone(), entries[0].clone()];
+        assert!(decode_metrics_reply(&encode_metrics_ok(&shuffled)).is_err());
+        // Truncation is an error, not a short dump.
+        let mut cut = encode_metrics_ok(&entries);
+        cut.truncate(cut.len() - 3);
+        assert!(decode_metrics_reply(&cut).is_err());
+    }
+
+    #[test]
+    fn flight_reply_roundtrip() {
+        use lre_obs::{EV_EJECT, EV_GUARD_REJECT};
+        let events = vec![
+            FlightEvent {
+                seq: 7,
+                at_us: 1_000,
+                kind: EV_EJECT,
+                detail: "127.0.0.1:7701".to_string(),
+                a: 3,
+                b: 0,
+                x: 0.0,
+                y: 0.0,
+            },
+            FlightEvent {
+                seq: 8,
+                at_us: 2_000,
+                kind: EV_GUARD_REJECT,
+                detail: String::new(),
+                a: 4,
+                b: 5,
+                x: 0.0125,
+                y: -0.003,
+            },
+        ];
+        let back = decode_flight_reply(&encode_flight_ok(&events))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, events);
+        assert_eq!(
+            decode_flight_reply(&encode_status(STATUS_UNSUPPORTED)).unwrap(),
+            Err(STATUS_UNSUPPORTED)
+        );
+        let mut cut = encode_flight_ok(&events);
+        cut.truncate(cut.len() - 1);
+        assert!(decode_flight_reply(&cut).is_err());
     }
 
     #[test]

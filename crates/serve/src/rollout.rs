@@ -36,6 +36,7 @@ use crate::swap::{ScorerHandle, VersionedScorer};
 use crate::system::{Scorer, ScoringSystem};
 use crate::votelog::{VoteLog, VoteLogSnapshot};
 use lre_artifact::{crc32, ArtifactRead, ArtifactWrite};
+use lre_obs::{FlightRecorder, EV_ROLLBACK, EV_SWAP};
 use std::sync::{Arc, Mutex};
 
 /// The server's hook for the fleet-rollout request tags
@@ -101,6 +102,9 @@ pub struct FleetReplica {
     fast_math: bool,
     validate: Box<StageValidator>,
     state: Mutex<ReplicaState>,
+    /// When wired, commits and rollbacks leave flight-recorder events
+    /// (`a` = resulting generation, `b` = bundle checksum).
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl FleetReplica {
@@ -116,7 +120,13 @@ impl FleetReplica {
                 staged: None,
                 previous: None,
             }),
+            flight: None,
         }
+    }
+
+    /// Record commits and rollbacks into this flight recorder.
+    pub fn set_flight(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
     }
 
     /// The vote log this replica drains (the engine taps into the same
@@ -183,6 +193,16 @@ impl FleetControl for FleetReplica {
         let displaced = self.handle.current();
         let generation = self.handle.swap(staged.scorer, staged.checksum);
         state.previous = Some(displaced);
+        if let Some(flight) = &self.flight {
+            flight.record(
+                EV_SWAP,
+                "fleet commit",
+                generation,
+                u64::from(staged.checksum),
+                0.0,
+                0.0,
+            );
+        }
         Ok((generation, staged.checksum))
     }
 
@@ -194,7 +214,13 @@ impl FleetControl for FleetReplica {
     fn rollback(&self) -> (bool, u64) {
         let mut state = self.state.lock().expect("rollout state poisoned");
         match state.previous.take() {
-            Some(parent) => (true, self.handle.rollback_to(&parent)),
+            Some(parent) => {
+                let generation = self.handle.rollback_to(&parent);
+                if let Some(flight) = &self.flight {
+                    flight.record(EV_ROLLBACK, "fleet rollback", generation, 0, 0.0, 0.0);
+                }
+                (true, generation)
+            }
             None => (false, self.handle.generation()),
         }
     }
@@ -368,6 +394,7 @@ mod tests {
             fused: vec![1.0, -1.0],
             subsystem_scores: vec![vec![1.0, -1.0]],
             supervectors: vec![SparseVec::from_pairs(vec![(0, 1.0)])],
+            stage_us: Default::default(),
         };
         rep.log.record(detail(1));
         rep.log.record(detail(2));

@@ -14,20 +14,22 @@
 //! pre-pipelining server did.
 
 use crate::engine::{Engine, EngineConfig, Outcome, SubmitError};
+use crate::obs::ServeObs;
 use crate::protocol::{
     decode_request, encode_abort_ok, encode_adapt_ok, encode_commit_ok, encode_drain_ok,
-    encode_ping_ok, encode_rollback_ok, encode_score_ok, encode_score_ok_v2, encode_stage_ok,
-    encode_stats_ok, encode_stats_ok_v2, encode_status, encode_status_v2, read_frame, write_frame,
-    AdaptReport, PingReport, Request, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED,
-    STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
+    encode_flight_ok, encode_metrics_ok, encode_ping_ok, encode_rollback_ok, encode_score_ok,
+    encode_score_ok_traced, encode_score_ok_v2, encode_stage_ok, encode_stats_ok,
+    encode_stats_ok_v2, encode_status, encode_status_v2, read_frame, write_frame, AdaptReport,
+    PingReport, Request, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK,
+    STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
 };
 use crate::rollout::FleetControl;
 use crate::swap::ScorerHandle;
 use crate::system::{ScoreTap, Scorer};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +77,31 @@ pub struct ServerHooks {
     /// Answer the fleet-rollout tags: vote drain, stage/commit/abort,
     /// rollback (a router-coordinated fleet cycle).
     pub fleet: Option<Arc<dyn FleetControl>>,
+    /// Telemetry bundle: the engine records into it, and the stats-v3 /
+    /// flight-recorder tags are answered from it. Absent, those tags are
+    /// refused [`STATUS_UNSUPPORTED`] and the engine records nothing.
+    pub obs: Option<Arc<ServeObs>>,
+}
+
+/// Mint a process-unique, non-zero trace id for a traced request that
+/// arrived with id 0. Seeded once from the wall clock so ids from
+/// different server processes are unlikely to collide in shared logs.
+/// Public because the router mints the same way when it admits a traced
+/// request whose client left the id to the serving tier.
+pub fn mint_trace_id() -> u64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    let next = NEXT.get_or_init(|| {
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1);
+        AtomicU64::new(seed | 1)
+    });
+    let mut id = next.fetch_add(1, Ordering::Relaxed);
+    while id == 0 {
+        id = next.fetch_add(1, Ordering::Relaxed);
+    }
+    id
 }
 
 /// Reserve one slot under the global cap, exactly (no overshoot under
@@ -129,9 +156,10 @@ impl Server {
             tap,
             control,
             fleet,
+            obs,
         } = hooks;
         let addr = listener.local_addr()?;
-        let engine = Arc::new(Engine::start_adaptive(cfg.engine, handle, tap));
+        let engine = Arc::new(Engine::start_observed(cfg.engine, handle, tap, obs.clone()));
         let stopping = Arc::new(AtomicBool::new(false));
         let max_inflight = cfg.max_inflight.max(1);
         let max_global = if cfg.max_global_inflight == 0 {
@@ -157,6 +185,7 @@ impl Server {
                     let global_inflight = Arc::clone(&global_inflight);
                     let control = control.clone();
                     let fleet = fleet.clone();
+                    let obs = obs.clone();
                     std::thread::spawn(move || {
                         handle_connection(
                             stream,
@@ -168,6 +197,7 @@ impl Server {
                             max_global,
                             control,
                             fleet,
+                            obs,
                         )
                     });
                 }
@@ -225,6 +255,7 @@ fn handle_connection(
     max_global: usize,
     control: Option<Arc<dyn AdaptControl>>,
     fleet: Option<Arc<dyn FleetControl>>,
+    obs: Option<Arc<ServeObs>>,
 ) {
     let _ = stream.set_nodelay(true);
     let mut write_half = match stream.try_clone() {
@@ -252,6 +283,10 @@ fn handle_connection(
     // Outstanding v2 requests on this connection. Only the reader
     // increments, so a plain load-then-add admits at most `max_inflight`.
     let inflight = Arc::new(AtomicUsize::new(0));
+
+    // Set when this connection carried a shutdown request; acted on only
+    // after the ack has been flushed to the socket.
+    let mut shutdown_requested = false;
 
     // Anything but a complete frame — clean close, torn connection,
     // oversized length prefix — ends the conversation.
@@ -318,11 +353,32 @@ fn handle_connection(
             // Only the router's front tier aggregates a fleet; a replica
             // (or single server) has nothing to answer with.
             Ok(Request::FleetStats) => encode_status(STATUS_UNSUPPORTED),
+            // Telemetry tags are answered inline from the registry /
+            // recorder snapshots — no scoring-queue involvement.
+            Ok(Request::StatsV3) => match &obs {
+                Some(o) => encode_metrics_ok(&o.registry.snapshot()),
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            Ok(Request::Flight { drain }) => match &obs {
+                Some(o) => {
+                    let events = if drain {
+                        o.flight.drain()
+                    } else {
+                        o.flight.peek()
+                    };
+                    encode_flight_ok(&events)
+                }
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
             Ok(Request::Shutdown) => {
-                // Acknowledge first so the requester sees a reply, then
-                // stop accepting; `Server::join` drains the engine.
+                // Acknowledge, then stop accepting; `Server::join` drains
+                // the engine. The stop itself is deferred until after the
+                // writer joins below — flipping `stopping` first lets the
+                // accept loop (and the process) exit while the ack is still
+                // queued on this handler's reply lane, and the requester
+                // reads EOF instead of STATUS_OK.
                 let _ = reply_tx.send(encode_status(STATUS_OK));
-                trigger_stop(&stopping, addr);
+                shutdown_requested = true;
                 break;
             }
             Ok(Request::ScoreV2 {
@@ -374,6 +430,61 @@ fn handle_connection(
                     }
                 }
             }
+            // Same admission path as ScoreV2 (window, then global cap),
+            // plus the trace id that makes the engine stamp a span.
+            Ok(Request::ScoreTraced {
+                id,
+                deadline_ms,
+                trace_id,
+                samples,
+            }) => {
+                if inflight.load(Ordering::Acquire) >= max_inflight {
+                    engine.note_shed();
+                    encode_status_v2(id, STATUS_OVERLOADED)
+                } else if !try_acquire_global(&global_inflight, max_global) {
+                    engine.note_shed_global();
+                    encode_status_v2(id, STATUS_OVERLOADED)
+                } else {
+                    inflight.fetch_add(1, Ordering::AcqRel);
+                    let deadline =
+                        (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+                    // A zero id asks the server to mint one (single-server
+                    // clients; the router mints before forwarding).
+                    let trace_id = if trace_id == 0 {
+                        mint_trace_id()
+                    } else {
+                        trace_id
+                    };
+                    let cb_tx = reply_tx.clone();
+                    let cb_inflight = Arc::clone(&inflight);
+                    let cb_global = Arc::clone(&global_inflight);
+                    let submitted =
+                        engine.submit_traced(samples, deadline, trace_id, move |outcome| {
+                            let frame = match outcome {
+                                Outcome::Scored(s) => encode_score_ok_traced(id, trace_id, &s),
+                                Outcome::DeadlineExceeded => {
+                                    encode_status_v2(id, STATUS_DEADLINE_EXCEEDED)
+                                }
+                                Outcome::Failed => encode_status_v2(id, STATUS_INTERNAL),
+                            };
+                            cb_inflight.fetch_sub(1, Ordering::AcqRel);
+                            cb_global.fetch_sub(1, Ordering::AcqRel);
+                            let _ = cb_tx.send(frame);
+                        });
+                    match submitted {
+                        Ok(()) => continue,
+                        Err(e) => {
+                            inflight.fetch_sub(1, Ordering::AcqRel);
+                            global_inflight.fetch_sub(1, Ordering::AcqRel);
+                            let status = match e {
+                                SubmitError::Overloaded => STATUS_OVERLOADED,
+                                SubmitError::ShuttingDown => STATUS_SHUTTING_DOWN,
+                            };
+                            encode_status_v2(id, status)
+                        }
+                    }
+                }
+            }
             Err(_) => {
                 let _ = reply_tx.send(encode_status(STATUS_BAD_REQUEST));
                 break;
@@ -388,4 +499,12 @@ fn handle_connection(
     // callback has fired and released its clone.
     drop(reply_tx);
     let _ = writer.join();
+
+    // Only now — with every queued reply (the shutdown ack included) on
+    // the wire — is it safe to stop the accept loop and let the process
+    // exit. Triggering earlier races the detached writer thread against
+    // process teardown and can strand the ack.
+    if shutdown_requested {
+        trigger_stop(&stopping, addr);
+    }
 }

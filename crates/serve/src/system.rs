@@ -7,9 +7,11 @@ use lre_dba::{standard_subsystems, Frontend, ScoringMode};
 use lre_dsp::FrameConfig;
 use lre_eval::ScoreMatrix;
 use lre_lattice::DecodeScratch;
+use lre_obs::StageTimes;
 use lre_phone::{PhoneSet, UniversalInventory};
 use lre_vsm::SparseVec;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Everything one scored utterance exposes to a [`ScoreTap`]: the fused
 /// row the client sees plus the per-subsystem intermediates the online
@@ -32,6 +34,10 @@ pub struct ScoreDetail {
     pub subsystem_scores: Vec<Vec<f32>>,
     /// Per-subsystem TFLLR-scaled supervectors (retraining features).
     pub supervectors: Vec<SparseVec>,
+    /// Wall-clock split of the scoring stages (decode, supervector build,
+    /// SVM + fusion), summed across subsystems. Zeros when the scorer
+    /// cannot split (mock scorers using the trait default).
+    pub stage_us: StageTimes,
 }
 
 /// A sink for per-utterance score details, called by engine workers after
@@ -85,6 +91,7 @@ pub trait Scorer: Send + Sync + 'static {
         samples: &[f32],
         scratch: &mut DecodeScratch,
     ) -> Result<ScoreDetail, ArtifactError> {
+        let started = Instant::now();
         let fused = self.score_utt(samples, scratch)?;
         Ok(ScoreDetail {
             digest: sample_digest(samples),
@@ -94,7 +101,28 @@ pub trait Scorer: Send + Sync + 'static {
             fused,
             subsystem_scores: Vec::new(),
             supervectors: Vec::new(),
+            stage_us: StageTimes {
+                score_us: started.elapsed().as_micros() as u64,
+                ..StageTimes::default()
+            },
         })
+    }
+
+    /// Score one utterance and report the stage split into `stages`.
+    ///
+    /// The default times the whole score as `score_us` (mocks can't split);
+    /// [`ScoringSystem`] overrides it with real per-stage wall-clock. The
+    /// returned LLRs must be bit-identical to [`Scorer::score_utt`]'s.
+    fn score_utt_staged(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+        stages: &mut StageTimes,
+    ) -> Result<Vec<f32>, ArtifactError> {
+        let started = Instant::now();
+        let fused = self.score_utt(samples, scratch)?;
+        stages.score_us = started.elapsed().as_micros() as u64;
+        Ok(fused)
     }
 }
 
@@ -289,24 +317,34 @@ impl ScoringSystem {
         let num_frames = FrameConfig::default().num_frames(samples.len());
         let di = duration_index_for(num_frames);
         let mut supervectors = Vec::with_capacity(self.subs.len());
+        let mut stage_us = StageTimes::default();
         let mats: Vec<ScoreMatrix> = (0..self.subs.len())
             .map(|q| {
                 let sub = self.sub(q)?;
                 let fe = &sub.frontend;
-                let sv = fe.supervector_from_samples(samples, scratch);
+                let (sv, decode_us, build_us) = fe.supervector_from_samples_timed(samples, scratch);
+                stage_us.decode_us += decode_us;
+                // TFLLR scaling operates on the supervector, so it bills
+                // to the supervector stage alongside the build.
+                let scale_started = Instant::now();
                 let scaled = fe
                     .scaler
                     .as_ref()
                     .expect("bundled front-ends carry fitted scalers")
                     .transformed(&sv);
+                stage_us.supervector_us += build_us + scale_started.elapsed().as_micros() as u64;
+                let score_started = Instant::now();
                 let mut m = ScoreMatrix::new(self.num_classes);
                 m.push_row(&sub.vsm.scores(&scaled));
+                stage_us.score_us += score_started.elapsed().as_micros() as u64;
                 supervectors.push(scaled);
                 Ok(m)
             })
             .collect::<Result<_, ArtifactError>>()?;
+        let fuse_started = Instant::now();
         let refs: Vec<&ScoreMatrix> = mats.iter().collect();
         let fused = self.fusions[di].apply(&refs).row(0).to_vec();
+        stage_us.score_us += fuse_started.elapsed().as_micros() as u64;
         Ok(ScoreDetail {
             digest: sample_digest(samples),
             num_frames: num_frames as u32,
@@ -315,6 +353,7 @@ impl ScoringSystem {
             fused,
             subsystem_scores: mats.into_iter().map(|m| m.row(0).to_vec()).collect(),
             supervectors,
+            stage_us,
         })
     }
 
@@ -342,6 +381,17 @@ impl Scorer for ScoringSystem {
         scratch: &mut DecodeScratch,
     ) -> Result<ScoreDetail, ArtifactError> {
         self.try_score_detailed(samples, scratch)
+    }
+
+    fn score_utt_staged(
+        &self,
+        samples: &[f32],
+        scratch: &mut DecodeScratch,
+        stages: &mut StageTimes,
+    ) -> Result<Vec<f32>, ArtifactError> {
+        let detail = self.try_score_detailed(samples, scratch)?;
+        *stages = detail.stage_us;
+        Ok(detail.fused)
     }
 }
 

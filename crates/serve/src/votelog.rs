@@ -247,6 +247,7 @@ mod tests {
                 SparseVec::from_pairs(vec![(0, v)]),
                 SparseVec::from_pairs(vec![(1, -v), (7, 2.0 * v)]),
             ],
+            stage_us: Default::default(),
         }
     }
 
