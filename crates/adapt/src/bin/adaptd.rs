@@ -6,13 +6,18 @@
 //!            [--workers N] [--max-inflight N] [--max-global-inflight N]
 //!            [--interval-secs N] [--min-utts N] [--v-threshold N]
 //!            [--guard-max-eer-regress X] [--guard-max-cavg-regress X]
-//!            [--log-capacity N]
+//!            [--log-capacity N] [--unknown-threshold LLR]
 //! ```
 //!
 //! `--interval-secs 0` (the default) disables the background cadence;
 //! cycles then run only when a client sends an adapt request
 //! (`lre-client --adapt`). A negative `--guard-max-eer-regress` forces
 //! every candidate to fail the guard — the rollback drill CI exercises.
+//!
+//! `--unknown-threshold LLR` enables open-set rejection exactly as on
+//! `lre-serve`: replies whose best fused LLR falls below the threshold
+//! are flagged `unknown` — and, critically, are never teed into the vote
+//! log, so alien speech cannot steer adaptation.
 
 use lre_adapt::{bundle_checksum, AdaptConfig, AdaptController, AdaptWorker, VoteLog};
 use lre_artifact::ArtifactRead;
@@ -32,7 +37,7 @@ fn usage(msg: &str) -> ! {
         "error: {msg}\nusage: lre-adaptd --bundle PATH --guard PATH [--addr HOST:PORT] \
          [--workers N] [--max-inflight N] [--max-global-inflight N] [--interval-secs N] \
          [--min-utts N] [--v-threshold N] [--guard-max-eer-regress X] \
-         [--guard-max-cavg-regress X] [--log-capacity N]"
+         [--guard-max-cavg-regress X] [--log-capacity N] [--unknown-threshold LLR]"
     );
     std::process::exit(2);
 }
@@ -115,6 +120,14 @@ fn main() {
                 i += 1;
                 log_capacity = parse_num(&args, i, "--log-capacity");
             }
+            "--unknown-threshold" => {
+                i += 1;
+                let t = parse_f64(&args, i, "--unknown-threshold") as f32;
+                if !t.is_finite() {
+                    usage("bad --unknown-threshold (must be finite)");
+                }
+                cfg.engine.unknown_threshold = Some(t);
+            }
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -158,6 +171,9 @@ fn main() {
         guard.num_utts(),
         guard.num_subsystems()
     );
+    if let Some(t) = cfg.engine.unknown_threshold {
+        eprintln!("[adaptd] open-set rejection enabled: best-LLR threshold {t}");
+    }
     let system = match ScoringSystem::from_bundle(bundle) {
         Ok(s) => Arc::new(s),
         Err(e) => {

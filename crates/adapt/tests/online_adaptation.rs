@@ -157,6 +157,7 @@ fn start_adaptive_server(fx: &Fixture, cfg: AdaptConfig) -> Harness {
                 max_wait: std::time::Duration::from_millis(1),
                 queue_capacity: 64,
                 fast_math: false,
+                unknown_threshold: None,
             },
             max_inflight: 8,
             max_global_inflight: 0,

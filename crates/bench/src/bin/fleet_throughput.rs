@@ -104,6 +104,7 @@ fn spawn_fleet(replicas: usize, busy: Duration, window: usize) -> Vec<Server> {
                         max_wait: Duration::from_millis(1),
                         queue_capacity: (window * 4).max(64),
                         fast_math: false,
+                        unknown_threshold: None,
                     },
                     max_inflight: (window * 2).max(32),
                     max_global_inflight: 0,

@@ -142,6 +142,7 @@ fn server_config(args: &Args) -> ServerConfig {
             max_wait: Duration::from_millis(args.max_wait_ms),
             queue_capacity: (args.inflight * 4).max(64),
             fast_math: false,
+            unknown_threshold: None,
         },
         max_inflight: args.inflight,
         max_global_inflight: 0,

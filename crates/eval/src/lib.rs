@@ -11,10 +11,15 @@ mod bootstrap;
 mod cavg;
 mod det;
 mod eer;
+mod openset;
 mod trials;
 
 pub use bootstrap::{bootstrap_eer, BootstrapCi};
 pub use cavg::{cavg_at_threshold, min_cavg, CavgParams};
 pub use det::{det_curve, probit, DetPoint};
 pub use eer::{eer_from_trials, pooled_eer};
+pub use openset::{
+    min_open_set_error, open_set_counts, open_set_predictions, sweep_thresholds, threshold_sweep,
+    OpenSetCounts,
+};
 pub use trials::{accuracy, confusion_matrix, split_trials, ScoreMatrix};

@@ -1,0 +1,255 @@
+//! Open-set rejection: score-threshold `unknown` outcomes and their
+//! accounting.
+//!
+//! The paper evaluates closed-set LRE09 conditions only — every test
+//! utterance is one of the `K` trained languages. Deployed traffic is not
+//! so polite: it contains languages the system was never trained on. The
+//! standard first-line defence is a *best-score threshold*: take the
+//! arg-max detector as usual, but if even the winning fused LLR falls
+//! below a threshold `t`, answer `unknown` instead of a language.
+//!
+//! Truth labels here are `Option<usize>`: `Some(k)` for an in-set
+//! utterance of language `k`, `None` for an out-of-set one. Each trial
+//! then lands in exactly one of five cells ([`OpenSetCounts`]), and a
+//! threshold sweep ([`threshold_sweep`] / [`min_open_set_error`]) trades
+//! false accepts of alien speech against false rejects of in-set speech.
+
+use crate::trials::ScoreMatrix;
+
+/// Arg-max decisions with a best-score rejection threshold: `None` means
+/// the winning score fell below `threshold` and the utterance is flagged
+/// `unknown`. With `threshold = f32::NEG_INFINITY` this degenerates to
+/// the closed-set [`ScoreMatrix::predictions`].
+pub fn open_set_predictions(scores: &ScoreMatrix, threshold: f32) -> Vec<Option<usize>> {
+    scores
+        .predictions()
+        .into_iter()
+        .enumerate()
+        .map(|(i, best)| {
+            if scores.row(i)[best] < threshold {
+                None
+            } else {
+                Some(best)
+            }
+        })
+        .collect()
+}
+
+/// The five-cell open-set confusion: every trial is exactly one of these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpenSetCounts {
+    /// In-set, accepted, and the right language.
+    pub correct_accept: usize,
+    /// In-set, accepted, but the wrong language.
+    pub wrong_language: usize,
+    /// In-set but flagged `unknown` — the threshold overshot.
+    pub false_reject: usize,
+    /// Out-of-set and flagged `unknown` — the threshold did its job.
+    pub correct_reject: usize,
+    /// Out-of-set but answered with a language — the open-set miss.
+    pub false_accept: usize,
+}
+
+impl OpenSetCounts {
+    pub fn total(&self) -> usize {
+        self.correct_accept
+            + self.wrong_language
+            + self.false_reject
+            + self.correct_reject
+            + self.false_accept
+    }
+
+    /// Fraction of trials answered wrongly in the open-set sense:
+    /// wrong language, false reject, or false accept.
+    pub fn error_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.wrong_language + self.false_reject + self.false_accept) as f64 / t as f64
+    }
+
+    /// Fraction of *in-set* trials flagged unknown.
+    pub fn false_reject_rate(&self) -> f64 {
+        let in_set = self.correct_accept + self.wrong_language + self.false_reject;
+        if in_set == 0 {
+            return 0.0;
+        }
+        self.false_reject as f64 / in_set as f64
+    }
+
+    /// Fraction of *out-of-set* trials answered with a language.
+    pub fn false_accept_rate(&self) -> f64 {
+        let out = self.correct_reject + self.false_accept;
+        if out == 0 {
+            return 0.0;
+        }
+        self.false_accept as f64 / out as f64
+    }
+}
+
+/// Classify every trial against truth labels (`None` = out-of-set).
+pub fn open_set_counts(
+    scores: &ScoreMatrix,
+    labels: &[Option<usize>],
+    threshold: f32,
+) -> OpenSetCounts {
+    assert_eq!(scores.num_utts(), labels.len());
+    let mut c = OpenSetCounts::default();
+    for (pred, truth) in open_set_predictions(scores, threshold).iter().zip(labels) {
+        match (pred, truth) {
+            (Some(p), Some(t)) if p == t => c.correct_accept += 1,
+            (Some(_), Some(_)) => c.wrong_language += 1,
+            (None, Some(_)) => c.false_reject += 1,
+            (None, None) => c.correct_reject += 1,
+            (Some(_), None) => c.false_accept += 1,
+        }
+    }
+    c
+}
+
+/// Candidate thresholds that cover every distinct operating point: one
+/// below all best scores, one strictly above each distinct best score.
+/// Sorted ascending; NaN best scores are skipped (they never accept).
+pub fn sweep_thresholds(scores: &ScoreMatrix) -> Vec<f32> {
+    let mut best: Vec<f32> = (0..scores.num_utts())
+        .filter_map(|i| {
+            let r = scores.row(i);
+            let b = r.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            b.is_finite().then_some(b)
+        })
+        .collect();
+    best.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    best.dedup();
+    let mut out = Vec::with_capacity(best.len() + 1);
+    out.push(best.first().map_or(0.0, |b| b - 1.0));
+    for b in best {
+        // Acceptance is `best >= t`, so rejecting `b` needs the next
+        // representable float above it.
+        out.push(b.next_up());
+    }
+    out
+}
+
+/// The full sweep: `(threshold, counts)` per candidate, ascending.
+pub fn threshold_sweep(
+    scores: &ScoreMatrix,
+    labels: &[Option<usize>],
+) -> Vec<(f32, OpenSetCounts)> {
+    sweep_thresholds(scores)
+        .into_iter()
+        .map(|t| (t, open_set_counts(scores, labels, t)))
+        .collect()
+}
+
+/// The threshold minimising [`OpenSetCounts::error_rate`] over the sweep;
+/// ties go to the lowest threshold (reject least). `None` on empty input.
+pub fn min_open_set_error(
+    scores: &ScoreMatrix,
+    labels: &[Option<usize>],
+) -> Option<(f32, OpenSetCounts)> {
+    threshold_sweep(scores, labels)
+        .into_iter()
+        .min_by(|(_, a), (_, b)| {
+            a.error_rate()
+                .partial_cmp(&b.error_rate())
+                .expect("rates are finite")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two in-set classes plus out-of-set rows whose scores sit low.
+    fn demo() -> (ScoreMatrix, Vec<Option<usize>>) {
+        let m = ScoreMatrix::from_rows(
+            2,
+            &[
+                vec![3.0, -1.0],  // in-set 0, confident
+                vec![-1.0, 2.5],  // in-set 1, confident
+                vec![0.4, -0.2],  // in-set 0, marginal
+                vec![-0.5, 0.3],  // in-set 1 but argmax would be right
+                vec![-2.0, -1.5], // out-of-set, low everywhere
+                vec![-1.8, -2.2], // out-of-set
+            ],
+        );
+        let labels = vec![Some(0), Some(1), Some(0), Some(1), None, None];
+        (m, labels)
+    }
+
+    #[test]
+    fn neg_infinity_threshold_is_closed_set() {
+        let (m, labels) = demo();
+        let preds = open_set_predictions(&m, f32::NEG_INFINITY);
+        assert!(preds.iter().all(Option::is_some));
+        let closed: Vec<usize> = preds.into_iter().map(Option::unwrap).collect();
+        assert_eq!(closed, m.predictions());
+        // Closed-set on open-set truth: every out-of-set row is a false
+        // accept, no rejects anywhere.
+        let c = open_set_counts(&m, &labels, f32::NEG_INFINITY);
+        assert_eq!(c.false_accept, 2);
+        assert_eq!(c.false_reject, 0);
+        assert_eq!(c.correct_reject, 0);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn counts_partition_every_trial() {
+        let (m, labels) = demo();
+        // Threshold at 0.0: rows 0–3 accepted (best scores 3.0, 2.5,
+        // 0.4, 0.3), rows 4–5 rejected (best −1.5, −1.8).
+        let c = open_set_counts(&m, &labels, 0.0);
+        assert_eq!(
+            c,
+            OpenSetCounts {
+                correct_accept: 4,
+                wrong_language: 0,
+                false_reject: 0,
+                correct_reject: 2,
+                false_accept: 0,
+            }
+        );
+        assert_eq!(c.error_rate(), 0.0);
+        // Threshold at 1.0: marginal in-set rows 2–3 become false rejects.
+        let c = open_set_counts(&m, &labels, 1.0);
+        assert_eq!(c.false_reject, 2);
+        assert_eq!(c.correct_accept, 2);
+        assert_eq!(c.correct_reject, 2);
+        assert_eq!(c.total(), 6);
+        assert!((c.false_reject_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.false_accept_rate(), 0.0);
+    }
+
+    #[test]
+    fn sweep_covers_every_operating_point_and_finds_the_optimum() {
+        let (m, labels) = demo();
+        let sweep = threshold_sweep(&m, &labels);
+        // 6 distinct best scores → 7 candidates, ascending.
+        assert_eq!(sweep.len(), 7);
+        assert!(sweep.windows(2).all(|w| w[0].0 < w[1].0));
+        // The lowest candidate accepts everything, the highest rejects
+        // everything.
+        assert_eq!(sweep[0].1.false_accept, 2);
+        let last = sweep.last().unwrap().1;
+        assert_eq!(last.correct_reject, 2);
+        assert_eq!(last.false_reject, 4);
+        // The optimum separates the demo perfectly: any threshold in
+        // (−1.5, 0.3] has error 0, and the sweep must land in it.
+        let (t, best) = min_open_set_error(&m, &labels).unwrap();
+        assert_eq!(best.error_rate(), 0.0);
+        assert!(t > -1.5 && t <= 0.3, "optimum threshold {t}");
+    }
+
+    #[test]
+    fn monotone_tradeoff_along_the_sweep() {
+        let (m, labels) = demo();
+        let sweep = threshold_sweep(&m, &labels);
+        // Raising the threshold never un-rejects: false rejects are
+        // non-decreasing and false accepts non-increasing.
+        for w in sweep.windows(2) {
+            assert!(w[1].1.false_reject >= w[0].1.false_reject);
+            assert!(w[1].1.false_accept <= w[0].1.false_accept);
+        }
+    }
+}

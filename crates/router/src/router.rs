@@ -365,6 +365,7 @@ fn fleet_stats(shared: &Shared) -> FleetStats {
                 agg.swaps += s.swaps;
                 agg.rollbacks += s.rollbacks;
                 agg.fast_math = agg.fast_math.max(s.fast_math);
+                agg.unknown += s.unknown;
                 min_generation = min_generation.min(s.generation);
                 replicas.push(ReplicaStat {
                     addr: b.addr.clone(),

@@ -70,6 +70,7 @@ fn start_replica(accepts_candidates: bool) -> (Server, String) {
             max_wait: Duration::from_millis(1),
             queue_capacity: 32,
             fast_math: false,
+            unknown_threshold: None,
         },
         ..ServerConfig::default()
     };

@@ -83,6 +83,7 @@ fn serve_fake_conn(mut stream: TcpStream, alive: Arc<AtomicBool>, budget: Arc<At
                     batch_size: 1,
                     generation: 0,
                     span: None,
+                    unknown: false,
                 };
                 if write_frame(&mut stream, &encode_score_ok_v2(id, &scored)).is_err() {
                     return;

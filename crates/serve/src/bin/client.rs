@@ -82,7 +82,7 @@ fn connect_with_retry<C>(addr: &str, connect: impl Fn() -> std::io::Result<C>) -
 /// and operators' scripts parse it): `requests completed rejected batches
 /// mean_batch max_queue_depth mean_latency_ms max_latency_ms qps`, then —
 /// extended only — `expired failed shed_global generation swaps rollbacks
-/// fast_math`. Append new fields at the end; never reorder.
+/// fast_math unknown`. Append new fields at the end; never reorder.
 fn print_stats(s: &StatsSnapshot, extended: bool) {
     let qps = if s.uptime_us > 0 {
         s.completed as f64 / (s.uptime_us as f64 / 1e6)
@@ -101,8 +101,16 @@ fn print_stats(s: &StatsSnapshot, extended: bool) {
     };
     let ext = if extended {
         format!(
-            " expired={} failed={} shed_global={} generation={} swaps={} rollbacks={} fast_math={}",
-            s.expired, s.failed, s.shed_global, s.generation, s.swaps, s.rollbacks, s.fast_math
+            " expired={} failed={} shed_global={} generation={} swaps={} rollbacks={} \
+             fast_math={} unknown={}",
+            s.expired,
+            s.failed,
+            s.shed_global,
+            s.generation,
+            s.swaps,
+            s.rollbacks,
+            s.fast_math,
+            s.unknown
         )
     } else {
         String::new()
@@ -381,11 +389,15 @@ fn main() {
             if scored.batch_size > 1 {
                 batched += 1;
             }
-            let top = LanguageId::targets()[scored.decision];
+            let top = if scored.unknown {
+                "unknown".to_string()
+            } else {
+                LanguageId::targets()[scored.decision].name().to_string()
+            };
             println!(
                 "utt {n:>3} ({}): {} (LLR {:+.3}, batch {})",
                 lang.name(),
-                top.name(),
+                top,
                 scored.llrs[scored.decision],
                 scored.batch_size
             );

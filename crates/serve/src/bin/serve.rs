@@ -21,6 +21,13 @@
 //! The active mode is surfaced as the `fast_math` field of the v2 stats
 //! reply.
 //!
+//! `--unknown-threshold LLR` turns on open-set rejection: a scored
+//! utterance whose *best* fused LLR falls below the threshold is still
+//! answered (with its full LLR vector) but flagged `unknown` via the
+//! reply's decision sentinel, and its score is kept out of the
+//! adaptation vote log. The count is surfaced as the `unknown` field of
+//! the v2 stats reply. See `docs/SERVING.md`.
+//!
 //! `--fleet` runs the server as a routable fleet replica: scored
 //! utterances are teed into a vote log (`--votelog N` caps it) and the
 //! fleet-rollout protocol tags — vote drain, stage/commit/abort,
@@ -43,7 +50,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: lre-serve --bundle PATH [--addr HOST:PORT] [--workers N] \
          [--max-batch N] [--max-wait-ms N] [--queue N] [--max-inflight N] \
-         [--max-global-inflight N] [--lazy] [--fast-math] [--fleet] [--votelog N]"
+         [--max-global-inflight N] [--lazy] [--fast-math] [--fleet] [--votelog N] \
+         [--unknown-threshold LLR]"
     );
     std::process::exit(2);
 }
@@ -118,6 +126,15 @@ fn main() {
                 i += 1;
                 cfg.max_global_inflight = parse_num(&args, i, "--max-global-inflight");
             }
+            "--unknown-threshold" => {
+                i += 1;
+                let t: f32 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t: &f32| t.is_finite())
+                    .unwrap_or_else(|| usage("bad --unknown-threshold (finite LLR)"));
+                cfg.engine.unknown_threshold = Some(t);
+            }
             "--lazy" => lazy = true,
             "--fast-math" => fast_math = true,
             "--fleet" => fleet = true,
@@ -175,6 +192,9 @@ fn main() {
         system.set_scoring_mode(ScoringMode::FastMath);
         cfg.engine.fast_math = true;
         eprintln!("[serve] fast-math scoring enabled (bundle opted in)");
+    }
+    if let Some(t) = cfg.engine.unknown_threshold {
+        eprintln!("[serve] open-set rejection enabled: best-LLR threshold {t}");
     }
     let system = Arc::new(system);
     let listener = match TcpListener::bind(&addr) {

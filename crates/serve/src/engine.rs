@@ -52,6 +52,14 @@ pub struct EngineConfig {
     /// the mode itself lives in the scorer's decoder configs; this flag
     /// surfaces it in [`StatsSnapshot`] and the v2 stats wire.
     pub fast_math: bool,
+    /// Open-set rejection threshold on the top fused LLR. `None` (the
+    /// default) keeps the closed-set behaviour: every scored utterance is
+    /// attributed to its arg-max language. With `Some(t)`, an utterance
+    /// whose best LLR falls below `t` is still scored and replied to, but
+    /// the reply is flagged [`ScoredUtt::unknown`] and the score is **not**
+    /// teed into the adaptation vote log — an out-of-set utterance must
+    /// never vote on in-set model updates.
+    pub unknown_threshold: Option<f32>,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +73,7 @@ impl Default for EngineConfig {
             max_wait: Duration::from_millis(2),
             queue_capacity: 64,
             fast_math: false,
+            unknown_threshold: None,
         }
     }
 }
@@ -86,6 +95,12 @@ pub struct ScoredUtt {
     /// (`trace_id != 0` at submission). Never encoded into v1/v2 score
     /// bodies — only the traced reply carries it.
     pub span: Option<TraceSpan>,
+    /// Open-set rejection flag: `true` when the engine was configured
+    /// with [`EngineConfig::unknown_threshold`] and the top LLR fell
+    /// below it. `decision` still carries the arg-max index (the best
+    /// in-set guess), but the caller should treat the utterance as an
+    /// unseen language.
+    pub unknown: bool,
 }
 
 /// Index of the highest LLR (first wins on ties).
@@ -172,6 +187,10 @@ pub struct StatsSnapshot {
     /// arithmetic (a flag carried as a counter so the v2 stats wire stays a
     /// homogeneous `u64` list).
     pub fast_math: u64,
+    /// Completed utterances flagged open-set `unknown` (top LLR below the
+    /// configured threshold). Always 0 without `--unknown-threshold`.
+    /// Counted inside `completed` — an unknown is still a scored reply.
+    pub unknown: u64,
 }
 
 #[derive(Default)]
@@ -186,6 +205,7 @@ struct Counters {
     expired: AtomicU64,
     failed: AtomicU64,
     shed_global: AtomicU64,
+    unknown: AtomicU64,
 }
 
 /// Invoked exactly once with the request's outcome (possibly on a worker
@@ -287,6 +307,7 @@ impl Engine {
                 let handle = Arc::clone(&handle);
                 let tap = tap.clone();
                 let obs = obs.clone();
+                let unknown_threshold = cfg.unknown_threshold;
                 std::thread::spawn(move || {
                     let mut scratch = DecodeScratch::new();
                     loop {
@@ -338,17 +359,20 @@ impl Engine {
                             // Stage split reported by the scorer (zeros
                             // except `score_us` for mocks that can't split).
                             let mut stage_us = lre_obs::StageTimes::default();
+                            let mut tap_detail = None;
                             let scored = match &tap {
                                 // Tap installed: score through the detailed
-                                // path (same fused bits) and tee the row.
-                                Some(tap) => model
+                                // path (same fused bits). The row is teed
+                                // only after the open-set check below — an
+                                // unknown must not vote.
+                                Some(_) => model
                                     .scorer
                                     .score_utt_detailed(&job.samples, &mut scratch)
                                     .map(|mut detail| {
                                         detail.generation = model.generation;
                                         stage_us = detail.stage_us;
                                         let llrs = detail.fused.clone();
-                                        tap.record(detail);
+                                        tap_detail = Some(detail);
                                         llrs
                                     }),
                                 None if obs.is_some() || span.is_some() => model
@@ -363,6 +387,18 @@ impl Engine {
                                     counters.latency_us_max.fetch_max(us, Ordering::Relaxed);
                                     counters.completed.fetch_add(1, Ordering::Relaxed);
                                     let top = decision(&llrs);
+                                    let unknown = unknown_threshold
+                                        .is_some_and(|t| llrs.get(top).is_none_or(|&v| v < t));
+                                    if unknown {
+                                        counters.unknown.fetch_add(1, Ordering::Relaxed);
+                                        if let Some(obs) = &obs {
+                                            obs.unknown.incr();
+                                        }
+                                    } else if let (Some(tap), Some(detail)) =
+                                        (&tap, tap_detail.take())
+                                    {
+                                        tap.record(detail);
+                                    }
                                     if let Some(obs) = &obs {
                                         obs.latency_us.record(us);
                                         obs.decode_us.record(stage_us.decode_us);
@@ -399,6 +435,7 @@ impl Engine {
                                         batch_size,
                                         generation: model.generation,
                                         span,
+                                        unknown,
                                     })
                                 }
                                 Err(_) => {
@@ -538,6 +575,7 @@ impl Engine {
             swaps: self.handle.swap_count(),
             rollbacks: self.handle.rollback_count(),
             fast_math: self.fast_math as u64,
+            unknown: c.unknown.load(Ordering::Relaxed),
         }
     }
 

@@ -11,7 +11,7 @@
 use crate::protocol::{
     encode_request, read_frame, write_frame, Request, MAX_FRAME_LEN, REQ_ADAPT, REQ_DRAIN_VOTES,
     REQ_FLEET_STATS, REQ_FLIGHT, REQ_PING, REQ_SCORE, REQ_SCORE_V2, REQ_SHUTDOWN, REQ_STAGE_BUNDLE,
-    REQ_STATS_V2, REQ_STATS_V3, STATUS_BAD_REQUEST,
+    REQ_STATS_V2, REQ_STATS_V3, STATUS_BAD_REQUEST, STATUS_OK,
 };
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
@@ -27,6 +27,24 @@ pub enum Expect {
     /// bad-request reply (any replies seen belong to valid frames embedded
     /// before the breakage).
     Close,
+    /// A *valid* request delivered hostilely (e.g. one byte per write):
+    /// the server must still answer it — at least one `STATUS_OK` reply —
+    /// because slow delivery of good bytes is not an error.
+    Answered,
+}
+
+/// How the case's bytes reach the socket. Slow-loris clients are
+/// distinguished from broken ones precisely by *when* bytes arrive, so
+/// pacing is part of the case, not the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pacing {
+    /// Everything in one `write_all` — the classic corpus shape.
+    OneShot,
+    /// One byte per `write`, `gap` apart: the drip-feed slow loris.
+    Trickle { gap: Duration },
+    /// Write the first `prefix` bytes, hold the connection idle for
+    /// `stall`, then send the rest (possibly nothing) and disconnect.
+    StallAfter { prefix: usize, stall: Duration },
 }
 
 /// One malformed-input case: raw bytes to write to a fresh connection.
@@ -34,6 +52,7 @@ pub struct FuzzCase {
     pub name: &'static str,
     pub bytes: Vec<u8>,
     pub expect: Expect,
+    pub pacing: Pacing,
 }
 
 fn framed(name: &'static str, payload: Vec<u8>) -> FuzzCase {
@@ -43,6 +62,7 @@ fn framed(name: &'static str, payload: Vec<u8>) -> FuzzCase {
         name,
         bytes,
         expect: Expect::BadRequest,
+        pacing: Pacing::OneShot,
     }
 }
 
@@ -51,6 +71,7 @@ fn raw(name: &'static str, bytes: Vec<u8>) -> FuzzCase {
         name,
         bytes,
         expect: Expect::Close,
+        pacing: Pacing::OneShot,
     }
 }
 
@@ -81,7 +102,10 @@ fn huge_count(tag: u8) -> Vec<u8> {
     b
 }
 
-/// The malformed-input corpus (deterministic; ≥ 20 cases).
+/// The malformed-input corpus (deterministic; ≥ 20 cases), including the
+/// slow-loris shapes — for those the hostility is the pacing, and one of
+/// them (`slow-loris: valid stats one byte per write`) is a *valid*
+/// request the server must still answer.
 pub fn malformed_corpus() -> Vec<FuzzCase> {
     let score = Request::Score {
         samples: vec![0.5; 16],
@@ -192,6 +216,49 @@ pub fn malformed_corpus() -> Vec<FuzzCase> {
             b.extend_from_slice(&[1, 2, 3]);
             b
         }),
+        // — slow-loris shapes: the bytes are fine or torn, but the *clock*
+        //   is hostile. The server must neither hang its reader thread on
+        //   a stalled peer nor punish a slow-but-valid client. —
+        FuzzCase {
+            pacing: Pacing::StallAfter {
+                prefix: 4,
+                stall: Duration::from_millis(300),
+            },
+            ..raw(
+                "slow-loris: header then stall",
+                // A plausible length prefix and then... nothing, ever.
+                100u32.to_le_bytes().to_vec(),
+            )
+        },
+        FuzzCase {
+            pacing: Pacing::Trickle {
+                gap: Duration::from_millis(1),
+            },
+            ..framed(
+                "slow-loris: malformed score one byte per write",
+                truncated(&score, 9),
+            )
+        },
+        FuzzCase {
+            expect: Expect::Answered,
+            pacing: Pacing::Trickle {
+                gap: Duration::from_millis(1),
+            },
+            ..framed(
+                "slow-loris: valid stats one byte per write",
+                encode_request(&Request::Stats),
+            )
+        },
+        FuzzCase {
+            pacing: Pacing::StallAfter {
+                prefix: 2,
+                stall: Duration::from_millis(300),
+            },
+            ..raw(
+                "slow-loris: mid-length-prefix stall then disconnect",
+                0x40u32.to_le_bytes()[..2].to_vec(),
+            )
+        },
     ];
 
     // The corpus is a documented floor for the CI gate; keep it honest.
@@ -223,13 +290,37 @@ fn is_disconnect(e: &std::io::Error) -> bool {
     )
 }
 
-fn run_case(addr: SocketAddr, case: &FuzzCase, timeout: Duration) -> Result<(), String> {
+/// Deliver `case.bytes` per the case's [`Pacing`].
+fn write_paced(stream: &mut TcpStream, case: &FuzzCase) -> std::io::Result<()> {
+    match case.pacing {
+        Pacing::OneShot => stream.write_all(&case.bytes),
+        Pacing::Trickle { gap } => {
+            for b in &case.bytes {
+                stream.write_all(std::slice::from_ref(b))?;
+                stream.flush()?;
+                std::thread::sleep(gap);
+            }
+            Ok(())
+        }
+        Pacing::StallAfter { prefix, stall } => {
+            let split = prefix.min(case.bytes.len());
+            stream.write_all(&case.bytes[..split])?;
+            stream.flush()?;
+            std::thread::sleep(stall);
+            stream.write_all(&case.bytes[split..])
+        }
+    }
+}
+
+/// Run one case against a live server. Public so traffic simulators can
+/// weave individual hostile connections between legitimate load.
+pub fn run_case(addr: SocketAddr, case: &FuzzCase, timeout: Duration) -> Result<(), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     stream
         .set_read_timeout(Some(timeout))
         .map_err(|e| format!("set timeout: {e}"))?;
     let _ = stream.set_nodelay(true);
-    if let Err(e) = stream.write_all(&case.bytes) {
+    if let Err(e) = write_paced(&mut stream, case) {
         // A server that already dropped a torn stream may RST our write;
         // that is a close, which is exactly what Close cases expect.
         if case.expect == Expect::Close && is_disconnect(&e) {
@@ -247,12 +338,18 @@ fn run_case(addr: SocketAddr, case: &FuzzCase, timeout: Duration) -> Result<(), 
             Err(e) => return Err(format!("read: {e} (server hung or tore a reply frame)")),
         }
     }
-    if case.expect == Expect::BadRequest
-        && replies.last().map(Vec::as_slice) != Some(&[STATUS_BAD_REQUEST])
-    {
-        return Err(format!(
-            "expected a single BAD_REQUEST reply before close, got {replies:?}"
-        ));
+    match case.expect {
+        Expect::BadRequest if replies.last().map(Vec::as_slice) != Some(&[STATUS_BAD_REQUEST]) => {
+            return Err(format!(
+                "expected a single BAD_REQUEST reply before close, got {replies:?}"
+            ));
+        }
+        Expect::Answered if replies.last().is_none_or(|r| r.first() != Some(&STATUS_OK)) => {
+            return Err(format!(
+                "expected a STATUS_OK answer to a valid-but-slow request, got {replies:?}"
+            ));
+        }
+        _ => {}
     }
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! | `engine.stage.supervector_us` | histogram | supervector build per utterance |
 //! | `engine.stage.score_us` | histogram | SVM + fusion per utterance |
 //! | `engine.traced` | counter | requests that carried a trace id |
+//! | `engine.unknown` | counter | scored replies flagged open-set unknown |
 //! | `score.llr.top1.lang{NN}` | sketch | fused LLR of the winning language |
 
 use lre_obs::{Counter, FlightRecorder, Histogram, Registry, Sketch};
@@ -38,6 +39,7 @@ pub struct ServeObs {
     pub(crate) supervector_us: Arc<Histogram>,
     pub(crate) score_us: Arc<Histogram>,
     pub(crate) traced: Arc<Counter>,
+    pub(crate) unknown: Arc<Counter>,
     /// Per-top-1-language fused-LLR sketches, registered on first use
     /// (the engine learns the language count from the scores themselves).
     lang_sketches: Mutex<Vec<Arc<Sketch>>>,
@@ -58,6 +60,7 @@ impl ServeObs {
             supervector_us: registry.histogram("engine.stage.supervector_us"),
             score_us: registry.histogram("engine.stage.score_us"),
             traced: registry.counter("engine.traced"),
+            unknown: registry.counter("engine.unknown"),
             lang_sketches: Mutex::new(Vec::new()),
             registry,
         })
@@ -101,6 +104,7 @@ mod tests {
                 "engine.stage.score_us",
                 "engine.stage.supervector_us",
                 "engine.traced",
+                "engine.unknown",
             ]
         );
     }

@@ -113,6 +113,16 @@ pub const STATUS_CONFLICT: u8 = 7;
 /// corrupt or hostile length prefix cannot trigger a huge allocation.
 pub const MAX_FRAME_LEN: usize = 16 << 20;
 
+/// Sentinel in the score body's `u32` decision field marking an open-set
+/// `unknown` reply: the utterance was scored (the LLR slice is present as
+/// usual) but its best LLR fell below the server's `--unknown-threshold`,
+/// so no target language is claimed. Decoders recover the arg-max index
+/// locally from the LLRs (bit-identical to what the server computed) and
+/// set [`ScoredUtt::unknown`]. Servers running closed-set (no threshold)
+/// never emit it, which keeps their v1/v2 bodies byte-identical to the
+/// pre-open-set wire.
+pub const DECISION_UNKNOWN: u32 = u32::MAX;
+
 /// A decoded request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -349,7 +359,11 @@ pub fn encode_status_v2(id: u64, status: u8) -> Vec<u8> {
 /// pre-adaptation wire format.
 fn put_score_body(w: &mut ArtifactWriter, scored: &ScoredUtt, with_generation: bool) {
     w.put_f32_slice(&scored.llrs);
-    w.put_u32(scored.decision as u32);
+    w.put_u32(if scored.unknown {
+        DECISION_UNKNOWN
+    } else {
+        scored.decision as u32
+    });
     w.put_u32(scored.batch_size as u32);
     if with_generation {
         w.put_u64(scored.generation);
@@ -374,19 +388,32 @@ fn get_score_body_inner(
     with_generation: bool,
 ) -> Result<ScoredUtt, ArtifactError> {
     let llrs = r.get_f32_slice()?;
-    let decision = r.get_u32()? as usize;
+    let decision_wire = r.get_u32()?;
     let batch_size = r.get_u32()? as usize;
     // v1 replies predate hot swapping; report them as generation 0.
     let generation = if with_generation { r.get_u64()? } else { 0 };
-    if decision >= llrs.len().max(1) {
-        return Err(ArtifactError::Corrupt("decision index out of range"));
-    }
+    let unknown = decision_wire == DECISION_UNKNOWN;
+    let decision = if unknown {
+        // The sentinel claims no language; recover the best in-set guess
+        // from the LLRs themselves (same arg-max the server computed).
+        if llrs.is_empty() {
+            return Err(ArtifactError::Corrupt("unknown reply with no LLRs"));
+        }
+        crate::engine::decision(&llrs)
+    } else {
+        let decision = decision_wire as usize;
+        if decision >= llrs.len().max(1) {
+            return Err(ArtifactError::Corrupt("decision index out of range"));
+        }
+        decision
+    };
     Ok(ScoredUtt {
         llrs,
         decision,
         batch_size,
         generation,
         span: None,
+        unknown,
     })
 }
 
@@ -510,6 +537,7 @@ fn put_stats(w: &mut ArtifactWriter, s: &StatsSnapshot, extended: bool) {
         vals.push(s.swaps);
         vals.push(s.rollbacks);
         vals.push(s.fast_math);
+        vals.push(s.unknown);
     }
     for v in vals {
         w.put_u64(v);
@@ -564,6 +592,7 @@ fn get_stats_counters(
         swaps: 0,
         rollbacks: 0,
         fast_math: 0,
+        unknown: 0,
     };
     if extended {
         s.expired = r.get_u64()?;
@@ -573,6 +602,7 @@ fn get_stats_counters(
         s.swaps = r.get_u64()?;
         s.rollbacks = r.get_u64()?;
         s.fast_math = r.get_u64()?;
+        s.unknown = r.get_u64()?;
     }
     Ok(s)
 }
@@ -1121,6 +1151,7 @@ mod tests {
             batch_size: 7,
             generation: 5,
             span: None,
+            unknown: false,
         };
         let back = decode_score_reply(&encode_score_ok(&scored))
             .unwrap()
@@ -1134,6 +1165,49 @@ mod tests {
     }
 
     #[test]
+    fn unknown_reply_roundtrips_via_the_decision_sentinel() {
+        // Open-set servers flag an unknown by writing DECISION_UNKNOWN in
+        // the decision slot; decoders recover the local argmax from the
+        // LLRs so `decision` stays meaningful either way.
+        let scored = ScoredUtt {
+            llrs: vec![-3.0, -1.5, -7.0],
+            decision: 1,
+            batch_size: 2,
+            generation: 9,
+            span: None,
+            unknown: true,
+        };
+        let back = decode_score_reply(&encode_score_ok(&scored))
+            .unwrap()
+            .unwrap();
+        assert!(back.unknown);
+        assert_eq!(back.decision, 1);
+
+        let (id, r) = decode_score_reply_v2(&encode_score_ok_v2(7, &scored)).unwrap();
+        assert_eq!(id, 7);
+        let back = r.unwrap();
+        assert!(back.unknown);
+        assert_eq!(back.decision, 1);
+        assert_eq!(back.generation, 9);
+
+        // A closed-set reply with the same LLRs is byte-identical to what
+        // pre-open-set servers emitted: the sentinel never appears.
+        let closed = ScoredUtt {
+            unknown: false,
+            ..scored.clone()
+        };
+        let body = encode_score_ok(&closed);
+        assert!(!body.windows(4).any(|w| w == DECISION_UNKNOWN.to_le_bytes()));
+
+        // The sentinel with no LLRs is a protocol error, not a panic.
+        let empty = ScoredUtt {
+            llrs: Vec::new(),
+            ..scored
+        };
+        assert!(decode_score_reply(&encode_score_ok(&empty)).is_err());
+    }
+
+    #[test]
     fn v2_score_reply_echoes_the_request_id_and_generation() {
         let scored = ScoredUtt {
             llrs: vec![0.25, -1.0],
@@ -1141,6 +1215,7 @@ mod tests {
             batch_size: 3,
             generation: 42,
             span: None,
+            unknown: false,
         };
         let (id, r) = decode_score_reply_v2(&encode_score_ok_v2(0xDEAD_BEEF, &scored)).unwrap();
         assert_eq!(id, 0xDEAD_BEEF);
@@ -1183,6 +1258,7 @@ mod tests {
             batch_size: 3,
             generation: 42,
             span: Some(span.clone()),
+            unknown: false,
         };
         let frame = encode_score_ok_traced(11, 0xCAFE, &scored);
         let (id, r) = decode_score_reply_traced(&frame).unwrap();
@@ -1314,6 +1390,7 @@ mod tests {
             swaps: 0,
             rollbacks: 0,
             fast_math: 0,
+            unknown: 0,
         };
         assert_eq!(
             decode_stats_reply(&encode_stats_ok(&s)).unwrap().unwrap(),
@@ -1328,6 +1405,7 @@ mod tests {
         ext.swaps = 3;
         ext.rollbacks = 1;
         ext.fast_math = 1;
+        ext.unknown = 6;
         assert_eq!(
             decode_stats_reply_v2(&encode_stats_ok_v2(&ext))
                 .unwrap()
@@ -1388,6 +1466,7 @@ mod tests {
             swaps: 3,
             rollbacks: 0,
             fast_math: 0,
+            unknown: 0,
         };
         let p = PingReport::from_stats(&s);
         // 100 admitted, 80+5+3+2 resolved → 10 in flight; shed counts
@@ -1509,6 +1588,7 @@ mod tests {
             swaps: 2,
             rollbacks: 0,
             fast_math: 0,
+            unknown: 0,
         };
         let f = FleetStats {
             aggregate,

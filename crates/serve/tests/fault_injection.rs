@@ -112,6 +112,7 @@ fn fast_config() -> ServerConfig {
             max_wait: Duration::from_millis(1),
             queue_capacity: 64,
             fast_math: false,
+            unknown_threshold: None,
         },
         max_inflight: 4,
         max_global_inflight: 0,
@@ -173,6 +174,52 @@ fn malformed_corpus_against_live_server() {
         }
     }
 
+    client.shutdown().expect("shutdown acknowledged");
+    server.join();
+}
+
+#[test]
+fn slow_loris_cases_never_leak_the_reader_thread() {
+    // Slow-loris peers hold sockets half-open for hundreds of
+    // milliseconds; the reader thread parked on each must still wind
+    // down once the peer is gone, and the one *valid* trickled request
+    // must be answered, not punished for its pacing.
+    let server = start_server(Arc::new(MockScorer { classes: 3 }), fast_config());
+    let addr = server.local_addr();
+    let baseline_threads = thread_count();
+
+    let corpus = fuzz::malformed_corpus();
+    let loris: Vec<_> = corpus
+        .iter()
+        .filter(|c| c.name.starts_with("slow-loris"))
+        .collect();
+    assert_eq!(loris.len(), 4, "slow-loris corpus shape changed");
+    assert!(
+        loris.iter().any(|c| c.expect == fuzz::Expect::Answered),
+        "the valid trickled case went missing"
+    );
+    for case in &loris {
+        fuzz::run_case(addr, case, Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("case {:?}: {e}", case.name));
+    }
+
+    if baseline_threads > 0 {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            // +2 tolerates threads other concurrently-running tests own.
+            if thread_count() <= baseline_threads + 2 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slow-loris reader threads leaked: {} now vs {} before",
+                thread_count(),
+                baseline_threads
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    let mut client = Client::connect(addr).expect("connect for shutdown");
     client.shutdown().expect("shutdown acknowledged");
     server.join();
 }
@@ -428,6 +475,7 @@ fn engine_shutdown_is_idempotent_and_submissions_after_it_fail_fast() {
             max_wait: Duration::from_millis(1),
             queue_capacity: 16,
             fast_math: false,
+            unknown_threshold: None,
         },
         Arc::new(MockScorer { classes: 2 }),
     );

@@ -107,6 +107,7 @@ fn concurrent_swaps_never_tear_model_from_generation() {
             max_wait: Duration::from_micros(200),
             queue_capacity: 256,
             fast_math: false,
+            unknown_threshold: None,
         },
         Arc::clone(&handle),
         None,
@@ -181,6 +182,7 @@ fn a_swap_landing_mid_batch_does_not_tear_the_batch() {
             max_wait: Duration::from_millis(500),
             queue_capacity: 64,
             fast_math: false,
+            unknown_threshold: None,
         },
         Arc::clone(&handle),
         None,
@@ -258,6 +260,7 @@ fn rollback_restores_the_parent_scorer_and_checksum_bit_identically() {
             max_wait: Duration::from_millis(1),
             queue_capacity: 64,
             fast_math: false,
+            unknown_threshold: None,
         },
         Arc::clone(&handle),
         None,

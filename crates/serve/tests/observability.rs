@@ -47,6 +47,7 @@ fn fast_config() -> ServerConfig {
             max_wait: Duration::from_millis(1),
             queue_capacity: 64,
             fast_math: false,
+            unknown_threshold: None,
         },
         max_inflight: 16,
         max_global_inflight: 0,

@@ -123,6 +123,7 @@ fn train_save_reload_serve_bit_identical() {
                 max_wait: std::time::Duration::from_millis(500),
                 queue_capacity: 256,
                 fast_math: false,
+                unknown_threshold: None,
             },
             max_inflight: 8,
             max_global_inflight: 0,
@@ -213,6 +214,7 @@ fn train_save_reload_serve_bit_identical() {
             max_wait: std::time::Duration::from_millis(0),
             queue_capacity: 2,
             fast_math: false,
+            unknown_threshold: None,
         },
         Arc::clone(&system) as _,
     );
@@ -265,6 +267,7 @@ fn pipelined_lazy_round_trip_bit_identical() {
                 max_wait: std::time::Duration::from_millis(200),
                 queue_capacity: 256,
                 fast_math: false,
+                unknown_threshold: None,
             },
             max_inflight: 8,
             max_global_inflight: 0,

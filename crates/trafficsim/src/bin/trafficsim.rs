@@ -1,0 +1,199 @@
+//! Command-line front end for the traffic simulator.
+//!
+//! ```text
+//! lre-trafficsim --scenario NAME --seed N --addr HOST:PORT
+//!                [--replica HOST:PORT]... [--adapt-addr HOST:PORT]
+//!                [--export PATH] [--verdicts-out PATH] [--tick-ms N]
+//! lre-trafficsim --replay PATH --addr HOST:PORT [...]
+//! lre-trafficsim --scenario NAME --seed N --export PATH --export-only
+//! lre-trafficsim --list
+//! ```
+//!
+//! Exit status 0 iff every invariant passed. The verdict file (stdout by
+//! default) is deterministic for a given plan and outcome set; measured
+//! numbers go to stderr only.
+
+use lre_trafficsim::{builtin_scenarios, by_name, generate, run, CommandStream, SimConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: lre-trafficsim (--scenario NAME --seed N | --replay PATH) \
+         --addr HOST:PORT [--replica HOST:PORT]... [--adapt-addr HOST:PORT] \
+         [--export PATH] [--verdicts-out PATH] [--tick-ms N] [--export-only] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_addr(s: &str, what: &str) -> SocketAddr {
+    s.parse()
+        .unwrap_or_else(|_| usage(&format!("bad {what} (want HOST:PORT)")))
+}
+
+fn main() {
+    let mut scenario: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut addr: Option<SocketAddr> = None;
+    let mut replicas: Vec<SocketAddr> = Vec::new();
+    let mut adapt_addr: Option<SocketAddr> = None;
+    let mut export: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut verdicts_out: Option<PathBuf> = None;
+    let mut tick_ms = 50u64;
+    let mut export_only = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let get = |i: usize, what: &str| -> &String {
+            args.get(i)
+                .unwrap_or_else(|| usage(&format!("missing value for {what}")))
+        };
+        match args[i].as_str() {
+            "--list" => {
+                for s in builtin_scenarios() {
+                    println!("{:<14} {}", s.name, s.about);
+                }
+                return;
+            }
+            "--scenario" => {
+                i += 1;
+                scenario = Some(get(i, "--scenario").clone());
+            }
+            "--seed" => {
+                i += 1;
+                seed = Some(
+                    get(i, "--seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --seed (want u64)")),
+                );
+            }
+            "--addr" => {
+                i += 1;
+                addr = Some(parse_addr(get(i, "--addr"), "--addr"));
+            }
+            "--replica" => {
+                i += 1;
+                replicas.push(parse_addr(get(i, "--replica"), "--replica"));
+            }
+            "--adapt-addr" => {
+                i += 1;
+                adapt_addr = Some(parse_addr(get(i, "--adapt-addr"), "--adapt-addr"));
+            }
+            "--export" => {
+                i += 1;
+                export = Some(PathBuf::from(get(i, "--export")));
+            }
+            "--replay" => {
+                i += 1;
+                replay = Some(PathBuf::from(get(i, "--replay")));
+            }
+            "--verdicts-out" => {
+                i += 1;
+                verdicts_out = Some(PathBuf::from(get(i, "--verdicts-out")));
+            }
+            "--tick-ms" => {
+                i += 1;
+                tick_ms = get(i, "--tick-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --tick-ms (want u64)"));
+            }
+            "--export-only" => export_only = true,
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    // --- Resolve the command stream: generate fresh or load a replay.
+    let stream: CommandStream = match (&replay, &scenario) {
+        (Some(path), None) => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("error: reading {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let stream = CommandStream::decode(&bytes).unwrap_or_else(|e| {
+                eprintln!(
+                    "error: {} is not a valid command stream: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            });
+            eprintln!(
+                "[trafficsim] replaying {}: scenario={} seed={} ticks={} commands={}",
+                path.display(),
+                stream.scenario,
+                stream.seed,
+                stream.ticks,
+                stream.commands.len()
+            );
+            stream
+        }
+        (None, Some(name)) => {
+            let spec = by_name(name)
+                .unwrap_or_else(|| usage(&format!("unknown scenario {name:?} (see --list)")));
+            let seed = seed.unwrap_or_else(|| usage("--seed is required with --scenario"));
+            generate(&spec, seed)
+        }
+        (Some(_), Some(_)) => usage("--replay and --scenario are mutually exclusive"),
+        (None, None) => usage("one of --scenario or --replay is required"),
+    };
+    // The invariant set always comes from the stream's recorded scenario
+    // name, so a replay judges exactly what the original run judged.
+    let spec = by_name(&stream.scenario).unwrap_or_else(|| {
+        eprintln!(
+            "error: stream names unknown scenario {:?}; this binary is too old or too new",
+            stream.scenario
+        );
+        std::process::exit(1);
+    });
+
+    if let Some(path) = &export {
+        if let Err(e) = std::fs::write(path, stream.encode()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[trafficsim] exported {} commands (crc32={:08x}) to {}",
+            stream.commands.len(),
+            stream.crc32(),
+            path.display()
+        );
+    }
+    if export_only {
+        if export.is_none() {
+            usage("--export-only needs --export PATH");
+        }
+        return;
+    }
+
+    let addr = addr.unwrap_or_else(|| usage("--addr is required"));
+    let mut cfg = SimConfig::new(addr);
+    cfg.replicas = replicas;
+    cfg.adapt_addr = adapt_addr;
+    cfg.tick_ms = tick_ms;
+    cfg.hostile_timeout = Duration::from_secs(5);
+
+    eprintln!(
+        "[trafficsim] running scenario={} seed={} ticks={} commands={} against {}",
+        stream.scenario,
+        stream.seed,
+        stream.ticks,
+        stream.commands.len(),
+        addr
+    );
+    let report = run(&stream, &spec.invariants, &cfg);
+    eprint!("{}", report.detail);
+    match &verdicts_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report.verdict_text) {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprint!("{}", report.verdict_text);
+        }
+        None => print!("{}", report.verdict_text),
+    }
+    std::process::exit(if report.pass { 0 } else { 1 });
+}

@@ -1,0 +1,434 @@
+//! Built-in scenarios and the pure command generator.
+//!
+//! A [`ScenarioSpec`] composes the traffic shapes real deployments see —
+//! diurnal load curves, bursts, hostile clients from the fuzz corpus,
+//! deadline mixes, channel/SNR drift across ticks, code-switching
+//! utterances, and open-set segments in languages the system was never
+//! trained on — plus the [`InvariantSpec`] the run is judged against.
+//!
+//! [`generate`] expands a spec + seed into a [`CommandStream`] using only
+//! seeded RNG draws and integer/affine arithmetic (no transcendentals, no
+//! clocks), so identical inputs give byte-identical streams. The diurnal
+//! curve is a triangle wave and bursts are binomial (4·mean trials at
+//! p=¼ ≈ Poisson(mean)) for exactly that reason.
+
+use crate::plan::{CommandStream, SimCommand, UttPlan};
+use lre_corpus::DeriveRng;
+use rand::RngExt;
+
+/// Indices into [`LanguageId::all`]: the two trailing entries are the
+/// out-of-set languages (no target detector exists for them).
+const NUM_LANGUAGES: u8 = 25;
+const NUM_TARGETS: u8 = 23;
+
+/// What the run must uphold. Every field with `Option`/`bool` off is
+/// simply not checked — scenarios assert only what they arrange to test.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvariantSpec {
+    /// Scraped `rejected / requests` must stay at or below this.
+    pub max_shed_rate: Option<f64>,
+    /// Client-observed p99 score latency (ms) must stay at or below this.
+    pub p99_ms: Option<f64>,
+    /// No reply frame may ever fail to decode.
+    pub zero_torn_replies: bool,
+    /// Every failed request must fail with a *typed* protocol status
+    /// (overloaded / shutting down / deadline / internal) — never a raw
+    /// connection error. The invariant under replica kills.
+    pub typed_failures_only: bool,
+    /// Every adaptation cycle must come back `rejected_guard` and the
+    /// serving generation must still be 0 at the end.
+    pub expect_guard_reject: bool,
+    /// Flight-recorder event names that must appear during the run.
+    pub expect_flight: Vec<&'static str>,
+    /// The run must complete at least this many scores.
+    pub min_completed: u64,
+    /// The scraped `unknown` counter must be positive (open-set traffic
+    /// against a thresholded server must actually be flagged).
+    pub require_unknown: bool,
+    /// No hostile connection may violate the malformed-input contract.
+    pub hostile_contract: bool,
+}
+
+impl Default for InvariantSpec {
+    fn default() -> InvariantSpec {
+        InvariantSpec {
+            max_shed_rate: None,
+            p99_ms: None,
+            zero_torn_replies: true,
+            typed_failures_only: true,
+            expect_guard_reject: false,
+            expect_flight: Vec::new(),
+            min_completed: 1,
+            require_unknown: false,
+            hostile_contract: true,
+        }
+    }
+}
+
+/// SNR drift across the run: linear from `start_snr_db` at tick 0 to
+/// `end_snr_db` at the last tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftPlan {
+    pub start_snr_db: f32,
+    pub end_snr_db: f32,
+}
+
+/// One composable scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+    pub ticks: u32,
+    /// Mean scores per tick before the diurnal factor.
+    pub base_load: u32,
+    /// Diurnal swing as a fraction of base load (triangle wave over
+    /// `diurnal_period` ticks). 0 disables.
+    pub diurnal_amplitude: f64,
+    pub diurnal_period: u32,
+    /// Per-tick probability of a burst.
+    pub burst_prob: f64,
+    /// Mean extra scores in a burst (binomial approximation of Poisson).
+    pub burst_mean: u32,
+    /// Hostile fuzz-corpus connections per tick.
+    pub hostile_per_tick: u32,
+    /// Fraction of requests carrying the short deadline.
+    pub short_deadline_frac: f64,
+    pub short_deadline_ms: u32,
+    pub long_deadline_ms: u32,
+    /// Utterance length in 10 ms frames.
+    pub utt_frames: u32,
+    /// SNR drift; `None` holds 15 dB with ±3 dB jitter.
+    pub drift: Option<DriftPlan>,
+    /// Probability an utterance code-switches halfway.
+    pub code_switch_prob: f64,
+    /// Probability an utterance is in an out-of-set language.
+    pub open_set_prob: f64,
+    /// `(tick, replica_index)`: kill that replica at that tick.
+    pub kill_replica_at: Option<(u32, u32)>,
+    /// Trigger one adaptation cycle at this tick.
+    pub adapt_at: Option<u32>,
+    pub invariants: InvariantSpec,
+}
+
+/// Triangle wave in [-1, 1] with the given period — the deterministic
+/// stand-in for a diurnal sine.
+fn triangle(tick: u32, period: u32) -> f64 {
+    let period = period.max(2);
+    let phase = (tick % period) as f64 / period as f64; // [0, 1)
+    1.0 - 4.0 * (phase - 0.5).abs()
+}
+
+/// Binomial(4·mean, ¼) — mean `mean`, shaped like a Poisson burst, built
+/// from bounded integer draws only.
+fn burst_size<R: RngExt>(rng: &mut R, mean: u32) -> u32 {
+    (0..4 * mean)
+        .filter(|_| rng.random_range(0u32..4) == 0)
+        .count() as u32
+}
+
+/// Expand a scenario + seed into its command stream. Pure: same inputs,
+/// byte-identical output, regardless of what any server does.
+pub fn generate(spec: &ScenarioSpec, seed: u64) -> CommandStream {
+    let root = DeriveRng::new(seed);
+    let mut commands = Vec::new();
+    for tick in 0..spec.ticks {
+        let mut rng = root.derive(u64::from(tick)).rng();
+        let factor = 1.0 + spec.diurnal_amplitude * triangle(tick, spec.diurnal_period);
+        let mut load = (spec.base_load as f64 * factor).round() as u32;
+        if spec.burst_prob > 0.0 && rng.random::<f64>() < spec.burst_prob {
+            load += burst_size(&mut rng, spec.burst_mean);
+        }
+        for _ in 0..load {
+            let open_set = spec.open_set_prob > 0.0 && rng.random::<f64>() < spec.open_set_prob;
+            let language = if open_set {
+                NUM_TARGETS + rng.random_range(0u32..u32::from(NUM_LANGUAGES - NUM_TARGETS)) as u8
+            } else {
+                rng.random_range(0u32..u32::from(NUM_TARGETS)) as u8
+            };
+            let second_language = if !open_set
+                && spec.code_switch_prob > 0.0
+                && rng.random::<f64>() < spec.code_switch_prob
+            {
+                // A different target language for the second half.
+                let other = rng.random_range(0u32..u32::from(NUM_TARGETS - 1)) as u8;
+                Some(if other >= language { other + 1 } else { other })
+            } else {
+                None
+            };
+            let snr_db = match spec.drift {
+                Some(d) => {
+                    let t = if spec.ticks > 1 {
+                        tick as f32 / (spec.ticks - 1) as f32
+                    } else {
+                        0.0
+                    };
+                    d.start_snr_db + (d.end_snr_db - d.start_snr_db) * t
+                }
+                None => 12.0 + rng.random_range(0u32..7) as f32, // 12..18 dB
+            };
+            let deadline_ms = if rng.random::<f64>() < spec.short_deadline_frac {
+                spec.short_deadline_ms
+            } else {
+                spec.long_deadline_ms
+            };
+            commands.push(SimCommand::Score {
+                tick,
+                plan: UttPlan {
+                    language,
+                    second_language,
+                    num_frames: spec.utt_frames,
+                    seed: rng.random::<u64>(),
+                    speaker_seed: rng.random::<u64>(),
+                    voa: rng.random::<bool>(),
+                    snr_db,
+                    open_set,
+                },
+                deadline_ms,
+            });
+        }
+        for _ in 0..spec.hostile_per_tick {
+            commands.push(SimCommand::Hostile {
+                tick,
+                case_index: rng.random::<u32>(),
+            });
+        }
+        if let Some((kill_tick, replica)) = spec.kill_replica_at {
+            if kill_tick == tick {
+                commands.push(SimCommand::KillReplica { tick, replica });
+            }
+        }
+        if spec.adapt_at == Some(tick) {
+            commands.push(SimCommand::Adapt { tick });
+        }
+    }
+    CommandStream {
+        scenario: spec.name.to_string(),
+        seed,
+        ticks: spec.ticks,
+        commands,
+    }
+}
+
+/// Bursty diurnal load with hostile clients and a mid-run replica kill —
+/// the "messy Tuesday plus a hardware failure" drill. Run it against a
+/// router fronting ≥ 2 replicas.
+pub fn burst_kill() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "burst-kill",
+        about: "diurnal + bursts + hostile clients, replica killed mid-run",
+        ticks: 8,
+        base_load: 6,
+        diurnal_amplitude: 0.5,
+        diurnal_period: 8,
+        burst_prob: 0.4,
+        burst_mean: 8,
+        hostile_per_tick: 1,
+        short_deadline_frac: 0.3,
+        short_deadline_ms: 250,
+        long_deadline_ms: 5_000,
+        utt_frames: 75,
+        drift: None,
+        code_switch_prob: 0.15,
+        open_set_prob: 0.0,
+        kill_replica_at: Some((4, 1)),
+        adapt_at: None,
+        invariants: InvariantSpec {
+            max_shed_rate: Some(0.5),
+            p99_ms: Some(5_000.0),
+            expect_flight: vec!["eject"],
+            min_completed: 20,
+            ..InvariantSpec::default()
+        },
+    }
+}
+
+/// Channel drift into heavy noise plus open-set traffic, ending in an
+/// adaptation cycle that the guard must reject. Run it against an
+/// adaptation-capable server started with an impossible guard (negative
+/// regression slack) and an open-set threshold.
+pub fn drift_guard() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "drift-guard",
+        about: "SNR drifts 20→0 dB with open-set traffic; guard must reject the adapt",
+        ticks: 6,
+        base_load: 5,
+        diurnal_amplitude: 0.0,
+        diurnal_period: 6,
+        burst_prob: 0.0,
+        burst_mean: 0,
+        hostile_per_tick: 1,
+        short_deadline_frac: 0.0,
+        short_deadline_ms: 250,
+        long_deadline_ms: 10_000,
+        utt_frames: 75,
+        drift: Some(DriftPlan {
+            start_snr_db: 20.0,
+            end_snr_db: 0.0,
+        }),
+        code_switch_prob: 0.1,
+        open_set_prob: 0.3,
+        kill_replica_at: None,
+        adapt_at: Some(5),
+        invariants: InvariantSpec {
+            p99_ms: Some(10_000.0),
+            expect_guard_reject: true,
+            expect_flight: vec!["guard_reject"],
+            min_completed: 15,
+            require_unknown: true,
+            ..InvariantSpec::default()
+        },
+    }
+}
+
+/// A deliberately failing scenario: it demands an `eject` flight event
+/// but never kills anything, so the invariant fails — deterministically,
+/// on the original run and on every `--replay` of it. This is the pinned
+/// proof that a violated invariant reproduces from the exported stream.
+pub fn phantom_eject() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "phantom-eject",
+        about: "deliberate failure: expects an eject that never happens",
+        ticks: 2,
+        base_load: 3,
+        diurnal_amplitude: 0.0,
+        diurnal_period: 2,
+        burst_prob: 0.0,
+        burst_mean: 0,
+        hostile_per_tick: 0,
+        short_deadline_frac: 0.0,
+        short_deadline_ms: 250,
+        long_deadline_ms: 10_000,
+        utt_frames: 75,
+        drift: None,
+        code_switch_prob: 0.0,
+        open_set_prob: 0.0,
+        kill_replica_at: None,
+        adapt_at: None,
+        invariants: InvariantSpec {
+            expect_flight: vec!["eject"],
+            min_completed: 1,
+            ..InvariantSpec::default()
+        },
+    }
+}
+
+/// All built-in scenarios.
+pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
+    vec![burst_kill(), drift_guard(), phantom_eject()]
+}
+
+/// Look a scenario up by its stream-recorded name.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_bytes_different_seed_different_bytes() {
+        let spec = burst_kill();
+        let a = generate(&spec, 42).encode();
+        let b = generate(&spec, 42).encode();
+        assert_eq!(a, b, "generation must be a pure function of the seed");
+        let c = generate(&spec, 43).encode();
+        assert_ne!(a, c, "different seeds must produce different traffic");
+        // The quoted CRC must identify the plan, not the container format
+        // (the CRC of `data ‖ crc(data)` is the same constant for every
+        // sealed artifact — quoting that would prove nothing).
+        assert_ne!(
+            generate(&spec, 42).crc32(),
+            generate(&spec, 43).crc32(),
+            "stream CRC must depend on the plan"
+        );
+        assert_ne!(
+            generate(&spec, 42).crc32(),
+            generate(&drift_guard(), 42).crc32(),
+            "stream CRC must depend on the scenario"
+        );
+    }
+
+    #[test]
+    fn streams_roundtrip_through_the_artifact_container() {
+        for spec in builtin_scenarios() {
+            let stream = generate(&spec, 7);
+            let back = CommandStream::decode(&stream.encode()).expect("decodes");
+            assert_eq!(back, stream, "scenario {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn corrupted_streams_are_typed_errors() {
+        let mut bytes = generate(&burst_kill(), 9).encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(CommandStream::decode(&bytes).is_err(), "bit flip accepted");
+        let truncated = &bytes[..bytes.len() - 8];
+        assert!(
+            CommandStream::decode(truncated).is_err(),
+            "truncation accepted"
+        );
+    }
+
+    #[test]
+    fn language_index_constants_match_the_corpus() {
+        let all = lre_corpus::LanguageId::all();
+        assert_eq!(all.len(), NUM_LANGUAGES as usize);
+        let targets = all.iter().filter(|l| l.target_index().is_some()).count();
+        assert_eq!(targets, NUM_TARGETS as usize);
+        // The out-of-set languages sit at the tail, where open-set plans
+        // draw from.
+        for l in &all[NUM_TARGETS as usize..] {
+            assert!(l.target_index().is_none(), "{l:?} should be out-of-set");
+        }
+    }
+
+    #[test]
+    fn scenario_shapes_hold() {
+        let stream = generate(&burst_kill(), 1);
+        assert!(stream.commands.iter().any(|c| matches!(
+            c,
+            SimCommand::KillReplica {
+                tick: 4,
+                replica: 1
+            }
+        )));
+        let hostiles = stream
+            .commands
+            .iter()
+            .filter(|c| matches!(c, SimCommand::Hostile { .. }))
+            .count();
+        assert_eq!(hostiles, 8, "one hostile per tick");
+
+        let drift = generate(&drift_guard(), 1);
+        assert!(drift
+            .commands
+            .iter()
+            .any(|c| matches!(c, SimCommand::Adapt { tick: 5 })));
+        // SNR drifts monotonically down across ticks.
+        let mut last_snr = f32::INFINITY;
+        for tick in 0..drift.ticks {
+            let snr = drift.commands.iter().find_map(|c| match c {
+                SimCommand::Score { tick: t, plan, .. } if *t == tick => Some(plan.snr_db),
+                _ => None,
+            });
+            if let Some(snr) = snr {
+                assert!(snr <= last_snr, "SNR rose at tick {tick}");
+                last_snr = snr;
+            }
+        }
+        // Open-set traffic exists and uses only out-of-set languages.
+        let open: Vec<_> = drift
+            .commands
+            .iter()
+            .filter_map(|c| match c {
+                SimCommand::Score { plan, .. } if plan.open_set => Some(plan.language),
+                _ => None,
+            })
+            .collect();
+        assert!(!open.is_empty(), "drift-guard sent no open-set traffic");
+        assert!(open.iter().all(|&l| l >= NUM_TARGETS));
+    }
+}

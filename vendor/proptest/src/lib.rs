@@ -1,8 +1,9 @@
 //! Vendored offline stand-in for `proptest`.
 //!
 //! Implements the subset the workspace's property tests use: numeric-range
-//! strategies, `prop::collection::vec`, tuples, `prop_map`, `Just`,
-//! `prop_oneof!`, the `proptest!` macro and `prop_assert!`/`prop_assert_eq!`.
+//! strategies, `any::<T>()` for integers and bool, `prop::collection::vec`,
+//! tuples, `prop_map`, `Just`, `prop_oneof!`, the `proptest!` macro and
+//! `prop_assert!`/`prop_assert_eq!`.
 //! Cases are generated from a fixed seed (deterministic runs); there is no
 //! shrinking — a failing case panics with its inputs' `Debug` rendering so
 //! it can be reproduced by seed.
@@ -66,6 +67,31 @@ impl<T> Strategy for BoxedStrategy<T> {
         (self.inner)(rng)
     }
 }
+
+/// Full-domain strategy, mirroring real proptest's `any::<T>()` for the
+/// integer and bool types the workspace's tests use. Every bit pattern
+/// is reachable (floats are deliberately unimplemented: this stub's
+/// uniform floats live in `[0, 1)`, which would silently narrow
+/// `any::<f32>()` — build full-domain floats from
+/// `any::<u32>().prop_map(f32::from_bits)` instead).
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! impl_any_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_any_strategy!(u8, u16, u32, u64, usize, i32, i64, bool);
 
 /// Always produces a clone of the given value.
 #[derive(Clone, Debug)]
@@ -339,8 +365,8 @@ macro_rules! proptest {
 
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
-        Just, ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -372,6 +398,30 @@ mod tests {
         fn oneof_picks_an_arm(v in prop_oneof![Just(1u8), Just(2u8)]) {
             prop_assert!(v == 1 || v == 2, "got {v}");
         }
+
+    }
+
+    #[test]
+    fn any_covers_both_halves_and_both_bools() {
+        // The full-domain contract: `any` must reach the high half of the
+        // integer domain (a `[0, 1)`-style narrowing would never get there)
+        // and both bool values. 64 draws miss a half with p = 2^-64.
+        use crate::Strategy;
+        let mut runner = crate::TestRunner::new(ProptestConfig::default(), "cover");
+        let ints = crate::any::<u64>();
+        let bools = crate::any::<bool>();
+        let high = (0..64)
+            .filter(|_| ints.generate(runner.rng()) > u64::MAX / 2)
+            .count();
+        assert!(
+            high > 0 && high < 64,
+            "u64 draws all on one side ({high}/64)"
+        );
+        let trues = (0..64).filter(|_| bools.generate(runner.rng())).count();
+        assert!(
+            trues > 0 && trues < 64,
+            "bool draws all one value ({trues}/64)"
+        );
     }
 
     #[test]
