@@ -7,6 +7,7 @@
 //!            [--interval-secs N] [--min-utts N] [--v-threshold N]
 //!            [--guard-max-eer-regress X] [--guard-max-cavg-regress X]
 //!            [--log-capacity N] [--unknown-threshold LLR]
+//!            [--wal-dir DIR] [--wal-fsync-ms N] [--keep-generations N]
 //! ```
 //!
 //! `--interval-secs 0` (the default) disables the background cadence;
@@ -18,15 +19,27 @@
 //! `lre-serve`: replies whose best fused LLR falls below the threshold
 //! are flagged `unknown` — and, critically, are never teed into the vote
 //! log, so alien speech cannot steer adaptation.
+//!
+//! `--wal-dir DIR` makes adaptation state durable: votes tee into a
+//! segmented write-ahead log under `DIR/votes` (fsynced every
+//! `--wal-fsync-ms`, default 50; 0 = fsync inline on every append), and
+//! every served generation's pristine sealed bytes land in the lineage
+//! chain under `DIR/lineage` *before* the hot swap. On restart against
+//! the same `DIR` the daemon replays the vote window, resumes serving
+//! from the chain head (ignoring `--bundle` except to root a fresh
+//! chain), and answers `lre-client --wal-status` / `--rollback-to GEN`.
+//! `--keep-generations N` prunes all but the newest N generations' bytes
+//! after each promote (0 = keep everything).
 
 use lre_adapt::{bundle_checksum, AdaptConfig, AdaptController, AdaptWorker, VoteLog};
 use lre_artifact::ArtifactRead;
 use lre_dba::GuardSet;
 use lre_obs::install_panic_dump;
 use lre_serve::{
-    ScorerHandle, ScoringSystem, ServeObs, Server, ServerConfig, ServerHooks, SystemBundle,
-    DEFAULT_FLIGHT_CAPACITY,
+    vote_wal_options, DurableVoteLog, ScorerHandle, ScoringSystem, ServeObs, Server, ServerConfig,
+    ServerHooks, SystemBundle, DEFAULT_FLIGHT_CAPACITY,
 };
+use lre_wal::{LineageStore, WalObs};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -37,7 +50,8 @@ fn usage(msg: &str) -> ! {
         "error: {msg}\nusage: lre-adaptd --bundle PATH --guard PATH [--addr HOST:PORT] \
          [--workers N] [--max-inflight N] [--max-global-inflight N] [--interval-secs N] \
          [--min-utts N] [--v-threshold N] [--guard-max-eer-regress X] \
-         [--guard-max-cavg-regress X] [--log-capacity N] [--unknown-threshold LLR]"
+         [--guard-max-cavg-regress X] [--log-capacity N] [--unknown-threshold LLR] \
+         [--wal-dir DIR] [--wal-fsync-ms N] [--keep-generations N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +64,9 @@ fn main() {
     let mut adapt = AdaptConfig::default();
     let mut interval_secs = 0u64;
     let mut log_capacity = 4096usize;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut wal_fsync_ms = 50u64;
+    let mut keep_generations = 0usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let parse_num = |args: &[String], i: usize, what: &str| -> usize {
@@ -120,6 +137,20 @@ fn main() {
                 i += 1;
                 log_capacity = parse_num(&args, i, "--log-capacity");
             }
+            "--wal-dir" => {
+                i += 1;
+                wal_dir = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("missing --wal-dir")),
+                ));
+            }
+            "--wal-fsync-ms" => {
+                i += 1;
+                wal_fsync_ms = parse_num(&args, i, "--wal-fsync-ms") as u64;
+            }
+            "--keep-generations" => {
+                i += 1;
+                keep_generations = parse_num(&args, i, "--keep-generations");
+            }
             "--unknown-threshold" => {
                 i += 1;
                 let t = parse_f64(&args, i, "--unknown-threshold") as f32;
@@ -135,7 +166,7 @@ fn main() {
     let bundle_path = bundle_path.unwrap_or_else(|| usage("--bundle is required"));
     let guard_path = guard_path.unwrap_or_else(|| usage("--guard is required"));
 
-    let bytes = match std::fs::read(&bundle_path) {
+    let mut bytes = match std::fs::read(&bundle_path) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("error: reading {}: {e}", bundle_path.display());
@@ -145,7 +176,7 @@ fn main() {
     // The adapting server decodes eagerly: the controller re-decodes the
     // sealed bytes each cycle anyway, and every section must be coherent
     // before generation 0 serves a single request.
-    let bundle = match SystemBundle::from_artifact_bytes(&bytes) {
+    let mut bundle = match SystemBundle::from_artifact_bytes(&bytes) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("error: loading {}: {e}", bundle_path.display());
@@ -174,6 +205,65 @@ fn main() {
     if let Some(t) = cfg.engine.unknown_threshold {
         eprintln!("[adaptd] open-set rejection enabled: best-LLR threshold {t}");
     }
+    // Telemetry: guard verdicts, promotions, rollbacks and WAL activity
+    // land in the flight recorder, which also dumps to stderr on panic.
+    let obs = ServeObs::new(DEFAULT_FLIGHT_CAPACITY);
+    install_panic_dump(&obs.flight);
+
+    // Durable state recovery, before anything serves: if the lineage
+    // chain already has a head, its pristine bytes are the serving
+    // bundle — --bundle only roots a fresh chain. The vote WAL replays
+    // the buffered adaptation window the previous process never drained.
+    let mut durable_parts = None;
+    if let Some(dir) = &wal_dir {
+        let lineage = match LineageStore::open(&dir.join("lineage")) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: opening lineage store under {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        };
+        if let Some(head) = lineage.head().copied() {
+            let head_bytes = match lineage.load(head.generation) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: loading lineage head {}: {e}", head.generation);
+                    std::process::exit(1);
+                }
+            };
+            bundle = match SystemBundle::from_artifact_bytes(&head_bytes) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: decoding lineage head {}: {e}", head.generation);
+                    std::process::exit(1);
+                }
+            };
+            bytes = head_bytes;
+            eprintln!(
+                "[adaptd] resuming from lineage head: generation {} ({} chain entries, {} retained)",
+                head.generation,
+                lineage.entries().len(),
+                lineage.retained()
+            );
+        }
+        let mut opts = vote_wal_options();
+        opts.fsync_interval = Duration::from_millis(wal_fsync_ms);
+        let wal_obs = WalObs::new(&obs.registry, Some(Arc::clone(&obs.flight)));
+        let (durable, recovery) =
+            match DurableVoteLog::open(&dir.join("votes"), log_capacity, opts, Some(wal_obs)) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("error: opening vote WAL under {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            };
+        eprintln!(
+            "[adaptd] vote WAL recovered: {} records replayed, {} torn records skipped",
+            recovery.replayed, recovery.torn
+        );
+        durable_parts = Some((Arc::new(durable), lineage));
+    }
+
     let system = match ScoringSystem::from_bundle(bundle) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -182,22 +272,39 @@ fn main() {
         }
     };
     let handle = Arc::new(ScorerHandle::new(system, bundle_checksum(&bytes)));
-    let log = Arc::new(VoteLog::new(log_capacity));
-    // Telemetry: guard verdicts, promotions and rollbacks land in the
-    // flight recorder, which also dumps to stderr on panic.
-    let obs = ServeObs::new(DEFAULT_FLIGHT_CAPACITY);
-    install_panic_dump(&obs.flight);
-    let controller =
-        match AdaptController::new(Arc::clone(&handle), Arc::clone(&log), guard, bytes, adapt) {
-            Ok(mut c) => {
-                c.set_flight(Arc::clone(&obs.flight));
-                Arc::new(c)
-            }
-            Err(e) => {
-                eprintln!("error: wiring adaptation controller: {e}");
-                std::process::exit(1);
-            }
-        };
+    let (ctl_result, tap, durable_hook) = match durable_parts {
+        Some((durable, lineage)) => (
+            AdaptController::new_durable(
+                Arc::clone(&handle),
+                Arc::clone(&durable),
+                lineage,
+                keep_generations,
+                guard,
+                bytes,
+                adapt,
+            ),
+            durable as Arc<dyn lre_serve::ScoreTap>,
+            true,
+        ),
+        None => {
+            let log = Arc::new(VoteLog::new(log_capacity));
+            (
+                AdaptController::new(Arc::clone(&handle), Arc::clone(&log), guard, bytes, adapt),
+                log as Arc<dyn lre_serve::ScoreTap>,
+                false,
+            )
+        }
+    };
+    let controller = match ctl_result {
+        Ok(mut c) => {
+            c.set_flight(Arc::clone(&obs.flight));
+            Arc::new(c)
+        }
+        Err(e) => {
+            eprintln!("error: wiring adaptation controller: {e}");
+            std::process::exit(1);
+        }
+    };
     let worker = (interval_secs > 0).then(|| {
         AdaptWorker::spawn(
             Arc::clone(&controller),
@@ -223,9 +330,10 @@ fn main() {
         Arc::clone(&handle),
         cfg,
         ServerHooks {
-            tap: Some(log as _),
-            control: Some(controller as _),
+            tap: Some(tap),
+            control: Some(Arc::clone(&controller) as _),
             fleet: None,
+            durability: durable_hook.then(|| Arc::clone(&controller) as _),
             obs: Some(obs),
         },
     ) {

@@ -28,11 +28,14 @@ use lre_corpus::Duration;
 use lre_dba::{build_tr_dba, dba_round_selection, DbaVariant, GuardSet};
 use lre_eval::ScoreMatrix;
 use lre_obs::{FlightRecorder, EV_GUARD_ACCEPT, EV_GUARD_REJECT, EV_ROLLBACK, EV_SWAP};
+use lre_serve::protocol::{STATUS_CONFLICT, STATUS_INTERNAL, STATUS_UNSUPPORTED};
 use lre_serve::{
-    AdaptControl, AdaptReport, ScorerHandle, ScoringSystem, SystemBundle, VersionedScorer, VoteLog,
-    VoteRecord, ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
+    wal_status_info, AdaptControl, AdaptReport, DurabilityControl, DurableVoteLog, ScorerHandle,
+    ScoringSystem, SystemBundle, VersionedScorer, VoteLog, VoteRecord, WalStatusInfo, ADAPT_FAILED,
+    ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
 };
 use lre_svm::OneVsRest;
+use lre_wal::{LineageError, LineageStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration as StdDuration;
@@ -215,16 +218,55 @@ struct CtlState {
     /// generation — rollbacks advance the latter but not the former).
     lineage_generation: u64,
     /// The displaced model retained for rollback: the exact
-    /// [`VersionedScorer`] (and its sealed bytes) that was serving before
-    /// the last promotion.
-    previous: Option<(Arc<VersionedScorer>, Arc<Vec<u8>>)>,
+    /// [`VersionedScorer`] (and its sealed bytes and lineage generation)
+    /// that was serving before the last promotion.
+    previous: Option<(Arc<VersionedScorer>, Arc<Vec<u8>>, u64)>,
+}
+
+/// Where the controller drains its adaptation window from: the plain
+/// in-memory log, or the WAL-backed one (whose drains also logically
+/// truncate the on-disk log).
+enum CtlDrain {
+    Plain(Arc<VoteLog>),
+    Durable(Arc<DurableVoteLog>),
+}
+
+impl CtlDrain {
+    fn drain_at_least(&self, min: usize) -> Result<Vec<VoteRecord>, usize> {
+        match self {
+            CtlDrain::Plain(log) => log.drain_at_least(min),
+            CtlDrain::Durable(log) => log.drain_at_least(min),
+        }
+    }
+}
+
+/// The durable half of a controller: the WAL-backed vote log plus the
+/// generation-lineage chain and its retention policy.
+struct CtlDurability {
+    durable: Arc<DurableVoteLog>,
+    /// The controller's state mutex serializes promotes and deep
+    /// rollbacks; this inner lock only guards status reads racing them.
+    lineage: Mutex<LineageStore>,
+    /// Retained generations after each promote's GC; 0 = unlimited.
+    keep_generations: usize,
+}
+
+/// Lineage failures surfaced through the cycle's artifact-error channel.
+fn lineage_err(e: LineageError) -> ArtifactError {
+    match e {
+        LineageError::Artifact(e) => e,
+        LineageError::UnknownGeneration(_) => ArtifactError::Corrupt("unknown lineage generation"),
+        LineageError::Pruned(_) => ArtifactError::Corrupt("lineage generation pruned"),
+        LineageError::BrokenChain(_) => ArtifactError::Corrupt("lineage chain violation"),
+    }
 }
 
 /// The adaptation controller: owns the cycle logic and the rollback
 /// history for one serving handle.
 pub struct AdaptController {
     handle: Arc<ScorerHandle>,
-    log: Arc<VoteLog>,
+    log: CtlDrain,
+    durability: Option<CtlDurability>,
     guard: GuardSet,
     cfg: AdaptConfig,
     state: Mutex<CtlState>,
@@ -248,6 +290,66 @@ impl AdaptController {
         bundle_bytes: Vec<u8>,
         cfg: AdaptConfig,
     ) -> Result<AdaptController, ArtifactError> {
+        AdaptController::build(handle, CtlDrain::Plain(log), None, guard, bundle_bytes, cfg)
+    }
+
+    /// Like [`AdaptController::new`] but durable: the window drains from a
+    /// WAL-backed vote log, and every promoted generation is sealed into
+    /// the lineage chain *before* it swaps into serving, so
+    /// [`AdaptController::rollback_to`] can restore any retained
+    /// generation bit-identically. Roots the chain with `bundle_bytes` if
+    /// it is empty; if it is not, the serving bundle must be the chain
+    /// head (start from [`LineageStore::head`]'s bytes after a restart).
+    ///
+    /// `keep_generations` bounds the chain's retained bytes: after each
+    /// promote the oldest generations beyond the newest N are pruned
+    /// (0 = keep everything).
+    pub fn new_durable(
+        handle: Arc<ScorerHandle>,
+        durable: Arc<DurableVoteLog>,
+        mut lineage: LineageStore,
+        keep_generations: usize,
+        guard: GuardSet,
+        bundle_bytes: Vec<u8>,
+        cfg: AdaptConfig,
+    ) -> Result<AdaptController, ArtifactError> {
+        match lineage.head() {
+            None => lineage
+                .record_root(&bundle_bytes, {
+                    SystemBundle::from_artifact_bytes(&bundle_bytes)?
+                        .lineage
+                        .generation
+                })
+                .map_err(lineage_err)?,
+            Some(head) if head.checksum != bundle_checksum(&bundle_bytes) => {
+                return Err(ArtifactError::Corrupt(
+                    "serving bundle is not the lineage chain head",
+                ));
+            }
+            Some(_) => {}
+        }
+        AdaptController::build(
+            handle,
+            CtlDrain::Durable(Arc::clone(&durable)),
+            Some(CtlDurability {
+                durable,
+                lineage: Mutex::new(lineage),
+                keep_generations,
+            }),
+            guard,
+            bundle_bytes,
+            cfg,
+        )
+    }
+
+    fn build(
+        handle: Arc<ScorerHandle>,
+        log: CtlDrain,
+        durability: Option<CtlDurability>,
+        guard: GuardSet,
+        bundle_bytes: Vec<u8>,
+        cfg: AdaptConfig,
+    ) -> Result<AdaptController, ArtifactError> {
         let bundle = SystemBundle::from_artifact_bytes(&bundle_bytes)?;
         if bundle.subsystems.len() != guard.num_subsystems() {
             return Err(ArtifactError::Corrupt("guard/bundle subsystem counts"));
@@ -256,6 +358,7 @@ impl AdaptController {
         Ok(AdaptController {
             handle,
             log,
+            durability,
             guard,
             cfg,
             state: Mutex::new(CtlState {
@@ -274,6 +377,12 @@ impl AdaptController {
     /// Attach a flight recorder (call before sharing the controller):
     /// guard verdicts, promotions and rollbacks are recorded as events.
     pub fn set_flight(&mut self, flight: Arc<FlightRecorder>) {
+        if let Some(d) = &self.durability {
+            d.lineage
+                .lock()
+                .expect("lineage store poisoned")
+                .set_flight(Arc::clone(&flight));
+        }
         self.flight = Some(flight);
     }
 
@@ -380,13 +489,45 @@ impl AdaptController {
             );
         }
 
+        // Make the promote durable before it is visible. Generations are
+        // contiguous serve events: if a deep rollback moved serving off
+        // the chain head, the candidate is renumbered to extend the head
+        // (its parent pointer still names the rolled-back generation).
+        // The append lands on disk before the swap, so a bundle is never
+        // served that the chain cannot restore.
+        let mut candidate = candidate;
+        if let Some(d) = &self.durability {
+            let mut lineage = d.lineage.lock().expect("lineage store poisoned");
+            if let Some(head) = lineage.head() {
+                let next = head.generation + 1;
+                if candidate.lineage_generation != next {
+                    let mut bundle = SystemBundle::from_artifact_bytes(&candidate.bytes)?;
+                    bundle.lineage.generation = next;
+                    candidate.bytes = bundle.to_artifact_bytes();
+                    candidate.checksum = bundle_checksum(&candidate.bytes);
+                    candidate.lineage_generation = next;
+                }
+            }
+            lineage
+                .append(
+                    &candidate.bytes,
+                    candidate.lineage_generation,
+                    bundle_checksum(&parent_bytes),
+                    candidate.selected,
+                )
+                .map_err(lineage_err)?;
+            if d.keep_generations > 0 {
+                let _ = lineage.gc(d.keep_generations, None);
+            }
+        }
+
         // Promote atomically: build the scorer from the sealed candidate
         // bytes — the exact decode a fleet replica runs at stage time.
         let system =
             ScoringSystem::from_bundle(SystemBundle::from_artifact_bytes(&candidate.bytes)?)?;
         let displaced = self.handle.current();
         let generation = self.handle.swap(Arc::new(system), candidate.checksum);
-        state.previous = Some((displaced, parent_bytes));
+        state.previous = Some((displaced, parent_bytes, state.lineage_generation));
         state.current_bytes = Arc::new(candidate.bytes);
         state.lineage_generation = candidate.lineage_generation;
         self.promoted.fetch_add(1, Ordering::Relaxed);
@@ -415,14 +556,81 @@ impl AdaptController {
     /// back to (no promotion since startup or since the last rollback).
     pub fn rollback(&self) -> Option<u64> {
         let mut state = self.state.lock().expect("adapt state poisoned");
-        let (scorer, bytes) = state.previous.take()?;
+        let (scorer, bytes, lineage_generation) = state.previous.take()?;
         let generation = self.handle.rollback_to(&scorer);
         state.current_bytes = Arc::clone(&bytes);
-        state.lineage_generation = state.lineage_generation.saturating_sub(1);
+        state.lineage_generation = lineage_generation;
         if let Some(f) = &self.flight {
             f.record(EV_ROLLBACK, "adapt rollback", generation, 0, 0.0, 0.0);
         }
         Some(generation)
+    }
+
+    /// Point-in-time WAL + lineage summary. A controller running without
+    /// a WAL reports the zeroed status (with `chain_ok` vacuously true).
+    pub fn wal_status(&self) -> WalStatusInfo {
+        match &self.durability {
+            Some(d) => {
+                let lineage = d.lineage.lock().expect("lineage store poisoned");
+                wal_status_info(&d.durable.wal().status(), Some(&lineage))
+            }
+            None => WalStatusInfo {
+                chain_ok: true,
+                ..WalStatusInfo::default()
+            },
+        }
+    }
+
+    /// Deep rollback: load generation `generation`'s pristine sealed
+    /// bytes from the lineage chain, rebuild the scorer from them, and
+    /// swap it into serving under a fresh (still monotonic) serving
+    /// generation — scores return `f32::to_bits`-identical to when that
+    /// generation first served. The one-deep [`AdaptController::rollback`]
+    /// history is cleared: it described a promote that is no longer the
+    /// serving model's parent. Returns `(lineage generation, serving
+    /// generation, bundle checksum)`; unknown or pruned generations are
+    /// refused with `STATUS_CONFLICT`.
+    pub fn rollback_to(&self, generation: u64) -> Result<(u64, u64, u32), u8> {
+        let Some(d) = &self.durability else {
+            return Err(STATUS_UNSUPPORTED);
+        };
+        let mut state = self.state.lock().expect("adapt state poisoned");
+        let bytes = {
+            let lineage = d.lineage.lock().expect("lineage store poisoned");
+            lineage.load(generation).map_err(|e| match e {
+                LineageError::UnknownGeneration(_) | LineageError::Pruned(_) => STATUS_CONFLICT,
+                LineageError::Artifact(_) | LineageError::BrokenChain(_) => STATUS_INTERNAL,
+            })?
+        };
+        let system = SystemBundle::from_artifact_bytes(&bytes)
+            .and_then(ScoringSystem::from_bundle)
+            .map_err(|_| STATUS_INTERNAL)?;
+        let checksum = bundle_checksum(&bytes);
+        let serving = self.handle.swap(Arc::new(system), checksum);
+        state.previous = None;
+        state.current_bytes = Arc::new(bytes);
+        state.lineage_generation = generation;
+        if let Some(f) = &self.flight {
+            f.record(
+                EV_ROLLBACK,
+                "deep rollback",
+                serving,
+                u64::from(checksum),
+                0.0,
+                0.0,
+            );
+        }
+        Ok((generation, serving, checksum))
+    }
+}
+
+impl DurabilityControl for AdaptController {
+    fn wal_status(&self) -> WalStatusInfo {
+        AdaptController::wal_status(self)
+    }
+
+    fn rollback_to(&self, generation: u64) -> Result<(u64, u64, u32), u8> {
+        AdaptController::rollback_to(self, generation)
     }
 }
 

@@ -22,11 +22,14 @@ use lre_corpus::{render_utterance, Duration, Scale};
 use lre_dba::{run_dba, DbaVariant, Experiment, ExperimentConfig, GuardSet};
 use lre_eval::ScoreMatrix;
 use lre_serve::client::ScoreReply;
+use lre_serve::protocol::STATUS_CONFLICT;
 use lre_serve::{
-    Client, EngineConfig, ScorerHandle, ScoringSystem, Server, ServerConfig, ServerHooks,
-    SystemBundle, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
+    vote_wal_options, Client, DurableVoteLog, EngineConfig, ScorerHandle, ScoringSystem, Server,
+    ServerConfig, ServerHooks, SystemBundle, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
 };
+use lre_wal::LineageStore;
 use std::net::TcpListener;
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 /// Every utterance is selected at V = 1 (each subsystem always casts one
@@ -173,6 +176,85 @@ fn start_adaptive_server(fx: &Fixture, cfg: AdaptConfig) -> Harness {
         handle,
         controller,
         server,
+    }
+}
+
+/// A durable adapting server over the fixture bundle: votes tee into the
+/// WAL under `dir/votes`, generations seal into `dir/lineage`. Serving
+/// starts from the lineage head when the chain already exists — exactly
+/// the `lre-adaptd --wal-dir` recovery path.
+struct DurableHarness {
+    h: Harness,
+    durable: Arc<DurableVoteLog>,
+    /// Vote records replayed from the WAL at open.
+    replayed: u64,
+    /// Lineage generation serving resumed from (0 on a fresh chain).
+    head: u64,
+}
+
+fn start_durable_server(fx: &Fixture, cfg: AdaptConfig, dir: &Path, keep: usize) -> DurableHarness {
+    let lineage = LineageStore::open(&dir.join("lineage")).expect("lineage opens");
+    let (bytes, head) = match lineage.head().copied() {
+        Some(e) => (
+            lineage.load(e.generation).expect("head loads"),
+            e.generation,
+        ),
+        None => (fx.bytes.clone(), 0),
+    };
+    let bundle = SystemBundle::from_artifact_bytes(&bytes).expect("bundle reloads");
+    let system = Arc::new(ScoringSystem::from_bundle(bundle).expect("bundle is coherent"));
+    let handle = Arc::new(ScorerHandle::new(system, bundle_checksum(&bytes)));
+    let mut opts = vote_wal_options();
+    opts.fsync_interval = std::time::Duration::ZERO; // every append durable
+    let (durable, recovery) =
+        DurableVoteLog::open(&dir.join("votes"), 4096, opts, None).expect("vote WAL opens");
+    let durable = Arc::new(durable);
+    let guard = GuardSet::from_artifact_bytes(&fx.guard_bytes).expect("guard reloads");
+    let controller = Arc::new(
+        AdaptController::new_durable(
+            Arc::clone(&handle),
+            Arc::clone(&durable),
+            lineage,
+            keep,
+            guard,
+            bytes,
+            cfg,
+        )
+        .expect("durable controller wires up"),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = Server::start_adaptive(
+        listener,
+        Arc::clone(&handle),
+        ServerConfig {
+            engine: EngineConfig {
+                workers: 2,
+                max_batch: 4,
+                max_wait: std::time::Duration::from_millis(1),
+                queue_capacity: 64,
+                fast_math: false,
+                unknown_threshold: None,
+            },
+            max_inflight: 8,
+            max_global_inflight: 0,
+        },
+        ServerHooks {
+            tap: Some(Arc::clone(&durable) as _),
+            control: Some(Arc::clone(&controller) as _),
+            durability: Some(Arc::clone(&controller) as _),
+            ..ServerHooks::default()
+        },
+    )
+    .expect("server starts");
+    DurableHarness {
+        h: Harness {
+            handle,
+            controller,
+            server,
+        },
+        durable,
+        replayed: recovery.replayed,
+        head,
     }
 }
 
@@ -346,4 +428,179 @@ fn guard_rejection_leaves_serving_untouched() {
 
     client.shutdown().expect("shutdown acknowledged");
     h.server.join();
+}
+
+#[test]
+#[ignore = "builds the full experiment; run with --release -- --ignored"]
+fn durable_window_survives_restart_and_deep_rollback_restores_bits() {
+    let fx = fixture();
+    let dir = std::env::temp_dir().join(format!("lre_adapt_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = AdaptConfig {
+        v_threshold: V,
+        min_utts: 8,
+        max_eer_regress: f64::INFINITY,
+        max_cavg_regress: f64::INFINITY,
+    };
+
+    // Phase 1: serve the baseline, tee the whole test pool into the WAL,
+    // and stop WITHOUT draining — the un-adapted window is on disk.
+    let total;
+    {
+        let dh = start_durable_server(fx, cfg, &dir, 0);
+        assert_eq!((dh.replayed, dh.head), (0, 0), "fresh directory");
+        let mut client = Client::connect(dh.h.server.local_addr()).expect("client connects");
+        total = drive(
+            &mut client,
+            &fx.waves,
+            &fx.expected_baseline,
+            |_| usize::MAX,
+            "baseline",
+        );
+        let status = client
+            .wal_status()
+            .expect("wal-status round trip")
+            .expect("WAL is mounted");
+        assert_eq!(status.buffered as usize, total, "every vote hit the WAL");
+        assert_eq!(status.lineage_head, 0);
+        assert!(status.chain_ok);
+        client.shutdown().expect("shutdown acknowledged");
+        dh.h.server.join();
+    }
+
+    // Phase 2: restart on the same directory. Replay must rebuild the
+    // window so the cycle drains exactly what phase 1 served, selects
+    // what the offline round selects, and swaps in the same bits.
+    {
+        let dh = start_durable_server(fx, cfg, &dir, 0);
+        assert_eq!(
+            dh.replayed as usize, total,
+            "every teed vote survives the restart"
+        );
+        assert_eq!(dh.head, 0, "nothing promoted yet");
+        let mut client = Client::connect(dh.h.server.local_addr()).expect("client connects");
+        let report = client.adapt().expect("adapt round trip");
+        assert_eq!(report.outcome, ADAPT_PROMOTED, "replayed window promotes");
+        assert_eq!(
+            report.drained as usize, total,
+            "the replayed window drains whole"
+        );
+        assert_eq!(
+            report.selected as usize, fx.offline_selected,
+            "replayed selection must match the offline round's"
+        );
+        drive(
+            &mut client,
+            &fx.waves,
+            &fx.expected_adapted,
+            |_| 2,
+            "adapted-after-restart",
+        );
+        let status = client.wal_status().expect("round trip").expect("mounted");
+        assert_eq!(status.lineage_head, 1);
+        assert_eq!(status.lineage_entries, 2);
+        assert!(status.chain_ok);
+        client.shutdown().expect("shutdown acknowledged");
+        dh.h.server.join();
+    }
+
+    // Phase 3: restart once more (now with a retention budget). Serving
+    // must resume from the lineage head — generation 1, not --bundle —
+    // and a deep rollback to generation 0 must reproduce the baseline
+    // bits exactly.
+    {
+        let dh = start_durable_server(fx, cfg, &dir, 2);
+        assert_eq!(dh.head, 1, "serving resumes from the chain head");
+        let mut client = Client::connect(dh.h.server.local_addr()).expect("client connects");
+        drive(
+            &mut client,
+            &fx.waves,
+            &fx.expected_adapted,
+            |_| 2,
+            "resumed-head",
+        );
+        // Clear the generation-1 votes just teed so the post-rollback
+        // window holds only baseline-scored records (the offline pool).
+        dh.durable.drain_at_least(1).expect("stale window drains");
+        let (restored, serving, checksum) = client
+            .rollback_to(0)
+            .expect("rollback-to round trip")
+            .expect("generation 0 is retained");
+        assert_eq!(restored, 0);
+        assert_eq!(serving, 1, "deep rollback bumps the serving generation");
+        assert_eq!(checksum, bundle_checksum(&fx.bytes));
+        assert_eq!(dh.h.handle.checksum(), bundle_checksum(&fx.bytes));
+        drive(
+            &mut client,
+            &fx.waves,
+            &fx.expected_baseline,
+            |_| usize::MAX,
+            "deep-rolled-back",
+        );
+
+        // Promote after the deep rollback: the candidate is renumbered
+        // onto the chain head (generation 2) with its parent pointer
+        // aimed at generation 0 — and over the same pool and parent it
+        // is the same boosting round, so the adapted bits return.
+        let report = client.adapt().expect("adapt round trip");
+        assert_eq!(report.outcome, ADAPT_PROMOTED);
+        assert_eq!(report.generation, 2, "serving generation after the swap");
+        let cand_bytes = dh.h.controller.current_bundle_bytes();
+        let cand = SystemBundle::from_artifact_bytes(&cand_bytes).expect("candidate reloads");
+        assert_eq!(
+            cand.lineage.generation, 2,
+            "renumbered onto the chain head, not parent+1"
+        );
+        assert_eq!(
+            cand.lineage.parent_checksum,
+            bundle_checksum(&fx.bytes),
+            "parent pointer names the rolled-back generation"
+        );
+        drive(
+            &mut client,
+            &fx.waves,
+            &fx.expected_adapted,
+            |_| 2,
+            "re-promoted",
+        );
+
+        // keep-generations pruned the oldest bytes at the promote: the
+        // chain still validates end to end, but generation 0 is now a
+        // typed refusal (as is a generation that never existed).
+        let status = client.wal_status().expect("round trip").expect("mounted");
+        assert_eq!(status.lineage_head, 2);
+        assert_eq!(status.lineage_entries, 3);
+        assert_eq!(status.lineage_retained, 2);
+        assert!(status.chain_ok);
+        assert_eq!(
+            client.rollback_to(0).expect("round trip"),
+            Err(STATUS_CONFLICT),
+            "pruned generation refused"
+        );
+        assert_eq!(
+            client.rollback_to(99).expect("round trip"),
+            Err(STATUS_CONFLICT),
+            "unknown generation refused"
+        );
+        client.shutdown().expect("shutdown acknowledged");
+        dh.h.server.join();
+    }
+
+    // Phase 4: final restart validates the pruned chain and resumes from
+    // generation 2 bit-identically.
+    {
+        let dh = start_durable_server(fx, cfg, &dir, 0);
+        assert_eq!(dh.head, 2);
+        let mut client = Client::connect(dh.h.server.local_addr()).expect("client connects");
+        drive(
+            &mut client,
+            &fx.waves,
+            &fx.expected_adapted,
+            |_| 2,
+            "resumed-pruned-chain",
+        );
+        client.shutdown().expect("shutdown acknowledged");
+        dh.h.server.join();
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

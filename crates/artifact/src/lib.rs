@@ -405,6 +405,68 @@ pub fn open(bytes: &[u8], kind: [u8; 4], version: u32) -> Result<&[u8], Artifact
     Ok(&bytes[HEADER_LEN..body_end])
 }
 
+/// Validate a sealed container sitting at the *head* of a longer buffer —
+/// the shape of an append-only log where sealed records are concatenated
+/// back to back. Returns the payload slice and the total number of bytes
+/// the container occupies (header + payload + trailer), so callers can
+/// advance to the next record.
+///
+/// Unlike [`open`], trailing bytes are expected and never an error. The
+/// error taxonomy is what log-replay code needs to classify damage:
+///
+/// * [`ArtifactError::Truncated`] — the buffer ends before the declared
+///   container does (header cut short, or `payload length` promises more
+///   bytes than remain). A record torn mid-write by a crash looks exactly
+///   like this.
+/// * [`ArtifactError::ChecksumMismatch`] — all the declared bytes are
+///   present but the CRC trailer disagrees: the tail of the record was
+///   never written (the length field landed but the flush died), or the
+///   media corrupted it.
+/// * `BadMagic` / `WrongKind` / `UnsupportedVersion` — the buffer head is
+///   not a record of the expected type at all; the stream is unframed from
+///   here on.
+pub fn open_prefix(
+    bytes: &[u8],
+    kind: [u8; 4],
+    version: u32,
+) -> Result<(&[u8], usize), ArtifactError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ArtifactError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let found_kind: [u8; 4] = bytes[4..8].try_into().unwrap();
+    if found_kind != kind {
+        return Err(ArtifactError::WrongKind {
+            expected: kind,
+            found: found_kind,
+        });
+    }
+    let found_version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if found_version != version {
+        return Err(ArtifactError::UnsupportedVersion {
+            expected: version,
+            found: found_version,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let total = (HEADER_LEN as u64)
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(TRAILER_LEN as u64))
+        .ok_or(ArtifactError::Truncated)?;
+    if (bytes.len() as u64) < total {
+        return Err(ArtifactError::Truncated);
+    }
+    let total = total as usize;
+    let body_end = total - TRAILER_LEN;
+    let stored_crc = u32::from_le_bytes(bytes[body_end..total].try_into().unwrap());
+    if crc32(&bytes[..body_end]) != stored_crc {
+        return Err(ArtifactError::ChecksumMismatch);
+    }
+    Ok((&bytes[HEADER_LEN..body_end], total))
+}
+
 // ------------------------------------------------------------------ traits
 
 /// A type that can serialize itself into a sealed artifact container.
@@ -716,6 +778,63 @@ mod tests {
         assert!(matches!(
             Point::from_artifact_bytes(&sealed),
             Err(ArtifactError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn open_prefix_walks_concatenated_records() {
+        let mut log = Vec::new();
+        let payloads: [&[u8]; 3] = [b"first", b"second record", b""];
+        for p in payloads {
+            log.extend_from_slice(&seal(*b"TEST", 1, p));
+        }
+        let mut at = 0;
+        for p in payloads {
+            let (payload, used) = open_prefix(&log[at..], *b"TEST", 1).unwrap();
+            assert_eq!(payload, p);
+            at += used;
+        }
+        assert_eq!(at, log.len());
+        // An exhausted buffer reads as a (zero-byte) torn record.
+        assert!(matches!(
+            open_prefix(&log[at..], *b"TEST", 1),
+            Err(ArtifactError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn open_prefix_classifies_a_torn_tail() {
+        let sealed = seal(*b"TEST", 1, b"torn tail record payload");
+        // Partial record: every cut inside the declared extent is Truncated,
+        // even when a full header promises the rest.
+        for cut in 0..sealed.len() {
+            assert!(
+                matches!(
+                    open_prefix(&sealed[..cut], *b"TEST", 1),
+                    Err(ArtifactError::Truncated)
+                ),
+                "cut at {cut} of {}",
+                sealed.len()
+            );
+        }
+        // Truncated trailer that got zero-padded to the declared length
+        // (e.g. a filesystem extending the file without the data landing):
+        // all bytes present, CRC disagrees.
+        let mut padded = sealed[..sealed.len() - TRAILER_LEN].to_vec();
+        padded.extend_from_slice(&[0u8; TRAILER_LEN]);
+        assert!(matches!(
+            open_prefix(&padded, *b"TEST", 1),
+            Err(ArtifactError::ChecksumMismatch)
+        ));
+        // Garbage after a valid record must not disturb the record itself.
+        let mut followed = sealed.clone();
+        followed.extend_from_slice(b"\xFF\xFF junk that is not a header");
+        let (payload, used) = open_prefix(&followed, *b"TEST", 1).unwrap();
+        assert_eq!(payload, b"torn tail record payload");
+        assert_eq!(used, sealed.len());
+        assert!(matches!(
+            open_prefix(&followed[used..], *b"TEST", 1),
+            Err(ArtifactError::BadMagic)
         ));
     }
 

@@ -35,6 +35,15 @@ pub const EV_ROLLBACK: u8 = 6;
 pub const EV_SHED: u8 = 7;
 /// An accepted request expired before a worker reached it.
 pub const EV_DEADLINE: u8 = 8;
+/// A write-ahead-log segment was sealed (`a` = segment id, `b` = raw
+/// bytes, `x` = sealed bytes after compression).
+pub const EV_WAL_SEAL: u8 = 9;
+/// Write-ahead-log garbage collection reclaimed state (`a` = segments
+/// or generations removed, `b` = bytes reclaimed).
+pub const EV_WAL_GC: u8 = 10;
+/// Crash recovery replayed a write-ahead log (`a` = records replayed,
+/// `b` = torn tail records skipped).
+pub const EV_WAL_RECOVER: u8 = 11;
 
 /// Stable human name for an event kind (`"unknown"` for anything else,
 /// so a newer peer's events still print).
@@ -48,6 +57,9 @@ pub fn event_name(kind: u8) -> &'static str {
         EV_ROLLBACK => "rollback",
         EV_SHED => "shed",
         EV_DEADLINE => "deadline",
+        EV_WAL_SEAL => "wal_seal",
+        EV_WAL_GC => "wal_gc",
+        EV_WAL_RECOVER => "wal_recover",
         _ => "unknown",
     }
 }
@@ -274,6 +286,9 @@ mod tests {
             EV_ROLLBACK,
             EV_SHED,
             EV_DEADLINE,
+            EV_WAL_SEAL,
+            EV_WAL_GC,
+            EV_WAL_RECOVER,
         ] {
             assert_ne!(event_name(kind), "unknown");
         }

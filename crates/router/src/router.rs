@@ -541,12 +541,36 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 };
                 encode_rollback_ok(rolled, generation)
             }
+            // WAL status is observability: proxy it to the first healthy
+            // backend that has a WAL (typically the adapt coordinator)
+            // and forward its reply verbatim.
+            Ok(Request::WalStatus) => {
+                let mut reply = encode_status(STATUS_UNSUPPORTED);
+                for b in shared.backends.iter().filter(|b| b.is_healthy()) {
+                    if let Ok(frame) =
+                        probe_round_trip(&b.addr, &Request::WalStatus, shared.probe_timeout)
+                    {
+                        if matches!(
+                            lre_serve::protocol::decode_wal_status_reply(&frame),
+                            Ok(Ok(_))
+                        ) {
+                            reply = frame;
+                            break;
+                        }
+                    }
+                }
+                reply
+            }
             // Replica-level rollout tags terminate at the replicas; the
-            // router *is* their coordinator and does not proxy them.
+            // router *is* their coordinator and does not proxy them. Deep
+            // rollback joins them: restoring a lineage generation is an
+            // action against the durable adapt coordinator, not something
+            // to mirror blindly across stateless replicas.
             Ok(Request::DrainVotes { .. })
             | Ok(Request::StageBundle { .. })
             | Ok(Request::CommitStaged)
-            | Ok(Request::AbortStaged) => encode_status(STATUS_UNSUPPORTED),
+            | Ok(Request::AbortStaged)
+            | Ok(Request::RollbackTo { .. }) => encode_status(STATUS_UNSUPPORTED),
             Ok(Request::Shutdown) => {
                 // Ack, propagate to the fleet best-effort, stop routing.
                 let _ = reply_tx.send(encode_status(STATUS_OK));

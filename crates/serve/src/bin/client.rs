@@ -9,7 +9,15 @@
 //!            [--ping] [--rollback] [--tolerate-failures]
 //!            [--traced] [--metrics] [--metrics-json]
 //!            [--flight] [--flight-drain]
+//!            [--wal-status] [--rollback-to GEN]
 //! ```
+//!
+//! `--wal-status` prints the peer's write-ahead-log and generation-
+//! lineage summary (buffered votes, segments, replay counts, lineage
+//! chain) and exits non-zero against a peer running without `--wal-dir`.
+//! `--rollback-to GEN` asks the peer to restore lineage generation GEN
+//! into serving (a *deep* rollback — any retained generation, not just
+//! the previous one). See `docs/DURABILITY.md`.
 //!
 //! `--adapt` asks the server to run one adaptation cycle (after any
 //! scoring) and prints the report — outcome, serving generation, selection
@@ -57,7 +65,8 @@ fn usage(msg: &str) -> ! {
          [--seed N] [--duration 30s|10s|3s] [--inflight N] [--deadline-ms N] \
          [--verify --bundle PATH] [--stats] [--fuzz] [--adapt] [--shutdown] \
          [--ping] [--rollback] [--tolerate-failures] [--traced] \
-         [--metrics] [--metrics-json] [--flight] [--flight-drain]"
+         [--metrics] [--metrics-json] [--flight] [--flight-drain] \
+         [--wal-status] [--rollback-to GEN]"
     );
     std::process::exit(2);
 }
@@ -193,6 +202,8 @@ fn main() {
     let mut metrics_json = false;
     let mut flight = false;
     let mut flight_drain = false;
+    let mut wal_status = false;
+    let mut rollback_to: Option<u64> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -274,6 +285,15 @@ fn main() {
                 flight = true;
                 flight_drain = true;
             }
+            "--wal-status" => wal_status = true,
+            "--rollback-to" => {
+                i += 1;
+                rollback_to = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("bad --rollback-to (generation number)")),
+                );
+            }
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -282,7 +302,7 @@ fn main() {
     // A telemetry scrape observes without perturbing: unless --utts was
     // given explicitly, --metrics/--flight skip the default scoring pass
     // so the scraped counters reflect only the server's real traffic.
-    let utts = utts.unwrap_or(if metrics || metrics_json || flight {
+    let utts = utts.unwrap_or(if metrics || metrics_json || flight || wal_status {
         0
     } else {
         10
@@ -578,6 +598,61 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: flight request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if wal_status {
+        let mut client = connect_with_retry(&addr, || Client::connect(&addr));
+        match client.wal_status() {
+            Ok(Some(w)) => {
+                // One parseable line; CI's crash-recovery drill greps it.
+                println!(
+                    "wal-status: appended={} low_water={} buffered={} segments={} \
+                     sealed_segments={} replayed={} torn={} fsyncs={} lineage_head={} \
+                     lineage_entries={} lineage_retained={} lineage_bytes={} chain_ok={}",
+                    w.appended,
+                    w.low_water,
+                    w.buffered,
+                    w.segments,
+                    w.sealed_segments,
+                    w.replayed,
+                    w.torn,
+                    w.fsyncs,
+                    w.lineage_head,
+                    w.lineage_entries,
+                    w.lineage_retained,
+                    w.lineage_bytes,
+                    w.chain_ok
+                );
+            }
+            Ok(None) => {
+                eprintln!("error: peer runs without a WAL (wal-status unsupported)");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: wal-status request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(generation) = rollback_to {
+        let mut client = connect_with_retry(&addr, || Client::connect(&addr));
+        match client.rollback_to(generation) {
+            Ok(Ok((restored, serving, checksum))) => {
+                println!(
+                    "rollback-to: restored={restored} serving_generation={serving} \
+                     checksum={checksum:#010x}"
+                );
+            }
+            Ok(Err(s)) => {
+                eprintln!("error: rollback-to refused (status {s})");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: rollback-to request failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -33,14 +33,23 @@
 //! fleet-rollout protocol tags — vote drain, stage/commit/abort,
 //! rollback — are answered, so an `lre-router` can coordinate fleet-wide
 //! adaptation. Without it those tags are refused `STATUS_UNSUPPORTED`.
+//!
+//! `--wal-dir DIR` (fleet mode) makes the vote log durable: every
+//! admitted vote is teed into a segmented write-ahead log under `DIR`,
+//! replayed into the buffer on restart, and truncated by a router drain.
+//! `--wal-fsync-ms N` sets the fsync batching interval (0 = fsync every
+//! append; default 50). The `wal-status` protocol tag reports the log's
+//! state. See `docs/DURABILITY.md`.
 
 use lre_artifact::{crc32, ArtifactRead};
 use lre_dba::ScoringMode;
 use lre_obs::install_panic_dump;
 use lre_serve::{
-    FleetReplica, LazyBundle, ScorerHandle, ScoringSystem, ServeObs, Server, ServerConfig,
-    ServerHooks, SystemBundle, VoteLog, DEFAULT_FLIGHT_CAPACITY,
+    vote_wal_options, DurableVoteLog, FleetReplica, LazyBundle, ScorerHandle, ScoringSystem,
+    ServeObs, Server, ServerConfig, ServerHooks, SystemBundle, VoteLog, WalOnlyDurability,
+    DEFAULT_FLIGHT_CAPACITY,
 };
+use lre_wal::WalObs;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -51,7 +60,7 @@ fn usage(msg: &str) -> ! {
         "error: {msg}\nusage: lre-serve --bundle PATH [--addr HOST:PORT] [--workers N] \
          [--max-batch N] [--max-wait-ms N] [--queue N] [--max-inflight N] \
          [--max-global-inflight N] [--lazy] [--fast-math] [--fleet] [--votelog N] \
-         [--unknown-threshold LLR]"
+         [--wal-dir DIR] [--wal-fsync-ms N] [--unknown-threshold LLR]"
     );
     std::process::exit(2);
 }
@@ -78,6 +87,8 @@ fn main() {
     let mut fast_math = false;
     let mut fleet = false;
     let mut votelog_capacity = 4096usize;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut wal_fsync_ms = 50u64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let parse_num = |args: &[String], i: usize, what: &str| -> usize {
@@ -141,6 +152,19 @@ fn main() {
             "--votelog" => {
                 i += 1;
                 votelog_capacity = parse_num(&args, i, "--votelog");
+            }
+            "--wal-dir" => {
+                i += 1;
+                wal_dir = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("missing --wal-dir")),
+                ));
+            }
+            "--wal-fsync-ms" => {
+                i += 1;
+                wal_fsync_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --wal-fsync-ms (integer)"));
             }
             other => usage(&format!("unknown argument {other}")),
         }
@@ -221,27 +245,75 @@ fn main() {
             }
         };
         let handle = Arc::new(ScorerHandle::new(system, checksum));
-        let log = Arc::new(VoteLog::new(votelog_capacity));
-        let mut replica = FleetReplica::new(Arc::clone(&handle), Arc::clone(&log), fast_math);
-        // Commits and rollbacks land in the flight recorder.
-        replica.set_flight(Arc::clone(&obs.flight));
-        let replica = Arc::new(replica);
         eprintln!(
             "[serve] fleet replica mode: vote log capacity {votelog_capacity}, \
              bundle checksum {checksum:#010x}"
         );
-        Server::start_adaptive(
-            listener,
-            handle,
-            cfg,
-            ServerHooks {
-                tap: Some(log as _),
-                control: None,
-                fleet: Some(replica as _),
-                obs: Some(obs),
-            },
-        )
+        if let Some(dir) = &wal_dir {
+            // Durable replica: votes survive a crash, drains truncate the
+            // WAL, and the wal-status tag answers from it.
+            let mut opts = vote_wal_options();
+            opts.fsync_interval = Duration::from_millis(wal_fsync_ms);
+            let wal_obs = WalObs::new(&obs.registry, Some(Arc::clone(&obs.flight)));
+            let (log, recovery) =
+                match DurableVoteLog::open(dir, votelog_capacity, opts, Some(wal_obs)) {
+                    Ok(ok) => ok,
+                    Err(e) => {
+                        eprintln!("error: opening WAL at {}: {e}", dir.display());
+                        std::process::exit(1);
+                    }
+                };
+            let log = Arc::new(log);
+            eprintln!(
+                "[serve] vote WAL at {}: replayed {} records ({} torn skipped), \
+                 fsync every {wal_fsync_ms} ms",
+                dir.display(),
+                recovery.replayed,
+                recovery.torn
+            );
+            let mut replica =
+                FleetReplica::new_durable(Arc::clone(&handle), Arc::clone(&log), fast_math);
+            replica.set_flight(Arc::clone(&obs.flight));
+            let replica = Arc::new(replica);
+            let durability = Arc::new(WalOnlyDurability::new(Arc::clone(&log)));
+            Server::start_adaptive(
+                listener,
+                handle,
+                cfg,
+                ServerHooks {
+                    tap: Some(log as _),
+                    control: None,
+                    fleet: Some(replica as _),
+                    durability: Some(durability as _),
+                    obs: Some(obs),
+                },
+            )
+        } else {
+            let log = Arc::new(VoteLog::new(votelog_capacity));
+            let mut replica = FleetReplica::new(Arc::clone(&handle), Arc::clone(&log), fast_math);
+            // Commits and rollbacks land in the flight recorder.
+            replica.set_flight(Arc::clone(&obs.flight));
+            let replica = Arc::new(replica);
+            Server::start_adaptive(
+                listener,
+                handle,
+                cfg,
+                ServerHooks {
+                    tap: Some(log as _),
+                    control: None,
+                    fleet: Some(replica as _),
+                    durability: None,
+                    obs: Some(obs),
+                },
+            )
+        }
     } else {
+        if wal_dir.is_some() {
+            eprintln!(
+                "[serve] note: --wal-dir only applies with --fleet \
+                 (use lre-adaptd for a durable single adapting server)"
+            );
+        }
         Server::start_adaptive(
             listener,
             Arc::new(ScorerHandle::new(system, 0)),

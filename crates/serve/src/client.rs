@@ -10,11 +10,11 @@ use crate::engine::{ScoredUtt, StatsSnapshot};
 use crate::protocol::{
     decode_abort_reply, decode_adapt_reply, decode_commit_reply, decode_drain_reply,
     decode_fleet_stats_reply, decode_flight_reply, decode_metrics_reply, decode_ping_reply,
-    decode_rollback_reply, decode_score_reply, decode_score_reply_traced, decode_score_reply_v2,
-    decode_stage_reply, decode_stats_reply, decode_stats_reply_v2, encode_request, read_frame,
-    write_frame, AdaptReport, DrainReply, FleetStats, PingReport, Request,
-    STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN,
-    STATUS_UNSUPPORTED,
+    decode_rollback_reply, decode_rollback_to_reply, decode_score_reply, decode_score_reply_traced,
+    decode_score_reply_v2, decode_stage_reply, decode_stats_reply, decode_stats_reply_v2,
+    decode_wal_status_reply, encode_request, read_frame, write_frame, AdaptReport, DrainReply,
+    FleetStats, PingReport, Request, WalStatusInfo, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL,
+    STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
 };
 use lre_obs::{FlightEvent, MetricValue};
 use std::io;
@@ -177,6 +177,27 @@ impl Client {
             Ok(r) => Ok(r),
             Err(s) => Err(proto_err(&format!("rollback refused (status {s})"))),
         }
+    }
+
+    /// The peer's WAL + lineage summary. `Ok(None)` when the peer runs
+    /// without a durability hook (no `--wal-dir`).
+    pub fn wal_status(&mut self) -> io::Result<Option<WalStatusInfo>> {
+        let reply = self.round_trip(&Request::WalStatus)?;
+        match decode_wal_status_reply(&reply).map_err(|e| proto_err(&e.to_string()))? {
+            Ok(info) => Ok(Some(info)),
+            Err(STATUS_UNSUPPORTED) => Ok(None),
+            Err(s) => Err(proto_err(&format!("wal-status refused (status {s})"))),
+        }
+    }
+
+    /// Deep rollback: restore lineage generation `generation` into
+    /// serving. `Ok` carries `(lineage generation restored, serving
+    /// generation afterwards, bundle checksum)`; `Err(status)` a typed
+    /// refusal (unknown/pruned generation, or a peer without a lineage
+    /// store).
+    pub fn rollback_to(&mut self, generation: u64) -> io::Result<Result<(u64, u64, u32), u8>> {
+        let reply = self.round_trip(&Request::RollbackTo { generation })?;
+        decode_rollback_to_reply(&reply).map_err(|e| proto_err(&e.to_string()))
     }
 
     /// Score one utterance with tracing: the reply's `span` carries the

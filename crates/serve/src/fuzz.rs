@@ -10,8 +10,8 @@
 
 use crate::protocol::{
     encode_request, read_frame, write_frame, Request, MAX_FRAME_LEN, REQ_ADAPT, REQ_DRAIN_VOTES,
-    REQ_FLEET_STATS, REQ_FLIGHT, REQ_PING, REQ_SCORE, REQ_SCORE_V2, REQ_SHUTDOWN, REQ_STAGE_BUNDLE,
-    REQ_STATS_V2, REQ_STATS_V3, STATUS_BAD_REQUEST, STATUS_OK,
+    REQ_FLEET_STATS, REQ_FLIGHT, REQ_PING, REQ_ROLLBACK_TO, REQ_SCORE, REQ_SCORE_V2, REQ_SHUTDOWN,
+    REQ_STAGE_BUNDLE, REQ_STATS_V2, REQ_STATS_V3, REQ_WAL_STATUS, STATUS_BAD_REQUEST, STATUS_OK,
 };
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
@@ -183,6 +183,22 @@ pub fn malformed_corpus() -> Vec<FuzzCase> {
             "traced score with truncated trace id",
             truncated(&score_traced, 17),
         ),
+        // Must be refused as malformed, NOT answered with a WAL summary:
+        // wal-status carries no body at all.
+        framed("wal-status with trailing junk", vec![REQ_WAL_STATUS, 1]),
+        // A deep rollback names a u64 generation; a short one is a torn
+        // stream, and executing a guessed rollback would swap a model on
+        // corrupted evidence.
+        framed(
+            "rollback-to with truncated generation",
+            vec![REQ_ROLLBACK_TO, 3, 0, 0],
+        ),
+        framed("rollback-to with no body", vec![REQ_ROLLBACK_TO]),
+        framed("rollback-to with trailing junk", {
+            let mut b = encode_request(&Request::RollbackTo { generation: 2 });
+            b.push(0xEE);
+            b
+        }),
         framed(
             "deterministic garbage",
             (0..64u8)

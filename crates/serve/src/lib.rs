@@ -45,6 +45,7 @@
 
 pub mod bundle;
 pub mod client;
+pub mod durability;
 pub mod engine;
 pub mod fuzz;
 pub mod obs;
@@ -58,11 +59,15 @@ pub mod votelog;
 
 pub use bundle::{LazyBundle, Lineage, SubsystemBundle, SystemBundle};
 pub use client::{Client, PipelinedClient, ScoreReply};
+pub use durability::{
+    vote_wal_options, wal_status_info, DurabilityControl, DurableVoteLog, VoteRecovery,
+    WalOnlyDurability,
+};
 pub use engine::{decision, Engine, EngineConfig, Outcome, ScoredUtt, StatsSnapshot, SubmitError};
 pub use obs::{ServeObs, DEFAULT_FLIGHT_CAPACITY};
 pub use protocol::{
     read_frame, write_frame, AdaptReport, DrainReply, FleetStats, PingReport, ReplicaStat, Request,
-    ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
+    WalStatusInfo, ADAPT_FAILED, ADAPT_INSUFFICIENT_DATA, ADAPT_PROMOTED, ADAPT_REJECTED_GUARD,
 };
 pub use queue::BoundedQueue;
 pub use rollout::{FleetControl, FleetReplica};

@@ -88,6 +88,16 @@ pub const REQ_FLIGHT: u8 = 15;
 /// score body. A zero trace id asks the server to mint one. The request
 /// id stays at bytes 1..9 — the router's id-splicing works unchanged.
 pub const REQ_SCORE_TRACED: u8 = 16;
+/// Report the durability tier's state: write-ahead-log watermarks,
+/// segment counts, replay/torn counters from the last recovery, and the
+/// generation-lineage chain summary. Empty body. Servers running without
+/// a WAL refuse it `STATUS_UNSUPPORTED`.
+pub const REQ_WAL_STATUS: u8 = 17;
+/// Deep rollback: restore a specific previously served generation from
+/// the lineage store, bit-identically. Body: `u64` generation. Refused
+/// `STATUS_CONFLICT` when the generation is unknown or its bytes were
+/// garbage-collected, `STATUS_UNSUPPORTED` without a lineage store.
+pub const REQ_ROLLBACK_TO: u8 = 18;
 
 pub const STATUS_OK: u8 = 0;
 pub const STATUS_OVERLOADED: u8 = 1;
@@ -169,6 +179,10 @@ pub enum Request {
         trace_id: u64,
         samples: Vec<f32>,
     },
+    /// Report WAL + lineage durability state ([`WalStatusInfo`] reply).
+    WalStatus,
+    /// Restore a specific retained generation from the lineage store.
+    RollbackTo { generation: u64 },
 }
 
 /// How a requested adaptation cycle ended.
@@ -280,6 +294,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.put_u64(*trace_id);
             w.put_f32_slice(samples);
         }
+        Request::WalStatus => w.put_u8(REQ_WAL_STATUS),
+        Request::RollbackTo { generation } => {
+            w.put_u8(REQ_ROLLBACK_TO);
+            w.put_u64(*generation);
+        }
     }
     w.into_bytes()
 }
@@ -332,6 +351,10 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ArtifactError> {
             deadline_ms: r.get_u32()?,
             trace_id: r.get_u64()?,
             samples: r.get_f32_slice()?,
+        },
+        REQ_WAL_STATUS => Request::WalStatus,
+        REQ_ROLLBACK_TO => Request::RollbackTo {
+            generation: r.get_u64()?,
         },
         _ => return Err(ArtifactError::Corrupt("unknown request tag")),
     };
@@ -875,6 +898,126 @@ pub fn decode_rollback_reply(bytes: &[u8]) -> Result<Result<(bool, u64), u8>, Ar
     Ok(Ok((rolled, generation)))
 }
 
+/// The durability tier's state: WAL watermarks and recovery counters
+/// plus the generation-lineage chain summary ([`Request::WalStatus`]
+/// reply body). Replicas without a lineage store report zeroed lineage
+/// fields with `chain_ok` true (an empty chain is a sound chain).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStatusInfo {
+    /// Total vote records ever appended (the WAL's next sequence number).
+    pub appended: u64,
+    /// First sequence number still logically in the log.
+    pub low_water: u64,
+    /// Records currently buffered in the WAL (`appended - low_water`).
+    pub buffered: u64,
+    /// Live segment files, open + sealed.
+    pub segments: u64,
+    /// Of those, sealed (compressed, immutable).
+    pub sealed_segments: u64,
+    /// Records replayed by this process's crash recovery.
+    pub replayed: u64,
+    /// Torn tail records skipped by this process's crash recovery.
+    pub torn: u64,
+    /// fsyncs issued since this process opened the WAL.
+    pub fsyncs: u64,
+    /// Newest generation in the lineage chain.
+    pub lineage_head: u64,
+    /// Chain entries, pruned included.
+    pub lineage_entries: u32,
+    /// Entries whose sealed bundle bytes are still on disk.
+    pub lineage_retained: u32,
+    /// Bytes held by retained generations.
+    pub lineage_bytes: u64,
+    /// Whether the chain validated (contiguous, acyclic, files present).
+    pub chain_ok: bool,
+}
+
+/// A wal-status reply body.
+pub fn encode_wal_status_ok(info: &WalStatusInfo) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u64(info.appended);
+    w.put_u64(info.low_water);
+    w.put_u64(info.buffered);
+    w.put_u64(info.segments);
+    w.put_u64(info.sealed_segments);
+    w.put_u64(info.replayed);
+    w.put_u64(info.torn);
+    w.put_u64(info.fsyncs);
+    w.put_u64(info.lineage_head);
+    w.put_u32(info.lineage_entries);
+    w.put_u32(info.lineage_retained);
+    w.put_u64(info.lineage_bytes);
+    w.put_u8(u8::from(info.chain_ok));
+    w.into_bytes()
+}
+
+/// `Ok(Ok(info))` on success, `Ok(Err(status))` on a refusal (notably
+/// [`STATUS_UNSUPPORTED`] from a server running without a WAL).
+pub fn decode_wal_status_reply(bytes: &[u8]) -> Result<Result<WalStatusInfo, u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let info = WalStatusInfo {
+        appended: r.get_u64()?,
+        low_water: r.get_u64()?,
+        buffered: r.get_u64()?,
+        segments: r.get_u64()?,
+        sealed_segments: r.get_u64()?,
+        replayed: r.get_u64()?,
+        torn: r.get_u64()?,
+        fsyncs: r.get_u64()?,
+        lineage_head: r.get_u64()?,
+        lineage_entries: r.get_u32()?,
+        lineage_retained: r.get_u32()?,
+        lineage_bytes: r.get_u64()?,
+        chain_ok: match r.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(ArtifactError::Corrupt("chain_ok flag out of range")),
+        },
+    };
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok(info))
+}
+
+/// A deep-rollback acknowledgement: the requested generation is serving
+/// again; `generation` is the (monotonic) serving generation counter
+/// afterwards, `restored` the lineage generation that was restored, and
+/// `checksum` its bundle checksum — the coordinator checks it against
+/// the chain entry it asked for.
+pub fn encode_rollback_to_ok(generation: u64, restored: u64, checksum: u32) -> Vec<u8> {
+    let mut w = ArtifactWriter::new();
+    w.put_u8(STATUS_OK);
+    w.put_u64(generation);
+    w.put_u64(restored);
+    w.put_u32(checksum);
+    w.into_bytes()
+}
+
+/// `Ok(Ok((generation, restored, checksum)))` on success, `Ok(Err(status))`
+/// on a refusal ([`STATUS_CONFLICT`] for unknown or pruned generations).
+pub fn decode_rollback_to_reply(
+    bytes: &[u8],
+) -> Result<Result<(u64, u64, u32), u8>, ArtifactError> {
+    let mut r = ArtifactReader::new(bytes);
+    let status = r.get_u8()?;
+    if status != STATUS_OK {
+        return Ok(Err(status));
+    }
+    let generation = r.get_u64()?;
+    let restored = r.get_u64()?;
+    let checksum = r.get_u32()?;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::TrailingBytes);
+    }
+    Ok(Ok((generation, restored, checksum)))
+}
+
 /// One replica's row in a fleet-stats breakdown.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplicaStat {
@@ -1118,6 +1261,9 @@ mod tests {
                 trace_id: 0xCAFE,
                 samples: vec![0.25, -0.5],
             },
+            Request::WalStatus,
+            Request::RollbackTo { generation: 7 },
+            Request::RollbackTo { generation: 0 },
         ] {
             let back = decode_request(&encode_request(&req)).unwrap();
             // NaN breaks derived PartialEq; compare the sample bits instead.
@@ -1567,6 +1713,58 @@ mod tests {
         let mut bad = encode_abort_ok(true);
         bad[1] = 3;
         assert!(decode_abort_reply(&bad).is_err());
+    }
+
+    #[test]
+    fn wal_status_and_rollback_to_reply_roundtrip() {
+        let info = WalStatusInfo {
+            appended: 1234,
+            low_water: 1000,
+            buffered: 234,
+            segments: 3,
+            sealed_segments: 2,
+            replayed: 900,
+            torn: 1,
+            fsyncs: 55,
+            lineage_head: 6,
+            lineage_entries: 7,
+            lineage_retained: 4,
+            lineage_bytes: 32_768,
+            chain_ok: true,
+        };
+        assert_eq!(
+            decode_wal_status_reply(&encode_wal_status_ok(&info))
+                .unwrap()
+                .unwrap(),
+            info
+        );
+        assert_eq!(
+            decode_wal_status_reply(&encode_status(STATUS_UNSUPPORTED)).unwrap(),
+            Err(STATUS_UNSUPPORTED)
+        );
+        // Truncation and trailing bytes are typed errors.
+        let mut cut = encode_wal_status_ok(&info);
+        cut.truncate(cut.len() - 1);
+        assert!(decode_wal_status_reply(&cut).is_err());
+        let mut long = encode_wal_status_ok(&info);
+        long.push(0);
+        assert!(decode_wal_status_reply(&long).is_err());
+        // So is an out-of-range chain_ok flag.
+        let mut bad = encode_wal_status_ok(&info);
+        *bad.last_mut().unwrap() = 9;
+        assert!(decode_wal_status_reply(&bad).is_err());
+
+        assert_eq!(
+            decode_rollback_to_reply(&encode_rollback_to_ok(4, 9, 0xC0FFEE)).unwrap(),
+            Ok((4, 9, 0xC0FFEE))
+        );
+        assert_eq!(
+            decode_rollback_to_reply(&encode_status(STATUS_CONFLICT)).unwrap(),
+            Err(STATUS_CONFLICT)
+        );
+        let mut cut = encode_rollback_to_ok(4, 9, 1);
+        cut.truncate(cut.len() - 2);
+        assert!(decode_rollback_to_reply(&cut).is_err());
     }
 
     #[test]

@@ -31,10 +31,11 @@
 //! meaningful at fleet scope.
 
 use crate::bundle::SystemBundle;
+use crate::durability::DurableVoteLog;
 use crate::protocol::{DrainReply, STATUS_CONFLICT};
 use crate::swap::{ScorerHandle, VersionedScorer};
 use crate::system::{Scorer, ScoringSystem};
-use crate::votelog::{VoteLog, VoteLogSnapshot};
+use crate::votelog::{VoteLog, VoteLogSnapshot, VoteRecord};
 use lre_artifact::{crc32, ArtifactRead, ArtifactWrite};
 use lre_obs::{FlightRecorder, EV_ROLLBACK, EV_SWAP};
 use std::sync::{Arc, Mutex};
@@ -92,11 +93,35 @@ fn decode_stage(sealed: &[u8], fast_math: bool) -> Result<Arc<dyn Scorer>, u8> {
     Ok(Arc::new(system))
 }
 
+/// Where a replica's votes live: the bare in-memory log, or the
+/// WAL-backed tee (whose drain also truncates the WAL, keeping the
+/// crash-recovery window honest).
+enum DrainSource {
+    Plain(Arc<VoteLog>),
+    Durable(Arc<DurableVoteLog>),
+}
+
+impl DrainSource {
+    fn log(&self) -> &VoteLog {
+        match self {
+            DrainSource::Plain(l) => l,
+            DrainSource::Durable(d) => d.log(),
+        }
+    }
+
+    fn drain_at_least(&self, min: usize) -> Result<Vec<VoteRecord>, usize> {
+        match self {
+            DrainSource::Plain(l) => l.drain_at_least(min),
+            DrainSource::Durable(d) => d.drain_at_least(min),
+        }
+    }
+}
+
 /// The standard [`FleetControl`] implementation: a staged two-phase state
 /// machine over the serving [`ScorerHandle`] and the engine's [`VoteLog`].
 pub struct FleetReplica {
     handle: Arc<ScorerHandle>,
-    log: Arc<VoteLog>,
+    log: DrainSource,
     /// Whether the hosting engine scores with fast-math; staged bundles
     /// must opt in, exactly as at startup.
     fast_math: bool,
@@ -111,6 +136,21 @@ impl FleetReplica {
     /// Wire a replica controller to the handle it swaps and the vote log
     /// it drains. `fast_math` mirrors the engine's scoring mode.
     pub fn new(handle: Arc<ScorerHandle>, log: Arc<VoteLog>, fast_math: bool) -> FleetReplica {
+        FleetReplica::with_source(handle, DrainSource::Plain(log), fast_math)
+    }
+
+    /// Like [`FleetReplica::new`], but draining through a WAL-backed vote
+    /// log, so a router drain truncates the crash-recovery window in the
+    /// same stroke.
+    pub fn new_durable(
+        handle: Arc<ScorerHandle>,
+        log: Arc<DurableVoteLog>,
+        fast_math: bool,
+    ) -> FleetReplica {
+        FleetReplica::with_source(handle, DrainSource::Durable(log), fast_math)
+    }
+
+    fn with_source(handle: Arc<ScorerHandle>, log: DrainSource, fast_math: bool) -> FleetReplica {
         FleetReplica {
             handle,
             log,
@@ -131,8 +171,8 @@ impl FleetReplica {
 
     /// The vote log this replica drains (the engine taps into the same
     /// one).
-    pub fn log(&self) -> &Arc<VoteLog> {
-        &self.log
+    pub fn log(&self) -> &VoteLog {
+        self.log.log()
     }
 
     /// Replace the stage-time validator. Testing seam: integration tests
@@ -151,7 +191,7 @@ impl FleetControl for FleetReplica {
     fn drain_votes(&self, peek: bool, min: u32) -> DrainReply {
         if peek {
             return DrainReply {
-                buffered: self.log.len() as u32,
+                buffered: self.log.log().len() as u32,
                 sealed: None,
             };
         }
@@ -160,7 +200,7 @@ impl FleetControl for FleetReplica {
                 let buffered = records.len() as u32;
                 let snap = VoteLogSnapshot {
                     records,
-                    dropped: self.log.dropped(),
+                    dropped: self.log.log().dropped(),
                 };
                 DrainReply {
                     buffered,
@@ -396,19 +436,19 @@ mod tests {
             supervectors: vec![SparseVec::from_pairs(vec![(0, 1.0)])],
             stage_us: Default::default(),
         };
-        rep.log.record(detail(1));
-        rep.log.record(detail(2));
+        rep.log().record(detail(1));
+        rep.log().record(detail(2));
 
         let peeked = rep.drain_votes(true, 0);
         assert_eq!(peeked.buffered, 2);
         assert!(peeked.sealed.is_none());
-        assert_eq!(rep.log.len(), 2);
+        assert_eq!(rep.log().len(), 2);
 
         // Below the floor: untouched.
         let refused = rep.drain_votes(false, 5);
         assert_eq!(refused.buffered, 2);
         assert!(refused.sealed.is_none());
-        assert_eq!(rep.log.len(), 2);
+        assert_eq!(rep.log().len(), 2);
 
         // At the floor: everything comes out as a sealed VLOG snapshot.
         let drained = rep.drain_votes(false, 2);
@@ -416,6 +456,46 @@ mod tests {
         let snap = VoteLogSnapshot::from_artifact_bytes(&drained.sealed.expect("drained")).unwrap();
         assert_eq!(snap.records.len(), 2);
         assert_eq!(snap.records[0].digest, 1);
-        assert!(rep.log.is_empty());
+        assert!(rep.log().is_empty());
+    }
+
+    #[test]
+    fn durable_drain_truncates_the_wal_with_the_buffer() {
+        use crate::durability::vote_wal_options;
+        use std::time::Duration;
+
+        let d = std::env::temp_dir().join(format!("lre_rollout_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        let mut opts = vote_wal_options();
+        opts.fsync_interval = Duration::ZERO;
+        let (durable, _) = DurableVoteLog::open(&d, 8, opts, None).unwrap();
+        let durable = Arc::new(durable);
+        let mut rep = FleetReplica::new_durable(
+            Arc::new(ScorerHandle::new(Arc::new(Marker(0.0)), 0xAAAA)),
+            Arc::clone(&durable),
+            false,
+        );
+        rep.validate = Box::new(mock_validate);
+
+        let detail = |digest: u64| ScoreDetail {
+            digest,
+            num_frames: 75,
+            duration_index: 0,
+            generation: 0,
+            fused: vec![1.0, -1.0],
+            subsystem_scores: vec![vec![1.0, -1.0]],
+            supervectors: vec![SparseVec::from_pairs(vec![(0, 1.0)])],
+            stage_us: Default::default(),
+        };
+        durable.record(detail(1));
+        durable.record(detail(2));
+        assert_eq!(durable.wal().status().buffered, 2);
+
+        let drained = rep.drain_votes(false, 2);
+        assert_eq!(drained.buffered, 2);
+        assert!(drained.sealed.is_some());
+        assert!(rep.log().is_empty());
+        assert_eq!(durable.wal().status().buffered, 0);
+        std::fs::remove_dir_all(&d).ok();
     }
 }

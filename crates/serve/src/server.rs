@@ -13,15 +13,16 @@
 //! blocks on the engine before reading the next frame, exactly as the
 //! pre-pipelining server did.
 
+use crate::durability::DurabilityControl;
 use crate::engine::{Engine, EngineConfig, Outcome, SubmitError};
 use crate::obs::ServeObs;
 use crate::protocol::{
     decode_request, encode_abort_ok, encode_adapt_ok, encode_commit_ok, encode_drain_ok,
-    encode_flight_ok, encode_metrics_ok, encode_ping_ok, encode_rollback_ok, encode_score_ok,
-    encode_score_ok_traced, encode_score_ok_v2, encode_stage_ok, encode_stats_ok,
-    encode_stats_ok_v2, encode_status, encode_status_v2, read_frame, write_frame, AdaptReport,
-    PingReport, Request, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED, STATUS_INTERNAL, STATUS_OK,
-    STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
+    encode_flight_ok, encode_metrics_ok, encode_ping_ok, encode_rollback_ok, encode_rollback_to_ok,
+    encode_score_ok, encode_score_ok_traced, encode_score_ok_v2, encode_stage_ok, encode_stats_ok,
+    encode_stats_ok_v2, encode_status, encode_status_v2, encode_wal_status_ok, read_frame,
+    write_frame, AdaptReport, PingReport, Request, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED,
+    STATUS_INTERNAL, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNSUPPORTED,
 };
 use crate::rollout::FleetControl;
 use crate::swap::ScorerHandle;
@@ -77,6 +78,9 @@ pub struct ServerHooks {
     /// Answer the fleet-rollout tags: vote drain, stage/commit/abort,
     /// rollback (a router-coordinated fleet cycle).
     pub fleet: Option<Arc<dyn FleetControl>>,
+    /// Answer the durability tags: WAL status and deep rollback to a
+    /// lineage generation.
+    pub durability: Option<Arc<dyn DurabilityControl>>,
     /// Telemetry bundle: the engine records into it, and the stats-v3 /
     /// flight-recorder tags are answered from it. Absent, those tags are
     /// refused [`STATUS_UNSUPPORTED`] and the engine records nothing.
@@ -156,6 +160,7 @@ impl Server {
             tap,
             control,
             fleet,
+            durability,
             obs,
         } = hooks;
         let addr = listener.local_addr()?;
@@ -185,6 +190,7 @@ impl Server {
                     let global_inflight = Arc::clone(&global_inflight);
                     let control = control.clone();
                     let fleet = fleet.clone();
+                    let durability = durability.clone();
                     let obs = obs.clone();
                     std::thread::spawn(move || {
                         handle_connection(
@@ -197,6 +203,7 @@ impl Server {
                             max_global,
                             control,
                             fleet,
+                            durability,
                             obs,
                         )
                     });
@@ -255,6 +262,7 @@ fn handle_connection(
     max_global: usize,
     control: Option<Arc<dyn AdaptControl>>,
     fleet: Option<Arc<dyn FleetControl>>,
+    durability: Option<Arc<dyn DurabilityControl>>,
     obs: Option<Arc<ServeObs>>,
 ) {
     let _ = stream.set_nodelay(true);
@@ -353,6 +361,23 @@ fn handle_connection(
             // Only the router's front tier aggregates a fleet; a replica
             // (or single server) has nothing to answer with.
             Ok(Request::FleetStats) => encode_status(STATUS_UNSUPPORTED),
+            // Durability tags are answered inline from the WAL/lineage
+            // indexes (cheap, no scoring-queue involvement). The deep
+            // rollback runs synchronously like `Adapt`: it swaps a model
+            // and the requester wants the outcome in request order.
+            Ok(Request::WalStatus) => match &durability {
+                Some(d) => encode_wal_status_ok(&d.wal_status()),
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
+            Ok(Request::RollbackTo { generation }) => match &durability {
+                Some(d) => match d.rollback_to(generation) {
+                    Ok((gen_restored, serving, checksum)) => {
+                        encode_rollback_to_ok(gen_restored, serving, checksum)
+                    }
+                    Err(status) => encode_status(status),
+                },
+                None => encode_status(STATUS_UNSUPPORTED),
+            },
             // Telemetry tags are answered inline from the registry /
             // recorder snapshots — no scoring-queue involvement.
             Ok(Request::StatsV3) => match &obs {

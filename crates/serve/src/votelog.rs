@@ -166,6 +166,44 @@ impl VoteLog {
         Ok(std::mem::take(&mut s.records))
     }
 
+    /// Admit one scored utterance, returning the admitted record when it
+    /// entered the buffer (`None` for mock details, duplicates, and
+    /// overflow). This is [`ScoreTap::record`] with a return value — the
+    /// seam a durability tee uses to write-ahead-log exactly the records
+    /// the in-memory buffer accepted, so replay and buffer can never
+    /// disagree about what was admitted.
+    pub fn admit(&self, detail: ScoreDetail) -> Option<VoteRecord> {
+        if detail.supervectors.is_empty() {
+            return None;
+        }
+        self.admit_record(VoteRecord::from(detail))
+    }
+
+    /// Re-admit a record during crash-recovery replay, rebuilding the
+    /// dedup state exactly as the original admissions did. Reports
+    /// whether the record entered the buffer.
+    pub fn replay(&self, rec: VoteRecord) -> bool {
+        if rec.supervectors.is_empty() {
+            return false;
+        }
+        self.admit_record(rec).is_some()
+    }
+
+    fn admit_record(&self, rec: VoteRecord) -> Option<VoteRecord> {
+        let mut s = self.state.lock().expect("vote log poisoned");
+        if s.seen.contains(&rec.digest) {
+            s.deduped += 1;
+            return None;
+        }
+        if s.records.len() >= self.capacity {
+            s.dropped += 1;
+            return None;
+        }
+        s.seen.insert(rec.digest);
+        s.records.push(rec.clone());
+        Some(rec)
+    }
+
     /// Freeze the current buffer as a sealed snapshot (records cloned;
     /// the log keeps running).
     pub fn snapshot(&self) -> VoteLogSnapshot {
@@ -181,21 +219,8 @@ impl ScoreTap for VoteLog {
     fn record(&self, detail: ScoreDetail) {
         // Mock scorers (the default `score_utt_detailed`) carry no
         // subsystem intermediates; there is nothing to vote on or retrain
-        // from, so such rows never enter the log.
-        if detail.supervectors.is_empty() {
-            return;
-        }
-        let mut s = self.state.lock().expect("vote log poisoned");
-        if s.seen.contains(&detail.digest) {
-            s.deduped += 1;
-            return;
-        }
-        if s.records.len() >= self.capacity {
-            s.dropped += 1;
-            return;
-        }
-        s.seen.insert(detail.digest);
-        s.records.push(VoteRecord::from(detail));
+        // from, so such rows never enter the log (admit refuses them).
+        let _ = self.admit(detail);
     }
 }
 
@@ -287,6 +312,48 @@ mod tests {
         log.record(detail(1, 0, 1.5));
         assert_eq!(log.len(), 1);
         assert_eq!(log.deduped(), 0);
+    }
+
+    #[test]
+    fn admit_returns_exactly_what_entered_the_buffer() {
+        let log = VoteLog::new(2);
+        let admitted = log.admit(detail(1, 0, 1.0)).expect("first record admitted");
+        assert_eq!(admitted.digest, 1);
+        assert!(log.admit(detail(1, 0, 1.0)).is_none()); // duplicate
+        assert!(log.admit(detail(2, 1, 2.0)).is_some());
+        assert!(log.admit(detail(3, 2, 3.0)).is_none()); // overflow
+        let mut mock = detail(4, 0, 1.0);
+        mock.supervectors = Vec::new();
+        assert!(log.admit(mock).is_none()); // nothing to vote on
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn replay_rebuilds_buffer_and_dedup_state() {
+        // Original log: two admissions.
+        let log = VoteLog::new(8);
+        let a = log.admit(detail(1, 0, 1.0)).unwrap();
+        let b = log.admit(detail(2, 1, 2.0)).unwrap();
+
+        // "Restarted" log replayed from the tee'd records.
+        let rebuilt = VoteLog::new(8);
+        assert!(rebuilt.replay(a));
+        assert!(rebuilt.replay(b));
+        // Dedup state came back too: the digests are still hot.
+        log.record(detail(1, 0, 1.0));
+        rebuilt.record(detail(1, 0, 1.0));
+        assert_eq!(rebuilt.deduped(), log.deduped());
+        // Identical drain result.
+        let want = log.drain_at_least(1).unwrap();
+        let got = rebuilt.drain_at_least(1).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.digest, w.digest);
+            assert_eq!(
+                g.fused.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                w.fused.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

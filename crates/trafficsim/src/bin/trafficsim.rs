@@ -3,26 +3,39 @@
 //! ```text
 //! lre-trafficsim --scenario NAME --seed N --addr HOST:PORT
 //!                [--replica HOST:PORT]... [--adapt-addr HOST:PORT]
-//!                [--export PATH] [--verdicts-out PATH] [--tick-ms N]
+//!                [--adaptd-cmd CMD] [--export PATH] [--verdicts-out PATH]
+//!                [--tick-ms N]
+//! lre-trafficsim --scenario-file PATH --seed N --addr HOST:PORT [...]
 //! lre-trafficsim --replay PATH --addr HOST:PORT [...]
 //! lre-trafficsim --scenario NAME --seed N --export PATH --export-only
 //! lre-trafficsim --list
 //! ```
 //!
+//! `--scenario-file` loads a [`ScenarioSpec`] from the `key = value` text
+//! format instead of a built-in; replaying a stream generated from a file
+//! needs the same `--scenario-file` again, since the invariants live in
+//! the file, not the stream. `--adaptd-cmd` hands the driver the shell
+//! command that starts the adapting server, which is what crash-recovery
+//! scenarios use to deliver a real SIGKILL and respawn it.
+//!
 //! Exit status 0 iff every invariant passed. The verdict file (stdout by
 //! default) is deterministic for a given plan and outcome set; measured
 //! numbers go to stderr only.
 
-use lre_trafficsim::{builtin_scenarios, by_name, generate, run, CommandStream, SimConfig};
+use lre_trafficsim::{
+    builtin_scenarios, by_name, generate, run, CommandStream, ScenarioSpec, SimConfig,
+};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::Duration;
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "error: {msg}\nusage: lre-trafficsim (--scenario NAME --seed N | --replay PATH) \
+        "error: {msg}\nusage: lre-trafficsim (--scenario NAME --seed N | \
+         --scenario-file PATH --seed N | --replay PATH) \
          --addr HOST:PORT [--replica HOST:PORT]... [--adapt-addr HOST:PORT] \
-         [--export PATH] [--verdicts-out PATH] [--tick-ms N] [--export-only] [--list]"
+         [--adaptd-cmd CMD] [--export PATH] [--verdicts-out PATH] [--tick-ms N] \
+         [--export-only] [--list]"
     );
     std::process::exit(2);
 }
@@ -34,6 +47,8 @@ fn parse_addr(s: &str, what: &str) -> SocketAddr {
 
 fn main() {
     let mut scenario: Option<String> = None;
+    let mut scenario_file: Option<PathBuf> = None;
+    let mut adaptd_cmd: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut addr: Option<SocketAddr> = None;
     let mut replicas: Vec<SocketAddr> = Vec::new();
@@ -61,6 +76,14 @@ fn main() {
             "--scenario" => {
                 i += 1;
                 scenario = Some(get(i, "--scenario").clone());
+            }
+            "--scenario-file" => {
+                i += 1;
+                scenario_file = Some(PathBuf::from(get(i, "--scenario-file")));
+            }
+            "--adaptd-cmd" => {
+                i += 1;
+                adaptd_cmd = Some(get(i, "--adaptd-cmd").clone());
             }
             "--seed" => {
                 i += 1;
@@ -106,6 +129,22 @@ fn main() {
         i += 1;
     }
 
+    // --- Resolve the scenario file, if any: it supplies both the plan
+    // (when generating) and the invariants (always).
+    let file_spec: Option<ScenarioSpec> = scenario_file.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        ScenarioSpec::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
+    if scenario.is_some() && file_spec.is_some() {
+        usage("--scenario and --scenario-file are mutually exclusive");
+    }
+
     // --- Resolve the command stream: generate fresh or load a replay.
     let stream: CommandStream = match (&replay, &scenario) {
         (Some(path), None) => {
@@ -136,18 +175,39 @@ fn main() {
             let seed = seed.unwrap_or_else(|| usage("--seed is required with --scenario"));
             generate(&spec, seed)
         }
+        (None, None) => match &file_spec {
+            Some(spec) => {
+                let seed = seed.unwrap_or_else(|| usage("--seed is required with --scenario-file"));
+                generate(spec, seed)
+            }
+            None => usage("one of --scenario, --scenario-file, or --replay is required"),
+        },
         (Some(_), Some(_)) => usage("--replay and --scenario are mutually exclusive"),
-        (None, None) => usage("one of --scenario or --replay is required"),
     };
     // The invariant set always comes from the stream's recorded scenario
-    // name, so a replay judges exactly what the original run judged.
-    let spec = by_name(&stream.scenario).unwrap_or_else(|| {
-        eprintln!(
-            "error: stream names unknown scenario {:?}; this binary is too old or too new",
-            stream.scenario
-        );
-        std::process::exit(1);
-    });
+    // name, so a replay judges exactly what the original run judged. A
+    // stream generated from a scenario file carries the file's name, and
+    // replaying it needs the same file again (checked by name).
+    let spec = match file_spec {
+        Some(spec) => {
+            if spec.name != stream.scenario {
+                eprintln!(
+                    "error: stream was generated from scenario {:?} but the file defines {:?}",
+                    stream.scenario, spec.name
+                );
+                std::process::exit(1);
+            }
+            spec
+        }
+        None => by_name(&stream.scenario).unwrap_or_else(|| {
+            eprintln!(
+                "error: stream names unknown scenario {:?}; pass its --scenario-file, \
+                 or this binary is too old or too new",
+                stream.scenario
+            );
+            std::process::exit(1);
+        }),
+    };
 
     if let Some(path) = &export {
         if let Err(e) = std::fs::write(path, stream.encode()) {
@@ -174,6 +234,7 @@ fn main() {
     cfg.adapt_addr = adapt_addr;
     cfg.tick_ms = tick_ms;
     cfg.hostile_timeout = Duration::from_secs(5);
+    cfg.adaptd_cmd = adaptd_cmd;
 
     eprintln!(
         "[trafficsim] running scenario={} seed={} ticks={} commands={} against {}",

@@ -16,10 +16,11 @@ use lre_phone::UniversalInventory;
 use lre_serve::client::{Client, PipelinedClient, ScoreReply};
 use lre_serve::fuzz::{self, FuzzCase};
 use lre_serve::protocol::ADAPT_REJECTED_GUARD;
-use lre_serve::StatsSnapshot;
+use lre_serve::{StatsSnapshot, WalStatusInfo};
 use std::collections::{BTreeSet, HashMap};
 use std::io::{self, ErrorKind};
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command};
 use std::time::{Duration, Instant};
 
 /// Fixed corpus seed for rendering simulator traffic. Part of the replay
@@ -41,6 +42,11 @@ pub struct SimConfig {
     pub tick_ms: u64,
     /// Per-hostile-connection timeout.
     pub hostile_timeout: Duration,
+    /// Shell command that starts the adapting server (`sh -c` syntax).
+    /// When set, the driver spawns the process itself before the run and
+    /// owns it, which is what lets `CrashAdaptd` deliver a real SIGKILL
+    /// and `RestartAdaptd` respawn against the same `--wal-dir`.
+    pub adaptd_cmd: Option<String>,
 }
 
 impl SimConfig {
@@ -51,6 +57,7 @@ impl SimConfig {
             adapt_addr: None,
             tick_ms: 50,
             hostile_timeout: Duration::from_secs(5),
+            adaptd_cmd: None,
         }
     }
 }
@@ -170,6 +177,13 @@ struct Tally {
     flight_seen: BTreeSet<String>,
     scrape_errors: u64,
     last_stats: Option<StatsSnapshot>,
+    crash_notes: Vec<String>,
+    /// WAL status scraped just before the SIGKILL (traffic settled).
+    wal_before_crash: Option<WalStatusInfo>,
+    /// WAL status scraped right after the restarted server came up.
+    wal_after_restart: Option<WalStatusInfo>,
+    /// WAL status from the end of the run.
+    wal_final: Option<WalStatusInfo>,
 }
 
 fn p99(latencies: &mut [f64]) -> Option<f64> {
@@ -258,6 +272,66 @@ fn scrape(scrape_client: &mut Option<Client>, cfg: &SimConfig, tally: &mut Tally
     }
 }
 
+/// Spawn the adapting server from its shell command. The command is
+/// `exec`'d so the server *replaces* the shell: the [`Child`] handle —
+/// and therefore `CrashAdaptd`'s SIGKILL — targets the server process
+/// itself, not an intermediate `sh` that would die and leave the server
+/// running (and still holding its port when the restart tries to bind).
+fn spawn_adaptd(cmd: &str) -> io::Result<Child> {
+    Command::new("sh")
+        .arg("-c")
+        .arg(format!("exec {cmd}"))
+        .spawn()
+}
+
+/// Poll until `addr` accepts a TCP connection or the timeout lapses.
+fn wait_for_tcp(addr: SocketAddr, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    false
+}
+
+/// One fresh-connection `wal-status` round trip; `None` when the peer is
+/// unreachable or has no WAL.
+fn scrape_wal(addr: SocketAddr) -> Option<WalStatusInfo> {
+    Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.wal_status().ok())
+        .flatten()
+}
+
+/// Stop a driver-owned adaptd: ask politely, then escalate to SIGKILL if
+/// it lingers. Only used after the run is judged, so escalation cannot
+/// affect any invariant.
+fn stop_adaptd(mut child: Child, addr: SocketAddr, tally: &mut Tally) {
+    let _ = Client::connect(addr).and_then(|mut c| c.shutdown());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                tally.crash_notes.push(format!("adaptd stopped: {status}"));
+                return;
+            }
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                tally
+                    .crash_notes
+                    .push("adaptd ignored shutdown; killed".into());
+                return;
+            }
+        }
+    }
+}
+
 /// Replay `stream` against the live target in `cfg` and judge it against
 /// `invariants`. Blocks until the run completes.
 pub fn run(stream: &CommandStream, invariants: &InvariantSpec, cfg: &SimConfig) -> RunReport {
@@ -267,6 +341,22 @@ pub fn run(stream: &CommandStream, invariants: &InvariantSpec, cfg: &SimConfig) 
     let mut pipe: Option<PipelinedClient> = None;
     let mut pending: HashMap<u64, Instant> = HashMap::new();
     let mut scrape_client: Option<Client> = None;
+
+    let adapt_target = cfg.adapt_addr.unwrap_or(cfg.addr);
+    let mut adaptd: Option<Child> = None;
+    if let Some(cmd) = &cfg.adaptd_cmd {
+        match spawn_adaptd(cmd) {
+            Ok(child) => {
+                adaptd = Some(child);
+                if !wait_for_tcp(adapt_target, Duration::from_secs(20)) {
+                    tally
+                        .crash_notes
+                        .push(format!("spawned adaptd never opened {adapt_target}"));
+                }
+            }
+            Err(e) => tally.crash_notes.push(format!("spawning adaptd: {e}")),
+        }
+    }
 
     for tick in 0..stream.ticks {
         for cmd in stream.commands.iter().filter(|c| c.tick() == tick) {
@@ -325,12 +415,55 @@ pub fn run(stream: &CommandStream, invariants: &InvariantSpec, cfg: &SimConfig) 
                     // already-answered replies are not timed as if they took
                     // the whole cycle.
                     drain(&mut pipe, &mut pending, &mut tally);
-                    let target = cfg.adapt_addr.unwrap_or(cfg.addr);
-                    match Client::connect(target).and_then(|mut c| c.adapt()) {
+                    match Client::connect(adapt_target).and_then(|mut c| c.adapt()) {
                         Ok(report) => tally.adapt_outcomes.push(report.outcome),
                         Err(e) => tally.adapt_errors.push(e.to_string()),
                     }
                 }
+                SimCommand::CrashAdaptd { .. } => {
+                    // Settle outstanding scores, capture the WAL's view of
+                    // the window, then SIGKILL — no handshake, no flush.
+                    // The replayed count after the restart is judged
+                    // against exactly this snapshot.
+                    drain(&mut pipe, &mut pending, &mut tally);
+                    tally.wal_before_crash = scrape_wal(adapt_target);
+                    match adaptd.take() {
+                        Some(mut child) => {
+                            let note = match child.kill().and_then(|()| child.wait()) {
+                                Ok(status) => format!("adaptd SIGKILLed ({status})"),
+                                Err(e) => format!("adaptd SIGKILL failed: {e}"),
+                            };
+                            tally.crash_notes.push(note);
+                        }
+                        None => tally
+                            .crash_notes
+                            .push("crash planned but no --adaptd-cmd given".into()),
+                    }
+                    // The driver knows these connections died with the
+                    // process; dropping them here is deliberate, not an
+                    // untyped failure.
+                    pipe = None;
+                    scrape_client = None;
+                }
+                SimCommand::RestartAdaptd { .. } => match cfg.adaptd_cmd.as_deref() {
+                    Some(cmd) => match spawn_adaptd(cmd) {
+                        Ok(child) => {
+                            adaptd = Some(child);
+                            if wait_for_tcp(adapt_target, Duration::from_secs(20)) {
+                                tally.wal_after_restart = scrape_wal(adapt_target);
+                                tally.crash_notes.push("adaptd restarted".into());
+                            } else {
+                                tally
+                                    .crash_notes
+                                    .push("restarted adaptd never opened its port".into());
+                            }
+                        }
+                        Err(e) => tally.crash_notes.push(format!("respawning adaptd: {e}")),
+                    },
+                    None => tally
+                        .crash_notes
+                        .push("restart planned but no --adaptd-cmd given".into()),
+                },
             }
         }
         drain(&mut pipe, &mut pending, &mut tally);
@@ -345,6 +478,12 @@ pub fn run(stream: &CommandStream, invariants: &InvariantSpec, cfg: &SimConfig) 
         std::thread::sleep(Duration::from_millis(cfg.tick_ms.max(100)));
     }
     scrape(&mut scrape_client, cfg, &mut tally);
+    if invariants.expect_wal_recovery || tally.wal_before_crash.is_some() {
+        tally.wal_final = scrape_wal(adapt_target);
+    }
+    if let Some(child) = adaptd.take() {
+        stop_adaptd(child, adapt_target, &mut tally);
+    }
 
     judge(stream, invariants, tally)
 }
@@ -379,7 +518,27 @@ fn judge(stream: &CommandStream, inv: &InvariantSpec, mut tally: Tally) -> RunRe
         lines.push(("min-completed".into(), tally.scored >= inv.min_completed));
     }
     for name in &inv.expect_flight {
-        lines.push((format!("flight:{name}"), tally.flight_seen.contains(*name)));
+        lines.push((format!("flight:{name}"), tally.flight_seen.contains(name)));
+    }
+    if inv.expect_wal_recovery {
+        // Zero lost votes: every record the WAL held when the SIGKILL
+        // landed came back in the restarted process's replay, with no
+        // torn records surviving. Exact when the server runs with
+        // `--wal-fsync-ms 0`; a lazier fsync interval may legitimately
+        // lose its tail and fail this line.
+        let replayed_ok = match (&tally.wal_before_crash, &tally.wal_after_restart) {
+            (Some(before), Some(after)) => after.replayed == before.buffered && after.torn == 0,
+            _ => false,
+        };
+        lines.push(("wal-replayed".into(), replayed_ok));
+        // Chain intact: the final wal-status must come from a validated
+        // lineage store (open re-verifies the whole chain) with at least
+        // the root generation recorded.
+        let chain_ok = tally
+            .wal_final
+            .as_ref()
+            .is_some_and(|w| w.chain_ok && w.lineage_entries >= 1);
+        lines.push(("chain-intact".into(), chain_ok));
     }
     if inv.expect_guard_reject {
         let ok = !tally.adapt_outcomes.is_empty()
@@ -447,6 +606,29 @@ fn judge(stream: &CommandStream, inv: &InvariantSpec, mut tally: Tally) -> RunRe
     }
     for n in &tally.kill_notes {
         detail.push_str(&format!("kill: {n}\n"));
+    }
+    for n in &tally.crash_notes {
+        detail.push_str(&format!("adaptd: {n}\n"));
+    }
+    for (label, wal) in [
+        ("before-crash", &tally.wal_before_crash),
+        ("after-restart", &tally.wal_after_restart),
+        ("final", &tally.wal_final),
+    ] {
+        if let Some(w) = wal {
+            detail.push_str(&format!(
+                "wal {label}: appended={} buffered={} replayed={} torn={} segments={} \
+                 lineage_head={} entries={} retained={}\n",
+                w.appended,
+                w.buffered,
+                w.replayed,
+                w.torn,
+                w.segments,
+                w.lineage_head,
+                w.lineage_entries,
+                w.lineage_retained,
+            ));
+        }
     }
     for e in &tally.adapt_errors {
         detail.push_str(&format!("adapt error: {e}\n"));

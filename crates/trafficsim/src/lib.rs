@@ -33,6 +33,6 @@ pub mod scenario;
 pub use driver::{run, RunReport, SimConfig, SIM_CORPUS_SEED};
 pub use plan::{CommandStream, SimCommand, UttPlan, STREAM_KIND, STREAM_VERSION};
 pub use scenario::{
-    builtin_scenarios, burst_kill, by_name, drift_guard, generate, phantom_eject, DriftPlan,
-    InvariantSpec, ScenarioSpec,
+    builtin_scenarios, burst_kill, by_name, crash_recover, drift_guard, generate, phantom_eject,
+    DriftPlan, InvariantSpec, ScenarioSpec,
 };

@@ -71,6 +71,13 @@ pub enum SimCommand {
     KillReplica { tick: u32, replica: u32 },
     /// Trigger one adaptation cycle on the adapt endpoint.
     Adapt { tick: u32 },
+    /// SIGKILL the driver-spawned adapting server (no shutdown handshake,
+    /// no fsync opportunity) — the crash-recovery drill. Requires the
+    /// driver to own the process (`--adaptd-cmd`).
+    CrashAdaptd { tick: u32 },
+    /// Respawn the adapting server with the same command (hence the same
+    /// `--wal-dir`) and wait until it accepts connections again.
+    RestartAdaptd { tick: u32 },
 }
 
 impl SimCommand {
@@ -79,7 +86,9 @@ impl SimCommand {
             SimCommand::Score { tick, .. }
             | SimCommand::Hostile { tick, .. }
             | SimCommand::KillReplica { tick, .. }
-            | SimCommand::Adapt { tick } => *tick,
+            | SimCommand::Adapt { tick }
+            | SimCommand::CrashAdaptd { tick }
+            | SimCommand::RestartAdaptd { tick } => *tick,
         }
     }
 }
@@ -88,6 +97,8 @@ const CMD_SCORE: u8 = 1;
 const CMD_HOSTILE: u8 = 2;
 const CMD_KILL: u8 = 3;
 const CMD_ADAPT: u8 = 4;
+const CMD_CRASH_ADAPTD: u8 = 5;
+const CMD_RESTART_ADAPTD: u8 = 6;
 /// `second_language` sentinel for "no code switch".
 const NO_SECOND: u8 = 0xFF;
 
@@ -142,6 +153,14 @@ impl CommandStream {
                 }
                 SimCommand::Adapt { tick } => {
                     w.put_u8(CMD_ADAPT);
+                    w.put_u32(*tick);
+                }
+                SimCommand::CrashAdaptd { tick } => {
+                    w.put_u8(CMD_CRASH_ADAPTD);
+                    w.put_u32(*tick);
+                }
+                SimCommand::RestartAdaptd { tick } => {
+                    w.put_u8(CMD_RESTART_ADAPTD);
                     w.put_u32(*tick);
                 }
             }
@@ -217,6 +236,8 @@ impl CommandStream {
                     replica: r.get_u32()?,
                 },
                 CMD_ADAPT => SimCommand::Adapt { tick: r.get_u32()? },
+                CMD_CRASH_ADAPTD => SimCommand::CrashAdaptd { tick: r.get_u32()? },
+                CMD_RESTART_ADAPTD => SimCommand::RestartAdaptd { tick: r.get_u32()? },
                 _ => return Err(ArtifactError::Corrupt("unknown sim command tag")),
             };
             if cmd.tick() >= ticks {

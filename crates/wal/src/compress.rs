@@ -1,0 +1,224 @@
+//! LZSS byte compression for sealed WAL segments.
+//!
+//! Vote records are highly repetitive — fixed wire scaffolding, runs of
+//! near-identical score vectors, repeated sparse-vector index patterns —
+//! so even a modest dictionary coder cuts cold segments substantially.
+//! The workspace vendors no compression crate, so this is a small
+//! self-contained LZSS:
+//!
+//! * window 4096 bytes, match length 3..=18;
+//! * output is groups of one *control byte* (eight flags, LSB first)
+//!   followed by eight items: flag 0 → one literal byte, flag 1 → a
+//!   2-byte token `[offset_hi4 | len-3, offset_lo8]` encoding a
+//!   back-reference (offset 1..=4095 back, length 3..=18);
+//! * the encoder finds matches through a 3-byte-prefix hash table with a
+//!   single candidate per slot — O(n), trading ratio for speed, which is
+//!   the right trade for a background sealing thread.
+//!
+//! The decoder needs the exact decompressed length up front (the sealed
+//! segment header carries it) and treats any deviation — token past the
+//! declared end, back-reference before the start, leftover input — as
+//! corruption. Compressed segments additionally travel inside a sealed
+//! `lre-artifact` container, so bit rot is caught by CRC before this
+//! decoder ever runs; the checks here defend the invariants, not the
+//! media.
+
+use lre_artifact::ArtifactError;
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+const HASH_BITS: u32 = 13;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZSS-compress `data`. The output is self-delimiting only together with
+/// the original length, which callers must store alongside.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Most-recent position of each 3-byte-prefix hash; usize::MAX = empty.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0;
+    while i < data.len() {
+        let control_at = out.len();
+        out.push(0);
+        let mut control = 0u8;
+        for flag in 0..8 {
+            if i >= data.len() {
+                break;
+            }
+            let mut match_len = 0;
+            let mut match_off = 0;
+            if i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                let cand = head[h];
+                head[h] = i;
+                if cand != usize::MAX && i - cand < WINDOW {
+                    let limit = MAX_MATCH.min(data.len() - i);
+                    let mut l = 0;
+                    while l < limit && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH {
+                        match_len = l;
+                        match_off = i - cand;
+                    }
+                }
+            }
+            if match_len >= MIN_MATCH {
+                control |= 1 << flag;
+                let token = (((match_len - MIN_MATCH) as u16) << 12) | (match_off as u16);
+                out.extend_from_slice(&token.to_le_bytes());
+                // Seed the hash table through the matched span so later
+                // matches can land inside it.
+                let end = (i + match_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+                for j in (i + 1)..end {
+                    head[hash3(data, j)] = j;
+                }
+                i += match_len;
+            } else {
+                out.push(data[i]);
+                i += 1;
+            }
+        }
+        out[control_at] = control;
+    }
+    out
+}
+
+/// Decompress exactly `raw_len` bytes. Every structural violation is a
+/// typed [`ArtifactError::Corrupt`].
+pub fn decompress(data: &[u8], raw_len: usize) -> Result<Vec<u8>, ArtifactError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0;
+    while out.len() < raw_len {
+        if i >= data.len() {
+            return Err(ArtifactError::Corrupt("compressed stream ends early"));
+        }
+        let control = data[i];
+        i += 1;
+        for flag in 0..8 {
+            if out.len() == raw_len {
+                break;
+            }
+            if control & (1 << flag) != 0 {
+                if i + 2 > data.len() {
+                    return Err(ArtifactError::Corrupt("compressed token truncated"));
+                }
+                let token = u16::from_le_bytes([data[i], data[i + 1]]);
+                i += 2;
+                let len = ((token >> 12) as usize) + MIN_MATCH;
+                let off = (token & 0x0FFF) as usize;
+                if off == 0 || off > out.len() {
+                    return Err(ArtifactError::Corrupt("back-reference before stream start"));
+                }
+                if out.len() + len > raw_len {
+                    return Err(ArtifactError::Corrupt(
+                        "back-reference past declared length",
+                    ));
+                }
+                // Byte-at-a-time: overlapping references (off < len) are
+                // legal LZSS and reproduce runs.
+                for _ in 0..len {
+                    let b = out[out.len() - off];
+                    out.push(b);
+                }
+            } else {
+                if i >= data.len() {
+                    return Err(ArtifactError::Corrupt("compressed literal truncated"));
+                }
+                if out.len() == raw_len {
+                    return Err(ArtifactError::Corrupt("literal past declared length"));
+                }
+                out.push(data[i]);
+                i += 1;
+            }
+        }
+    }
+    if i != data.len() {
+        return Err(ArtifactError::Corrupt(
+            "compressed stream has trailing bytes",
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let back = decompress(&packed, data.len()).expect("decompress");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrips_edge_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+        roundtrip(&[0u8; 10_000]); // long run → overlapping references
+        roundtrip("abcabcabcabcabcabc".as_bytes());
+        roundtrip(&(0..=255u8).collect::<Vec<_>>()); // incompressible ramp
+    }
+
+    #[test]
+    fn roundtrips_pseudorandom_and_repetitive_mix() {
+        // Deterministic xorshift noise interleaved with repeated blocks —
+        // the shape of concatenated vote records.
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let mut data = Vec::new();
+        for block in 0..64 {
+            let mut chunk = Vec::new();
+            for _ in 0..200 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                chunk.push((state & 0xFF) as u8);
+            }
+            data.extend_from_slice(&chunk);
+            if block % 3 == 0 {
+                data.extend_from_slice(&chunk); // immediate repeat
+            }
+            data.extend_from_slice(b"LREA-record-scaffolding");
+        }
+        let packed = compress(&data);
+        assert!(packed.len() < data.len(), "mixed data should compress");
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_data_actually_shrinks() {
+        let data = b"the same vote record header ".repeat(100);
+        let packed = compress(&data);
+        assert!(
+            packed.len() * 4 < data.len(),
+            "100x repeat should compress at least 4:1, got {} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn decompress_rejects_structural_damage() {
+        let data = b"abcabcabcabc some literal tail".to_vec();
+        let packed = compress(&data);
+        // Wrong declared length, both directions.
+        assert!(decompress(&packed, data.len() + 1).is_err());
+        assert!(decompress(&packed, data.len().saturating_sub(1)).is_err());
+        // Truncated stream.
+        assert!(decompress(&packed[..packed.len() - 1], data.len()).is_err());
+        // A token whose back-reference points before the start.
+        let bad = vec![0x01, 0x05, 0x00]; // control: token; offset 5 into empty output
+        assert!(decompress(&bad, 8).is_err());
+        // Offset zero is never valid.
+        let zero_off = vec![0x01, 0x00, 0x00];
+        assert!(decompress(&zero_off, 8).is_err());
+    }
+}

@@ -1,0 +1,872 @@
+//! The segmented write-ahead log.
+//!
+//! [`SegmentedWal`] appends opaque *sealed records* — complete
+//! `lre-artifact` containers of one configured kind (the vote log uses
+//! `VREC`) — to a directory of bounded segment files, and on restart
+//! replays every record that was durable at the crash:
+//!
+//! * **Appends** go to the open segment with one buffered `write_all`;
+//!   durability is batched — a background worker fsyncs the open segment
+//!   every `fsync_interval` (interval zero = fsync inline on every
+//!   append). A kill -9 therefore loses at most one interval of
+//!   acknowledged records, and never a byte that a [`SegmentedWal::sync`]
+//!   returned for.
+//! * **Rolling**: when the open segment reaches its byte budget it is
+//!   retired and queued for the worker, which compresses it into an
+//!   immutable sealed container ([`crate::segment::SealedSegment`]) and
+//!   deletes the raw file.
+//! * **Logical truncation**: a drain calls [`SegmentedWal::truncate_to`],
+//!   which advances the durable low-water mark in the directory index and
+//!   garbage-collects segments whose whole range fell below it. Nothing
+//!   rewrites record data.
+//! * **Replay**: [`SegmentedWal::open`] reconciles the directory index
+//!   with the files on disk, walks every live segment, tolerates a torn
+//!   *tail* record (the signature of a crash mid-append — the file is
+//!   truncated back to the last clean boundary), and hands back every
+//!   surviving record at or above the low-water mark, in sequence order.
+
+use crate::dir::{fsync_dir, write_durable, SegmentEntry, WalDir};
+use crate::segment::{open_name, sealed_name, walk_records, SealedSegment, Tail};
+use lre_artifact::{ArtifactError, HEADER_LEN, MAGIC};
+use lre_obs::{
+    Counter, FlightRecorder, Histogram, Registry, EV_WAL_GC, EV_WAL_RECOVER, EV_WAL_SEAL,
+};
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`SegmentedWal`].
+#[derive(Clone)]
+pub struct WalOptions {
+    /// Container kind every appended record must carry.
+    pub record_kind: [u8; 4],
+    /// Container version every appended record must carry.
+    pub record_version: u32,
+    /// Byte budget of an open segment; reaching it triggers a roll and a
+    /// background seal.
+    pub segment_bytes: u64,
+    /// Durability interval for fsync batching. `Duration::ZERO` fsyncs
+    /// inline on every append (maximum durability, per-append cost).
+    pub fsync_interval: Duration,
+}
+
+impl WalOptions {
+    /// Options for a log of `kind`/`version` records with a 1 MiB
+    /// segment budget and 50 ms fsync batching.
+    pub fn new(record_kind: [u8; 4], record_version: u32) -> WalOptions {
+        WalOptions {
+            record_kind,
+            record_version,
+            segment_bytes: 1 << 20,
+            fsync_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Pre-registered WAL telemetry. Cloneable (the worker thread keeps its
+/// own handle); every series lives under the `wal.` prefix.
+#[derive(Clone)]
+pub struct WalObs {
+    pub append_us: Arc<Histogram>,
+    pub seal_us: Arc<Histogram>,
+    pub fsync_us: Arc<Histogram>,
+    pub appended_records: Arc<Counter>,
+    pub replayed_records: Arc<Counter>,
+    pub torn_records: Arc<Counter>,
+    pub sealed_segments: Arc<Counter>,
+    pub gc_segments: Arc<Counter>,
+    pub flight: Option<Arc<FlightRecorder>>,
+}
+
+impl WalObs {
+    /// Register (or re-attach to) the `wal.*` series in `registry`.
+    pub fn new(registry: &Registry, flight: Option<Arc<FlightRecorder>>) -> WalObs {
+        WalObs {
+            append_us: registry.histogram("wal.append_us"),
+            seal_us: registry.histogram("wal.seal_us"),
+            fsync_us: registry.histogram("wal.fsync_us"),
+            appended_records: registry.counter("wal.appended_records"),
+            replayed_records: registry.counter("wal.replayed_records"),
+            torn_records: registry.counter("wal.torn_records"),
+            sealed_segments: registry.counter("wal.sealed_segments"),
+            gc_segments: registry.counter("wal.gc_segments"),
+            flight,
+        }
+    }
+}
+
+/// What [`SegmentedWal::open`] recovered from disk.
+pub struct WalReplay {
+    /// Every durable record at or above the low-water mark, ascending by
+    /// sequence number, in its original sealed container form.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Torn tail records skipped (0 or 1 — only the final record of the
+    /// final segment can tear).
+    pub torn_tail_records: u64,
+    /// Durable low-water mark at open.
+    pub low_water: u64,
+    /// Sequence number the next append will receive.
+    pub next_seq: u64,
+}
+
+/// A point-in-time summary of the log, cheap enough for a status RPC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStatus {
+    /// Total records ever appended (the next sequence number).
+    pub next_seq: u64,
+    /// First logically present sequence number.
+    pub low_water: u64,
+    /// Records currently in the log (`next_seq - low_water`).
+    pub buffered: u64,
+    /// Live segments, open + sealed.
+    pub segments: u64,
+    /// Of those, sealed (compressed, immutable).
+    pub sealed_segments: u64,
+    /// Records replayed by this process's `open`.
+    pub replayed: u64,
+    /// Torn tail records skipped by this process's `open`.
+    pub torn: u64,
+    /// fsyncs issued since open.
+    pub fsyncs: u64,
+    /// Appends not yet covered by an fsync.
+    pub unsynced: u64,
+}
+
+struct OpenSegment {
+    file: File,
+    first_seq: u64,
+    bytes: u64,
+}
+
+struct Inner {
+    dir: WalDir,
+    open: Option<OpenSegment>,
+    next_seq: u64,
+    /// Appends since the last fsync of the open segment.
+    unsynced: u64,
+    fsyncs: u64,
+    replayed: u64,
+    torn: u64,
+    /// Retired open segments awaiting background sealing (first_seq).
+    seal_queue: VecDeque<u64>,
+    stopping: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    path: PathBuf,
+    opts: WalOptions,
+    obs: Option<WalObs>,
+}
+
+/// The segmented write-ahead log. All methods take `&self`; appends and
+/// truncation serialize on one internal mutex, fsync and sealing run on
+/// a background worker.
+pub struct SegmentedWal {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl SegmentedWal {
+    /// Open (or create) the WAL at `path`, replaying whatever survived.
+    /// The caller owns feeding [`WalReplay::records`] back into its
+    /// in-memory state.
+    pub fn open(
+        path: &Path,
+        opts: WalOptions,
+        obs: Option<WalObs>,
+    ) -> Result<(SegmentedWal, WalReplay), ArtifactError> {
+        fs::create_dir_all(path)?;
+        let mut dir = WalDir::load(path)?;
+        reconcile_with_disk(path, &mut dir)?;
+
+        let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut torn_tail = 0u64;
+        let mut next_seq = dir.low_water;
+        let mut open_tail: Option<(u64, u64)> = None; // (first_seq, clean bytes)
+        let last_idx = dir.segments.len().checked_sub(1);
+        for (i, entry) in dir.segments.iter().enumerate() {
+            let is_last = Some(i) == last_idx;
+            let segment_records: Vec<Vec<u8>>;
+            let mut clean_bytes = 0u64;
+            if entry.sealed {
+                let bytes = fs::read(path.join(sealed_name(entry.first_seq)))?;
+                let seg = SealedSegment::open_bytes(&bytes, opts.record_kind, opts.record_version)?;
+                if seg.first_seq != entry.first_seq {
+                    return Err(ArtifactError::Corrupt("sealed segment sequence mismatch"));
+                }
+                segment_records = seg.records;
+            } else {
+                let bytes = fs::read(path.join(open_name(entry.first_seq)))?;
+                let (recs, tail) = walk_records(&bytes, opts.record_kind, opts.record_version)?;
+                if tail == Tail::Torn {
+                    if !is_last {
+                        return Err(ArtifactError::Corrupt("torn record before log tail"));
+                    }
+                    torn_tail += 1;
+                }
+                clean_bytes = recs.iter().map(|r| r.len() as u64).sum();
+                segment_records = recs;
+            }
+            let mut seq = entry.first_seq;
+            for rec in segment_records {
+                if seq >= dir.low_water {
+                    records.push((seq, rec));
+                }
+                seq += 1;
+            }
+            next_seq = next_seq.max(seq);
+            if is_last && !entry.sealed {
+                open_tail = Some((entry.first_seq, clean_bytes));
+            }
+        }
+
+        // Reopen the tail segment for appending, truncating away any torn
+        // record so the stream stays framed.
+        let open = match open_tail {
+            Some((first_seq, clean_bytes)) => {
+                let file = OpenOptions::new()
+                    .append(true)
+                    .open(path.join(open_name(first_seq)))?;
+                file.set_len(clean_bytes)?;
+                if torn_tail > 0 {
+                    file.sync_data()?;
+                }
+                Some(OpenSegment {
+                    file,
+                    first_seq,
+                    bytes: clean_bytes,
+                })
+            }
+            None => None,
+        };
+
+        if let Some(obs) = &obs {
+            obs.replayed_records.add(records.len() as u64);
+            obs.torn_records.add(torn_tail);
+            if let Some(flight) = &obs.flight {
+                flight.record(
+                    EV_WAL_RECOVER,
+                    "wal replay",
+                    records.len() as u64,
+                    torn_tail,
+                    0.0,
+                    0.0,
+                );
+            }
+        }
+
+        let replay = WalReplay {
+            torn_tail_records: torn_tail,
+            low_water: dir.low_water,
+            next_seq,
+            records,
+        };
+        let replayed = replay.records.len() as u64;
+
+        dir.store(path)?;
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                dir,
+                open,
+                next_seq,
+                unsynced: 0,
+                fsyncs: 0,
+                replayed,
+                torn: torn_tail,
+                seal_queue: VecDeque::new(),
+                stopping: false,
+            }),
+            cv: Condvar::new(),
+            path: path.to_path_buf(),
+            opts,
+            obs,
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("lre-wal".into())
+                .spawn(move || worker_loop(shared))
+                .map_err(ArtifactError::Io)?
+        };
+        Ok((
+            SegmentedWal {
+                shared,
+                worker: Mutex::new(Some(worker)),
+            },
+            replay,
+        ))
+    }
+
+    /// Append one sealed record, returning its sequence number. The
+    /// record must be a container of the configured kind; only the frame
+    /// is checked here (the caller just sealed it — re-verifying the CRC
+    /// per append would double the checksum cost of the hot path).
+    pub fn append(&self, record: &[u8]) -> Result<u64, ArtifactError> {
+        let t0 = Instant::now();
+        if record.len() < HEADER_LEN
+            || record[0..4] != MAGIC
+            || record[4..8] != self.shared.opts.record_kind
+        {
+            return Err(ArtifactError::Corrupt("append of unframed record"));
+        }
+        let mut inner = self.shared.inner.lock().expect("wal poisoned");
+        // Roll a full open segment before this record lands.
+        let mut notify = false;
+        if let Some(open) = &inner.open {
+            if open.bytes >= self.shared.opts.segment_bytes {
+                let open = inner.open.take().expect("checked above");
+                open.file.sync_data()?;
+                inner.seal_queue.push_back(open.first_seq);
+                notify = true;
+            }
+        }
+        if inner.open.is_none() {
+            let first_seq = inner.next_seq;
+            let file = File::create(self.shared.path.join(open_name(first_seq)))?;
+            inner.dir.segments.push(SegmentEntry {
+                first_seq,
+                sealed: false,
+            });
+            // The new entry (and the file's directory entry) must be
+            // durable before any record in it is acknowledged.
+            inner.dir.store(&self.shared.path)?;
+            inner.open = Some(OpenSegment {
+                file,
+                first_seq,
+                bytes: 0,
+            });
+        }
+        let seq = inner.next_seq;
+        {
+            let open = inner.open.as_mut().expect("open segment exists");
+            open.file.write_all(record)?;
+            open.bytes += record.len() as u64;
+        }
+        inner.next_seq += 1;
+        if self.shared.opts.fsync_interval.is_zero() {
+            let open = inner.open.as_ref().expect("open segment exists");
+            open.file.sync_data()?;
+            inner.fsyncs += 1;
+        } else {
+            inner.unsynced += 1;
+        }
+        drop(inner);
+        if notify {
+            self.shared.cv.notify_all();
+        }
+        if let Some(obs) = &self.shared.obs {
+            obs.appended_records.incr();
+            obs.append_us.record(t0.elapsed().as_micros() as u64);
+        }
+        Ok(seq)
+    }
+
+    /// Force everything appended so far onto stable storage.
+    pub fn sync(&self) -> Result<(), ArtifactError> {
+        let mut inner = self.shared.inner.lock().expect("wal poisoned");
+        if let Some(open) = &inner.open {
+            open.file.sync_data()?;
+        }
+        inner.unsynced = 0;
+        inner.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Advance the durable low-water mark: records below `seq` are
+    /// logically gone (drained), and segments whose whole range fell
+    /// below it are deleted. This is the drain-side truncation — O(index),
+    /// never a data rewrite.
+    pub fn truncate_to(&self, seq: u64) -> Result<(), ArtifactError> {
+        let mut inner = self.shared.inner.lock().expect("wal poisoned");
+        if seq > inner.next_seq {
+            return Err(ArtifactError::Corrupt("low-water mark past the log head"));
+        }
+        if seq <= inner.dir.low_water {
+            return Ok(());
+        }
+        inner.dir.low_water = seq;
+
+        // End (exclusive) of each segment's range is the next segment's
+        // first_seq; the tail segment ends at next_seq.
+        let next_seq = inner.next_seq;
+        let ends: Vec<u64> = inner
+            .dir
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                inner
+                    .dir
+                    .segments
+                    .get(i + 1)
+                    .map(|n| n.first_seq)
+                    .unwrap_or(next_seq)
+            })
+            .collect();
+        let mut removed = 0u64;
+        let mut reclaimed = 0u64;
+        let segments = std::mem::take(&mut inner.dir.segments);
+        let mut keep = Vec::with_capacity(segments.len());
+        for (entry, end) in segments.into_iter().zip(ends) {
+            if end > seq {
+                keep.push(entry);
+                continue;
+            }
+            let name = if entry.sealed {
+                sealed_name(entry.first_seq)
+            } else {
+                open_name(entry.first_seq)
+            };
+            let path = self.shared.path.join(name);
+            reclaimed += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            fs::remove_file(&path).ok();
+            removed += 1;
+            // A queued-but-unsealed segment that just got drained no
+            // longer needs sealing.
+            inner.seal_queue.retain(|&s| s != entry.first_seq);
+            // The drained segment may be the open one (fully drained log).
+            if inner
+                .open
+                .as_ref()
+                .is_some_and(|o| o.first_seq == entry.first_seq)
+            {
+                inner.open = None;
+            }
+        }
+        inner.dir.segments = keep;
+        inner.dir.store(&self.shared.path)?;
+        if removed > 0 {
+            fsync_dir(&self.shared.path)?;
+            if let Some(obs) = &self.shared.obs {
+                obs.gc_segments.add(removed);
+                if let Some(flight) = &obs.flight {
+                    flight.record(EV_WAL_GC, "wal segment gc", removed, reclaimed, 0.0, 0.0);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Point-in-time status summary.
+    pub fn status(&self) -> WalStatus {
+        let inner = self.shared.inner.lock().expect("wal poisoned");
+        let sealed = inner.dir.segments.iter().filter(|s| s.sealed).count() as u64;
+        WalStatus {
+            next_seq: inner.next_seq,
+            low_water: inner.dir.low_water,
+            buffered: inner.next_seq - inner.dir.low_water,
+            segments: inner.dir.segments.len() as u64,
+            sealed_segments: sealed,
+            replayed: inner.replayed,
+            torn: inner.torn,
+            fsyncs: inner.fsyncs,
+            unsynced: inner.unsynced,
+        }
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.shared.inner.lock().expect("wal poisoned").next_seq
+    }
+
+    /// Block until every queued segment seal has completed (test and
+    /// shutdown support).
+    pub fn flush_seals(&self) {
+        let mut inner = self.shared.inner.lock().expect("wal poisoned");
+        while !inner.seal_queue.is_empty() {
+            self.shared.cv.notify_all();
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(inner, Duration::from_millis(10))
+                .expect("wal poisoned");
+            inner = guard;
+        }
+    }
+}
+
+impl Drop for SegmentedWal {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock().expect("wal poisoned");
+            inner.stopping = true;
+            if let Some(open) = &inner.open {
+                let _ = open.file.sync_data();
+            }
+        }
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.worker.lock().expect("wal poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Union the on-disk segment files into the directory index: a crash can
+/// leave a file the index never learned about (or a sealed file whose
+/// index entry still says open); the files are the ground truth for
+/// existence, the index for the low-water mark.
+fn reconcile_with_disk(path: &Path, dir: &mut WalDir) -> Result<(), ArtifactError> {
+    let mut on_disk: Vec<(u64, bool)> = Vec::new();
+    for entry in fs::read_dir(path)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let (stem, sealed) = if let Some(s) = name.strip_suffix(".seg") {
+            (s, true)
+        } else if let Some(s) = name.strip_suffix(".log") {
+            (s, false)
+        } else {
+            continue;
+        };
+        let Some(seq) = stem
+            .strip_prefix("seg-")
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        on_disk.push((seq, sealed));
+    }
+    for (first_seq, sealed) in on_disk {
+        match dir.segments.iter_mut().find(|s| s.first_seq == first_seq) {
+            Some(entry) => {
+                // A sealed file supersedes its open twin (crash between
+                // writing the seal and updating the index); the leftover
+                // .log is deleted so it cannot shadow anything later.
+                if sealed && !entry.sealed {
+                    entry.sealed = true;
+                    fs::remove_file(path.join(open_name(first_seq))).ok();
+                }
+            }
+            None => dir.segments.push(SegmentEntry { first_seq, sealed }),
+        }
+    }
+    dir.segments.sort_by_key(|s| s.first_seq);
+    // At most the last segment may be unsealed: an unsealed file earlier
+    // in the order is a crash artifact of a completed seal whose .log
+    // deletion never landed — but reconciliation above already preferred
+    // the .seg. Anything still unsealed mid-order has no sealed twin and
+    // the log cannot vouch for its framing; refuse rather than guess.
+    if dir.segments.iter().rev().skip(1).any(|s| !s.sealed) {
+        return Err(ArtifactError::Corrupt("unsealed segment before log tail"));
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut inner = shared.inner.lock().expect("wal poisoned");
+            loop {
+                if let Some(first_seq) = inner.seal_queue.front().copied() {
+                    break Some(first_seq);
+                }
+                if inner.stopping {
+                    break None;
+                }
+                let timeout = if shared.opts.fsync_interval.is_zero() {
+                    Duration::from_millis(200)
+                } else {
+                    shared.opts.fsync_interval
+                };
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(inner, timeout)
+                    .expect("wal poisoned");
+                inner = guard;
+                // Periodic fsync of the open segment (batched durability).
+                if !shared.opts.fsync_interval.is_zero() && inner.unsynced > 0 {
+                    let t0 = Instant::now();
+                    let cloned = inner.open.as_ref().and_then(|o| o.file.try_clone().ok());
+                    if let Some(file) = cloned {
+                        // Sync outside the lock so appends keep flowing.
+                        inner.unsynced = 0;
+                        inner.fsyncs += 1;
+                        drop(inner);
+                        let _ = file.sync_data();
+                        if let Some(obs) = &shared.obs {
+                            obs.fsync_us.record(t0.elapsed().as_micros() as u64);
+                        }
+                        inner = shared.inner.lock().expect("wal poisoned");
+                    }
+                }
+            }
+        };
+        let Some(first_seq) = job else { break };
+        seal_one(&shared, first_seq);
+        let mut inner = shared.inner.lock().expect("wal poisoned");
+        inner.seal_queue.retain(|&s| s != first_seq);
+        drop(inner);
+        shared.cv.notify_all();
+    }
+    // Drain-stop: one final fsync so nothing acknowledged is lost on an
+    // orderly shutdown.
+    let inner = shared.inner.lock().expect("wal poisoned");
+    if let Some(open) = &inner.open {
+        let _ = open.file.sync_data();
+    }
+}
+
+/// Compress one retired open segment into its sealed form. Failures are
+/// non-fatal: the raw `.log` stays behind and replay handles it.
+fn seal_one(shared: &Shared, first_seq: u64) {
+    let t0 = Instant::now();
+    let log_path = shared.path.join(open_name(first_seq));
+    let Ok(bytes) = fs::read(&log_path) else {
+        return; // GC'd concurrently
+    };
+    let Ok((records, Tail::Clean)) =
+        walk_records(&bytes, shared.opts.record_kind, shared.opts.record_version)
+    else {
+        return; // torn or unframed: leave the raw file for replay to judge
+    };
+    let seg = SealedSegment { first_seq, records };
+    let (sealed, raw_len) = seg.seal_bytes();
+    let sealed_len = sealed.len();
+    if write_durable(&shared.path, &sealed_name(first_seq), &sealed).is_err() {
+        return;
+    }
+    {
+        let mut inner = shared.inner.lock().expect("wal poisoned");
+        if let Some(entry) = inner
+            .dir
+            .segments
+            .iter_mut()
+            .find(|s| s.first_seq == first_seq)
+        {
+            entry.sealed = true;
+            let _ = inner.dir.store(&shared.path);
+        } else {
+            // Drained while we sealed: the sealed file is garbage too.
+            drop(inner);
+            fs::remove_file(shared.path.join(sealed_name(first_seq))).ok();
+            return;
+        }
+    }
+    fs::remove_file(&log_path).ok();
+    if let Some(obs) = &shared.obs {
+        obs.sealed_segments.incr();
+        obs.seal_us.record(t0.elapsed().as_micros() as u64);
+        if let Some(flight) = &obs.flight {
+            flight.record(
+                EV_WAL_SEAL,
+                "wal segment sealed",
+                first_seq,
+                raw_len as u64,
+                sealed_len as f64,
+                0.0,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lre_artifact::seal;
+
+    const K: [u8; 4] = *b"TREC";
+    const V: u32 = 1;
+
+    fn rec(i: u64) -> Vec<u8> {
+        // Mildly compressible, record-unique payload.
+        let mut p = format!("record payload number {i} ").into_bytes();
+        p.extend_from_slice(&i.to_le_bytes());
+        p.extend(std::iter::repeat_n(0xA5, 32));
+        seal(K, V, &p)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lre_wal_log_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn opts() -> WalOptions {
+        let mut o = WalOptions::new(K, V);
+        o.fsync_interval = Duration::ZERO; // deterministic tests
+        o
+    }
+
+    #[test]
+    fn append_reopen_replays_identically() {
+        let d = tmpdir("replay");
+        let sent: Vec<Vec<u8>> = (0..25).map(rec).collect();
+        {
+            let (wal, replay) = SegmentedWal::open(&d, opts(), None).unwrap();
+            assert_eq!(replay.records.len(), 0);
+            for (i, r) in sent.iter().enumerate() {
+                assert_eq!(wal.append(r).unwrap(), i as u64);
+            }
+            assert_eq!(wal.status().next_seq, 25);
+        }
+        let (wal, replay) = SegmentedWal::open(&d, opts(), None).unwrap();
+        assert_eq!(replay.next_seq, 25);
+        assert_eq!(replay.torn_tail_records, 0);
+        let got: Vec<&Vec<u8>> = replay.records.iter().map(|(_, b)| b).collect();
+        assert_eq!(got.len(), sent.len());
+        for (g, s) in got.iter().zip(&sent) {
+            assert_eq!(*g, s);
+        }
+        // Sequence numbers continue, never restart.
+        assert_eq!(wal.append(&rec(99)).unwrap(), 25);
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_truncated_away() {
+        let d = tmpdir("torn");
+        {
+            let (wal, _) = SegmentedWal::open(&d, opts(), None).unwrap();
+            for i in 0..5 {
+                wal.append(&rec(i)).unwrap();
+            }
+        }
+        // Tear the last record: chop 3 bytes off the open segment.
+        let log = d.join(open_name(0));
+        let len = fs::metadata(&log).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&log).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let (wal, replay) = SegmentedWal::open(&d, opts(), None).unwrap();
+        assert_eq!(replay.records.len(), 4);
+        assert_eq!(replay.torn_tail_records, 1);
+        assert_eq!(replay.next_seq, 4);
+        // The torn bytes are gone: appending keeps the stream framed.
+        assert_eq!(wal.append(&rec(77)).unwrap(), 4);
+        drop(wal);
+        let (_, replay) = SegmentedWal::open(&d, opts(), None).unwrap();
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.torn_tail_records, 0);
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn rolling_seals_segments_and_replay_crosses_them() {
+        let d = tmpdir("seal");
+        let mut o = opts();
+        o.segment_bytes = 256; // force frequent rolls
+        let sent: Vec<Vec<u8>> = (0..40).map(rec).collect();
+        {
+            let (wal, _) = SegmentedWal::open(&d, o.clone(), None).unwrap();
+            for r in &sent {
+                wal.append(r).unwrap();
+            }
+            wal.flush_seals();
+            let st = wal.status();
+            assert!(
+                st.segments > 2,
+                "expected rolls, got {} segments",
+                st.segments
+            );
+            assert!(st.sealed_segments >= 1, "expected sealed segments");
+        }
+        let (_, replay) = SegmentedWal::open(&d, o, None).unwrap();
+        assert_eq!(replay.records.len(), sent.len());
+        for ((seq, got), (i, want)) in replay.records.iter().zip(sent.iter().enumerate()) {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(got, want);
+        }
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn truncate_advances_low_water_and_gcs() {
+        let d = tmpdir("gc");
+        let mut o = opts();
+        o.segment_bytes = 256;
+        let (wal, _) = SegmentedWal::open(&d, o.clone(), None).unwrap();
+        for i in 0..40 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.flush_seals();
+        let before = wal.status();
+        wal.truncate_to(35).unwrap();
+        let after = wal.status();
+        assert_eq!(after.low_water, 35);
+        assert_eq!(after.buffered, 5);
+        assert!(
+            after.segments < before.segments,
+            "drained segments should be deleted ({} -> {})",
+            before.segments,
+            after.segments
+        );
+        drop(wal);
+        // Replay resumes above the durable low-water mark.
+        let (wal, replay) = SegmentedWal::open(&d, o, None).unwrap();
+        assert_eq!(replay.low_water, 35);
+        assert_eq!(
+            replay.records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            (35..40).collect::<Vec<_>>()
+        );
+        // Fully drained log: everything deleted, appends continue.
+        wal.truncate_to(40).unwrap();
+        assert_eq!(wal.status().segments, 0);
+        assert_eq!(wal.append(&rec(1000)).unwrap(), 40);
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn truncate_past_head_is_refused_and_regress_is_a_noop() {
+        let d = tmpdir("bounds");
+        let (wal, _) = SegmentedWal::open(&d, opts(), None).unwrap();
+        wal.append(&rec(0)).unwrap();
+        assert!(wal.truncate_to(5).is_err());
+        wal.truncate_to(1).unwrap();
+        wal.truncate_to(0).unwrap(); // regressing the mark: ignored
+        assert_eq!(wal.status().low_water, 1);
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn unframed_appends_are_refused() {
+        let d = tmpdir("unframed");
+        let (wal, _) = SegmentedWal::open(&d, opts(), None).unwrap();
+        assert!(wal.append(b"raw bytes").is_err());
+        assert!(wal.append(&seal(*b"XXXX", 1, b"wrong kind")).is_err());
+        assert_eq!(wal.status().next_seq, 0);
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn obs_series_record_appends_and_replay() {
+        let d = tmpdir("obs");
+        let registry = Registry::new();
+        let obs = WalObs::new(&registry, None);
+        {
+            let (wal, _) = SegmentedWal::open(&d, opts(), Some(obs.clone())).unwrap();
+            for i in 0..3 {
+                wal.append(&rec(i)).unwrap();
+            }
+        }
+        assert_eq!(obs.appended_records.get(), 3);
+        let (_, replay) = SegmentedWal::open(&d, opts(), Some(obs.clone())).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(obs.replayed_records.get(), 3);
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn batched_fsync_interval_still_replays_after_clean_drop() {
+        let d = tmpdir("batched");
+        let mut o = WalOptions::new(K, V);
+        o.fsync_interval = Duration::from_millis(5);
+        {
+            let (wal, _) = SegmentedWal::open(&d, o.clone(), None).unwrap();
+            for i in 0..10 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+            assert_eq!(wal.status().unsynced, 0);
+        }
+        let (_, replay) = SegmentedWal::open(&d, o, None).unwrap();
+        assert_eq!(replay.records.len(), 10);
+        fs::remove_dir_all(&d).ok();
+    }
+}

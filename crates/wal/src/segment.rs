@@ -1,0 +1,277 @@
+//! Segment files: the on-disk unit of the write-ahead log.
+//!
+//! A WAL directory holds two shapes of segment, both named by the
+//! sequence number of their first record:
+//!
+//! * **Open** (`seg-<first_seq>.log`) — the append target: sealed
+//!   records of the configured kind concatenated back to back, nothing
+//!   else. Each record is a complete `lre-artifact` container, so every
+//!   record carries its own length and CRC; the segment needs no frame
+//!   of its own and a crash can only tear the *final* record.
+//! * **Sealed** (`seg-<first_seq>.seg`) — an immutable, compressed
+//!   [`SealedSegment`] container written by the background worker once
+//!   an open segment reaches its size budget. Sealing is
+//!   write-new-then-delete-old, so a crash between the two leaves both
+//!   files and recovery prefers the sealed one.
+//!
+//! This is the chunked-region-file shape (cf. anvil region files): many
+//! small records packed into a bounded number of files, with an index
+//! ([`crate::dir`]) mapping sequence ranges to files instead of one file
+//! per record or one unbounded log.
+
+use crate::compress;
+use lre_artifact::{open_prefix, ArtifactError, ArtifactReader, ArtifactWriter};
+
+/// Compression method byte in a sealed segment: stored raw.
+pub const METHOD_RAW: u8 = 0;
+/// Compression method byte in a sealed segment: LZSS ([`crate::compress`]).
+pub const METHOD_LZSS: u8 = 1;
+
+/// File name of an open (append) segment whose first record is `first_seq`.
+pub fn open_name(first_seq: u64) -> String {
+    format!("seg-{first_seq:020}.log")
+}
+
+/// File name of a sealed segment whose first record is `first_seq`.
+pub fn sealed_name(first_seq: u64) -> String {
+    format!("seg-{first_seq:020}.seg")
+}
+
+/// What the walker found at the end of a segment's record stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// The stream ended exactly on a record boundary.
+    Clean,
+    /// The final record was torn — cut mid-write or its CRC never
+    /// landed. Recovery treats this as "the crash ate the last append",
+    /// legal only in the very last segment of the log.
+    Torn,
+}
+
+/// Walk a buffer of concatenated sealed records, returning each record's
+/// *container* bytes (header + payload + CRC, exactly as appended — the
+/// in-memory log stores and re-serves the same sealed form).
+///
+/// A damaged *final* record is reported as [`Tail::Torn`] rather than an
+/// error: a torn tail is the expected signature of a crash mid-append.
+/// Damage anywhere earlier cannot be explained by a crash (appends are
+/// strictly ordered) and is a hard error.
+pub fn walk_records(
+    bytes: &[u8],
+    kind: [u8; 4],
+    version: u32,
+) -> Result<(Vec<Vec<u8>>, Tail), ArtifactError> {
+    let mut records = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        match open_prefix(&bytes[at..], kind, version) {
+            Ok((_payload, used)) => {
+                records.push(bytes[at..at + used].to_vec());
+                at += used;
+            }
+            Err(ArtifactError::Truncated) | Err(ArtifactError::ChecksumMismatch) => {
+                return Ok((records, Tail::Torn));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((records, Tail::Clean))
+}
+
+/// An immutable sealed segment: the records of one retired open segment,
+/// compressed, inside a single checksummed container.
+pub struct SealedSegment {
+    /// Sequence number of the first record.
+    pub first_seq: u64,
+    /// The records, each still in its sealed container form.
+    pub records: Vec<Vec<u8>>,
+}
+
+impl SealedSegment {
+    /// Container kind of a sealed segment file.
+    pub const KIND: [u8; 4] = *b"WSEG";
+    /// Container format revision.
+    pub const VERSION: u32 = 1;
+
+    /// Concatenated raw record bytes (the open-segment image).
+    fn raw_image(&self) -> Vec<u8> {
+        let total = self.records.iter().map(Vec::len).sum();
+        let mut image = Vec::with_capacity(total);
+        for r in &self.records {
+            image.extend_from_slice(r);
+        }
+        image
+    }
+
+    /// Split a raw image back into per-record containers. Inside a sealed
+    /// segment a torn tail is impossible — the whole container is CRC'd —
+    /// so any tear means the seal itself lied.
+    fn split_image(
+        image: &[u8],
+        count: usize,
+        kind: [u8; 4],
+        version: u32,
+    ) -> Result<Vec<Vec<u8>>, ArtifactError> {
+        let (records, tail) = walk_records(image, kind, version)?;
+        if tail == Tail::Torn {
+            return Err(ArtifactError::Corrupt("sealed segment image torn"));
+        }
+        if records.len() != count {
+            return Err(ArtifactError::Corrupt(
+                "sealed segment record count mismatch",
+            ));
+        }
+        Ok(records)
+    }
+
+    /// Seal this segment: compress the record image (falling back to raw
+    /// storage when LZSS does not help) and wrap it in a container.
+    /// Returns the sealed bytes and the raw image length (for
+    /// compression-ratio accounting).
+    pub fn seal_bytes(&self) -> (Vec<u8>, usize) {
+        let image = self.raw_image();
+        let packed = compress::compress(&image);
+        let (method, body) = if packed.len() < image.len() {
+            (METHOD_LZSS, packed)
+        } else {
+            (METHOD_RAW, image.clone())
+        };
+        let mut w = ArtifactWriter::new();
+        w.put_u64(self.first_seq);
+        w.put_u32(self.records.len() as u32);
+        w.put_u8(method);
+        w.put_u64(image.len() as u64);
+        w.put_blob(&body);
+        (
+            lre_artifact::seal(Self::KIND, Self::VERSION, &w.into_bytes()),
+            image.len(),
+        )
+    }
+
+    /// Open sealed-segment bytes, restoring the per-record containers.
+    /// `kind`/`version` are the *record* type the log was configured with.
+    pub fn open_bytes(
+        sealed: &[u8],
+        kind: [u8; 4],
+        version: u32,
+    ) -> Result<SealedSegment, ArtifactError> {
+        let payload = lre_artifact::open(sealed, Self::KIND, Self::VERSION)?;
+        let mut r = ArtifactReader::new(payload);
+        let first_seq = r.get_u64()?;
+        let count = r.get_u32()? as usize;
+        let method = r.get_u8()?;
+        let raw_len = r.get_u64()? as usize;
+        let body = r.get_blob()?;
+        if r.remaining() != 0 {
+            return Err(ArtifactError::TrailingBytes);
+        }
+        let image = match method {
+            METHOD_RAW => {
+                if body.len() != raw_len {
+                    return Err(ArtifactError::Corrupt("raw segment length mismatch"));
+                }
+                body.to_vec()
+            }
+            METHOD_LZSS => compress::decompress(body, raw_len)?,
+            _ => return Err(ArtifactError::Corrupt("unknown segment compression method")),
+        };
+        let records = Self::split_image(&image, count, kind, version)?;
+        Ok(SealedSegment { first_seq, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lre_artifact::seal;
+
+    const K: [u8; 4] = *b"TREC";
+    const V: u32 = 1;
+
+    fn rec(tag: u8, len: usize) -> Vec<u8> {
+        seal(K, V, &vec![tag; len])
+    }
+
+    #[test]
+    fn walk_handles_clean_and_torn_streams() {
+        let a = rec(1, 10);
+        let b = rec(2, 0);
+        let c = rec(3, 300);
+        let mut stream: Vec<u8> = Vec::new();
+        for r in [&a, &b, &c] {
+            stream.extend_from_slice(r);
+        }
+        let (records, tail) = walk_records(&stream, K, V).unwrap();
+        assert_eq!(records, vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(tail, Tail::Clean);
+
+        // Cut anywhere inside the final record: first two survive, torn tail.
+        for cut in 1..c.len() {
+            let torn = &stream[..a.len() + b.len() + cut];
+            let (records, tail) = walk_records(torn, K, V).unwrap();
+            assert_eq!(records.len(), 2, "cut {cut}");
+            assert_eq!(tail, Tail::Torn, "cut {cut}");
+        }
+
+        // A zeroed CRC on the final record (trailer never landed) is also
+        // a torn tail, not an error.
+        let mut zeroed = stream.clone();
+        let n = zeroed.len();
+        zeroed[n - 4..].fill(0);
+        let (records, tail) = walk_records(&zeroed, K, V).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(tail, Tail::Torn);
+    }
+
+    #[test]
+    fn walk_rejects_unframed_garbage_midstream() {
+        let mut stream = rec(1, 8);
+        stream.extend_from_slice(b"XXXXgarbage that is not a record header!");
+        assert!(matches!(
+            walk_records(&stream, K, V),
+            Err(ArtifactError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn sealed_segment_roundtrips_with_compression() {
+        let records: Vec<Vec<u8>> = (0..50).map(|i| rec(i as u8 % 4, 64)).collect();
+        let seg = SealedSegment {
+            first_seq: 1234,
+            records: records.clone(),
+        };
+        let (sealed, raw_len) = seg.seal_bytes();
+        assert_eq!(raw_len, records.iter().map(Vec::len).sum::<usize>());
+        assert!(sealed.len() < raw_len, "repeated records should compress");
+        let back = SealedSegment::open_bytes(&sealed, K, V).unwrap();
+        assert_eq!(back.first_seq, 1234);
+        assert_eq!(back.records, records);
+    }
+
+    #[test]
+    fn sealed_segment_detects_damage() {
+        let seg = SealedSegment {
+            first_seq: 7,
+            records: vec![rec(1, 32), rec(2, 32)],
+        };
+        let (sealed, _) = seg.seal_bytes();
+        for cut in [0, sealed.len() / 2, sealed.len() - 1] {
+            assert!(SealedSegment::open_bytes(&sealed[..cut], K, V).is_err());
+        }
+        for byte in (0..sealed.len()).step_by(11) {
+            let mut bad = sealed.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                SealedSegment::open_bytes(&bad, K, V).is_err(),
+                "flip at {byte} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn names_sort_with_sequence_numbers() {
+        assert!(open_name(9) < open_name(10));
+        assert!(sealed_name(999) < sealed_name(1000));
+        assert_eq!(open_name(5), "seg-00000000000000000005.log");
+    }
+}
